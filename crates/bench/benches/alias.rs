@@ -1,0 +1,26 @@
+//! P1: Walker alias table — construction and sampling throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cgte_sampling::AliasTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_alias(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alias");
+    for n in [1_000usize, 100_000] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..10.0)).collect();
+        g.bench_with_input(BenchmarkId::new("build", n), &weights, |b, w| {
+            b.iter(|| AliasTable::new(black_box(w)).unwrap())
+        });
+        let table = AliasTable::new(&weights).unwrap();
+        g.bench_with_input(BenchmarkId::new("sample", n), &table, |b, t| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(t.sample(&mut rng)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_alias);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! P1: observation and estimator throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cgte_core::category_size::{induced_sizes, star_sizes, StarSizeOptions};
+use cgte_core::edge_weight::{induced_weights_all, star_weights_all};
+use cgte_graph::generators::{planted_partition, PlantedConfig};
+use cgte_sampling::{InducedSample, NodeSampler, StarSample, UniformIndependence};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pg = planted_partition(&PlantedConfig::scaled(10, 20, 0.5), &mut rng)
+        .expect("feasible config");
+    let (g, p) = (&pg.graph, &pg.partition);
+    let nodes = UniformIndependence.sample(g, 5_000, &mut rng);
+    let population = g.num_nodes() as f64;
+
+    let mut grp = c.benchmark_group("estimators_5k_sample");
+    grp.sample_size(20);
+    grp.bench_function("observe_induced", |b| {
+        b.iter(|| black_box(InducedSample::observe(g, p, &nodes)))
+    });
+    grp.bench_function("observe_star", |b| {
+        b.iter(|| black_box(StarSample::observe(g, p, &nodes)))
+    });
+
+    let ind = InducedSample::observe(g, p, &nodes);
+    let star = StarSample::observe(g, p, &nodes);
+    grp.bench_function("induced_sizes", |b| {
+        b.iter(|| black_box(induced_sizes(&ind, population)))
+    });
+    grp.bench_function("star_sizes", |b| {
+        b.iter(|| black_box(star_sizes(&star, population, &StarSizeOptions::default())))
+    });
+    grp.bench_function("induced_weights_all", |b| {
+        b.iter(|| black_box(induced_weights_all(&ind)))
+    });
+    let sizes: Vec<f64> = p.sizes().iter().map(|&s| s as f64).collect();
+    grp.bench_function("star_weights_all", |b| {
+        b.iter(|| black_box(star_weights_all(&star, &sizes)))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! P1: graph construction and exact category-graph computation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use cgte_graph::generators::gnm;
+use cgte_graph::{CategoryGraph, GraphBuilder, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph");
+    g.sample_size(20);
+    for (n, m) in [(10_000usize, 50_000usize), (50_000, 500_000)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let graph = gnm(n, m, &mut rng).unwrap();
+        let edges: Vec<_> = graph.edges().collect();
+        g.bench_with_input(
+            BenchmarkId::new("csr_build", format!("{n}n_{m}e")),
+            &edges,
+            |b, e| {
+                b.iter(|| {
+                    let mut bld = GraphBuilder::with_capacity(n, e.len());
+                    for &(u, v) in e.iter() {
+                        bld.add_edge(u, v).unwrap();
+                    }
+                    black_box(bld.build())
+                })
+            },
+        );
+        let p = Partition::from_assignments(
+            (0..n).map(|v| (v % 50) as u32).collect(),
+            50,
+        )
+        .unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("category_graph_exact", format!("{n}n_{m}e")),
+            &(&graph, &p),
+            |b, (graph, p)| b.iter(|| black_box(CategoryGraph::exact(graph, p))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("has_edge", format!("{n}n_{m}e")),
+            &graph,
+            |b, graph| {
+                let mut i = 0u32;
+                b.iter(|| {
+                    i = (i + 7919) % n as u32;
+                    black_box(graph.has_edge(i, (i * 31) % n as u32))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

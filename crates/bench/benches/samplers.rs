@@ -1,0 +1,49 @@
+//! P1: sampler throughput — nodes drawn per second for all five designs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cgte_graph::generators::{planted_partition, PlantedConfig};
+use cgte_sampling::{
+    MetropolisHastingsWalk, NodeSampler, RandomWalk, Swrw, UniformIndependence,
+    WeightedIndependence,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let pg = planted_partition(&PlantedConfig::scaled(10, 20, 0.5), &mut rng)
+        .expect("feasible config");
+    let g = &pg.graph;
+    let n = 10_000;
+
+    let mut grp = c.benchmark_group("samplers_10k_draws");
+    grp.sample_size(20);
+    grp.bench_function("uis", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(UniformIndependence.sample(g, n, &mut rng)))
+    });
+    let wis = WeightedIndependence::degree_proportional(g).unwrap();
+    grp.bench_function("wis_degree", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(wis.sample(g, n, &mut rng)))
+    });
+    let rw = RandomWalk::new();
+    grp.bench_function("rw", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| black_box(rw.sample(g, n, &mut rng)))
+    });
+    let mhrw = MetropolisHastingsWalk::new();
+    grp.bench_function("mhrw", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| black_box(mhrw.sample(g, n, &mut rng)))
+    });
+    let swrw = Swrw::equal_category_target(g, &pg.partition).unwrap();
+    grp.bench_function("swrw", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| black_box(swrw.sample(g, n, &mut rng)))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Shared plumbing for the figure/table reproduction binaries.
+//!
+//! Every binary accepts:
+//!
+//! - `--quick` — CI-sized smoke run (seconds);
+//! - `--full`  — paper-scale parameters (the default is laptop-scale,
+//!   minutes);
+//! - `--csv DIR` — additionally dump every printed series as CSV;
+//! - `--seed N` — override the base RNG seed.
+//!
+//! The EXPERIMENTS.md protocol records the *default*-scale outputs; `--full`
+//! reproduces the paper's exact parameters where hardware allows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cgte_eval::Table;
+use std::path::PathBuf;
+
+/// Run scale selected on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test parameters.
+    Quick,
+    /// Laptop-scale defaults (graphs scaled down ~10×).
+    Default,
+    /// The paper's parameters.
+    Full,
+}
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Selected scale.
+    pub scale: Scale,
+    /// Where to dump CSV series, if requested.
+    pub csv_dir: Option<PathBuf>,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl RunArgs {
+    /// Parses `std::env::args()`; exits with a message on unknown flags.
+    pub fn parse() -> RunArgs {
+        let mut scale = Scale::Default;
+        let mut csv_dir = None;
+        let mut seed = 0x2012_5EED;
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => scale = Scale::Quick,
+                "--full" => scale = Scale::Full,
+                "--csv" => {
+                    let dir = it.next().unwrap_or_else(|| {
+                        eprintln!("--csv needs a directory");
+                        std::process::exit(2);
+                    });
+                    csv_dir = Some(PathBuf::from(dir));
+                }
+                "--seed" => {
+                    seed = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| {
+                            eprintln!("--seed needs an integer");
+                            std::process::exit(2);
+                        });
+                }
+                other => {
+                    eprintln!("unknown flag {other:?} (supported: --quick --full --csv DIR --seed N)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        RunArgs { scale, csv_dir, seed }
+    }
+
+    /// Picks a value by scale.
+    pub fn pick<T: Copy>(&self, quick: T, default: T, full: T) -> T {
+        match self.scale {
+            Scale::Quick => quick,
+            Scale::Default => default,
+            Scale::Full => full,
+        }
+    }
+
+    /// Saves an SVG log-log plot of the given series next to the CSVs (no-op
+    /// without `--csv`).
+    pub fn emit_plot(&self, name: &str, title: &str, series: Vec<cgte_viz::PlotSeries>) {
+        let Some(dir) = &self.csv_dir else { return };
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir:?}: {e}");
+            return;
+        }
+        let opts = cgte_viz::PlotOptions { title: title.into(), ..Default::default() };
+        let svg = cgte_viz::svg_line_plot(&series, &opts);
+        let path = dir.join(format!("{name}.svg"));
+        match std::fs::write(&path, svg) {
+            Ok(()) => eprintln!("saved {path:?}"),
+            Err(e) => eprintln!("cannot save {path:?}: {e}"),
+        }
+    }
+
+    /// Prints a table under a heading and optionally saves it as CSV.
+    pub fn emit(&self, name: &str, heading: &str, table: &Table) {
+        println!("\n## {heading}\n");
+        print!("{table}");
+        if let Some(dir) = &self.csv_dir {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {dir:?}: {e}");
+                return;
+            }
+            let path = dir.join(format!("{name}.csv"));
+            match table.save_csv(&path) {
+                Ok(()) => eprintln!("saved {path:?}"),
+                Err(e) => eprintln!("cannot save {path:?}: {e}"),
+            }
+        }
+    }
+}
+
+/// Formats an NRMSE value compactly, with a placeholder for undefined.
+pub fn fmt_nrmse(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "-".into()
+    }
+}
+
+/// Logarithmically spaced sample sizes from `lo` to `hi` (inclusive-ish),
+/// `points` per decade boundary style of the paper's x-axes.
+pub fn log_sizes(lo: usize, hi: usize, points: usize) -> Vec<usize> {
+    assert!(lo >= 1 && hi >= lo && points >= 2);
+    let (l, h) = ((lo as f64).ln(), (hi as f64).ln());
+    let mut v: Vec<usize> = (0..points)
+        .map(|i| (l + (h - l) * i as f64 / (points - 1) as f64).exp().round() as usize)
+        .collect();
+    v.dedup();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sizes_spans_range() {
+        let v = log_sizes(100, 10_000, 5);
+        assert_eq!(v.first(), Some(&100));
+        assert_eq!(v.last(), Some(&10_000));
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fmt_nrmse_handles_nan() {
+        assert_eq!(fmt_nrmse(f64::NAN), "-");
+        assert_eq!(fmt_nrmse(0.12345), "0.1235");
+    }
+
+    #[test]
+    fn pick_selects_by_scale() {
+        let a = RunArgs { scale: Scale::Quick, csv_dir: None, seed: 0 };
+        assert_eq!(a.pick(1, 2, 3), 1);
+        let a = RunArgs { scale: Scale::Full, csv_dir: None, seed: 0 };
+        assert_eq!(a.pick(1, 2, 3), 3);
+    }
+}

@@ -1,0 +1,275 @@
+//! `cgte` — command-line pipeline for coarse-grained topology estimation.
+//!
+//! Subcommands:
+//!
+//! - `generate` — synthesize a graph + categories to edge-list files;
+//! - `sample`   — draw a node sample from a graph with any sampler;
+//! - `exact`    — compute the exact category graph and export it;
+//! - `estimate` — sample, estimate the category graph, and export it.
+//!
+//! Run `cgte help` for usage. Arguments are `--key value` pairs; parsing is
+//! deliberately dependency-free.
+
+use cgte_core::{CategoryGraphEstimator, Design, SizeMethod, StarSizeOptions};
+use cgte_datasets::{
+    read_categories, read_edgelist, standin, standin_partition, write_categories,
+    write_edgelist, StandinKind,
+};
+use cgte_graph::generators::{planted_partition, PlantedConfig};
+use cgte_graph::{CategoryGraph, Graph, Partition};
+use cgte_sampling::{
+    AnySampler, MetropolisHastingsWalk, NodeSampler, RandomWalk, StarSample, Swrw,
+    UniformIndependence,
+};
+use cgte_viz::{top_edges_report, to_csv_edges, to_dot, to_graphml, to_json, ExportOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cgte — coarse-grained topology estimation via graph sampling
+
+USAGE:
+  cgte generate planted  --k K --alpha A [--scale D] [--seed S] --graph G.txt --cats C.txt
+  cgte generate standin  --kind texas|neworleans|p2p|epinions [--scale D] [--top-k 50]
+                         [--seed S] --graph G.txt --cats C.txt
+  cgte sample            --graph G.txt --sampler uis|rw|mhrw [--n N] [--burn-in B]
+                         [--thinning T] [--seed S] [--out S.txt]
+  cgte exact             --graph G.txt --cats C.txt [--format dot|json|graphml|csv|report]
+                         [--top-k K] [--out F]
+  cgte estimate          --graph G.txt --cats C.txt --sampler uis|rw|mhrw|swrw [--n N]
+                         [--design uniform|weighted] [--sizes induced|star] [--seed S]
+                         [--format dot|json|graphml|csv|report] [--top-k K] [--out F]
+  cgte help
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliError = Box<dyn std::error::Error>;
+
+/// Parses `--key value` pairs after the subcommand words.
+struct Args {
+    map: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, CliError> {
+        let mut map = HashMap::new();
+        let mut it = raw.iter();
+        while let Some(k) = it.next() {
+            let key = k
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {k:?}"))?;
+            let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            map.insert(key.to_string(), v.clone());
+        }
+        Ok(Args { map })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.map.get(key).map(String::as_str)
+    }
+
+    fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| format!("missing required --{key}").into())
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("invalid --{key} {v:?}: {e}").into()),
+        }
+    }
+}
+
+fn run() -> Result<(), CliError> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("generate") => {
+            let kind = argv.get(1).map(String::as_str).unwrap_or("");
+            let args = Args::parse(&argv[2..])?;
+            cmd_generate(kind, &args)
+        }
+        Some("sample") => cmd_sample(&Args::parse(&argv[1..])?),
+        Some("exact") => cmd_exact(&Args::parse(&argv[1..])?),
+        Some("estimate") => cmd_estimate(&Args::parse(&argv[1..])?),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}").into()),
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, CliError> {
+    Ok(read_edgelist(BufReader::new(File::open(path)?))?)
+}
+
+fn load_partition(path: &str, num_nodes: usize) -> Result<Partition, CliError> {
+    Ok(read_categories(BufReader::new(File::open(path)?), num_nodes)?)
+}
+
+fn save(path: Option<&str>, content: &str) -> Result<(), CliError> {
+    match path {
+        Some(p) => {
+            let mut f = BufWriter::new(File::create(p)?);
+            f.write_all(content.as_bytes())?;
+            Ok(())
+        }
+        None => {
+            print!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_generate(kind: &str, args: &Args) -> Result<(), CliError> {
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (graph, partition) = match kind {
+        "planted" => {
+            let k: usize = args.parse_or("k", 20)?;
+            let alpha: f64 = args.parse_or("alpha", 0.5)?;
+            let scale: usize = args.parse_or("scale", 1)?;
+            let cfg = if scale == 1 {
+                PlantedConfig::paper(k, alpha)
+            } else {
+                PlantedConfig::scaled(scale, k, alpha)
+            };
+            let pg = planted_partition(&cfg, &mut rng)?;
+            (pg.graph, pg.partition)
+        }
+        "standin" => {
+            let kind = match args.required("kind")? {
+                "texas" => StandinKind::FacebookTexas,
+                "neworleans" => StandinKind::FacebookNewOrleans,
+                "p2p" => StandinKind::P2p,
+                "epinions" => StandinKind::Epinions,
+                other => return Err(format!("unknown standin kind {other:?}").into()),
+            };
+            let scale: usize = args.parse_or("scale", 1)?;
+            let top_k: usize = args.parse_or("top-k", 50)?;
+            let g = standin(kind, scale, &mut rng);
+            let p = standin_partition(&g, top_k, false, &mut rng);
+            (g, p)
+        }
+        other => return Err(format!("unknown generator {other:?}\n{USAGE}").into()),
+    };
+    let gpath = args.required("graph")?;
+    let cpath = args.required("cats")?;
+    write_edgelist(&graph, BufWriter::new(File::create(gpath)?))?;
+    write_categories(&partition, BufWriter::new(File::create(cpath)?))?;
+    eprintln!(
+        "wrote {} nodes, {} edges, {} categories to {gpath} / {cpath}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        partition.num_categories()
+    );
+    Ok(())
+}
+
+fn make_sampler(
+    name: &str,
+    args: &Args,
+    g: &Graph,
+    p: Option<&Partition>,
+) -> Result<AnySampler, CliError> {
+    let burn: usize = args.parse_or("burn-in", 0)?;
+    let thin: usize = args.parse_or("thinning", 1)?;
+    Ok(match name {
+        "uis" => AnySampler::Uis(UniformIndependence),
+        "rw" => AnySampler::Rw(RandomWalk::new().burn_in(burn).thinning(thin)),
+        "mhrw" => AnySampler::Mhrw(MetropolisHastingsWalk::new().burn_in(burn).thinning(thin)),
+        "swrw" => {
+            let p = p.ok_or("--sampler swrw needs --cats")?;
+            let s = Swrw::equal_category_target(g, p)
+                .ok_or("cannot build S-WRW (empty partition?)")?
+                .burn_in(burn)
+                .thinning(thin);
+            AnySampler::Swrw(s)
+        }
+        other => return Err(format!("unknown sampler {other:?}").into()),
+    })
+}
+
+fn cmd_sample(args: &Args) -> Result<(), CliError> {
+    let g = load_graph(args.required("graph")?)?;
+    let n: usize = args.parse_or("n", 1000)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let sampler = make_sampler(args.required("sampler")?, args, &g, None)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes = sampler.sample(&g, n, &mut rng);
+    let mut out = String::with_capacity(nodes.len() * 8);
+    out.push_str("# cgte node sample\n");
+    for v in nodes {
+        out.push_str(&format!("{v}\n"));
+    }
+    save(args.get("out"), &out)
+}
+
+fn export(cg: &CategoryGraph, args: &Args) -> Result<(), CliError> {
+    let top_k: usize = args.parse_or("top-k", 0)?;
+    let opts = ExportOptions { top_k, ..Default::default() };
+    let content = match args.get("format").unwrap_or("report") {
+        "dot" => to_dot(cg, &opts),
+        "json" => to_json(cg, &opts),
+        "graphml" => to_graphml(cg, &opts),
+        "csv" => to_csv_edges(cg, &opts),
+        "report" => top_edges_report(cg, &opts, if top_k == 0 { 20 } else { top_k }),
+        other => return Err(format!("unknown format {other:?}").into()),
+    };
+    save(args.get("out"), &content)
+}
+
+fn cmd_exact(args: &Args) -> Result<(), CliError> {
+    let g = load_graph(args.required("graph")?)?;
+    let p = load_partition(args.required("cats")?, g.num_nodes())?;
+    let cg = CategoryGraph::exact(&g, &p);
+    export(&cg, args)
+}
+
+fn cmd_estimate(args: &Args) -> Result<(), CliError> {
+    let g = load_graph(args.required("graph")?)?;
+    let p = load_partition(args.required("cats")?, g.num_nodes())?;
+    let n: usize = args.parse_or("n", 1000)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let sampler = make_sampler(args.required("sampler")?, args, &g, Some(&p))?;
+    let design = match args.get("design").unwrap_or("weighted") {
+        "uniform" => Design::Uniform,
+        "weighted" => Design::Weighted,
+        other => return Err(format!("unknown design {other:?}").into()),
+    };
+    let size_method = match args.get("sizes").unwrap_or("star") {
+        "induced" => SizeMethod::Induced,
+        "star" => SizeMethod::Star(StarSizeOptions::default()),
+        other => return Err(format!("unknown size method {other:?}").into()),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes = sampler.sample(&g, n, &mut rng);
+    let star = StarSample::observe_sampler(&g, &p, &nodes, &sampler);
+    let est = CategoryGraphEstimator::new(design)
+        .size_method(size_method)
+        .estimate_star(&star, g.num_nodes() as f64);
+    eprintln!(
+        "estimated category graph: {} categories, {} edges from |S| = {n}",
+        est.num_categories(),
+        est.num_edges()
+    );
+    export(&est, args)
+}

@@ -1,0 +1,198 @@
+//! Bootstrap variance and confidence intervals (§5.3.2, the paper's \[9\]).
+//!
+//! The paper recommends choosing between size estimators by their variance,
+//! "estimated, e.g., using bootstrapping". Observations are resampled with
+//! replacement at the record level; induced edges are re-derived from the
+//! recorded ones, so no graph access is needed.
+
+use cgte_sampling::{InducedSample, StarSample};
+use rand::Rng;
+
+/// Summary of a bootstrap distribution of an estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapSummary {
+    /// Number of replicates on which the estimator was defined.
+    pub replicates: usize,
+    /// Mean of the defined replicate estimates.
+    pub mean: f64,
+    /// Sample standard deviation of the replicate estimates.
+    pub std_dev: f64,
+    /// Percentile confidence interval (lower, upper).
+    pub ci: (f64, f64),
+    /// The confidence level the interval was computed at.
+    pub level: f64,
+}
+
+fn summarize(mut estimates: Vec<f64>, level: f64) -> Option<BootstrapSummary> {
+    if estimates.is_empty() {
+        return None;
+    }
+    estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite estimates"));
+    let n = estimates.len();
+    let mean = estimates.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let tail = (1.0 - level) / 2.0;
+    let lo_idx = ((n as f64 - 1.0) * tail).round() as usize;
+    let hi_idx = ((n as f64 - 1.0) * (1.0 - tail)).round() as usize;
+    Some(BootstrapSummary {
+        replicates: n,
+        mean,
+        std_dev: var.sqrt(),
+        ci: (estimates[lo_idx], estimates[hi_idx]),
+        level,
+    })
+}
+
+fn resample_indices<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Vec<u32> {
+    (0..n).map(|_| rng.gen_range(0..n as u32)).collect()
+}
+
+/// Bootstraps an estimator over a [`StarSample`].
+///
+/// Runs `reps` record-level resamples and applies `estimator` to each;
+/// replicates where the estimator is undefined (`None`) are dropped.
+/// Returns `None` if the sample is empty, `reps == 0`, or the estimator was
+/// undefined on every replicate.
+///
+/// # Panics
+/// Panics if `level` is not in `(0, 1)`.
+pub fn bootstrap_star<R, F>(
+    sample: &StarSample,
+    reps: usize,
+    level: f64,
+    rng: &mut R,
+    estimator: F,
+) -> Option<BootstrapSummary>
+where
+    R: Rng + ?Sized,
+    F: Fn(&StarSample) -> Option<f64>,
+{
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    if sample.is_empty() || reps == 0 {
+        return None;
+    }
+    let estimates: Vec<f64> = (0..reps)
+        .filter_map(|_| {
+            let idx = resample_indices(sample.len(), rng);
+            estimator(&sample.subsample(&idx))
+        })
+        .collect();
+    summarize(estimates, level)
+}
+
+/// Bootstraps an estimator over an [`InducedSample`]; see [`bootstrap_star`].
+///
+/// # Panics
+/// Panics if `level` is not in `(0, 1)`.
+pub fn bootstrap_induced<R, F>(
+    sample: &InducedSample,
+    reps: usize,
+    level: f64,
+    rng: &mut R,
+    estimator: F,
+) -> Option<BootstrapSummary>
+where
+    R: Rng + ?Sized,
+    F: Fn(&InducedSample) -> Option<f64>,
+{
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    if sample.is_empty() || reps == 0 {
+        return None;
+    }
+    let estimates: Vec<f64> = (0..reps)
+        .filter_map(|_| {
+            let idx = resample_indices(sample.len(), rng);
+            estimator(&sample.subsample(&idx))
+        })
+        .collect();
+    summarize(estimates, level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category_size::{induced_size, star_size, StarSizeOptions};
+    use cgte_graph::generators::{planted_partition, PlantedConfig};
+    use cgte_sampling::{NodeSampler, UniformIndependence};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (cgte_graph::Graph, cgte_graph::Partition, StdRng) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = PlantedConfig { category_sizes: vec![100, 300], k: 6, alpha: 0.3 };
+        let pg = planted_partition(&cfg, &mut rng).unwrap();
+        (pg.graph, pg.partition, rng)
+    }
+
+    #[test]
+    fn ci_brackets_truth_most_of_the_time() {
+        let (g, p, mut rng) = setup();
+        let nodes = UniformIndependence.sample(&g, 800, &mut rng);
+        let s = cgte_sampling::StarSample::observe(&g, &p, &nodes);
+        let sum = bootstrap_star(&s, 200, 0.95, &mut rng, |s| {
+            star_size(s, 0, 400.0, &StarSizeOptions::default())
+        })
+        .unwrap();
+        assert!(sum.replicates > 150);
+        assert!(sum.std_dev > 0.0);
+        assert!(
+            sum.ci.0 <= 100.0 + 3.0 * sum.std_dev && sum.ci.1 >= 100.0 - 3.0 * sum.std_dev,
+            "CI {:?} too far from truth 100",
+            sum.ci
+        );
+        assert!(sum.ci.0 <= sum.mean && sum.mean <= sum.ci.1);
+    }
+
+    #[test]
+    fn induced_bootstrap_runs() {
+        let (g, p, mut rng) = setup();
+        let nodes = UniformIndependence.sample(&g, 400, &mut rng);
+        let s = cgte_sampling::InducedSample::observe(&g, &p, &nodes);
+        let sum =
+            bootstrap_induced(&s, 100, 0.9, &mut rng, |s| induced_size(s, 1, 400.0)).unwrap();
+        assert_eq!(sum.level, 0.9);
+        assert!((sum.mean - 300.0).abs() < 60.0, "mean {}", sum.mean);
+    }
+
+    #[test]
+    fn empty_sample_or_zero_reps_is_none() {
+        let (g, p, mut rng) = setup();
+        let s = cgte_sampling::StarSample::observe(&g, &p, &[]);
+        assert!(bootstrap_star(&s, 10, 0.95, &mut rng, |_| Some(1.0)).is_none());
+        let nodes = UniformIndependence.sample(&g, 10, &mut rng);
+        let s = cgte_sampling::StarSample::observe(&g, &p, &nodes);
+        assert!(bootstrap_star(&s, 0, 0.95, &mut rng, |_| Some(1.0)).is_none());
+    }
+
+    #[test]
+    fn all_undefined_replicates_is_none() {
+        let (g, p, mut rng) = setup();
+        let nodes = UniformIndependence.sample(&g, 10, &mut rng);
+        let s = cgte_sampling::StarSample::observe(&g, &p, &nodes);
+        assert!(bootstrap_star(&s, 50, 0.95, &mut rng, |_| None).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn invalid_level_panics() {
+        let (g, p, mut rng) = setup();
+        let nodes = UniformIndependence.sample(&g, 10, &mut rng);
+        let s = cgte_sampling::StarSample::observe(&g, &p, &nodes);
+        let _ = bootstrap_star(&s, 10, 1.5, &mut rng, |_| Some(1.0));
+    }
+
+    #[test]
+    fn constant_estimator_has_zero_variance() {
+        let (g, p, mut rng) = setup();
+        let nodes = UniformIndependence.sample(&g, 20, &mut rng);
+        let s = cgte_sampling::StarSample::observe(&g, &p, &nodes);
+        let sum = bootstrap_star(&s, 30, 0.95, &mut rng, |_| Some(7.0)).unwrap();
+        assert_eq!(sum.mean, 7.0);
+        assert_eq!(sum.std_dev, 0.0);
+        assert_eq!(sum.ci, (7.0, 7.0));
+    }
+}

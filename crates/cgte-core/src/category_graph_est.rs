@@ -1,0 +1,245 @@
+//! One-call estimation of the whole category graph (§7.2).
+
+use crate::category_size::{induced_sizes, star_sizes, StarSizeOptions};
+use crate::edge_weight::{induced_weights_all, star_weights_all};
+use cgte_graph::CategoryGraph;
+use cgte_sampling::{InducedSample, StarSample};
+
+/// Which estimator family to use — uniform (§4) or Hansen–Hurwitz weighted
+/// (§5).
+///
+/// `Uniform` *ignores* the weights recorded in the sample and treats every
+/// draw as equally likely (correct for UIS and converged MHRW); `Weighted`
+/// divides by the recorded `w(v)` (correct for WIS, RW, S-WRW). Applying
+/// `Uniform` to a degree-biased sample reproduces the uncorrected distortion
+/// the paper warns about in §5 — useful for demonstrations, wrong for
+/// inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Design {
+    /// Treat the sample as uniform (unit weights).
+    Uniform,
+    /// Correct for the recorded sampling weights (default).
+    #[default]
+    Weighted,
+}
+
+/// Which size estimator feeds the star edge-weight denominator (§5.3.2
+/// recommends choosing the lower-variance one per application).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeMethod {
+    /// Counting estimator, Eq. (4)/(11).
+    Induced,
+    /// Star estimator, Eq. (5)/(12), with its options.
+    Star(StarSizeOptions),
+}
+
+/// Estimates a full [`CategoryGraph`] — all category sizes and all pairwise
+/// edge weights — from one observed sample.
+///
+/// ```
+/// use cgte_core::{CategoryGraphEstimator, Design};
+/// use cgte_graph::{GraphBuilder, Partition, CategoryGraph};
+/// use cgte_sampling::StarSample;
+///
+/// let g = GraphBuilder::from_edges(6,
+///     [(0,1),(1,2),(0,2),(3,4),(4,5),(3,5),(2,3)]).unwrap();
+/// let p = Partition::from_assignments(vec![0,0,0,1,1,1], 2).unwrap();
+/// let full: Vec<u32> = (0..6).collect();
+/// let s = StarSample::observe(&g, &p, &full);
+/// let est = CategoryGraphEstimator::new(Design::Uniform).estimate_star(&s, 6.0);
+/// let truth = CategoryGraph::exact(&g, &p);
+/// assert!((est.weight(0, 1) - truth.weight(0, 1)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CategoryGraphEstimator {
+    design: Design,
+    size_method: SizeMethod,
+}
+
+impl CategoryGraphEstimator {
+    /// Estimator with the given design and the star size method (the §7.3.3
+    /// default for star data).
+    pub fn new(design: Design) -> Self {
+        CategoryGraphEstimator {
+            design,
+            size_method: SizeMethod::Star(StarSizeOptions::default()),
+        }
+    }
+
+    /// Overrides the size estimator feeding the edge-weight denominators.
+    pub fn size_method(mut self, m: SizeMethod) -> Self {
+        self.size_method = m;
+        self
+    }
+
+    /// The configured design.
+    pub fn design(&self) -> Design {
+        self.design
+    }
+
+    /// Estimates the category graph from an induced-subgraph observation:
+    /// sizes via Eq. (4)/(11) (the only size estimator available without
+    /// star information), weights via Eq. (8)/(15).
+    ///
+    /// Categories without samples get size 0; category pairs without
+    /// observed edges get no edge.
+    pub fn estimate_induced(&self, sample: &InducedSample, population: f64) -> CategoryGraph {
+        let s_owned;
+        let s = match self.design {
+            Design::Uniform => {
+                s_owned = sample.with_unit_weights();
+                &s_owned
+            }
+            Design::Weighted => sample,
+        };
+        let sizes =
+            induced_sizes(s, population).unwrap_or_else(|| vec![0.0; s.num_categories()]);
+        let weights = induced_weights_all(s);
+        CategoryGraph::from_weights(sizes, weights)
+    }
+
+    /// Estimates the category graph from a star observation: sizes via the
+    /// configured [`SizeMethod`], weights via Eq. (9)/(16) with those sizes
+    /// plugged into the denominators.
+    ///
+    /// Categories whose size estimator is undefined (e.g. star plug-in with
+    /// no samples from the category) fall back to the induced size; if that
+    /// is also unavailable the size is 0 and incident edges are dropped.
+    pub fn estimate_star(&self, sample: &StarSample, population: f64) -> CategoryGraph {
+        let s_owned;
+        let s = match self.design {
+            Design::Uniform => {
+                s_owned = sample.with_unit_weights();
+                &s_owned
+            }
+            Design::Weighted => sample,
+        };
+        let num_c = s.num_categories();
+        let fallback = induced_sizes(s, population).unwrap_or_else(|| vec![0.0; num_c]);
+        let sizes: Vec<f64> = match self.size_method {
+            SizeMethod::Induced => fallback,
+            SizeMethod::Star(opts) => star_sizes(s, population, &opts)
+                .into_iter()
+                .zip(fallback)
+                .map(|(star, ind)| star.unwrap_or(ind))
+                .collect(),
+        };
+        let weights = star_weights_all(s, &sizes);
+        CategoryGraph::from_weights(sizes, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgte_graph::generators::{planted_partition, PlantedConfig};
+    use cgte_graph::{Graph, GraphBuilder, Partition};
+    use cgte_sampling::{NodeSampler, RandomWalk, UniformIndependence};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (Graph, Partition) {
+        let g = GraphBuilder::from_edges(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        (g, p)
+    }
+
+    #[test]
+    fn full_uniform_sample_recovers_truth_induced() {
+        let (g, p) = fixture();
+        let all: Vec<u32> = (0..6).collect();
+        let s = cgte_sampling::InducedSample::observe(&g, &p, &all);
+        let est = CategoryGraphEstimator::new(Design::Uniform).estimate_induced(&s, 6.0);
+        let truth = cgte_graph::CategoryGraph::exact(&g, &p);
+        assert!((est.size(0) - 3.0).abs() < 1e-9);
+        assert!((est.weight(0, 1) - truth.weight(0, 1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_uniform_sample_recovers_truth_star() {
+        let (g, p) = fixture();
+        let all: Vec<u32> = (0..6).collect();
+        let s = cgte_sampling::StarSample::observe(&g, &p, &all);
+        for method in [SizeMethod::Induced, SizeMethod::Star(StarSizeOptions::default())] {
+            let est = CategoryGraphEstimator::new(Design::Uniform)
+                .size_method(method)
+                .estimate_star(&s, 6.0);
+            assert!((est.size(1) - 3.0).abs() < 1e-9, "{method:?}");
+            assert!((est.weight(0, 1) - 1.0 / 9.0).abs() < 1e-9, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn unsampled_categories_get_zero_size_and_no_edges() {
+        let (g, p) = fixture();
+        let s = cgte_sampling::InducedSample::observe(&g, &p, &[0, 1]);
+        let est = CategoryGraphEstimator::new(Design::Uniform).estimate_induced(&s, 6.0);
+        assert_eq!(est.size(1), 0.0);
+        assert_eq!(est.num_edges(), 0);
+    }
+
+    #[test]
+    fn star_fallback_to_induced_size() {
+        let (g, p) = fixture();
+        // Category 1 never sampled: star plug-in size undefined, induced
+        // fallback gives 0; the edge is dropped (denominator would be
+        // mass_0 * 0 + 0 * size_0 = 0).
+        let s = cgte_sampling::StarSample::observe(&g, &p, &[0, 1]);
+        let est = CategoryGraphEstimator::new(Design::Uniform).estimate_star(&s, 6.0);
+        assert_eq!(est.size(1), 0.0);
+    }
+
+    #[test]
+    fn weighted_design_beats_uncorrected_on_rw() {
+        // RW without correction inflates big/high-degree categories; the
+        // Weighted design must be closer to the truth than Uniform on the
+        // same degree-biased sample.
+        let mut rng = StdRng::seed_from_u64(11);
+        let cfg = PlantedConfig { category_sizes: vec![60, 540], k: 6, alpha: 0.1 };
+        let pg = planted_partition(&cfg, &mut rng).unwrap();
+        let rw = RandomWalk::new().burn_in(300);
+        let nodes = rw.sample(&pg.graph, 5000, &mut rng);
+        let s = cgte_sampling::StarSample::observe_sampler(
+            &pg.graph,
+            &pg.partition,
+            &nodes,
+            &rw,
+        );
+        let n = pg.graph.num_nodes() as f64;
+        let corrected = CategoryGraphEstimator::new(Design::Weighted).estimate_star(&s, n);
+        let uncorrected = CategoryGraphEstimator::new(Design::Uniform).estimate_star(&s, n);
+        let err_c = (corrected.size(0) - 60.0).abs();
+        let err_u = (uncorrected.size(0) - 60.0).abs();
+        // Note: sizes are mildly biased either way on one draw; compare errors.
+        assert!(
+            err_c <= err_u + 5.0,
+            "corrected {err_c} should not be worse than uncorrected {err_u}"
+        );
+    }
+
+    #[test]
+    fn estimated_graph_close_to_truth_at_scale() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let cfg = PlantedConfig { category_sizes: vec![100, 200, 400], k: 10, alpha: 0.4 };
+        let pg = planted_partition(&cfg, &mut rng).unwrap();
+        let truth = cgte_graph::CategoryGraph::exact(&pg.graph, &pg.partition);
+        let nodes = UniformIndependence.sample(&pg.graph, 3000, &mut rng);
+        let s = cgte_sampling::StarSample::observe(&pg.graph, &pg.partition, &nodes);
+        let est = CategoryGraphEstimator::new(Design::Uniform)
+            .estimate_star(&s, pg.graph.num_nodes() as f64);
+        for a in 0..3u32 {
+            for b in (a + 1)..3u32 {
+                let t = truth.weight(a, b);
+                let e = est.weight(a, b);
+                assert!(
+                    (e - t).abs() / t < 0.2,
+                    "pair ({a},{b}): est {e} vs truth {t}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Hansen–Hurwitz estimation machinery (Eq. (10), §5.1).
+//!
+//! A weighted with-replacement sample, where node `v` is drawn with
+//! probability `π(v) ∝ w(v)`, estimates a population total
+//! `x_tot = Σ_v x(v)` by `x̂_tot = (1/n) Σ_{v∈S} x(v)/π(v)` \[25\]. In
+//! practice only the unnormalized weights `w(v)` are known; taking the
+//! *ratio* of two such totals cancels the unknown constant (§5.1), which is
+//! the form every estimator in this crate uses.
+
+/// The "re-weighted size" `w⁻¹(X) = Σ_{v∈X} 1/w(v)` of a sample multiset
+/// (§5.2.1).
+///
+/// With unit weights this is simply `|X|`.
+///
+/// # Panics
+/// Panics (in debug builds) if a weight is non-positive; samplers never
+/// report non-positive weights for nodes they can actually sample.
+pub fn reweighted_size(weights: &[f64]) -> f64 {
+    debug_assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+    weights.iter().map(|&w| 1.0 / w).sum()
+}
+
+/// Hansen–Hurwitz estimator of a ratio of two population totals
+/// `Σ x(v) / Σ y(v)` from per-sample values and weights:
+/// `(Σ_i x_i/w_i) / (Σ_i y_i/w_i)`.
+///
+/// Returns `None` when the denominator is zero (the ratio is undefined on
+/// this sample). The `1/n` factors of Eq. (10) cancel, as does the unknown
+/// proportionality constant of the weights.
+pub fn hh_ratio<I>(samples: I) -> Option<f64>
+where
+    I: IntoIterator<Item = (f64, f64, f64)>, // (x, y, w)
+{
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y, w) in samples {
+        num += x / w;
+        den += y / w;
+    }
+    if den == 0.0 {
+        None
+    } else {
+        Some(num / den)
+    }
+}
+
+/// Hansen–Hurwitz estimate of a population *mean* `x̄ = Σ x(v) / N` from a
+/// weighted sample: `(Σ x_i/w_i) / (Σ 1/w_i)`.
+///
+/// This is [`hh_ratio`] with `y ≡ 1`; the paper's `k̂_V` and `k̂_A`
+/// (Eq. (6)/(14)) are this estimator applied to degrees.
+pub fn hh_mean<I>(samples: I) -> Option<f64>
+where
+    I: IntoIterator<Item = (f64, f64)>, // (x, w)
+{
+    hh_ratio(samples.into_iter().map(|(x, w)| (x, 1.0, w)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reweighted_size_unit_weights_is_count() {
+        assert_eq!(reweighted_size(&[1.0; 7]), 7.0);
+        assert_eq!(reweighted_size(&[]), 0.0);
+    }
+
+    #[test]
+    fn reweighted_size_inverts_weights() {
+        let w = [2.0, 4.0];
+        assert!((reweighted_size(&w) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hh_ratio_cancels_weight_scale() {
+        let samples = [(1.0, 2.0, 3.0), (4.0, 5.0, 6.0)];
+        let r1 = hh_ratio(samples.iter().copied()).unwrap();
+        let scaled: Vec<_> = samples.iter().map(|&(x, y, w)| (x, y, 10.0 * w)).collect();
+        let r2 = hh_ratio(scaled).unwrap();
+        assert!((r1 - r2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hh_ratio_empty_or_zero_denominator_is_none() {
+        assert_eq!(hh_ratio(std::iter::empty()), None);
+        assert_eq!(hh_ratio([(1.0, 0.0, 1.0)]), None);
+    }
+
+    #[test]
+    fn hh_mean_uniform_weights_is_plain_mean() {
+        let m = hh_mean([(2.0, 1.0), (4.0, 1.0), (9.0, 1.0)]).unwrap();
+        assert!((m - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hh_mean_corrects_oversampling() {
+        // Population {10, 20}; node with value 20 sampled 4x as often
+        // (weight 4). Sample frequencies at stationarity: one draw of each
+        // value per (1,4) weights. The HH mean must return the true mean 15
+        // given a perfectly representative weighted sample.
+        // Representative sample: value 10 once (w=1), value 20 four times (w=4).
+        let samples = [(10.0, 1.0), (20.0, 4.0), (20.0, 4.0), (20.0, 4.0), (20.0, 4.0)];
+        let m = hh_mean(samples).unwrap();
+        assert!((m - 15.0).abs() < 1e-12, "got {m}");
+    }
+}

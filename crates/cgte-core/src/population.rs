@@ -1,0 +1,133 @@
+//! Population size estimation (§4.3).
+//!
+//! Category size estimation needs `N = |V|`. When the operator does not
+//! publish it, `N` can be estimated from sample collisions — the "reversed
+//! coupon collector" of the paper's \[33\] (Katzir, Liberty & Somekh,
+//! WWW'11): in a with-replacement sample, the same node reappearing is
+//! evidence about the population size.
+//!
+//! For a degree-weighted sample (RW/WIS), the estimator is
+//! `N̂ = (Σ_i d_i)(Σ_i 1/d_i) / (2·C)`, where `C` is the number of
+//! colliding sample pairs; under uniform sampling the degree sums cancel
+//! into the birthday-paradox form `N̂ = n(n−1)/(2·C)`.
+
+use cgte_graph::NodeId;
+use std::collections::HashMap;
+
+/// Number of colliding pairs in a multiset of node ids:
+/// `C = Σ_v (m_v choose 2)` over the multiplicity `m_v` of each node.
+pub fn collision_pairs(nodes: &[NodeId]) -> u64 {
+    let mut mult: HashMap<NodeId, u64> = HashMap::new();
+    for &v in nodes {
+        *mult.entry(v).or_insert(0) += 1;
+    }
+    mult.values().map(|&m| m * (m - 1) / 2).sum()
+}
+
+/// Birthday-paradox estimator of `N` for a **uniform** with-replacement
+/// sample: `N̂ = n(n−1) / (2·C)`.
+///
+/// Returns `None` when no collision occurred (the sample carries no
+/// information about `N` yet — try a larger sample).
+pub fn population_size_uniform(nodes: &[NodeId]) -> Option<f64> {
+    let n = nodes.len() as f64;
+    let c = collision_pairs(nodes);
+    if c == 0 {
+        return None;
+    }
+    Some(n * (n - 1.0) / (2.0 * c as f64))
+}
+
+/// Katzir-style estimator of `N` for a **degree-weighted** with-replacement
+/// sample (RW at stationarity, or degree-proportional WIS):
+/// `N̂ = (Σ_i d_i)(Σ_i 1/d_i) / (2·C)`.
+///
+/// `degrees[i]` is the degree of the i-th sample. Returns `None` when no
+/// collision occurred or the inputs are degenerate (mismatched lengths,
+/// zero degrees).
+pub fn population_size_weighted(nodes: &[NodeId], degrees: &[u32]) -> Option<f64> {
+    if nodes.len() != degrees.len() || degrees.iter().any(|&d| d == 0) {
+        return None;
+    }
+    let c = collision_pairs(nodes);
+    if c == 0 {
+        return None;
+    }
+    let sum_d: f64 = degrees.iter().map(|&d| d as f64).sum();
+    let sum_inv: f64 = degrees.iter().map(|&d| 1.0 / d as f64).sum();
+    Some(sum_d * sum_inv / (2.0 * c as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgte_graph::generators::{planted_partition, PlantedConfig};
+    use cgte_sampling::{NodeSampler, RandomWalk, UniformIndependence};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn collision_pairs_counts_combinations() {
+        assert_eq!(collision_pairs(&[]), 0);
+        assert_eq!(collision_pairs(&[1, 2, 3]), 0);
+        assert_eq!(collision_pairs(&[1, 1]), 1);
+        assert_eq!(collision_pairs(&[1, 1, 1]), 3);
+        assert_eq!(collision_pairs(&[1, 1, 2, 2, 2]), 1 + 3);
+    }
+
+    #[test]
+    fn no_collisions_is_none() {
+        assert_eq!(population_size_uniform(&[1, 2, 3]), None);
+        assert_eq!(population_size_weighted(&[1, 2], &[3, 3]), None);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert_eq!(population_size_weighted(&[1, 1], &[3]), None);
+        assert_eq!(population_size_weighted(&[1, 1], &[0, 3]), None);
+    }
+
+    #[test]
+    fn uniform_estimator_recovers_population() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n_true = 2000.0;
+        // Direct uniform draws over 0..2000 (graph structure irrelevant).
+        use rand::Rng;
+        let nodes: Vec<NodeId> = (0..1500).map(|_| rng.gen_range(0..2000)).collect();
+        let est = population_size_uniform(&nodes).unwrap();
+        assert!(
+            (est - n_true).abs() / n_true < 0.2,
+            "est {est} vs true {n_true}"
+        );
+    }
+
+    #[test]
+    fn weighted_estimator_recovers_population_from_rw() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = PlantedConfig { category_sizes: vec![300, 600, 900], k: 8, alpha: 0.5 };
+        let pg = planted_partition(&cfg, &mut rng).unwrap();
+        let n_true = pg.graph.num_nodes() as f64;
+        let rw = RandomWalk::new().burn_in(500).thinning(3);
+        let nodes = rw.sample(&pg.graph, 3000, &mut rng);
+        let degrees: Vec<u32> = nodes.iter().map(|&v| pg.graph.degree(v) as u32).collect();
+        let est = population_size_weighted(&nodes, &degrees).unwrap();
+        assert!(
+            (est - n_true).abs() / n_true < 0.25,
+            "est {est} vs true {n_true}"
+        );
+    }
+
+    #[test]
+    fn uniform_estimator_from_uis_on_graph() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = PlantedConfig { category_sizes: vec![500, 500], k: 6, alpha: 0.0 };
+        let pg = planted_partition(&cfg, &mut rng).unwrap();
+        let nodes = UniformIndependence.sample(&pg.graph, 800, &mut rng);
+        let est = population_size_uniform(&nodes).unwrap();
+        let n_true = 1000.0;
+        assert!(
+            (est - n_true).abs() / n_true < 0.35,
+            "est {est} vs true {n_true}"
+        );
+    }
+}

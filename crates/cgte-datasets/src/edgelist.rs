@@ -1,0 +1,243 @@
+//! Edge-list and category-file parsing (SNAP-compatible).
+//!
+//! Format: one `u v` pair per line, whitespace-separated; lines starting
+//! with `#` or `%` are comments. Category files are `node category` pairs.
+//! Self-loops are dropped on read (the model is a simple graph), duplicate
+//! edges are collapsed.
+
+use cgte_graph::{CategoryId, Graph, GraphBuilder, NodeId, Partition};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors from dataset parsing.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A line that could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io(e) => write!(f, "io error: {e}"),
+            DatasetError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl From<io::Error> for DatasetError {
+    fn from(e: io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+fn parse_pair(line: &str, lineno: usize) -> Result<Option<(u64, u64)>, DatasetError> {
+    let t = line.trim();
+    if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+        return Ok(None);
+    }
+    let mut it = t.split_whitespace();
+    let a = it.next().ok_or_else(|| DatasetError::Parse {
+        line: lineno,
+        reason: "missing first field".into(),
+    })?;
+    let b = it.next().ok_or_else(|| DatasetError::Parse {
+        line: lineno,
+        reason: "missing second field".into(),
+    })?;
+    if it.next().is_some() {
+        return Err(DatasetError::Parse { line: lineno, reason: "more than two fields".into() });
+    }
+    let a: u64 = a.parse().map_err(|_| DatasetError::Parse {
+        line: lineno,
+        reason: format!("not an integer: {a:?}"),
+    })?;
+    let b: u64 = b.parse().map_err(|_| DatasetError::Parse {
+        line: lineno,
+        reason: format!("not an integer: {b:?}"),
+    })?;
+    Ok(Some((a, b)))
+}
+
+/// Reads an edge list. Node ids may be sparse; the graph has `max_id + 1`
+/// nodes (isolated ids included), matching SNAP conventions.
+///
+/// Self-loops are skipped, duplicates collapsed.
+pub fn read_edgelist<R: BufRead>(r: R) -> Result<Graph, DatasetError> {
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if let Some((a, b)) = parse_pair(&line, i + 1)? {
+            if a > NodeId::MAX as u64 || b > NodeId::MAX as u64 {
+                return Err(DatasetError::Parse {
+                    line: i + 1,
+                    reason: format!("node id too large: {}", a.max(b)),
+                });
+            }
+            max_id = max_id.max(a).max(b);
+            if a != b {
+                edges.push((a as NodeId, b as NodeId));
+            }
+        }
+    }
+    let n = if edges.is_empty() && max_id == 0 { 0 } else { max_id as usize + 1 };
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v).expect("ids bounded by max_id");
+    }
+    Ok(b.build())
+}
+
+/// Writes a graph as an edge list with a descriptive header comment.
+pub fn write_edgelist<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
+    writeln!(w, "# cgte edge list: {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Reads a `node category` file into a [`Partition`] covering `num_nodes`
+/// nodes.
+///
+/// Nodes absent from the file land in an implicit extra "unlabeled"
+/// category appended after the largest mentioned category id (only if any
+/// node is unlabeled).
+pub fn read_categories<R: BufRead>(r: R, num_nodes: usize) -> Result<Partition, DatasetError> {
+    let mut assignment: Vec<Option<CategoryId>> = vec![None; num_nodes];
+    let mut max_cat: u64 = 0;
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if let Some((v, c)) = parse_pair(&line, i + 1)? {
+            if v as usize >= num_nodes {
+                return Err(DatasetError::Parse {
+                    line: i + 1,
+                    reason: format!("node {v} out of range ({num_nodes} nodes)"),
+                });
+            }
+            if c > CategoryId::MAX as u64 {
+                return Err(DatasetError::Parse {
+                    line: i + 1,
+                    reason: format!("category id too large: {c}"),
+                });
+            }
+            assignment[v as usize] = Some(c as CategoryId);
+            max_cat = max_cat.max(c);
+        }
+    }
+    let has_unlabeled = assignment.iter().any(Option::is_none);
+    let unlabeled_cat = (max_cat + 1) as CategoryId;
+    let full: Vec<CategoryId> = assignment
+        .into_iter()
+        .map(|a| a.unwrap_or(unlabeled_cat))
+        .collect();
+    let num_categories = max_cat as usize + 1 + usize::from(has_unlabeled);
+    Partition::from_assignments(full, num_categories).map_err(|e| DatasetError::Parse {
+        line: 0,
+        reason: e.to_string(),
+    })
+}
+
+/// Writes a partition as a `node category` file.
+pub fn write_categories<W: Write>(p: &Partition, mut w: W) -> io::Result<()> {
+    writeln!(
+        w,
+        "# cgte categories: {} nodes, {} categories",
+        p.num_nodes(),
+        p.num_categories()
+    )?;
+    for (v, &c) in p.assignments().iter().enumerate() {
+        writeln!(w, "{v} {c}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip_edgelist() {
+        let g = GraphBuilder::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let mut buf = Vec::new();
+        write_edgelist(&g, &mut buf).unwrap();
+        let g2 = read_edgelist(Cursor::new(buf)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn read_skips_comments_blanks_selfloops_duplicates() {
+        let text = "# header\n% also comment\n\n0 1\n1 0\n2 2\n1 2\n";
+        let g = read_edgelist(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2); // (0,1) deduped, (2,2) dropped
+    }
+
+    #[test]
+    fn read_reports_parse_errors_with_line_numbers() {
+        let err = read_edgelist(Cursor::new("0 1\nfoo bar\n")).unwrap_err();
+        match err {
+            DatasetError::Parse { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("foo"));
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        assert!(read_edgelist(Cursor::new("0\n")).is_err());
+        assert!(read_edgelist(Cursor::new("0 1 2\n")).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let g = read_edgelist(Cursor::new("# nothing\n")).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+
+    #[test]
+    fn sparse_ids_create_isolated_nodes() {
+        let g = read_edgelist(Cursor::new("0 5\n")).unwrap();
+        assert_eq!(g.num_nodes(), 6);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn round_trip_categories() {
+        let p = Partition::from_assignments(vec![0, 2, 1, 2], 3).unwrap();
+        let mut buf = Vec::new();
+        write_categories(&p, &mut buf).unwrap();
+        let p2 = read_categories(Cursor::new(buf), 4).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn unlabeled_nodes_get_extra_category() {
+        let p = read_categories(Cursor::new("0 0\n2 1\n"), 4).unwrap();
+        assert_eq!(p.num_categories(), 3); // cats 0, 1 + unlabeled 2
+        assert_eq!(p.category_of(1), 2);
+        assert_eq!(p.category_of(3), 2);
+    }
+
+    #[test]
+    fn category_node_out_of_range_rejected() {
+        assert!(read_categories(Cursor::new("9 0\n"), 3).is_err());
+    }
+
+    #[test]
+    fn error_display_formats() {
+        let e = DatasetError::Parse { line: 3, reason: "bad".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e: DatasetError = io::Error::new(io::ErrorKind::Other, "disk").into();
+        assert!(e.to_string().contains("disk"));
+    }
+}

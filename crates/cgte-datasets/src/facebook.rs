@@ -1,0 +1,536 @@
+//! A Facebook-like population simulator and crawl-dataset builder (§7).
+//!
+//! The paper's §7 applies the estimators to proprietary crawls of Facebook
+//! (Table 2): 2009 datasets with 507 *regional networks* covering ~34 % of
+//! users, and 2010 datasets with 10 000+ small *college* networks covering
+//! ~3.5 %. Those crawls cannot be redistributed, so this module simulates a
+//! population with the same structure — Zipf-sized regions and colleges,
+//! power-law degrees, homophilous edges, partial declaration — and then
+//! runs the *same* crawl types (UIS, RW, MHRW, S-WRW) our `cgte-sampling`
+//! crate implements, producing multi-walk datasets with the Table 2 shape.
+//! Ground truth is known by construction, so the Fig. 5/6/7 analogues can
+//! be evaluated exactly.
+
+use cgte_graph::algorithms::giant_component;
+use cgte_graph::generators::{powerlaw_weights, scale_to_mean};
+use cgte_graph::{CategoryId, Graph, GraphBuilder, NodeId, Partition};
+use cgte_sampling::{
+    run_walks, MetropolisHastingsWalk, MultiWalkSample, RandomWalk, Swrw, UniformIndependence,
+};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits `total` into `k` Zipf-distributed sizes (`size_i ∝ (i+1)^-s`),
+/// each at least 1, summing exactly to `total`.
+///
+/// # Panics
+/// Panics if `k == 0` or `total < k`.
+pub fn zipf_sizes(total: usize, k: usize, s: f64) -> Vec<usize> {
+    assert!(k > 0, "need at least one category");
+    assert!(total >= k, "need at least one member per category");
+    let raw: Vec<f64> = (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
+    let z: f64 = raw.iter().sum();
+    let spare = total - k;
+    let mut sizes: Vec<usize> = raw.iter().map(|r| 1 + (r / z * spare as f64) as usize).collect();
+    // Distribute rounding leftovers to the largest categories.
+    let mut assigned: usize = sizes.iter().sum();
+    let mut i = 0;
+    while assigned < total {
+        sizes[i % k] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    sizes
+}
+
+/// Configuration of the simulated population.
+#[derive(Debug, Clone)]
+pub struct FacebookSimConfig {
+    /// Number of users (the paper's crawls cover a 100M+ graph; default is
+    /// laptop-scale and every experiment binary accepts `--full`).
+    pub num_users: usize,
+    /// Number of regional networks ("2009" categories; paper: 507).
+    pub num_regions: usize,
+    /// Number of countries the regions are merged into for §7.3.1.
+    pub num_countries: usize,
+    /// Fraction of users declaring a region (paper: ~34 %).
+    pub region_declared_fraction: f64,
+    /// Number of college networks ("2010" categories; paper: 10 000+).
+    pub num_colleges: usize,
+    /// Fraction of users in a college (paper: ~3.5 %).
+    pub college_fraction: f64,
+    /// Mean degree of the friendship graph.
+    pub mean_degree: f64,
+    /// Power-law exponent of the degree-weight distribution.
+    pub gamma: f64,
+    /// Fraction of a declared user's expected degree spent inside their
+    /// region (homophily; drives the non-trivial category graph).
+    pub region_homophily: f64,
+    /// Additional within-college degree fraction for college members.
+    pub college_homophily: f64,
+    /// Zipf exponent for region and college sizes.
+    pub zipf_exponent: f64,
+}
+
+impl Default for FacebookSimConfig {
+    fn default() -> Self {
+        FacebookSimConfig {
+            num_users: 100_000,
+            num_regions: 507,
+            num_countries: 60,
+            region_declared_fraction: 0.34,
+            num_colleges: 1000,
+            college_fraction: 0.035,
+            mean_degree: 20.0,
+            gamma: 2.4,
+            region_homophily: 0.5,
+            college_homophily: 0.25,
+            zipf_exponent: 0.9,
+        }
+    }
+}
+
+impl FacebookSimConfig {
+    /// A small configuration for tests and `--quick` runs.
+    pub fn quick() -> Self {
+        FacebookSimConfig {
+            num_users: 8_000,
+            num_regions: 40,
+            num_countries: 8,
+            num_colleges: 60,
+            ..Default::default()
+        }
+    }
+}
+
+/// The simulated population: friendship graph plus the two category systems
+/// of the paper's datasets.
+#[derive(Debug, Clone)]
+pub struct FacebookSim {
+    /// Friendship graph (giant component).
+    pub graph: Graph,
+    /// Region partition: categories `0..num_regions` are declared regions
+    /// (descending size), category `num_regions` is "undeclared".
+    pub regions: Partition,
+    /// College partition: categories `0..num_colleges` are colleges
+    /// (descending size), category `num_colleges` is "no college".
+    pub colleges: Partition,
+    /// Country of each declared region (for §7.3.1 merging); the undeclared
+    /// pseudo-region maps to country `num_countries`.
+    pub region_to_country: Vec<CategoryId>,
+    config: FacebookSimConfig,
+}
+
+use crate::layered::chung_lu_over;
+
+impl FacebookSim {
+    /// Generates a population from `config`.
+    ///
+    /// # Panics
+    /// Panics if the homophily fractions sum to ≥ 1 or counts are
+    /// infeasible.
+    pub fn generate<R: Rng + ?Sized>(config: &FacebookSimConfig, rng: &mut R) -> Self {
+        let c = config;
+        assert!(
+            c.region_homophily + c.college_homophily < 1.0,
+            "homophily fractions must leave room for global edges"
+        );
+        let n = c.num_users;
+        let declared = ((n as f64) * c.region_declared_fraction).round() as usize;
+        assert!(declared >= c.num_regions, "too many regions for declared users");
+        let collegiate = ((n as f64) * c.college_fraction).round() as usize;
+        assert!(collegiate >= c.num_colleges, "too many colleges for members");
+
+        // Degree weights.
+        let w_max = (n as f64).sqrt() * c.mean_degree;
+        let mut w = powerlaw_weights(n, c.gamma, 1.0, w_max, rng);
+        scale_to_mean(&mut w, c.mean_degree);
+
+        // Region assignment: a random `declared` subset, Zipf sizes.
+        let mut users: Vec<NodeId> = (0..n as NodeId).collect();
+        users.shuffle(rng);
+        let mut region_of = vec![c.num_regions as CategoryId; n];
+        let rsizes = zipf_sizes(declared, c.num_regions, c.zipf_exponent);
+        let mut cursor = 0;
+        for (r, &s) in rsizes.iter().enumerate() {
+            for &u in &users[cursor..cursor + s] {
+                region_of[u as usize] = r as CategoryId;
+            }
+            cursor += s;
+        }
+
+        // College assignment: an independent random subset, Zipf sizes.
+        users.shuffle(rng);
+        let mut college_of = vec![c.num_colleges as CategoryId; n];
+        let csizes = zipf_sizes(collegiate, c.num_colleges, c.zipf_exponent);
+        let mut cursor = 0;
+        for (k, &s) in csizes.iter().enumerate() {
+            for &u in &users[cursor..cursor + s] {
+                college_of[u as usize] = k as CategoryId;
+            }
+            cursor += s;
+        }
+
+        // Edges: global + within-region + within-college Chung–Lu layers.
+        let mut b = GraphBuilder::with_capacity(n, (n as f64 * c.mean_degree / 2.0) as usize);
+        let global_w: Vec<f64> = (0..n)
+            .map(|v| {
+                let mut frac = 1.0;
+                if region_of[v] != c.num_regions as CategoryId {
+                    frac -= c.region_homophily;
+                }
+                if college_of[v] != c.num_colleges as CategoryId {
+                    frac -= c.college_homophily;
+                }
+                w[v] * frac
+            })
+            .collect();
+        chung_lu_over(&(0..n as NodeId).collect::<Vec<_>>(), &global_w, &mut b, rng);
+        let mut region_members: Vec<Vec<NodeId>> = vec![Vec::new(); c.num_regions];
+        for v in 0..n {
+            let r = region_of[v] as usize;
+            if r < c.num_regions {
+                region_members[r].push(v as NodeId);
+            }
+        }
+        for members in &region_members {
+            let wts: Vec<f64> = members
+                .iter()
+                .map(|&v| w[v as usize] * c.region_homophily)
+                .collect();
+            chung_lu_over(members, &wts, &mut b, rng);
+        }
+        let mut college_members: Vec<Vec<NodeId>> = vec![Vec::new(); c.num_colleges];
+        for v in 0..n {
+            let k = college_of[v] as usize;
+            if k < c.num_colleges {
+                college_members[k].push(v as NodeId);
+            }
+        }
+        for members in &college_members {
+            let wts: Vec<f64> = members
+                .iter()
+                .map(|&v| w[v as usize] * c.college_homophily)
+                .collect();
+            chung_lu_over(members, &wts, &mut b, rng);
+        }
+
+        // Keep the giant component, remapping both partitions.
+        let full = b.build();
+        let (graph, old_ids) = giant_component(&full);
+        let regions = Partition::from_assignments(
+            old_ids.iter().map(|&v| region_of[v as usize]).collect(),
+            c.num_regions + 1,
+        )
+        .expect("region ids in range");
+        let colleges = Partition::from_assignments(
+            old_ids.iter().map(|&v| college_of[v as usize]).collect(),
+            c.num_colleges + 1,
+        )
+        .expect("college ids in range");
+
+        // Regions → countries: contiguous blocks of the Zipf rank order, so
+        // each country mixes one large region with smaller ones.
+        let region_to_country: Vec<CategoryId> = (0..c.num_regions)
+            .map(|r| (r % c.num_countries) as CategoryId)
+            .collect();
+
+        FacebookSim { graph, regions, colleges, region_to_country, config: c.clone() }
+    }
+
+    /// The configuration this population was generated from.
+    pub fn config(&self) -> &FacebookSimConfig {
+        &self.config
+    }
+
+    /// The country partition of §7.3.1: declared regions merged into
+    /// countries, undeclared users in country `num_countries`.
+    pub fn countries(&self) -> Partition {
+        let nc = self.config.num_countries;
+        let mut map: Vec<CategoryId> = self.region_to_country.clone();
+        map.push(nc as CategoryId); // undeclared pseudo-region
+        self.regions.merge(&map, nc + 1).expect("country map covers regions")
+    }
+
+    /// Runs the 2009-style crawls of Table 2: UIS, RW and MHRW multi-walk
+    /// datasets over the region categories. UIS collects about half the
+    /// samples of the walk crawls, as in the paper.
+    pub fn crawl_2009<R: Rng + ?Sized>(
+        &self,
+        num_walks: usize,
+        per_walk: usize,
+        rng: &mut R,
+    ) -> Vec<CrawlDataset> {
+        let burn = (per_walk / 10).max(100);
+        vec![
+            CrawlDataset {
+                name: "MHRW09".into(),
+                crawl: CrawlType::Mhrw,
+                walks: run_walks(
+                    &MetropolisHastingsWalk::new().burn_in(burn),
+                    &self.graph,
+                    num_walks,
+                    per_walk,
+                    rng,
+                ),
+            },
+            CrawlDataset {
+                name: "RW09".into(),
+                crawl: CrawlType::Rw,
+                walks: run_walks(
+                    &RandomWalk::new().burn_in(burn),
+                    &self.graph,
+                    num_walks,
+                    per_walk,
+                    rng,
+                ),
+            },
+            CrawlDataset {
+                name: "UIS09".into(),
+                crawl: CrawlType::Uis,
+                walks: run_walks(&UniformIndependence, &self.graph, num_walks, per_walk / 2, rng),
+            },
+        ]
+    }
+
+    /// Runs the 2010-style crawls of Table 2: RW and S-WRW over the college
+    /// categories.
+    ///
+    /// The S-WRW uses stratification strength β = 0.5 rather than the full
+    /// equal-mass target: with 1000+ tiny colleges, β = 1 walks trap inside
+    /// whichever college they enter and finite crawls cover only a handful
+    /// of categories (the A3 ablation quantifies this). β = 0.5 still
+    /// boosts rare colleges by orders of magnitude over RW while keeping
+    /// the walk mixing.
+    pub fn crawl_2010<R: Rng + ?Sized>(
+        &self,
+        num_walks: usize,
+        per_walk: usize,
+        rng: &mut R,
+    ) -> Vec<CrawlDataset> {
+        let burn = (per_walk / 10).max(100);
+        let swrw = Swrw::stratified(&self.graph, &self.colleges, 0.5)
+            .expect("college partition has positive volume")
+            .burn_in(burn);
+        vec![
+            CrawlDataset {
+                name: "RW10".into(),
+                crawl: CrawlType::Rw,
+                walks: run_walks(
+                    &RandomWalk::new().burn_in(burn),
+                    &self.graph,
+                    num_walks,
+                    per_walk,
+                    rng,
+                ),
+            },
+            CrawlDataset {
+                name: "S-WRW10".into(),
+                crawl: CrawlType::Swrw,
+                walks: run_walks(&swrw, &self.graph, num_walks, per_walk, rng),
+            },
+        ]
+    }
+
+    /// The sampler (with design weights) behind a crawl type, for feeding
+    /// observations to the estimators.
+    pub fn sampler_for(&self, crawl: CrawlType) -> cgte_sampling::AnySampler {
+        use cgte_sampling::AnySampler;
+        match crawl {
+            CrawlType::Uis => AnySampler::Uis(UniformIndependence),
+            CrawlType::Rw => AnySampler::Rw(RandomWalk::new()),
+            CrawlType::Mhrw => AnySampler::Mhrw(MetropolisHastingsWalk::new()),
+            CrawlType::Swrw => AnySampler::Swrw(
+                Swrw::stratified(&self.graph, &self.colleges, 0.5)
+                    .expect("college partition has positive volume"),
+            ),
+        }
+    }
+}
+
+/// Crawl technique of a dataset (Table 2 "Crawl type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrawlType {
+    /// Uniform independence sampling.
+    Uis,
+    /// Simple random walk.
+    Rw,
+    /// Metropolis–Hastings random walk.
+    Mhrw,
+    /// Stratified weighted random walk.
+    Swrw,
+}
+
+/// One multi-walk crawl dataset, mirroring a Table 2 row.
+#[derive(Debug, Clone)]
+pub struct CrawlDataset {
+    /// Dataset name as in Table 2 (e.g. "RW09", "S-WRW10").
+    pub name: String,
+    /// The crawling technique.
+    pub crawl: CrawlType,
+    /// The collected walks.
+    pub walks: MultiWalkSample,
+}
+
+impl CrawlDataset {
+    /// Fraction of samples that fall in "studied" categories — Table 2's
+    /// "% categ. samples" column. `studied` decides per category id.
+    pub fn studied_fraction<F: Fn(CategoryId) -> bool>(
+        &self,
+        p: &Partition,
+        studied: F,
+    ) -> f64 {
+        let total = self.walks.total_len();
+        if total == 0 {
+            return 0.0;
+        }
+        let hits: usize = self
+            .walks
+            .walks()
+            .flat_map(|w| w.iter())
+            .filter(|&&v| studied(p.category_of(v)))
+            .count();
+        hits as f64 / total as f64
+    }
+
+    /// Samples per category, for Fig. 5 (descending).
+    pub fn samples_per_category(&self, p: &Partition) -> Vec<usize> {
+        let mut counts = vec![0usize; p.num_categories()];
+        for w in self.walks.walks() {
+            for &v in w {
+                counts[p.category_of(v) as usize] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgte_graph::algorithms::connected_components;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_sim() -> FacebookSim {
+        let mut rng = StdRng::seed_from_u64(1);
+        FacebookSim::generate(&FacebookSimConfig::quick(), &mut rng)
+    }
+
+    #[test]
+    fn zipf_sizes_sum_and_order() {
+        let s = zipf_sizes(1000, 10, 1.0);
+        assert_eq!(s.iter().sum::<usize>(), 1000);
+        assert!(s.windows(2).all(|w| w[0] >= w[1]), "{s:?}");
+        assert!(s.iter().all(|&x| x >= 1));
+        // Extreme case: every category exactly one member.
+        assert_eq!(zipf_sizes(5, 5, 1.0), vec![1; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zipf_sizes_infeasible_panics() {
+        let _ = zipf_sizes(3, 5, 1.0);
+    }
+
+    #[test]
+    fn sim_is_connected_with_both_partitions() {
+        let sim = quick_sim();
+        assert_eq!(connected_components(&sim.graph).num_components, 1);
+        assert_eq!(sim.regions.num_nodes(), sim.graph.num_nodes());
+        assert_eq!(sim.colleges.num_nodes(), sim.graph.num_nodes());
+        assert_eq!(sim.regions.num_categories(), 41); // 40 regions + undeclared
+        assert_eq!(sim.colleges.num_categories(), 61);
+    }
+
+    #[test]
+    fn declared_fractions_are_respected() {
+        let sim = quick_sim();
+        let cfg = sim.config().clone();
+        let n = sim.graph.num_nodes() as f64;
+        let undeclared = sim.regions.category_size(cfg.num_regions as CategoryId) as f64;
+        let declared_frac = 1.0 - undeclared / n;
+        assert!(
+            (declared_frac - cfg.region_declared_fraction).abs() < 0.05,
+            "declared {declared_frac}"
+        );
+        let no_college = sim.colleges.category_size(cfg.num_colleges as CategoryId) as f64;
+        let college_frac = 1.0 - no_college / n;
+        assert!(
+            (college_frac - cfg.college_fraction).abs() < 0.01,
+            "college {college_frac}"
+        );
+    }
+
+    #[test]
+    fn homophily_concentrates_region_edges() {
+        let sim = quick_sim();
+        let cg = cgte_graph::CategoryGraph::exact(&sim.graph, &sim.regions);
+        // Sum of intra-region edges among declared regions should clearly
+        // exceed what independence would give (roughly Σ f_r² of edges).
+        let intra: u64 = (0..40).map(|r| cg.intra_edge_count(r)).sum();
+        let total = sim.graph.num_edges() as f64;
+        let indep: f64 = (0..40)
+            .map(|r| (sim.regions.category_size(r) as f64 / sim.graph.num_nodes() as f64).powi(2))
+            .sum::<f64>()
+            * total;
+        assert!(
+            intra as f64 > 3.0 * indep,
+            "intra {intra} vs independence baseline {indep}"
+        );
+    }
+
+    #[test]
+    fn mean_degree_near_target() {
+        let sim = quick_sim();
+        let got = sim.graph.mean_degree();
+        let want = sim.config().mean_degree;
+        assert!((got - want).abs() / want < 0.25, "mean degree {got} vs {want}");
+    }
+
+    #[test]
+    fn countries_partition_merges_regions() {
+        let sim = quick_sim();
+        let countries = sim.countries();
+        assert_eq!(countries.num_categories(), 9); // 8 + undeclared
+        // Total declared population preserved.
+        let undeclared_c = countries.category_size(8);
+        let undeclared_r = sim.regions.category_size(40);
+        assert_eq!(undeclared_c, undeclared_r);
+    }
+
+    #[test]
+    fn crawl_2009_has_table2_shape() {
+        let sim = quick_sim();
+        let mut rng = StdRng::seed_from_u64(2);
+        let crawls = sim.crawl_2009(3, 400, &mut rng);
+        assert_eq!(crawls.len(), 3);
+        assert_eq!(crawls[0].name, "MHRW09");
+        assert_eq!(crawls[2].crawl, CrawlType::Uis);
+        assert_eq!(crawls[1].walks.total_len(), 3 * 400);
+        assert_eq!(crawls[2].walks.total_len(), 3 * 200); // UIS half
+    }
+
+    #[test]
+    fn swrw_oversamples_colleges_vs_rw() {
+        let sim = quick_sim();
+        let mut rng = StdRng::seed_from_u64(3);
+        let crawls = sim.crawl_2010(2, 2000, &mut rng);
+        let college_cat = |c: CategoryId| (c as usize) < sim.config().num_colleges;
+        let rw_frac = crawls[0].studied_fraction(&sim.colleges, college_cat);
+        let swrw_frac = crawls[1].studied_fraction(&sim.colleges, college_cat);
+        assert!(
+            swrw_frac > 3.0 * rw_frac,
+            "S-WRW college share {swrw_frac} should dwarf RW {rw_frac}"
+        );
+    }
+
+    #[test]
+    fn samples_per_category_counts_everything() {
+        let sim = quick_sim();
+        let mut rng = StdRng::seed_from_u64(4);
+        let crawls = sim.crawl_2009(2, 100, &mut rng);
+        let counts = crawls[1].samples_per_category(&sim.regions);
+        assert_eq!(counts.iter().sum::<usize>(), crawls[1].walks.total_len());
+    }
+}

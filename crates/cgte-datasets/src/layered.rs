@@ -1,0 +1,61 @@
+//! Layered Chung–Lu construction shared by the stand-ins and the Facebook
+//! simulator: a global expected-degree layer plus homophilous layers over
+//! member groups, so generated graphs have both the prescribed degree
+//! distribution *and* community structure.
+
+use cgte_graph::generators::chung_lu;
+use cgte_graph::{GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Chung–Lu over an explicit member set: generates edges among `members`
+/// with the given per-member weights and forwards them to `builder`.
+pub(crate) fn chung_lu_over<R: Rng + ?Sized>(
+    members: &[NodeId],
+    weights: &[f64],
+    builder: &mut GraphBuilder,
+    rng: &mut R,
+) {
+    debug_assert_eq!(members.len(), weights.len());
+    if members.len() < 2 {
+        return;
+    }
+    // Sort members by descending weight; chung_lu preserves that order.
+    let mut order: Vec<usize> = (0..members.len()).collect();
+    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).expect("finite"));
+    let sorted_w: Vec<f64> = order.iter().map(|&i| weights[i]).collect();
+    let local = chung_lu(&sorted_w, rng);
+    for (a, b) in local.edges() {
+        let u = members[order[a as usize]];
+        let v = members[order[b as usize]];
+        builder.add_edge(u, v).expect("member ids in range");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edges_stay_within_member_set() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let members: Vec<NodeId> = vec![3, 7, 11, 19, 23];
+        let weights = vec![4.0; 5];
+        let mut b = GraphBuilder::new(30);
+        chung_lu_over(&members, &weights, &mut b, &mut rng);
+        let g = b.build();
+        for (u, v) in g.edges() {
+            assert!(members.contains(&u) && members.contains(&v));
+        }
+    }
+
+    #[test]
+    fn tiny_member_sets_are_noops() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b = GraphBuilder::new(5);
+        chung_lu_over(&[2], &[3.0], &mut b, &mut rng);
+        chung_lu_over(&[], &[], &mut b, &mut rng);
+        assert_eq!(b.build().num_edges(), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Dataset IO and synthetic stand-ins for the paper's empirical data.
+//!
+//! Three groups of functionality:
+//!
+//! - [`edgelist`]: SNAP-style edge-list and category-file readers/writers —
+//!   the measurement-parsing helpers a downstream user needs to run the
+//!   estimators on their own crawl output.
+//! - [`standins`]: generators matched to the published statistics of the
+//!   paper's four fully-known evaluation graphs (Table 1), used by the
+//!   Fig. 4 reproduction. See DESIGN.md, substitution 1.
+//! - [`facebook`]: a Facebook-like population simulator (regions +
+//!   colleges, Zipf sizes, homophilous edges) and crawl-dataset builders
+//!   reproducing the *shape* of the paper's Table 2 datasets. See
+//!   DESIGN.md, substitution 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod edgelist;
+pub mod facebook;
+mod layered;
+pub mod standins;
+
+pub use edgelist::{
+    read_categories, read_edgelist, write_categories, write_edgelist, DatasetError,
+};
+pub use facebook::{CrawlDataset, CrawlType, FacebookSim, FacebookSimConfig};
+pub use standins::{standin, standin_partition, StandinKind};

@@ -1,0 +1,485 @@
+//! The experiment runner behind every simulation figure (§6, §7).
+
+use crate::nrmse::nrmse_from_errors;
+use cgte_core::category_size::{induced_sizes, star_sizes};
+use cgte_core::edge_weight::{induced_weights_all, star_weights_all};
+use cgte_core::{Design, StarSizeOptions};
+use cgte_graph::{CategoryGraph, CategoryId, Graph, Partition};
+use cgte_sampling::{AnySampler, NodeSampler, StarSample};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A quantity whose estimation error the experiment tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// The size `|A|` of one category.
+    Size(CategoryId),
+    /// The edge weight `w(A,B)` of one category pair (`A != B`).
+    Weight(CategoryId, CategoryId),
+}
+
+/// One of the four estimator families the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EstimatorKind {
+    /// Category size, induced (counting) estimator, Eq. (4)/(11).
+    InducedSize,
+    /// Category size, star estimator, Eq. (5)/(12).
+    StarSize,
+    /// Edge weight, induced estimator, Eq. (8)/(15).
+    InducedWeight,
+    /// Edge weight, star estimator, Eq. (9)/(16).
+    StarWeight,
+}
+
+impl EstimatorKind {
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EstimatorKind::InducedSize => "size/induced",
+            EstimatorKind::StarSize => "size/star",
+            EstimatorKind::InducedWeight => "weight/induced",
+            EstimatorKind::StarWeight => "weight/star",
+        }
+    }
+
+    /// Whether this estimator applies to the given target.
+    pub fn applies_to(self, t: Target) -> bool {
+        matches!(
+            (self, t),
+            (EstimatorKind::InducedSize, Target::Size(_))
+                | (EstimatorKind::StarSize, Target::Size(_))
+                | (EstimatorKind::InducedWeight, Target::Weight(..))
+                | (EstimatorKind::StarWeight, Target::Weight(..))
+        )
+    }
+}
+
+/// All estimator kinds, in display order.
+pub const ALL_ESTIMATORS: [EstimatorKind; 4] = [
+    EstimatorKind::InducedSize,
+    EstimatorKind::StarSize,
+    EstimatorKind::InducedWeight,
+    EstimatorKind::StarWeight,
+];
+
+/// Configuration of an NRMSE experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Sample sizes `|S|` to evaluate; each replication draws the largest
+    /// and evaluates every prefix (valid for both walks and independence
+    /// samples, and how growing-sample curves are normally produced).
+    pub sample_sizes: Vec<usize>,
+    /// Independent replications per point.
+    pub replications: usize,
+    /// Base RNG seed; replication `r` uses `base_seed + r`.
+    pub base_seed: u64,
+    /// Uniform or Hansen–Hurwitz-weighted estimators.
+    pub design: Design,
+    /// Options for the star size estimator.
+    pub star_size_options: StarSizeOptions,
+    /// Worker threads (0 = all available).
+    pub threads: usize,
+}
+
+impl ExperimentConfig {
+    /// A reasonable default: given sizes, 100 replications, weighted design.
+    pub fn new(sample_sizes: Vec<usize>, replications: usize) -> Self {
+        ExperimentConfig {
+            sample_sizes,
+            replications,
+            base_seed: 0x5EED,
+            design: Design::Weighted,
+            star_size_options: StarSizeOptions::default(),
+            threads: 0,
+        }
+    }
+
+    /// Sets the base seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.base_seed = s;
+        self
+    }
+
+    /// Sets the estimator design.
+    pub fn design(mut self, d: Design) -> Self {
+        self.design = d;
+        self
+    }
+}
+
+/// NRMSE series per estimator and target, indexed by sample size.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// The evaluated sample sizes, ascending.
+    pub sample_sizes: Vec<usize>,
+    series: HashMap<(EstimatorKind, Target), Vec<f64>>,
+    truths: HashMap<Target, f64>,
+}
+
+impl ExperimentResult {
+    /// NRMSE values for one estimator/target, aligned with `sample_sizes`.
+    ///
+    /// Returns `None` for combinations that were not tracked.
+    pub fn nrmse(&self, kind: EstimatorKind, target: Target) -> Option<&[f64]> {
+        self.series.get(&(kind, target)).map(Vec::as_slice)
+    }
+
+    /// The true value of a tracked target.
+    pub fn truth(&self, target: Target) -> Option<f64> {
+        self.truths.get(&target).copied()
+    }
+
+    /// All tracked targets.
+    pub fn targets(&self) -> Vec<Target> {
+        let mut t: Vec<Target> = self.truths.keys().copied().collect();
+        t.sort_by_key(|t| match *t {
+            Target::Size(c) => (0u8, c, 0),
+            Target::Weight(a, b) => (1u8, a, b),
+        });
+        t
+    }
+
+    /// NRMSE values of one estimator across all its targets at one sample
+    /// size index — the input to "median NRMSE" plots (Fig. 4, Fig. 6).
+    pub fn nrmse_across_targets(&self, kind: EstimatorKind, size_idx: usize) -> Vec<f64> {
+        self.targets()
+            .into_iter()
+            .filter(|&t| kind.applies_to(t))
+            .filter_map(|t| self.nrmse(kind, t).map(|s| s[size_idx]))
+            .filter(|x| x.is_finite())
+            .collect()
+    }
+}
+
+/// Per-thread accumulation of squared errors:
+/// `sums[(kind, target)][size_idx] = Σ (x̂ − x)²` and defined-counts.
+struct Accum {
+    sums: HashMap<(EstimatorKind, Target), Vec<f64>>,
+    counts: HashMap<(EstimatorKind, Target), Vec<usize>>,
+}
+
+impl Accum {
+    fn new(keys: &[(EstimatorKind, Target)], n_sizes: usize) -> Self {
+        Accum {
+            sums: keys.iter().map(|&k| (k, vec![0.0; n_sizes])).collect(),
+            counts: keys.iter().map(|&k| (k, vec![0usize; n_sizes])).collect(),
+        }
+    }
+
+    fn record(
+        &mut self,
+        kind: EstimatorKind,
+        target: Target,
+        size_idx: usize,
+        estimate: f64,
+        truth: f64,
+    ) {
+        let e = (estimate - truth).powi(2);
+        self.sums.get_mut(&(kind, target)).expect("tracked key")[size_idx] += e;
+        self.counts.get_mut(&(kind, target)).expect("tracked key")[size_idx] += 1;
+    }
+
+    fn merge(&mut self, other: Accum) {
+        for (k, v) in other.sums {
+            let dst = self.sums.get_mut(&k).expect("same keys");
+            for (d, s) in dst.iter_mut().zip(v) {
+                *d += s;
+            }
+        }
+        for (k, v) in other.counts {
+            let dst = self.counts.get_mut(&k).expect("same keys");
+            for (d, s) in dst.iter_mut().zip(v) {
+                *d += s;
+            }
+        }
+    }
+}
+
+/// Runs one replication: draw `max_size` nodes, evaluate all prefixes.
+#[allow(clippy::too_many_arguments)]
+fn one_replication(
+    g: &Graph,
+    p: &Partition,
+    sampler: &AnySampler,
+    targets: &[Target],
+    cfg: &ExperimentConfig,
+    truth: &HashMap<Target, f64>,
+    acc: &mut Accum,
+    rep: usize,
+) {
+    let mut rng = StdRng::seed_from_u64(cfg.base_seed.wrapping_add(rep as u64));
+    let max_size = *cfg.sample_sizes.iter().max().expect("non-empty sizes");
+    let nodes = sampler.sample(g, max_size, &mut rng);
+    let population = g.num_nodes() as f64;
+    for (size_idx, &s) in cfg.sample_sizes.iter().enumerate() {
+        let prefix = &nodes[..s];
+        let star = match cfg.design {
+            Design::Uniform => StarSample::observe(g, p, prefix),
+            Design::Weighted => StarSample::observe_sampler(g, p, prefix, sampler),
+        };
+        let ind = star.to_induced(g, p);
+
+        let ind_sizes = induced_sizes(&ind, population)
+            .unwrap_or_else(|| vec![0.0; p.num_categories()]);
+        let star_sz = star_sizes(&star, population, &cfg.star_size_options);
+        // Star edge weights plug in the star size with induced fallback
+        // (§5.3.2: pick the better-behaved size estimator).
+        let plug_sizes: Vec<f64> = star_sz
+            .iter()
+            .zip(&ind_sizes)
+            .map(|(s, &i)| s.unwrap_or(i))
+            .collect();
+
+        // One-pass all-pairs weight maps: an absent entry means either
+        // "undefined" or "no edge observed"; both are recorded as an
+        // estimate of 0, so a plain lookup suffices (and keeps the cost
+        // independent of the number of tracked weight targets).
+        let track_weights = targets.iter().any(|t| matches!(t, Target::Weight(..)));
+        let (ind_w, star_w) = if track_weights {
+            (induced_weights_all(&ind), star_weights_all(&star, &plug_sizes))
+        } else {
+            (HashMap::new(), HashMap::new())
+        };
+
+        for &t in targets {
+            match t {
+                Target::Size(c) => {
+                    let tr = truth[&t];
+                    acc.record(
+                        EstimatorKind::InducedSize,
+                        t,
+                        size_idx,
+                        ind_sizes[c as usize],
+                        tr,
+                    );
+                    acc.record(
+                        EstimatorKind::StarSize,
+                        t,
+                        size_idx,
+                        star_sz[c as usize].unwrap_or(0.0),
+                        tr,
+                    );
+                }
+                Target::Weight(a, b) => {
+                    let tr = truth[&t];
+                    let key = if a < b { (a, b) } else { (b, a) };
+                    acc.record(
+                        EstimatorKind::InducedWeight,
+                        t,
+                        size_idx,
+                        ind_w.get(&key).copied().unwrap_or(0.0),
+                        tr,
+                    );
+                    acc.record(
+                        EstimatorKind::StarWeight,
+                        t,
+                        size_idx,
+                        star_w.get(&key).copied().unwrap_or(0.0),
+                        tr,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Runs the full NRMSE protocol of §6.1 for one graph, partition and
+/// sampler: `replications` independent samples per size, four estimator
+/// families, NRMSE per target.
+///
+/// Undefined estimates (e.g. a category with no samples) enter the error as
+/// an estimate of 0, matching the operational reading of "we observed
+/// nothing".
+///
+/// # Panics
+/// Panics on an empty size list, zero replications, a weight target with
+/// `a == b`, or a target whose true value is 0 (NRMSE undefined).
+pub fn run_experiment(
+    g: &Graph,
+    p: &Partition,
+    sampler: &AnySampler,
+    targets: &[Target],
+    cfg: &ExperimentConfig,
+) -> ExperimentResult {
+    assert!(!cfg.sample_sizes.is_empty(), "need at least one sample size");
+    assert!(cfg.replications > 0, "need at least one replication");
+    let exact = CategoryGraph::exact(g, p);
+    let mut truths = HashMap::new();
+    for &t in targets {
+        let v = match t {
+            Target::Size(c) => exact.size(c),
+            Target::Weight(a, b) => {
+                assert_ne!(a, b, "weight target must name distinct categories");
+                exact.weight(a, b)
+            }
+        };
+        assert!(v != 0.0, "target {t:?} has zero true value; NRMSE undefined");
+        truths.insert(t, v);
+    }
+    let keys: Vec<(EstimatorKind, Target)> = targets
+        .iter()
+        .flat_map(|&t| {
+            ALL_ESTIMATORS
+                .iter()
+                .filter(move |k| k.applies_to(t))
+                .map(move |&k| (k, t))
+        })
+        .collect();
+    let n_sizes = cfg.sample_sizes.len();
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        cfg.threads
+    }
+    .min(cfg.replications);
+
+    let mut total = Accum::new(&keys, n_sizes);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let keys = &keys;
+                let truths = &truths;
+                scope.spawn(move |_| {
+                    let mut acc = Accum::new(keys, n_sizes);
+                    let mut rep = t;
+                    while rep < cfg.replications {
+                        one_replication(g, p, sampler, targets, cfg, truths, &mut acc, rep);
+                        rep += threads;
+                    }
+                    acc
+                })
+            })
+            .collect();
+        for h in handles {
+            total.merge(h.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut series = HashMap::new();
+    for &(kind, target) in &keys {
+        let sums = &total.sums[&(kind, target)];
+        let counts = &total.counts[&(kind, target)];
+        let truth = truths[&target];
+        let v: Vec<f64> = (0..n_sizes)
+            .map(|i| nrmse_from_errors(sums[i], counts[i], truth).unwrap_or(f64::NAN))
+            .collect();
+        series.insert((kind, target), v);
+    }
+    ExperimentResult { sample_sizes: cfg.sample_sizes.clone(), series, truths }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgte_graph::generators::{planted_partition, PlantedConfig};
+    use cgte_sampling::UniformIndependence;
+
+    fn small_pg() -> cgte_graph::generators::PlantedGraph {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = PlantedConfig { category_sizes: vec![50, 100, 200], k: 6, alpha: 0.3 };
+        planted_partition(&cfg, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn nrmse_decreases_with_sample_size() {
+        let pg = small_pg();
+        let cfg = ExperimentConfig::new(vec![50, 200, 800], 40).design(Design::Uniform);
+        let res = run_experiment(
+            &pg.graph,
+            &pg.partition,
+            &AnySampler::Uis(UniformIndependence),
+            &[Target::Size(2), Target::Weight(1, 2)],
+            &cfg,
+        );
+        for kind in ALL_ESTIMATORS {
+            for t in res.targets() {
+                if !kind.applies_to(t) {
+                    continue;
+                }
+                let series = res.nrmse(kind, t).unwrap();
+                assert!(
+                    series[2] < series[0],
+                    "{} on {t:?}: {series:?} should decrease",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truth_matches_exact_category_graph() {
+        let pg = small_pg();
+        let cfg = ExperimentConfig::new(vec![50], 2).design(Design::Uniform);
+        let res = run_experiment(
+            &pg.graph,
+            &pg.partition,
+            &AnySampler::Uis(UniformIndependence),
+            &[Target::Size(0)],
+            &cfg,
+        );
+        assert_eq!(res.truth(Target::Size(0)), Some(50.0));
+        assert_eq!(res.truth(Target::Size(1)), None); // untracked
+    }
+
+    #[test]
+    fn single_thread_and_multi_thread_agree() {
+        // Same seeds => identical replication streams regardless of thread
+        // count (work is partitioned by replication index).
+        let pg = small_pg();
+        let targets = [Target::Size(1)];
+        let mut cfg = ExperimentConfig::new(vec![100], 8).design(Design::Uniform);
+        cfg.threads = 1;
+        let a = run_experiment(
+            &pg.graph,
+            &pg.partition,
+            &AnySampler::Uis(UniformIndependence),
+            &targets,
+            &cfg,
+        );
+        cfg.threads = 4;
+        let b = run_experiment(
+            &pg.graph,
+            &pg.partition,
+            &AnySampler::Uis(UniformIndependence),
+            &targets,
+            &cfg,
+        );
+        let x = a.nrmse(EstimatorKind::InducedSize, Target::Size(1)).unwrap();
+        let y = b.nrmse(EstimatorKind::InducedSize, Target::Size(1)).unwrap();
+        assert!((x[0] - y[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_across_targets_collects_all_sizes() {
+        let pg = small_pg();
+        let cfg = ExperimentConfig::new(vec![200], 10).design(Design::Uniform);
+        let targets: Vec<Target> = (0..3).map(Target::Size).collect();
+        let res = run_experiment(
+            &pg.graph,
+            &pg.partition,
+            &AnySampler::Uis(UniformIndependence),
+            &targets,
+            &cfg,
+        );
+        let v = res.nrmse_across_targets(EstimatorKind::InducedSize, 0);
+        assert_eq!(v.len(), 3);
+        let w = res.nrmse_across_targets(EstimatorKind::InducedWeight, 0);
+        assert!(w.is_empty(), "no weight targets tracked");
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct categories")]
+    fn weight_target_self_pair_panics() {
+        let pg = small_pg();
+        let cfg = ExperimentConfig::new(vec![10], 1);
+        let _ = run_experiment(
+            &pg.graph,
+            &pg.partition,
+            &AnySampler::Uis(UniformIndependence),
+            &[Target::Weight(1, 1)],
+            &cfg,
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Evaluation harness (§6.1): NRMSE, experiment sweeps, result tables.
+//!
+//! The paper evaluates every estimator by its Normalized Root Mean Square
+//! Error across repeated samples of a fully known graph (Eq. (17)):
+//!
+//! ```text
+//! NRMSE(x̂) = sqrt(E[(x̂ − x)²]) / x
+//! ```
+//!
+//! [`run_experiment`] reproduces that protocol: for each sample size it
+//! draws `replications` independent samples, applies the four estimator
+//! families (induced/star × size/weight) to the chosen targets, and reports
+//! NRMSE series suitable for regenerating the paper's figures. Replications
+//! run in parallel on `crossbeam` scoped threads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiment;
+mod nrmse;
+mod table;
+
+pub use experiment::{
+    run_experiment, EstimatorKind, ExperimentConfig, ExperimentResult, Target, ALL_ESTIMATORS,
+};
+pub use nrmse::{empirical_cdf, median, nrmse, nrmse_from_errors};
+pub use table::Table;

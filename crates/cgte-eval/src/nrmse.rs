@@ -1,0 +1,108 @@
+//! NRMSE (Eq. (17)) and related summary statistics.
+
+/// Normalized Root Mean Square Error of a set of estimates against the true
+/// value `truth` (Eq. (17)): `sqrt(mean((x̂ − x)²)) / x`.
+///
+/// Returns `None` when there are no estimates or `truth == 0` (the paper
+/// only evaluates strictly positive targets).
+pub fn nrmse(estimates: &[f64], truth: f64) -> Option<f64> {
+    if estimates.is_empty() || truth == 0.0 {
+        return None;
+    }
+    let mse = estimates.iter().map(|e| (e - truth).powi(2)).sum::<f64>()
+        / estimates.len() as f64;
+    Some(mse.sqrt() / truth.abs())
+}
+
+/// NRMSE from pre-accumulated squared errors (for streaming accumulation in
+/// the experiment runner): `sqrt(sum_sq / count) / truth`.
+///
+/// Returns `None` for `count == 0` or `truth == 0`.
+pub fn nrmse_from_errors(sum_sq: f64, count: usize, truth: f64) -> Option<f64> {
+    if count == 0 || truth == 0.0 {
+        return None;
+    }
+    Some((sum_sq / count as f64).sqrt() / truth.abs())
+}
+
+/// Median of a slice (average of the middle pair for even lengths).
+/// `None` on empty input; non-finite values are ignored.
+pub fn median(values: &[f64]) -> Option<f64> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    })
+}
+
+/// Empirical CDF of a set of values: returns `(sorted_values, F)` where
+/// `F[i] = (i+1)/n` — the Fig. 3(d,h) presentation.
+pub fn empirical_cdf(values: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = v.len();
+    let f = (1..=n).map(|i| i as f64 / n as f64).collect();
+    (v, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nrmse_of_exact_estimates_is_zero() {
+        assert_eq!(nrmse(&[5.0, 5.0, 5.0], 5.0), Some(0.0));
+    }
+
+    #[test]
+    fn nrmse_simple_case() {
+        // Estimates 4 and 6 around truth 5: mse = 1, nrmse = 1/5.
+        let r = nrmse(&[4.0, 6.0], 5.0).unwrap();
+        assert!((r - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_captures_bias_and_variance() {
+        // A biased estimator has nonzero NRMSE even with zero variance.
+        let r = nrmse(&[6.0, 6.0], 5.0).unwrap();
+        assert!((r - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nrmse_edge_cases() {
+        assert_eq!(nrmse(&[], 5.0), None);
+        assert_eq!(nrmse(&[1.0], 0.0), None);
+    }
+
+    #[test]
+    fn nrmse_from_errors_matches_direct() {
+        let estimates = [4.0f64, 7.0, 5.5];
+        let truth = 5.0;
+        let sum_sq: f64 = estimates.iter().map(|e| (e - truth).powi(2)).sum();
+        let a = nrmse(&estimates, truth).unwrap();
+        let b = nrmse_from_errors(sum_sq, 3, truth).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[f64::NAN]), None);
+        assert_eq!(median(&[f64::NAN, 7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let (x, f) = empirical_cdf(&[0.3, 0.1, 0.2]);
+        assert_eq!(x, vec![0.1, 0.2, 0.3]);
+        assert_eq!(f, vec![1.0 / 3.0, 2.0 / 3.0, 1.0]);
+    }
+}

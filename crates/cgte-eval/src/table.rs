@@ -1,0 +1,157 @@
+//! Plain-text and CSV result tables.
+
+use std::fmt;
+use std::io::{self, Write};
+
+/// A simple column-aligned table for printing experiment results in the
+/// shape the paper reports them (one row per sample size / dataset, one
+/// column per estimator or sampler).
+///
+/// ```
+/// use cgte_eval::Table;
+/// let mut t = Table::new(vec!["|S|".into(), "induced".into(), "star".into()]);
+/// t.row(vec!["100".into(), "0.31".into(), "0.12".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("induced"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row length differs from the header length.
+    pub fn row(&mut self, row: Vec<String>) -> &mut Self {
+        assert_eq!(row.len(), self.headers.len(), "row/header length mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Convenience: append a row of mixed displayable values.
+    pub fn row_display<T: fmt::Display>(&mut self, row: &[T]) -> &mut Self {
+        self.row(row.iter().map(|x| x.to_string()).collect())
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Writes the table as CSV (RFC-4180 quoting for fields containing
+    /// commas or quotes).
+    pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        writeln!(
+            w,
+            "{}",
+            self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(",")
+        )?;
+        for r in &self.rows {
+            writeln!(w, "{}", r.iter().map(|c| field(c)).collect::<Vec<_>>().join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Saves the CSV rendering to a file.
+    pub fn save_csv(&self, path: &std::path::Path) -> io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        self.write_csv(io::BufWriter::new(f))
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new(vec!["a".into(), "long_header".into()]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("long_header"));
+        assert!(lines[1].starts_with("----"));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn row_length_checked() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_special_fields() {
+        let mut t = Table::new(vec!["x".into(), "y,z".into()]);
+        t.row(vec!["has \"quote\"".into(), "plain".into()]);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("x,\"y,z\"\n"));
+        assert!(s.contains("\"has \"\"quote\"\"\",plain"));
+    }
+
+    #[test]
+    fn row_display_formats_numbers() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row_display(&[1.5, 2.25]);
+        assert_eq!(t.num_rows(), 1);
+        assert!(t.to_string().contains("2.25"));
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into()]);
+        let dir = std::env::temp_dir().join("cgte_table_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        t.save_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

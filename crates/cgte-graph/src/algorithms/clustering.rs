@@ -1,0 +1,167 @@
+//! Clustering and degree-correlation statistics.
+//!
+//! §1 of the paper lists clustering coefficients and degree-degree
+//! correlations among the *local* properties that node samples estimate
+//! well; these exact computations provide the ground truth for such
+//! estimators and characterize the generated graphs.
+
+use crate::{Graph, NodeId};
+
+/// Number of triangles through node `v` — edges among its neighbors.
+///
+/// `O(deg(v) · max_deg · log)` via sorted-adjacency intersection.
+pub fn triangles_at(g: &Graph, v: NodeId) -> u64 {
+    let nbrs = g.neighbors(v);
+    let mut count = 0u64;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(a, b) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Local clustering coefficient of `v`: triangles through `v` divided by
+/// `deg(v)·(deg(v)−1)/2`. Zero for degree < 2.
+pub fn local_clustering(g: &Graph, v: NodeId) -> f64 {
+    let d = g.degree(v);
+    if d < 2 {
+        return 0.0;
+    }
+    let possible = (d * (d - 1) / 2) as f64;
+    triangles_at(g, v) as f64 / possible
+}
+
+/// Average local clustering coefficient (Watts–Strogatz).
+pub fn average_clustering(g: &Graph) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n as NodeId).map(|v| local_clustering(g, v)).sum::<f64>() / n as f64
+}
+
+/// Global clustering coefficient (transitivity):
+/// `3 × #triangles / #connected-triples`.
+pub fn global_clustering(g: &Graph) -> f64 {
+    let mut triangles3 = 0u64; // each triangle counted once per vertex = 3x
+    let mut triples = 0u64;
+    for v in 0..g.num_nodes() as NodeId {
+        let d = g.degree(v) as u64;
+        triples += d * d.saturating_sub(1) / 2;
+        triangles3 += triangles_at(g, v);
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        triangles3 as f64 / triples as f64
+    }
+}
+
+/// Degree assortativity (Pearson correlation of endpoint degrees over
+/// edges). Returns 0 for degenerate graphs (no edges or constant degrees).
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    let m = g.num_edges() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    // Accumulate over each edge both orientations, the standard formula.
+    let (mut sum_xy, mut sum_x, mut sum_x2) = (0.0f64, 0.0f64, 0.0f64);
+    for (u, v) in g.edges() {
+        let (a, b) = (g.degree(u) as f64, g.degree(v) as f64);
+        sum_xy += 2.0 * a * b;
+        sum_x += a + b;
+        sum_x2 += a * a + b * b;
+    }
+    let inv = 1.0 / (2.0 * m);
+    let num = inv * sum_xy - (inv * sum_x).powi(2);
+    let den = inv * sum_x2 - (inv * sum_x).powi(2);
+    if den.abs() < 1e-300 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> Graph {
+        // Triangle {0,1,2} with a tail 2-3.
+        GraphBuilder::from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn triangles_counted() {
+        let g = triangle_plus_tail();
+        assert_eq!(triangles_at(&g, 0), 1);
+        assert_eq!(triangles_at(&g, 2), 1);
+        assert_eq!(triangles_at(&g, 3), 0);
+    }
+
+    #[test]
+    fn local_clustering_values() {
+        let g = triangle_plus_tail();
+        assert!((local_clustering(&g, 0) - 1.0).abs() < 1e-12);
+        // Node 2 has degree 3: 1 triangle of 3 possible pairs.
+        assert!((local_clustering(&g, 2) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local_clustering(&g, 3), 0.0);
+    }
+
+    #[test]
+    fn complete_graph_fully_clustered() {
+        let mut b = GraphBuilder::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        let g = b.build();
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_has_zero_clustering() {
+        let g = GraphBuilder::from_edges(5, [(0, 1), (0, 2), (0, 3), (3, 4)]).unwrap();
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(global_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn global_clustering_of_triangle_tail() {
+        let g = triangle_plus_tail();
+        // Triples: deg(0)=2 ->1, deg(1)=2 ->1, deg(2)=3 ->3, deg(3)=1 ->0: 5.
+        // 3*triangles = 3.
+        assert!((global_clustering(&g) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_graph_is_disassortative() {
+        let mut b = GraphBuilder::new(6);
+        for v in 1..6 {
+            b.add_edge(0, v).unwrap();
+        }
+        let g = b.build();
+        assert!(degree_assortativity(&g) < 0.0);
+    }
+
+    #[test]
+    fn regular_graph_assortativity_degenerate() {
+        // 4-cycle: all degrees equal; correlation undefined -> 0.
+        let g = GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(global_clustering(&g), 0.0);
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+}

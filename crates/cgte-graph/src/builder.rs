@@ -1,0 +1,225 @@
+//! Incremental construction of [`Graph`]s.
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Builds a [`Graph`] from a stream of undirected edges.
+///
+/// The builder enforces the paper's simple-graph model: self-loops are
+/// rejected eagerly, and duplicate edges are removed (silently by default,
+/// or loudly via [`GraphBuilder::add_edge_strict`]). Node count is fixed up
+/// front so generators can preallocate.
+///
+/// # Example
+///
+/// ```
+/// use cgte_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_edge(1, 2).unwrap();
+/// assert!(b.add_edge(1, 1).is_err());       // self-loop
+/// b.add_edge(0, 1).unwrap();                // duplicate: ignored at build
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    /// Each undirected edge stored once as `(min, max)`.
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes and no edges.
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(
+            num_nodes <= NodeId::MAX as usize,
+            "node count {num_nodes} exceeds NodeId capacity"
+        );
+        GraphBuilder { num_nodes, edges: Vec::new() }
+    }
+
+    /// Creates a builder with preallocated capacity for `num_edges` edges.
+    pub fn with_capacity(num_nodes: usize, num_edges: usize) -> Self {
+        let mut b = Self::new(num_nodes);
+        b.edges.reserve(num_edges);
+        b
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges added so far (duplicates included until `build`).
+    pub fn num_edges_added(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// Returns an error for out-of-range endpoints or self-loops. Duplicates
+    /// are accepted here and dropped during [`GraphBuilder::build`].
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        if u as usize >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange { node: u as u64, num_nodes: self.num_nodes as u64 });
+        }
+        if v as usize >= self.num_nodes {
+            return Err(GraphError::NodeOutOfRange { node: v as u64, num_nodes: self.num_nodes as u64 });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u as u64 });
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        Ok(())
+    }
+
+    /// Like [`GraphBuilder::add_edge`] but also fails on duplicates.
+    ///
+    /// `O(E)` per call; intended for tests and small graphs where duplicate
+    /// insertion indicates a logic error.
+    pub fn add_edge_strict(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        let key = if u < v { (u, v) } else { (v, u) };
+        if self.edges.contains(&key) {
+            return Err(GraphError::DuplicateEdge { u: u as u64, v: v as u64 });
+        }
+        self.add_edge(u, v)
+    }
+
+    /// Whether the edge `{u, v}` has already been added. `O(E)`.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&key)
+    }
+
+    /// Finalizes the CSR graph: sorts, deduplicates, and symmetrizes.
+    ///
+    /// Runs in `O(E log E)`; consumes the builder.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.num_nodes;
+        let mut degree = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + degree[v]);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as NodeId; self.edges.len() * 2];
+        // Edges are sorted by (u, v); filling in order keeps each node's
+        // forward neighbors sorted, but back-edges arrive in u-order, which
+        // is also ascending, so every adjacency list ends up sorted except
+        // for the interleaving of forward and backward entries. Sort each
+        // list to be safe (cheap: lists are short on average).
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph::from_csr(offsets, neighbors)
+    }
+
+    /// Builds from an explicit edge list over `num_nodes` nodes.
+    ///
+    /// Convenience for tests and loaders.
+    pub fn from_edges<I>(num_nodes: usize, edges: I) -> Result<Graph, GraphError>
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut b = GraphBuilder::new(num_nodes);
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(
+            b.add_edge(0, 2),
+            Err(GraphError::NodeOutOfRange { node: 2, num_nodes: 2 })
+        );
+        assert_eq!(
+            b.add_edge(5, 0),
+            Err(GraphError::NodeOutOfRange { node: 5, num_nodes: 2 })
+        );
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(1, 1), Err(GraphError::SelfLoop { node: 1 }));
+    }
+
+    #[test]
+    fn deduplicates_on_build() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap(); // same undirected edge
+        b.add_edge(0, 1).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn strict_detects_duplicates() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_strict(0, 1).unwrap();
+        assert_eq!(
+            b.add_edge_strict(1, 0),
+            Err(GraphError::DuplicateEdge { u: 1, v: 0 })
+        );
+    }
+
+    #[test]
+    fn contains_edge_is_orientation_free() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 0).unwrap();
+        assert!(b.contains_edge(0, 2));
+        assert!(b.contains_edge(2, 0));
+        assert!(!b.contains_edge(0, 1));
+    }
+
+    #[test]
+    fn from_edges_builds_triangle() {
+        let g = GraphBuilder::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted() {
+        // Insert in scrambled order; CSR must come out sorted.
+        let g = GraphBuilder::from_edges(6, [(5, 0), (3, 0), (0, 1), (4, 0), (0, 2)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = GraphBuilder::with_capacity(4, 10);
+        b.add_edge(0, 3).unwrap();
+        assert_eq!(b.num_nodes(), 4);
+        assert_eq!(b.num_edges_added(), 1);
+        let g = b.build();
+        assert!(g.has_edge(0, 3));
+    }
+}

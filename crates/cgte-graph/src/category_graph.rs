@@ -1,0 +1,357 @@
+//! The category graph `G_C` — the coarse-grained topology (§2.2).
+
+use crate::{CategoryId, Graph, Partition};
+use std::collections::HashMap;
+
+/// One weighted edge `{A, B}` of a [`CategoryGraph`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryEdge {
+    /// First endpoint category (always `< b`).
+    pub a: CategoryId,
+    /// Second endpoint category.
+    pub b: CategoryId,
+    /// Number of graph edges in the cut, `|E_AB|`.
+    pub edge_count: u64,
+    /// Normalized weight `w(A,B) = |E_AB| / (|A|·|B|)` (Eq. (3)):
+    /// the probability that a uniformly chosen member of `A` is connected to
+    /// a uniformly chosen member of `B`.
+    pub weight: f64,
+}
+
+/// The weighted category graph `G_C = (C, E_C)` of a graph under a partition.
+///
+/// Nodes are categories; an edge `{A, B}` exists iff the edge-cut `E_AB` in
+/// the original graph is non-empty, and carries both the raw cut size
+/// `|E_AB|` and the normalized weight of Eq. (3). Self-loops are excluded by
+/// definition (§2.2), but intra-category edge counts are retained separately
+/// because they are useful for model-based analyses (§9) and for tests.
+///
+/// This type is used both for **ground truth** (via
+/// [`CategoryGraph::exact`]) and as the output container of the estimators
+/// in `cgte-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CategoryGraph {
+    num_categories: usize,
+    /// Category sizes `|A|` (possibly estimated, hence `f64`).
+    sizes: Vec<f64>,
+    /// Sparse symmetric cut map keyed by `(min, max)` category pair.
+    cuts: HashMap<(CategoryId, CategoryId), u64>,
+    /// Pre-computed weights aligned with `cuts`.
+    weights: HashMap<(CategoryId, CategoryId), f64>,
+    /// Intra-category edge counts `|E_AA|`, indexed by category.
+    intra: Vec<u64>,
+}
+
+impl CategoryGraph {
+    /// Computes the exact category graph of `g` under `p` in `O(E + C)`.
+    ///
+    /// # Panics
+    /// Panics if the partition does not cover the graph.
+    pub fn exact(g: &Graph, p: &Partition) -> Self {
+        p.check_covers(g).expect("partition must cover graph");
+        let c = p.num_categories();
+        let mut cuts: HashMap<(CategoryId, CategoryId), u64> = HashMap::new();
+        let mut intra = vec![0u64; c];
+        for (u, v) in g.edges() {
+            let (ca, cb) = (p.category_of(u), p.category_of(v));
+            if ca == cb {
+                intra[ca as usize] += 1;
+            } else {
+                let key = if ca < cb { (ca, cb) } else { (cb, ca) };
+                *cuts.entry(key).or_insert(0) += 1;
+            }
+        }
+        let sizes: Vec<f64> = p.sizes().iter().map(|&s| s as f64).collect();
+        let mut weights = HashMap::with_capacity(cuts.len());
+        for (&(a, b), &cut) in &cuts {
+            let denom = sizes[a as usize] * sizes[b as usize];
+            weights.insert((a, b), if denom > 0.0 { cut as f64 / denom } else { 0.0 });
+        }
+        CategoryGraph { num_categories: c, sizes, cuts, weights, intra }
+    }
+
+    /// Assembles a category graph from (possibly estimated) parts.
+    ///
+    /// `sizes[A]` are category sizes; `cuts` maps unordered category pairs to
+    /// `|E_AB|` (interpreted as exact or estimated counts); weights are
+    /// recomputed from the provided sizes via Eq. (3). Pairs with
+    /// zero-size endpoints get weight 0.
+    pub fn from_parts(
+        sizes: Vec<f64>,
+        cuts: HashMap<(CategoryId, CategoryId), f64>,
+    ) -> Self {
+        let num_categories = sizes.len();
+        let mut int_cuts = HashMap::with_capacity(cuts.len());
+        let mut weights = HashMap::with_capacity(cuts.len());
+        for (&(a, b), &cut) in &cuts {
+            let key = if a < b { (a, b) } else { (b, a) };
+            let denom = sizes[a as usize] * sizes[b as usize];
+            weights.insert(key, if denom > 0.0 { cut / denom } else { 0.0 });
+            int_cuts.insert(key, cut.round().max(0.0) as u64);
+        }
+        CategoryGraph {
+            num_categories,
+            sizes,
+            cuts: int_cuts,
+            weights,
+            intra: vec![0; num_categories],
+        }
+    }
+
+    /// Builds a category graph directly from estimated weights.
+    ///
+    /// Unlike [`CategoryGraph::from_parts`] the weights are stored verbatim
+    /// (no division by sizes); cut counts are back-computed where sizes are
+    /// available. This is the natural constructor for estimator output.
+    pub fn from_weights(
+        sizes: Vec<f64>,
+        weights: HashMap<(CategoryId, CategoryId), f64>,
+    ) -> Self {
+        let num_categories = sizes.len();
+        let mut norm = HashMap::with_capacity(weights.len());
+        let mut cuts = HashMap::with_capacity(weights.len());
+        for (&(a, b), &w) in &weights {
+            let key = if a < b { (a, b) } else { (b, a) };
+            norm.insert(key, w);
+            let denom = sizes[a as usize] * sizes[b as usize];
+            cuts.insert(key, (w * denom).round().max(0.0) as u64);
+        }
+        CategoryGraph { num_categories, sizes, cuts, weights: norm, intra: vec![0; num_categories] }
+    }
+
+    /// Number of categories `|C|`.
+    #[inline]
+    pub fn num_categories(&self) -> usize {
+        self.num_categories
+    }
+
+    /// Size `|A|` of category `a` (exact or estimated).
+    #[inline]
+    pub fn size(&self, a: CategoryId) -> f64 {
+        self.sizes[a as usize]
+    }
+
+    /// All category sizes indexed by id.
+    #[inline]
+    pub fn sizes(&self) -> &[f64] {
+        &self.sizes
+    }
+
+    /// The cut size `|E_AB|` between two distinct categories (0 if none).
+    ///
+    /// # Panics
+    /// Panics if `a == b`; intra-category edges are queried via
+    /// [`CategoryGraph::intra_edge_count`].
+    pub fn edge_count_between(&self, a: CategoryId, b: CategoryId) -> u64 {
+        assert_ne!(a, b, "category graph has no self-loops; use intra_edge_count");
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.cuts.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Number of edges with both endpoints in `a`.
+    pub fn intra_edge_count(&self, a: CategoryId) -> u64 {
+        self.intra[a as usize]
+    }
+
+    /// The Eq. (3) weight `w(A,B)`, or 0 if the categories are not connected.
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn weight(&self, a: CategoryId, b: CategoryId) -> f64 {
+        assert_ne!(a, b, "category graph has no self-loops");
+        let key = if a < b { (a, b) } else { (b, a) };
+        self.weights.get(&key).copied().unwrap_or(0.0)
+    }
+
+    /// Number of category-graph edges (non-empty cuts).
+    pub fn num_edges(&self) -> usize {
+        self.cuts.len()
+    }
+
+    /// Iterates over all category edges in unspecified order.
+    pub fn edges(&self) -> impl Iterator<Item = CategoryEdge> + '_ {
+        self.cuts.iter().map(move |(&(a, b), &cut)| CategoryEdge {
+            a,
+            b,
+            edge_count: cut,
+            weight: self.weights.get(&(a, b)).copied().unwrap_or(0.0),
+        })
+    }
+
+    /// All edges sorted by descending weight — the "strongest links" view of
+    /// §7.3 / Fig. 7. Ties broken by category ids for determinism.
+    pub fn edges_by_weight(&self) -> Vec<CategoryEdge> {
+        let mut v: Vec<CategoryEdge> = self.edges().collect();
+        v.sort_by(|x, y| {
+            y.weight
+                .partial_cmp(&x.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(x.a.cmp(&y.a))
+                .then(x.b.cmp(&y.b))
+        });
+        v
+    }
+
+    /// The edge whose weight sits at quantile `q` of all edge weights
+    /// (0 = lightest, 1 = heaviest).
+    ///
+    /// §6.2.3 evaluates estimation of `e_low` (`q = 0.25`) and `e_high`
+    /// (`q = 0.75`). Returns `None` if the category graph has no edges.
+    ///
+    /// # Panics
+    /// Panics if `q` is not in `\[0, 1\]`.
+    pub fn weight_quantile_edge(&self, q: f64) -> Option<CategoryEdge> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        let mut v = self.edges_by_weight();
+        if v.is_empty() {
+            return None;
+        }
+        v.reverse(); // ascending weight
+        let idx = ((v.len() - 1) as f64 * q).round() as usize;
+        Some(v[idx])
+    }
+
+    /// Total number of inter-category edges, `Σ |E_AB|`.
+    pub fn total_cut_edges(&self) -> u64 {
+        self.cuts.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// The example of the paper's Fig. 1: three categories, with
+    /// w(white, black) = 3/9, w(black, gray) = 1/6, w(black, white) = 4/6
+    /// — we reproduce the *structure* (sizes and a known cut) with a small
+    /// hand graph.
+    fn two_triangles_bridge() -> (Graph, Partition) {
+        let g = GraphBuilder::from_edges(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        (g, p)
+    }
+
+    use crate::Graph;
+
+    #[test]
+    fn exact_counts_and_weights() {
+        let (g, p) = two_triangles_bridge();
+        let cg = CategoryGraph::exact(&g, &p);
+        assert_eq!(cg.num_categories(), 2);
+        assert_eq!(cg.size(0), 3.0);
+        assert_eq!(cg.edge_count_between(0, 1), 1);
+        assert_eq!(cg.edge_count_between(1, 0), 1);
+        assert!((cg.weight(0, 1) - 1.0 / 9.0).abs() < 1e-12);
+        assert_eq!(cg.intra_edge_count(0), 3);
+        assert_eq!(cg.intra_edge_count(1), 3);
+        assert_eq!(cg.num_edges(), 1);
+        assert_eq!(cg.total_cut_edges(), 1);
+    }
+
+    #[test]
+    fn disconnected_categories_have_zero_weight() {
+        let g = GraphBuilder::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let p = Partition::from_assignments(vec![0, 0, 1, 1], 2).unwrap();
+        let cg = CategoryGraph::exact(&g, &p);
+        assert_eq!(cg.num_edges(), 0);
+        assert_eq!(cg.edge_count_between(0, 1), 0);
+        assert_eq!(cg.weight(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-loops")]
+    fn weight_self_loop_panics() {
+        let (g, p) = two_triangles_bridge();
+        let cg = CategoryGraph::exact(&g, &p);
+        let _ = cg.weight(0, 0);
+    }
+
+    #[test]
+    fn complete_bipartite_has_weight_one() {
+        // K_{2,3}: every cross pair connected => w = 1.
+        let g = GraphBuilder::from_edges(5, [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)])
+            .unwrap();
+        let p = Partition::from_assignments(vec![0, 0, 1, 1, 1], 2).unwrap();
+        let cg = CategoryGraph::exact(&g, &p);
+        assert_eq!(cg.edge_count_between(0, 1), 6);
+        assert!((cg.weight(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_parts_recomputes_weights() {
+        let mut cuts = HashMap::new();
+        cuts.insert((0 as CategoryId, 1 as CategoryId), 6.0);
+        let cg = CategoryGraph::from_parts(vec![2.0, 3.0], cuts);
+        assert!((cg.weight(0, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(cg.edge_count_between(0, 1), 6);
+    }
+
+    #[test]
+    fn from_weights_stores_verbatim() {
+        let mut w = HashMap::new();
+        w.insert((1 as CategoryId, 0 as CategoryId), 0.25);
+        let cg = CategoryGraph::from_weights(vec![4.0, 4.0], w);
+        assert!((cg.weight(0, 1) - 0.25).abs() < 1e-12);
+        assert_eq!(cg.edge_count_between(0, 1), 4); // 0.25 * 16
+    }
+
+    #[test]
+    fn edges_by_weight_sorted_desc() {
+        let g = GraphBuilder::from_edges(
+            6,
+            // cat 0 = {0,1}, cat 1 = {2,3}, cat 2 = {4,5}
+            [(0, 2), (0, 3), (1, 2), (1, 3), (0, 4)],
+        )
+        .unwrap();
+        let p = Partition::from_assignments(vec![0, 0, 1, 1, 2, 2], 3).unwrap();
+        let cg = CategoryGraph::exact(&g, &p);
+        let edges = cg.edges_by_weight();
+        assert_eq!(edges.len(), 2);
+        assert!(edges[0].weight >= edges[1].weight);
+        assert_eq!((edges[0].a, edges[0].b), (0, 1)); // 4/4 = 1.0
+        assert!((edges[0].weight - 1.0).abs() < 1e-12);
+        assert!((edges[1].weight - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_quantiles() {
+        let g = GraphBuilder::from_edges(
+            8,
+            // three cuts of sizes 1, 2, 4 between pairs of 2-node categories
+            [(0, 2), (0, 4), (1, 4), (0, 6), (0, 7), (1, 6), (1, 7)],
+        )
+        .unwrap();
+        let p = Partition::from_assignments(vec![0, 0, 1, 1, 2, 2, 3, 3], 4).unwrap();
+        let cg = CategoryGraph::exact(&g, &p);
+        let low = cg.weight_quantile_edge(0.0).unwrap();
+        let high = cg.weight_quantile_edge(1.0).unwrap();
+        assert!(low.weight <= high.weight);
+        assert_eq!(low.edge_count, 1);
+        assert_eq!(high.edge_count, 4);
+        let mid = cg.weight_quantile_edge(0.5).unwrap();
+        assert_eq!(mid.edge_count, 2);
+    }
+
+    #[test]
+    fn quantile_on_empty_graph_is_none() {
+        let g = GraphBuilder::new(4).build();
+        let p = Partition::from_assignments(vec![0, 0, 1, 1], 2).unwrap();
+        let cg = CategoryGraph::exact(&g, &p);
+        assert!(cg.weight_quantile_edge(0.5).is_none());
+    }
+
+    #[test]
+    fn edge_iteration_matches_counts() {
+        let (g, p) = two_triangles_bridge();
+        let cg = CategoryGraph::exact(&g, &p);
+        let all: Vec<CategoryEdge> = cg.edges().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].edge_count, 1);
+        assert_eq!((all[0].a, all[0].b), (0, 1));
+    }
+}

@@ -1,0 +1,81 @@
+use std::fmt;
+
+/// Errors produced while building or validating graphs and partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node id was used that is `>=` the declared number of nodes.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u64,
+        /// The number of nodes in the graph.
+        num_nodes: u64,
+    },
+    /// A self-loop `{v, v}` was rejected; the paper's graphs are simple.
+    SelfLoop {
+        /// The node with the attempted self-loop.
+        node: u64,
+    },
+    /// A duplicate (parallel) edge was rejected.
+    DuplicateEdge {
+        /// First endpoint.
+        u: u64,
+        /// Second endpoint.
+        v: u64,
+    },
+    /// A partition assignment did not cover every node, or used a category
+    /// id `>=` the declared number of categories.
+    InvalidPartition {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A generator was asked for an impossible configuration
+    /// (e.g. a k-regular graph with `n * k` odd, or `k >= n`).
+    InvalidParameter {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node id {node} out of range (graph has {num_nodes} nodes)")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} rejected"),
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge {{{u}, {v}}} rejected")
+            }
+            GraphError::InvalidPartition { reason } => write!(f, "invalid partition: {reason}"),
+            GraphError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, num_nodes: 5 };
+        assert!(e.to_string().contains("7"));
+        assert!(e.to_string().contains("5"));
+        let e = GraphError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::DuplicateEdge { u: 1, v: 2 };
+        assert!(e.to_string().contains("{1, 2}"));
+        let e = GraphError::InvalidPartition { reason: "bad".into() };
+        assert!(e.to_string().contains("bad"));
+        let e = GraphError::InvalidParameter { reason: "k too big".into() };
+        assert!(e.to_string().contains("k too big"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,123 @@
+//! Barabási–Albert preferential attachment graphs.
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples a Barabási–Albert graph: starting from a small clique, each new
+/// node attaches to `m` existing nodes chosen with probability proportional
+/// to their current degree.
+///
+/// Implemented with the repeated-nodes list, so attachment is `O(1)` per
+/// stub. Duplicate targets within a step are resampled, keeping the graph
+/// simple and every new node at exactly `m` new edges.
+///
+/// Fails if `m == 0` or `n <= m`.
+pub fn barabasi_albert<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    if m == 0 {
+        return Err(GraphError::InvalidParameter { reason: "m must be positive".into() });
+    }
+    if n <= m {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("need n > m (n={n}, m={m})"),
+        });
+    }
+    let mut b = GraphBuilder::with_capacity(n, m * (n - m) + m * (m + 1) / 2);
+    // Seed: clique on m+1 nodes so every seed node has degree >= m.
+    let mut repeated: Vec<NodeId> = Vec::with_capacity(2 * m * n);
+    for u in 0..=(m as NodeId) {
+        for v in (u + 1)..=(m as NodeId) {
+            b.add_edge(u, v)?;
+            repeated.push(u);
+            repeated.push(v);
+        }
+    }
+    let mut targets: Vec<NodeId> = Vec::with_capacity(m);
+    for v in (m + 1)..n {
+        targets.clear();
+        // Sample m distinct targets by degree-proportional draws.
+        let mut guard = 0usize;
+        while targets.len() < m {
+            let t = *repeated.choose(rng).expect("repeated list non-empty");
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+            if guard > 100 * m + 1000 {
+                // Practically unreachable for n > m; defensive fallback to
+                // uniform choice among remaining nodes.
+                let t = rng.gen_range(0..v as NodeId);
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+        }
+        for &t in &targets {
+            b.add_edge(v as NodeId, t)?;
+            repeated.push(v as NodeId);
+            repeated.push(t);
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::connected_components;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 500;
+        let m = 3;
+        let g = barabasi_albert(n, m, &mut rng).unwrap();
+        assert_eq!(g.num_nodes(), n);
+        // clique edges + m per subsequent node
+        assert_eq!(g.num_edges(), m * (m + 1) / 2 + m * (n - m - 1));
+    }
+
+    #[test]
+    fn min_degree_is_m() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = barabasi_albert(300, 4, &mut rng).unwrap();
+        for v in 0..300 {
+            assert!(g.degree(v) >= 4, "node {v} degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn is_connected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = barabasi_albert(400, 2, &mut rng).unwrap();
+        assert_eq!(connected_components(&g).num_components, 1);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = barabasi_albert(2000, 3, &mut rng).unwrap();
+        // The hub should dwarf the median degree.
+        assert!(g.max_degree() > 40, "max degree {}", g.max_degree());
+    }
+
+    #[test]
+    fn invalid_parameters() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(barabasi_albert(5, 0, &mut rng).is_err());
+        assert!(barabasi_albert(3, 3, &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g1 = barabasi_albert(100, 2, &mut StdRng::seed_from_u64(7)).unwrap();
+        let g2 = barabasi_albert(100, 2, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(g1, g2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Chung–Lu expected-degree random graphs.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Samples a Chung–Lu graph: edge `{u, v}` appears independently with
+/// probability `min(1, w_u · w_v / Σw)`.
+///
+/// Uses the Miller–Hagberg skip-sampling construction, `O(n + E)` in
+/// expectation, which requires weights sorted in **descending** order; this
+/// function sorts internally and returns node ids in descending-weight
+/// order (node 0 has the largest expected degree).
+///
+/// The empirical dataset stand-ins (DESIGN.md substitution 1) use this model
+/// with power-law weights to reproduce the heavy-tailed degree
+/// distributions of the paper's Facebook/P2P/Epinions graphs.
+///
+/// # Panics
+/// Panics if any weight is negative or not finite.
+pub fn chung_lu<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Graph {
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let n = weights.len();
+    let mut w: Vec<f64> = weights.to_vec();
+    w.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let total: f64 = w.iter().sum();
+    let mut b = GraphBuilder::new(n);
+    if total <= 0.0 || n < 2 {
+        return b.build();
+    }
+    for u in 0..n - 1 {
+        if w[u] <= 0.0 {
+            break; // all remaining weights are 0 (sorted descending)
+        }
+        let mut v = u + 1;
+        let mut p = (w[u] * w[v] / total).min(1.0);
+        while v < n && p > 0.0 {
+            if p < 1.0 {
+                let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+                v += (r.ln() / (1.0 - p).ln()).floor() as usize;
+            }
+            if v < n {
+                let q = (w[u] * w[v] / total).min(1.0);
+                let r: f64 = rng.gen();
+                if r < q / p {
+                    b.add_edge(u as NodeId, v as NodeId).expect("in range");
+                }
+                p = q;
+                v += 1;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Samples `n` power-law weights `P(w) ∝ w^(-gamma)` on `[w_min, w_max]`
+/// (continuous inverse-CDF sampling). Companion to [`chung_lu`].
+///
+/// # Panics
+/// Panics unless `gamma > 1` and `0 < w_min <= w_max`.
+pub fn powerlaw_weights<R: Rng + ?Sized>(
+    n: usize,
+    gamma: f64,
+    w_min: f64,
+    w_max: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    assert!(gamma > 1.0, "gamma must exceed 1");
+    assert!(w_min > 0.0 && w_min <= w_max, "need 0 < w_min <= w_max");
+    let a = 1.0 - gamma;
+    let lo = w_min.powf(a);
+    let hi = w_max.powf(a);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            (lo + u * (hi - lo)).powf(1.0 / a)
+        })
+        .collect()
+}
+
+/// Rescales weights so their mean equals `target_mean`, preserving shape.
+///
+/// Used by the stand-ins to match a dataset's published mean degree `k_V`
+/// exactly in expectation.
+///
+/// # Panics
+/// Panics if the weights sum to zero while a positive mean is requested.
+pub fn scale_to_mean(weights: &mut [f64], target_mean: f64) {
+    let n = weights.len();
+    if n == 0 {
+        return;
+    }
+    let mean: f64 = weights.iter().sum::<f64>() / n as f64;
+    assert!(
+        mean > 0.0 || target_mean == 0.0,
+        "cannot scale zero weights to positive mean"
+    );
+    if mean > 0.0 {
+        let s = target_mean / mean;
+        for w in weights {
+            *w *= s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_match_gnp() {
+        // Constant weights w: edge prob = w^2 / (n w) = w / n.
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 500;
+        let w = vec![10.0; n];
+        let g = chung_lu(&w, &mut rng);
+        let p = 10.0 / n as f64;
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!(
+            ((g.num_edges() as f64) - expected).abs() < 5.0 * sigma,
+            "{} vs {expected}",
+            g.num_edges()
+        );
+    }
+
+    #[test]
+    fn realized_mean_degree_tracks_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = powerlaw_weights(3000, 2.5, 2.0, 200.0, &mut rng);
+        scale_to_mean(&mut w, 12.0);
+        let g = chung_lu(&w, &mut rng);
+        let mean = g.mean_degree();
+        assert!(
+            (mean - 12.0).abs() < 1.5,
+            "mean degree {mean} should be near 12"
+        );
+    }
+
+    #[test]
+    fn heavy_tail_survives() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = powerlaw_weights(5000, 2.2, 2.0, 500.0, &mut rng);
+        scale_to_mean(&mut w, 10.0);
+        let g = chung_lu(&w, &mut rng);
+        assert!(
+            g.max_degree() > 50,
+            "expected a heavy tail, max degree {}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn zero_and_tiny_inputs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(chung_lu(&[], &mut rng).num_nodes(), 0);
+        assert_eq!(chung_lu(&[5.0], &mut rng).num_edges(), 0);
+        assert_eq!(chung_lu(&[0.0, 0.0, 0.0], &mut rng).num_edges(), 0);
+    }
+
+    #[test]
+    fn scale_to_mean_exact() {
+        let mut w = vec![1.0, 2.0, 3.0];
+        scale_to_mean(&mut w, 10.0);
+        let mean: f64 = w.iter().sum::<f64>() / 3.0;
+        assert!((mean - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn powerlaw_weights_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = powerlaw_weights(1000, 3.0, 1.5, 40.0, &mut rng);
+        assert!(w.iter().all(|&x| (1.5..=40.0).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = vec![3.0; 100];
+        let g1 = chung_lu(&w, &mut StdRng::seed_from_u64(9));
+        let g2 = chung_lu(&w, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+}

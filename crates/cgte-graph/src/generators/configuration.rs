@@ -1,0 +1,275 @@
+//! Configuration model: random graphs with a prescribed degree sequence.
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+fn norm(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Pairs stubs uniformly at random, returning the raw multigraph edge list
+/// (self-loops and parallel edges included).
+fn pair_stubs<R: Rng + ?Sized>(
+    degrees: &[usize],
+    rng: &mut R,
+) -> Result<Vec<(NodeId, NodeId)>, GraphError> {
+    let total: usize = degrees.iter().sum();
+    if total % 2 != 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("degree sum {total} is odd"),
+        });
+    }
+    if degrees.len() > NodeId::MAX as usize {
+        return Err(GraphError::InvalidParameter { reason: "too many nodes".into() });
+    }
+    let mut stubs: Vec<NodeId> = Vec::with_capacity(total);
+    for (v, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat(v as NodeId).take(d));
+    }
+    stubs.shuffle(rng);
+    Ok(stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect())
+}
+
+/// Erased configuration model: pair stubs, then drop self-loops and collapse
+/// parallel edges.
+///
+/// Fast and simple; the realized degrees are slightly below the prescribed
+/// ones for heavy-tailed sequences. This is the standard choice when only the
+/// *shape* of the degree distribution matters, e.g. for the empirical
+/// dataset stand-ins (DESIGN.md substitution 1).
+pub fn configuration_model_erased<R: Rng + ?Sized>(
+    degrees: &[usize],
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    let edges = pair_stubs(degrees, rng)?;
+    let mut b = GraphBuilder::with_capacity(degrees.len(), edges.len());
+    for (u, v) in edges {
+        if u != v {
+            b.add_edge(u, v)?; // duplicates collapsed by build()
+        }
+    }
+    Ok(b.build())
+}
+
+/// Configuration model with degree-preserving rewiring: pair stubs, then
+/// remove self-loops and parallel edges by double-edge swaps so the realized
+/// degree sequence equals the prescribed one exactly.
+///
+/// Used by [`super::k_regular`], where exact degrees matter (the paper's
+/// §6.2.1 graphs are exactly k-regular inside each category). Fails with
+/// [`GraphError::InvalidParameter`] if rewiring cannot converge (e.g. the
+/// sequence is not graphical or is so dense that no swap is available).
+pub fn configuration_model_rewired<R: Rng + ?Sized>(
+    degrees: &[usize],
+    rng: &mut R,
+) -> Result<Graph, GraphError> {
+    let mut edges = pair_stubs(degrees, rng)?;
+    if edges.is_empty() {
+        return Ok(GraphBuilder::new(degrees.len()).build());
+    }
+    // Multiplicity of each normalized edge; self-loops keyed as (v, v).
+    let mut count: HashMap<(NodeId, NodeId), u32> = HashMap::with_capacity(edges.len());
+    for &(u, v) in &edges {
+        *count.entry(norm(u, v)).or_insert(0) += 1;
+    }
+    let is_bad = |count: &HashMap<(NodeId, NodeId), u32>, u: NodeId, v: NodeId| {
+        u == v || count[&norm(u, v)] > 1
+    };
+
+    const MAX_PASSES: usize = 500;
+    for _pass in 0..MAX_PASSES {
+        let bad: Vec<usize> = (0..edges.len())
+            .filter(|&i| is_bad(&count, edges[i].0, edges[i].1))
+            .collect();
+        if bad.is_empty() {
+            let mut b = GraphBuilder::with_capacity(degrees.len(), edges.len());
+            for (u, v) in edges {
+                b.add_edge(u, v)?;
+            }
+            return Ok(b.build());
+        }
+        for &i in &bad {
+            // The earlier swaps of this pass may have fixed edge i already.
+            let (a, bb) = edges[i];
+            if !is_bad(&count, a, bb) {
+                continue;
+            }
+            let j = rng.gen_range(0..edges.len());
+            if j == i {
+                continue;
+            }
+            let (c, d) = edges[j];
+            // Propose (a,b),(c,d) -> (a,d),(c,b).
+            let (e1, e2) = ((a, d), (c, bb));
+            if e1.0 == e1.1 || e2.0 == e2.1 {
+                continue;
+            }
+            let k1 = norm(e1.0, e1.1);
+            let k2 = norm(e2.0, e2.1);
+            if k1 == k2 {
+                continue;
+            }
+            if count.get(&k1).copied().unwrap_or(0) > 0 || count.get(&k2).copied().unwrap_or(0) > 0
+            {
+                continue;
+            }
+            // Apply the swap.
+            for key in [norm(a, bb), norm(c, d)] {
+                let e = count.get_mut(&key).expect("edge present");
+                *e -= 1;
+                if *e == 0 {
+                    count.remove(&key);
+                }
+            }
+            *count.entry(k1).or_insert(0) += 1;
+            *count.entry(k2).or_insert(0) += 1;
+            edges[i] = e1;
+            edges[j] = e2;
+        }
+    }
+    Err(GraphError::InvalidParameter {
+        reason: "configuration model rewiring did not converge (sequence too dense or not graphical)"
+            .into(),
+    })
+}
+
+/// Samples a power-law degree sequence `P(k) ∝ k^(-gamma)` on
+/// `[k_min, k_max]` via inverse-CDF sampling of the continuous power law,
+/// floored to integers. The sum is forced even by incrementing one node if
+/// needed.
+///
+/// # Panics
+/// Panics unless `gamma > 1`, `1 <= k_min <= k_max`, and `n > 0` when a
+/// parity fix might be needed.
+pub fn powerlaw_degree_sequence<R: Rng + ?Sized>(
+    n: usize,
+    gamma: f64,
+    k_min: usize,
+    k_max: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(gamma > 1.0, "gamma must exceed 1, got {gamma}");
+    assert!(k_min >= 1 && k_min <= k_max, "need 1 <= k_min <= k_max");
+    let a = 1.0 - gamma;
+    let lo = (k_min as f64).powf(a);
+    let hi = ((k_max + 1) as f64).powf(a);
+    let mut deg: Vec<usize> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let x = (lo + u * (hi - lo)).powf(1.0 / a);
+            (x.floor() as usize).clamp(k_min, k_max)
+        })
+        .collect();
+    if deg.iter().sum::<usize>() % 2 != 0 {
+        let i = rng.gen_range(0..n);
+        if deg[i] < k_max {
+            deg[i] += 1;
+        } else {
+            deg[i] -= 1;
+        }
+    }
+    deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn odd_degree_sum_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(configuration_model_erased(&[1, 1, 1], &mut rng).is_err());
+        assert!(configuration_model_rewired(&[3], &mut rng).is_err());
+    }
+
+    #[test]
+    fn erased_model_bounds_degrees() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let deg = vec![3usize; 100];
+        let g = configuration_model_erased(&deg, &mut rng).unwrap();
+        assert_eq!(g.num_nodes(), 100);
+        for v in 0..100 {
+            assert!(g.degree(v) <= 3);
+        }
+        // Most degree mass survives erasure on a sparse sequence.
+        assert!(g.total_volume() as f64 > 0.9 * 300.0);
+    }
+
+    #[test]
+    fn rewired_model_exact_degrees() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let deg = vec![4usize; 60];
+        let g = configuration_model_rewired(&deg, &mut rng).unwrap();
+        for v in 0..60 {
+            assert_eq!(g.degree(v), 4, "node {v}");
+        }
+    }
+
+    #[test]
+    fn rewired_model_heterogeneous_degrees() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let deg: Vec<usize> = (0..80).map(|i| 1 + (i % 5)).collect();
+        let want: usize = deg.iter().sum();
+        let g = if want % 2 == 0 {
+            configuration_model_rewired(&deg, &mut rng).unwrap()
+        } else {
+            let mut d = deg.clone();
+            d[0] += 1;
+            configuration_model_rewired(&d, &mut rng).unwrap()
+        };
+        assert_eq!(g.num_nodes(), 80);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = configuration_model_rewired(&[0, 0, 0, 0], &mut rng).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn powerlaw_sequence_in_range_and_even() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let deg = powerlaw_degree_sequence(5000, 2.5, 2, 100, &mut rng);
+        assert_eq!(deg.len(), 5000);
+        assert!(deg.iter().all(|&k| (2..=100).contains(&k)));
+        assert_eq!(deg.iter().sum::<usize>() % 2, 0);
+        // Heavy tail: some nodes well above the minimum.
+        assert!(deg.iter().any(|&k| k >= 20));
+        // But most nodes near the minimum.
+        let small = deg.iter().filter(|&&k| k <= 4).count();
+        assert!(small > 2500, "power law should concentrate at k_min, got {small}");
+    }
+
+    #[test]
+    fn powerlaw_mean_decreases_with_gamma() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mean = |gamma: f64, rng: &mut StdRng| {
+            let d = powerlaw_degree_sequence(20000, gamma, 2, 500, rng);
+            d.iter().sum::<usize>() as f64 / d.len() as f64
+        };
+        let m_light = mean(3.5, &mut rng);
+        let m_heavy = mean(2.1, &mut rng);
+        assert!(
+            m_heavy > m_light,
+            "heavier tail should raise the mean: {m_heavy} vs {m_light}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let deg = vec![3usize; 40];
+        let g1 = configuration_model_rewired(&deg, &mut StdRng::seed_from_u64(11)).unwrap();
+        let g2 = configuration_model_rewired(&deg, &mut StdRng::seed_from_u64(11)).unwrap();
+        assert_eq!(g1, g2);
+    }
+}

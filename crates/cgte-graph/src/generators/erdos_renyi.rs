@@ -1,0 +1,167 @@
+//! Erdős–Rényi random graphs.
+
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Samples `G(n, m)`: a uniformly random simple graph with exactly `m` edges.
+///
+/// Rejection-samples node pairs, which is efficient while `m` is far below
+/// the maximum `n(n-1)/2`; fails if `m` exceeds that maximum.
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Result<Graph, GraphError> {
+    let max = n.saturating_mul(n.saturating_sub(1)) / 2;
+    if m > max {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("G(n={n}, m={m}) impossible: max {max} edges"),
+        });
+    }
+    if n == 0 {
+        return Ok(GraphBuilder::new(0).build());
+    }
+    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m * 2);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    // Dense fallback: if m is more than half of max, sample the complement.
+    if m * 2 > max {
+        let mut all: Vec<(NodeId, NodeId)> = Vec::with_capacity(max);
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                all.push((u, v));
+            }
+        }
+        use rand::seq::SliceRandom;
+        all.shuffle(rng);
+        for &(u, v) in all.iter().take(m) {
+            b.add_edge(u, v)?;
+        }
+        return Ok(b.build());
+    }
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// Samples `G(n, p)`: each of the `n(n-1)/2` possible edges independently
+/// with probability `p`.
+///
+/// Uses geometric skip-sampling, `O(n + E)` in expectation.
+///
+/// # Panics
+/// Panics if `p` is not in `\[0, 1\]`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return b.build();
+    }
+    if p == 1.0 {
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                b.add_edge(u, v).expect("in range");
+            }
+        }
+        return b.build();
+    }
+    // Iterate potential edges in lexicographic order with geometric jumps.
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    while v < n {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        w += 1 + (r.ln() / log_q).floor() as i64;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge(w as NodeId, v as NodeId).expect("in range");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gnm(100, 250, &mut rng).unwrap();
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 250);
+    }
+
+    #[test]
+    fn gnm_rejects_impossible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(gnm(4, 7, &mut rng).is_err()); // max is 6
+        assert!(gnm(4, 6, &mut rng).is_ok()); // complete graph, dense path
+    }
+
+    #[test]
+    fn gnm_zero_nodes_and_edges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(gnm(0, 0, &mut rng).unwrap().num_nodes(), 0);
+        assert_eq!(gnm(5, 0, &mut rng).unwrap().num_edges(), 0);
+    }
+
+    #[test]
+    fn gnm_dense_path_produces_simple_graph() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gnm(10, 40, &mut rng).unwrap(); // max 45, dense branch
+        assert_eq!(g.num_edges(), 40);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(gnp(50, 0.0, &mut rng).num_edges(), 0);
+        let g = gnp(10, 1.0, &mut rng);
+        assert_eq!(g.num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        // 5 sigma tolerance.
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (got - expected).abs() < 5.0 * sigma,
+            "edges {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_small_graphs() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(gnp(0, 0.5, &mut rng).num_nodes(), 0);
+        assert_eq!(gnp(1, 0.5, &mut rng).num_edges(), 0);
+    }
+
+    #[test]
+    fn generators_are_deterministic_given_seed() {
+        let g1 = gnm(50, 100, &mut StdRng::seed_from_u64(9)).unwrap();
+        let g2 = gnm(50, 100, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(g1, g2);
+        let h1 = gnp(50, 0.1, &mut StdRng::seed_from_u64(9));
+        let h2 = gnp(50, 0.1, &mut StdRng::seed_from_u64(9));
+        assert_eq!(h1, h2);
+    }
+}

@@ -1,0 +1,103 @@
+//! k-regular random graphs.
+
+use super::configuration::configuration_model_rewired;
+use crate::{Graph, GraphBuilder, GraphError, NodeId};
+use rand::Rng;
+
+/// Samples a random simple `k`-regular graph on `n` nodes.
+///
+/// Inside each category, the paper's synthetic model (§6.2.1) is exactly
+/// this. Implemented as the rewired configuration model with a constant
+/// degree sequence; `k = n - 1` (the complete graph) is special-cased since
+/// no swap could ever succeed at full density.
+///
+/// Fails if `n·k` is odd or `k >= n`.
+pub fn k_regular<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Result<Graph, GraphError> {
+    if k >= n && !(n == 0 && k == 0) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("k-regular graph needs k < n (k={k}, n={n})"),
+        });
+    }
+    if n.saturating_mul(k) % 2 != 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("n*k must be even (n={n}, k={k})"),
+        });
+    }
+    if k == 0 {
+        return Ok(GraphBuilder::new(n).build());
+    }
+    if k == n - 1 {
+        // Complete graph.
+        let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                b.add_edge(u, v)?;
+            }
+        }
+        return Ok(b.build());
+    }
+    configuration_model_rewired(&vec![k; n], rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::connected_components;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degrees_are_exactly_k() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(n, k) in &[(50usize, 5usize), (100, 20), (64, 3), (10, 4)] {
+            let g = k_regular(n, k, &mut rng).unwrap();
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(g.num_edges(), n * k / 2);
+            for v in 0..n {
+                assert_eq!(g.degree(v as NodeId), k, "n={n} k={k} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_special_case() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = k_regular(50, 49, &mut rng).unwrap();
+        assert_eq!(g.num_edges(), 50 * 49 / 2);
+        for v in 0..50 {
+            assert_eq!(g.degree(v), 49);
+        }
+    }
+
+    #[test]
+    fn zero_regular() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = k_regular(10, 0, &mut rng).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(k_regular(5, 5, &mut rng).is_err()); // k >= n
+        assert!(k_regular(5, 3, &mut rng).is_err()); // odd n*k
+    }
+
+    #[test]
+    fn dense_regular_graph_converges() {
+        // High density but below complete: stresses the rewiring loop.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = k_regular(20, 16, &mut rng).unwrap();
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 16);
+        }
+    }
+
+    #[test]
+    fn random_regular_graphs_are_usually_connected() {
+        // Random k-regular graphs with k >= 3 are connected w.h.p.
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = k_regular(200, 3, &mut rng).unwrap();
+        assert_eq!(connected_components(&g).num_components, 1);
+    }
+}

@@ -1,0 +1,354 @@
+//! Node partitions into categories (§2.2 of the paper).
+
+use crate::{Graph, GraphError, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Identifier of a category in a [`Partition`].
+pub type CategoryId = u32;
+
+/// A partition of the node set `V` into categories `C` (§2.2).
+///
+/// Every node belongs to exactly one category. Categories model the
+/// user-declared attributes of the paper — countries, colleges, workplaces —
+/// or communities found algorithmically (§6.3.1).
+///
+/// # Example
+///
+/// ```
+/// use cgte_graph::Partition;
+/// let p = Partition::from_assignments(vec![0, 1, 0, 1, 1], 2).unwrap();
+/// assert_eq!(p.num_categories(), 2);
+/// assert_eq!(p.category_size(1), 3);
+/// assert_eq!(p.category_of(2), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `assignment[v]` is the category of node `v`.
+    assignment: Vec<CategoryId>,
+    /// `sizes[c]` is `|C_c|`.
+    sizes: Vec<u64>,
+}
+
+impl Partition {
+    /// Creates a partition from an explicit per-node assignment.
+    ///
+    /// `num_categories` fixes the category id space `0..num_categories`,
+    /// which may include empty categories. Fails if any assignment is out of
+    /// range.
+    pub fn from_assignments(
+        assignment: Vec<CategoryId>,
+        num_categories: usize,
+    ) -> Result<Self, GraphError> {
+        let mut sizes = vec![0u64; num_categories];
+        for (v, &c) in assignment.iter().enumerate() {
+            if c as usize >= num_categories {
+                return Err(GraphError::InvalidPartition {
+                    reason: format!(
+                        "node {v} assigned to category {c}, but only {num_categories} categories declared"
+                    ),
+                });
+            }
+            sizes[c as usize] += 1;
+        }
+        Ok(Partition { assignment, sizes })
+    }
+
+    /// A single category containing every node — the trivial partition.
+    pub fn trivial(num_nodes: usize) -> Self {
+        Partition { assignment: vec![0; num_nodes], sizes: vec![num_nodes as u64] }
+    }
+
+    /// Partitions `0..num_nodes` into consecutive blocks of the given sizes.
+    ///
+    /// Fails unless the sizes sum to exactly `num_nodes`. This is how the
+    /// paper's synthetic model lays out its 10 categories before the
+    /// α-permutation (§6.2.1).
+    pub fn blocks(num_nodes: usize, block_sizes: &[usize]) -> Result<Self, GraphError> {
+        let total: usize = block_sizes.iter().sum();
+        if total != num_nodes {
+            return Err(GraphError::InvalidPartition {
+                reason: format!("block sizes sum to {total}, expected {num_nodes}"),
+            });
+        }
+        let mut assignment = Vec::with_capacity(num_nodes);
+        for (c, &s) in block_sizes.iter().enumerate() {
+            assignment.extend(std::iter::repeat(c as CategoryId).take(s));
+        }
+        Ok(Partition {
+            assignment,
+            sizes: block_sizes.iter().map(|&s| s as u64).collect(),
+        })
+    }
+
+    /// Number of nodes covered by the partition.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of categories `|C|` (including empty ones).
+    #[inline]
+    pub fn num_categories(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The category of node `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn category_of(&self, v: NodeId) -> CategoryId {
+        self.assignment[v as usize]
+    }
+
+    /// Exact size `|A|` of category `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn category_size(&self, c: CategoryId) -> u64 {
+        self.sizes[c as usize]
+    }
+
+    /// All category sizes, indexed by category id.
+    #[inline]
+    pub fn sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    /// The raw assignment slice, indexed by node id.
+    #[inline]
+    pub fn assignments(&self) -> &[CategoryId] {
+        &self.assignment
+    }
+
+    /// Relative size `f_A = |A| / |V|` (Eq. (2)).
+    pub fn relative_size(&self, c: CategoryId) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.category_size(c) as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Relative volume `f_A^vol = vol(A) / vol(V)` (Eq. (2)).
+    pub fn relative_volume(&self, g: &Graph, c: CategoryId) -> f64 {
+        let tot = g.total_volume();
+        if tot == 0 {
+            return 0.0;
+        }
+        let vol: u64 = (0..self.num_nodes())
+            .filter(|&v| self.assignment[v] == c)
+            .map(|v| g.degree(v as NodeId) as u64)
+            .sum();
+        vol as f64 / tot as f64
+    }
+
+    /// Members of category `c`, in ascending node order. `O(N)`.
+    pub fn members(&self, c: CategoryId) -> Vec<NodeId> {
+        (0..self.num_nodes() as NodeId)
+            .filter(|&v| self.assignment[v as usize] == c)
+            .collect()
+    }
+
+    /// Per-category member lists, computed in one `O(N)` pass.
+    pub fn all_members(&self) -> Vec<Vec<NodeId>> {
+        let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); self.num_categories()];
+        for (v, &c) in self.assignment.iter().enumerate() {
+            out[c as usize].push(v as NodeId);
+        }
+        out
+    }
+
+    /// Randomly permutes the category labels of a fraction `alpha` of nodes
+    /// (§6.2.1).
+    ///
+    /// The paper's community-tightness knob: the selected nodes' labels are
+    /// shuffled *among themselves*, so every category keeps its exact size
+    /// while its alignment with graph structure degrades. `alpha = 0` leaves
+    /// the partition untouched; `alpha = 1` shuffles all labels.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is not in `\[0, 1\]`.
+    pub fn permute_labels<R: Rng + ?Sized>(&self, alpha: f64, rng: &mut R) -> Partition {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1], got {alpha}");
+        let n = self.num_nodes();
+        let k = ((n as f64) * alpha).round() as usize;
+        let mut chosen: Vec<usize> = rand::seq::index::sample(rng, n, k.min(n)).into_vec();
+        chosen.sort_unstable();
+        let mut labels: Vec<CategoryId> =
+            chosen.iter().map(|&v| self.assignment[v]).collect();
+        labels.shuffle(rng);
+        let mut assignment = self.assignment.clone();
+        for (i, &v) in chosen.iter().enumerate() {
+            assignment[v] = labels[i];
+        }
+        Partition { assignment, sizes: self.sizes.clone() }
+    }
+
+    /// Merges categories according to `group_of`, producing a coarser
+    /// partition with `num_groups` categories.
+    ///
+    /// `group_of[c]` names the new category of old category `c`. This is how
+    /// §7.3.1 merges regional networks into countries. Fails if any group id
+    /// is out of range or `group_of` does not cover all categories.
+    pub fn merge(
+        &self,
+        group_of: &[CategoryId],
+        num_groups: usize,
+    ) -> Result<Partition, GraphError> {
+        if group_of.len() != self.num_categories() {
+            return Err(GraphError::InvalidPartition {
+                reason: format!(
+                    "merge map covers {} categories, partition has {}",
+                    group_of.len(),
+                    self.num_categories()
+                ),
+            });
+        }
+        if let Some(&bad) = group_of.iter().find(|&&g| g as usize >= num_groups) {
+            return Err(GraphError::InvalidPartition {
+                reason: format!("merge target {bad} out of range ({num_groups} groups)"),
+            });
+        }
+        let assignment: Vec<CategoryId> =
+            self.assignment.iter().map(|&c| group_of[c as usize]).collect();
+        Partition::from_assignments(assignment, num_groups)
+    }
+
+    /// Verifies that the partition covers exactly the nodes of `g`.
+    pub fn check_covers(&self, g: &Graph) -> Result<(), GraphError> {
+        if self.num_nodes() != g.num_nodes() {
+            Err(GraphError::InvalidPartition {
+                reason: format!(
+                    "partition covers {} nodes, graph has {}",
+                    self.num_nodes(),
+                    g.num_nodes()
+                ),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_assignments_counts_sizes() {
+        let p = Partition::from_assignments(vec![0, 1, 1, 2, 1], 3).unwrap();
+        assert_eq!(p.sizes(), &[1, 3, 1]);
+        assert_eq!(p.num_nodes(), 5);
+        assert_eq!(p.num_categories(), 3);
+    }
+
+    #[test]
+    fn from_assignments_rejects_out_of_range() {
+        assert!(Partition::from_assignments(vec![0, 3], 3).is_err());
+    }
+
+    #[test]
+    fn allows_empty_categories() {
+        let p = Partition::from_assignments(vec![0, 0], 4).unwrap();
+        assert_eq!(p.category_size(3), 0);
+        assert_eq!(p.members(3), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn trivial_partition() {
+        let p = Partition::trivial(7);
+        assert_eq!(p.num_categories(), 1);
+        assert_eq!(p.category_size(0), 7);
+        assert!((p.relative_size(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocks_layout() {
+        let p = Partition::blocks(6, &[2, 1, 3]).unwrap();
+        assert_eq!(p.assignments(), &[0, 0, 1, 2, 2, 2]);
+        assert!(Partition::blocks(6, &[2, 2]).is_err());
+    }
+
+    #[test]
+    fn members_and_all_members_agree() {
+        let p = Partition::from_assignments(vec![1, 0, 1, 0, 1], 2).unwrap();
+        let all = p.all_members();
+        assert_eq!(all[0], p.members(0));
+        assert_eq!(all[1], p.members(1));
+        assert_eq!(all[1], vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn permute_preserves_sizes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let p = Partition::blocks(100, &[30, 70]).unwrap();
+        for &alpha in &[0.0, 0.3, 1.0] {
+            let q = p.permute_labels(alpha, &mut rng);
+            assert_eq!(q.sizes(), p.sizes(), "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn permute_zero_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Partition::blocks(50, &[25, 25]).unwrap();
+        let q = p.permute_labels(0.0, &mut rng);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn permute_one_changes_some_labels() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = Partition::blocks(1000, &[500, 500]).unwrap();
+        let q = p.permute_labels(1.0, &mut rng);
+        let changed = p
+            .assignments()
+            .iter()
+            .zip(q.assignments())
+            .filter(|(a, b)| a != b)
+            .count();
+        // With two equal halves fully shuffled, ~50% of labels change.
+        assert!(changed > 300, "only {changed} labels changed");
+    }
+
+    #[test]
+    fn relative_volume_splits() {
+        use crate::GraphBuilder;
+        // Path 0-1-2: degrees 1,2,1. Category {1} has volume 2 of 4.
+        let g = GraphBuilder::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let p = Partition::from_assignments(vec![0, 1, 0], 2).unwrap();
+        assert!((p.relative_volume(&g, 1) - 0.5).abs() < 1e-12);
+        assert!((p.relative_volume(&g, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_regions_into_countries() {
+        // 4 regions -> 2 countries.
+        let p = Partition::from_assignments(vec![0, 1, 2, 3, 0, 2], 4).unwrap();
+        let m = p.merge(&[0, 0, 1, 1], 2).unwrap();
+        assert_eq!(m.assignments(), &[0, 0, 1, 1, 0, 1]);
+        assert_eq!(m.sizes(), &[3, 3]);
+    }
+
+    #[test]
+    fn merge_rejects_bad_maps() {
+        let p = Partition::from_assignments(vec![0, 1], 2).unwrap();
+        assert!(p.merge(&[0], 1).is_err()); // wrong length
+        assert!(p.merge(&[0, 5], 2).is_err()); // target out of range
+    }
+
+    #[test]
+    fn check_covers_detects_mismatch() {
+        use crate::GraphBuilder;
+        let g = GraphBuilder::new(3).build();
+        let p = Partition::trivial(2);
+        assert!(p.check_covers(&g).is_err());
+        let p = Partition::trivial(3);
+        assert!(p.check_covers(&g).is_ok());
+    }
+}

@@ -1,0 +1,181 @@
+//! Walker's alias method for O(1) weighted sampling.
+
+use rand::Rng;
+
+/// A Walker alias table: after `O(n)` preprocessing, draws an index
+/// `i` with probability proportional to `weights[i]` in `O(1)`.
+///
+/// Substrate for [`crate::WeightedIndependence`] (WIS) and anywhere a fixed
+/// discrete distribution is sampled many times.
+///
+/// # Example
+///
+/// ```
+/// use cgte_sampling::AliasTable;
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let t = AliasTable::new(&[1.0, 3.0]).unwrap();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let draws = (0..10_000).filter(|_| t.sample(&mut rng) == 1).count();
+/// assert!((draws as f64 / 10_000.0 - 0.75).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability per cell.
+    prob: Vec<f64>,
+    /// Alias index per cell.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds an alias table for the given (unnormalized) weights.
+    ///
+    /// Returns `None` if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        let n = weights.len();
+        if n == 0 || n > u32::MAX as usize {
+            return None;
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        // Partition cells into under- and over-full stacks.
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // Large cell donates the remainder of the small one.
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers are exactly-full cells.
+        for l in large {
+            prob[l as usize] = 1.0;
+        }
+        for s in small {
+            prob[s as usize] = 1.0;
+        }
+        Some(AliasTable { prob, alias })
+    }
+
+    /// Number of categories in the table.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one index in `O(1)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(AliasTable::new(&[]).is_none());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_none());
+        assert!(AliasTable::new(&[1.0, -1.0]).is_none());
+        assert!(AliasTable::new(&[f64::NAN]).is_none());
+        assert!(AliasTable::new(&[f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let t = AliasTable::new(&[5.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for i in 0..4 {
+            let expect = weights[i] / total;
+            let got = counts[i] as f64 / n as f64;
+            assert!(
+                (got - expect).abs() < 0.005,
+                "category {i}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_weights_are_uniform() {
+        let t = AliasTable::new(&[2.5; 10]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / 100_000.0 - 0.1).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn len_reports_size() {
+        let t = AliasTable::new(&[1.0, 2.0]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn extreme_weight_ratios() {
+        let t = AliasTable::new(&[1e-12, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let ones = (0..10_000).filter(|_| t.sample(&mut rng) == 1).count();
+        assert!(ones > 9_990);
+    }
+}

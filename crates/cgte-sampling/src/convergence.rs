@@ -1,0 +1,157 @@
+//! Walk convergence diagnostics (§5.4).
+//!
+//! Crawl samples are autocorrelated; the paper relies on the ergodic
+//! theorem for asymptotic correctness but practitioners need to judge
+//! whether a finite walk "has adequately converged" \[20\]. This module
+//! provides the two standard checks used in the random-walk-sampling
+//! literature: lag autocorrelation of a scalar trace (typically the degree
+//! sequence of the walk) and the Geweke diagnostic comparing the first and
+//! last portions of the trace.
+
+/// Lag-`k` autocorrelation of a scalar series.
+///
+/// Returns `None` when the series is shorter than `k + 2` or has zero
+/// variance.
+pub fn autocorrelation(series: &[f64], lag: usize) -> Option<f64> {
+    let n = series.len();
+    if n < lag + 2 {
+        return None;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let var = series.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        return None;
+    }
+    let cov = (0..n - lag)
+        .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+        .sum::<f64>()
+        / (n - lag) as f64;
+    Some(cov / var)
+}
+
+/// The smallest thinning factor `T` at which the lag-`T` autocorrelation of
+/// the trace drops below `threshold` (searching `1..=max_lag`).
+///
+/// A practical recipe for choosing the §5.4 thinning parameter. Returns
+/// `None` if no lag up to `max_lag` achieves the threshold.
+pub fn decorrelation_lag(series: &[f64], threshold: f64, max_lag: usize) -> Option<usize> {
+    (1..=max_lag).find(|&lag| match autocorrelation(series, lag) {
+        Some(r) => r.abs() < threshold,
+        None => false,
+    })
+}
+
+/// Geweke convergence diagnostic: z-score comparing the mean of the first
+/// `first` fraction of the trace against the last `last` fraction, using
+/// naive (independence) standard errors.
+///
+/// |z| ≲ 2 is the usual "no evidence against convergence" reading; a walk
+/// still drifting away from its start produces |z| ≫ 2. Conventional
+/// fractions are `first = 0.1`, `last = 0.5`.
+///
+/// Returns `None` on degenerate inputs (short series, zero variance,
+/// fractions outside `(0, 1)` or overlapping).
+pub fn geweke_z(series: &[f64], first: f64, last: f64) -> Option<f64> {
+    if !(first > 0.0 && last > 0.0 && first + last <= 1.0) {
+        return None;
+    }
+    let n = series.len();
+    let n_a = ((n as f64) * first).floor() as usize;
+    let n_b = ((n as f64) * last).floor() as usize;
+    if n_a < 2 || n_b < 2 {
+        return None;
+    }
+    let a = &series[..n_a];
+    let b = &series[n - n_b..];
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+    let var = |s: &[f64], m: f64| {
+        s.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (s.len() - 1) as f64
+    };
+    let (ma, mb) = (mean(a), mean(b));
+    let se2 = var(a, ma) / n_a as f64 + var(b, mb) / n_b as f64;
+    if se2 <= 0.0 {
+        return None;
+    }
+    Some((ma - mb) / se2.sqrt())
+}
+
+/// Extracts the degree trace of a walk — the conventional scalar to run
+/// diagnostics on, since RW's stationary law is degree-proportional.
+pub fn degree_trace(g: &cgte_graph::Graph, walk: &[cgte_graph::NodeId]) -> Vec<f64> {
+    walk.iter().map(|&v| g.degree(v) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeSampler, RandomWalk};
+    use cgte_graph::generators::{planted_partition, PlantedConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn autocorrelation_of_iid_is_small() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let series: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        let r = autocorrelation(&series, 1).unwrap();
+        assert!(r.abs() < 0.05, "iid lag-1 autocorrelation {r}");
+    }
+
+    #[test]
+    fn autocorrelation_of_walk_is_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = PlantedConfig { category_sizes: vec![200, 200], k: 4, alpha: 0.0 };
+        let pg = planted_partition(&cfg, &mut rng).unwrap();
+        let walk = RandomWalk::new().sample(&pg.graph, 20_000, &mut rng);
+        let trace = degree_trace(&pg.graph, &walk);
+        let r1 = autocorrelation(&trace, 1).unwrap();
+        assert!(r1 > 0.02, "walk degree trace should autocorrelate, got {r1}");
+    }
+
+    #[test]
+    fn degenerate_autocorrelation_inputs() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), None);
+        assert_eq!(autocorrelation(&[3.0; 100], 1), None); // zero variance
+    }
+
+    #[test]
+    fn decorrelation_lag_on_ar1() {
+        // AR(1) with strong correlation decorrelates after several lags.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut x = 0.0f64;
+        let series: Vec<f64> = (0..50_000)
+            .map(|_| {
+                x = 0.8 * x + rng.gen_range(-1.0..1.0);
+                x
+            })
+            .collect();
+        let lag = decorrelation_lag(&series, 0.1, 100).unwrap();
+        assert!((5..60).contains(&lag), "AR(0.8) decorrelation lag {lag}");
+        // An iid series decorrelates immediately.
+        let iid: Vec<f64> = (0..10_000).map(|_| rng.gen()).collect();
+        assert_eq!(decorrelation_lag(&iid, 0.1, 10), Some(1));
+    }
+
+    #[test]
+    fn geweke_flags_drift_and_accepts_stationarity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Stationary noise: |z| small.
+        let flat: Vec<f64> = (0..5_000).map(|_| rng.gen::<f64>()).collect();
+        let z = geweke_z(&flat, 0.1, 0.5).unwrap();
+        assert!(z.abs() < 3.0, "stationary z {z}");
+        // Strong linear drift: |z| large.
+        let drift: Vec<f64> = (0..5_000)
+            .map(|i| i as f64 / 5_000.0 + rng.gen::<f64>() * 0.01)
+            .collect();
+        let z = geweke_z(&drift, 0.1, 0.5).unwrap();
+        assert!(z.abs() > 10.0, "drifting z {z}");
+    }
+
+    #[test]
+    fn geweke_degenerate_inputs() {
+        assert_eq!(geweke_z(&[1.0, 2.0, 3.0], 0.0, 0.5), None);
+        assert_eq!(geweke_z(&[1.0, 2.0, 3.0], 0.6, 0.6), None);
+        assert_eq!(geweke_z(&[1.0; 100], 0.1, 0.5), None); // zero variance
+        assert_eq!(geweke_z(&[1.0, 2.0], 0.1, 0.5), None); // too short
+    }
+}

@@ -1,0 +1,127 @@
+//! Multiple independent walks (§7: 25–28 walks per Facebook crawl).
+
+use crate::NodeSampler;
+use cgte_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// The node sequences of several independently started runs of one sampler.
+///
+/// The paper's Facebook datasets consist of 25–28 independent walks per
+/// crawl type; Fig. 6 treats each walk as a separate sample (estimating the
+/// spread across walks), while the final published category graphs combine
+/// all walks (§7.2, §7.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiWalkSample {
+    walks: Vec<Vec<NodeId>>,
+}
+
+impl MultiWalkSample {
+    /// Wraps explicit walk node sequences.
+    pub fn new(walks: Vec<Vec<NodeId>>) -> Self {
+        MultiWalkSample { walks }
+    }
+
+    /// Number of walks.
+    pub fn num_walks(&self) -> usize {
+        self.walks.len()
+    }
+
+    /// The node sequence of walk `i`.
+    pub fn walk(&self, i: usize) -> &[NodeId] {
+        &self.walks[i]
+    }
+
+    /// Iterator over all walks.
+    pub fn walks(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.walks.iter().map(|w| w.as_slice())
+    }
+
+    /// All walks concatenated into one combined sample.
+    pub fn combined(&self) -> Vec<NodeId> {
+        self.walks.iter().flatten().copied().collect()
+    }
+
+    /// Total number of samples across walks.
+    pub fn total_len(&self) -> usize {
+        self.walks.iter().map(Vec::len).sum()
+    }
+}
+
+/// Runs `num_walks` independent samples of `per_walk` nodes each.
+///
+/// Each run draws its own starting point (unless the sampler pins one), so
+/// runs are independent given the RNG stream.
+pub fn run_walks<S: NodeSampler, R: Rng + ?Sized>(
+    sampler: &S,
+    g: &Graph,
+    num_walks: usize,
+    per_walk: usize,
+    rng: &mut R,
+) -> MultiWalkSample {
+    MultiWalkSample::new(
+        (0..num_walks)
+            .map(|_| sampler.sample(g, per_walk, rng))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RandomWalk, UniformIndependence};
+    use cgte_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cycle(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n as NodeId {
+            b.add_edge(v, (v + 1) % n as NodeId).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn runs_requested_shape() {
+        let g = cycle(20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mw = run_walks(&RandomWalk::new(), &g, 5, 30, &mut rng);
+        assert_eq!(mw.num_walks(), 5);
+        assert_eq!(mw.total_len(), 150);
+        for i in 0..5 {
+            assert_eq!(mw.walk(i).len(), 30);
+        }
+    }
+
+    #[test]
+    fn combined_concatenates_in_order() {
+        let mw = MultiWalkSample::new(vec![vec![1, 2], vec![3], vec![4, 5]]);
+        assert_eq!(mw.combined(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(mw.total_len(), 5);
+    }
+
+    #[test]
+    fn walks_start_at_different_places() {
+        let g = cycle(100);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mw = run_walks(&RandomWalk::new(), &g, 10, 1, &mut rng);
+        let starts: std::collections::HashSet<NodeId> =
+            mw.walks().map(|w| w[0]).collect();
+        assert!(starts.len() > 1, "independent walks should start differently");
+    }
+
+    #[test]
+    fn works_with_independence_samplers_too() {
+        let g = cycle(10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mw = run_walks(&UniformIndependence, &g, 3, 50, &mut rng);
+        assert_eq!(mw.total_len(), 150);
+    }
+
+    #[test]
+    fn empty_multiwalk() {
+        let mw = MultiWalkSample::new(vec![]);
+        assert_eq!(mw.num_walks(), 0);
+        assert!(mw.combined().is_empty());
+    }
+}

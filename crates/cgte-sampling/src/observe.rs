@@ -1,0 +1,462 @@
+//! Observation scenarios (§3.2): what a measurement records about a sample.
+//!
+//! Estimators never see the graph — they see one of these observation
+//! structures, exactly the information a real crawler would have collected.
+
+use crate::NodeSampler;
+use cgte_graph::{CategoryId, Graph, NodeId, Partition};
+use std::collections::HashMap;
+
+fn categories_of(p: &Partition, nodes: &[NodeId]) -> Vec<CategoryId> {
+    nodes.iter().map(|&v| p.category_of(v)).collect()
+}
+
+fn degrees_of(g: &Graph, nodes: &[NodeId]) -> Vec<u32> {
+    nodes.iter().map(|&v| g.degree(v) as u32).collect()
+}
+
+/// An induced-subgraph observation (§3.2.1, Fig. 2(a)): for each sampled
+/// node its category, degree and design weight, plus every edge *between
+/// sampled nodes* — and nothing about unsampled nodes.
+///
+/// The sample is a multiset: the same node may appear at several indices,
+/// and edges between repeated nodes are recorded once per index pair,
+/// matching the multiplicity semantics of Eq. (8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InducedSample {
+    nodes: Vec<NodeId>,
+    categories: Vec<CategoryId>,
+    degrees: Vec<u32>,
+    weights: Vec<f64>,
+    /// Sample-index pairs `(i, j)`, `i < j`, whose nodes are adjacent in G.
+    edges: Vec<(u32, u32)>,
+    num_categories: usize,
+}
+
+impl InducedSample {
+    /// Observes `nodes` under a uniform design (all weights 1).
+    pub fn observe(g: &Graph, p: &Partition, nodes: &[NodeId]) -> Self {
+        Self::observe_with_weights(g, p, nodes, vec![1.0; nodes.len()])
+    }
+
+    /// Observes `nodes` with explicit design weights `w(v)` per sample.
+    ///
+    /// # Panics
+    /// Panics if `weights.len() != nodes.len()`, if the partition does not
+    /// cover the graph, or if a weight is non-positive or non-finite.
+    pub fn observe_with_weights(
+        g: &Graph,
+        p: &Partition,
+        nodes: &[NodeId],
+        weights: Vec<f64>,
+    ) -> Self {
+        assert_eq!(weights.len(), nodes.len(), "one weight per sample");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "sampled nodes must have positive finite design weights"
+        );
+        p.check_covers(g).expect("partition must cover graph");
+        // Index the sample multiset by node.
+        let mut at: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        for (i, &v) in nodes.iter().enumerate() {
+            at.entry(v).or_default().push(i as u32);
+        }
+        // Induced edges with multiset multiplicity: iterate each distinct
+        // sampled node's adjacency once (O(Σ deg) total).
+        let mut edges = Vec::new();
+        for (&u, iu) in &at {
+            for &v in g.neighbors(u) {
+                if v <= u {
+                    continue; // count each unordered node pair once
+                }
+                if let Some(iv) = at.get(&v) {
+                    for &i in iu {
+                        for &j in iv {
+                            edges.push(if i < j { (i, j) } else { (j, i) });
+                        }
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        InducedSample {
+            categories: categories_of(p, nodes),
+            degrees: degrees_of(g, nodes),
+            nodes: nodes.to_vec(),
+            weights,
+            edges,
+            num_categories: p.num_categories(),
+        }
+    }
+
+    /// Observes `nodes` with the weights reported by `sampler`.
+    pub fn observe_sampler<S: NodeSampler + ?Sized>(
+        g: &Graph,
+        p: &Partition,
+        nodes: &[NodeId],
+        sampler: &S,
+    ) -> Self {
+        Self::observe_with_weights(g, p, nodes, sampler.weights_for(g, nodes))
+    }
+
+    /// Number of samples `n = |S|` (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of categories of the underlying partition.
+    pub fn num_categories(&self) -> usize {
+        self.num_categories
+    }
+
+    /// Sampled node ids, in draw order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Category of each sample.
+    pub fn categories(&self) -> &[CategoryId] {
+        &self.categories
+    }
+
+    /// Degree of each sample (known to a crawler from the friend list).
+    pub fn degrees(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    /// Design weight of each sample.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Observed edges as sample-index pairs `(i, j)`, `i < j`.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// A copy of this observation with all design weights reset to 1,
+    /// i.e. reinterpreted as a uniform sample (used by
+    /// `Design::Uniform` in `cgte-core`).
+    pub fn with_unit_weights(&self) -> InducedSample {
+        let mut s = self.clone();
+        s.weights = vec![1.0; s.nodes.len()];
+        s
+    }
+
+    /// Re-observes a bootstrap replicate: `indices` select samples (with
+    /// repetition allowed); induced edges are re-derived from the recorded
+    /// ones without touching the graph.
+    pub fn subsample(&self, indices: &[u32]) -> InducedSample {
+        let mut new_at: HashMap<u32, Vec<u32>> = HashMap::new();
+        for (new_i, &old_i) in indices.iter().enumerate() {
+            new_at.entry(old_i).or_default().push(new_i as u32);
+        }
+        let mut edges = Vec::new();
+        for &(a, b) in &self.edges {
+            if let (Some(ia), Some(ib)) = (new_at.get(&a), new_at.get(&b)) {
+                for &i in ia {
+                    for &j in ib {
+                        edges.push(if i < j { (i, j) } else { (j, i) });
+                    }
+                }
+            }
+        }
+        edges.sort_unstable();
+        InducedSample {
+            nodes: indices.iter().map(|&i| self.nodes[i as usize]).collect(),
+            categories: indices.iter().map(|&i| self.categories[i as usize]).collect(),
+            degrees: indices.iter().map(|&i| self.degrees[i as usize]).collect(),
+            weights: indices.iter().map(|&i| self.weights[i as usize]).collect(),
+            edges,
+            num_categories: self.num_categories,
+        }
+    }
+}
+
+/// A (labeled) star observation (§3.2.2, Fig. 2(b)): everything in
+/// [`InducedSample`] *plus*, for each sampled node, the categories of all
+/// its neighbors — but not the neighbors' degrees, friend lists, or ties
+/// among them (this is *not* egonet sampling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarSample {
+    nodes: Vec<NodeId>,
+    categories: Vec<CategoryId>,
+    degrees: Vec<u32>,
+    weights: Vec<f64>,
+    /// Per sample: sparse neighbor-category histogram, sorted by category.
+    neighbor_cats: Vec<Vec<(CategoryId, u32)>>,
+    num_categories: usize,
+}
+
+impl StarSample {
+    /// Observes `nodes` under a uniform design (all weights 1).
+    pub fn observe(g: &Graph, p: &Partition, nodes: &[NodeId]) -> Self {
+        Self::observe_with_weights(g, p, nodes, vec![1.0; nodes.len()])
+    }
+
+    /// Observes `nodes` with explicit design weights.
+    ///
+    /// # Panics
+    /// Same contract as [`InducedSample::observe_with_weights`].
+    pub fn observe_with_weights(
+        g: &Graph,
+        p: &Partition,
+        nodes: &[NodeId],
+        weights: Vec<f64>,
+    ) -> Self {
+        assert_eq!(weights.len(), nodes.len(), "one weight per sample");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "sampled nodes must have positive finite design weights"
+        );
+        p.check_covers(g).expect("partition must cover graph");
+        // Histogram neighbors per *distinct* node once, then share.
+        let mut cache: HashMap<NodeId, Vec<(CategoryId, u32)>> = HashMap::new();
+        for &v in nodes {
+            cache.entry(v).or_insert_with(|| {
+                let mut counts: HashMap<CategoryId, u32> = HashMap::new();
+                for &u in g.neighbors(v) {
+                    *counts.entry(p.category_of(u)).or_insert(0) += 1;
+                }
+                let mut hist: Vec<(CategoryId, u32)> = counts.into_iter().collect();
+                hist.sort_unstable();
+                hist
+            });
+        }
+        let neighbor_cats: Vec<Vec<(CategoryId, u32)>> =
+            nodes.iter().map(|v| cache[v].clone()).collect();
+        StarSample {
+            categories: categories_of(p, nodes),
+            degrees: degrees_of(g, nodes),
+            nodes: nodes.to_vec(),
+            weights,
+            neighbor_cats,
+            num_categories: p.num_categories(),
+        }
+    }
+
+    /// Observes `nodes` with the weights reported by `sampler`.
+    pub fn observe_sampler<S: NodeSampler + ?Sized>(
+        g: &Graph,
+        p: &Partition,
+        nodes: &[NodeId],
+        sampler: &S,
+    ) -> Self {
+        Self::observe_with_weights(g, p, nodes, sampler.weights_for(g, nodes))
+    }
+
+    /// Number of samples `n = |S|` (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of categories of the underlying partition.
+    pub fn num_categories(&self) -> usize {
+        self.num_categories
+    }
+
+    /// Sampled node ids, in draw order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Category of each sample.
+    pub fn categories(&self) -> &[CategoryId] {
+        &self.categories
+    }
+
+    /// Degree of each sample.
+    pub fn degrees(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    /// Design weight of each sample.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Sparse neighbor-category histogram of sample `i`.
+    pub fn neighbor_categories(&self, i: usize) -> &[(CategoryId, u32)] {
+        &self.neighbor_cats[i]
+    }
+
+    /// Number of neighbors of sample `i` in category `c` — the paper's
+    /// `|E_{s,C}|`, the size of the edge-cut between node `s` and
+    /// category `c`.
+    pub fn neighbors_in(&self, i: usize, c: CategoryId) -> u32 {
+        self.neighbor_cats[i]
+            .binary_search_by_key(&c, |&(cat, _)| cat)
+            .map(|pos| self.neighbor_cats[i][pos].1)
+            .unwrap_or(0)
+    }
+
+    /// A copy of this observation with all design weights reset to 1
+    /// (uniform reinterpretation; see `Design::Uniform` in `cgte-core`).
+    pub fn with_unit_weights(&self) -> StarSample {
+        let mut s = self.clone();
+        s.weights = vec![1.0; s.nodes.len()];
+        s
+    }
+
+    /// Bootstrap replicate: select samples by index (repetition allowed).
+    pub fn subsample(&self, indices: &[u32]) -> StarSample {
+        StarSample {
+            nodes: indices.iter().map(|&i| self.nodes[i as usize]).collect(),
+            categories: indices.iter().map(|&i| self.categories[i as usize]).collect(),
+            degrees: indices.iter().map(|&i| self.degrees[i as usize]).collect(),
+            weights: indices.iter().map(|&i| self.weights[i as usize]).collect(),
+            neighbor_cats: indices
+                .iter()
+                .map(|&i| self.neighbor_cats[i as usize].clone())
+                .collect(),
+            num_categories: self.num_categories,
+        }
+    }
+
+    /// Forgets the star information, yielding the induced-subgraph view of
+    /// the same draw — the paper's §7.1 trick for comparing designs on the
+    /// same data ("by discarding the information about v's [neighbors]").
+    ///
+    /// Requires the graph to re-derive induced edges (the star structure
+    /// does not store neighbor identities, only their categories).
+    pub fn to_induced(&self, g: &Graph, p: &Partition) -> InducedSample {
+        InducedSample::observe_with_weights(g, p, &self.nodes, self.weights.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgte_graph::GraphBuilder;
+
+    /// Two triangles joined by a bridge; categories = triangle membership.
+    fn fixture() -> (Graph, Partition) {
+        let g = GraphBuilder::from_edges(
+            6,
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        (g, p)
+    }
+
+    #[test]
+    fn induced_records_categories_degrees() {
+        let (g, p) = fixture();
+        let s = InducedSample::observe(&g, &p, &[0, 3, 2]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.categories(), &[0, 1, 0]);
+        assert_eq!(s.degrees(), &[2, 3, 3]);
+        assert_eq!(s.weights(), &[1.0, 1.0, 1.0]);
+        assert_eq!(s.num_categories(), 2);
+    }
+
+    #[test]
+    fn induced_edges_only_among_sampled() {
+        let (g, p) = fixture();
+        // Nodes 0, 2 adjacent; 0, 3 not; 2, 3 adjacent (bridge).
+        let s = InducedSample::observe(&g, &p, &[0, 3, 2]);
+        assert_eq!(s.edges(), &[(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn induced_multiset_multiplicity() {
+        let (g, p) = fixture();
+        // Node 2 sampled twice, node 3 once: bridge edge counted twice.
+        let s = InducedSample::observe(&g, &p, &[2, 2, 3]);
+        assert_eq!(s.edges(), &[(0, 2), (1, 2)]);
+        // Same node repeated is never an edge (no self-loops).
+        let s = InducedSample::observe(&g, &p, &[2, 2]);
+        assert!(s.edges().is_empty());
+    }
+
+    #[test]
+    fn induced_empty_sample() {
+        let (g, p) = fixture();
+        let s = InducedSample::observe(&g, &p, &[]);
+        assert!(s.is_empty());
+        assert!(s.edges().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn induced_rejects_zero_weight() {
+        let (g, p) = fixture();
+        let _ = InducedSample::observe_with_weights(&g, &p, &[0], vec![0.0]);
+    }
+
+    #[test]
+    fn star_neighbor_histograms() {
+        let (g, p) = fixture();
+        let s = StarSample::observe(&g, &p, &[2, 4]);
+        // Node 2: neighbors 0, 1 (cat 0) and 3 (cat 1).
+        assert_eq!(s.neighbors_in(0, 0), 2);
+        assert_eq!(s.neighbors_in(0, 1), 1);
+        // Node 4: neighbors 3, 5, all cat 1.
+        assert_eq!(s.neighbors_in(1, 0), 0);
+        assert_eq!(s.neighbors_in(1, 1), 2);
+        assert_eq!(s.neighbor_categories(0), &[(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn star_degree_equals_neighbor_total() {
+        let (g, p) = fixture();
+        let s = StarSample::observe(&g, &p, &[0, 1, 2, 3, 4, 5]);
+        for i in 0..s.len() {
+            let total: u32 = s.neighbor_categories(i).iter().map(|&(_, c)| c).sum();
+            assert_eq!(total, s.degrees()[i], "sample {i}");
+        }
+    }
+
+    #[test]
+    fn star_to_induced_round_trip() {
+        let (g, p) = fixture();
+        let nodes = [0, 3, 2, 2];
+        let star = StarSample::observe(&g, &p, &nodes);
+        let induced = star.to_induced(&g, &p);
+        let direct = InducedSample::observe(&g, &p, &nodes);
+        assert_eq!(induced, direct);
+    }
+
+    #[test]
+    fn induced_subsample_remaps_edges() {
+        let (g, p) = fixture();
+        let s = InducedSample::observe(&g, &p, &[0, 3, 2]); // edges (0,2),(1,2)
+        // Keep samples 2 and 0 (nodes 2 and 0, adjacent), in swapped order.
+        let sub = s.subsample(&[2, 0]);
+        assert_eq!(sub.nodes(), &[2, 0]);
+        assert_eq!(sub.edges(), &[(0, 1)]);
+        // Repeating an index duplicates its incident edges.
+        let sub = s.subsample(&[2, 0, 0]);
+        assert_eq!(sub.edges(), &[(0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn star_subsample_preserves_records() {
+        let (g, p) = fixture();
+        let s = StarSample::observe(&g, &p, &[2, 4]);
+        let sub = s.subsample(&[1, 1]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.nodes(), &[4, 4]);
+        assert_eq!(sub.neighbors_in(0, 1), 2);
+    }
+
+    #[test]
+    fn observe_sampler_attaches_design_weights() {
+        use crate::RandomWalk;
+        let (g, p) = fixture();
+        let rw = RandomWalk::new();
+        let s = StarSample::observe_sampler(&g, &p, &[2, 0], &rw);
+        assert_eq!(s.weights(), &[3.0, 2.0]); // degrees
+    }
+}

@@ -1,0 +1,144 @@
+//! The sampler abstraction shared by all sampling designs.
+
+use crate::{
+    MetropolisHastingsWalk, RandomWalk, Swrw, UniformIndependence, WeightedIndependence,
+    WeightedRandomWalk,
+};
+use cgte_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Whether a design samples uniformly or with known non-uniform weights.
+///
+/// Drives the estimator family choice: uniform designs use the §4
+/// estimators; weighted designs use the Hansen–Hurwitz-corrected §5 forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignKind {
+    /// Every node equally likely (UIS, converged MHRW).
+    Uniform,
+    /// Node `v` sampled with probability ∝ a known weight `w(v)`
+    /// (WIS, RW → degree, S-WRW → stratified stationary weight).
+    Weighted,
+}
+
+/// A with-replacement probability sampler of nodes (§3.1).
+///
+/// Implementations must be deterministic given the RNG, and must report the
+/// stationary sampling weight `w(v) ∝ π(v)` of every node — known only up to
+/// a constant, which is all the ratio estimators of §5 require.
+pub trait NodeSampler {
+    /// Draws a multiset sample of `n` nodes from `g`.
+    ///
+    /// Crawling samplers interpret `n` as the number of *retained* samples
+    /// (after burn-in and thinning).
+    fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId>;
+
+    /// The design family this sampler realizes (asymptotically, for walks).
+    fn design(&self) -> DesignKind;
+
+    /// Stationary sampling weight of node `v`, up to a constant factor.
+    ///
+    /// Uniform designs return 1 for every node.
+    fn weight_of(&self, g: &Graph, v: NodeId) -> f64;
+
+    /// Convenience: the weights of an entire drawn sample, in order.
+    fn weights_for(&self, g: &Graph, nodes: &[NodeId]) -> Vec<f64> {
+        nodes.iter().map(|&v| self.weight_of(g, v)).collect()
+    }
+}
+
+/// A dynamically chosen sampler, for experiment sweeps that iterate over
+/// designs (Fig. 4 and Fig. 6 compare UIS/RW/MHRW/S-WRW side by side).
+#[derive(Debug, Clone)]
+pub enum AnySampler {
+    /// Uniform independence sampling.
+    Uis(UniformIndependence),
+    /// Weighted independence sampling.
+    Wis(WeightedIndependence),
+    /// Simple random walk.
+    Rw(RandomWalk),
+    /// Metropolis–Hastings random walk.
+    Mhrw(MetropolisHastingsWalk),
+    /// Weighted random walk (product-form edge weights).
+    Wrw(WeightedRandomWalk),
+    /// Stratified weighted random walk.
+    Swrw(Swrw),
+}
+
+impl AnySampler {
+    /// Short display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AnySampler::Uis(_) => "UIS",
+            AnySampler::Wis(_) => "WIS",
+            AnySampler::Rw(_) => "RW",
+            AnySampler::Mhrw(_) => "MHRW",
+            AnySampler::Wrw(_) => "WRW",
+            AnySampler::Swrw(_) => "S-WRW",
+        }
+    }
+}
+
+impl NodeSampler for AnySampler {
+    fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
+        match self {
+            AnySampler::Uis(s) => s.sample(g, n, rng),
+            AnySampler::Wis(s) => s.sample(g, n, rng),
+            AnySampler::Rw(s) => s.sample(g, n, rng),
+            AnySampler::Mhrw(s) => s.sample(g, n, rng),
+            AnySampler::Wrw(s) => s.sample(g, n, rng),
+            AnySampler::Swrw(s) => s.sample(g, n, rng),
+        }
+    }
+
+    fn design(&self) -> DesignKind {
+        match self {
+            AnySampler::Uis(s) => s.design(),
+            AnySampler::Wis(s) => s.design(),
+            AnySampler::Rw(s) => s.design(),
+            AnySampler::Mhrw(s) => s.design(),
+            AnySampler::Wrw(s) => s.design(),
+            AnySampler::Swrw(s) => s.design(),
+        }
+    }
+
+    fn weight_of(&self, g: &Graph, v: NodeId) -> f64 {
+        match self {
+            AnySampler::Uis(s) => s.weight_of(g, v),
+            AnySampler::Wis(s) => s.weight_of(g, v),
+            AnySampler::Rw(s) => s.weight_of(g, v),
+            AnySampler::Mhrw(s) => s.weight_of(g, v),
+            AnySampler::Wrw(s) => s.weight_of(g, v),
+            AnySampler::Swrw(s) => s.weight_of(g, v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgte_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn any_sampler_names() {
+        assert_eq!(AnySampler::Uis(UniformIndependence).name(), "UIS");
+        assert_eq!(AnySampler::Rw(RandomWalk::new()).name(), "RW");
+        assert_eq!(AnySampler::Mhrw(MetropolisHastingsWalk::new()).name(), "MHRW");
+    }
+
+    #[test]
+    fn any_sampler_dispatches() {
+        let g = GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = AnySampler::Uis(UniformIndependence);
+        assert_eq!(s.design(), DesignKind::Uniform);
+        assert_eq!(s.sample(&g, 10, &mut rng).len(), 10);
+        assert_eq!(s.weight_of(&g, 0), 1.0);
+
+        let s = AnySampler::Rw(RandomWalk::new());
+        assert_eq!(s.design(), DesignKind::Weighted);
+        assert_eq!(s.sample(&g, 10, &mut rng).len(), 10);
+        assert_eq!(s.weight_of(&g, 0), 2.0); // degree
+    }
+}

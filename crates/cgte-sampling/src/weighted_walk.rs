@@ -1,0 +1,220 @@
+//! Weighted random walk with product-form edge weights (§3.1.2).
+
+use crate::random_walk::random_start;
+use crate::{DesignKind, NodeSampler};
+use cgte_graph::{Graph, NodeId};
+use rand::Rng;
+
+/// Weighted Random Walk (WRW): a random walk on a weighted graph \[5\], here
+/// with **product-form** edge weights `w({u,v}) = f(u)·f(v)` for a per-node
+/// factor `f`.
+///
+/// Product form has two properties that make it the right substrate for
+/// stratified crawling ([`crate::Swrw`]):
+///
+/// 1. the transition probability from `u` to neighbor `v` is ∝ `f(v)` —
+///    the factor `f(u)` cancels — so a crawler only needs the factors of
+///    the *neighbors* it can see;
+/// 2. the stationary probability is `π(v) ∝ f(v)·Σ_{u∼v} f(u)`, computable
+///    from information observed when visiting `v` (its neighbor list), so
+///    the Hansen–Hurwitz correction of §5 is applicable in a real crawl.
+///
+/// Nodes with factor 0 are never *targeted*; if a walk finds itself where
+/// every neighbor has factor 0 it moves uniformly instead (and such
+/// fallback steps remain valid samples of the modified chain — documented
+/// deviation kept deliberately rare by choosing positive factors).
+#[derive(Debug, Clone)]
+pub struct WeightedRandomWalk {
+    factors: Vec<f64>,
+    burn_in: usize,
+    thinning: usize,
+    start: Option<NodeId>,
+}
+
+impl WeightedRandomWalk {
+    /// Creates a WRW with the given per-node factors.
+    ///
+    /// Returns `None` if any factor is negative or non-finite.
+    pub fn new(factors: Vec<f64>) -> Option<Self> {
+        if factors.iter().any(|f| !f.is_finite() || *f < 0.0) {
+            return None;
+        }
+        Some(WeightedRandomWalk { factors, burn_in: 0, thinning: 1, start: None })
+    }
+
+    /// Discards the first `steps` visited nodes.
+    pub fn burn_in(mut self, steps: usize) -> Self {
+        self.burn_in = steps;
+        self
+    }
+
+    /// Keeps only every `t`-th node (`t >= 1`).
+    ///
+    /// # Panics
+    /// Panics if `t == 0`.
+    pub fn thinning(mut self, t: usize) -> Self {
+        assert!(t >= 1, "thinning factor must be at least 1");
+        self.thinning = t;
+        self
+    }
+
+    /// Fixes the starting node.
+    pub fn start_at(mut self, v: NodeId) -> Self {
+        self.start = Some(v);
+        self
+    }
+
+    /// The per-node factors.
+    pub fn factors(&self) -> &[f64] {
+        &self.factors
+    }
+
+    fn step<R: Rng + ?Sized>(&self, g: &Graph, u: NodeId, rng: &mut R) -> NodeId {
+        let nbrs = g.neighbors(u);
+        assert!(!nbrs.is_empty(), "walk reached an isolated node {u}");
+        let total: f64 = nbrs.iter().map(|&v| self.factors[v as usize]).sum();
+        if total <= 0.0 {
+            // All-neighbor-zero fallback: uniform step.
+            return nbrs[rng.gen_range(0..nbrs.len())];
+        }
+        let mut x = rng.gen::<f64>() * total;
+        for &v in nbrs {
+            x -= self.factors[v as usize];
+            if x <= 0.0 {
+                return v;
+            }
+        }
+        *nbrs.last().expect("non-empty")
+    }
+}
+
+impl NodeSampler for WeightedRandomWalk {
+    fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
+        assert_eq!(
+            self.factors.len(),
+            g.num_nodes(),
+            "factor vector does not cover the graph"
+        );
+        let mut cur = self.start.unwrap_or_else(|| random_start(g, rng));
+        for _ in 0..self.burn_in {
+            cur = self.step(g, cur, rng);
+        }
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            out.push(cur);
+            for _ in 0..self.thinning {
+                cur = self.step(g, cur, rng);
+            }
+        }
+        out
+    }
+
+    fn design(&self) -> DesignKind {
+        DesignKind::Weighted
+    }
+
+    /// Stationary weight `π(v) ∝ f(v)·Σ_{u∼v} f(u)` (node strength under
+    /// product-form edge weights).
+    fn weight_of(&self, g: &Graph, v: NodeId) -> f64 {
+        let f_v = self.factors[v as usize];
+        if f_v == 0.0 {
+            return 0.0;
+        }
+        f_v * g
+            .neighbors(v)
+            .iter()
+            .map(|&u| self.factors[u as usize])
+            .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgte_graph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_factors_reduce_to_simple_rw() {
+        let g = GraphBuilder::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).unwrap();
+        let wrw = WeightedRandomWalk::new(vec![1.0; 5]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let s = wrw.clone().burn_in(100).sample(&g, n, &mut rng);
+        let mut counts = [0usize; 5];
+        for v in s {
+            counts[v as usize] += 1;
+        }
+        for v in 0..5u32 {
+            let expect = g.degree(v) as f64 / 10.0;
+            let got = counts[v as usize] as f64 / n as f64;
+            assert!((got - expect).abs() < 0.01, "node {v}: {got} vs {expect}");
+        }
+        // With unit factors, weight_of equals the degree.
+        assert_eq!(wrw.weight_of(&g, 2), 3.0);
+    }
+
+    #[test]
+    fn stationary_matches_strength() {
+        // Triangle with one boosted node.
+        let g = GraphBuilder::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let factors = vec![1.0, 4.0, 1.0];
+        let wrw = WeightedRandomWalk::new(factors).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 300_000;
+        let s = wrw.clone().burn_in(100).sample(&g, n, &mut rng);
+        let mut counts = [0usize; 3];
+        for v in s {
+            counts[v as usize] += 1;
+        }
+        // Strengths: s(0)=1*(4+1)=5, s(1)=4*(1+1)=8, s(2)=5. Total 18.
+        let expect = [5.0 / 18.0, 8.0 / 18.0, 5.0 / 18.0];
+        for v in 0..3 {
+            let got = counts[v] as f64 / n as f64;
+            assert!(
+                (got - expect[v]).abs() < 0.01,
+                "node {v}: {got} vs {}",
+                expect[v]
+            );
+            assert!((wrw.weight_of(&g, v as NodeId)
+                - [5.0, 8.0, 5.0][v])
+                .abs()
+                < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_factor_nodes_avoided() {
+        // Path 0-1-2-3 where node 1 has factor 0: walk started at 2/3
+        // should rarely visit 0 (only via the uniform fallback at node 1,
+        // which it never enters from the right side).
+        let g = GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let wrw = WeightedRandomWalk::new(vec![1.0, 0.0, 1.0, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = wrw.clone().start_at(3).sample(&g, 10_000, &mut rng);
+        assert!(s.iter().all(|&v| v != 1 && v != 0), "zero-factor region entered");
+        assert_eq!(wrw.weight_of(&g, 1), 0.0);
+    }
+
+    #[test]
+    fn all_zero_neighbors_falls_back_to_uniform() {
+        // Star with zero-factor leaves: from the center every neighbor has
+        // factor 0, so the fallback must fire rather than panic.
+        let mut b = GraphBuilder::new(4);
+        for v in 1..4 {
+            b.add_edge(0, v).unwrap();
+        }
+        let g = b.build();
+        let wrw = WeightedRandomWalk::new(vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = wrw.start_at(0).sample(&g, 10, &mut rng);
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn rejects_invalid_factors() {
+        assert!(WeightedRandomWalk::new(vec![1.0, -0.5]).is_none());
+        assert!(WeightedRandomWalk::new(vec![f64::NAN]).is_none());
+    }
+}

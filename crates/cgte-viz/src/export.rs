@@ -1,0 +1,308 @@
+//! DOT / JSON / GraphML / CSV writers for [`CategoryGraph`]s.
+
+use cgte_graph::{CategoryEdge, CategoryGraph};
+use std::fmt::Write as _;
+
+/// Options shared by the exporters.
+#[derive(Debug, Clone, Default)]
+pub struct ExportOptions {
+    /// Human-readable category names; index = category id. Missing or
+    /// absent entries fall back to `c<ID>`.
+    pub labels: Vec<String>,
+    /// Keep only the `top_k` heaviest edges (0 = all).
+    pub top_k: usize,
+    /// Drop edges with weight strictly below this threshold.
+    pub min_weight: f64,
+    /// Skip categories with (estimated) size 0 from node lists.
+    pub skip_empty: bool,
+}
+
+impl ExportOptions {
+    fn label(&self, c: u32) -> String {
+        self.labels
+            .get(c as usize)
+            .filter(|s| !s.is_empty())
+            .cloned()
+            .unwrap_or_else(|| format!("c{c}"))
+    }
+
+    fn selected_edges(&self, cg: &CategoryGraph) -> Vec<CategoryEdge> {
+        let mut e: Vec<CategoryEdge> = cg
+            .edges_by_weight()
+            .into_iter()
+            .filter(|e| e.weight >= self.min_weight)
+            .collect();
+        if self.top_k > 0 {
+            e.truncate(self.top_k);
+        }
+        e
+    }
+
+    fn node_ids(&self, cg: &CategoryGraph) -> Vec<u32> {
+        (0..cg.num_categories() as u32)
+            .filter(|&c| !self.skip_empty || cg.size(c) > 0.0)
+            .collect()
+    }
+}
+
+fn escape_dot(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn escape_xml(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a Graphviz DOT graph: one node per category (sized label), one
+/// weighted edge per selected cut, `penwidth` scaled by relative weight.
+pub fn to_dot(cg: &CategoryGraph, opts: &ExportOptions) -> String {
+    let edges = opts.selected_edges(cg);
+    let wmax = edges.first().map(|e| e.weight).unwrap_or(1.0).max(f64::MIN_POSITIVE);
+    let mut s = String::new();
+    s.push_str("graph category_graph {\n  layout=neato;\n  node [shape=circle];\n");
+    for c in opts.node_ids(cg) {
+        let _ = writeln!(
+            s,
+            "  n{c} [label=\"{}\\n{:.0}\"];",
+            escape_dot(&opts.label(c)),
+            cg.size(c)
+        );
+    }
+    for e in &edges {
+        let _ = writeln!(
+            s,
+            "  n{} -- n{} [weight={:.6e}, penwidth={:.2}];",
+            e.a,
+            e.b,
+            e.weight,
+            0.5 + 4.5 * e.weight / wmax
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders the geosocialmap-style JSON document:
+/// `{ "nodes": [{id, label, size}], "edges": [{source, target, weight, cut}] }`.
+pub fn to_json(cg: &CategoryGraph, opts: &ExportOptions) -> String {
+    let mut s = String::from("{\n  \"nodes\": [\n");
+    let ids = opts.node_ids(cg);
+    for (i, &c) in ids.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"id\": {c}, \"label\": \"{}\", \"size\": {}}}",
+            escape_json(&opts.label(c)),
+            cg.size(c)
+        );
+        s.push_str(if i + 1 < ids.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"edges\": [\n");
+    let edges = opts.selected_edges(cg);
+    for (i, e) in edges.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"source\": {}, \"target\": {}, \"weight\": {:e}, \"cut\": {}}}",
+            e.a, e.b, e.weight, e.edge_count
+        );
+        s.push_str(if i + 1 < edges.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders GraphML with `size` node attributes and `weight`/`cut` edge
+/// attributes, importable by Gephi/Cytoscape.
+pub fn to_graphml(cg: &CategoryGraph, opts: &ExportOptions) -> String {
+    let mut s = String::from(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+         <graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n\
+         <key id=\"label\" for=\"node\" attr.name=\"label\" attr.type=\"string\"/>\n\
+         <key id=\"size\" for=\"node\" attr.name=\"size\" attr.type=\"double\"/>\n\
+         <key id=\"weight\" for=\"edge\" attr.name=\"weight\" attr.type=\"double\"/>\n\
+         <key id=\"cut\" for=\"edge\" attr.name=\"cut\" attr.type=\"long\"/>\n\
+         <graph edgedefault=\"undirected\">\n",
+    );
+    for c in opts.node_ids(cg) {
+        let _ = writeln!(
+            s,
+            "<node id=\"n{c}\"><data key=\"label\">{}</data><data key=\"size\">{}</data></node>",
+            escape_xml(&opts.label(c)),
+            cg.size(c)
+        );
+    }
+    for (i, e) in opts.selected_edges(cg).iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "<edge id=\"e{i}\" source=\"n{}\" target=\"n{}\">\
+             <data key=\"weight\">{:e}</data><data key=\"cut\">{}</data></edge>",
+            e.a, e.b, e.weight, e.edge_count
+        );
+    }
+    s.push_str("</graph>\n</graphml>\n");
+    s
+}
+
+/// Renders `source,target,weight,cut` CSV rows (header included), sorted by
+/// descending weight.
+pub fn to_csv_edges(cg: &CategoryGraph, opts: &ExportOptions) -> String {
+    let mut s = String::from("source,target,weight,cut\n");
+    for e in opts.selected_edges(cg) {
+        let _ = writeln!(
+            s,
+            "{},{},{:e},{}",
+            escape_json(&opts.label(e.a)).replace(',', ";"),
+            escape_json(&opts.label(e.b)).replace(',', ";"),
+            e.weight,
+            e.edge_count
+        );
+    }
+    s
+}
+
+/// A human-readable "strongest links" report — the textual analogue of the
+/// Fig. 7 maps (e.g. "the third strongest link for Greece…", §7.3.1).
+pub fn top_edges_report(cg: &CategoryGraph, opts: &ExportOptions, k: usize) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "top {k} category links by w(A,B):");
+    for (i, e) in opts.selected_edges(cg).iter().take(k).enumerate() {
+        let _ = writeln!(
+            s,
+            "{:>3}. {} -- {}  w={:.3e}  (|E_AB|≈{}, |A|≈{:.0}, |B|≈{:.0})",
+            i + 1,
+            opts.label(e.a),
+            opts.label(e.b),
+            e.weight,
+            e.edge_count,
+            cg.size(e.a),
+            cg.size(e.b)
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgte_graph::{CategoryGraph, GraphBuilder, Partition};
+
+    fn sample_cg() -> CategoryGraph {
+        // Three categories; two edges with different weights.
+        let g = GraphBuilder::from_edges(6, [(0, 2), (0, 3), (1, 2), (1, 3), (0, 4)]).unwrap();
+        let p = Partition::from_assignments(vec![0, 0, 1, 1, 2, 2], 3).unwrap();
+        CategoryGraph::exact(&g, &p)
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let cg = sample_cg();
+        let opts = ExportOptions {
+            labels: vec!["US".into(), "CA".into()],
+            ..Default::default()
+        };
+        let dot = to_dot(&cg, &opts);
+        assert!(dot.starts_with("graph category_graph {"));
+        assert!(dot.contains("n0 [label=\"US"));
+        assert!(dot.contains("n2 [label=\"c2")); // fallback label
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let cg = sample_cg();
+        let opts = ExportOptions {
+            labels: vec!["Athens \"GA\"".into()],
+            ..Default::default()
+        };
+        assert!(to_dot(&cg, &opts).contains("Athens \\\"GA\\\""));
+    }
+
+    #[test]
+    fn json_structure_and_escaping() {
+        let cg = sample_cg();
+        let opts = ExportOptions {
+            labels: vec!["line\nbreak".into()],
+            ..Default::default()
+        };
+        let j = to_json(&cg, &opts);
+        assert!(j.contains("\"nodes\""));
+        assert!(j.contains("\"edges\""));
+        assert!(j.contains("line\\nbreak"));
+        assert!(j.contains("\"source\": 0"));
+        // Edge order: heaviest first (weight 1.0 for pair (0,1)).
+        let first_edge = j.split("\"edges\"").nth(1).unwrap();
+        assert!(first_edge.contains("\"target\": 1"));
+    }
+
+    #[test]
+    fn graphml_is_well_formed_enough() {
+        let cg = sample_cg();
+        let opts = ExportOptions { labels: vec!["a<b>&\"".into()], ..Default::default() };
+        let x = to_graphml(&cg, &opts);
+        assert!(x.starts_with("<?xml"));
+        assert!(x.contains("a&lt;b&gt;&amp;&quot;"));
+        assert!(x.contains("<edge id=\"e0\""));
+        assert!(x.ends_with("</graphml>\n"));
+    }
+
+    #[test]
+    fn csv_sorted_by_weight() {
+        let cg = sample_cg();
+        let csv = to_csv_edges(&cg, &ExportOptions::default());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "source,target,weight,cut");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("c0,c1")); // heavier edge first
+    }
+
+    #[test]
+    fn top_k_and_min_weight_filters() {
+        let cg = sample_cg();
+        let opts = ExportOptions { top_k: 1, ..Default::default() };
+        assert_eq!(to_csv_edges(&cg, &opts).lines().count(), 2);
+        let opts = ExportOptions { min_weight: 0.5, ..Default::default() };
+        // Only the weight-1.0 edge survives.
+        assert_eq!(to_csv_edges(&cg, &opts).lines().count(), 2);
+    }
+
+    #[test]
+    fn report_lists_k_lines() {
+        let cg = sample_cg();
+        let r = top_edges_report(&cg, &ExportOptions::default(), 5);
+        assert!(r.contains("top 5"));
+        assert!(r.contains("1. c0 -- c1"));
+        assert_eq!(r.lines().count(), 3); // header + 2 edges
+    }
+
+    #[test]
+    fn skip_empty_categories() {
+        use std::collections::HashMap;
+        let mut w = HashMap::new();
+        w.insert((0u32, 1u32), 0.5);
+        let cg = CategoryGraph::from_weights(vec![2.0, 3.0, 0.0], w);
+        let opts = ExportOptions { skip_empty: true, ..Default::default() };
+        let dot = to_dot(&cg, &opts);
+        assert!(!dot.contains("n2 ["));
+    }
+}

@@ -1,0 +1,15 @@
+//! Category-graph exporters — the machine-readable substitute for the
+//! paper's www.geosocialmap.com visualization service (§7.3).
+//!
+//! All writers are dependency-free and emit deterministic output (edges
+//! sorted by descending weight, ties by category id), so exports are
+//! diff-able across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod plot;
+
+pub use export::{top_edges_report, to_csv_edges, to_dot, to_graphml, to_json, ExportOptions};
+pub use plot::{svg_line_plot, PlotOptions, PlotSeries};

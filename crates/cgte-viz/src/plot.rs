@@ -1,0 +1,282 @@
+//! Minimal dependency-free SVG line plots, for rendering the NRMSE curves
+//! of the reproduction figures (log-log axes like the paper's plots).
+
+use std::fmt::Write as _;
+
+/// One labelled curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlotSeries {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points; non-finite or non-positive points are skipped on
+    /// log axes.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Plot configuration.
+#[derive(Debug, Clone)]
+pub struct PlotOptions {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Logarithmic x axis.
+    pub log_x: bool,
+    /// Logarithmic y axis.
+    pub log_y: bool,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl Default for PlotOptions {
+    fn default() -> Self {
+        PlotOptions {
+            title: String::new(),
+            x_label: "|S|".into(),
+            y_label: "NRMSE".into(),
+            log_x: true,
+            log_y: true,
+            width: 640,
+            height: 420,
+        }
+    }
+}
+
+const COLORS: [&str; 8] =
+    ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf", "#7f7f7f"];
+
+fn transform(v: f64, log: bool) -> Option<f64> {
+    if !v.is_finite() {
+        return None;
+    }
+    if log {
+        (v > 0.0).then(|| v.log10())
+    } else {
+        Some(v)
+    }
+}
+
+/// Renders an SVG line chart of the given series.
+///
+/// Returns a self-contained `<svg>` document; empty or fully-degenerate
+/// input produces a chart with axes but no curves.
+pub fn svg_line_plot(series: &[PlotSeries], opts: &PlotOptions) -> String {
+    let (w, h) = (opts.width as f64, opts.height as f64);
+    let (ml, mr, mt, mb) = (62.0, 140.0, 36.0, 48.0); // margins (legend right)
+    let (pw, ph) = (w - ml - mr, h - mt - mb);
+
+    // Collect transformed points per series.
+    let tseries: Vec<(usize, Vec<(f64, f64)>)> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let pts = s
+                .points
+                .iter()
+                .filter_map(|&(x, y)| {
+                    Some((transform(x, opts.log_x)?, transform(y, opts.log_y)?))
+                })
+                .collect();
+            (i, pts)
+        })
+        .collect();
+    let all: Vec<(f64, f64)> = tseries.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    let (x0, x1, y0, y1) = if all.is_empty() {
+        (0.0, 1.0, 0.0, 1.0)
+    } else {
+        let mut xs: Vec<f64> = all.iter().map(|p| p.0).collect();
+        let mut ys: Vec<f64> = all.iter().map(|p| p.1).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        ys.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pad = |lo: f64, hi: f64| {
+            let d = (hi - lo).max(1e-9) * 0.05;
+            (lo - d, hi + d)
+        };
+        let (x0, x1) = pad(xs[0], xs[xs.len() - 1]);
+        let (y0, y1) = pad(ys[0], ys[ys.len() - 1]);
+        (x0, x1, y0, y1)
+    };
+    let sx = move |x: f64| ml + (x - x0) / (x1 - x0) * pw;
+    let sy = move |y: f64| mt + (1.0 - (y - y0) / (y1 - y0)) * ph;
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         font-family=\"sans-serif\" font-size=\"12\">\n",
+        opts.width, opts.height
+    );
+    let _ = writeln!(svg, "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>");
+    // Frame.
+    let _ = writeln!(
+        svg,
+        "<rect x=\"{ml}\" y=\"{mt}\" width=\"{pw}\" height=\"{ph}\" fill=\"none\" stroke=\"#333\"/>"
+    );
+    // Title and axis labels.
+    if !opts.title.is_empty() {
+        let _ = writeln!(
+            svg,
+            "<text x=\"{}\" y=\"22\" text-anchor=\"middle\" font-size=\"14\">{}</text>",
+            ml + pw / 2.0,
+            xml_escape(&opts.title)
+        );
+    }
+    let _ = writeln!(
+        svg,
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+        ml + pw / 2.0,
+        h - 10.0,
+        xml_escape(&opts.x_label)
+    );
+    let _ = writeln!(
+        svg,
+        "<text x=\"16\" y=\"{}\" text-anchor=\"middle\" transform=\"rotate(-90 16 {})\">{}</text>",
+        mt + ph / 2.0,
+        mt + ph / 2.0,
+        xml_escape(&opts.y_label)
+    );
+    // Ticks: decades on log axes, 5 linear ticks otherwise.
+    let ticks = |lo: f64, hi: f64, log: bool| -> Vec<(f64, String)> {
+        if log {
+            let (a, b) = (lo.floor() as i64, hi.ceil() as i64);
+            (a..=b)
+                .filter(|d| (*d as f64) >= lo && (*d as f64) <= hi)
+                .map(|d| (d as f64, format!("1e{d}")))
+                .collect()
+        } else {
+            (0..=4)
+                .map(|i| {
+                    let v = lo + (hi - lo) * i as f64 / 4.0;
+                    (v, format!("{v:.2}"))
+                })
+                .collect()
+        }
+    };
+    for (x, label) in ticks(x0, x1, opts.log_x) {
+        let px = sx(x);
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{px}\" y1=\"{mt}\" x2=\"{px}\" y2=\"{}\" stroke=\"#ddd\"/>\
+             <text x=\"{px}\" y=\"{}\" text-anchor=\"middle\">{label}</text>",
+            mt + ph,
+            mt + ph + 16.0
+        );
+    }
+    for (y, label) in ticks(y0, y1, opts.log_y) {
+        let py = sy(y);
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{ml}\" y1=\"{py}\" x2=\"{}\" y2=\"{py}\" stroke=\"#ddd\"/>\
+             <text x=\"{}\" y=\"{}\" text-anchor=\"end\">{label}</text>",
+            ml + pw,
+            ml - 6.0,
+            py + 4.0
+        );
+    }
+    // Curves + legend.
+    for (i, pts) in &tseries {
+        let color = COLORS[i % COLORS.len()];
+        if !pts.is_empty() {
+            let path: Vec<String> =
+                pts.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            let _ = writeln!(
+                svg,
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.8\"/>",
+                path.join(" ")
+            );
+            for &(x, y) in pts {
+                let _ = writeln!(
+                    svg,
+                    "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.6\" fill=\"{color}\"/>",
+                    sx(x),
+                    sy(y)
+                );
+            }
+        }
+        let ly = mt + 14.0 + 18.0 * *i as f64;
+        let _ = writeln!(
+            svg,
+            "<line x1=\"{}\" y1=\"{ly}\" x2=\"{}\" y2=\"{ly}\" stroke=\"{color}\" stroke-width=\"2\"/>\
+             <text x=\"{}\" y=\"{}\">{}</text>",
+            ml + pw + 8.0,
+            ml + pw + 28.0,
+            ml + pw + 34.0,
+            ly + 4.0,
+            xml_escape(&series[*i].label)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<PlotSeries> {
+        vec![
+            PlotSeries {
+                label: "induced".into(),
+                points: vec![(100.0, 0.3), (1000.0, 0.1), (10000.0, 0.03)],
+            },
+            PlotSeries {
+                label: "star".into(),
+                points: vec![(100.0, 0.2), (1000.0, 0.05), (10000.0, 0.015)],
+            },
+        ]
+    }
+
+    #[test]
+    fn svg_has_curves_and_legend() {
+        let svg = svg_line_plot(&series(), &PlotOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">induced</text>"));
+        assert!(svg.contains(">star</text>"));
+    }
+
+    #[test]
+    fn log_ticks_at_decades() {
+        let svg = svg_line_plot(&series(), &PlotOptions::default());
+        assert!(svg.contains("1e2"));
+        assert!(svg.contains("1e4"));
+        assert!(svg.contains("1e-1"));
+    }
+
+    #[test]
+    fn nonpositive_points_skipped_on_log_axes() {
+        let s = vec![PlotSeries { label: "x".into(), points: vec![(0.0, 1.0), (10.0, 0.5)] }];
+        let svg = svg_line_plot(&s, &PlotOptions::default());
+        assert_eq!(svg.matches("<circle").count(), 1);
+    }
+
+    #[test]
+    fn empty_series_still_renders_axes() {
+        let svg = svg_line_plot(&[], &PlotOptions::default());
+        assert!(svg.contains("<rect"));
+        assert!(!svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn linear_axes_supported() {
+        let opts = PlotOptions { log_x: false, log_y: false, ..Default::default() };
+        let svg = svg_line_plot(&series(), &opts);
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let opts = PlotOptions { title: "a < b & c".into(), ..Default::default() };
+        let svg = svg_line_plot(&series(), &opts);
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Compare sampling techniques head-to-head, reproducing the paper's
+//! ordering UIS > S-WRW > RW > MHRW (§6.3.3, §7.2) on one graph.
+//!
+//! ```sh
+//! cargo run --release --example crawl_comparison
+//! ```
+
+use cgte::estimators::Design;
+use cgte::eval::{run_experiment, EstimatorKind, ExperimentConfig, Target};
+use cgte::graph::generators::{planted_partition, PlantedConfig};
+use cgte::graph::CategoryGraph;
+use cgte::sampling::{
+    AnySampler, MetropolisHastingsWalk, RandomWalk, Swrw, UniformIndependence,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let pg = planted_partition(&PlantedConfig::scaled(20, 10, 0.5), &mut rng)
+        .expect("feasible configuration");
+    let exact = CategoryGraph::exact(&pg.graph, &pg.partition);
+    let ncat = pg.partition.num_categories() as u32;
+    let e_high = exact.weight_quantile_edge(0.75).expect("has edges");
+    let targets = [
+        Target::Size(ncat - 1),
+        Target::Weight(e_high.a, e_high.b),
+    ];
+    let sizes = vec![200, 1000, 4000];
+    println!(
+        "graph: {} nodes; targets: |C{}| and w({},{}); 30 replications\n",
+        pg.graph.num_nodes(),
+        ncat - 1,
+        e_high.a,
+        e_high.b
+    );
+
+    let samplers = [
+        AnySampler::Uis(UniformIndependence),
+        AnySampler::Swrw(
+            Swrw::equal_category_target(&pg.graph, &pg.partition)
+                .expect("has volume")
+                .burn_in(500),
+        ),
+        AnySampler::Rw(RandomWalk::new().burn_in(500)),
+        AnySampler::Mhrw(MetropolisHastingsWalk::new().burn_in(500)),
+    ];
+    println!(
+        "{:<7} {:>6}  {:>11} {:>11}  {:>13} {:>13}",
+        "design", "|S|", "size/induced", "size/star", "weight/induced", "weight/star"
+    );
+    for sampler in &samplers {
+        let design = match sampler {
+            AnySampler::Uis(_) | AnySampler::Mhrw(_) => Design::Uniform,
+            _ => Design::Weighted,
+        };
+        let cfg = ExperimentConfig::new(sizes.clone(), 30).seed(99).design(design);
+        let res = run_experiment(&pg.graph, &pg.partition, sampler, &targets, &cfg);
+        for (i, &s) in sizes.iter().enumerate() {
+            println!(
+                "{:<7} {:>6}  {:>11.4} {:>11.4}  {:>13.4} {:>13.4}",
+                sampler.name(),
+                s,
+                res.nrmse(EstimatorKind::InducedSize, targets[0]).unwrap()[i],
+                res.nrmse(EstimatorKind::StarSize, targets[0]).unwrap()[i],
+                res.nrmse(EstimatorKind::InducedWeight, targets[1]).unwrap()[i],
+                res.nrmse(EstimatorKind::StarWeight, targets[1]).unwrap()[i],
+            );
+        }
+        println!();
+    }
+    println!("Expected: UIS rows smallest; star columns beat induced for weights at");
+    println!("every design (the paper's 5-10x sample-efficiency gap). Note S-WRW is");
+    println!("tuned for *small*-category measurement — on targets involving large");
+    println!("categories its deliberate undersampling of them costs accuracy, which");
+    println!("is exactly the stratification tradeoff of §6.3.3 / ablation A3.");
+}

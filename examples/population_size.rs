@@ -1,0 +1,46 @@
+//! Estimating the population size N from sample collisions (§4.3).
+//!
+//! ```sh
+//! cargo run --release --example population_size
+//! ```
+//!
+//! When the operator does not publish N, the "reversed coupon collector"
+//! (Katzir et al., the paper's [33]) recovers it from repeated nodes in a
+//! with-replacement sample — under both uniform and degree-weighted
+//! designs. Absolute category sizes then follow; without N, all sizes and
+//! weights are still estimable up to a constant.
+
+use cgte::estimators::population::{
+    collision_pairs, population_size_uniform, population_size_weighted,
+};
+use cgte::graph::generators::{planted_partition, PlantedConfig};
+use cgte::sampling::{NodeSampler, RandomWalk, UniformIndependence};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let pg = planted_partition(&PlantedConfig::scaled(10, 12, 0.5), &mut rng)
+        .expect("feasible configuration");
+    let n_true = pg.graph.num_nodes();
+    println!("true N = {n_true}\n");
+
+    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "|S|", "UIS coll.", "UIS N̂", "RW coll.", "RW N̂");
+    for s in [500usize, 1000, 2000, 4000, 8000] {
+        let uis_nodes = UniformIndependence.sample(&pg.graph, s, &mut rng);
+        let uis_est = population_size_uniform(&uis_nodes);
+        let rw = RandomWalk::new().burn_in(500).thinning(3);
+        let rw_nodes = rw.sample(&pg.graph, s, &mut rng);
+        let degrees: Vec<u32> = rw_nodes.iter().map(|&v| pg.graph.degree(v) as u32).collect();
+        let rw_est = population_size_weighted(&rw_nodes, &degrees);
+        println!(
+            "{s:>8} {:>12} {:>12} {:>12} {:>12}",
+            collision_pairs(&uis_nodes),
+            uis_est.map_or("-".into(), |x| format!("{x:.0}")),
+            collision_pairs(&rw_nodes),
+            rw_est.map_or("-".into(), |x| format!("{x:.0}")),
+        );
+    }
+    println!("\nBoth estimators converge to N = {n_true}; the RW variant corrects");
+    println!("for the degree-proportional revisit bias of crawls.");
+}

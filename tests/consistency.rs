@@ -1,0 +1,136 @@
+//! E9: empirical consistency of all estimator families (paper appendix).
+//!
+//! Every estimator must converge to the truth as |S| grows; on independent
+//! samples the error should shrink roughly like 1/sqrt(|S|). These tests
+//! check both, spanning cgte-graph, cgte-sampling, cgte-core and cgte-eval.
+
+use cgte::estimators::Design;
+use cgte::eval::{run_experiment, EstimatorKind, ExperimentConfig, Target, ALL_ESTIMATORS};
+use cgte::graph::generators::{planted_partition, PlantedConfig, PlantedGraph};
+use cgte::graph::CategoryGraph;
+use cgte::sampling::{AnySampler, MetropolisHastingsWalk, RandomWalk, UniformIndependence};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_graph(seed: u64) -> PlantedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = PlantedConfig { category_sizes: vec![80, 160, 320, 640], k: 8, alpha: 0.4 };
+    planted_partition(&cfg, &mut rng).expect("feasible config")
+}
+
+fn targets(pg: &PlantedGraph) -> Vec<Target> {
+    let exact = CategoryGraph::exact(&pg.graph, &pg.partition);
+    let e = exact.weight_quantile_edge(0.75).expect("has edges");
+    vec![Target::Size(3), Target::Size(0), Target::Weight(e.a, e.b)]
+}
+
+fn assert_consistent(sampler: AnySampler, design: Design, seed: u64) {
+    let pg = test_graph(seed);
+    let tg = targets(&pg);
+    let sizes = vec![150, 1200, 9600]; // 8x steps => expect ~sqrt(8) ≈ 2.8x drops
+    let cfg = ExperimentConfig::new(sizes, 40).seed(seed).design(design);
+    let res = run_experiment(&pg.graph, &pg.partition, &sampler, &tg, &cfg);
+    for kind in ALL_ESTIMATORS {
+        for &t in &tg {
+            if !kind.applies_to(t) {
+                continue;
+            }
+            let s = res.nrmse(kind, t).unwrap();
+            // Monotone-ish decrease end to end, and a final error that is
+            // small in absolute terms.
+            assert!(
+                s[2] < 0.6 * s[0],
+                "{} {:?} on {t:?}: nrmse {s:?} did not shrink",
+                kind.name(),
+                sampler.name(),
+            );
+            assert!(
+                s[2] < 0.5,
+                "{} {:?} on {t:?}: final nrmse {} too large",
+                kind.name(),
+                sampler.name(),
+                s[2]
+            );
+        }
+    }
+}
+
+#[test]
+fn uis_estimators_are_consistent() {
+    assert_consistent(AnySampler::Uis(UniformIndependence), Design::Uniform, 1);
+}
+
+#[test]
+fn rw_estimators_are_consistent() {
+    assert_consistent(
+        AnySampler::Rw(RandomWalk::new().burn_in(1000)),
+        Design::Weighted,
+        2,
+    );
+}
+
+#[test]
+fn mhrw_estimators_are_consistent() {
+    assert_consistent(
+        AnySampler::Mhrw(MetropolisHastingsWalk::new().burn_in(1000)),
+        Design::Uniform,
+        3,
+    );
+}
+
+#[test]
+fn uis_error_rate_is_about_root_n() {
+    // Under independence sampling the variance-driven NRMSE should scale
+    // ~ n^(-1/2): over a 64x size increase, expect close to an 8x drop
+    // (allow 4x-16x for noise).
+    let pg = test_graph(4);
+    let tg = [Target::Size(3)];
+    let cfg = ExperimentConfig::new(vec![150, 9600], 120)
+        .seed(4)
+        .design(Design::Uniform);
+    let res = run_experiment(
+        &pg.graph,
+        &pg.partition,
+        &AnySampler::Uis(UniformIndependence),
+        &tg,
+        &cfg,
+    );
+    for kind in [EstimatorKind::InducedSize, EstimatorKind::StarSize] {
+        let s = res.nrmse(kind, tg[0]).unwrap();
+        let ratio = s[0] / s[2.min(s.len() - 1)];
+        assert!(
+            (4.0..16.0).contains(&ratio),
+            "{}: ratio {ratio} not ~ sqrt(64)=8 (nrmse {s:?})",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn star_weight_estimator_beats_induced_consistently() {
+    // The paper's headline claim, as a cross-crate regression test.
+    let pg = test_graph(5);
+    let exact = CategoryGraph::exact(&pg.graph, &pg.partition);
+    let e = exact.weight_quantile_edge(0.5).expect("has edges");
+    let t = Target::Weight(e.a, e.b);
+    let cfg = ExperimentConfig::new(vec![300, 2400], 60)
+        .seed(5)
+        .design(Design::Uniform);
+    let res = run_experiment(
+        &pg.graph,
+        &pg.partition,
+        &AnySampler::Uis(UniformIndependence),
+        &[t],
+        &cfg,
+    );
+    let ind = res.nrmse(EstimatorKind::InducedWeight, t).unwrap();
+    let star = res.nrmse(EstimatorKind::StarWeight, t).unwrap();
+    for i in 0..ind.len() {
+        assert!(
+            star[i] < ind[i],
+            "at size index {i}: star {} >= induced {}",
+            star[i],
+            ind[i]
+        );
+    }
+}
