@@ -1,7 +1,7 @@
 //! P1: Walker alias table — construction and sampling throughput.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use cgte_sampling::AliasTable;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -1,17 +1,17 @@
 //! P1: observation and estimator throughput.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cgte_core::category_size::{induced_sizes, star_sizes, StarSizeOptions};
 use cgte_core::edge_weight::{induced_weights_all, star_weights_all};
 use cgte_graph::generators::{planted_partition, PlantedConfig};
 use cgte_sampling::{InducedSample, NodeSampler, StarSample, UniformIndependence};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_estimators(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let pg = planted_partition(&PlantedConfig::scaled(10, 20, 0.5), &mut rng)
-        .expect("feasible config");
+    let pg =
+        planted_partition(&PlantedConfig::scaled(10, 20, 0.5), &mut rng).expect("feasible config");
     let (g, p) = (&pg.graph, &pg.partition);
     let nodes = UniformIndependence.sample(g, 5_000, &mut rng);
     let population = g.num_nodes() as f64;
@@ -43,5 +43,87 @@ fn bench_estimators(c: &mut Criterion) {
     grp.finish();
 }
 
-criterion_group!(benches, bench_estimators);
+/// Growing-prefix evaluation (the §6.1 NRMSE protocol's inner loop): the
+/// old path re-observes every prefix from scratch; the incremental path
+/// folds the sequence into accumulators once and snapshots per size.
+fn bench_prefix_evaluation(c: &mut Criterion) {
+    use cgte_core::category_size::{induced_sizes_acc, star_sizes_acc};
+    use cgte_core::edge_weight::{induced_weights_acc, star_weights_acc};
+    use cgte_graph::generators::{chung_lu, powerlaw_weights, scale_to_mean};
+    use cgte_graph::Partition;
+    use cgte_sampling::{InducedAccumulator, ObservationContext, RandomWalk, StarAccumulator};
+
+    // A 100k-node Chung-Lu graph with power-law degrees (mean ~10) and ten
+    // equal categories — the fig3/fig4 synthetic workload shape.
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = 100_000;
+    let mut w = powerlaw_weights(n, 2.5, 1.0, (n as f64).sqrt(), &mut rng);
+    scale_to_mean(&mut w, 10.0);
+    let g = chung_lu(&w, &mut rng);
+    let p = Partition::blocks(n, &[n / 10; 10]).expect("exact blocks");
+    let sizes = [100usize, 200, 500, 1000, 2000];
+    let max_size = *sizes.iter().max().unwrap();
+    let walk = RandomWalk::new().burn_in(1_000);
+    let nodes = walk.sample(&g, max_size, &mut rng);
+    let weights: Vec<f64> = nodes.iter().map(|&v| g.degree(v) as f64).collect();
+    let num_c = p.num_categories();
+    let population = g.num_nodes() as f64;
+    let opts = StarSizeOptions::default();
+
+    let mut grp = c.benchmark_group("prefix_eval_100k_chung_lu");
+    grp.sample_size(10);
+    grp.bench_function("reobserve_per_prefix", |b| {
+        b.iter(|| {
+            for &s in &sizes {
+                let star =
+                    StarSample::observe_with_weights(&g, &p, &nodes[..s], weights[..s].to_vec());
+                let ind = star.to_induced(&g, &p);
+                let ind_sizes = cgte_core::category_size::induced_sizes(&ind, population)
+                    .unwrap_or_else(|| vec![0.0; num_c]);
+                let star_sz = cgte_core::category_size::star_sizes(&star, population, &opts);
+                let plug: Vec<f64> = star_sz
+                    .iter()
+                    .zip(&ind_sizes)
+                    .map(|(st, &i)| st.unwrap_or(i))
+                    .collect();
+                black_box(induced_weights_all(&ind));
+                black_box(star_weights_all(&star, &plug));
+            }
+        })
+    });
+
+    // The context is built once per experiment and amortized over hundreds
+    // of replications, so it stays outside the measured loop (like the
+    // graph itself).
+    let ctx = ObservationContext::new(&g, &p);
+    grp.bench_function("incremental_accumulators", |b| {
+        let mut star_acc = StarAccumulator::new(num_c);
+        let mut ind_acc = InducedAccumulator::new(num_c);
+        b.iter(|| {
+            star_acc.reset();
+            ind_acc.reset();
+            let mut next = 0;
+            for (pos, (&v, &w)) in nodes.iter().zip(&weights).enumerate() {
+                star_acc.push(&ctx, v, w);
+                ind_acc.push(&ctx, v, w);
+                if next < sizes.len() && sizes[next] == pos + 1 {
+                    let ind_sizes =
+                        induced_sizes_acc(&ind_acc, population).unwrap_or_else(|| vec![0.0; num_c]);
+                    let star_sz = star_sizes_acc(&star_acc, population, &opts);
+                    let plug: Vec<f64> = star_sz
+                        .iter()
+                        .zip(&ind_sizes)
+                        .map(|(st, &i)| st.unwrap_or(i))
+                        .collect();
+                    black_box(induced_weights_acc(&ind_acc));
+                    black_box(star_weights_acc(&star_acc, &plug));
+                    next += 1;
+                }
+            }
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_estimators, bench_prefix_evaluation);
 criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! P1: graph construction and exact category-graph computation.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use cgte_graph::generators::gnm;
 use cgte_graph::{CategoryGraph, GraphBuilder, Partition};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,11 +26,7 @@ fn bench_build(c: &mut Criterion) {
                 })
             },
         );
-        let p = Partition::from_assignments(
-            (0..n).map(|v| (v % 50) as u32).collect(),
-            50,
-        )
-        .unwrap();
+        let p = Partition::from_assignments((0..n).map(|v| (v % 50) as u32).collect(), 50).unwrap();
         g.bench_with_input(
             BenchmarkId::new("category_graph_exact", format!("{n}n_{m}e")),
             &(&graph, &p),

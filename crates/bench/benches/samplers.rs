@@ -1,18 +1,18 @@
 //! P1: sampler throughput — nodes drawn per second for all five designs.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cgte_graph::generators::{planted_partition, PlantedConfig};
 use cgte_sampling::{
     MetropolisHastingsWalk, NodeSampler, RandomWalk, Swrw, UniformIndependence,
     WeightedIndependence,
 };
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_samplers(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let pg = planted_partition(&PlantedConfig::scaled(10, 20, 0.5), &mut rng)
-        .expect("feasible config");
+    let pg =
+        planted_partition(&PlantedConfig::scaled(10, 20, 0.5), &mut rng).expect("feasible config");
     let g = &pg.graph;
     let n = 10_000;
 

@@ -64,7 +64,9 @@ fn main() {
                 let model = star_sizes(
                     &star,
                     population,
-                    &StarSizeOptions { model_based_mean_degree: true },
+                    &StarSizeOptions {
+                        model_based_mean_degree: true,
+                    },
                 );
                 for c in 0..num_c {
                     errs[0][si][c] += (ind[c] - truth[c]).powi(2);

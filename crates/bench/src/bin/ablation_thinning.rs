@@ -10,11 +10,11 @@
 
 use cgte_bench::{fmt_nrmse, log_sizes, RunArgs};
 use cgte_core::Design;
+use cgte_eval::Table;
 use cgte_eval::{run_experiment, EstimatorKind, ExperimentConfig, Target};
 use cgte_graph::generators::{planted_partition, PlantedConfig};
 use cgte_graph::CategoryGraph;
 use cgte_sampling::{AnySampler, RandomWalk};
-use cgte_eval::Table;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -57,8 +57,16 @@ fn main() {
             .seed(args.seed)
             .design(Design::Weighted);
         let res = run_experiment(&pg.graph, &pg.partition, &sampler, &targets, &cfg);
-        cols.push(res.nrmse(EstimatorKind::StarSize, targets[0]).unwrap().to_vec());
-        cols.push(res.nrmse(EstimatorKind::StarWeight, targets[1]).unwrap().to_vec());
+        cols.push(
+            res.nrmse(EstimatorKind::StarSize, targets[0])
+                .unwrap()
+                .to_vec(),
+        );
+        cols.push(
+            res.nrmse(EstimatorKind::StarWeight, targets[1])
+                .unwrap()
+                .to_vec(),
+        );
     }
     for (i, &s) in sizes.iter().enumerate() {
         let mut row = vec![s.to_string()];

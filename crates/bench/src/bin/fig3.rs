@@ -15,8 +15,7 @@
 use cgte_bench::{fmt_nrmse, log_sizes, RunArgs};
 use cgte_core::Design;
 use cgte_eval::{
-    empirical_cdf, run_experiment, EstimatorKind, ExperimentConfig, ExperimentResult, Target,
-    Table,
+    empirical_cdf, run_experiment, EstimatorKind, ExperimentConfig, ExperimentResult, Table, Target,
 };
 use cgte_graph::generators::{planted_partition, PlantedConfig, PlantedGraph};
 use cgte_graph::CategoryGraph;
@@ -26,7 +25,13 @@ use rand::SeedableRng;
 
 struct Panel {
     /// (curve label, experiment result) pairs sharing an x-axis.
-    curves: Vec<(String, ExperimentResult, Target, EstimatorKind, EstimatorKind)>,
+    curves: Vec<(
+        String,
+        ExperimentResult,
+        Target,
+        EstimatorKind,
+        EstimatorKind,
+    )>,
     sizes: Vec<usize>,
 }
 
@@ -141,7 +146,12 @@ fn main() {
     let size_kinds = (EstimatorKind::InducedSize, EstimatorKind::StarSize);
     let weight_kinds = (EstimatorKind::InducedWeight, EstimatorKind::StarWeight);
 
-    let panel = |curves: Vec<(String, &ExperimentResult, Target, (EstimatorKind, EstimatorKind))>| {
+    let panel = |curves: Vec<(
+        String,
+        &ExperimentResult,
+        Target,
+        (EstimatorKind, EstimatorKind),
+    )>| {
         Panel {
             curves: curves
                 .into_iter()
@@ -155,14 +165,22 @@ fn main() {
         (format!("k={k_lo}"), &res_klo, biggest, size_kinds),
         (format!("k={k_hi}"), &res_khi, biggest, size_kinds),
     ]);
-    args.emit("fig3a", "Fig. 3(a): NRMSE(|Â|), α=0.5, largest category, k sweep", &a.table());
+    args.emit(
+        "fig3a",
+        "Fig. 3(a): NRMSE(|Â|), α=0.5, largest category, k sweep",
+        &a.table(),
+    );
     args.emit_plot("fig3a", "fig3a", a.plot_series());
 
     let b = panel(vec![
         ("α=0.0".into(), &res_a0, biggest, size_kinds),
         ("α=1.0".into(), &res_a1, biggest, size_kinds),
     ]);
-    args.emit("fig3b", &format!("Fig. 3(b): NRMSE(|Â|), k={k_mid}, largest category, α sweep"), &b.table());
+    args.emit(
+        "fig3b",
+        &format!("Fig. 3(b): NRMSE(|Â|), k={k_mid}, largest category, α sweep"),
+        &b.table(),
+    );
     args.emit_plot("fig3b", "fig3b", b.plot_series());
 
     let small_cat = Target::Size(ncat.saturating_sub(7)); // |C| = 500 at paper scale
@@ -170,17 +188,20 @@ fn main() {
         ("small |C|".into(), &res_mid, small_cat, size_kinds),
         ("large |C|".into(), &res_mid, biggest, size_kinds),
     ]);
-    args.emit("fig3c", &format!("Fig. 3(c): NRMSE(|Â|), k={k_mid}, α=0.5, category size effect"), &c.table());
+    args.emit(
+        "fig3c",
+        &format!("Fig. 3(c): NRMSE(|Â|), k={k_mid}, α=0.5, category size effect"),
+        &c.table(),
+    );
     args.emit_plot("fig3c", "fig3c", c.plot_series());
 
     // Panel (d): CDF of size NRMSE over all categories at fixed |S|.
     {
-        let mut t = Table::new(vec![
-            "estimator".into(),
-            "nrmse".into(),
-            "cdf".into(),
-        ]);
-        for (kind, name) in [(EstimatorKind::InducedSize, "induced"), (EstimatorKind::StarSize, "star")] {
+        let mut t = Table::new(vec!["estimator".into(), "nrmse".into(), "cdf".into()]);
+        for (kind, name) in [
+            (EstimatorKind::InducedSize, "induced"),
+            (EstimatorKind::StarSize, "star"),
+        ] {
             let vals = res_mid.nrmse_across_targets(kind, cdf_size_idx);
             let (xs, fs) = empirical_cdf(&vals);
             for (x, f) in xs.iter().zip(&fs) {
@@ -201,21 +222,33 @@ fn main() {
         (format!("k={k_lo}"), &res_klo, t_klo, weight_kinds),
         (format!("k={k_hi}"), &res_khi, t_khi, weight_kinds),
     ]);
-    args.emit("fig3e", "Fig. 3(e): NRMSE(ŵ), α=0.5, edge e_high, k sweep", &e.table());
+    args.emit(
+        "fig3e",
+        "Fig. 3(e): NRMSE(ŵ), α=0.5, edge e_high, k sweep",
+        &e.table(),
+    );
     args.emit_plot("fig3e", "fig3e", e.plot_series());
 
     let f = panel(vec![
         ("α=0.0".into(), &res_a0, t_a0, weight_kinds),
         ("α=1.0".into(), &res_a1, t_a1, weight_kinds),
     ]);
-    args.emit("fig3f", &format!("Fig. 3(f): NRMSE(ŵ), k={k_mid}, edge e_high, α sweep"), &f.table());
+    args.emit(
+        "fig3f",
+        &format!("Fig. 3(f): NRMSE(ŵ), k={k_mid}, edge e_high, α sweep"),
+        &f.table(),
+    );
     args.emit_plot("fig3f", "fig3f", f.plot_series());
 
     let g = panel(vec![
         ("e_low".into(), &res_mid, t_low, weight_kinds),
         ("e_high".into(), &res_mid, t_high, weight_kinds),
     ]);
-    args.emit("fig3g", &format!("Fig. 3(g): NRMSE(ŵ), k={k_mid}, α=0.5, e_low vs e_high"), &g.table());
+    args.emit(
+        "fig3g",
+        &format!("Fig. 3(g): NRMSE(ŵ), k={k_mid}, α=0.5, e_low vs e_high"),
+        &g.table(),
+    );
     args.emit_plot("fig3g", "fig3g", g.plot_series());
 
     // Panel (h): CDF of weight NRMSE over all edges at fixed |S|.

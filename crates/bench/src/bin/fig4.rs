@@ -17,10 +17,10 @@
 
 use cgte_bench::{fmt_nrmse, log_sizes, RunArgs, Scale};
 use cgte_core::Design;
-use cgte_eval::{
-    median, run_experiment, EstimatorKind, ExperimentConfig, ExperimentResult, Target, Table,
-};
 use cgte_datasets::{standin, standin_partition, StandinKind};
+use cgte_eval::{
+    median, run_experiment, EstimatorKind, ExperimentConfig, ExperimentResult, Table, Target,
+};
 use cgte_graph::{CategoryGraph, Graph, Partition};
 use cgte_sampling::{AnySampler, RandomWalk, Swrw, UniformIndependence};
 use rand::rngs::StdRng;
@@ -41,11 +41,7 @@ fn weight_targets(exact: &CategoryGraph, max_edges: usize) -> Vec<Target> {
         .collect()
 }
 
-fn median_series(
-    res: &ExperimentResult,
-    kind: EstimatorKind,
-    n_sizes: usize,
-) -> Vec<f64> {
+fn median_series(res: &ExperimentResult, kind: EstimatorKind, n_sizes: usize) -> Vec<f64> {
     (0..n_sizes)
         .map(|i| median(&res.nrmse_across_targets(kind, i)).unwrap_or(f64::NAN))
         .collect()
@@ -72,8 +68,7 @@ fn main() {
         let p: Partition = standin_partition(&g, top_k, spectral, &mut rng);
         let exact = CategoryGraph::exact(&g, &p);
 
-        let mut targets: Vec<Target> =
-            (0..p.num_categories() as u32).map(Target::Size).collect();
+        let mut targets: Vec<Target> = (0..p.num_categories() as u32).map(Target::Size).collect();
         let wt = weight_targets(&exact, max_weight_targets);
         targets.extend(&wt);
 
@@ -107,7 +102,12 @@ fn main() {
         let mut size_cols: Vec<Vec<f64>> = Vec::new();
         let mut weight_cols: Vec<Vec<f64>> = Vec::new();
         for sampler in &samplers {
-            eprintln!("fig4: {} under {} ({} reps)...", kind.name(), sampler.name(), reps);
+            eprintln!(
+                "fig4: {} under {} ({} reps)...",
+                kind.name(),
+                sampler.name(),
+                reps
+            );
             let cfg = ExperimentConfig::new(sizes.clone(), reps)
                 .seed(args.seed)
                 .design(if matches!(sampler, AnySampler::Uis(_)) {
@@ -118,7 +118,11 @@ fn main() {
             let res = run_experiment(&g, &p, sampler, &targets, &cfg);
             size_cols.push(median_series(&res, EstimatorKind::InducedSize, sizes.len()));
             size_cols.push(median_series(&res, EstimatorKind::StarSize, sizes.len()));
-            weight_cols.push(median_series(&res, EstimatorKind::InducedWeight, sizes.len()));
+            weight_cols.push(median_series(
+                &res,
+                EstimatorKind::InducedWeight,
+                sizes.len(),
+            ));
             weight_cols.push(median_series(&res, EstimatorKind::StarWeight, sizes.len()));
         }
         for (i, &s) in sizes.iter().enumerate() {

@@ -63,7 +63,11 @@ fn main() {
             }
             t.row(row);
         }
-        args.emit("fig5_2009", "Fig. 5 (top): #samples per regional category, 2009 crawls", &t);
+        args.emit(
+            "fig5_2009",
+            "Fig. 5 (top): #samples per regional category, 2009 crawls",
+            &t,
+        );
     }
 
     // 2010 panel: samples per college.
@@ -92,7 +96,11 @@ fn main() {
             row.push(counts[counts.len() / 2].to_string());
         }
         t.row(row);
-        args.emit("fig5_2010", "Fig. 5 (bottom): #samples per college, 2010 crawls", &t);
+        args.emit(
+            "fig5_2010",
+            "Fig. 5 (bottom): #samples per college, 2010 crawls",
+            &t,
+        );
     }
     println!("\nExpected: S-WRW10 exceeds RW10 by ≥ an order of magnitude at every rank");
     println!("(the paper reports \"at least one order of magnitude\" improvement).");

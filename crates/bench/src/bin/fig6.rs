@@ -20,9 +20,11 @@ use cgte_graph::{CategoryGraph, CategoryId, Partition};
 use cgte_sampling::StarSample;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 type Pair = (CategoryId, CategoryId);
+
+/// `estimates[s][walk][target]` for one estimator family.
+type EstimateTensor = Vec<Vec<Vec<f64>>>;
 
 /// Per-walk, per-|S| estimates for one crawl dataset.
 struct CrawlEstimates {
@@ -62,26 +64,20 @@ fn evaluate_crawl(
                 StarSample::observe_sampler(g, p, prefix, &sampler)
             };
             let ind = star.to_induced(g, p);
-            let s_ind =
-                induced_sizes(&ind, population).unwrap_or_else(|| vec![0.0; num_c]);
+            let s_ind = induced_sizes(&ind, population).unwrap_or_else(|| vec![0.0; num_c]);
             let s_star_opt = star_sizes(&star, population, &opts);
             let plug: Vec<f64> = s_star_opt
                 .iter()
                 .zip(&s_ind)
                 .map(|(st, &i)| st.unwrap_or(i))
                 .collect();
-            let s_star: Vec<f64> = s_star_opt
-                .into_iter()
-                .map(|x| x.unwrap_or(0.0))
-                .collect();
-            let w_ind: HashMap<Pair, f64> = induced_weights_all(&ind);
-            let w_star: HashMap<Pair, f64> = star_weights_all(&star, &plug);
+            let s_star: Vec<f64> = s_star_opt.into_iter().map(|x| x.unwrap_or(0.0)).collect();
+            let w_ind = induced_weights_all(&ind);
+            let w_star = star_weights_all(&star, &plug);
             out.sizes_ind[si].push(s_ind);
             out.sizes_star[si].push(s_star);
-            out.weights_ind[si]
-                .push(pairs.iter().map(|k| w_ind.get(k).copied().unwrap_or(0.0)).collect());
-            out.weights_star[si]
-                .push(pairs.iter().map(|k| w_star.get(k).copied().unwrap_or(0.0)).collect());
+            out.weights_ind[si].push(pairs.iter().map(|&(a, b)| w_ind.get(a, b)).collect());
+            out.weights_star[si].push(pairs.iter().map(|&(a, b)| w_star.get(a, b)).collect());
         }
     }
     out
@@ -112,8 +108,7 @@ fn median_nrmse(
                 return None;
             }
             let ests: Vec<f64> = per_size[si].iter().map(|w| w[t]).collect();
-            let mse =
-                ests.iter().map(|e| (e - tr).powi(2)).sum::<f64>() / ests.len() as f64;
+            let mse = ests.iter().map(|e| (e - tr).powi(2)).sum::<f64>() / ests.len() as f64;
             Some(mse.sqrt() / tr.abs())
         })
         .filter(|x| x.is_finite())
@@ -128,7 +123,7 @@ fn emit_panel(
     heading: &str,
     crawls: &[(&str, &CrawlEstimates)],
     sizes: &[usize],
-    kind: fn(&CrawlEstimates) -> (&Vec<Vec<Vec<f64>>>, &Vec<Vec<Vec<f64>>>),
+    kind: fn(&CrawlEstimates) -> (&EstimateTensor, &EstimateTensor),
     targets: &[usize],
     truth: &[f64],
 ) {
@@ -143,8 +138,20 @@ fn emit_panel(
             let mut row = vec![s.to_string()];
             for (_, est) in crawls {
                 let (ind, star) = kind(est);
-                row.push(fmt_nrmse(median_nrmse(ind, si, targets, truth, paper_style)));
-                row.push(fmt_nrmse(median_nrmse(star, si, targets, truth, paper_style)));
+                row.push(fmt_nrmse(median_nrmse(
+                    ind,
+                    si,
+                    targets,
+                    truth,
+                    paper_style,
+                )));
+                row.push(fmt_nrmse(median_nrmse(
+                    star,
+                    si,
+                    targets,
+                    truth,
+                    paper_style,
+                )));
             }
             t.row(row);
         }
@@ -153,7 +160,11 @@ fn emit_panel(
         } else {
             "vs simulator ground truth"
         };
-        args.emit(&format!("{name}_{suffix}"), &format!("{heading} — {truth_label}"), &t);
+        args.emit(
+            &format!("{name}_{suffix}"),
+            &format!("{heading} — {truth_label}"),
+            &t,
+        );
     }
 }
 
@@ -199,10 +210,16 @@ fn main() {
     let truth_sizes09: Vec<f64> = (0..sim.regions.num_categories())
         .map(|c| sim.regions.category_size(c as u32) as f64)
         .collect();
-    let truth_pairs09: Vec<f64> =
-        pairs09.iter().map(|&(a, b)| true_regions.weight(a, b)).collect();
+    let truth_pairs09: Vec<f64> = pairs09
+        .iter()
+        .map(|&(a, b)| true_regions.weight(a, b))
+        .collect();
 
-    eprintln!("fig6: evaluating 2009 crawls ({} walks x {} sizes)...", num_walks_09, sizes09.len());
+    eprintln!(
+        "fig6: evaluating 2009 crawls ({} walks x {} sizes)...",
+        num_walks_09,
+        sizes09.len()
+    );
     let est09: Vec<(&str, CrawlEstimates)> = c09
         .iter()
         .map(|ds| {
@@ -212,8 +229,7 @@ fn main() {
             )
         })
         .collect();
-    let crawls09: Vec<(&str, &CrawlEstimates)> =
-        est09.iter().map(|(n, e)| (*n, e)).collect();
+    let crawls09: Vec<(&str, &CrawlEstimates)> = est09.iter().map(|(n, e)| (*n, e)).collect();
 
     emit_panel(
         &args,
@@ -229,7 +245,10 @@ fn main() {
     emit_panel(
         &args,
         "fig6c",
-        &format!("Fig. 6(c): 2009 — median NRMSE(ŵ) over {} region pairs", pairs09.len()),
+        &format!(
+            "Fig. 6(c): 2009 — median NRMSE(ŵ) over {} region pairs",
+            pairs09.len()
+        ),
         &crawls09,
         &sizes09,
         |e| (&e.weights_ind, &e.weights_star),
@@ -252,8 +271,10 @@ fn main() {
     let truth_sizes10: Vec<f64> = (0..sim.colleges.num_categories())
         .map(|c| sim.colleges.category_size(c as u32) as f64)
         .collect();
-    let truth_pairs10: Vec<f64> =
-        pairs10.iter().map(|&(a, b)| true_colleges.weight(a, b)).collect();
+    let truth_pairs10: Vec<f64> = pairs10
+        .iter()
+        .map(|&(a, b)| true_colleges.weight(a, b))
+        .collect();
 
     eprintln!("fig6: evaluating 2010 crawls...");
     let est10: Vec<(&str, CrawlEstimates)> = c10
@@ -265,8 +286,7 @@ fn main() {
             )
         })
         .collect();
-    let crawls10: Vec<(&str, &CrawlEstimates)> =
-        est10.iter().map(|(n, e)| (*n, e)).collect();
+    let crawls10: Vec<(&str, &CrawlEstimates)> = est10.iter().map(|(n, e)| (*n, e)).collect();
 
     emit_panel(
         &args,
@@ -282,7 +302,10 @@ fn main() {
     emit_panel(
         &args,
         "fig6d",
-        &format!("Fig. 6(d): 2010 — median NRMSE(ŵ) over {} college pairs", pairs10.len()),
+        &format!(
+            "Fig. 6(d): 2010 — median NRMSE(ŵ) over {} college pairs",
+            pairs10.len()
+        ),
         &crawls10,
         &sizes10,
         |e| (&e.weights_ind, &e.weights_star),

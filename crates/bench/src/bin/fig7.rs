@@ -16,11 +16,10 @@
 use cgte_bench::RunArgs;
 use cgte_core::{CategoryGraphEstimator, Design, SizeMethod, StarSizeOptions};
 use cgte_datasets::{CrawlDataset, CrawlType, FacebookSim, FacebookSimConfig};
-use cgte_graph::{CategoryGraph, CategoryId, Partition};
+use cgte_graph::{CategoryGraph, CategoryId, CategoryMatrix, Partition};
 use cgte_sampling::StarSample;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 /// Averages several estimated category graphs edge-wise and size-wise
 /// (§7.3.1: "for every edge, we take the average of the three estimates").
@@ -29,14 +28,14 @@ fn average_graphs(graphs: &[CategoryGraph]) -> CategoryGraph {
     let num_c = graphs[0].num_categories();
     let mut sizes = vec![0.0; num_c];
     for g in graphs {
-        for c in 0..num_c {
-            sizes[c] += g.size(c as CategoryId) / graphs.len() as f64;
+        for (c, size) in sizes.iter_mut().enumerate() {
+            *size += g.size(c as CategoryId) / graphs.len() as f64;
         }
     }
-    let mut weights: HashMap<(CategoryId, CategoryId), f64> = HashMap::new();
+    let mut weights = CategoryMatrix::zeros(num_c);
     for g in graphs {
         for e in g.edges() {
-            *weights.entry((e.a, e.b)).or_insert(0.0) += e.weight / graphs.len() as f64;
+            weights.add(e.a, e.b, e.weight / graphs.len() as f64);
         }
     }
     CategoryGraph::from_weights(sizes, weights)
@@ -56,13 +55,21 @@ fn estimate_from_crawl(
     } else {
         StarSample::observe_sampler(&sim.graph, p, &nodes, &sim.sampler_for(ds.crawl))
     };
-    CategoryGraphEstimator::new(if uniform { Design::Uniform } else { Design::Weighted })
-        .size_method(size_method)
-        .estimate_star(&star, sim.graph.num_nodes() as f64)
+    CategoryGraphEstimator::new(if uniform {
+        Design::Uniform
+    } else {
+        Design::Weighted
+    })
+    .size_method(size_method)
+    .estimate_star(&star, sim.graph.num_nodes() as f64)
 }
 
 fn export(args: &RunArgs, name: &str, heading: &str, cg: &CategoryGraph, labels: Vec<String>) {
-    let opts = cgte_viz::ExportOptions { labels, top_k: 200, ..Default::default() };
+    let opts = cgte_viz::ExportOptions {
+        labels,
+        top_k: 200,
+        ..Default::default()
+    };
     println!("\n## {heading}\n");
     print!("{}", cgte_viz::top_edges_report(cg, &opts, 15));
     if let Some(dir) = &args.csv_dir {
@@ -124,9 +131,18 @@ fn main() {
     );
     // Sanity line: compare against the exact country graph.
     let exact = CategoryGraph::exact(&sim.graph, &countries);
-    let top_est: Vec<_> = avg.edges_by_weight().into_iter().take(10).map(|e| (e.a, e.b)).collect();
-    let top_true: Vec<_> =
-        exact.edges_by_weight().into_iter().take(10).map(|e| (e.a, e.b)).collect();
+    let top_est: Vec<_> = avg
+        .edges_by_weight()
+        .into_iter()
+        .take(10)
+        .map(|e| (e.a, e.b))
+        .collect();
+    let top_true: Vec<_> = exact
+        .edges_by_weight()
+        .into_iter()
+        .take(10)
+        .map(|e| (e.a, e.b))
+        .collect();
     let overlap = top_est.iter().filter(|p| top_true.contains(p)).count();
     println!("\nsanity: {overlap}/10 of the estimated top-10 country links are in the true top-10");
 
@@ -152,7 +168,10 @@ fn main() {
             *m = elsewhere;
         }
     }
-    let na_partition = sim.regions.merge(&map, (kept + 1) as usize).expect("valid merge map");
+    let na_partition = sim
+        .regions
+        .merge(&map, (kept + 1) as usize)
+        .expect("valid merge map");
     let estimates: Vec<CategoryGraph> = c09
         .iter()
         .map(|ds| estimate_from_crawl(&sim, ds, &na_partition, SizeMethod::Induced))
@@ -171,7 +190,10 @@ fn main() {
     );
 
     // (c) College-to-college graph from S-WRW10 with star sizes (§7.3.3).
-    let swrw10 = c10.iter().find(|d| d.crawl == CrawlType::Swrw).expect("S-WRW dataset");
+    let swrw10 = c10
+        .iter()
+        .find(|d| d.crawl == CrawlType::Swrw)
+        .expect("S-WRW dataset");
     let cg = estimate_from_crawl(
         &sim,
         swrw10,

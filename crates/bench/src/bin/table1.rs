@@ -15,12 +15,24 @@ fn main() {
     let args = RunArgs::parse();
     let scale_div = args.pick(60, 8, 1);
     let mut t = Table::new(
-        ["Dataset", "|V| paper", "|V| ours", "|E| ours", "kV paper", "kV ours", "max deg", "deg CV"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Dataset",
+            "|V| paper",
+            "|V| ours",
+            "|E| ours",
+            "kV paper",
+            "kV ours",
+            "max deg",
+            "deg CV",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for kind in StandinKind::ALL {
-        eprintln!("table1: generating {} (scale 1/{scale_div})...", kind.name());
+        eprintln!(
+            "table1: generating {} (scale 1/{scale_div})...",
+            kind.name()
+        );
         let mut rng = StdRng::seed_from_u64(args.seed ^ (kind as u64).wrapping_mul(0x9E37));
         let g = standin(kind, scale_div, &mut rng);
         let (v_pub, kv_pub) = kind.published();

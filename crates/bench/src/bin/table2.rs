@@ -42,20 +42,33 @@ fn main() {
 
     let n_regions = sim.config().num_regions;
     let n_colleges = sim.config().num_colleges;
-    let region_pop: u64 = (0..n_regions as u32).map(|r| sim.regions.category_size(r)).sum();
-    let college_pop: u64 = (0..n_colleges as u32).map(|c| sim.colleges.category_size(c)).sum();
+    let region_pop: u64 = (0..n_regions as u32)
+        .map(|r| sim.regions.category_size(r))
+        .sum();
+    let college_pop: u64 = (0..n_colleges as u32)
+        .map(|c| sim.colleges.category_size(c))
+        .sum();
     let n = sim.graph.num_nodes() as f64;
 
     let mut t = Table::new(
-        ["Dataset", "Studied categories", "Crawl type", "% categ. samples", "# total samples"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Dataset",
+            "Studied categories",
+            "Crawl type",
+            "% categ. samples",
+            "# total samples",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for ds in &c09 {
         let frac = ds.studied_fraction(&sim.regions, |c| (c as usize) < n_regions);
         t.row(vec![
             "2009".into(),
-            format!("Regional ({n_regions}) — {:.0}% of population", 100.0 * region_pop as f64 / n),
+            format!(
+                "Regional ({n_regions}) — {:.0}% of population",
+                100.0 * region_pop as f64 / n
+            ),
             ds.name.clone(),
             format!("{:.0}%", 100.0 * frac),
             format!("{}x{}", ds.walks.num_walks(), ds.walks.walk(0).len()),
@@ -65,7 +78,10 @@ fn main() {
         let frac = ds.studied_fraction(&sim.colleges, |c| (c as usize) < n_colleges);
         t.row(vec![
             "2010".into(),
-            format!("Colleges ({n_colleges}) — {:.1}% of population", 100.0 * college_pop as f64 / n),
+            format!(
+                "Colleges ({n_colleges}) — {:.1}% of population",
+                100.0 * college_pop as f64 / n
+            ),
             ds.name.clone(),
             format!("{:.0}%", 100.0 * frac),
             format!("{}x{}", ds.walks.num_walks(), ds.walks.walk(0).len()),

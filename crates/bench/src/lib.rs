@@ -58,21 +58,24 @@ impl RunArgs {
                     csv_dir = Some(PathBuf::from(dir));
                 }
                 "--seed" => {
-                    seed = it
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| {
-                            eprintln!("--seed needs an integer");
-                            std::process::exit(2);
-                        });
+                    seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer");
+                        std::process::exit(2);
+                    });
                 }
                 other => {
-                    eprintln!("unknown flag {other:?} (supported: --quick --full --csv DIR --seed N)");
+                    eprintln!(
+                        "unknown flag {other:?} (supported: --quick --full --csv DIR --seed N)"
+                    );
                     std::process::exit(2);
                 }
             }
         }
-        RunArgs { scale, csv_dir, seed }
+        RunArgs {
+            scale,
+            csv_dir,
+            seed,
+        }
     }
 
     /// Picks a value by scale.
@@ -92,7 +95,10 @@ impl RunArgs {
             eprintln!("cannot create {dir:?}: {e}");
             return;
         }
-        let opts = cgte_viz::PlotOptions { title: title.into(), ..Default::default() };
+        let opts = cgte_viz::PlotOptions {
+            title: title.into(),
+            ..Default::default()
+        };
         let svg = cgte_viz::svg_line_plot(&series, &opts);
         let path = dir.join(format!("{name}.svg"));
         match std::fs::write(&path, svg) {
@@ -160,9 +166,17 @@ mod tests {
 
     #[test]
     fn pick_selects_by_scale() {
-        let a = RunArgs { scale: Scale::Quick, csv_dir: None, seed: 0 };
+        let a = RunArgs {
+            scale: Scale::Quick,
+            csv_dir: None,
+            seed: 0,
+        };
         assert_eq!(a.pick(1, 2, 3), 1);
-        let a = RunArgs { scale: Scale::Full, csv_dir: None, seed: 0 };
+        let a = RunArgs {
+            scale: Scale::Full,
+            csv_dir: None,
+            seed: 0,
+        };
         assert_eq!(a.pick(1, 2, 3), 3);
     }
 }

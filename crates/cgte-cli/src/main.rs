@@ -12,8 +12,8 @@
 
 use cgte_core::{CategoryGraphEstimator, Design, SizeMethod, StarSizeOptions};
 use cgte_datasets::{
-    read_categories, read_edgelist, standin, standin_partition, write_categories,
-    write_edgelist, StandinKind,
+    read_categories, read_edgelist, standin, standin_partition, write_categories, write_edgelist,
+    StandinKind,
 };
 use cgte_graph::generators::{planted_partition, PlantedConfig};
 use cgte_graph::{CategoryGraph, Graph, Partition};
@@ -21,7 +21,7 @@ use cgte_sampling::{
     AnySampler, MetropolisHastingsWalk, NodeSampler, RandomWalk, StarSample, Swrw,
     UniformIndependence,
 };
-use cgte_viz::{top_edges_report, to_csv_edges, to_dot, to_graphml, to_json, ExportOptions};
+use cgte_viz::{to_csv_edges, to_dot, to_graphml, to_json, top_edges_report, ExportOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -82,7 +82,8 @@ impl Args {
     }
 
     fn required(&self, key: &str) -> Result<&str, CliError> {
-        self.get(key).ok_or_else(|| format!("missing required --{key}").into())
+        self.get(key)
+            .ok_or_else(|| format!("missing required --{key}").into())
     }
 
     fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError>
@@ -122,7 +123,10 @@ fn load_graph(path: &str) -> Result<Graph, CliError> {
 }
 
 fn load_partition(path: &str, num_nodes: usize) -> Result<Partition, CliError> {
-    Ok(read_categories(BufReader::new(File::open(path)?), num_nodes)?)
+    Ok(read_categories(
+        BufReader::new(File::open(path)?),
+        num_nodes,
+    )?)
 }
 
 fn save(path: Option<&str>, content: &str) -> Result<(), CliError> {
@@ -225,7 +229,10 @@ fn cmd_sample(args: &Args) -> Result<(), CliError> {
 
 fn export(cg: &CategoryGraph, args: &Args) -> Result<(), CliError> {
     let top_k: usize = args.parse_or("top-k", 0)?;
-    let opts = ExportOptions { top_k, ..Default::default() };
+    let opts = ExportOptions {
+        top_k,
+        ..Default::default()
+    };
     let content = match args.get("format").unwrap_or("report") {
         "dot" => to_dot(cg, &opts),
         "json" => to_json(cg, &opts),

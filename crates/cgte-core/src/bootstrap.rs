@@ -71,7 +71,10 @@ where
     R: Rng + ?Sized,
     F: Fn(&StarSample) -> Option<f64>,
 {
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
     if sample.is_empty() || reps == 0 {
         return None;
     }
@@ -99,7 +102,10 @@ where
     R: Rng + ?Sized,
     F: Fn(&InducedSample) -> Option<f64>,
 {
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
     if sample.is_empty() || reps == 0 {
         return None;
     }
@@ -123,7 +129,11 @@ mod tests {
 
     fn setup() -> (cgte_graph::Graph, cgte_graph::Partition, StdRng) {
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = PlantedConfig { category_sizes: vec![100, 300], k: 6, alpha: 0.3 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![100, 300],
+            k: 6,
+            alpha: 0.3,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         (pg.graph, pg.partition, rng)
     }
@@ -152,8 +162,7 @@ mod tests {
         let (g, p, mut rng) = setup();
         let nodes = UniformIndependence.sample(&g, 400, &mut rng);
         let s = cgte_sampling::InducedSample::observe(&g, &p, &nodes);
-        let sum =
-            bootstrap_induced(&s, 100, 0.9, &mut rng, |s| induced_size(s, 1, 400.0)).unwrap();
+        let sum = bootstrap_induced(&s, 100, 0.9, &mut rng, |s| induced_size(s, 1, 400.0)).unwrap();
         assert_eq!(sum.level, 0.9);
         assert!((sum.mean - 300.0).abs() < 60.0, "mean {}", sum.mean);
     }

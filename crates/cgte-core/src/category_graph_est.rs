@@ -50,6 +50,9 @@ pub enum SizeMethod {
 /// let truth = CategoryGraph::exact(&g, &p);
 /// assert!((est.weight(0, 1) - truth.weight(0, 1)).abs() < 1e-9);
 /// ```
+///
+/// All-pairs weights flow through dense [`cgte_graph::CategoryMatrix`]
+/// values end to end — no pair-keyed hash maps anywhere on this path.
 #[derive(Debug, Clone, Copy)]
 pub struct CategoryGraphEstimator {
     design: Design,
@@ -92,8 +95,7 @@ impl CategoryGraphEstimator {
             }
             Design::Weighted => sample,
         };
-        let sizes =
-            induced_sizes(s, population).unwrap_or_else(|| vec![0.0; s.num_categories()]);
+        let sizes = induced_sizes(s, population).unwrap_or_else(|| vec![0.0; s.num_categories()]);
         let weights = induced_weights_all(s);
         CategoryGraph::from_weights(sizes, weights)
     }
@@ -139,11 +141,9 @@ mod tests {
     use rand::SeedableRng;
 
     fn fixture() -> (Graph, Partition) {
-        let g = GraphBuilder::from_edges(
-            6,
-            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            GraphBuilder::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
         (g, p)
     }
@@ -164,7 +164,10 @@ mod tests {
         let (g, p) = fixture();
         let all: Vec<u32> = (0..6).collect();
         let s = cgte_sampling::StarSample::observe(&g, &p, &all);
-        for method in [SizeMethod::Induced, SizeMethod::Star(StarSizeOptions::default())] {
+        for method in [
+            SizeMethod::Induced,
+            SizeMethod::Star(StarSizeOptions::default()),
+        ] {
             let est = CategoryGraphEstimator::new(Design::Uniform)
                 .size_method(method)
                 .estimate_star(&s, 6.0);
@@ -199,16 +202,15 @@ mod tests {
         // Weighted design must be closer to the truth than Uniform on the
         // same degree-biased sample.
         let mut rng = StdRng::seed_from_u64(11);
-        let cfg = PlantedConfig { category_sizes: vec![60, 540], k: 6, alpha: 0.1 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![60, 540],
+            k: 6,
+            alpha: 0.1,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         let rw = RandomWalk::new().burn_in(300);
         let nodes = rw.sample(&pg.graph, 5000, &mut rng);
-        let s = cgte_sampling::StarSample::observe_sampler(
-            &pg.graph,
-            &pg.partition,
-            &nodes,
-            &rw,
-        );
+        let s = cgte_sampling::StarSample::observe_sampler(&pg.graph, &pg.partition, &nodes, &rw);
         let n = pg.graph.num_nodes() as f64;
         let corrected = CategoryGraphEstimator::new(Design::Weighted).estimate_star(&s, n);
         let uncorrected = CategoryGraphEstimator::new(Design::Uniform).estimate_star(&s, n);
@@ -224,7 +226,11 @@ mod tests {
     #[test]
     fn estimated_graph_close_to_truth_at_scale() {
         let mut rng = StdRng::seed_from_u64(12);
-        let cfg = PlantedConfig { category_sizes: vec![100, 200, 400], k: 10, alpha: 0.4 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![100, 200, 400],
+            k: 10,
+            alpha: 0.4,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         let truth = cgte_graph::CategoryGraph::exact(&pg.graph, &pg.partition);
         let nodes = UniformIndependence.sample(&pg.graph, 3000, &mut rng);

@@ -9,7 +9,7 @@
 
 use crate::hansen_hurwitz::{hh_mean, reweighted_size};
 use cgte_graph::CategoryId;
-use cgte_sampling::{InducedSample, StarSample};
+use cgte_sampling::{InducedAccumulator, InducedSample, StarAccumulator, StarSample};
 
 /// The per-sample records every size estimator consumes: category, degree
 /// and design weight per sampled node.
@@ -96,7 +96,12 @@ pub fn induced_sizes<S: Records + ?Sized>(sample: &S, population: f64) -> Option
         per_cat[c as usize] += 1.0 / w;
     }
     let total = reweighted_size(ws);
-    Some(per_cat.into_iter().map(|x| population * x / total).collect())
+    Some(
+        per_cat
+            .into_iter()
+            .map(|x| population * x / total)
+            .collect(),
+    )
 }
 
 /// Mean degree `k̂_V` over the whole graph: Eq. (6) uniform, Eq. (14)
@@ -181,6 +186,43 @@ pub fn star_size(
     Some(population * f_vol * k_v / k_a)
 }
 
+/// Final assembly of the star size estimates from the five sufficient
+/// statistics — shared verbatim by the from-scratch and incremental paths
+/// so the two are bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn finish_star_sizes(
+    num_c: usize,
+    nbr_mass: &[f64],
+    deg_mass: f64,
+    inv_mass: f64,
+    inv_mass_in: &[f64],
+    deg_mass_in: &[f64],
+    population: f64,
+    opts: &StarSizeOptions,
+) -> Vec<Option<f64>> {
+    if deg_mass == 0.0 || inv_mass == 0.0 {
+        return vec![None; num_c];
+    }
+    let k_v = deg_mass / inv_mass;
+    (0..num_c)
+        .map(|c| {
+            let f_vol = nbr_mass[c] / deg_mass;
+            let k_a = if opts.model_based_mean_degree {
+                k_v
+            } else {
+                if inv_mass_in[c] == 0.0 {
+                    return None;
+                }
+                deg_mass_in[c] / inv_mass_in[c]
+            };
+            if k_a == 0.0 {
+                return None;
+            }
+            Some(population * f_vol * k_v / k_a)
+        })
+        .collect()
+}
+
 /// All category sizes by the star estimator in one pass over the sample.
 ///
 /// Per-category entries are `None` exactly when [`star_size`] would be.
@@ -207,27 +249,53 @@ pub fn star_sizes(
         inv_mass_in[c] += 1.0 / w;
         deg_mass_in[c] += d / w;
     }
-    if deg_mass == 0.0 || inv_mass == 0.0 {
-        return vec![None; num_c];
+    finish_star_sizes(
+        num_c,
+        &nbr_mass,
+        deg_mass,
+        inv_mass,
+        &inv_mass_in,
+        &deg_mass_in,
+        population,
+        opts,
+    )
+}
+
+/// All category sizes by the star estimator from incremental accumulator
+/// state — `O(C)`, bit-identical to [`star_sizes`] over the same prefix.
+pub fn star_sizes_acc(
+    acc: &StarAccumulator,
+    population: f64,
+    opts: &StarSizeOptions,
+) -> Vec<Option<f64>> {
+    finish_star_sizes(
+        acc.num_categories(),
+        acc.neighbor_mass(),
+        acc.degree_mass(),
+        acc.inverse_mass(),
+        acc.inverse_mass_in(),
+        acc.degree_mass_in(),
+        population,
+        opts,
+    )
+}
+
+/// All category sizes by the induced estimator from incremental
+/// accumulator state — `O(C)`, bit-identical to [`induced_sizes`] over the
+/// same prefix.
+///
+/// Returns `None` on an empty accumulator, like [`induced_sizes`].
+pub fn induced_sizes_acc(acc: &InducedAccumulator, population: f64) -> Option<Vec<f64>> {
+    if acc.is_empty() {
+        return None;
     }
-    let k_v = deg_mass / inv_mass;
-    (0..num_c)
-        .map(|c| {
-            let f_vol = nbr_mass[c] / deg_mass;
-            let k_a = if opts.model_based_mean_degree {
-                k_v
-            } else {
-                if inv_mass_in[c] == 0.0 {
-                    return None;
-                }
-                deg_mass_in[c] / inv_mass_in[c]
-            };
-            if k_a == 0.0 {
-                return None;
-            }
-            Some(population * f_vol * k_v / k_a)
-        })
-        .collect()
+    let total = acc.inverse_mass();
+    Some(
+        acc.per_category_mass()
+            .iter()
+            .map(|&x| population * x / total)
+            .collect(),
+    )
 }
 
 #[cfg(test)]
@@ -240,11 +308,9 @@ mod tests {
 
     /// Two triangles joined by a bridge: categories {0,1,2} and {3,4,5}.
     fn fixture() -> (Graph, Partition) {
-        let g = GraphBuilder::from_edges(
-            6,
-            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            GraphBuilder::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
         (g, p)
     }
@@ -333,7 +399,9 @@ mod tests {
         let s = StarSample::observe(&g, &p, &[0, 2, 3, 3, 5]);
         for opts in [
             StarSizeOptions::default(),
-            StarSizeOptions { model_based_mean_degree: true },
+            StarSizeOptions {
+                model_based_mean_degree: true,
+            },
         ] {
             let all = star_sizes(&s, 6.0, &opts);
             for c in 0..2u32 {
@@ -358,7 +426,9 @@ mod tests {
             &s,
             1,
             6.0,
-            &StarSizeOptions { model_based_mean_degree: true },
+            &StarSizeOptions {
+                model_based_mean_degree: true,
+            },
         );
         assert!(model.unwrap() > 0.0, "model-based variant extrapolates");
     }
@@ -368,7 +438,11 @@ mod tests {
         // Statistical check: moderately large planted graph, big sample.
         use cgte_graph::generators::{planted_partition, PlantedConfig};
         let mut rng = StdRng::seed_from_u64(42);
-        let cfg = PlantedConfig { category_sizes: vec![100, 300, 600], k: 8, alpha: 0.3 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![100, 300, 600],
+            k: 8,
+            alpha: 0.3,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         let n = pg.graph.num_nodes() as f64;
         let nodes = UniformIndependence.sample(&pg.graph, 4000, &mut rng);
@@ -386,7 +460,11 @@ mod tests {
     fn induced_size_converges_under_rw() {
         use cgte_graph::generators::{planted_partition, PlantedConfig};
         let mut rng = StdRng::seed_from_u64(43);
-        let cfg = PlantedConfig { category_sizes: vec![100, 300, 600], k: 8, alpha: 0.3 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![100, 300, 600],
+            k: 8,
+            alpha: 0.3,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         let n = pg.graph.num_nodes() as f64;
         let rw = RandomWalk::new().burn_in(500);

@@ -5,18 +5,18 @@
 //! Star sampling also counts edges toward *unsampled* members of the other
 //! category, which is why it dominates the induced estimator here
 //! (§6.3.3: induced needs 5–10× more samples for the same accuracy).
+//!
+//! All-pairs estimates are returned as dense [`CategoryMatrix`] values —
+//! `C` is tens, so a flat triangle beats pair-keyed hash maps throughout
+//! the experiment hot path. Each estimator has two from-equivalent entry
+//! points: one over a materialized observation ([`induced_weights_all`],
+//! [`star_weights_all`]) and one over incremental accumulator state
+//! ([`induced_weights_acc`], [`star_weights_acc`]). The two accumulate in
+//! the same order with the same floating-point expressions, so their
+//! results are **bit-identical** (property-tested).
 
-use cgte_graph::CategoryId;
-use cgte_sampling::{InducedSample, StarSample};
-use std::collections::HashMap;
-
-fn norm_pair(a: CategoryId, b: CategoryId) -> (CategoryId, CategoryId) {
-    if a < b {
-        (a, b)
-    } else {
-        (b, a)
-    }
-}
+use cgte_graph::{CategoryId, CategoryMatrix};
+use cgte_sampling::{InducedAccumulator, InducedSample, StarAccumulator, StarSample};
 
 /// Per-category reweighted sizes `w⁻¹(S_c)` in one pass.
 fn inv_mass_per_category(cats: &[CategoryId], ws: &[f64], num_c: usize) -> Vec<f64> {
@@ -25,6 +25,33 @@ fn inv_mass_per_category(cats: &[CategoryId], ws: &[f64], num_c: usize) -> Vec<f
         m[c as usize] += 1.0 / w;
     }
     m
+}
+
+/// Final division of Eq. (8)/(15): numerators over `w⁻¹(S_A)·w⁻¹(S_B)`.
+/// Pairs with empty numerator or vanishing denominator estimate 0.
+fn finish_induced_weights(num: &CategoryMatrix, mass: &[f64]) -> CategoryMatrix {
+    num.map_upper(|a, b, n| {
+        let d = mass[a as usize] * mass[b as usize];
+        if a != b && n != 0.0 && d > 0.0 {
+            n / d
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Final division of Eq. (9)/(16): numerators over
+/// `w⁻¹(S_A)·|B̂| + w⁻¹(S_B)·|Â|`. Pairs with empty numerator or vanishing
+/// denominator estimate 0.
+fn finish_star_weights(num: &CategoryMatrix, mass: &[f64], sizes: &[f64]) -> CategoryMatrix {
+    num.map_upper(|a, b, n| {
+        let d = mass[a as usize] * sizes[b as usize] + mass[b as usize] * sizes[a as usize];
+        if a != b && n != 0.0 && d > 0.0 {
+            n / d
+        } else {
+            0.0
+        }
+    })
 }
 
 /// Induced-subgraph estimator of `w(A,B)`: Eq. (8) uniform, Eq. (15)
@@ -56,33 +83,64 @@ pub fn induced_weight(sample: &InducedSample, a: CategoryId, b: CategoryId) -> O
     Some(num / denom)
 }
 
-/// All pairwise induced weight estimates in one pass.
+/// All pairwise induced weight estimates as a dense matrix.
 ///
-/// The map contains every unordered category pair with at least one
-/// observed inter-category edge; pairs both sampled but without observed
-/// edges estimate 0 and are omitted (query [`induced_weight`] for an
-/// explicit zero-vs-undefined answer).
-pub fn induced_weights_all(
-    sample: &InducedSample,
-) -> HashMap<(CategoryId, CategoryId), f64> {
+/// An entry is non-zero exactly for pairs with at least one observed
+/// inter-category edge and a non-vanishing denominator; pairs that are
+/// "undefined" (a side unsampled) or merely edge-free both read 0, which is
+/// the operational interpretation the NRMSE protocol uses (query
+/// [`induced_weight`] for an explicit zero-vs-undefined answer).
+///
+/// The summation replays [`InducedAccumulator`]'s push order — samples in
+/// draw order, each one joined against the aggregated mass of every earlier
+/// adjacent node in ascending node-id order — so the result is
+/// bit-identical to [`induced_weights_acc`] on the same prefix.
+pub fn induced_weights_all(sample: &InducedSample) -> CategoryMatrix {
+    let n = sample.len();
+    let num_c = sample.num_categories();
     let cats = sample.categories();
     let ws = sample.weights();
-    let mass = inv_mass_per_category(cats, ws, sample.num_categories());
-    let mut num: HashMap<(CategoryId, CategoryId), f64> = HashMap::new();
+    let nodes = sample.nodes();
+    let mass = inv_mass_per_category(cats, ws, num_c);
+    // Bucket each recorded edge under its larger sample index; edges are
+    // stored sorted, so every bucket receives ascending smaller-indices.
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); n];
     for &(i, j) in sample.edges() {
-        let (ci, cj) = (cats[i as usize], cats[j as usize]);
-        if ci == cj {
+        incident[j as usize].push(i);
+    }
+    let mut num = CategoryMatrix::zeros(num_c);
+    for i in 0..n {
+        let earlier = &mut incident[i];
+        if earlier.is_empty() {
             continue;
         }
-        *num.entry(norm_pair(ci, cj)).or_insert(0.0) +=
-            1.0 / (ws[i as usize] * ws[j as usize]);
+        // Group the earlier endpoints by node id (ascending, then ascending
+        // occurrence), mirroring the accumulator's neighbor scan.
+        earlier.sort_unstable_by_key(|&j| (nodes[j as usize], j));
+        let ci = cats[i];
+        let wi_inv = 1.0 / ws[i];
+        let mut k = 0;
+        while k < earlier.len() {
+            let node = nodes[earlier[k] as usize];
+            let cj = cats[earlier[k] as usize];
+            let mut m = 0.0;
+            while k < earlier.len() && nodes[earlier[k] as usize] == node {
+                m += 1.0 / ws[earlier[k] as usize];
+                k += 1;
+            }
+            if cj != ci {
+                num.add(ci, cj, wi_inv * m);
+            }
+        }
     }
-    num.into_iter()
-        .filter_map(|((a, b), n)| {
-            let d = mass[a as usize] * mass[b as usize];
-            (d > 0.0).then_some(((a, b), n / d))
-        })
-        .collect()
+    finish_induced_weights(&num, &mass)
+}
+
+/// All pairwise induced weight estimates from incremental accumulator
+/// state — `O(C²)`, bit-identical to [`induced_weights_all`] over the same
+/// observed prefix.
+pub fn induced_weights_acc(acc: &InducedAccumulator) -> CategoryMatrix {
+    finish_induced_weights(acc.weight_numerators(), acc.per_category_mass())
 }
 
 /// Star estimator of `w(A,B)`: Eq. (9) uniform, Eq. (16) weighted —
@@ -127,25 +185,29 @@ pub fn star_weight(
     Some(num / denom)
 }
 
-/// All pairwise star weight estimates in one pass.
+/// All pairwise star weight estimates as a dense matrix.
 ///
 /// `sizes[c]` supplies `|Ĉ|` per category (entries may be 0 for categories
-/// with unknown size; pairs whose denominator vanishes are omitted). Only
-/// pairs with at least one observed edge are returned, like
-/// [`induced_weights_all`].
-pub fn star_weights_all(
-    sample: &StarSample,
-    sizes: &[f64],
-) -> HashMap<(CategoryId, CategoryId), f64> {
+/// with unknown size; pairs whose denominator vanishes read 0, as do pairs
+/// without observed edges — the same convention as
+/// [`induced_weights_all`]).
+///
+/// Accumulates in [`StarAccumulator`] push order, so the result is
+/// bit-identical to [`star_weights_acc`] on the same prefix.
+///
+/// # Panics
+/// Panics unless `sizes` has one entry per category.
+pub fn star_weights_all(sample: &StarSample, sizes: &[f64]) -> CategoryMatrix {
     assert_eq!(
         sizes.len(),
         sample.num_categories(),
         "one size per category"
     );
+    let num_c = sample.num_categories();
     let cats = sample.categories();
     let ws = sample.weights();
-    let mass = inv_mass_per_category(cats, ws, sample.num_categories());
-    let mut num: HashMap<(CategoryId, CategoryId), f64> = HashMap::new();
+    let mass = inv_mass_per_category(cats, ws, num_c);
+    let mut num = CategoryMatrix::zeros(num_c);
     for i in 0..sample.len() {
         let c = cats[i];
         let w = ws[i];
@@ -153,31 +215,35 @@ pub fn star_weights_all(
             if other == c {
                 continue;
             }
-            *num.entry(norm_pair(c, other)).or_insert(0.0) += cnt as f64 / w;
+            num.add(c, other, cnt as f64 / w);
         }
     }
-    num.into_iter()
-        .filter_map(|((a, b), n)| {
-            let d = mass[a as usize] * sizes[b as usize] + mass[b as usize] * sizes[a as usize];
-            (d > 0.0).then_some(((a, b), n / d))
-        })
-        .collect()
+    finish_star_weights(&num, &mass, sizes)
+}
+
+/// All pairwise star weight estimates from incremental accumulator state —
+/// `O(C²)`, bit-identical to [`star_weights_all`] over the same observed
+/// prefix.
+///
+/// # Panics
+/// Panics unless `sizes` has one entry per category.
+pub fn star_weights_acc(acc: &StarAccumulator, sizes: &[f64]) -> CategoryMatrix {
+    assert_eq!(sizes.len(), acc.num_categories(), "one size per category");
+    finish_star_weights(acc.weight_numerators(), acc.inverse_mass_in(), sizes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cgte_graph::{CategoryGraph, Graph, GraphBuilder, Partition};
-    use cgte_sampling::{NodeSampler, RandomWalk, UniformIndependence};
+    use cgte_sampling::{NodeSampler, ObservationContext, RandomWalk, UniformIndependence};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn fixture() -> (Graph, Partition) {
-        let g = GraphBuilder::from_edges(
-            6,
-            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            GraphBuilder::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
         (g, p)
     }
@@ -235,9 +301,10 @@ mod tests {
         let (g, p) = fixture();
         let s = InducedSample::observe(&g, &p, &[0, 2, 3, 5, 3]);
         let all = induced_weights_all(&s);
-        for (&(a, b), &w) in &all {
+        for (a, b, w) in all.iter_nonzero() {
             assert!((w - induced_weight(&s, a, b).unwrap()).abs() < 1e-12);
         }
+        assert!(all.get(0, 1) > 0.0, "bridge pair must be present");
     }
 
     #[test]
@@ -277,18 +344,45 @@ mod tests {
         let s = cgte_sampling::StarSample::observe(&g, &p, &[0, 2, 3, 5]);
         let sizes = vec![3.0, 3.0];
         let all = star_weights_all(&s, &sizes);
-        assert!(!all.is_empty());
-        for (&(a, b), &w) in &all {
+        assert!(all.count_nonzero() > 0);
+        for (a, b, w) in all.iter_nonzero() {
             let single = star_weight(&s, a, b, sizes[a as usize], sizes[b as usize]).unwrap();
             assert!((w - single).abs() < 1e-12);
         }
     }
 
     #[test]
+    fn accumulator_weights_bit_identical_to_from_scratch() {
+        let (g, p) = fixture();
+        let ctx = ObservationContext::new(&g, &p);
+        // A revisiting, weighted draw exercises the multiset paths.
+        let nodes = [2u32, 3, 2, 0, 5, 2, 3, 4, 1, 2];
+        let weights: Vec<f64> = nodes.iter().map(|&v| g.degree(v) as f64).collect();
+        let mut ind_acc = InducedAccumulator::new(2);
+        let mut star_acc = StarAccumulator::new(2);
+        for (&v, &w) in nodes.iter().zip(&weights) {
+            ind_acc.push(&ctx, v, w);
+            star_acc.push(&ctx, v, w);
+        }
+        let ind = InducedSample::observe_with_weights(&g, &p, &nodes, weights.clone());
+        let star = cgte_sampling::StarSample::observe_with_weights(&g, &p, &nodes, weights);
+        let sizes = vec![3.0, 3.0];
+        assert_eq!(induced_weights_all(&ind), induced_weights_acc(&ind_acc));
+        assert_eq!(
+            star_weights_all(&star, &sizes),
+            star_weights_acc(&star_acc, &sizes)
+        );
+    }
+
+    #[test]
     fn weighted_induced_estimator_corrects_rw_bias() {
         use cgte_graph::generators::{planted_partition, PlantedConfig};
         let mut rng = StdRng::seed_from_u64(7);
-        let cfg = PlantedConfig { category_sizes: vec![150, 150], k: 10, alpha: 0.2 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![150, 150],
+            k: 10,
+            alpha: 0.2,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         let truth = CategoryGraph::exact(&pg.graph, &pg.partition).weight(0, 1);
         let rw = RandomWalk::new().burn_in(300);
@@ -307,7 +401,11 @@ mod tests {
         // edge weights. Check mean absolute relative error over replications.
         use cgte_graph::generators::{planted_partition, PlantedConfig};
         let mut rng = StdRng::seed_from_u64(8);
-        let cfg = PlantedConfig { category_sizes: vec![200, 200], k: 10, alpha: 0.5 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![200, 200],
+            k: 10,
+            alpha: 0.5,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         let truth = CategoryGraph::exact(&pg.graph, &pg.partition).weight(0, 1);
         let mut err_star = 0.0;

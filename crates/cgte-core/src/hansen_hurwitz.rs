@@ -100,7 +100,13 @@ mod tests {
         // value per (1,4) weights. The HH mean must return the true mean 15
         // given a perfectly representative weighted sample.
         // Representative sample: value 10 once (w=1), value 20 four times (w=4).
-        let samples = [(10.0, 1.0), (20.0, 4.0), (20.0, 4.0), (20.0, 4.0), (20.0, 4.0)];
+        let samples = [
+            (10.0, 1.0),
+            (20.0, 4.0),
+            (20.0, 4.0),
+            (20.0, 4.0),
+            (20.0, 4.0),
+        ];
         let m = hh_mean(samples).unwrap();
         assert!((m - 15.0).abs() < 1e-12, "got {m}");
     }

@@ -116,7 +116,11 @@ mod tests {
         // uncorrected RW sample overestimates high degrees; the HH-weighted
         // histogram recovers the truth.
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = PlantedConfig { category_sizes: vec![300, 300], k: 4, alpha: 0.5 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![300, 300],
+            k: 4,
+            alpha: 0.5,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         let rw = RandomWalk::new().burn_in(500);
         let nodes = rw.sample(&pg.graph, 20_000, &mut rng);
@@ -131,10 +135,7 @@ mod tests {
         for (k, &t) in &truth {
             if t > 0.05 {
                 let e = est.get(k).copied().unwrap_or(0.0);
-                assert!(
-                    (e - t).abs() < 0.05,
-                    "P(deg={k}): est {e} vs truth {t}"
-                );
+                assert!((e - t).abs() < 0.05, "P(deg={k}): est {e} vs truth {t}");
             }
         }
         // Uncorrected comparison: the unit-weight histogram of the same

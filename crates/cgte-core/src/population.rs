@@ -46,7 +46,7 @@ pub fn population_size_uniform(nodes: &[NodeId]) -> Option<f64> {
 /// collision occurred or the inputs are degenerate (mismatched lengths,
 /// zero degrees).
 pub fn population_size_weighted(nodes: &[NodeId], degrees: &[u32]) -> Option<f64> {
-    if nodes.len() != degrees.len() || degrees.iter().any(|&d| d == 0) {
+    if nodes.len() != degrees.len() || degrees.contains(&0) {
         return None;
     }
     let c = collision_pairs(nodes);
@@ -104,7 +104,11 @@ mod tests {
     #[test]
     fn weighted_estimator_recovers_population_from_rw() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = PlantedConfig { category_sizes: vec![300, 600, 900], k: 8, alpha: 0.5 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![300, 600, 900],
+            k: 8,
+            alpha: 0.5,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         let n_true = pg.graph.num_nodes() as f64;
         let rw = RandomWalk::new().burn_in(500).thinning(3);
@@ -120,7 +124,11 @@ mod tests {
     #[test]
     fn uniform_estimator_from_uis_on_graph() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = PlantedConfig { category_sizes: vec![500, 500], k: 6, alpha: 0.0 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![500, 500],
+            k: 6,
+            alpha: 0.0,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         let nodes = UniformIndependence.sample(&pg.graph, 800, &mut rng);
         let est = population_size_uniform(&nodes).unwrap();

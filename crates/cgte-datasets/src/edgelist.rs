@@ -27,7 +27,9 @@ impl fmt::Display for DatasetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DatasetError::Io(e) => write!(f, "io error: {e}"),
-            DatasetError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            DatasetError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
         }
     }
 }
@@ -55,7 +57,10 @@ fn parse_pair(line: &str, lineno: usize) -> Result<Option<(u64, u64)>, DatasetEr
         reason: "missing second field".into(),
     })?;
     if it.next().is_some() {
-        return Err(DatasetError::Parse { line: lineno, reason: "more than two fields".into() });
+        return Err(DatasetError::Parse {
+            line: lineno,
+            reason: "more than two fields".into(),
+        });
     }
     let a: u64 = a.parse().map_err(|_| DatasetError::Parse {
         line: lineno,
@@ -90,7 +95,11 @@ pub fn read_edgelist<R: BufRead>(r: R) -> Result<Graph, DatasetError> {
             }
         }
     }
-    let n = if edges.is_empty() && max_id == 0 { 0 } else { max_id as usize + 1 };
+    let n = if edges.is_empty() && max_id == 0 {
+        0
+    } else {
+        max_id as usize + 1
+    };
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     for (u, v) in edges {
         b.add_edge(u, v).expect("ids bounded by max_id");
@@ -100,7 +109,12 @@ pub fn read_edgelist<R: BufRead>(r: R) -> Result<Graph, DatasetError> {
 
 /// Writes a graph as an edge list with a descriptive header comment.
 pub fn write_edgelist<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
-    writeln!(w, "# cgte edge list: {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    writeln!(
+        w,
+        "# cgte edge list: {} nodes, {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }
@@ -235,9 +249,12 @@ mod tests {
 
     #[test]
     fn error_display_formats() {
-        let e = DatasetError::Parse { line: 3, reason: "bad".into() };
+        let e = DatasetError::Parse {
+            line: 3,
+            reason: "bad".into(),
+        };
         assert!(e.to_string().contains("line 3"));
-        let e: DatasetError = io::Error::new(io::ErrorKind::Other, "disk").into();
+        let e: DatasetError = io::Error::other("disk").into();
         assert!(e.to_string().contains("disk"));
     }
 }

@@ -31,7 +31,10 @@ pub fn zipf_sizes(total: usize, k: usize, s: f64) -> Vec<usize> {
     let raw: Vec<f64> = (0..k).map(|i| 1.0 / ((i + 1) as f64).powf(s)).collect();
     let z: f64 = raw.iter().sum();
     let spare = total - k;
-    let mut sizes: Vec<usize> = raw.iter().map(|r| 1 + (r / z * spare as f64) as usize).collect();
+    let mut sizes: Vec<usize> = raw
+        .iter()
+        .map(|r| 1 + (r / z * spare as f64) as usize)
+        .collect();
     // Distribute rounding leftovers to the largest categories.
     let mut assigned: usize = sizes.iter().sum();
     let mut i = 0;
@@ -137,9 +140,15 @@ impl FacebookSim {
         );
         let n = c.num_users;
         let declared = ((n as f64) * c.region_declared_fraction).round() as usize;
-        assert!(declared >= c.num_regions, "too many regions for declared users");
+        assert!(
+            declared >= c.num_regions,
+            "too many regions for declared users"
+        );
         let collegiate = ((n as f64) * c.college_fraction).round() as usize;
-        assert!(collegiate >= c.num_colleges, "too many colleges for members");
+        assert!(
+            collegiate >= c.num_colleges,
+            "too many colleges for members"
+        );
 
         // Degree weights.
         let w_max = (n as f64).sqrt() * c.mean_degree;
@@ -185,10 +194,15 @@ impl FacebookSim {
                 w[v] * frac
             })
             .collect();
-        chung_lu_over(&(0..n as NodeId).collect::<Vec<_>>(), &global_w, &mut b, rng);
+        chung_lu_over(
+            &(0..n as NodeId).collect::<Vec<_>>(),
+            &global_w,
+            &mut b,
+            rng,
+        );
         let mut region_members: Vec<Vec<NodeId>> = vec![Vec::new(); c.num_regions];
-        for v in 0..n {
-            let r = region_of[v] as usize;
+        for (v, &region) in region_of.iter().enumerate() {
+            let r = region as usize;
             if r < c.num_regions {
                 region_members[r].push(v as NodeId);
             }
@@ -201,8 +215,8 @@ impl FacebookSim {
             chung_lu_over(members, &wts, &mut b, rng);
         }
         let mut college_members: Vec<Vec<NodeId>> = vec![Vec::new(); c.num_colleges];
-        for v in 0..n {
-            let k = college_of[v] as usize;
+        for (v, &college) in college_of.iter().enumerate() {
+            let k = college as usize;
             if k < c.num_colleges {
                 college_members[k].push(v as NodeId);
             }
@@ -235,7 +249,13 @@ impl FacebookSim {
             .map(|r| (r % c.num_countries) as CategoryId)
             .collect();
 
-        FacebookSim { graph, regions, colleges, region_to_country, config: c.clone() }
+        FacebookSim {
+            graph,
+            regions,
+            colleges,
+            region_to_country,
+            config: c.clone(),
+        }
     }
 
     /// The configuration this population was generated from.
@@ -249,7 +269,9 @@ impl FacebookSim {
         let nc = self.config.num_countries;
         let mut map: Vec<CategoryId> = self.region_to_country.clone();
         map.push(nc as CategoryId); // undeclared pseudo-region
-        self.regions.merge(&map, nc + 1).expect("country map covers regions")
+        self.regions
+            .merge(&map, nc + 1)
+            .expect("country map covers regions")
     }
 
     /// Runs the 2009-style crawls of Table 2: UIS, RW and MHRW multi-walk
@@ -288,7 +310,13 @@ impl FacebookSim {
             CrawlDataset {
                 name: "UIS09".into(),
                 crawl: CrawlType::Uis,
-                walks: run_walks(&UniformIndependence, &self.graph, num_walks, per_walk / 2, rng),
+                walks: run_walks(
+                    &UniformIndependence,
+                    &self.graph,
+                    num_walks,
+                    per_walk / 2,
+                    rng,
+                ),
             },
         ]
     }
@@ -375,11 +403,7 @@ pub struct CrawlDataset {
 impl CrawlDataset {
     /// Fraction of samples that fall in "studied" categories — Table 2's
     /// "% categ. samples" column. `studied` decides per category id.
-    pub fn studied_fraction<F: Fn(CategoryId) -> bool>(
-        &self,
-        p: &Partition,
-        studied: F,
-    ) -> f64 {
+    pub fn studied_fraction<F: Fn(CategoryId) -> bool>(&self, p: &Partition, studied: F) -> f64 {
         let total = self.walks.total_len();
         if total == 0 {
             return 0.0;
@@ -485,7 +509,10 @@ mod tests {
         let sim = quick_sim();
         let got = sim.graph.mean_degree();
         let want = sim.config().mean_degree;
-        assert!((got - want).abs() / want < 0.25, "mean degree {got} vs {want}");
+        assert!(
+            (got - want).abs() / want < 0.25,
+            "mean degree {got} vs {want}"
+        );
     }
 
     #[test]
@@ -493,7 +520,7 @@ mod tests {
         let sim = quick_sim();
         let countries = sim.countries();
         assert_eq!(countries.num_categories(), 9); // 8 + undeclared
-        // Total declared population preserved.
+                                                   // Total declared population preserved.
         let undeclared_c = countries.category_size(8);
         let undeclared_r = sim.regions.category_size(40);
         assert_eq!(undeclared_c, undeclared_r);

@@ -120,7 +120,12 @@ pub fn standin<R: Rng + ?Sized>(kind: StandinKind, scale_div: usize, rng: &mut R
     let blocks = zipf_sizes(n, NUM_BLOCKS.min(n / 4).max(1), 0.8);
     let mut b = GraphBuilder::with_capacity(n, (n as f64 * kv / 2.0) as usize);
     let global_w: Vec<f64> = w.iter().map(|x| x * (1.0 - h)).collect();
-    chung_lu_over(&(0..n as NodeId).collect::<Vec<_>>(), &global_w, &mut b, rng);
+    chung_lu_over(
+        &(0..n as NodeId).collect::<Vec<_>>(),
+        &global_w,
+        &mut b,
+        rng,
+    );
     let mut base = 0usize;
     for &s in &blocks {
         let members: Vec<NodeId> = (base..base + s).map(|v| v as NodeId).collect();
@@ -203,8 +208,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let g = standin(StandinKind::Epinions, 20, &mut rng);
         let s = DegreeStats::of(&g);
-        assert!(s.cv > 1.0, "Epinions stand-in should be high-CV, got {}", s.cv);
-        assert!(s.max as f64 > 10.0 * s.mean, "hub missing: max {} mean {}", s.max, s.mean);
+        assert!(
+            s.cv > 1.0,
+            "Epinions stand-in should be high-CV, got {}",
+            s.cv
+        );
+        assert!(
+            s.max as f64 > 10.0 * s.mean,
+            "hub missing: max {} mean {}",
+            s.max,
+            s.mean
+        );
     }
 
     #[test]
@@ -220,7 +234,10 @@ mod tests {
         let q = modularity(&g, &labels);
         let found = labels.iter().map(|&c| c as usize + 1).max().unwrap_or(1);
         assert!(found >= 5, "expected several communities, found {found}");
-        assert!(q > 0.15, "modularity {q} too weak for a planted-block graph");
+        assert!(
+            q > 0.15,
+            "modularity {q} too weak for a planted-block graph"
+        );
     }
 
     #[test]
@@ -229,7 +246,11 @@ mod tests {
         let g = standin(StandinKind::P2p, 60, &mut rng);
         let p = standin_partition(&g, 10, false, &mut rng);
         assert!(p.num_categories() <= 11);
-        assert!(p.num_categories() >= 3, "found {} categories", p.num_categories());
+        assert!(
+            p.num_categories() >= 3,
+            "found {} categories",
+            p.num_categories()
+        );
         assert_eq!(p.num_nodes(), g.num_nodes());
         // Categories ordered by descending size among the top-k.
         for c in 1..p.num_categories().saturating_sub(1) as u32 {

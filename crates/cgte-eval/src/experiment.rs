@@ -1,11 +1,23 @@
 //! The experiment runner behind every simulation figure (§6, §7).
+//!
+//! The paper's protocol evaluates every estimator on growing prefixes of
+//! each sampled node sequence. Rather than re-observing each prefix from
+//! scratch — `O(Σᵢ sᵢ · deg)` per replication — the runner folds the
+//! sequence into incremental [`StarAccumulator`] / [`InducedAccumulator`]
+//! state once (`O(max_size · deg)`) and snapshots the estimators in
+//! `O(C²)` at every configured size. Per-node neighbor-category histograms
+//! are precomputed in one shared [`ObservationContext`] and reused across
+//! all replications and worker threads; the accumulators themselves are
+//! per-thread scratch reset between replications.
 
 use crate::nrmse::nrmse_from_errors;
-use cgte_core::category_size::{induced_sizes, star_sizes};
-use cgte_core::edge_weight::{induced_weights_all, star_weights_all};
+use cgte_core::category_size::{induced_sizes_acc, star_sizes_acc};
+use cgte_core::edge_weight::{induced_weights_acc, star_weights_acc};
 use cgte_core::{Design, StarSizeOptions};
 use cgte_graph::{CategoryGraph, CategoryId, Graph, Partition};
-use cgte_sampling::{AnySampler, NodeSampler, StarSample};
+use cgte_sampling::{
+    AnySampler, InducedAccumulator, NodeSampler, ObservationContext, StarAccumulator,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -196,33 +208,47 @@ impl Accum {
     }
 }
 
-/// Runs one replication: draw `max_size` nodes, evaluate all prefixes.
+/// Per-thread reusable replication state: both accumulators, allocated
+/// once per worker and reset between replications.
+struct ReplicationScratch {
+    star: StarAccumulator,
+    induced: InducedAccumulator,
+}
+
+impl ReplicationScratch {
+    fn new(num_categories: usize) -> Self {
+        ReplicationScratch {
+            star: StarAccumulator::new(num_categories),
+            induced: InducedAccumulator::new(num_categories),
+        }
+    }
+}
+
+/// Snapshots every tracked estimator from the accumulators and records the
+/// squared errors at `size_idx`.
 #[allow(clippy::too_many_arguments)]
-fn one_replication(
-    g: &Graph,
-    p: &Partition,
-    sampler: &AnySampler,
+fn record_snapshot(
+    scratch: &ReplicationScratch,
+    population: f64,
+    num_categories: usize,
     targets: &[Target],
     cfg: &ExperimentConfig,
     truth: &HashMap<Target, f64>,
     acc: &mut Accum,
-    rep: usize,
+    size_idx: usize,
 ) {
-    let mut rng = StdRng::seed_from_u64(cfg.base_seed.wrapping_add(rep as u64));
-    let max_size = *cfg.sample_sizes.iter().max().expect("non-empty sizes");
-    let nodes = sampler.sample(g, max_size, &mut rng);
-    let population = g.num_nodes() as f64;
-    for (size_idx, &s) in cfg.sample_sizes.iter().enumerate() {
-        let prefix = &nodes[..s];
-        let star = match cfg.design {
-            Design::Uniform => StarSample::observe(g, p, prefix),
-            Design::Weighted => StarSample::observe_sampler(g, p, prefix, sampler),
-        };
-        let ind = star.to_induced(g, p);
+    let ind_sizes = induced_sizes_acc(&scratch.induced, population)
+        .unwrap_or_else(|| vec![0.0; num_categories]);
+    let star_sz = star_sizes_acc(&scratch.star, population, &cfg.star_size_options);
 
-        let ind_sizes = induced_sizes(&ind, population)
-            .unwrap_or_else(|| vec![0.0; p.num_categories()]);
-        let star_sz = star_sizes(&star, population, &cfg.star_size_options);
+    // Dense all-pairs weight matrices: a zero entry means either
+    // "undefined" or "no edge observed"; both are recorded as an estimate
+    // of 0, so a plain O(1) read suffices (and keeps the cost independent
+    // of the number of tracked weight targets). Only materialized when a
+    // weight target is tracked — size-only experiments skip the O(C²) work
+    // entirely.
+    let track_weights = targets.iter().any(|t| matches!(t, Target::Weight(..)));
+    let weight_mats = track_weights.then(|| {
         // Star edge weights plug in the star size with induced fallback
         // (§5.3.2: pick the better-behaved size estimator).
         let plug_sizes: Vec<f64> = star_sz
@@ -230,58 +256,110 @@ fn one_replication(
             .zip(&ind_sizes)
             .map(|(s, &i)| s.unwrap_or(i))
             .collect();
+        (
+            induced_weights_acc(&scratch.induced),
+            star_weights_acc(&scratch.star, &plug_sizes),
+        )
+    });
 
-        // One-pass all-pairs weight maps: an absent entry means either
-        // "undefined" or "no edge observed"; both are recorded as an
-        // estimate of 0, so a plain lookup suffices (and keeps the cost
-        // independent of the number of tracked weight targets).
-        let track_weights = targets.iter().any(|t| matches!(t, Target::Weight(..)));
-        let (ind_w, star_w) = if track_weights {
-            (induced_weights_all(&ind), star_weights_all(&star, &plug_sizes))
-        } else {
-            (HashMap::new(), HashMap::new())
-        };
-
-        for &t in targets {
-            match t {
-                Target::Size(c) => {
-                    let tr = truth[&t];
-                    acc.record(
-                        EstimatorKind::InducedSize,
-                        t,
-                        size_idx,
-                        ind_sizes[c as usize],
-                        tr,
-                    );
-                    acc.record(
-                        EstimatorKind::StarSize,
-                        t,
-                        size_idx,
-                        star_sz[c as usize].unwrap_or(0.0),
-                        tr,
-                    );
-                }
-                Target::Weight(a, b) => {
-                    let tr = truth[&t];
-                    let key = if a < b { (a, b) } else { (b, a) };
-                    acc.record(
-                        EstimatorKind::InducedWeight,
-                        t,
-                        size_idx,
-                        ind_w.get(&key).copied().unwrap_or(0.0),
-                        tr,
-                    );
-                    acc.record(
-                        EstimatorKind::StarWeight,
-                        t,
-                        size_idx,
-                        star_w.get(&key).copied().unwrap_or(0.0),
-                        tr,
-                    );
-                }
+    for &t in targets {
+        match t {
+            Target::Size(c) => {
+                let tr = truth[&t];
+                acc.record(
+                    EstimatorKind::InducedSize,
+                    t,
+                    size_idx,
+                    ind_sizes[c as usize],
+                    tr,
+                );
+                acc.record(
+                    EstimatorKind::StarSize,
+                    t,
+                    size_idx,
+                    star_sz[c as usize].unwrap_or(0.0),
+                    tr,
+                );
+            }
+            Target::Weight(a, b) => {
+                let tr = truth[&t];
+                let (ind_w, star_w) = weight_mats
+                    .as_ref()
+                    .expect("weight matrices exist for weight targets");
+                acc.record(
+                    EstimatorKind::InducedWeight,
+                    t,
+                    size_idx,
+                    ind_w.get(a, b),
+                    tr,
+                );
+                acc.record(EstimatorKind::StarWeight, t, size_idx, star_w.get(a, b), tr);
             }
         }
     }
+}
+
+/// Runs one replication: draw `max_size` nodes, then fold the sequence into
+/// the accumulators **once**, snapshotting at every configured prefix size
+/// (`schedule` is `(size, size_idx)` sorted ascending by size).
+#[allow(clippy::too_many_arguments)]
+fn one_replication(
+    ctx: &ObservationContext<'_>,
+    sampler: &AnySampler,
+    targets: &[Target],
+    cfg: &ExperimentConfig,
+    schedule: &[(usize, usize)],
+    truth: &HashMap<Target, f64>,
+    acc: &mut Accum,
+    scratch: &mut ReplicationScratch,
+    rep: usize,
+) {
+    let g = ctx.graph();
+    let mut rng = StdRng::seed_from_u64(cfg.base_seed.wrapping_add(rep as u64));
+    let max_size = schedule.last().expect("non-empty sizes").0;
+    let nodes = sampler.sample(g, max_size, &mut rng);
+    let population = g.num_nodes() as f64;
+    let num_categories = ctx.num_categories();
+    scratch.star.reset();
+    scratch.induced.reset();
+
+    let mut next = 0;
+    // Degenerate zero-size prefixes evaluate on the empty accumulators.
+    while next < schedule.len() && schedule[next].0 == 0 {
+        record_snapshot(
+            scratch,
+            population,
+            num_categories,
+            targets,
+            cfg,
+            truth,
+            acc,
+            schedule[next].1,
+        );
+        next += 1;
+    }
+    for (pos, &v) in nodes.iter().enumerate() {
+        let w = match cfg.design {
+            Design::Uniform => 1.0,
+            Design::Weighted => sampler.weight_of(g, v),
+        };
+        scratch.star.push(ctx, v, w);
+        scratch.induced.push(ctx, v, w);
+        while next < schedule.len() && schedule[next].0 == pos + 1 {
+            record_snapshot(
+                scratch,
+                population,
+                num_categories,
+                targets,
+                cfg,
+                truth,
+                acc,
+                schedule[next].1,
+            );
+            next += 1;
+        }
+    }
+    debug_assert_eq!(next, schedule.len(), "every configured size snapshotted");
 }
 
 /// Runs the full NRMSE protocol of §6.1 for one graph, partition and
@@ -302,7 +380,10 @@ pub fn run_experiment(
     targets: &[Target],
     cfg: &ExperimentConfig,
 ) -> ExperimentResult {
-    assert!(!cfg.sample_sizes.is_empty(), "need at least one sample size");
+    assert!(
+        !cfg.sample_sizes.is_empty(),
+        "need at least one sample size"
+    );
     assert!(cfg.replications > 0, "need at least one replication");
     let exact = CategoryGraph::exact(g, p);
     let mut truths = HashMap::new();
@@ -314,7 +395,10 @@ pub fn run_experiment(
                 exact.weight(a, b)
             }
         };
-        assert!(v != 0.0, "target {t:?} has zero true value; NRMSE undefined");
+        assert!(
+            v != 0.0,
+            "target {t:?} has zero true value; NRMSE undefined"
+        );
         truths.insert(t, v);
     }
     let keys: Vec<(EstimatorKind, Target)> = targets
@@ -328,11 +412,26 @@ pub fn run_experiment(
         .collect();
     let n_sizes = cfg.sample_sizes.len();
     let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         cfg.threads
     }
     .min(cfg.replications);
+
+    // Prefix-evaluation schedule: sizes ascending, carrying their original
+    // result index (duplicates allowed).
+    let mut schedule: Vec<(usize, usize)> = cfg
+        .sample_sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i))
+        .collect();
+    schedule.sort_unstable();
+    // Per-node neighbor-category histograms, computed once and shared
+    // read-only by every replication on every thread.
+    let ctx = ObservationContext::new(g, p);
 
     let mut total = Accum::new(&keys, n_sizes);
     crossbeam::scope(|scope| {
@@ -340,11 +439,24 @@ pub fn run_experiment(
             .map(|t| {
                 let keys = &keys;
                 let truths = &truths;
+                let ctx = &ctx;
+                let schedule = &schedule;
                 scope.spawn(move |_| {
                     let mut acc = Accum::new(keys, n_sizes);
+                    let mut scratch = ReplicationScratch::new(ctx.num_categories());
                     let mut rep = t;
                     while rep < cfg.replications {
-                        one_replication(g, p, sampler, targets, cfg, truths, &mut acc, rep);
+                        one_replication(
+                            ctx,
+                            sampler,
+                            targets,
+                            cfg,
+                            schedule,
+                            truths,
+                            &mut acc,
+                            &mut scratch,
+                            rep,
+                        );
                         rep += threads;
                     }
                     acc
@@ -367,7 +479,11 @@ pub fn run_experiment(
             .collect();
         series.insert((kind, target), v);
     }
-    ExperimentResult { sample_sizes: cfg.sample_sizes.clone(), series, truths }
+    ExperimentResult {
+        sample_sizes: cfg.sample_sizes.clone(),
+        series,
+        truths,
+    }
 }
 
 #[cfg(test)]
@@ -378,7 +494,11 @@ mod tests {
 
     fn small_pg() -> cgte_graph::generators::PlantedGraph {
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = PlantedConfig { category_sizes: vec![50, 100, 200], k: 6, alpha: 0.3 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![50, 100, 200],
+            k: 6,
+            alpha: 0.3,
+        };
         planted_partition(&cfg, &mut rng).unwrap()
     }
 
@@ -446,8 +566,12 @@ mod tests {
             &targets,
             &cfg,
         );
-        let x = a.nrmse(EstimatorKind::InducedSize, Target::Size(1)).unwrap();
-        let y = b.nrmse(EstimatorKind::InducedSize, Target::Size(1)).unwrap();
+        let x = a
+            .nrmse(EstimatorKind::InducedSize, Target::Size(1))
+            .unwrap();
+        let y = b
+            .nrmse(EstimatorKind::InducedSize, Target::Size(1))
+            .unwrap();
         assert!((x[0] - y[0]).abs() < 1e-12);
     }
 

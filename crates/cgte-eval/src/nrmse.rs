@@ -9,8 +9,7 @@ pub fn nrmse(estimates: &[f64], truth: f64) -> Option<f64> {
     if estimates.is_empty() || truth == 0.0 {
         return None;
     }
-    let mse = estimates.iter().map(|e| (e - truth).powi(2)).sum::<f64>()
-        / estimates.len() as f64;
+    let mse = estimates.iter().map(|e| (e - truth).powi(2)).sum::<f64>() / estimates.len() as f64;
     Some(mse.sqrt() / truth.abs())
 }
 

@@ -23,7 +23,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
-        Table { headers, rows: Vec::new() }
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -59,10 +62,18 @@ impl Table {
         writeln!(
             w,
             "{}",
-            self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| field(h))
+                .collect::<Vec<_>>()
+                .join(",")
         )?;
         for r in &self.rows {
-            writeln!(w, "{}", r.iter().map(|c| field(c)).collect::<Vec<_>>().join(","))?;
+            writeln!(
+                w,
+                "{}",
+                r.iter().map(|c| field(c)).collect::<Vec<_>>().join(",")
+            )?;
         }
         Ok(())
     }

@@ -40,7 +40,10 @@ pub fn average_clustering(g: &Graph) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    (0..n as NodeId).map(|v| local_clustering(g, v)).sum::<f64>() / n as f64
+    (0..n as NodeId)
+        .map(|v| local_clustering(g, v))
+        .sum::<f64>()
+        / n as f64
 }
 
 /// Global clustering coefficient (transitivity):

@@ -50,7 +50,11 @@ pub fn connected_components(g: &Graph) -> Components {
         }
         sizes.push(size);
     }
-    Components { component_of, num_components: sizes.len(), sizes }
+    Components {
+        component_of,
+        num_components: sizes.len(),
+        sizes,
+    }
 }
 
 /// Extracts the largest connected component as a new graph with dense ids.
@@ -66,8 +70,8 @@ pub fn giant_component(g: &Graph) -> (Graph, Vec<NodeId>) {
     let giant = giant as u32;
     let mut new_id = vec![NodeId::MAX; g.num_nodes()];
     let mut old_id = Vec::new();
-    for v in 0..g.num_nodes() {
-        if comps.component_of[v] == giant {
+    for (v, &comp) in comps.component_of.iter().enumerate() {
+        if comp == giant {
             new_id[v] = old_id.len() as NodeId;
             old_id.push(v as NodeId);
         }

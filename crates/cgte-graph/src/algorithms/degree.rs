@@ -27,7 +27,13 @@ impl DegreeStats {
     pub fn of(g: &Graph) -> DegreeStats {
         let n = g.num_nodes();
         if n == 0 {
-            return DegreeStats { min: 0, max: 0, mean: 0.0, variance: 0.0, cv: 0.0 };
+            return DegreeStats {
+                min: 0,
+                max: 0,
+                mean: 0.0,
+                variance: 0.0,
+                cv: 0.0,
+            };
         }
         let mut min = usize::MAX;
         let mut max = 0usize;
@@ -42,8 +48,18 @@ impl DegreeStats {
         }
         let mean = sum / n as f64;
         let variance = (sum2 / n as f64 - mean * mean).max(0.0);
-        let cv = if mean > 0.0 { variance.sqrt() / mean } else { 0.0 };
-        DegreeStats { min, max, mean, variance, cv }
+        let cv = if mean > 0.0 {
+            variance.sqrt() / mean
+        } else {
+            0.0
+        };
+        DegreeStats {
+            min,
+            max,
+            mean,
+            variance,
+            cv,
+        }
     }
 }
 

@@ -35,7 +35,10 @@ impl GraphBuilder {
             num_nodes <= NodeId::MAX as usize,
             "node count {num_nodes} exceeds NodeId capacity"
         );
-        GraphBuilder { num_nodes, edges: Vec::new() }
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder with preallocated capacity for `num_edges` edges.
@@ -61,10 +64,16 @@ impl GraphBuilder {
     /// are accepted here and dropped during [`GraphBuilder::build`].
     pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
         if u as usize >= self.num_nodes {
-            return Err(GraphError::NodeOutOfRange { node: u as u64, num_nodes: self.num_nodes as u64 });
+            return Err(GraphError::NodeOutOfRange {
+                node: u as u64,
+                num_nodes: self.num_nodes as u64,
+            });
         }
         if v as usize >= self.num_nodes {
-            return Err(GraphError::NodeOutOfRange { node: v as u64, num_nodes: self.num_nodes as u64 });
+            return Err(GraphError::NodeOutOfRange {
+                node: v as u64,
+                num_nodes: self.num_nodes as u64,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { node: u as u64 });
@@ -80,7 +89,10 @@ impl GraphBuilder {
     pub fn add_edge_strict(&mut self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
         let key = if u < v { (u, v) } else { (v, u) };
         if self.edges.contains(&key) {
-            return Err(GraphError::DuplicateEdge { u: u as u64, v: v as u64 });
+            return Err(GraphError::DuplicateEdge {
+                u: u as u64,
+                v: v as u64,
+            });
         }
         self.add_edge(u, v)
     }
@@ -152,11 +164,17 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         assert_eq!(
             b.add_edge(0, 2),
-            Err(GraphError::NodeOutOfRange { node: 2, num_nodes: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 2,
+                num_nodes: 2
+            })
         );
         assert_eq!(
             b.add_edge(5, 0),
-            Err(GraphError::NodeOutOfRange { node: 5, num_nodes: 2 })
+            Err(GraphError::NodeOutOfRange {
+                node: 5,
+                num_nodes: 2
+            })
         );
     }
 

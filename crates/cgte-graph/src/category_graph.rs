@@ -1,7 +1,6 @@
 //! The category graph `G_C` — the coarse-grained topology (§2.2).
 
-use crate::{CategoryId, Graph, Partition};
-use std::collections::HashMap;
+use crate::{CategoryId, CategoryMatrix, Graph, Partition};
 
 /// One weighted edge `{A, B}` of a [`CategoryGraph`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +25,10 @@ pub struct CategoryEdge {
 /// definition (§2.2), but intra-category edge counts are retained separately
 /// because they are useful for model-based analyses (§9) and for tests.
 ///
+/// Cut counts and weights are stored as dense [`CategoryMatrix`] values —
+/// `C` is tens, so dense wins over any sparse pair map in both speed and
+/// simplicity.
+///
 /// This type is used both for **ground truth** (via
 /// [`CategoryGraph::exact`]) and as the output container of the estimators
 /// in `cgte-core`.
@@ -34,65 +37,78 @@ pub struct CategoryGraph {
     num_categories: usize,
     /// Category sizes `|A|` (possibly estimated, hence `f64`).
     sizes: Vec<f64>,
-    /// Sparse symmetric cut map keyed by `(min, max)` category pair.
-    cuts: HashMap<(CategoryId, CategoryId), u64>,
-    /// Pre-computed weights aligned with `cuts`.
-    weights: HashMap<(CategoryId, CategoryId), f64>,
+    /// Symmetric cut counts `|E_AB|` for `A != B` (diagonal unused).
+    cuts: CategoryMatrix,
+    /// Eq. (3) weights aligned with `cuts` (diagonal unused).
+    weights: CategoryMatrix,
     /// Intra-category edge counts `|E_AA|`, indexed by category.
     intra: Vec<u64>,
 }
 
 impl CategoryGraph {
-    /// Computes the exact category graph of `g` under `p` in `O(E + C)`.
+    /// Computes the exact category graph of `g` under `p` in `O(E + C²)`.
     ///
     /// # Panics
     /// Panics if the partition does not cover the graph.
     pub fn exact(g: &Graph, p: &Partition) -> Self {
         p.check_covers(g).expect("partition must cover graph");
         let c = p.num_categories();
-        let mut cuts: HashMap<(CategoryId, CategoryId), u64> = HashMap::new();
+        let mut cuts = CategoryMatrix::zeros(c);
         let mut intra = vec![0u64; c];
         for (u, v) in g.edges() {
             let (ca, cb) = (p.category_of(u), p.category_of(v));
             if ca == cb {
                 intra[ca as usize] += 1;
             } else {
-                let key = if ca < cb { (ca, cb) } else { (cb, ca) };
-                *cuts.entry(key).or_insert(0) += 1;
+                cuts.add(ca, cb, 1.0);
             }
         }
         let sizes: Vec<f64> = p.sizes().iter().map(|&s| s as f64).collect();
-        let mut weights = HashMap::with_capacity(cuts.len());
-        for (&(a, b), &cut) in &cuts {
+        let weights = cuts.map_upper(|a, b, cut| {
             let denom = sizes[a as usize] * sizes[b as usize];
-            weights.insert((a, b), if denom > 0.0 { cut as f64 / denom } else { 0.0 });
+            if a != b && denom > 0.0 {
+                cut / denom
+            } else {
+                0.0
+            }
+        });
+        CategoryGraph {
+            num_categories: c,
+            sizes,
+            cuts,
+            weights,
+            intra,
         }
-        CategoryGraph { num_categories: c, sizes, cuts, weights, intra }
     }
 
     /// Assembles a category graph from (possibly estimated) parts.
     ///
-    /// `sizes[A]` are category sizes; `cuts` maps unordered category pairs to
-    /// `|E_AB|` (interpreted as exact or estimated counts); weights are
-    /// recomputed from the provided sizes via Eq. (3). Pairs with
-    /// zero-size endpoints get weight 0.
-    pub fn from_parts(
-        sizes: Vec<f64>,
-        cuts: HashMap<(CategoryId, CategoryId), f64>,
-    ) -> Self {
+    /// `sizes[A]` are category sizes; `cuts` holds `|E_AB|` per unordered
+    /// category pair (interpreted as exact or estimated counts; the diagonal
+    /// is ignored); weights are recomputed from the provided sizes via
+    /// Eq. (3). Pairs with zero-size endpoints get weight 0.
+    ///
+    /// # Panics
+    /// Panics if the matrix dimension differs from `sizes.len()`.
+    pub fn from_parts(sizes: Vec<f64>, cuts: CategoryMatrix) -> Self {
         let num_categories = sizes.len();
-        let mut int_cuts = HashMap::with_capacity(cuts.len());
-        let mut weights = HashMap::with_capacity(cuts.len());
-        for (&(a, b), &cut) in &cuts {
-            let key = if a < b { (a, b) } else { (b, a) };
+        assert_eq!(
+            cuts.num_categories(),
+            num_categories,
+            "matrix/sizes dimension mismatch"
+        );
+        let weights = cuts.map_upper(|a, b, cut| {
             let denom = sizes[a as usize] * sizes[b as usize];
-            weights.insert(key, if denom > 0.0 { cut / denom } else { 0.0 });
-            int_cuts.insert(key, cut.round().max(0.0) as u64);
-        }
+            if a != b && denom > 0.0 {
+                cut / denom
+            } else {
+                0.0
+            }
+        });
         CategoryGraph {
             num_categories,
             sizes,
-            cuts: int_cuts,
+            cuts,
             weights,
             intra: vec![0; num_categories],
         }
@@ -103,20 +119,30 @@ impl CategoryGraph {
     /// Unlike [`CategoryGraph::from_parts`] the weights are stored verbatim
     /// (no division by sizes); cut counts are back-computed where sizes are
     /// available. This is the natural constructor for estimator output.
-    pub fn from_weights(
-        sizes: Vec<f64>,
-        weights: HashMap<(CategoryId, CategoryId), f64>,
-    ) -> Self {
+    ///
+    /// # Panics
+    /// Panics if the matrix dimension differs from `sizes.len()`.
+    pub fn from_weights(sizes: Vec<f64>, weights: CategoryMatrix) -> Self {
         let num_categories = sizes.len();
-        let mut norm = HashMap::with_capacity(weights.len());
-        let mut cuts = HashMap::with_capacity(weights.len());
-        for (&(a, b), &w) in &weights {
-            let key = if a < b { (a, b) } else { (b, a) };
-            norm.insert(key, w);
-            let denom = sizes[a as usize] * sizes[b as usize];
-            cuts.insert(key, (w * denom).round().max(0.0) as u64);
+        assert_eq!(
+            weights.num_categories(),
+            num_categories,
+            "matrix/sizes dimension mismatch"
+        );
+        let cuts = weights.map_upper(|a, b, w| {
+            if a == b {
+                0.0
+            } else {
+                (w * sizes[a as usize] * sizes[b as usize]).round().max(0.0)
+            }
+        });
+        CategoryGraph {
+            num_categories,
+            sizes,
+            cuts,
+            weights,
+            intra: vec![0; num_categories],
         }
-        CategoryGraph { num_categories, sizes, cuts, weights: norm, intra: vec![0; num_categories] }
     }
 
     /// Number of categories `|C|`.
@@ -143,9 +169,11 @@ impl CategoryGraph {
     /// Panics if `a == b`; intra-category edges are queried via
     /// [`CategoryGraph::intra_edge_count`].
     pub fn edge_count_between(&self, a: CategoryId, b: CategoryId) -> u64 {
-        assert_ne!(a, b, "category graph has no self-loops; use intra_edge_count");
-        let key = if a < b { (a, b) } else { (b, a) };
-        self.cuts.get(&key).copied().unwrap_or(0)
+        assert_ne!(
+            a, b,
+            "category graph has no self-loops; use intra_edge_count"
+        );
+        self.cuts.get(a, b).round().max(0.0) as u64
     }
 
     /// Number of edges with both endpoints in `a`.
@@ -159,22 +187,34 @@ impl CategoryGraph {
     /// Panics if `a == b`.
     pub fn weight(&self, a: CategoryId, b: CategoryId) -> f64 {
         assert_ne!(a, b, "category graph has no self-loops");
-        let key = if a < b { (a, b) } else { (b, a) };
-        self.weights.get(&key).copied().unwrap_or(0.0)
+        self.weights.get(a, b)
     }
 
-    /// Number of category-graph edges (non-empty cuts).
+    /// The full weight matrix (diagonal entries are unused and zero).
+    #[inline]
+    pub fn weight_matrix(&self) -> &CategoryMatrix {
+        &self.weights
+    }
+
+    /// Number of category-graph edges (pairs with a non-empty cut or a
+    /// non-zero estimated weight).
     pub fn num_edges(&self) -> usize {
-        self.cuts.len()
+        self.edges().count()
     }
 
-    /// Iterates over all category edges in unspecified order.
+    /// Iterates over all category edges, ascending by `(a, b)`.
     pub fn edges(&self) -> impl Iterator<Item = CategoryEdge> + '_ {
-        self.cuts.iter().map(move |(&(a, b), &cut)| CategoryEdge {
-            a,
-            b,
-            edge_count: cut,
-            weight: self.weights.get(&(a, b)).copied().unwrap_or(0.0),
+        self.cuts.iter_upper().filter_map(move |(a, b, cut)| {
+            if a == b {
+                return None;
+            }
+            let weight = self.weights.get(a, b);
+            (cut != 0.0 || weight != 0.0).then(|| CategoryEdge {
+                a,
+                b,
+                edge_count: cut.round().max(0.0) as u64,
+                weight,
+            })
         })
     }
 
@@ -201,7 +241,10 @@ impl CategoryGraph {
     /// # Panics
     /// Panics if `q` is not in `\[0, 1\]`.
     pub fn weight_quantile_edge(&self, q: f64) -> Option<CategoryEdge> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         let mut v = self.edges_by_weight();
         if v.is_empty() {
             return None;
@@ -213,7 +256,11 @@ impl CategoryGraph {
 
     /// Total number of inter-category edges, `Σ |E_AB|`.
     pub fn total_cut_edges(&self) -> u64 {
-        self.cuts.values().sum()
+        self.cuts
+            .iter_nonzero()
+            .filter(|&(a, b, _)| a != b)
+            .map(|(_, _, c)| c.round().max(0.0) as u64)
+            .sum()
     }
 }
 
@@ -227,11 +274,9 @@ mod tests {
     /// — we reproduce the *structure* (sizes and a known cut) with a small
     /// hand graph.
     fn two_triangles_bridge() -> (Graph, Partition) {
-        let g = GraphBuilder::from_edges(
-            6,
-            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            GraphBuilder::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
         (g, p)
     }
@@ -274,8 +319,8 @@ mod tests {
     #[test]
     fn complete_bipartite_has_weight_one() {
         // K_{2,3}: every cross pair connected => w = 1.
-        let g = GraphBuilder::from_edges(5, [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)])
-            .unwrap();
+        let g =
+            GraphBuilder::from_edges(5, [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]).unwrap();
         let p = Partition::from_assignments(vec![0, 0, 1, 1, 1], 2).unwrap();
         let cg = CategoryGraph::exact(&g, &p);
         assert_eq!(cg.edge_count_between(0, 1), 6);
@@ -284,8 +329,8 @@ mod tests {
 
     #[test]
     fn from_parts_recomputes_weights() {
-        let mut cuts = HashMap::new();
-        cuts.insert((0 as CategoryId, 1 as CategoryId), 6.0);
+        let mut cuts = CategoryMatrix::zeros(2);
+        cuts.set(0, 1, 6.0);
         let cg = CategoryGraph::from_parts(vec![2.0, 3.0], cuts);
         assert!((cg.weight(0, 1) - 1.0).abs() < 1e-12);
         assert_eq!(cg.edge_count_between(0, 1), 6);
@@ -293,8 +338,8 @@ mod tests {
 
     #[test]
     fn from_weights_stores_verbatim() {
-        let mut w = HashMap::new();
-        w.insert((1 as CategoryId, 0 as CategoryId), 0.25);
+        let mut w = CategoryMatrix::zeros(2);
+        w.set(1, 0, 0.25);
         let cg = CategoryGraph::from_weights(vec![4.0, 4.0], w);
         assert!((cg.weight(0, 1) - 0.25).abs() < 1e-12);
         assert_eq!(cg.edge_count_between(0, 1), 4); // 0.25 * 16
@@ -353,5 +398,12 @@ mod tests {
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].edge_count, 1);
         assert_eq!((all[0].a, all[0].b), (0, 1));
+    }
+
+    #[test]
+    fn weight_matrix_view_matches_weight() {
+        let (g, p) = two_triangles_bridge();
+        let cg = CategoryGraph::exact(&g, &p);
+        assert_eq!(cg.weight_matrix().get(0, 1), cg.weight(0, 1));
     }
 }

@@ -40,7 +40,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
-                write!(f, "node id {node} out of range (graph has {num_nodes} nodes)")
+                write!(
+                    f,
+                    "node id {node} out of range (graph has {num_nodes} nodes)"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} rejected"),
             GraphError::DuplicateEdge { u, v } => {
@@ -60,16 +63,23 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::NodeOutOfRange { node: 7, num_nodes: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: 7,
+            num_nodes: 5,
+        };
         assert!(e.to_string().contains("7"));
         assert!(e.to_string().contains("5"));
         let e = GraphError::SelfLoop { node: 3 };
         assert!(e.to_string().contains("self-loop"));
         let e = GraphError::DuplicateEdge { u: 1, v: 2 };
         assert!(e.to_string().contains("{1, 2}"));
-        let e = GraphError::InvalidPartition { reason: "bad".into() };
+        let e = GraphError::InvalidPartition {
+            reason: "bad".into(),
+        };
         assert!(e.to_string().contains("bad"));
-        let e = GraphError::InvalidParameter { reason: "k too big".into() };
+        let e = GraphError::InvalidParameter {
+            reason: "k too big".into(),
+        };
         assert!(e.to_string().contains("k too big"));
     }
 

@@ -19,7 +19,9 @@ pub fn barabasi_albert<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Graph, GraphError> {
     if m == 0 {
-        return Err(GraphError::InvalidParameter { reason: "m must be positive".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "m must be positive".into(),
+        });
     }
     if n <= m {
         return Err(GraphError::InvalidParameter {

@@ -20,17 +20,19 @@ fn pair_stubs<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Vec<(NodeId, NodeId)>, GraphError> {
     let total: usize = degrees.iter().sum();
-    if total % 2 != 0 {
+    if !total.is_multiple_of(2) {
         return Err(GraphError::InvalidParameter {
             reason: format!("degree sum {total} is odd"),
         });
     }
     if degrees.len() > NodeId::MAX as usize {
-        return Err(GraphError::InvalidParameter { reason: "too many nodes".into() });
+        return Err(GraphError::InvalidParameter {
+            reason: "too many nodes".into(),
+        });
     }
     let mut stubs: Vec<NodeId> = Vec::with_capacity(total);
     for (v, &d) in degrees.iter().enumerate() {
-        stubs.extend(std::iter::repeat(v as NodeId).take(d));
+        stubs.extend(std::iter::repeat_n(v as NodeId, d));
     }
     stubs.shuffle(rng);
     Ok(stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect())
@@ -134,8 +136,9 @@ pub fn configuration_model_rewired<R: Rng + ?Sized>(
         }
     }
     Err(GraphError::InvalidParameter {
-        reason: "configuration model rewiring did not converge (sequence too dense or not graphical)"
-            .into(),
+        reason:
+            "configuration model rewiring did not converge (sequence too dense or not graphical)"
+                .into(),
     })
 }
 
@@ -218,7 +221,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let deg: Vec<usize> = (0..80).map(|i| 1 + (i % 5)).collect();
         let want: usize = deg.iter().sum();
-        let g = if want % 2 == 0 {
+        let g = if want.is_multiple_of(2) {
             configuration_model_rewired(&deg, &mut rng).unwrap()
         } else {
             let mut d = deg.clone();
@@ -247,7 +250,10 @@ mod tests {
         assert!(deg.iter().any(|&k| k >= 20));
         // But most nodes near the minimum.
         let small = deg.iter().filter(|&&k| k <= 4).count();
-        assert!(small > 2500, "power law should concentrate at k_min, got {small}");
+        assert!(
+            small > 2500,
+            "power law should concentrate at k_min, got {small}"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub fn k_regular<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Result<Gra
             reason: format!("k-regular graph needs k < n (k={k}, n={n})"),
         });
     }
-    if n.saturating_mul(k) % 2 != 0 {
+    if !n.saturating_mul(k).is_multiple_of(2) {
         return Err(GraphError::InvalidParameter {
             reason: format!("n*k must be even (n={n}, k={k})"),
         });

@@ -23,7 +23,9 @@ mod planted;
 
 pub use barabasi_albert::barabasi_albert;
 pub use chung_lu::{chung_lu, powerlaw_weights, scale_to_mean};
-pub use configuration::{configuration_model_erased, configuration_model_rewired, powerlaw_degree_sequence};
+pub use configuration::{
+    configuration_model_erased, configuration_model_rewired, powerlaw_degree_sequence,
+};
 pub use erdos_renyi::{gnm, gnp};
 pub use kregular::k_regular;
 pub use planted::{planted_partition, PlantedConfig, PlantedGraph, PAPER_CATEGORY_SIZES};

@@ -31,7 +31,11 @@ impl PlantedConfig {
     /// The paper's exact configuration: `N = 88 850`, 10 categories of sizes
     /// 50…50 000, given `k` and `alpha`.
     pub fn paper(k: usize, alpha: f64) -> Self {
-        PlantedConfig { category_sizes: PAPER_CATEGORY_SIZES.to_vec(), k, alpha }
+        PlantedConfig {
+            category_sizes: PAPER_CATEGORY_SIZES.to_vec(),
+            k,
+            alpha,
+        }
     }
 
     /// A proportionally scaled-down configuration for quick runs: category
@@ -43,13 +47,17 @@ impl PlantedConfig {
             .iter()
             .map(|&s| {
                 let mut t = (s / scale_div).max(k + 1);
-                if t * k % 2 != 0 {
+                if !(t * k).is_multiple_of(2) {
                     t += 1; // keep n·k even per category
                 }
                 t
             })
             .collect();
-        PlantedConfig { category_sizes, k, alpha }
+        PlantedConfig {
+            category_sizes,
+            k,
+            alpha,
+        }
     }
 
     /// Total node count `N`.
@@ -83,7 +91,7 @@ pub fn planted_partition<R: Rng + ?Sized>(
                 reason: format!("category {c} of size {s} cannot be {k}-regular"),
             });
         }
-        if s * k % 2 != 0 {
+        if !(s * k).is_multiple_of(2) {
             return Err(GraphError::InvalidParameter {
                 reason: format!("category {c}: size*k = {} is odd", s * k),
             });
@@ -205,9 +213,17 @@ mod tests {
     #[test]
     fn rejects_infeasible_categories() {
         let mut rng = StdRng::seed_from_u64(6);
-        let cfg = PlantedConfig { category_sizes: vec![5, 100], k: 6, alpha: 0.0 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![5, 100],
+            k: 6,
+            alpha: 0.0,
+        };
         assert!(planted_partition(&cfg, &mut rng).is_err());
-        let cfg = PlantedConfig { category_sizes: vec![7, 100], k: 5, alpha: 0.0 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![7, 100],
+            k: 5,
+            alpha: 0.0,
+        };
         assert!(planted_partition(&cfg, &mut rng).is_err()); // 7*5 odd
     }
 

@@ -39,8 +39,15 @@ impl Graph {
         debug_assert!(!offsets.is_empty());
         debug_assert_eq!(offsets[0], 0);
         debug_assert_eq!(*offsets.last().unwrap(), neighbors.len());
-        debug_assert!(neighbors.len() % 2 == 0, "undirected edges stored twice");
-        let g = Graph { num_edges: neighbors.len() / 2, offsets, neighbors };
+        debug_assert!(
+            neighbors.len().is_multiple_of(2),
+            "undirected edges stored twice"
+        );
+        let g = Graph {
+            num_edges: neighbors.len() / 2,
+            offsets,
+            neighbors,
+        };
         #[cfg(debug_assertions)]
         g.check_invariants();
         g
@@ -102,7 +109,11 @@ impl Graph {
     #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         // Search the smaller list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
@@ -133,7 +144,7 @@ impl Graph {
 
     /// Iterator over all node ids `0..N`.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.num_nodes() as NodeId).into_iter()
+        0..self.num_nodes() as NodeId
     }
 
     /// Iterator over each undirected edge exactly once, as `(u, v)` with
@@ -153,13 +164,19 @@ impl Graph {
         if (v as usize) < self.num_nodes() {
             Ok(())
         } else {
-            Err(GraphError::NodeOutOfRange { node: v as u64, num_nodes: self.num_nodes() as u64 })
+            Err(GraphError::NodeOutOfRange {
+                node: v as u64,
+                num_nodes: self.num_nodes() as u64,
+            })
         }
     }
 
     /// The maximum degree in the graph, or 0 for an empty graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_nodes()).map(|v| self.degree(v as NodeId)).max().unwrap_or(0)
+        (0..self.num_nodes())
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Approximate heap memory used by the CSR arrays, in bytes.
@@ -240,7 +257,10 @@ mod tests {
         assert!(g.check_node(2).is_ok());
         assert_eq!(
             g.check_node(3),
-            Err(GraphError::NodeOutOfRange { node: 3, num_nodes: 3 })
+            Err(GraphError::NodeOutOfRange {
+                node: 3,
+                num_nodes: 3
+            })
         );
     }
 

@@ -44,6 +44,7 @@
 
 mod builder;
 mod category_graph;
+mod category_matrix;
 mod error;
 mod graph;
 mod partition;
@@ -53,6 +54,7 @@ pub mod generators;
 
 pub use builder::GraphBuilder;
 pub use category_graph::{CategoryEdge, CategoryGraph};
+pub use category_matrix::CategoryMatrix;
 pub use error::GraphError;
 pub use graph::{Graph, NodeId};
 pub use partition::{CategoryId, Partition};

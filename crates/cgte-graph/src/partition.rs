@@ -56,7 +56,10 @@ impl Partition {
 
     /// A single category containing every node — the trivial partition.
     pub fn trivial(num_nodes: usize) -> Self {
-        Partition { assignment: vec![0; num_nodes], sizes: vec![num_nodes as u64] }
+        Partition {
+            assignment: vec![0; num_nodes],
+            sizes: vec![num_nodes as u64],
+        }
     }
 
     /// Partitions `0..num_nodes` into consecutive blocks of the given sizes.
@@ -73,7 +76,7 @@ impl Partition {
         }
         let mut assignment = Vec::with_capacity(num_nodes);
         for (c, &s) in block_sizes.iter().enumerate() {
-            assignment.extend(std::iter::repeat(c as CategoryId).take(s));
+            assignment.extend(std::iter::repeat_n(c as CategoryId, s));
         }
         Ok(Partition {
             assignment,
@@ -172,19 +175,24 @@ impl Partition {
     /// # Panics
     /// Panics if `alpha` is not in `\[0, 1\]`.
     pub fn permute_labels<R: Rng + ?Sized>(&self, alpha: f64, rng: &mut R) -> Partition {
-        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1], got {alpha}");
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "alpha must be in [0, 1], got {alpha}"
+        );
         let n = self.num_nodes();
         let k = ((n as f64) * alpha).round() as usize;
         let mut chosen: Vec<usize> = rand::seq::index::sample(rng, n, k.min(n)).into_vec();
         chosen.sort_unstable();
-        let mut labels: Vec<CategoryId> =
-            chosen.iter().map(|&v| self.assignment[v]).collect();
+        let mut labels: Vec<CategoryId> = chosen.iter().map(|&v| self.assignment[v]).collect();
         labels.shuffle(rng);
         let mut assignment = self.assignment.clone();
         for (i, &v) in chosen.iter().enumerate() {
             assignment[v] = labels[i];
         }
-        Partition { assignment, sizes: self.sizes.clone() }
+        Partition {
+            assignment,
+            sizes: self.sizes.clone(),
+        }
     }
 
     /// Merges categories according to `group_of`, producing a coarser
@@ -212,8 +220,11 @@ impl Partition {
                 reason: format!("merge target {bad} out of range ({num_groups} groups)"),
             });
         }
-        let assignment: Vec<CategoryId> =
-            self.assignment.iter().map(|&c| group_of[c as usize]).collect();
+        let assignment: Vec<CategoryId> = self
+            .assignment
+            .iter()
+            .map(|&c| group_of[c as usize])
+            .collect();
         Partition::from_assignments(assignment, num_groups)
     }
 

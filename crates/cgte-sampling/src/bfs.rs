@@ -154,7 +154,11 @@ mod tests {
         // §8's bias claim: the mean degree of a small BFS sample exceeds
         // the graph mean (hubs are reached quickly).
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = PlantedConfig { category_sizes: vec![300, 300], k: 4, alpha: 1.0 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![300, 300],
+            k: 4,
+            alpha: 1.0,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         // Add a few hubs by rewiring: use the existing graph; BFS from
         // random seeds, sample 5%.
@@ -162,8 +166,7 @@ mod tests {
         let reps = 40;
         for _ in 0..reps {
             let s = BreadthFirst::new().sample(&pg.graph, 30, &mut rng);
-            mean_bfs +=
-                s.iter().map(|&v| pg.graph.degree(v) as f64).sum::<f64>() / s.len() as f64;
+            mean_bfs += s.iter().map(|&v| pg.graph.degree(v) as f64).sum::<f64>() / s.len() as f64;
         }
         mean_bfs /= reps as f64;
         assert!(

@@ -64,9 +64,8 @@ pub fn geweke_z(series: &[f64], first: f64, last: f64) -> Option<f64> {
     let a = &series[..n_a];
     let b = &series[n - n_b..];
     let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
-    let var = |s: &[f64], m: f64| {
-        s.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (s.len() - 1) as f64
-    };
+    let var =
+        |s: &[f64], m: f64| s.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (s.len() - 1) as f64;
     let (ma, mb) = (mean(a), mean(b));
     let se2 = var(a, ma) / n_a as f64 + var(b, mb) / n_b as f64;
     if se2 <= 0.0 {
@@ -100,12 +99,19 @@ mod tests {
     #[test]
     fn autocorrelation_of_walk_is_positive() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = PlantedConfig { category_sizes: vec![200, 200], k: 4, alpha: 0.0 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![200, 200],
+            k: 4,
+            alpha: 0.0,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         let walk = RandomWalk::new().sample(&pg.graph, 20_000, &mut rng);
         let trace = degree_trace(&pg.graph, &walk);
         let r1 = autocorrelation(&trace, 1).unwrap();
-        assert!(r1 > 0.02, "walk degree trace should autocorrelate, got {r1}");
+        assert!(
+            r1 > 0.02,
+            "walk degree trace should autocorrelate, got {r1}"
+        );
     }
 
     #[test]

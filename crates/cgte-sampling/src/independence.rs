@@ -16,7 +16,9 @@ pub struct UniformIndependence;
 impl NodeSampler for UniformIndependence {
     fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
         assert!(g.num_nodes() > 0, "cannot sample from an empty graph");
-        (0..n).map(|_| rng.gen_range(0..g.num_nodes() as NodeId)).collect()
+        (0..n)
+            .map(|_| rng.gen_range(0..g.num_nodes() as NodeId))
+            .collect()
     }
 
     fn design(&self) -> DesignKind {
@@ -106,11 +108,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let s = UniformIndependence.sample(&g, 5000, &mut rng);
         assert_eq!(s.len(), 5000);
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for v in s {
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&x| x), "all nodes should appear in 5000 draws");
+        assert!(
+            seen.iter().all(|&x| x),
+            "all nodes should appear in 5000 draws"
+        );
     }
 
     #[test]

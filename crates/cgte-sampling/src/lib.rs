@@ -51,7 +51,9 @@ pub use bfs::BreadthFirst;
 pub use independence::{UniformIndependence, WeightedIndependence};
 pub use mhrw::MetropolisHastingsWalk;
 pub use multiwalk::{run_walks, MultiWalkSample};
-pub use observe::{InducedSample, StarSample};
+pub use observe::{
+    InducedAccumulator, InducedSample, ObservationContext, StarAccumulator, StarSample,
+};
 pub use random_walk::RandomWalk;
 pub use swrw::Swrw;
 pub use traits::{AnySampler, DesignKind, NodeSampler};

@@ -32,7 +32,11 @@ impl Default for MetropolisHastingsWalk {
 impl MetropolisHastingsWalk {
     /// MHRW with no burn-in, no thinning, random start.
     pub fn new() -> Self {
-        MetropolisHastingsWalk { burn_in: 0, thinning: 1, start: None }
+        MetropolisHastingsWalk {
+            burn_in: 0,
+            thinning: 1,
+            start: None,
+        }
     }
 
     /// Discards the first `steps` visited nodes.
@@ -111,7 +115,9 @@ mod tests {
         let g = lollipop();
         let mut rng = StdRng::seed_from_u64(1);
         let n = 300_000;
-        let s = MetropolisHastingsWalk::new().burn_in(200).sample(&g, n, &mut rng);
+        let s = MetropolisHastingsWalk::new()
+            .burn_in(200)
+            .sample(&g, n, &mut rng);
         let mut counts = [0usize; 5];
         for v in s {
             counts[v as usize] += 1;

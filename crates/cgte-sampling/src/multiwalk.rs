@@ -105,9 +105,11 @@ mod tests {
         let g = cycle(100);
         let mut rng = StdRng::seed_from_u64(2);
         let mw = run_walks(&RandomWalk::new(), &g, 10, 1, &mut rng);
-        let starts: std::collections::HashSet<NodeId> =
-            mw.walks().map(|w| w[0]).collect();
-        assert!(starts.len() > 1, "independent walks should start differently");
+        let starts: std::collections::HashSet<NodeId> = mw.walks().map(|w| w[0]).collect();
+        assert!(
+            starts.len() > 1,
+            "independent walks should start differently"
+        );
     }
 
     #[test]

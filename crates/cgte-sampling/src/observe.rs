@@ -2,9 +2,20 @@
 //!
 //! Estimators never see the graph — they see one of these observation
 //! structures, exactly the information a real crawler would have collected.
+//!
+//! Two consumption styles are supported:
+//!
+//! - **Materialized observations** ([`InducedSample`], [`StarSample`]):
+//!   self-contained records handed to the design-based estimators.
+//! - **Incremental accumulators** ([`InducedAccumulator`],
+//!   [`StarAccumulator`]): running sufficient statistics that support
+//!   `push(node)` in `O(deg)` and an `O(C²)` snapshot, so growing-prefix
+//!   protocols walk a sampled sequence *once* instead of re-observing every
+//!   prefix. Backed by an [`ObservationContext`] that caches each node's
+//!   neighbor-category histogram across replications.
 
 use crate::NodeSampler;
-use cgte_graph::{CategoryId, Graph, NodeId, Partition};
+use cgte_graph::{CategoryId, CategoryMatrix, Graph, NodeId, Partition};
 use std::collections::HashMap;
 
 fn categories_of(p: &Partition, nodes: &[NodeId]) -> Vec<CategoryId> {
@@ -169,7 +180,10 @@ impl InducedSample {
         edges.sort_unstable();
         InducedSample {
             nodes: indices.iter().map(|&i| self.nodes[i as usize]).collect(),
-            categories: indices.iter().map(|&i| self.categories[i as usize]).collect(),
+            categories: indices
+                .iter()
+                .map(|&i| self.categories[i as usize])
+                .collect(),
             degrees: indices.iter().map(|&i| self.degrees[i as usize]).collect(),
             weights: indices.iter().map(|&i| self.weights[i as usize]).collect(),
             edges,
@@ -215,21 +229,20 @@ impl StarSample {
             "sampled nodes must have positive finite design weights"
         );
         p.check_covers(g).expect("partition must cover graph");
-        // Histogram neighbors per *distinct* node once, then share.
-        let mut cache: HashMap<NodeId, Vec<(CategoryId, u32)>> = HashMap::new();
+        // Histogram neighbors per *distinct* node once, then share. A dense
+        // per-category scratch (reset via the touched list) replaces the
+        // per-node hash maps this hot path used to allocate.
+        let mut cache: HashMap<NodeId, usize> = HashMap::new();
+        let mut arena: Vec<Vec<(CategoryId, u32)>> = Vec::new();
+        let mut scratch = HistogramScratch::new(p.num_categories());
         for &v in nodes {
-            cache.entry(v).or_insert_with(|| {
-                let mut counts: HashMap<CategoryId, u32> = HashMap::new();
-                for &u in g.neighbors(v) {
-                    *counts.entry(p.category_of(u)).or_insert(0) += 1;
-                }
-                let mut hist: Vec<(CategoryId, u32)> = counts.into_iter().collect();
-                hist.sort_unstable();
-                hist
-            });
+            if let std::collections::hash_map::Entry::Vacant(e) = cache.entry(v) {
+                e.insert(arena.len());
+                arena.push(scratch.histogram(g, p, v));
+            }
         }
         let neighbor_cats: Vec<Vec<(CategoryId, u32)>> =
-            nodes.iter().map(|v| cache[v].clone()).collect();
+            nodes.iter().map(|v| arena[cache[v]].clone()).collect();
         StarSample {
             categories: categories_of(p, nodes),
             degrees: degrees_of(g, nodes),
@@ -312,7 +325,10 @@ impl StarSample {
     pub fn subsample(&self, indices: &[u32]) -> StarSample {
         StarSample {
             nodes: indices.iter().map(|&i| self.nodes[i as usize]).collect(),
-            categories: indices.iter().map(|&i| self.categories[i as usize]).collect(),
+            categories: indices
+                .iter()
+                .map(|&i| self.categories[i as usize])
+                .collect(),
             degrees: indices.iter().map(|&i| self.degrees[i as usize]).collect(),
             weights: indices.iter().map(|&i| self.weights[i as usize]).collect(),
             neighbor_cats: indices
@@ -334,6 +350,372 @@ impl StarSample {
     }
 }
 
+/// Dense scratch for building sparse neighbor-category histograms without
+/// per-node allocations: a `C`-sized count array reset through a touched
+/// list, so each histogram costs `O(deg + t log t)` with `t` distinct
+/// neighbor categories.
+struct HistogramScratch {
+    counts: Vec<u32>,
+    touched: Vec<CategoryId>,
+}
+
+impl HistogramScratch {
+    fn new(num_categories: usize) -> Self {
+        HistogramScratch {
+            counts: vec![0; num_categories],
+            touched: Vec::new(),
+        }
+    }
+
+    /// The sorted sparse histogram of `v`'s neighbor categories.
+    fn histogram(&mut self, g: &Graph, p: &Partition, v: NodeId) -> Vec<(CategoryId, u32)> {
+        for &u in g.neighbors(v) {
+            let c = p.category_of(u);
+            if self.counts[c as usize] == 0 {
+                self.touched.push(c);
+            }
+            self.counts[c as usize] += 1;
+        }
+        self.touched.sort_unstable();
+        let hist: Vec<(CategoryId, u32)> = self
+            .touched
+            .iter()
+            .map(|&c| (c, self.counts[c as usize]))
+            .collect();
+        for &c in &self.touched {
+            self.counts[c as usize] = 0;
+        }
+        self.touched.clear();
+        hist
+    }
+}
+
+/// Immutable per-(graph, partition) observation support: every node's
+/// sorted neighbor-category histogram in one CSR arena.
+///
+/// Built once in `O(E + N)` and shared read-only across replications and
+/// worker threads — the graph and partition never change during an
+/// experiment, so there is no reason to re-histogram a node's neighborhood
+/// per prefix, per replication, or per thread.
+pub struct ObservationContext<'a> {
+    g: &'a Graph,
+    p: &'a Partition,
+    /// `offsets[v]..offsets[v+1]` indexes `entries` for node `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted `(category, count)` histograms.
+    entries: Vec<(CategoryId, u32)>,
+}
+
+impl<'a> ObservationContext<'a> {
+    /// Precomputes the neighbor-category histogram of every node.
+    ///
+    /// # Panics
+    /// Panics if the partition does not cover the graph.
+    pub fn new(g: &'a Graph, p: &'a Partition) -> Self {
+        p.check_covers(g).expect("partition must cover graph");
+        let n = g.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut entries = Vec::new();
+        let mut scratch = HistogramScratch::new(p.num_categories());
+        for v in 0..n as NodeId {
+            entries.extend(scratch.histogram(g, p, v));
+            offsets.push(entries.len());
+        }
+        ObservationContext {
+            g,
+            p,
+            offsets,
+            entries,
+        }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        self.g
+    }
+
+    /// The underlying partition.
+    #[inline]
+    pub fn partition(&self) -> &Partition {
+        self.p
+    }
+
+    /// Number of categories of the partition.
+    #[inline]
+    pub fn num_categories(&self) -> usize {
+        self.p.num_categories()
+    }
+
+    /// The cached sorted neighbor-category histogram of `v` — the paper's
+    /// per-node edge cuts `|E_{v,C}|` for every category `C`.
+    #[inline]
+    pub fn neighbor_categories(&self, v: NodeId) -> &[(CategoryId, u32)] {
+        let v = v as usize;
+        &self.entries[self.offsets[v]..self.offsets[v + 1]]
+    }
+}
+
+/// Incremental star-observation statistics (§3.2.2) for growing prefixes.
+///
+/// Each [`StarAccumulator::push`] folds one sampled node into every running
+/// sum the star estimators need — in the *same order and with the same
+/// floating-point expressions* as a from-scratch
+/// [`StarSample`]-then-estimate pass over the prefix, so snapshots are
+/// bit-identical to re-observation (property-tested in
+/// `tests/proptest_invariants.rs`).
+///
+/// A prefix experiment over sizes `s_1 < … < s_k` therefore costs
+/// `O(s_k · deg)` pushes plus `k` snapshots of `O(C²)` each, instead of
+/// `O(Σ s_i · deg)` re-observation work.
+#[derive(Debug, Clone)]
+pub struct StarAccumulator {
+    num_categories: usize,
+    len: usize,
+    /// `Σ_s |E_{s,c}| / w(s)` per category — the Eq. (7)/(13) numerators.
+    nbr_mass: Vec<f64>,
+    /// `Σ_s deg(s) / w(s)`.
+    deg_mass: f64,
+    /// `w⁻¹(S) = Σ_s 1/w(s)`.
+    inv_mass: f64,
+    /// `w⁻¹(S_c)` per category.
+    inv_mass_in: Vec<f64>,
+    /// `Σ_{s ∈ S_c} deg(s) / w(s)` per category.
+    deg_mass_in: Vec<f64>,
+    /// Eq. (9)/(16) numerators per unordered category pair.
+    weight_num: CategoryMatrix,
+}
+
+impl StarAccumulator {
+    /// An empty accumulator over `num_categories` categories.
+    pub fn new(num_categories: usize) -> Self {
+        StarAccumulator {
+            num_categories,
+            len: 0,
+            nbr_mass: vec![0.0; num_categories],
+            deg_mass: 0.0,
+            inv_mass: 0.0,
+            inv_mass_in: vec![0.0; num_categories],
+            deg_mass_in: vec![0.0; num_categories],
+            weight_num: CategoryMatrix::zeros(num_categories),
+        }
+    }
+
+    /// Clears all sums, keeping allocations (per-thread scratch reuse).
+    pub fn reset(&mut self) {
+        self.len = 0;
+        self.nbr_mass.fill(0.0);
+        self.deg_mass = 0.0;
+        self.inv_mass = 0.0;
+        self.inv_mass_in.fill(0.0);
+        self.deg_mass_in.fill(0.0);
+        self.weight_num.reset();
+    }
+
+    /// Folds one sampled node with design weight `w` into the statistics.
+    ///
+    /// # Panics
+    /// Panics if `w` is not positive and finite, or if the context's
+    /// category count differs from the accumulator's.
+    pub fn push(&mut self, ctx: &ObservationContext<'_>, v: NodeId, w: f64) {
+        assert!(
+            w.is_finite() && w > 0.0,
+            "design weight must be positive and finite"
+        );
+        assert_eq!(
+            ctx.num_categories(),
+            self.num_categories,
+            "context/category mismatch"
+        );
+        let c = ctx.partition().category_of(v);
+        let d = ctx.graph().degree(v) as f64;
+        for &(cat, cnt) in ctx.neighbor_categories(v) {
+            let x = cnt as f64 / w;
+            self.nbr_mass[cat as usize] += x;
+            if cat != c {
+                self.weight_num.add(c, cat, x);
+            }
+        }
+        self.deg_mass += d / w;
+        self.inv_mass += 1.0 / w;
+        self.inv_mass_in[c as usize] += 1.0 / w;
+        self.deg_mass_in[c as usize] += d / w;
+        self.len += 1;
+    }
+
+    /// Number of pushed samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no samples were pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of categories.
+    #[inline]
+    pub fn num_categories(&self) -> usize {
+        self.num_categories
+    }
+
+    /// `Σ_s |E_{s,c}| / w(s)` per category.
+    #[inline]
+    pub fn neighbor_mass(&self) -> &[f64] {
+        &self.nbr_mass
+    }
+
+    /// `Σ_s deg(s) / w(s)`.
+    #[inline]
+    pub fn degree_mass(&self) -> f64 {
+        self.deg_mass
+    }
+
+    /// `w⁻¹(S)`.
+    #[inline]
+    pub fn inverse_mass(&self) -> f64 {
+        self.inv_mass
+    }
+
+    /// `w⁻¹(S_c)` per category.
+    #[inline]
+    pub fn inverse_mass_in(&self) -> &[f64] {
+        &self.inv_mass_in
+    }
+
+    /// `Σ_{s ∈ S_c} deg(s) / w(s)` per category.
+    #[inline]
+    pub fn degree_mass_in(&self) -> &[f64] {
+        &self.deg_mass_in
+    }
+
+    /// Eq. (9)/(16) weight-estimator numerators per unordered pair.
+    #[inline]
+    pub fn weight_numerators(&self) -> &CategoryMatrix {
+        &self.weight_num
+    }
+}
+
+/// Incremental induced-subgraph statistics (§3.2.1) for growing prefixes.
+///
+/// [`InducedAccumulator::push`] costs `O(deg)`: it scans the node's
+/// neighbors and, for each neighbor already in the sample, folds the
+/// pair's reweighted contribution into the Eq. (8)/(15) numerator matrix.
+/// The per-node running mass `Σ 1/w` over earlier occurrences makes the
+/// cost independent of how often a walk revisits nodes. Snapshots are
+/// bit-identical to a from-scratch [`InducedSample`]-then-estimate pass
+/// (see `induced_weights_all`, which replays the same summation order).
+#[derive(Debug, Clone)]
+pub struct InducedAccumulator {
+    num_categories: usize,
+    len: usize,
+    /// `w⁻¹(S_c)` per category — Eq. (4)/(11) numerators.
+    per_cat_mass: Vec<f64>,
+    /// `w⁻¹(S)`.
+    inv_mass: f64,
+    /// Running `Σ 1/w` over the occurrences of each sampled node.
+    node_mass: HashMap<NodeId, f64>,
+    /// Eq. (8)/(15) numerators per unordered category pair.
+    weight_num: CategoryMatrix,
+}
+
+impl InducedAccumulator {
+    /// An empty accumulator over `num_categories` categories.
+    pub fn new(num_categories: usize) -> Self {
+        InducedAccumulator {
+            num_categories,
+            len: 0,
+            per_cat_mass: vec![0.0; num_categories],
+            inv_mass: 0.0,
+            node_mass: HashMap::new(),
+            weight_num: CategoryMatrix::zeros(num_categories),
+        }
+    }
+
+    /// Clears all sums, keeping allocations.
+    pub fn reset(&mut self) {
+        self.len = 0;
+        self.per_cat_mass.fill(0.0);
+        self.inv_mass = 0.0;
+        self.node_mass.clear();
+        self.weight_num.reset();
+    }
+
+    /// Folds one sampled node with design weight `w` into the statistics.
+    ///
+    /// # Panics
+    /// Panics if `w` is not positive and finite, or if the context's
+    /// category count differs from the accumulator's.
+    pub fn push(&mut self, ctx: &ObservationContext<'_>, v: NodeId, w: f64) {
+        assert!(
+            w.is_finite() && w > 0.0,
+            "design weight must be positive and finite"
+        );
+        assert_eq!(
+            ctx.num_categories(),
+            self.num_categories,
+            "context/category mismatch"
+        );
+        let c = ctx.partition().category_of(v);
+        let w_inv = 1.0 / w;
+        // Neighbors are scanned in ascending node-id order; the running
+        // mass of each adjacent sampled node aggregates all its earlier
+        // occurrences, matching the grouped summation order of the
+        // from-scratch `induced_weights_all` exactly.
+        for &u in ctx.graph().neighbors(v) {
+            if let Some(&m) = self.node_mass.get(&u) {
+                let cu = ctx.partition().category_of(u);
+                if cu != c {
+                    self.weight_num.add(c, cu, w_inv * m);
+                }
+            }
+        }
+        *self.node_mass.entry(v).or_insert(0.0) += w_inv;
+        self.per_cat_mass[c as usize] += w_inv;
+        self.inv_mass += w_inv;
+        self.len += 1;
+    }
+
+    /// Number of pushed samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no samples were pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of categories.
+    #[inline]
+    pub fn num_categories(&self) -> usize {
+        self.num_categories
+    }
+
+    /// `w⁻¹(S_c)` per category.
+    #[inline]
+    pub fn per_category_mass(&self) -> &[f64] {
+        &self.per_cat_mass
+    }
+
+    /// `w⁻¹(S)`.
+    #[inline]
+    pub fn inverse_mass(&self) -> f64 {
+        self.inv_mass
+    }
+
+    /// Eq. (8)/(15) weight-estimator numerators per unordered pair.
+    #[inline]
+    pub fn weight_numerators(&self) -> &CategoryMatrix {
+        &self.weight_num
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,11 +723,9 @@ mod tests {
 
     /// Two triangles joined by a bridge; categories = triangle membership.
     fn fixture() -> (Graph, Partition) {
-        let g = GraphBuilder::from_edges(
-            6,
-            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            GraphBuilder::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
         let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
         (g, p)
     }
@@ -432,7 +812,7 @@ mod tests {
     fn induced_subsample_remaps_edges() {
         let (g, p) = fixture();
         let s = InducedSample::observe(&g, &p, &[0, 3, 2]); // edges (0,2),(1,2)
-        // Keep samples 2 and 0 (nodes 2 and 0, adjacent), in swapped order.
+                                                            // Keep samples 2 and 0 (nodes 2 and 0, adjacent), in swapped order.
         let sub = s.subsample(&[2, 0]);
         assert_eq!(sub.nodes(), &[2, 0]);
         assert_eq!(sub.edges(), &[(0, 1)]);
@@ -458,5 +838,76 @@ mod tests {
         let rw = RandomWalk::new();
         let s = StarSample::observe_sampler(&g, &p, &[2, 0], &rw);
         assert_eq!(s.weights(), &[3.0, 2.0]); // degrees
+    }
+
+    #[test]
+    fn context_histograms_match_star_sample() {
+        let (g, p) = fixture();
+        let ctx = ObservationContext::new(&g, &p);
+        let all: Vec<NodeId> = (0..6).collect();
+        let s = StarSample::observe(&g, &p, &all);
+        for (i, &v) in all.iter().enumerate() {
+            assert_eq!(
+                ctx.neighbor_categories(v),
+                s.neighbor_categories(i),
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn star_accumulator_tracks_masses() {
+        let (g, p) = fixture();
+        let ctx = ObservationContext::new(&g, &p);
+        let mut acc = StarAccumulator::new(2);
+        assert!(acc.is_empty());
+        acc.push(&ctx, 2, 1.0); // deg 3, cat 0, sees 2 in cat 0 + 1 in cat 1
+        acc.push(&ctx, 4, 2.0); // deg 2, cat 1, sees 2 in cat 1
+        assert_eq!(acc.len(), 2);
+        assert!((acc.degree_mass() - (3.0 + 1.0)).abs() < 1e-12);
+        assert!((acc.inverse_mass() - 1.5).abs() < 1e-12);
+        assert!((acc.neighbor_mass()[0] - 2.0).abs() < 1e-12);
+        assert!((acc.neighbor_mass()[1] - 2.0).abs() < 1e-12);
+        // Cross numerator: node 2 contributes |E_{2,1}|/w = 1.
+        assert!((acc.weight_numerators().get(0, 1) - 1.0).abs() < 1e-12);
+        acc.reset();
+        assert!(acc.is_empty());
+        assert_eq!(acc.degree_mass(), 0.0);
+        assert!(acc.weight_numerators().is_zero());
+    }
+
+    #[test]
+    fn induced_accumulator_counts_adjacent_pairs() {
+        let (g, p) = fixture();
+        let ctx = ObservationContext::new(&g, &p);
+        let mut acc = InducedAccumulator::new(2);
+        // 2 and 3 are the bridge endpoints (cats 0 and 1).
+        acc.push(&ctx, 2, 1.0);
+        acc.push(&ctx, 3, 1.0);
+        assert!((acc.weight_numerators().get(0, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(acc.per_category_mass(), &[1.0, 1.0]);
+        // A repeated occurrence doubles the pair contributions.
+        acc.push(&ctx, 2, 1.0);
+        assert!((acc.weight_numerators().get(0, 1) - 2.0).abs() < 1e-12);
+        assert!((acc.inverse_mass() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_accumulator_ignores_intra_category_pairs() {
+        let (g, p) = fixture();
+        let ctx = ObservationContext::new(&g, &p);
+        let mut acc = InducedAccumulator::new(2);
+        acc.push(&ctx, 0, 1.0);
+        acc.push(&ctx, 1, 1.0); // adjacent, same category
+        assert!(acc.weight_numerators().is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn accumulator_rejects_bad_weight() {
+        let (g, p) = fixture();
+        let ctx = ObservationContext::new(&g, &p);
+        let mut acc = StarAccumulator::new(2);
+        acc.push(&ctx, 0, 0.0);
     }
 }

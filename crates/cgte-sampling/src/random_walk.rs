@@ -6,16 +6,27 @@ use rand::Rng;
 
 /// Picks a uniform starting node among those with at least one edge.
 ///
+/// Rejection sampling is bounded: on graphs dominated by isolated nodes
+/// (where naive rejection could loop for an arbitrarily long time), the
+/// non-isolated node list is materialized after a fixed number of misses
+/// and the start is drawn from it directly. Graphs where most nodes have
+/// edges keep the allocation-free fast path.
+///
 /// # Panics
 /// Panics if the graph has no edges (no walk can move).
 pub(crate) fn random_start<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> NodeId {
     assert!(g.num_edges() > 0, "cannot walk on an edgeless graph");
-    loop {
+    const MAX_REJECTIONS: usize = 64;
+    for _ in 0..MAX_REJECTIONS {
         let v = rng.gen_range(0..g.num_nodes() as NodeId);
         if g.degree(v) > 0 {
             return v;
         }
     }
+    // 64 straight misses: isolated nodes dominate. Draw uniformly from the
+    // explicit non-isolated list instead (non-empty: the graph has edges).
+    let non_isolated: Vec<NodeId> = g.nodes().filter(|&v| g.degree(v) > 0).collect();
+    non_isolated[rng.gen_range(0..non_isolated.len())]
 }
 
 /// Simple Random Walk (RW): the next node is a uniform random neighbor of
@@ -44,7 +55,11 @@ impl Default for RandomWalk {
 impl RandomWalk {
     /// RW with no burn-in, no thinning, random start.
     pub fn new() -> Self {
-        RandomWalk { burn_in: 0, thinning: 1, start: None }
+        RandomWalk {
+            burn_in: 0,
+            thinning: 1,
+            start: None,
+        }
     }
 
     /// Discards the first `steps` visited nodes.
@@ -134,9 +149,9 @@ mod tests {
             counts[v as usize] += 1;
         }
         let total_deg = 10.0; // 2*|E|
-        for v in 0..5 {
+        for (v, &count) in counts.iter().enumerate() {
             let expect = g.degree(v as NodeId) as f64 / total_deg;
-            let got = counts[v] as f64 / n as f64;
+            let got = count as f64 / n as f64;
             assert!(
                 (got - expect).abs() < 0.01,
                 "node {v}: got {got}, expected {expect}"
@@ -150,7 +165,10 @@ mod tests {
         // between even positions in the step sequence.
         let g = GraphBuilder::from_edges(3, [(0, 1), (1, 2)]).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let s = RandomWalk::new().start_at(0).thinning(2).sample(&g, 50, &mut rng);
+        let s = RandomWalk::new()
+            .start_at(0)
+            .thinning(2)
+            .sample(&g, 50, &mut rng);
         // Parity argument: every second step from node 0 is at even distance,
         // i.e., node 0 or node 2, never node 1.
         for &v in &s {
@@ -162,7 +180,10 @@ mod tests {
     fn burn_in_discards_prefix() {
         let g = lollipop();
         let mut rng = StdRng::seed_from_u64(4);
-        let s = RandomWalk::new().start_at(4).burn_in(1).sample(&g, 3, &mut rng);
+        let s = RandomWalk::new()
+            .start_at(4)
+            .burn_in(1)
+            .sample(&g, 3, &mut rng);
         // After one burn-in step from leaf 4, the walk must be at node 3.
         assert_eq!(s[0], 3);
     }
@@ -199,6 +220,19 @@ mod tests {
         for _ in 0..50 {
             let v = random_start(&g, &mut rng);
             assert!(v == 0 || v == 1);
+        }
+    }
+
+    #[test]
+    fn random_start_bounded_on_isolation_dominated_graph() {
+        // One edge among a sea of isolated nodes: naive rejection would
+        // expect ~50k misses per draw; the bounded fallback must terminate
+        // quickly and still return only the two connected nodes.
+        let g = GraphBuilder::from_edges(100_000, [(123, 456)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let v = random_start(&g, &mut rng);
+            assert!(v == 123 || v == 456);
         }
     }
 }

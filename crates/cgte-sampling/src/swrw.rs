@@ -44,7 +44,10 @@ impl Swrw {
             .map(|&c| category_weights[c as usize])
             .collect();
         let inner = WeightedRandomWalk::new(factors)?;
-        Some(Swrw { inner, category_weights })
+        Some(Swrw {
+            inner,
+            category_weights,
+        })
     }
 
     /// The paper's evaluation configuration: category weights chosen so
@@ -74,7 +77,10 @@ impl Swrw {
     /// # Panics
     /// Panics if `beta` is negative or not finite.
     pub fn stratified(g: &Graph, p: &Partition, beta: f64) -> Option<Self> {
-        assert!(beta.is_finite() && beta >= 0.0, "beta must be finite and >= 0");
+        assert!(
+            beta.is_finite() && beta >= 0.0,
+            "beta must be finite and >= 0"
+        );
         let mut vol = vec![0f64; p.num_categories()];
         for v in 0..g.num_nodes() {
             vol[p.category_of(v as NodeId) as usize] += g.degree(v as NodeId) as f64;
@@ -150,7 +156,11 @@ mod tests {
         // equal-target weights the small category should receive far more
         // than its 11% population share.
         let mut rng = StdRng::seed_from_u64(1);
-        let cfg = PlantedConfig { category_sizes: vec![20, 160], k: 6, alpha: 0.0 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![20, 160],
+            k: 6,
+            alpha: 0.0,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         let swrw = Swrw::equal_category_target(&pg.graph, &pg.partition).unwrap();
         let n = 40_000;
@@ -169,7 +179,11 @@ mod tests {
     #[test]
     fn stationary_weights_match_visit_frequencies() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = PlantedConfig { category_sizes: vec![30, 60], k: 4, alpha: 0.0 };
+        let cfg = PlantedConfig {
+            category_sizes: vec![30, 60],
+            k: 4,
+            alpha: 0.0,
+        };
         let pg = planted_partition(&cfg, &mut rng).unwrap();
         let swrw = Swrw::equal_category_target(&pg.graph, &pg.partition).unwrap();
         let n = 400_000;

@@ -124,7 +124,10 @@ mod tests {
     fn any_sampler_names() {
         assert_eq!(AnySampler::Uis(UniformIndependence).name(), "UIS");
         assert_eq!(AnySampler::Rw(RandomWalk::new()).name(), "RW");
-        assert_eq!(AnySampler::Mhrw(MetropolisHastingsWalk::new()).name(), "MHRW");
+        assert_eq!(
+            AnySampler::Mhrw(MetropolisHastingsWalk::new()).name(),
+            "MHRW"
+        );
     }
 
     #[test]

@@ -39,7 +39,12 @@ impl WeightedRandomWalk {
         if factors.iter().any(|f| !f.is_finite() || *f < 0.0) {
             return None;
         }
-        Some(WeightedRandomWalk { factors, burn_in: 0, thinning: 1, start: None })
+        Some(WeightedRandomWalk {
+            factors,
+            burn_in: 0,
+            thinning: 1,
+            start: None,
+        })
     }
 
     /// Discards the first `steps` visited nodes.
@@ -177,10 +182,7 @@ mod tests {
                 "node {v}: {got} vs {}",
                 expect[v]
             );
-            assert!((wrw.weight_of(&g, v as NodeId)
-                - [5.0, 8.0, 5.0][v])
-                .abs()
-                < 1e-12);
+            assert!((wrw.weight_of(&g, v as NodeId) - [5.0, 8.0, 5.0][v]).abs() < 1e-12);
         }
     }
 
@@ -193,7 +195,10 @@ mod tests {
         let wrw = WeightedRandomWalk::new(vec![1.0, 0.0, 1.0, 1.0]).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let s = wrw.clone().start_at(3).sample(&g, 10_000, &mut rng);
-        assert!(s.iter().all(|&v| v != 1 && v != 0), "zero-factor region entered");
+        assert!(
+            s.iter().all(|&v| v != 1 && v != 0),
+            "zero-factor region entered"
+        );
         assert_eq!(wrw.weight_of(&g, 1), 0.0);
     }
 

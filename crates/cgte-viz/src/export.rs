@@ -78,7 +78,11 @@ fn escape_json(s: &str) -> String {
 /// weighted edge per selected cut, `penwidth` scaled by relative weight.
 pub fn to_dot(cg: &CategoryGraph, opts: &ExportOptions) -> String {
     let edges = opts.selected_edges(cg);
-    let wmax = edges.first().map(|e| e.weight).unwrap_or(1.0).max(f64::MIN_POSITIVE);
+    let wmax = edges
+        .first()
+        .map(|e| e.weight)
+        .unwrap_or(1.0)
+        .max(f64::MIN_POSITIVE);
     let mut s = String::new();
     s.push_str("graph category_graph {\n  layout=neato;\n  node [shape=circle];\n");
     for c in opts.node_ids(cg) {
@@ -258,7 +262,10 @@ mod tests {
     #[test]
     fn graphml_is_well_formed_enough() {
         let cg = sample_cg();
-        let opts = ExportOptions { labels: vec!["a<b>&\"".into()], ..Default::default() };
+        let opts = ExportOptions {
+            labels: vec!["a<b>&\"".into()],
+            ..Default::default()
+        };
         let x = to_graphml(&cg, &opts);
         assert!(x.starts_with("<?xml"));
         assert!(x.contains("a&lt;b&gt;&amp;&quot;"));
@@ -279,9 +286,15 @@ mod tests {
     #[test]
     fn top_k_and_min_weight_filters() {
         let cg = sample_cg();
-        let opts = ExportOptions { top_k: 1, ..Default::default() };
+        let opts = ExportOptions {
+            top_k: 1,
+            ..Default::default()
+        };
         assert_eq!(to_csv_edges(&cg, &opts).lines().count(), 2);
-        let opts = ExportOptions { min_weight: 0.5, ..Default::default() };
+        let opts = ExportOptions {
+            min_weight: 0.5,
+            ..Default::default()
+        };
         // Only the weight-1.0 edge survives.
         assert_eq!(to_csv_edges(&cg, &opts).lines().count(), 2);
     }
@@ -297,11 +310,14 @@ mod tests {
 
     #[test]
     fn skip_empty_categories() {
-        use std::collections::HashMap;
-        let mut w = HashMap::new();
-        w.insert((0u32, 1u32), 0.5);
+        use cgte_graph::CategoryMatrix;
+        let mut w = CategoryMatrix::zeros(3);
+        w.set(0, 1, 0.5);
         let cg = CategoryGraph::from_weights(vec![2.0, 3.0, 0.0], w);
-        let opts = ExportOptions { skip_empty: true, ..Default::default() };
+        let opts = ExportOptions {
+            skip_empty: true,
+            ..Default::default()
+        };
         let dot = to_dot(&cg, &opts);
         assert!(!dot.contains("n2 ["));
     }

@@ -11,5 +11,5 @@
 mod export;
 mod plot;
 
-pub use export::{top_edges_report, to_csv_edges, to_dot, to_graphml, to_json, ExportOptions};
+pub use export::{to_csv_edges, to_dot, to_graphml, to_json, top_edges_report, ExportOptions};
 pub use plot::{svg_line_plot, PlotOptions, PlotSeries};

@@ -46,8 +46,9 @@ impl Default for PlotOptions {
     }
 }
 
-const COLORS: [&str; 8] =
-    ["#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf", "#7f7f7f"];
+const COLORS: [&str; 8] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b", "#17becf", "#7f7f7f",
+];
 
 fn transform(v: f64, log: bool) -> Option<f64> {
     if !v.is_finite() {
@@ -77,14 +78,15 @@ pub fn svg_line_plot(series: &[PlotSeries], opts: &PlotOptions) -> String {
             let pts = s
                 .points
                 .iter()
-                .filter_map(|&(x, y)| {
-                    Some((transform(x, opts.log_x)?, transform(y, opts.log_y)?))
-                })
+                .filter_map(|&(x, y)| Some((transform(x, opts.log_x)?, transform(y, opts.log_y)?)))
                 .collect();
             (i, pts)
         })
         .collect();
-    let all: Vec<(f64, f64)> = tseries.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = tseries
+        .iter()
+        .flat_map(|(_, p)| p.iter().copied())
+        .collect();
     let (x0, x1, y0, y1) = if all.is_empty() {
         (0.0, 1.0, 0.0, 1.0)
     } else {
@@ -104,10 +106,10 @@ pub fn svg_line_plot(series: &[PlotSeries], opts: &PlotOptions) -> String {
     let sy = move |y: f64| mt + (1.0 - (y - y0) / (y1 - y0)) * ph;
 
     let mut svg = String::new();
-    let _ = write!(
+    let _ = writeln!(
         svg,
         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
-         font-family=\"sans-serif\" font-size=\"12\">\n",
+         font-family=\"sans-serif\" font-size=\"12\">",
         opts.width, opts.height
     );
     let _ = writeln!(svg, "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>");
@@ -181,8 +183,10 @@ pub fn svg_line_plot(series: &[PlotSeries], opts: &PlotOptions) -> String {
     for (i, pts) in &tseries {
         let color = COLORS[i % COLORS.len()];
         if !pts.is_empty() {
-            let path: Vec<String> =
-                pts.iter().map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y))).collect();
+            let path: Vec<String> = pts
+                .iter()
+                .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                .collect();
             let _ = writeln!(
                 svg,
                 "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.8\"/>",
@@ -214,7 +218,9 @@ pub fn svg_line_plot(series: &[PlotSeries], opts: &PlotOptions) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -254,7 +260,10 @@ mod tests {
 
     #[test]
     fn nonpositive_points_skipped_on_log_axes() {
-        let s = vec![PlotSeries { label: "x".into(), points: vec![(0.0, 1.0), (10.0, 0.5)] }];
+        let s = vec![PlotSeries {
+            label: "x".into(),
+            points: vec![(0.0, 1.0), (10.0, 0.5)],
+        }];
         let svg = svg_line_plot(&s, &PlotOptions::default());
         assert_eq!(svg.matches("<circle").count(), 1);
     }
@@ -268,14 +277,21 @@ mod tests {
 
     #[test]
     fn linear_axes_supported() {
-        let opts = PlotOptions { log_x: false, log_y: false, ..Default::default() };
+        let opts = PlotOptions {
+            log_x: false,
+            log_y: false,
+            ..Default::default()
+        };
         let svg = svg_line_plot(&series(), &opts);
         assert!(svg.contains("<polyline"));
     }
 
     #[test]
     fn title_is_escaped() {
-        let opts = PlotOptions { title: "a < b & c".into(), ..Default::default() };
+        let opts = PlotOptions {
+            title: "a < b & c".into(),
+            ..Default::default()
+        };
         let svg = svg_line_plot(&series(), &opts);
         assert!(svg.contains("a &lt; b &amp; c"));
     }

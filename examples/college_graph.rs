@@ -27,7 +27,10 @@ fn main() {
         num_colleges: 100,
         ..Default::default()
     };
-    println!("simulating a Facebook-like population ({} users)...", cfg.num_users);
+    println!(
+        "simulating a Facebook-like population ({} users)...",
+        cfg.num_users
+    );
     let sim = FacebookSim::generate(&cfg, &mut rng);
     let colleges = &sim.colleges;
     let n_colleges = cfg.num_colleges;
@@ -66,7 +69,11 @@ fn main() {
 
     let mut labels: Vec<String> = (0..n_colleges).map(|c| format!("college-{c:02}")).collect();
     labels.push("no-college".into());
-    let opts = ExportOptions { labels, min_weight: 0.0, ..Default::default() };
+    let opts = ExportOptions {
+        labels,
+        min_weight: 0.0,
+        ..Default::default()
+    };
     println!("\n{}", top_edges_report(&est, &opts, 12));
 
     // How close are the size estimates for the five biggest colleges?

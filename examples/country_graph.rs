@@ -13,7 +13,7 @@
 use cgte::datasets::{FacebookSim, FacebookSimConfig};
 use cgte::estimators::{CategoryGraphEstimator, Design, SizeMethod};
 use cgte::sampling::{NodeSampler, RandomWalk, StarSample, UniformIndependence};
-use cgte::viz::{top_edges_report, to_dot, ExportOptions};
+use cgte::viz::{to_dot, top_edges_report, ExportOptions};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,7 +26,10 @@ fn main() {
         num_colleges: 80,
         ..Default::default()
     };
-    println!("simulating a Facebook-like population ({} users)...", cfg.num_users);
+    println!(
+        "simulating a Facebook-like population ({} users)...",
+        cfg.num_users
+    );
     let sim = FacebookSim::generate(&cfg, &mut rng);
     let countries = sim.countries();
     let population = sim.graph.num_nodes() as f64;
@@ -51,18 +54,24 @@ fn main() {
     let sizes: Vec<f64> = (0..num_c as u32)
         .map(|c| (est_uis.size(c) + est_rw.size(c)) / 2.0)
         .collect();
-    let mut weights = std::collections::HashMap::new();
+    let mut weights = cgte::graph::CategoryMatrix::zeros(num_c);
     for e in est_uis.edges() {
-        *weights.entry((e.a, e.b)).or_insert(0.0) += e.weight / 2.0;
+        weights.add(e.a, e.b, e.weight / 2.0);
     }
     for e in est_rw.edges() {
-        *weights.entry((e.a, e.b)).or_insert(0.0) += e.weight / 2.0;
+        weights.add(e.a, e.b, e.weight / 2.0);
     }
     let avg = cgte::graph::CategoryGraph::from_weights(sizes, weights);
 
-    let mut labels: Vec<String> = (0..cfg.num_countries).map(|c| format!("country-{c}")).collect();
+    let mut labels: Vec<String> = (0..cfg.num_countries)
+        .map(|c| format!("country-{c}"))
+        .collect();
     labels.push("undeclared".into());
-    let opts = ExportOptions { labels, top_k: 15, ..Default::default() };
+    let opts = ExportOptions {
+        labels,
+        top_k: 15,
+        ..Default::default()
+    };
     println!("\n{}", top_edges_report(&avg, &opts, 10));
     println!("--- DOT (paste into graphviz) ---\n{}", to_dot(&avg, &opts));
 }

@@ -9,9 +9,7 @@ use cgte::estimators::Design;
 use cgte::eval::{run_experiment, EstimatorKind, ExperimentConfig, Target};
 use cgte::graph::generators::{planted_partition, PlantedConfig};
 use cgte::graph::CategoryGraph;
-use cgte::sampling::{
-    AnySampler, MetropolisHastingsWalk, RandomWalk, Swrw, UniformIndependence,
-};
+use cgte::sampling::{AnySampler, MetropolisHastingsWalk, RandomWalk, Swrw, UniformIndependence};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,10 +20,7 @@ fn main() {
     let exact = CategoryGraph::exact(&pg.graph, &pg.partition);
     let ncat = pg.partition.num_categories() as u32;
     let e_high = exact.weight_quantile_edge(0.75).expect("has edges");
-    let targets = [
-        Target::Size(ncat - 1),
-        Target::Weight(e_high.a, e_high.b),
-    ];
+    let targets = [Target::Size(ncat - 1), Target::Weight(e_high.a, e_high.b)];
     let sizes = vec![200, 1000, 4000];
     println!(
         "graph: {} nodes; targets: |C{}| and w({},{}); 30 replications\n",
@@ -54,7 +49,9 @@ fn main() {
             AnySampler::Uis(_) | AnySampler::Mhrw(_) => Design::Uniform,
             _ => Design::Weighted,
         };
-        let cfg = ExperimentConfig::new(sizes.clone(), 30).seed(99).design(design);
+        let cfg = ExperimentConfig::new(sizes.clone(), 30)
+            .seed(99)
+            .design(design);
         let res = run_experiment(&pg.graph, &pg.partition, sampler, &targets, &cfg);
         for (i, &s) in sizes.iter().enumerate() {
             println!(

@@ -22,7 +22,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(58);
     // A graph with a small, tightly-knit category 0: BFS started anywhere
     // tends to either flood it or miss it.
-    let cfg = PlantedConfig { category_sizes: vec![150, 600, 1200], k: 8, alpha: 0.2 };
+    let cfg = PlantedConfig {
+        category_sizes: vec![150, 600, 1200],
+        k: 8,
+        alpha: 0.2,
+    };
     let pg = planted_partition(&cfg, &mut rng).expect("feasible configuration");
     let n = pg.graph.num_nodes();
 
@@ -30,7 +34,10 @@ fn main() {
     let rw = RandomWalk::new();
     let walk = rw.sample(&pg.graph, 30_000, &mut rng);
     let trace = degree_trace(&pg.graph, &walk);
-    println!("random walk diagnostics (degree trace, {} steps):", trace.len());
+    println!(
+        "random walk diagnostics (degree trace, {} steps):",
+        trace.len()
+    );
     for lag in [1usize, 2, 5, 10, 20] {
         println!(
             "  lag-{lag:<2} autocorrelation: {:+.4}",

@@ -25,13 +25,19 @@ fn main() {
     let n_true = pg.graph.num_nodes();
     println!("true N = {n_true}\n");
 
-    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "|S|", "UIS coll.", "UIS N̂", "RW coll.", "RW N̂");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "|S|", "UIS coll.", "UIS N̂", "RW coll.", "RW N̂"
+    );
     for s in [500usize, 1000, 2000, 4000, 8000] {
         let uis_nodes = UniformIndependence.sample(&pg.graph, s, &mut rng);
         let uis_est = population_size_uniform(&uis_nodes);
         let rw = RandomWalk::new().burn_in(500).thinning(3);
         let rw_nodes = rw.sample(&pg.graph, s, &mut rng);
-        let degrees: Vec<u32> = rw_nodes.iter().map(|&v| pg.graph.degree(v) as u32).collect();
+        let degrees: Vec<u32> = rw_nodes
+            .iter()
+            .map(|&v| pg.graph.degree(v) as u32)
+            .collect();
         let rw_est = population_size_weighted(&rw_nodes, &degrees);
         println!(
             "{s:>8} {:>12} {:>12} {:>12} {:>12}",

@@ -50,16 +50,25 @@ fn main() {
 
     // 5. Compare to the exact category graph.
     let exact = CategoryGraph::exact(&pg.graph, &pg.partition);
-    println!("\n{:>4} {:>12} {:>12} {:>8}", "cat", "true |A|", "est |A|", "err%");
+    println!(
+        "\n{:>4} {:>12} {:>12} {:>8}",
+        "cat", "true |A|", "est |A|", "err%"
+    );
     for c in 0..exact.num_categories() as u32 {
         let t = exact.size(c);
         let e = est.size(c);
-        println!("{c:>4} {t:>12.0} {e:>12.1} {:>7.1}%", 100.0 * (e - t).abs() / t);
+        println!(
+            "{c:>4} {t:>12.0} {e:>12.1} {:>7.1}%",
+            100.0 * (e - t).abs() / t
+        );
     }
 
     let mut pairs: Vec<_> = exact.edges_by_weight().into_iter().take(5).collect();
-    pairs.sort_by(|a, b| (a.a, a.b).cmp(&(b.a, b.b)));
-    println!("\n{:>9} {:>12} {:>12} {:>8}", "edge", "true w", "est w", "err%");
+    pairs.sort_by_key(|a| (a.a, a.b));
+    println!(
+        "\n{:>9} {:>12} {:>12} {:>8}",
+        "edge", "true w", "est w", "err%"
+    );
     for e in pairs {
         let t = e.weight;
         let w = est.weight(e.a, e.b);
@@ -70,5 +79,9 @@ fn main() {
             100.0 * (w - t).abs() / t
         );
     }
-    println!("\nSample was {} nodes ({}% of the graph).", nodes.len(), 100 * nodes.len() / n);
+    println!(
+        "\nSample was {} nodes ({}% of the graph).",
+        nodes.len(),
+        100 * nodes.len() / n
+    );
 }

@@ -14,7 +14,11 @@ use rand::SeedableRng;
 
 fn test_graph(seed: u64) -> PlantedGraph {
     let mut rng = StdRng::seed_from_u64(seed);
-    let cfg = PlantedConfig { category_sizes: vec![80, 160, 320, 640], k: 8, alpha: 0.4 };
+    let cfg = PlantedConfig {
+        category_sizes: vec![80, 160, 320, 640],
+        k: 8,
+        alpha: 0.4,
+    };
     planted_partition(&cfg, &mut rng).expect("feasible config")
 }
 

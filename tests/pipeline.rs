@@ -14,7 +14,11 @@ use std::io::Cursor;
 #[test]
 fn full_pipeline_round_trip() {
     let mut rng = StdRng::seed_from_u64(10);
-    let cfg = PlantedConfig { category_sizes: vec![60, 120, 240], k: 6, alpha: 0.3 };
+    let cfg = PlantedConfig {
+        category_sizes: vec![60, 120, 240],
+        k: 6,
+        alpha: 0.3,
+    };
     let pg = planted_partition(&cfg, &mut rng).unwrap();
 
     // Serialize and re-load the dataset through the text formats.
@@ -46,10 +50,7 @@ fn full_pipeline_round_trip() {
         for b in (a + 1)..3u32 {
             let t = exact.weight(a, b);
             let e = est.weight(a, b);
-            assert!(
-                (e - t).abs() / t < 0.4,
-                "edge ({a},{b}): {e} vs {t}"
-            );
+            assert!((e - t).abs() / t < 0.4, "edge ({a},{b}): {e} vs {t}");
         }
     }
 
@@ -60,8 +61,14 @@ fn full_pipeline_round_trip() {
     let xml = to_graphml(&est, &opts);
     for c in 0..3 {
         assert!(dot.contains(&format!("n{c} [")), "dot missing node {c}");
-        assert!(json.contains(&format!("\"id\": {c}")), "json missing node {c}");
-        assert!(xml.contains(&format!("<node id=\"n{c}\"")), "graphml missing node {c}");
+        assert!(
+            json.contains(&format!("\"id\": {c}")),
+            "json missing node {c}"
+        );
+        assert!(
+            xml.contains(&format!("<node id=\"n{c}\"")),
+            "graphml missing node {c}"
+        );
     }
     assert!(dot.contains(" -- "), "dot has no edges");
 }
@@ -72,7 +79,11 @@ fn uniform_design_equals_unit_weight_sample() {
     // on the same draw observed with unit weights — the §4 formulas are the
     // §5 formulas with w ≡ 1.
     let mut rng = StdRng::seed_from_u64(11);
-    let cfg = PlantedConfig { category_sizes: vec![80, 160], k: 6, alpha: 0.5 };
+    let cfg = PlantedConfig {
+        category_sizes: vec![80, 160],
+        k: 6,
+        alpha: 0.5,
+    };
     let pg = planted_partition(&cfg, &mut rng).unwrap();
     let rw = RandomWalk::new();
     let nodes = rw.sample(&pg.graph, 800, &mut rng);
@@ -91,7 +102,11 @@ fn uniform_design_equals_unit_weight_sample() {
 fn multiwalk_combination_improves_estimates() {
     use cgte::sampling::run_walks;
     let mut rng = StdRng::seed_from_u64(12);
-    let cfg = PlantedConfig { category_sizes: vec![100, 400], k: 8, alpha: 0.4 };
+    let cfg = PlantedConfig {
+        category_sizes: vec![100, 400],
+        k: 8,
+        alpha: 0.4,
+    };
     let pg = planted_partition(&cfg, &mut rng).unwrap();
     let rw = RandomWalk::new().burn_in(200);
     let mw = run_walks(&rw, &pg.graph, 10, 400, &mut rng);
@@ -124,7 +139,11 @@ fn population_estimate_feeds_size_estimator() {
     use cgte::estimators::population::population_size_uniform;
     use cgte::sampling::InducedSample;
     let mut rng = StdRng::seed_from_u64(13);
-    let cfg = PlantedConfig { category_sizes: vec![200, 600], k: 6, alpha: 0.2 };
+    let cfg = PlantedConfig {
+        category_sizes: vec![200, 600],
+        k: 6,
+        alpha: 0.2,
+    };
     let pg = planted_partition(&cfg, &mut rng).unwrap();
     let nodes = UniformIndependence.sample(&pg.graph, 1500, &mut rng);
     let n_hat = population_size_uniform(&nodes).expect("collisions at this size");
@@ -132,5 +151,8 @@ fn population_estimate_feeds_size_estimator() {
     let s = InducedSample::observe(&pg.graph, &pg.partition, &nodes);
     assert_eq!(s.rec_num_categories(), 2);
     let est = induced_size(&s, 0, n_hat).unwrap();
-    assert!((est - 200.0).abs() / 200.0 < 0.3, "|Â| = {est} using N̂ = {n_hat}");
+    assert!(
+        (est - 200.0).abs() / 200.0 < 0.3,
+        "|Â| = {est} using N̂ = {n_hat}"
+    );
 }

@@ -1,28 +1,32 @@
 //! Property-based tests on the core data structures and estimator
 //! invariants, spanning all crates.
 
-use cgte::estimators::category_size::{induced_size, induced_sizes};
-use cgte::estimators::edge_weight::{induced_weight, induced_weights_all, star_weights_all};
+use cgte::estimators::category_size::{
+    induced_size, induced_sizes, induced_sizes_acc, star_sizes, star_sizes_acc, StarSizeOptions,
+};
+use cgte::estimators::edge_weight::{
+    induced_weight, induced_weights_acc, induced_weights_all, star_weights_acc, star_weights_all,
+};
 use cgte::estimators::hansen_hurwitz::reweighted_size;
 use cgte::graph::{CategoryGraph, Graph, GraphBuilder, NodeId, Partition};
-use cgte::sampling::{AliasTable, InducedSample, StarSample};
+use cgte::sampling::{
+    AliasTable, InducedAccumulator, InducedSample, ObservationContext, StarAccumulator, StarSample,
+};
 use proptest::prelude::*;
 
 /// An arbitrary simple graph as (node count, raw edge list with possible
 /// self-loops/duplicates that the builder must clean up).
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (2usize..40).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..120).prop_map(
-            move |pairs| {
-                let mut b = GraphBuilder::new(n);
-                for (u, v) in pairs {
-                    if u != v {
-                        b.add_edge(u, v).expect("in range");
-                    }
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..120).prop_map(move |pairs| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    b.add_edge(u, v).expect("in range");
                 }
-                b.build()
-            },
-        )
+            }
+            b.build()
+        })
     })
 }
 
@@ -137,7 +141,7 @@ proptest! {
             }
         }
         let true_sizes: Vec<f64> = (0..4u32).map(|c| exact.size(c)).collect();
-        for ((a, b), w) in star_weights_all(&star, &true_sizes) {
+        for (a, b, w) in star_weights_all(&star, &true_sizes).iter_nonzero() {
             prop_assert!((w - exact.weight(a, b)).abs() < 1e-9,
                 "star ({a},{b}): {} vs {}", w, exact.weight(a, b));
         }
@@ -161,9 +165,10 @@ proptest! {
         }
         let wa = induced_weights_all(&a);
         let wb = induced_weights_all(&b);
-        prop_assert_eq!(wa.len(), wb.len());
-        for (k, v) in &wa {
-            prop_assert!((v - wb[k]).abs() < 1e-9);
+        prop_assert_eq!(wa.num_categories(), wb.num_categories());
+        prop_assert_eq!(wa.count_nonzero(), wb.count_nonzero());
+        for (x, y, v) in wa.iter_upper() {
+            prop_assert!((v - wb.get(x, y)).abs() < 1e-9);
         }
     }
 
@@ -182,6 +187,65 @@ proptest! {
         prop_assert_eq!(ind.nodes(), star.nodes());
         for &(i, j) in ind.edges() {
             prop_assert!(g.has_edge(ind.nodes()[i as usize], ind.nodes()[j as usize]));
+        }
+    }
+
+    #[test]
+    fn incremental_accumulators_match_observe_exactly(
+        (g, p, sample) in arb_observed(),
+        weighted in any::<bool>()
+    ) {
+        // The tentpole invariant: pushing a sampled sequence into the
+        // incremental accumulators and snapshotting at any prefix must be
+        // BIT-IDENTICAL (==, not approximately equal) to from-scratch
+        // observation + estimation of that prefix, for both designs.
+        let weights: Vec<f64> = if weighted {
+            // Positive, degree-dependent weights exercise the H-H paths.
+            sample.iter().map(|&v| g.degree(v) as f64 + 1.0).collect()
+        } else {
+            vec![1.0; sample.len()]
+        };
+        let ctx = ObservationContext::new(&g, &p);
+        let mut ind_acc = InducedAccumulator::new(4);
+        let mut star_acc = StarAccumulator::new(4);
+        let population = g.num_nodes() as f64;
+        let opts_plugin = StarSizeOptions::default();
+        let opts_model = StarSizeOptions { model_based_mean_degree: true };
+        // Snapshot at every prefix length (the experiment snapshots at a
+        // subset; every length is the stronger check).
+        for i in 0..sample.len() {
+            ind_acc.push(&ctx, sample[i], weights[i]);
+            star_acc.push(&ctx, sample[i], weights[i]);
+            let prefix = &sample[..=i];
+            let wpfx = weights[..=i].to_vec();
+            let ind = InducedSample::observe_with_weights(&g, &p, prefix, wpfx.clone());
+            let star = StarSample::observe_with_weights(&g, &p, prefix, wpfx);
+            prop_assert_eq!(
+                induced_sizes(&ind, population),
+                induced_sizes_acc(&ind_acc, population),
+                "induced sizes diverged at prefix {}", i + 1
+            );
+            prop_assert_eq!(
+                star_sizes(&star, population, &opts_plugin),
+                star_sizes_acc(&star_acc, population, &opts_plugin),
+                "star sizes (plug-in) diverged at prefix {}", i + 1
+            );
+            prop_assert_eq!(
+                star_sizes(&star, population, &opts_model),
+                star_sizes_acc(&star_acc, population, &opts_model),
+                "star sizes (model) diverged at prefix {}", i + 1
+            );
+            prop_assert_eq!(
+                induced_weights_all(&ind),
+                induced_weights_acc(&ind_acc),
+                "induced weights diverged at prefix {}", i + 1
+            );
+            let sizes: Vec<f64> = (0..4u32).map(|c| p.category_size(c) as f64).collect();
+            prop_assert_eq!(
+                star_weights_all(&star, &sizes),
+                star_weights_acc(&star_acc, &sizes),
+                "star weights diverged at prefix {}", i + 1
+            );
         }
     }
 

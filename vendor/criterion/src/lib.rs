@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`: a minimal but real wall-clock
+//! micro-benchmark harness.
+//!
+//! Implements the API subset the workspace's benches use — [`Criterion`],
+//! [`Criterion::benchmark_group`], `bench_function` / `bench_with_input`,
+//! [`Bencher::iter`], [`black_box`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark is
+//! warmed up briefly, then timed over an adaptive iteration count targeting
+//! a fixed measurement window; mean time per iteration is printed to
+//! stdout. No statistics beyond the mean, no HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(300);
+const MEASURE: Duration = Duration::from_millis(900);
+
+/// Identifier for a parameterized benchmark, `name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            full: s.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then measuring over an adaptive
+    /// iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also yields a per-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        // Measure in batches sized to roughly fill the measurement window.
+        let batch = ((MEASURE.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters_done = batch;
+    }
+
+    fn report(&self) -> String {
+        if self.iters_done == 0 {
+            return "no measurement".to_string();
+        }
+        let per = self.total.as_secs_f64() / self.iters_done as f64;
+        let (value, unit) = if per >= 1.0 {
+            (per, "s")
+        } else if per >= 1e-3 {
+            (per * 1e3, "ms")
+        } else if per >= 1e-6 {
+            (per * 1e6, "µs")
+        } else {
+            (per * 1e9, "ns")
+        };
+        format!("{value:>10.3} {unit}/iter ({} iters)", self.iters_done)
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut b = Bencher {
+        iters_done: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("bench  {label:<55} {}", b.report());
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for criterion compatibility; this harness sizes iteration
+    /// counts adaptively instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility; no-op.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(&format!("{}/{}", self.name, id.full), f);
+        self
+    }
+
+    /// Runs one benchmark that borrows a prepared input.
+    pub fn bench_with_input<T, F>(&mut self, id: BenchmarkId, input: &T, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        run_bench(&format!("{}/{}", self.name, id.full), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for criterion compatibility; CLI flags are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _c: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` for a set of [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.iters_done > 0);
+        assert!(b.total > Duration::ZERO);
+        assert!(b.report().contains("/iter"));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("f", |b| b.iter(|| black_box(1 + 1)));
+        g.bench_with_input(BenchmarkId::new("with", 3), &3, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

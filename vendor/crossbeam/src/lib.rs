@@ -1,0 +1,94 @@
+//! Offline stand-in for `crossbeam`: only [`scope`], implemented on top of
+//! `std::thread::scope` (available since Rust 1.63, which postdates the
+//! original crossbeam scoped-thread API this mirrors).
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// A scope handle passed to [`scope`] closures; mirrors
+/// `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread; mirrors
+/// `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result or the panic
+    /// payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle, like
+    /// crossbeam's API (most callers ignore it with `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Creates a scope in which threads borrowing non-`'static` data can be
+/// spawned; all spawned threads are joined before this returns.
+///
+/// Unlike crossbeam, unjoined-thread panics propagate out of the enclosing
+/// `std::thread::scope` as panics rather than surfacing in the returned
+/// `Result`; callers that explicitly `join` every handle (as this workspace
+/// does) observe identical behavior.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_and_join_collects_results() {
+        let data = [1, 2, 3, 4];
+        let total: i32 = scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn borrows_stack_data() {
+        let mut acc = vec![0usize; 4];
+        scope(|s| {
+            let handles: Vec<_> = (0..4).map(|i| s.spawn(move |_| i * i)).collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                acc[i] = h.join().unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(acc, vec![0, 1, 4, 9]);
+    }
+
+    #[test]
+    fn join_reports_panic() {
+        scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        })
+        .unwrap();
+    }
+}
