@@ -1,99 +1,7 @@
-//! Ablation A1 (paper footnote 4): the model-based star size estimator
-//! `k̂_A := k̂_V`.
-//!
-//! On degree-skewed graphs the plug-in `k̂_A` is the star size estimator's
-//! weak point (§6.3.2). The model-based variant trades that variance for
-//! bias. This ablation quantifies the tradeoff on the Epinions stand-in
-//! (the most skewed Table 1 graph) under UIS and RW: NRMSE of the plug-in
-//! star, model-based star, and induced size estimators.
-//!
-//! Expected: model-based wins at small |S| (variance-dominated), the
-//! plug-in catches up or wins at large |S| where its variance shrinks but
-//! the model bias stays.
-
-use cgte_bench::{fmt_nrmse, log_sizes, RunArgs};
-use cgte_core::category_size::{induced_sizes, star_sizes, StarSizeOptions};
-use cgte_datasets::{standin, standin_partition, StandinKind};
-use cgte_eval::{median, Table};
-use cgte_sampling::{AnySampler, NodeSampler, RandomWalk, StarSample, UniformIndependence};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Ablation A1 (footnote 4): the model-based star size estimator — thin shim over the embedded
+//! `ablation_model_based` scenario; the tables and expected shapes are documented in
+//! EXPERIMENTS.md and in `crates/cgte-scenarios/scenarios/ablation_model_based.scn`.
 
 fn main() {
-    let args = RunArgs::parse();
-    let scale_div = args.pick(60, 10, 1);
-    let reps = args.pick(8, 40, 100);
-    let top_k = args.pick(6, 15, 50);
-    let sizes = match args.scale {
-        cgte_bench::Scale::Quick => log_sizes(100, 1000, 3),
-        cgte_bench::Scale::Default => log_sizes(200, 20_000, 5),
-        cgte_bench::Scale::Full => log_sizes(1000, 100_000, 5),
-    };
-
-    eprintln!("A1: generating Epinions stand-in (scale 1/{scale_div})...");
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let g = standin(StandinKind::Epinions, scale_div, &mut rng);
-    let p = standin_partition(&g, top_k, true, &mut rng);
-    let truth: Vec<f64> = p.sizes().iter().map(|&s| s as f64).collect();
-    let population = g.num_nodes() as f64;
-    let num_c = p.num_categories();
-
-    for (sampler, label) in [
-        (AnySampler::Uis(UniformIndependence), "UIS"),
-        (AnySampler::Rw(RandomWalk::new().burn_in(2000)), "RW"),
-    ] {
-        eprintln!("A1: running {label} ({reps} reps)...");
-        let mut t = Table::new(
-            ["|S|", "induced", "star(plug-in k̂_A)", "star(k̂_A = k̂_V)"]
-                .map(String::from)
-                .to_vec(),
-        );
-        // sum of squared errors [estimator][size][category]
-        let mut errs = vec![vec![vec![0.0f64; num_c]; sizes.len()]; 3];
-        for rep in 0..reps {
-            let mut rng = StdRng::seed_from_u64(args.seed + 1000 + rep as u64);
-            let nodes = sampler.sample(&g, *sizes.last().unwrap(), &mut rng);
-            for (si, &s) in sizes.iter().enumerate() {
-                let star = if label == "UIS" {
-                    StarSample::observe(&g, &p, &nodes[..s])
-                } else {
-                    StarSample::observe_sampler(&g, &p, &nodes[..s], &sampler)
-                };
-                let ind = induced_sizes(&star, population).unwrap_or_else(|| vec![0.0; num_c]);
-                let plug = star_sizes(&star, population, &StarSizeOptions::default());
-                let model = star_sizes(
-                    &star,
-                    population,
-                    &StarSizeOptions {
-                        model_based_mean_degree: true,
-                    },
-                );
-                for c in 0..num_c {
-                    errs[0][si][c] += (ind[c] - truth[c]).powi(2);
-                    errs[1][si][c] += (plug[c].unwrap_or(0.0) - truth[c]).powi(2);
-                    errs[2][si][c] += (model[c].unwrap_or(0.0) - truth[c]).powi(2);
-                }
-            }
-        }
-        for (si, &s) in sizes.iter().enumerate() {
-            let mut row = vec![s.to_string()];
-            for e in &errs {
-                let per_cat: Vec<f64> = (0..num_c)
-                    .filter(|&c| truth[c] > 0.0)
-                    .map(|c| (e[si][c] / reps as f64).sqrt() / truth[c])
-                    .collect();
-                row.push(fmt_nrmse(median(&per_cat).unwrap_or(f64::NAN)));
-            }
-            t.row(row);
-        }
-        args.emit(
-            &format!("ablation_model_based_{}", label.to_lowercase()),
-            &format!(
-                "A1 ({label}): median NRMSE(|Â|) across {num_c} categories, Epinions stand-in"
-            ),
-            &t,
-        );
-    }
-    println!("\nExpected: the model-based column dominates at small |S| and concedes");
-    println!("to the plug-in at large |S| (precision-vs-accuracy, footnote 4).");
+    cgte_bench::run_builtin_main("ablation_model_based");
 }

@@ -1,105 +1,7 @@
-//! Ablation A3 (§6.3.3): S-WRW stratification strength.
-//!
-//! Our S-WRW assigns category weights `γ_C = vol(C)^(−β)`: β = 0 reduces to
-//! the plain RW, β = 1 is the paper's equal-category-mass target. Sweeping
-//! β quantifies how much of S-WRW's advantage on small categories (the
-//! paper's colleges) is bought by stratification, and whether
-//! over-stratification hurts the large-category estimates.
-
-use cgte_bench::{fmt_nrmse, log_sizes, RunArgs};
-use cgte_core::category_size::{star_sizes, StarSizeOptions};
-use cgte_datasets::{FacebookSim, FacebookSimConfig};
-use cgte_eval::{median, Table};
-use cgte_graph::NodeId;
-use cgte_sampling::{NodeSampler, StarSample, Swrw};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Ablation A3 (§6.3.3): S-WRW stratification strength — thin shim over the embedded
+//! `ablation_swrw` scenario; the tables and expected shapes are documented in
+//! EXPERIMENTS.md and in `crates/cgte-scenarios/scenarios/ablation_swrw.scn`.
 
 fn main() {
-    let args = RunArgs::parse();
-    let mut cfg = match args.scale {
-        cgte_bench::Scale::Quick => FacebookSimConfig::quick(),
-        cgte_bench::Scale::Default => FacebookSimConfig {
-            num_users: 30_000,
-            num_regions: 100,
-            num_countries: 20,
-            num_colleges: 300,
-            ..Default::default()
-        },
-        cgte_bench::Scale::Full => FacebookSimConfig::default(),
-    };
-    cfg.college_fraction = cfg.college_fraction.max(0.035);
-    let reps = args.pick(4, 10, 25);
-    let betas = [0.0f64, 0.25, 0.5, 0.75, 1.0];
-    let sample_sizes = match args.scale {
-        cgte_bench::Scale::Quick => log_sizes(300, 1500, 2),
-        _ => log_sizes(1000, 20_000, 3),
-    };
-
-    eprintln!("A3: simulating population ({} users)...", cfg.num_users);
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let sim = FacebookSim::generate(&cfg, &mut rng);
-    let p = &sim.colleges;
-    let n_colleges = sim.config().num_colleges;
-    let population = sim.graph.num_nodes() as f64;
-    let truth: Vec<f64> = p.sizes().iter().map(|&s| s as f64).collect();
-
-    // Per-category volumes, for γ_C = vol(C)^(-β).
-    let mut vol = vec![0f64; p.num_categories()];
-    for v in 0..sim.graph.num_nodes() {
-        vol[p.category_of(v as NodeId) as usize] += sim.graph.degree(v as NodeId) as f64;
-    }
-
-    let colleges: Vec<usize> = (0..n_colleges).collect();
-    let mut headers = vec!["|S|".to_string()];
-    for b in betas {
-        headers.push(format!("β={b}"));
-    }
-    let mut t = Table::new(headers);
-    let mut cols: Vec<Vec<f64>> = Vec::new();
-    for &beta in &betas {
-        eprintln!("A3: β = {beta} ({reps} reps)...");
-        let gamma: Vec<f64> = vol
-            .iter()
-            .map(|&x| if x > 0.0 { x.powf(-beta) } else { 0.0 })
-            .collect();
-        let swrw = Swrw::new(p, gamma).expect("valid weights").burn_in(1000);
-        let mut col = Vec::new();
-        for (si, &s) in sample_sizes.iter().enumerate() {
-            let _ = si;
-            let mut errs = vec![0.0f64; p.num_categories()];
-            for rep in 0..reps {
-                let mut rng = StdRng::seed_from_u64(args.seed + 31 + rep as u64);
-                let nodes = swrw.sample(&sim.graph, s, &mut rng);
-                let star = StarSample::observe_sampler(&sim.graph, p, &nodes, &swrw);
-                let est = star_sizes(&star, population, &StarSizeOptions::default());
-                for &c in &colleges {
-                    errs[c] += (est[c].unwrap_or(0.0) - truth[c]).powi(2);
-                }
-            }
-            let per_cat: Vec<f64> = colleges
-                .iter()
-                .filter(|&&c| truth[c] > 0.0)
-                .map(|&c| (errs[c] / reps as f64).sqrt() / truth[c])
-                .collect();
-            col.push(median(&per_cat).unwrap_or(f64::NAN));
-        }
-        cols.push(col);
-    }
-    for (i, &s) in sample_sizes.iter().enumerate() {
-        let mut row = vec![s.to_string()];
-        for c in &cols {
-            row.push(fmt_nrmse(c[i]));
-        }
-        t.row(row);
-    }
-    args.emit(
-        "ablation_swrw",
-        &format!(
-            "A3: S-WRW stratification sweep — median NRMSE(|Â|) over {n_colleges} colleges, star sizes"
-        ),
-        &t,
-    );
-    println!("\nExpected: college-size NRMSE falls monotonically with β (β=0 is plain RW,");
-    println!("which leaves most colleges unsampled); the paper's configuration is β=1.");
+    cgte_bench::run_builtin_main("ablation_swrw");
 }

@@ -1,85 +1,7 @@
-//! Ablation A2 (§5.4): random-walk thinning.
-//!
-//! Thinning keeps every T-th visited node, reducing sample autocorrelation
-//! at the cost of discarding (T−1)/T of the crawl. With the number of
-//! *retained* samples held fixed, larger T means a longer crawl and less
-//! correlated samples, so NRMSE should improve with T and saturate once
-//! samples are effectively independent — quantifying the paper's remark
-//! that thinning trades information for decorrelation, while plain RW
-//! estimators remain consistent without it.
-
-use cgte_bench::{fmt_nrmse, log_sizes, RunArgs};
-use cgte_core::Design;
-use cgte_eval::Table;
-use cgte_eval::{run_experiment, EstimatorKind, ExperimentConfig, Target};
-use cgte_graph::generators::{planted_partition, PlantedConfig};
-use cgte_graph::CategoryGraph;
-use cgte_sampling::{AnySampler, RandomWalk};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Ablation A2 (§5.4): random-walk thinning — thin shim over the embedded
+//! `ablation_thinning` scenario; the tables and expected shapes are documented in
+//! EXPERIMENTS.md and in `crates/cgte-scenarios/scenarios/ablation_thinning.scn`.
 
 fn main() {
-    let args = RunArgs::parse();
-    let scale_div = args.pick(60, 10, 1);
-    let reps = args.pick(8, 40, 100);
-    let k = args.pick(6, 20, 20);
-    let sizes = match args.scale {
-        cgte_bench::Scale::Quick => log_sizes(50, 500, 3),
-        cgte_bench::Scale::Default => log_sizes(100, 5_000, 4),
-        cgte_bench::Scale::Full => log_sizes(100, 50_000, 5),
-    };
-    let thinnings = [1usize, 2, 5, 10, 20];
-
-    eprintln!("A2: generating planted graph (scale 1/{scale_div}, k={k}, α=0.5)...");
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let cfg_g = if scale_div == 1 {
-        PlantedConfig::paper(k, 0.5)
-    } else {
-        PlantedConfig::scaled(scale_div, k, 0.5)
-    };
-    let pg = planted_partition(&cfg_g, &mut rng).expect("feasible config");
-    let exact = CategoryGraph::exact(&pg.graph, &pg.partition);
-    let ncat = pg.partition.num_categories() as u32;
-    let e_high = exact.weight_quantile_edge(0.75).expect("has edges");
-    let targets = [Target::Size(ncat - 1), Target::Weight(e_high.a, e_high.b)];
-
-    let mut headers = vec!["|S| retained".to_string()];
-    for t in thinnings {
-        headers.push(format!("T={t} size/star"));
-        headers.push(format!("T={t} weight/star"));
-    }
-    let mut table = Table::new(headers);
-    let mut cols: Vec<Vec<f64>> = Vec::new();
-    for t in thinnings {
-        eprintln!("A2: thinning T={t} ({reps} reps)...");
-        let sampler = AnySampler::Rw(RandomWalk::new().burn_in(500).thinning(t));
-        let cfg = ExperimentConfig::new(sizes.clone(), reps)
-            .seed(args.seed)
-            .design(Design::Weighted);
-        let res = run_experiment(&pg.graph, &pg.partition, &sampler, &targets, &cfg);
-        cols.push(
-            res.nrmse(EstimatorKind::StarSize, targets[0])
-                .unwrap()
-                .to_vec(),
-        );
-        cols.push(
-            res.nrmse(EstimatorKind::StarWeight, targets[1])
-                .unwrap()
-                .to_vec(),
-        );
-    }
-    for (i, &s) in sizes.iter().enumerate() {
-        let mut row = vec![s.to_string()];
-        for c in &cols {
-            row.push(fmt_nrmse(c[i]));
-        }
-        table.row(row);
-    }
-    args.emit(
-        "ablation_thinning",
-        "A2: RW thinning sweep — star estimators, fixed retained |S|",
-        &table,
-    );
-    println!("\nExpected: NRMSE improves (or saturates) as T grows at fixed retained |S| —");
-    println!("the gain is what the discarded (T−1)/T of the crawl bought.");
+    cgte_bench::run_builtin_main("ablation_thinning");
 }

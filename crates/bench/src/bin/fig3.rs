@@ -1,284 +1,7 @@
-//! Reproduces Fig. 3: UIS on synthetic (planted-partition) graphs.
-//!
-//! Top row — category size estimation NRMSE(|Â|) vs |S|:
-//!   (a) density sweep k ∈ {5, 49};  (b) community tightness α ∈ {0, 1};
-//!   (c) category size |C| (small vs large);  (d) CDF over all 10 categories.
-//! Bottom row — edge weight estimation NRMSE(ŵ) vs |S|:
-//!   (e) density sweep;  (f) tightness sweep;  (g) e_low vs e_high;
-//!   (h) CDF over all edges.
-//!
-//! Expected shape (paper §6.2): star beats induced for sizes on dense
-//! graphs (a) but loses its edge when categories align with communities
-//! (b, α = 0); for edge weights star wins consistently; larger targets are
-//! easier (c, g).
-
-use cgte_bench::{fmt_nrmse, log_sizes, RunArgs};
-use cgte_core::Design;
-use cgte_eval::{
-    empirical_cdf, run_experiment, EstimatorKind, ExperimentConfig, ExperimentResult, Table, Target,
-};
-use cgte_graph::generators::{planted_partition, PlantedConfig, PlantedGraph};
-use cgte_graph::CategoryGraph;
-use cgte_sampling::{AnySampler, UniformIndependence};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-struct Panel {
-    /// (curve label, experiment result) pairs sharing an x-axis.
-    curves: Vec<(
-        String,
-        ExperimentResult,
-        Target,
-        EstimatorKind,
-        EstimatorKind,
-    )>,
-    sizes: Vec<usize>,
-}
-
-impl Panel {
-    fn plot_series(&self) -> Vec<cgte_viz::PlotSeries> {
-        let xs: Vec<f64> = self.sizes.iter().map(|&s| s as f64).collect();
-        let mut out = Vec::new();
-        for (label, res, target, ind, star) in &self.curves {
-            for (kind, suffix) in [(ind, "induced"), (star, "star")] {
-                let ys = res.nrmse(*kind, *target).expect("tracked");
-                out.push(cgte_viz::PlotSeries {
-                    label: format!("{label}/{suffix}"),
-                    points: xs.iter().copied().zip(ys.iter().copied()).collect(),
-                });
-            }
-        }
-        out
-    }
-
-    fn table(&self) -> Table {
-        let mut headers = vec!["|S|".to_string()];
-        for (label, ..) in &self.curves {
-            headers.push(format!("{label}/induced"));
-            headers.push(format!("{label}/star"));
-        }
-        let mut t = Table::new(headers);
-        for (i, &s) in self.sizes.iter().enumerate() {
-            let mut row = vec![s.to_string()];
-            for (_, res, target, ind, star) in &self.curves {
-                row.push(fmt_nrmse(res.nrmse(*ind, *target).unwrap()[i]));
-                row.push(fmt_nrmse(res.nrmse(*star, *target).unwrap()[i]));
-            }
-            t.row(row);
-        }
-        t
-    }
-}
+//! Fig. 3: UIS on synthetic (planted-partition) graphs — thin shim over the embedded
+//! `fig3` scenario; the tables and expected shapes are documented in
+//! EXPERIMENTS.md and in `crates/cgte-scenarios/scenarios/fig3.scn`.
 
 fn main() {
-    let args = RunArgs::parse();
-    let scale_div = args.pick(60, 10, 1);
-    let reps = args.pick(8, 40, 100);
-    let sizes = match args.scale {
-        cgte_bench::Scale::Quick => log_sizes(50, 500, 3),
-        cgte_bench::Scale::Default => log_sizes(100, 10_000, 5),
-        cgte_bench::Scale::Full => log_sizes(100, 100_000, 7),
-    };
-    let (k_lo, k_mid, k_hi) = args.pick((3, 6, 13), (5, 20, 49), (5, 20, 49));
-    let cdf_size_idx = sizes.len() / 2; // the paper's fixed |S| = 2000 point
-
-    let gen = |k: usize, alpha: f64, seed: u64| -> PlantedGraph {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let cfg = if scale_div == 1 {
-            PlantedConfig::paper(k, alpha)
-        } else {
-            PlantedConfig::scaled(scale_div, k, alpha)
-        };
-        planted_partition(&cfg, &mut rng).expect("feasible planted config")
-    };
-    eprintln!("fig3: generating graphs (scale 1/{scale_div}, k = {k_lo}/{k_mid}/{k_hi})...");
-    let g_klo = gen(k_lo, 0.5, args.seed);
-    let g_khi = gen(k_hi, 0.5, args.seed + 1);
-    let g_a0 = gen(k_mid, 0.0, args.seed + 2);
-    let g_a1 = gen(k_mid, 1.0, args.seed + 3);
-    let g_mid = gen(k_mid, 0.5, args.seed + 4);
-
-    let uis = AnySampler::Uis(UniformIndependence);
-    let cfg = ExperimentConfig::new(sizes.clone(), reps)
-        .seed(args.seed)
-        .design(Design::Uniform);
-    let run = |pg: &PlantedGraph, targets: &[Target]| -> ExperimentResult {
-        run_experiment(&pg.graph, &pg.partition, &uis, targets, &cfg)
-    };
-    let ncat = g_mid.partition.num_categories() as u32;
-    let biggest = Target::Size(ncat - 1);
-
-    // Shared big run on the (k_mid, α=0.5) graph: all sizes + all edges.
-    let mid_exact = CategoryGraph::exact(&g_mid.graph, &g_mid.partition);
-    let mut mid_targets: Vec<Target> = (0..ncat).map(Target::Size).collect();
-    let mut edge_targets: Vec<Target> = Vec::new();
-    for a in 0..ncat {
-        for b in (a + 1)..ncat {
-            if mid_exact.weight(a, b) > 0.0 {
-                edge_targets.push(Target::Weight(a, b));
-            }
-        }
-    }
-    mid_targets.extend(&edge_targets);
-    eprintln!(
-        "fig3: running experiments (|S| up to {}, {} reps)...",
-        sizes.last().unwrap(),
-        reps
-    );
-    let res_mid = run(&g_mid, &mid_targets);
-    let e_low = mid_exact.weight_quantile_edge(0.25).expect("has edges");
-    let e_high = mid_exact.weight_quantile_edge(0.75).expect("has edges");
-    let t_low = Target::Weight(e_low.a, e_low.b);
-    let t_high = Target::Weight(e_high.a, e_high.b);
-
-    // Panels (a), (e): density sweep.
-    let run_k = |pg: &PlantedGraph| {
-        let ex = CategoryGraph::exact(&pg.graph, &pg.partition);
-        let eh = ex.weight_quantile_edge(0.75).expect("has edges");
-        let t = Target::Weight(eh.a, eh.b);
-        (run(pg, &[biggest, t]), t)
-    };
-    let (res_klo, t_klo) = run_k(&g_klo);
-    let (res_khi, t_khi) = run_k(&g_khi);
-    let (res_a0, t_a0) = run_k(&g_a0);
-    let (res_a1, t_a1) = run_k(&g_a1);
-
-    let size_kinds = (EstimatorKind::InducedSize, EstimatorKind::StarSize);
-    let weight_kinds = (EstimatorKind::InducedWeight, EstimatorKind::StarWeight);
-
-    let panel = |curves: Vec<(
-        String,
-        &ExperimentResult,
-        Target,
-        (EstimatorKind, EstimatorKind),
-    )>| {
-        Panel {
-            curves: curves
-                .into_iter()
-                .map(|(l, r, t, (i, s))| (l, r.clone(), t, i, s))
-                .collect(),
-            sizes: sizes.clone(),
-        }
-    };
-
-    let a = panel(vec![
-        (format!("k={k_lo}"), &res_klo, biggest, size_kinds),
-        (format!("k={k_hi}"), &res_khi, biggest, size_kinds),
-    ]);
-    args.emit(
-        "fig3a",
-        "Fig. 3(a): NRMSE(|Â|), α=0.5, largest category, k sweep",
-        &a.table(),
-    );
-    args.emit_plot("fig3a", "fig3a", a.plot_series());
-
-    let b = panel(vec![
-        ("α=0.0".into(), &res_a0, biggest, size_kinds),
-        ("α=1.0".into(), &res_a1, biggest, size_kinds),
-    ]);
-    args.emit(
-        "fig3b",
-        &format!("Fig. 3(b): NRMSE(|Â|), k={k_mid}, largest category, α sweep"),
-        &b.table(),
-    );
-    args.emit_plot("fig3b", "fig3b", b.plot_series());
-
-    let small_cat = Target::Size(ncat.saturating_sub(7)); // |C| = 500 at paper scale
-    let c = panel(vec![
-        ("small |C|".into(), &res_mid, small_cat, size_kinds),
-        ("large |C|".into(), &res_mid, biggest, size_kinds),
-    ]);
-    args.emit(
-        "fig3c",
-        &format!("Fig. 3(c): NRMSE(|Â|), k={k_mid}, α=0.5, category size effect"),
-        &c.table(),
-    );
-    args.emit_plot("fig3c", "fig3c", c.plot_series());
-
-    // Panel (d): CDF of size NRMSE over all categories at fixed |S|.
-    {
-        let mut t = Table::new(vec!["estimator".into(), "nrmse".into(), "cdf".into()]);
-        for (kind, name) in [
-            (EstimatorKind::InducedSize, "induced"),
-            (EstimatorKind::StarSize, "star"),
-        ] {
-            let vals = res_mid.nrmse_across_targets(kind, cdf_size_idx);
-            let (xs, fs) = empirical_cdf(&vals);
-            for (x, f) in xs.iter().zip(&fs) {
-                t.row(vec![name.into(), fmt_nrmse(*x), format!("{f:.2}")]);
-            }
-        }
-        args.emit(
-            "fig3d",
-            &format!(
-                "Fig. 3(d): CDF of NRMSE(|Â|) over all {ncat} categories at |S|={}",
-                sizes[cdf_size_idx]
-            ),
-            &t,
-        );
-    }
-
-    let e = panel(vec![
-        (format!("k={k_lo}"), &res_klo, t_klo, weight_kinds),
-        (format!("k={k_hi}"), &res_khi, t_khi, weight_kinds),
-    ]);
-    args.emit(
-        "fig3e",
-        "Fig. 3(e): NRMSE(ŵ), α=0.5, edge e_high, k sweep",
-        &e.table(),
-    );
-    args.emit_plot("fig3e", "fig3e", e.plot_series());
-
-    let f = panel(vec![
-        ("α=0.0".into(), &res_a0, t_a0, weight_kinds),
-        ("α=1.0".into(), &res_a1, t_a1, weight_kinds),
-    ]);
-    args.emit(
-        "fig3f",
-        &format!("Fig. 3(f): NRMSE(ŵ), k={k_mid}, edge e_high, α sweep"),
-        &f.table(),
-    );
-    args.emit_plot("fig3f", "fig3f", f.plot_series());
-
-    let g = panel(vec![
-        ("e_low".into(), &res_mid, t_low, weight_kinds),
-        ("e_high".into(), &res_mid, t_high, weight_kinds),
-    ]);
-    args.emit(
-        "fig3g",
-        &format!("Fig. 3(g): NRMSE(ŵ), k={k_mid}, α=0.5, e_low vs e_high"),
-        &g.table(),
-    );
-    args.emit_plot("fig3g", "fig3g", g.plot_series());
-
-    // Panel (h): CDF of weight NRMSE over all edges at fixed |S|.
-    {
-        let mut t = Table::new(vec!["estimator".into(), "nrmse".into(), "cdf".into()]);
-        for (kind, name) in [
-            (EstimatorKind::InducedWeight, "induced"),
-            (EstimatorKind::StarWeight, "star"),
-        ] {
-            let vals = res_mid.nrmse_across_targets(kind, cdf_size_idx);
-            let (xs, fs) = empirical_cdf(&vals);
-            // Subsample long CDFs for printing; CSV gets every point.
-            let stride = (xs.len() / 20).max(1);
-            for (i, (x, f)) in xs.iter().zip(&fs).enumerate() {
-                if i % stride == 0 || i + 1 == xs.len() {
-                    t.row(vec![name.into(), fmt_nrmse(*x), format!("{f:.2}")]);
-                }
-            }
-        }
-        args.emit(
-            "fig3h",
-            &format!(
-                "Fig. 3(h): CDF of NRMSE(ŵ) over all {} edges at |S|={}",
-                edge_targets.len(),
-                sizes[cdf_size_idx]
-            ),
-            &t,
-        );
-    }
-
-    println!("\nfig3 done. Expected shape: star < induced for weights everywhere;");
-    println!("star advantage for sizes grows with k and with α (see EXPERIMENTS.md).");
+    cgte_bench::run_builtin_main("fig3");
 }

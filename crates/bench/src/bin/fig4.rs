@@ -1,166 +1,7 @@
-//! Reproduces Fig. 4: estimation on empirically-observed topologies
-//! (Table 1 stand-ins) under UIS, RW and S-WRW.
-//!
-//! For each of the four datasets, reports the **median NRMSE across
-//! categories** of the size estimators (top row) and the median NRMSE
-//! across a weight-spectrum of edges for the edge-weight estimators
-//! (bottom row), for every sampler × {induced, star}.
-//!
-//! Expected shape (paper §6.3): for sizes there is no universal winner —
-//! induced can beat star under UIS on these degree-skewed graphs, while
-//! star wins under RW/S-WRW; for edge weights star wins consistently
-//! (induced needs 5–10× more samples); samplers order UIS > S-WRW > RW.
-//!
-//! Categories are built as in the paper: the 50 largest communities (20 at
-//! default scale) plus one rest category, found by the spectral
-//! (leading-eigenvector) community finder of the paper's \[47\].
-
-use cgte_bench::{fmt_nrmse, log_sizes, RunArgs, Scale};
-use cgte_core::Design;
-use cgte_datasets::{standin, standin_partition, StandinKind};
-use cgte_eval::{
-    median, run_experiment, EstimatorKind, ExperimentConfig, ExperimentResult, Table, Target,
-};
-use cgte_graph::{CategoryGraph, Graph, Partition};
-use cgte_sampling::{AnySampler, RandomWalk, Swrw, UniformIndependence};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn weight_targets(exact: &CategoryGraph, max_edges: usize) -> Vec<Target> {
-    let mut edges = exact.edges_by_weight();
-    if edges.is_empty() {
-        return Vec::new();
-    }
-    edges.retain(|e| e.weight > 0.0);
-    let stride = (edges.len() / max_edges).max(1);
-    edges
-        .iter()
-        .step_by(stride)
-        .take(max_edges)
-        .map(|e| Target::Weight(e.a, e.b))
-        .collect()
-}
-
-fn median_series(res: &ExperimentResult, kind: EstimatorKind, n_sizes: usize) -> Vec<f64> {
-    (0..n_sizes)
-        .map(|i| median(&res.nrmse_across_targets(kind, i)).unwrap_or(f64::NAN))
-        .collect()
-}
+//! Fig. 4: estimation on empirically-observed topologies under UIS, RW and S-WRW — thin shim over the embedded
+//! `fig4` scenario; the tables and expected shapes are documented in
+//! EXPERIMENTS.md and in `crates/cgte-scenarios/scenarios/fig4.scn`.
 
 fn main() {
-    let args = RunArgs::parse();
-    let scale_div = args.pick(60, 8, 1);
-    let reps = args.pick(6, 25, 60);
-    let top_k = args.pick(8, 20, 50);
-    let spectral = true;
-    let sizes = match args.scale {
-        Scale::Quick => log_sizes(100, 1000, 3),
-        Scale::Default => log_sizes(300, 30_000, 5),
-        Scale::Full => log_sizes(1000, 100_000, 5),
-    };
-    let max_weight_targets = args.pick(10, 30, 60);
-    let burn = *sizes.last().unwrap() / 10;
-
-    for kind in StandinKind::ALL {
-        eprintln!("fig4: generating {} (scale 1/{scale_div})...", kind.name());
-        let mut rng = StdRng::seed_from_u64(args.seed ^ (kind as u64).wrapping_mul(0x9E37));
-        let g: Graph = standin(kind, scale_div, &mut rng);
-        let p: Partition = standin_partition(&g, top_k, spectral, &mut rng);
-        let exact = CategoryGraph::exact(&g, &p);
-
-        let mut targets: Vec<Target> = (0..p.num_categories() as u32).map(Target::Size).collect();
-        let wt = weight_targets(&exact, max_weight_targets);
-        targets.extend(&wt);
-
-        let samplers = [
-            AnySampler::Uis(UniformIndependence),
-            AnySampler::Rw(RandomWalk::new().burn_in(burn)),
-            AnySampler::Swrw(
-                Swrw::equal_category_target(&g, &p)
-                    .expect("partition has volume")
-                    .burn_in(burn),
-            ),
-        ];
-
-        let mut size_table = {
-            let mut h = vec!["|S|".to_string()];
-            for s in &samplers {
-                h.push(format!("{}/induced", s.name()));
-                h.push(format!("{}/star", s.name()));
-            }
-            Table::new(h)
-        };
-        let mut weight_table = {
-            let mut h = vec!["|S|".to_string()];
-            for s in &samplers {
-                h.push(format!("{}/induced", s.name()));
-                h.push(format!("{}/star", s.name()));
-            }
-            Table::new(h)
-        };
-
-        let mut size_cols: Vec<Vec<f64>> = Vec::new();
-        let mut weight_cols: Vec<Vec<f64>> = Vec::new();
-        for sampler in &samplers {
-            eprintln!(
-                "fig4: {} under {} ({} reps)...",
-                kind.name(),
-                sampler.name(),
-                reps
-            );
-            let cfg = ExperimentConfig::new(sizes.clone(), reps)
-                .seed(args.seed)
-                .design(if matches!(sampler, AnySampler::Uis(_)) {
-                    Design::Uniform
-                } else {
-                    Design::Weighted
-                });
-            let res = run_experiment(&g, &p, sampler, &targets, &cfg);
-            size_cols.push(median_series(&res, EstimatorKind::InducedSize, sizes.len()));
-            size_cols.push(median_series(&res, EstimatorKind::StarSize, sizes.len()));
-            weight_cols.push(median_series(
-                &res,
-                EstimatorKind::InducedWeight,
-                sizes.len(),
-            ));
-            weight_cols.push(median_series(&res, EstimatorKind::StarWeight, sizes.len()));
-        }
-        for (i, &s) in sizes.iter().enumerate() {
-            let mut row = vec![s.to_string()];
-            row.extend(size_cols.iter().map(|c| fmt_nrmse(c[i])));
-            size_table.row(row);
-            let mut row = vec![s.to_string()];
-            row.extend(weight_cols.iter().map(|c| fmt_nrmse(c[i])));
-            weight_table.row(row);
-        }
-
-        let tag = match kind {
-            StandinKind::FacebookTexas => "texas",
-            StandinKind::FacebookNewOrleans => "neworleans",
-            StandinKind::P2p => "p2p",
-            StandinKind::Epinions => "epinions",
-        };
-        args.emit(
-            &format!("fig4_size_{tag}"),
-            &format!(
-                "Fig. 4 (top) {}: median NRMSE(|Â|) across {} categories ({} nodes, kV={:.1})",
-                kind.name(),
-                p.num_categories(),
-                g.num_nodes(),
-                g.mean_degree()
-            ),
-            &size_table,
-        );
-        args.emit(
-            &format!("fig4_weight_{tag}"),
-            &format!(
-                "Fig. 4 (bottom) {}: median NRMSE(ŵ) across {} edges",
-                kind.name(),
-                wt.len()
-            ),
-            &weight_table,
-        );
-    }
-    println!("\nfig4 done. Expected: weight/star ≪ weight/induced for every sampler;");
-    println!("UIS best overall; S-WRW ≥ RW; star sizes win under RW/S-WRW but can lose under UIS.");
+    cgte_bench::run_builtin_main("fig4");
 }

@@ -1,107 +1,7 @@
-//! Reproduces Fig. 5: number of samples per category in the Facebook
-//! crawls (2009 regions, top; 2010 colleges, bottom), categories sorted by
-//! descending sample count.
-//!
-//! Expected shape: the 2009 curves decay smoothly over the 507 regions and
-//! track each other across crawl types; in 2010, RW10 collects 0–10 samples
-//! for most colleges while S-WRW10 lifts the whole curve by an order of
-//! magnitude or more (the paper's headline for stratified crawling).
-
-use cgte_bench::RunArgs;
-use cgte_datasets::{FacebookSim, FacebookSimConfig};
-use cgte_eval::Table;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// Rank positions reported in the printed table (full curves go to CSV).
-fn ranks(n: usize) -> Vec<usize> {
-    [1usize, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000]
-        .into_iter()
-        .filter(|&r| r <= n)
-        .collect()
-}
+//! Fig. 5: number of samples per category in the Facebook crawls — thin shim over the embedded
+//! `fig5` scenario; the tables and expected shapes are documented in
+//! EXPERIMENTS.md and in `crates/cgte-scenarios/scenarios/fig5.scn`.
 
 fn main() {
-    let args = RunArgs::parse();
-    let mut cfg = match args.scale {
-        cgte_bench::Scale::Quick => FacebookSimConfig::quick(),
-        cgte_bench::Scale::Default => FacebookSimConfig::default(),
-        cgte_bench::Scale::Full => FacebookSimConfig {
-            num_users: 1_000_000,
-            num_colleges: 10_000,
-            ..Default::default()
-        },
-    };
-    cfg.num_regions = args.pick(40, 507, 507);
-    let per_walk = args.pick(500, 5_000, 81_000);
-    let per_walk_10 = args.pick(500, 5_000, 40_000);
-
-    eprintln!("fig5: simulating population ({} users)...", cfg.num_users);
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let sim = FacebookSim::generate(&cfg, &mut rng);
-    eprintln!("fig5: running crawls...");
-    let c09 = sim.crawl_2009(28, per_walk, &mut rng);
-    let c10 = sim.crawl_2010(25, per_walk_10, &mut rng);
-
-    // 2009 panel: samples per region (declared regions only), sorted desc.
-    let n_regions = sim.config().num_regions;
-    {
-        let mut per_crawl: Vec<(String, Vec<usize>)> = Vec::new();
-        for ds in &c09 {
-            let mut counts = ds.samples_per_category(&sim.regions);
-            counts.truncate(n_regions); // drop the undeclared pseudo-category
-            counts.sort_unstable_by(|a, b| b.cmp(a));
-            per_crawl.push((ds.name.clone(), counts));
-        }
-        let mut headers = vec!["region rank".to_string()];
-        headers.extend(per_crawl.iter().map(|(n, _)| n.clone()));
-        let mut t = Table::new(headers);
-        for r in ranks(n_regions) {
-            let mut row = vec![r.to_string()];
-            for (_, counts) in &per_crawl {
-                row.push(counts[r - 1].to_string());
-            }
-            t.row(row);
-        }
-        args.emit(
-            "fig5_2009",
-            "Fig. 5 (top): #samples per regional category, 2009 crawls",
-            &t,
-        );
-    }
-
-    // 2010 panel: samples per college.
-    let n_colleges = sim.config().num_colleges;
-    {
-        let mut per_crawl: Vec<(String, Vec<usize>)> = Vec::new();
-        for ds in &c10 {
-            let mut counts = ds.samples_per_category(&sim.colleges);
-            counts.truncate(n_colleges);
-            counts.sort_unstable_by(|a, b| b.cmp(a));
-            per_crawl.push((ds.name.clone(), counts));
-        }
-        let mut headers = vec!["college rank".to_string()];
-        headers.extend(per_crawl.iter().map(|(n, _)| n.clone()));
-        let mut t = Table::new(headers);
-        for r in ranks(n_colleges) {
-            let mut row = vec![r.to_string()];
-            for (_, counts) in &per_crawl {
-                row.push(counts[r - 1].to_string());
-            }
-            t.row(row);
-        }
-        // Median college coverage, the paper's "0-10 samples" observation.
-        let mut row = vec!["median".to_string()];
-        for (_, counts) in &per_crawl {
-            row.push(counts[counts.len() / 2].to_string());
-        }
-        t.row(row);
-        args.emit(
-            "fig5_2010",
-            "Fig. 5 (bottom): #samples per college, 2010 crawls",
-            &t,
-        );
-    }
-    println!("\nExpected: S-WRW10 exceeds RW10 by ≥ an order of magnitude at every rank");
-    println!("(the paper reports \"at least one order of magnitude\" improvement).");
+    cgte_bench::run_builtin_main("fig5");
 }

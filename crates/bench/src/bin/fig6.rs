@@ -1,318 +1,7 @@
-//! Reproduces Fig. 6: estimator performance on the Facebook crawls.
-//!
-//! (a, b): median NRMSE of category size estimates — 100 most popular
-//! regions (2009) / colleges (2010); (c, d): median NRMSE of category edge
-//! weight estimates. Each of the 28 (2009) / 25 (2010) walks is treated as
-//! a separate sample, as in the paper; NRMSE is reported both against the
-//! simulator's ground truth and, following the paper's protocol, against
-//! the all-walk average estimate.
-//!
-//! Expected shape: UIS best, then S-WRW, RW, MHRW; star size estimators win
-//! under RW/S-WRW (especially for the small 2010 colleges), induced can win
-//! under UIS; for edge weights the star estimators dominate everywhere.
-
-use cgte_bench::{fmt_nrmse, log_sizes, RunArgs};
-use cgte_core::category_size::{induced_sizes, star_sizes, StarSizeOptions};
-use cgte_core::edge_weight::{induced_weights_all, star_weights_all};
-use cgte_datasets::{CrawlDataset, CrawlType, FacebookSim, FacebookSimConfig};
-use cgte_eval::{median, Table};
-use cgte_graph::{CategoryGraph, CategoryId, Partition};
-use cgte_sampling::StarSample;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-type Pair = (CategoryId, CategoryId);
-
-/// `estimates[s][walk][target]` for one estimator family.
-type EstimateTensor = Vec<Vec<Vec<f64>>>;
-
-/// Per-walk, per-|S| estimates for one crawl dataset.
-struct CrawlEstimates {
-    /// `sizes_ind[s][walk][cat]`
-    sizes_ind: Vec<Vec<Vec<f64>>>,
-    sizes_star: Vec<Vec<Vec<f64>>>,
-    /// `weights_ind[s][walk][pair]` aligned with the tracked pair list.
-    weights_ind: Vec<Vec<Vec<f64>>>,
-    weights_star: Vec<Vec<Vec<f64>>>,
-}
-
-fn evaluate_crawl(
-    sim: &FacebookSim,
-    ds: &CrawlDataset,
-    p: &Partition,
-    pairs: &[Pair],
-    sizes: &[usize],
-) -> CrawlEstimates {
-    let g = &sim.graph;
-    let population = g.num_nodes() as f64;
-    let num_c = p.num_categories();
-    let uniform = matches!(ds.crawl, CrawlType::Uis | CrawlType::Mhrw);
-    let sampler = sim.sampler_for(ds.crawl);
-    let opts = StarSizeOptions::default();
-    let mut out = CrawlEstimates {
-        sizes_ind: vec![Vec::new(); sizes.len()],
-        sizes_star: vec![Vec::new(); sizes.len()],
-        weights_ind: vec![Vec::new(); sizes.len()],
-        weights_star: vec![Vec::new(); sizes.len()],
-    };
-    for walk in ds.walks.walks() {
-        for (si, &s) in sizes.iter().enumerate() {
-            let prefix = &walk[..s.min(walk.len())];
-            let star = if uniform {
-                StarSample::observe(g, p, prefix)
-            } else {
-                StarSample::observe_sampler(g, p, prefix, &sampler)
-            };
-            let ind = star.to_induced(g, p);
-            let s_ind = induced_sizes(&ind, population).unwrap_or_else(|| vec![0.0; num_c]);
-            let s_star_opt = star_sizes(&star, population, &opts);
-            let plug: Vec<f64> = s_star_opt
-                .iter()
-                .zip(&s_ind)
-                .map(|(st, &i)| st.unwrap_or(i))
-                .collect();
-            let s_star: Vec<f64> = s_star_opt.into_iter().map(|x| x.unwrap_or(0.0)).collect();
-            let w_ind = induced_weights_all(&ind);
-            let w_star = star_weights_all(&star, &plug);
-            out.sizes_ind[si].push(s_ind);
-            out.sizes_star[si].push(s_star);
-            out.weights_ind[si].push(pairs.iter().map(|&(a, b)| w_ind.get(a, b)).collect());
-            out.weights_star[si].push(pairs.iter().map(|&(a, b)| w_star.get(a, b)).collect());
-        }
-    }
-    out
-}
-
-/// Median-across-targets NRMSE for one estimate tensor at one |S| index.
-///
-/// `truth[t]` per target; `paper_style` replaces it with the all-walk mean
-/// at the largest |S| (the paper's §7.2 protocol for unknown ground truth).
-fn median_nrmse(
-    per_size: &[Vec<Vec<f64>>],
-    si: usize,
-    targets: &[usize],
-    truth: &[f64],
-    paper_style: bool,
-) -> f64 {
-    let last = per_size.len() - 1;
-    let vals: Vec<f64> = targets
-        .iter()
-        .filter_map(|&t| {
-            let tr = if paper_style {
-                let walks = &per_size[last];
-                walks.iter().map(|w| w[t]).sum::<f64>() / walks.len() as f64
-            } else {
-                truth[t]
-            };
-            if tr == 0.0 || !tr.is_finite() {
-                return None;
-            }
-            let ests: Vec<f64> = per_size[si].iter().map(|w| w[t]).collect();
-            let mse = ests.iter().map(|e| (e - tr).powi(2)).sum::<f64>() / ests.len() as f64;
-            Some(mse.sqrt() / tr.abs())
-        })
-        .filter(|x| x.is_finite())
-        .collect();
-    median(&vals).unwrap_or(f64::NAN)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn emit_panel(
-    args: &RunArgs,
-    name: &str,
-    heading: &str,
-    crawls: &[(&str, &CrawlEstimates)],
-    sizes: &[usize],
-    kind: fn(&CrawlEstimates) -> (&EstimateTensor, &EstimateTensor),
-    targets: &[usize],
-    truth: &[f64],
-) {
-    for (suffix, paper_style) in [("true", false), ("paper", true)] {
-        let mut headers = vec!["|S|".to_string()];
-        for (n, _) in crawls {
-            headers.push(format!("{n}/induced"));
-            headers.push(format!("{n}/star"));
-        }
-        let mut t = Table::new(headers);
-        for (si, &s) in sizes.iter().enumerate() {
-            let mut row = vec![s.to_string()];
-            for (_, est) in crawls {
-                let (ind, star) = kind(est);
-                row.push(fmt_nrmse(median_nrmse(
-                    ind,
-                    si,
-                    targets,
-                    truth,
-                    paper_style,
-                )));
-                row.push(fmt_nrmse(median_nrmse(
-                    star,
-                    si,
-                    targets,
-                    truth,
-                    paper_style,
-                )));
-            }
-            t.row(row);
-        }
-        let truth_label = if paper_style {
-            "vs all-walk mean (paper protocol)"
-        } else {
-            "vs simulator ground truth"
-        };
-        args.emit(
-            &format!("{name}_{suffix}"),
-            &format!("{heading} — {truth_label}"),
-            &t,
-        );
-    }
-}
+//! Fig. 6: estimator performance on the Facebook crawls — thin shim over the embedded
+//! `fig6` scenario; the tables and expected shapes are documented in
+//! EXPERIMENTS.md and in `crates/cgte-scenarios/scenarios/fig6.scn`.
 
 fn main() {
-    let args = RunArgs::parse();
-    let mut cfg = match args.scale {
-        cgte_bench::Scale::Quick => FacebookSimConfig::quick(),
-        cgte_bench::Scale::Default => FacebookSimConfig::default(),
-        cgte_bench::Scale::Full => FacebookSimConfig {
-            num_users: 1_000_000,
-            num_colleges: 10_000,
-            ..Default::default()
-        },
-    };
-    cfg.num_regions = args.pick(40, 507, 507);
-    let num_walks_09 = args.pick(8, 28, 28);
-    let num_walks_10 = args.pick(8, 25, 25);
-    let per_walk = args.pick(600, 5_000, 81_000);
-    let per_walk_10 = args.pick(600, 5_000, 40_000);
-    let top = args.pick(10, 100, 100);
-    let sizes09 = log_sizes(per_walk / 10, per_walk, 4);
-    let sizes10 = log_sizes(per_walk_10 / 10, per_walk_10, 4);
-
-    eprintln!("fig6: simulating population ({} users)...", cfg.num_users);
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let sim = FacebookSim::generate(&cfg, &mut rng);
-    eprintln!("fig6: running crawls...");
-    let c09 = sim.crawl_2009(num_walks_09, per_walk, &mut rng);
-    let c10 = sim.crawl_2010(num_walks_10, per_walk_10, &mut rng);
-
-    // 2009: top regions by true size; weight pairs among the top 15.
-    let true_regions = CategoryGraph::exact(&sim.graph, &sim.regions);
-    let n_regions = sim.config().num_regions;
-    let top_regions: Vec<usize> = (0..top.min(n_regions)).collect(); // sizes are Zipf-ranked
-    let mut pairs09: Vec<Pair> = Vec::new();
-    for a in 0..15.min(n_regions) as u32 {
-        for b in (a + 1)..15.min(n_regions) as u32 {
-            if true_regions.weight(a, b) > 0.0 {
-                pairs09.push((a, b));
-            }
-        }
-    }
-    let truth_sizes09: Vec<f64> = (0..sim.regions.num_categories())
-        .map(|c| sim.regions.category_size(c as u32) as f64)
-        .collect();
-    let truth_pairs09: Vec<f64> = pairs09
-        .iter()
-        .map(|&(a, b)| true_regions.weight(a, b))
-        .collect();
-
-    eprintln!(
-        "fig6: evaluating 2009 crawls ({} walks x {} sizes)...",
-        num_walks_09,
-        sizes09.len()
-    );
-    let est09: Vec<(&str, CrawlEstimates)> = c09
-        .iter()
-        .map(|ds| {
-            (
-                ds.name.as_str(),
-                evaluate_crawl(&sim, ds, &sim.regions, &pairs09, &sizes09),
-            )
-        })
-        .collect();
-    let crawls09: Vec<(&str, &CrawlEstimates)> = est09.iter().map(|(n, e)| (*n, e)).collect();
-
-    emit_panel(
-        &args,
-        "fig6a",
-        &format!("Fig. 6(a): 2009 — median NRMSE(|Â|) over top {top} regions"),
-        &crawls09,
-        &sizes09,
-        |e| (&e.sizes_ind, &e.sizes_star),
-        &top_regions,
-        &truth_sizes09,
-    );
-    let pair_idx09: Vec<usize> = (0..pairs09.len()).collect();
-    emit_panel(
-        &args,
-        "fig6c",
-        &format!(
-            "Fig. 6(c): 2009 — median NRMSE(ŵ) over {} region pairs",
-            pairs09.len()
-        ),
-        &crawls09,
-        &sizes09,
-        |e| (&e.weights_ind, &e.weights_star),
-        &pair_idx09,
-        &truth_pairs09,
-    );
-
-    // 2010: colleges.
-    let true_colleges = CategoryGraph::exact(&sim.graph, &sim.colleges);
-    let n_colleges = sim.config().num_colleges;
-    let top_colleges: Vec<usize> = (0..top.min(n_colleges)).collect();
-    let mut pairs10: Vec<Pair> = Vec::new();
-    for a in 0..12.min(n_colleges) as u32 {
-        for b in (a + 1)..12.min(n_colleges) as u32 {
-            if true_colleges.weight(a, b) > 0.0 {
-                pairs10.push((a, b));
-            }
-        }
-    }
-    let truth_sizes10: Vec<f64> = (0..sim.colleges.num_categories())
-        .map(|c| sim.colleges.category_size(c as u32) as f64)
-        .collect();
-    let truth_pairs10: Vec<f64> = pairs10
-        .iter()
-        .map(|&(a, b)| true_colleges.weight(a, b))
-        .collect();
-
-    eprintln!("fig6: evaluating 2010 crawls...");
-    let est10: Vec<(&str, CrawlEstimates)> = c10
-        .iter()
-        .map(|ds| {
-            (
-                ds.name.as_str(),
-                evaluate_crawl(&sim, ds, &sim.colleges, &pairs10, &sizes10),
-            )
-        })
-        .collect();
-    let crawls10: Vec<(&str, &CrawlEstimates)> = est10.iter().map(|(n, e)| (*n, e)).collect();
-
-    emit_panel(
-        &args,
-        "fig6b",
-        &format!("Fig. 6(b): 2010 — median NRMSE(|Â|) over top {top} colleges"),
-        &crawls10,
-        &sizes10,
-        |e| (&e.sizes_ind, &e.sizes_star),
-        &top_colleges,
-        &truth_sizes10,
-    );
-    let pair_idx10: Vec<usize> = (0..pairs10.len()).collect();
-    emit_panel(
-        &args,
-        "fig6d",
-        &format!(
-            "Fig. 6(d): 2010 — median NRMSE(ŵ) over {} college pairs",
-            pairs10.len()
-        ),
-        &crawls10,
-        &sizes10,
-        |e| (&e.weights_ind, &e.weights_star),
-        &pair_idx10,
-        &truth_pairs10,
-    );
-
-    println!("\nExpected ordering (paper §7.2): UIS < S-WRW < RW < MHRW; star ≪ induced");
-    println!("for edge weights; star sizes win under RW/S-WRW, induced can win under UIS.");
+    cgte_bench::run_builtin_main("fig6");
 }

@@ -1,216 +1,7 @@
-//! Reproduces Fig. 7: the estimated category graphs of §7.3, as
-//! machine-readable exports and "strongest links" reports (the textual
-//! analogue of the geosocialmap visualizations; DESIGN.md substitution 3).
-//!
-//! (a) country-to-country friendship graph: regions merged into countries;
-//!     sizes via UIS induced estimation (the paper's choice, §7.3.1), edge
-//!     weights via the star estimators, averaged across the three 2009
-//!     crawl types (UIS, MHRW, RW);
-//! (b) region-level graph of the largest country — the North-America
-//!     analogue (§7.3.2);
-//! (c) college-to-college graph from the S-WRW 2010 crawls with star size
-//!     estimation (§7.3.3).
-//!
-//! With `--csv DIR`, also writes DOT/JSON/GraphML files next to the CSVs.
-
-use cgte_bench::RunArgs;
-use cgte_core::{CategoryGraphEstimator, Design, SizeMethod, StarSizeOptions};
-use cgte_datasets::{CrawlDataset, CrawlType, FacebookSim, FacebookSimConfig};
-use cgte_graph::{CategoryGraph, CategoryId, CategoryMatrix, Partition};
-use cgte_sampling::StarSample;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// Averages several estimated category graphs edge-wise and size-wise
-/// (§7.3.1: "for every edge, we take the average of the three estimates").
-fn average_graphs(graphs: &[CategoryGraph]) -> CategoryGraph {
-    assert!(!graphs.is_empty());
-    let num_c = graphs[0].num_categories();
-    let mut sizes = vec![0.0; num_c];
-    for g in graphs {
-        for (c, size) in sizes.iter_mut().enumerate() {
-            *size += g.size(c as CategoryId) / graphs.len() as f64;
-        }
-    }
-    let mut weights = CategoryMatrix::zeros(num_c);
-    for g in graphs {
-        for e in g.edges() {
-            weights.add(e.a, e.b, e.weight / graphs.len() as f64);
-        }
-    }
-    CategoryGraph::from_weights(sizes, weights)
-}
-
-/// Estimates one category graph from every walk of a crawl combined.
-fn estimate_from_crawl(
-    sim: &FacebookSim,
-    ds: &CrawlDataset,
-    p: &Partition,
-    size_method: SizeMethod,
-) -> CategoryGraph {
-    let nodes = ds.walks.combined();
-    let uniform = matches!(ds.crawl, CrawlType::Uis | CrawlType::Mhrw);
-    let star = if uniform {
-        StarSample::observe(&sim.graph, p, &nodes)
-    } else {
-        StarSample::observe_sampler(&sim.graph, p, &nodes, &sim.sampler_for(ds.crawl))
-    };
-    CategoryGraphEstimator::new(if uniform {
-        Design::Uniform
-    } else {
-        Design::Weighted
-    })
-    .size_method(size_method)
-    .estimate_star(&star, sim.graph.num_nodes() as f64)
-}
-
-fn export(args: &RunArgs, name: &str, heading: &str, cg: &CategoryGraph, labels: Vec<String>) {
-    let opts = cgte_viz::ExportOptions {
-        labels,
-        top_k: 200,
-        ..Default::default()
-    };
-    println!("\n## {heading}\n");
-    print!("{}", cgte_viz::top_edges_report(cg, &opts, 15));
-    if let Some(dir) = &args.csv_dir {
-        let _ = std::fs::create_dir_all(dir);
-        for (ext, content) in [
-            ("dot", cgte_viz::to_dot(cg, &opts)),
-            ("json", cgte_viz::to_json(cg, &opts)),
-            ("graphml", cgte_viz::to_graphml(cg, &opts)),
-            ("csv", cgte_viz::to_csv_edges(cg, &opts)),
-        ] {
-            let path = dir.join(format!("{name}.{ext}"));
-            match std::fs::write(&path, content) {
-                Ok(()) => eprintln!("saved {path:?}"),
-                Err(e) => eprintln!("cannot save {path:?}: {e}"),
-            }
-        }
-    }
-}
+//! Fig. 7: the estimated category graphs of §7.3 — thin shim over the embedded
+//! `fig7` scenario; the tables and expected shapes are documented in
+//! EXPERIMENTS.md and in `crates/cgte-scenarios/scenarios/fig7.scn`.
 
 fn main() {
-    let args = RunArgs::parse();
-    let mut cfg = match args.scale {
-        cgte_bench::Scale::Quick => FacebookSimConfig::quick(),
-        cgte_bench::Scale::Default => FacebookSimConfig::default(),
-        cgte_bench::Scale::Full => FacebookSimConfig {
-            num_users: 1_000_000,
-            num_colleges: 10_000,
-            ..Default::default()
-        },
-    };
-    cfg.num_regions = args.pick(40, 507, 507);
-    let per_walk = args.pick(500, 5_000, 81_000);
-    let per_walk_10 = args.pick(500, 5_000, 40_000);
-
-    eprintln!("fig7: simulating population ({} users)...", cfg.num_users);
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let sim = FacebookSim::generate(&cfg, &mut rng);
-    eprintln!("fig7: running crawls...");
-    let c09 = sim.crawl_2009(args.pick(6, 28, 28), per_walk, &mut rng);
-    let c10 = sim.crawl_2010(args.pick(6, 25, 25), per_walk_10, &mut rng);
-
-    // (a) Country-to-country graph: average of the three 2009 estimates,
-    // induced (UIS-style) sizes as in §7.3.1.
-    let countries = sim.countries();
-    let nc = sim.config().num_countries;
-    let estimates: Vec<CategoryGraph> = c09
-        .iter()
-        .map(|ds| estimate_from_crawl(&sim, ds, &countries, SizeMethod::Induced))
-        .collect();
-    let avg = average_graphs(&estimates);
-    let mut labels: Vec<String> = (0..nc).map(|c| format!("country-{c:02}")).collect();
-    labels.push("undeclared".into());
-    export(
-        &args,
-        "fig7a_countries",
-        "Fig. 7(a): country-to-country friendship graph (avg of UIS/MHRW/RW estimates)",
-        &avg,
-        labels,
-    );
-    // Sanity line: compare against the exact country graph.
-    let exact = CategoryGraph::exact(&sim.graph, &countries);
-    let top_est: Vec<_> = avg
-        .edges_by_weight()
-        .into_iter()
-        .take(10)
-        .map(|e| (e.a, e.b))
-        .collect();
-    let top_true: Vec<_> = exact
-        .edges_by_weight()
-        .into_iter()
-        .take(10)
-        .map(|e| (e.a, e.b))
-        .collect();
-    let overlap = top_est.iter().filter(|p| top_true.contains(p)).count();
-    println!("\nsanity: {overlap}/10 of the estimated top-10 country links are in the true top-10");
-
-    // (b) Region-level graph of the regions belonging to the largest
-    // country (North-America analogue): restrict attention to those
-    // regions by merging everything else into one "elsewhere" category.
-    let n_regions = sim.config().num_regions;
-    let big_country: CategoryId = 0;
-    let mut map: Vec<CategoryId> = Vec::with_capacity(n_regions + 1);
-    let mut kept = 0u32;
-    for r in 0..n_regions {
-        if sim.region_to_country[r] == big_country {
-            map.push(kept);
-            kept += 1;
-        } else {
-            map.push(u32::MAX); // placeholder, fixed below
-        }
-    }
-    map.push(u32::MAX);
-    let elsewhere = kept;
-    for m in map.iter_mut() {
-        if *m == u32::MAX {
-            *m = elsewhere;
-        }
-    }
-    let na_partition = sim
-        .regions
-        .merge(&map, (kept + 1) as usize)
-        .expect("valid merge map");
-    let estimates: Vec<CategoryGraph> = c09
-        .iter()
-        .map(|ds| estimate_from_crawl(&sim, ds, &na_partition, SizeMethod::Induced))
-        .collect();
-    let avg = average_graphs(&estimates);
-    let mut labels: Vec<String> = (0..kept).map(|r| format!("region-{r:02}")).collect();
-    labels.push("elsewhere".into());
-    export(
-        &args,
-        "fig7b_regions",
-        &format!(
-            "Fig. 7(b): intra-country region graph ({kept} regions of country-00 + elsewhere)"
-        ),
-        &avg,
-        labels,
-    );
-
-    // (c) College-to-college graph from S-WRW10 with star sizes (§7.3.3).
-    let swrw10 = c10
-        .iter()
-        .find(|d| d.crawl == CrawlType::Swrw)
-        .expect("S-WRW dataset");
-    let cg = estimate_from_crawl(
-        &sim,
-        swrw10,
-        &sim.colleges,
-        SizeMethod::Star(StarSizeOptions::default()),
-    );
-    let ncol = sim.config().num_colleges;
-    let mut labels: Vec<String> = (0..ncol).map(|c| format!("college-{c:03}")).collect();
-    labels.push("no-college".into());
-    export(
-        &args,
-        "fig7c_colleges",
-        "Fig. 7(c): college-to-college friendship graph (S-WRW10, star sizes)",
-        &cg,
-        labels,
-    );
-
-    println!("\nfig7 done. The exported graphs are the §7.3 deliverables; the paper's");
-    println!("visual claims (distance effects) live in the edge-weight orderings above.");
+    cgte_bench::run_builtin_main("fig7");
 }

@@ -1,59 +1,7 @@
-//! Reproduces Table 1: the empirical evaluation topologies.
-//!
-//! Prints the published statistics next to those of the generated
-//! stand-ins (DESIGN.md substitution 1); at `--full` the node counts match
-//! exactly and the mean degrees match in expectation.
-
-use cgte_bench::RunArgs;
-use cgte_datasets::{standin, StandinKind};
-use cgte_eval::Table;
-use cgte_graph::algorithms::DegreeStats;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Table 1: the empirical evaluation topologies — thin shim over the embedded
+//! `table1` scenario; the tables and expected shapes are documented in
+//! EXPERIMENTS.md and in `crates/cgte-scenarios/scenarios/table1.scn`.
 
 fn main() {
-    let args = RunArgs::parse();
-    let scale_div = args.pick(60, 8, 1);
-    let mut t = Table::new(
-        [
-            "Dataset",
-            "|V| paper",
-            "|V| ours",
-            "|E| ours",
-            "kV paper",
-            "kV ours",
-            "max deg",
-            "deg CV",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for kind in StandinKind::ALL {
-        eprintln!(
-            "table1: generating {} (scale 1/{scale_div})...",
-            kind.name()
-        );
-        let mut rng = StdRng::seed_from_u64(args.seed ^ (kind as u64).wrapping_mul(0x9E37));
-        let g = standin(kind, scale_div, &mut rng);
-        let (v_pub, kv_pub) = kind.published();
-        let stats = DegreeStats::of(&g);
-        t.row(vec![
-            kind.name().into(),
-            v_pub.to_string(),
-            g.num_nodes().to_string(),
-            g.num_edges().to_string(),
-            format!("{kv_pub:.1}"),
-            format!("{:.1}", g.mean_degree()),
-            stats.max.to_string(),
-            format!("{:.2}", stats.cv),
-        ]);
-    }
-    args.emit(
-        "table1",
-        &format!("Table 1: empirical topologies (stand-ins, scale 1/{scale_div})"),
-        &t,
-    );
-    println!("\nNote: |V|, kV are matched to the paper; |E| follows from them.");
-    println!("The high degree CV column documents the skew §6.3.2 attributes the");
-    println!("star size estimator's difficulties to.");
+    cgte_bench::run_builtin_main("table1");
 }

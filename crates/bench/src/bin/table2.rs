@@ -1,94 +1,7 @@
-//! Reproduces Table 2: the Facebook crawl datasets.
-//!
-//! Simulates the Facebook-like population (DESIGN.md substitution 2) and
-//! collects the five crawl datasets of the paper: MHRW09 / RW09 / UIS09
-//! over 507 regional networks and RW10 / S-WRW10 over the college
-//! networks, printing the "% categ. samples" and "# total samples" columns.
-//!
-//! Expected shape: regions cover ~34 % of users, so the 2009 crawls land
-//! 30–45 % of their samples in studied categories; colleges cover ~3.5 %,
-//! so RW10 lands only a few percent while S-WRW10's stratification pushes
-//! it far higher (the paper reports 9 % vs 86 %).
-
-use cgte_bench::RunArgs;
-use cgte_datasets::{FacebookSim, FacebookSimConfig};
-use cgte_eval::Table;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//! Table 2: the Facebook crawl datasets — thin shim over the embedded
+//! `table2` scenario; the tables and expected shapes are documented in
+//! EXPERIMENTS.md and in `crates/cgte-scenarios/scenarios/table2.scn`.
 
 fn main() {
-    let args = RunArgs::parse();
-    let mut cfg = match args.scale {
-        cgte_bench::Scale::Quick => FacebookSimConfig::quick(),
-        cgte_bench::Scale::Default => FacebookSimConfig::default(),
-        cgte_bench::Scale::Full => FacebookSimConfig {
-            num_users: 1_000_000,
-            num_colleges: 10_000,
-            ..Default::default()
-        },
-    };
-    cfg.num_regions = args.pick(40, 507, 507);
-    let (num_walks_09, num_walks_10) = (28, 25);
-    let per_walk = args.pick(500, 5_000, 81_000);
-    let per_walk_10 = args.pick(500, 5_000, 40_000);
-
-    eprintln!("table2: simulating population ({} users)...", cfg.num_users);
-    let mut rng = StdRng::seed_from_u64(args.seed);
-    let sim = FacebookSim::generate(&cfg, &mut rng);
-    eprintln!("table2: running 2009 crawls ({num_walks_09} x {per_walk})...");
-    let c09 = sim.crawl_2009(num_walks_09, per_walk, &mut rng);
-    eprintln!("table2: running 2010 crawls ({num_walks_10} x {per_walk_10})...");
-    let c10 = sim.crawl_2010(num_walks_10, per_walk_10, &mut rng);
-
-    let n_regions = sim.config().num_regions;
-    let n_colleges = sim.config().num_colleges;
-    let region_pop: u64 = (0..n_regions as u32)
-        .map(|r| sim.regions.category_size(r))
-        .sum();
-    let college_pop: u64 = (0..n_colleges as u32)
-        .map(|c| sim.colleges.category_size(c))
-        .sum();
-    let n = sim.graph.num_nodes() as f64;
-
-    let mut t = Table::new(
-        [
-            "Dataset",
-            "Studied categories",
-            "Crawl type",
-            "% categ. samples",
-            "# total samples",
-        ]
-        .map(String::from)
-        .to_vec(),
-    );
-    for ds in &c09 {
-        let frac = ds.studied_fraction(&sim.regions, |c| (c as usize) < n_regions);
-        t.row(vec![
-            "2009".into(),
-            format!(
-                "Regional ({n_regions}) — {:.0}% of population",
-                100.0 * region_pop as f64 / n
-            ),
-            ds.name.clone(),
-            format!("{:.0}%", 100.0 * frac),
-            format!("{}x{}", ds.walks.num_walks(), ds.walks.walk(0).len()),
-        ]);
-    }
-    for ds in &c10 {
-        let frac = ds.studied_fraction(&sim.colleges, |c| (c as usize) < n_colleges);
-        t.row(vec![
-            "2010".into(),
-            format!(
-                "Colleges ({n_colleges}) — {:.1}% of population",
-                100.0 * college_pop as f64 / n
-            ),
-            ds.name.clone(),
-            format!("{:.0}%", 100.0 * frac),
-            format!("{}x{}", ds.walks.num_walks(), ds.walks.walk(0).len()),
-        ]);
-    }
-    args.emit("table2", "Table 2: Facebook crawl datasets (simulated)", &t);
-    println!("\nPaper reference values: MHRW09 34%, RW09 41%, UIS09 34% (28 walks);");
-    println!("RW10 9%, S-WRW10 86% (25 walks). Shape check: RW09 ≥ UIS09 (homophily");
-    println!("draws walks into large declared regions) and S-WRW10 ≫ RW10.");
+    cgte_bench::run_builtin_main("table2");
 }

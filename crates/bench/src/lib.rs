@@ -1,12 +1,18 @@
 //! Shared plumbing for the figure/table reproduction binaries.
 //!
-//! Every binary accepts:
+//! Every binary is a thin shim over its embedded scenario in
+//! [`cgte_scenarios`]: it parses the common flags and hands off to the
+//! scenario engine, which schedules the figure's jobs on a worker pool
+//! with a shared graph cache. Every binary accepts:
 //!
 //! - `--quick` — CI-sized smoke run (seconds);
 //! - `--full`  — paper-scale parameters (the default is laptop-scale,
 //!   minutes);
 //! - `--csv DIR` — additionally dump every printed series as CSV;
-//! - `--seed N` — override the base RNG seed.
+//! - `--seed N` — override the base RNG seed;
+//! - `--threads N` — scheduler worker threads (0 = all cores);
+//! - `--out DIR` — persist per-job artifacts + a run manifest;
+//! - `--resume` — skip jobs already completed under `--out DIR`.
 //!
 //! The EXPERIMENTS.md protocol records the *default*-scale outputs; `--full`
 //! reproduces the paper's exact parameters where hardware allows.
@@ -14,19 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cgte_eval::Table;
+pub use cgte_scenarios::{fmt_nrmse, log_sizes, RunOptions, Scale};
 use std::path::PathBuf;
-
-/// Run scale selected on the command line.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Smoke-test parameters.
-    Quick,
-    /// Laptop-scale defaults (graphs scaled down ~10×).
-    Default,
-    /// The paper's parameters.
-    Full,
-}
 
 /// Parsed common CLI options.
 #[derive(Debug, Clone)]
@@ -37,6 +32,12 @@ pub struct RunArgs {
     pub csv_dir: Option<PathBuf>,
     /// Base RNG seed.
     pub seed: u64,
+    /// Scheduler worker threads (0 = all available cores).
+    pub threads: usize,
+    /// Run directory for job artifacts and the resume manifest.
+    pub out_dir: Option<PathBuf>,
+    /// Resume from an interrupted run under `--out DIR`.
+    pub resume: bool,
 }
 
 impl RunArgs {
@@ -45,6 +46,9 @@ impl RunArgs {
         let mut scale = Scale::Default;
         let mut csv_dir = None;
         let mut seed = 0x2012_5EED;
+        let mut threads = 0;
+        let mut out_dir = None;
+        let mut resume = false;
         let mut it = std::env::args().skip(1);
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -57,24 +61,58 @@ impl RunArgs {
                     });
                     csv_dir = Some(PathBuf::from(dir));
                 }
+                "--out" => {
+                    let dir = it.next().unwrap_or_else(|| {
+                        eprintln!("--out needs a directory");
+                        std::process::exit(2);
+                    });
+                    out_dir = Some(PathBuf::from(dir));
+                }
+                "--resume" => resume = true,
                 "--seed" => {
                     seed = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                         eprintln!("--seed needs an integer");
                         std::process::exit(2);
                     });
                 }
+                "--threads" => {
+                    threads = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--threads needs an integer");
+                        std::process::exit(2);
+                    });
+                }
                 other => {
                     eprintln!(
-                        "unknown flag {other:?} (supported: --quick --full --csv DIR --seed N)"
+                        "unknown flag {other:?} (supported: --quick --full --csv DIR --seed N --threads N --out DIR --resume)"
                     );
                     std::process::exit(2);
                 }
             }
         }
+        if resume && out_dir.is_none() {
+            eprintln!("--resume requires --out DIR (the run directory holding the manifest)");
+            std::process::exit(2);
+        }
         RunArgs {
             scale,
             csv_dir,
             seed,
+            threads,
+            out_dir,
+            resume,
+        }
+    }
+
+    /// The scenario-engine options equivalent to these flags.
+    pub fn to_run_options(&self) -> RunOptions {
+        RunOptions {
+            scale: self.scale,
+            seed: Some(self.seed),
+            csv_dir: self.csv_dir.clone(),
+            threads: self.threads,
+            out_dir: self.out_dir.clone(),
+            resume: self.resume,
+            quiet: false,
         }
     }
 
@@ -86,64 +124,16 @@ impl RunArgs {
             Scale::Full => full,
         }
     }
-
-    /// Saves an SVG log-log plot of the given series next to the CSVs (no-op
-    /// without `--csv`).
-    pub fn emit_plot(&self, name: &str, title: &str, series: Vec<cgte_viz::PlotSeries>) {
-        let Some(dir) = &self.csv_dir else { return };
-        if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create {dir:?}: {e}");
-            return;
-        }
-        let opts = cgte_viz::PlotOptions {
-            title: title.into(),
-            ..Default::default()
-        };
-        let svg = cgte_viz::svg_line_plot(&series, &opts);
-        let path = dir.join(format!("{name}.svg"));
-        match std::fs::write(&path, svg) {
-            Ok(()) => eprintln!("saved {path:?}"),
-            Err(e) => eprintln!("cannot save {path:?}: {e}"),
-        }
-    }
-
-    /// Prints a table under a heading and optionally saves it as CSV.
-    pub fn emit(&self, name: &str, heading: &str, table: &Table) {
-        println!("\n## {heading}\n");
-        print!("{table}");
-        if let Some(dir) = &self.csv_dir {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("cannot create {dir:?}: {e}");
-                return;
-            }
-            let path = dir.join(format!("{name}.csv"));
-            match table.save_csv(&path) {
-                Ok(()) => eprintln!("saved {path:?}"),
-                Err(e) => eprintln!("cannot save {path:?}: {e}"),
-            }
-        }
-    }
 }
 
-/// Formats an NRMSE value compactly, with a placeholder for undefined.
-pub fn fmt_nrmse(x: f64) -> String {
-    if x.is_finite() {
-        format!("{x:.4}")
-    } else {
-        "-".into()
+/// Runs a built-in scenario with the parsed flags, exiting non-zero on
+/// engine errors — the whole body of every figure binary.
+pub fn run_builtin_main(name: &str) {
+    let args = RunArgs::parse();
+    if let Err(e) = cgte_scenarios::run_builtin(name, &args.to_run_options()) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-}
-
-/// Logarithmically spaced sample sizes from `lo` to `hi` (inclusive-ish),
-/// `points` per decade boundary style of the paper's x-axes.
-pub fn log_sizes(lo: usize, hi: usize, points: usize) -> Vec<usize> {
-    assert!(lo >= 1 && hi >= lo && points >= 2);
-    let (l, h) = ((lo as f64).ln(), (hi as f64).ln());
-    let mut v: Vec<usize> = (0..points)
-        .map(|i| (l + (h - l) * i as f64 / (points - 1) as f64).exp().round() as usize)
-        .collect();
-    v.dedup();
-    v
 }
 
 #[cfg(test)]
@@ -170,13 +160,32 @@ mod tests {
             scale: Scale::Quick,
             csv_dir: None,
             seed: 0,
+            threads: 0,
+            out_dir: None,
+            resume: false,
         };
         assert_eq!(a.pick(1, 2, 3), 1);
         let a = RunArgs {
             scale: Scale::Full,
-            csv_dir: None,
-            seed: 0,
+            ..a
         };
         assert_eq!(a.pick(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn run_options_carry_flags() {
+        let a = RunArgs {
+            scale: Scale::Quick,
+            csv_dir: Some(PathBuf::from("/tmp/x")),
+            seed: 7,
+            threads: 3,
+            out_dir: Some(PathBuf::from("/tmp/run")),
+            resume: true,
+        };
+        let o = a.to_run_options();
+        assert_eq!(o.seed, Some(7));
+        assert_eq!(o.threads, 3);
+        assert!(o.resume);
+        assert_eq!(o.out_dir.as_deref(), Some(std::path::Path::new("/tmp/run")));
     }
 }

@@ -1,0 +1,131 @@
+//! Golden-output tests: the scenario-engine refactor must leave every
+//! figure binary's stdout byte-identical to the pre-refactor output
+//! (same seeds → same series → same tables).
+//!
+//! The golden files under `tests/golden/` were captured from the original
+//! hand-coded binaries. The engine runs every NRMSE job single-threaded
+//! internally (jobs are the parallelism unit), so the comparison holds on
+//! any machine and any `--threads` setting.
+
+use std::process::Command;
+
+fn run_binary(exe: &str, args: &[&str]) -> String {
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("cannot run {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+fn assert_golden(exe: &str, args: &[&str], golden: &str) {
+    let actual = run_binary(exe, args);
+    if actual != golden {
+        // Find the first differing line for a readable failure.
+        for (i, (a, g)) in actual.lines().zip(golden.lines()).enumerate() {
+            assert_eq!(
+                a,
+                g,
+                "first difference at line {} (run `{exe} {args:?}` to reproduce)",
+                i + 1
+            );
+        }
+        assert_eq!(
+            actual.lines().count(),
+            golden.lines().count(),
+            "line count differs for {exe} {args:?}"
+        );
+        panic!("output differs from golden for {exe} {args:?}");
+    }
+}
+
+macro_rules! golden_quick {
+    ($name:ident, $env:literal, $file:literal) => {
+        #[test]
+        fn $name() {
+            assert_golden(env!($env), &["--quick"], include_str!($file));
+        }
+    };
+}
+
+golden_quick!(fig3_quick, "CARGO_BIN_EXE_fig3", "golden/fig3_quick.txt");
+golden_quick!(fig4_quick, "CARGO_BIN_EXE_fig4", "golden/fig4_quick.txt");
+golden_quick!(fig5_quick, "CARGO_BIN_EXE_fig5", "golden/fig5_quick.txt");
+golden_quick!(fig6_quick, "CARGO_BIN_EXE_fig6", "golden/fig6_quick.txt");
+golden_quick!(fig7_quick, "CARGO_BIN_EXE_fig7", "golden/fig7_quick.txt");
+golden_quick!(
+    table1_quick,
+    "CARGO_BIN_EXE_table1",
+    "golden/table1_quick.txt"
+);
+golden_quick!(
+    table2_quick,
+    "CARGO_BIN_EXE_table2",
+    "golden/table2_quick.txt"
+);
+golden_quick!(
+    ablation_model_based_quick,
+    "CARGO_BIN_EXE_ablation_model_based",
+    "golden/ablation_model_based_quick.txt"
+);
+golden_quick!(
+    ablation_swrw_quick,
+    "CARGO_BIN_EXE_ablation_swrw",
+    "golden/ablation_swrw_quick.txt"
+);
+golden_quick!(
+    ablation_thinning_quick,
+    "CARGO_BIN_EXE_ablation_thinning",
+    "golden/ablation_thinning_quick.txt"
+);
+
+/// The acceptance bar: default-scale byte-identity for table1.
+#[test]
+fn table1_default_scale() {
+    assert_golden(
+        env!("CARGO_BIN_EXE_table1"),
+        &[],
+        include_str!("golden/table1_default.txt"),
+    );
+}
+
+/// The acceptance bar: default-scale byte-identity for fig3. The default
+/// scale runs 40 replications over five planted graphs; this is the
+/// slowest tier-1 test (seconds in release, tens of seconds unoptimized).
+#[test]
+fn fig3_default_scale() {
+    assert_golden(
+        env!("CARGO_BIN_EXE_fig3"),
+        &[],
+        include_str!("golden/fig3_default.txt"),
+    );
+}
+
+/// `--threads` must not change results: jobs are the unit of parallelism
+/// and each NRMSE job runs single-threaded internally.
+#[test]
+fn thread_count_does_not_change_output() {
+    let exe = env!("CARGO_BIN_EXE_ablation_thinning");
+    let one = run_binary(exe, &["--quick", "--threads", "1"]);
+    let four = run_binary(exe, &["--quick", "--threads", "4"]);
+    assert_eq!(one, four);
+    assert_eq!(one, include_str!("golden/ablation_thinning_quick.txt"));
+}
+
+/// `--resume` against a completed run directory re-executes nothing and
+/// still reproduces the full golden output.
+#[test]
+fn resume_reproduces_golden_output() {
+    let exe = env!("CARGO_BIN_EXE_table2");
+    let dir = std::env::temp_dir().join(format!("cgte-golden-resume-{}", std::process::id()));
+    let dir_s = dir.to_str().expect("temp dir is UTF-8");
+    let first = run_binary(exe, &["--quick", "--out", dir_s]);
+    let resumed = run_binary(exe, &["--quick", "--out", dir_s, "--resume"]);
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(first, resumed);
+    assert_eq!(first, include_str!("golden/table2_quick.txt"));
+}

@@ -5,7 +5,9 @@
 //! - `generate` — synthesize a graph + categories to edge-list files;
 //! - `sample`   — draw a node sample from a graph with any sampler;
 //! - `exact`    — compute the exact category graph and export it;
-//! - `estimate` — sample, estimate the category graph, and export it.
+//! - `estimate` — sample, estimate the category graph, and export it;
+//! - `run`      — execute a declarative `.scn` experiment scenario (or a
+//!   built-in one) on the parallel scenario engine.
 //!
 //! Run `cgte help` for usage. Arguments are `--key value` pairs; parsing is
 //! deliberately dependency-free.
@@ -36,14 +38,22 @@ USAGE:
   cgte generate planted  --k K --alpha A [--scale D] [--seed S] --graph G.txt --cats C.txt
   cgte generate standin  --kind texas|neworleans|p2p|epinions [--scale D] [--top-k 50]
                          [--seed S] --graph G.txt --cats C.txt
-  cgte sample            --graph G.txt --sampler uis|rw|mhrw [--n N] [--burn-in B]
-                         [--thinning T] [--seed S] [--out S.txt]
+  cgte sample            --graph G.txt --sampler uis|rw|mhrw|swrw [--cats C.txt] [--n N]
+                         [--burn-in B] [--thinning T] [--seed S] [--out S.txt]
   cgte exact             --graph G.txt --cats C.txt [--format dot|json|graphml|csv|report]
                          [--top-k K] [--out F]
   cgte estimate          --graph G.txt --cats C.txt --sampler uis|rw|mhrw|swrw [--n N]
                          [--design uniform|weighted] [--sizes induced|star] [--seed S]
                          [--format dot|json|graphml|csv|report] [--top-k K] [--out F]
+  cgte run               SCENARIO.scn | --builtin NAME|all [--quick | --full] [--seed S]
+                         [--threads N] [--csv DIR] [--out DIR] [--resume]
   cgte help
+
+`cgte run` executes a declarative experiment scenario: graphs, samplers,
+sweeps, prefix sizes and targets described in a TOML-like .scn file (see
+EXPERIMENTS.md), scheduled as a parallel job DAG with a shared graph cache.
+Built-in scenarios: fig3 fig4 fig5 fig6 fig7 table1 table2
+ablation_model_based ablation_swrw ablation_thinning.
 ";
 
 fn main() -> ExitCode {
@@ -110,6 +120,7 @@ fn run() -> Result<(), CliError> {
         Some("sample") => cmd_sample(&Args::parse(&argv[1..])?),
         Some("exact") => cmd_exact(&Args::parse(&argv[1..])?),
         Some("estimate") => cmd_estimate(&Args::parse(&argv[1..])?),
+        Some("run") => cmd_run(&argv[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -216,7 +227,12 @@ fn cmd_sample(args: &Args) -> Result<(), CliError> {
     let g = load_graph(args.required("graph")?)?;
     let n: usize = args.parse_or("n", 1000)?;
     let seed: u64 = args.parse_or("seed", 42)?;
-    let sampler = make_sampler(args.required("sampler")?, args, &g, None)?;
+    // S-WRW stratifies by category, so it (alone) needs the partition.
+    let p = match args.get("cats") {
+        Some(path) => Some(load_partition(path, g.num_nodes())?),
+        None => None,
+    };
+    let sampler = make_sampler(args.required("sampler")?, args, &g, p.as_ref())?;
     let mut rng = StdRng::seed_from_u64(seed);
     let nodes = sampler.sample(&g, n, &mut rng);
     let mut out = String::with_capacity(nodes.len() * 8);
@@ -242,6 +258,83 @@ fn export(cg: &CategoryGraph, args: &Args) -> Result<(), CliError> {
         other => return Err(format!("unknown format {other:?}").into()),
     };
     save(args.get("out"), &content)
+}
+
+fn cmd_run(argv: &[String]) -> Result<(), CliError> {
+    let mut scenario_path: Option<String> = None;
+    let mut builtin: Option<String> = None;
+    let mut opts = cgte_scenarios::RunOptions::default();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.scale = cgte_scenarios::Scale::Quick,
+            "--full" => opts.scale = cgte_scenarios::Scale::Full,
+            "--resume" => opts.resume = true,
+            "--builtin" => {
+                builtin = Some(
+                    it.next()
+                        .ok_or("--builtin needs a scenario name (or `all`)")?
+                        .clone(),
+                );
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs an integer")?;
+                opts.seed = Some(
+                    v.parse()
+                        .map_err(|e| format!("invalid --seed {v:?}: {e}"))?,
+                );
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs an integer")?;
+                opts.threads = v
+                    .parse()
+                    .map_err(|e| format!("invalid --threads {v:?}: {e}"))?;
+            }
+            "--csv" => {
+                opts.csv_dir = Some(it.next().ok_or("--csv needs a directory")?.into());
+            }
+            "--out" => {
+                opts.out_dir = Some(it.next().ok_or("--out needs a directory")?.into());
+            }
+            other if !other.starts_with("--") && scenario_path.is_none() => {
+                scenario_path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown `run` argument {other:?}\n{USAGE}").into()),
+        }
+    }
+    if opts.resume && opts.out_dir.is_none() {
+        return Err("--resume requires --out DIR (the run directory holding the manifest)".into());
+    }
+    match (scenario_path, builtin) {
+        (Some(path), None) => {
+            let stats = cgte_scenarios::run_scenario_path(std::path::Path::new(&path), &opts)?;
+            eprintln!(
+                "run complete: {} resource build(s), {} cache hit(s)",
+                stats.builds, stats.hits
+            );
+            Ok(())
+        }
+        (None, Some(name)) if name == "all" => {
+            for name in cgte_scenarios::builtin_names() {
+                eprintln!("=== {name} ===");
+                // Each scenario gets its own run subdirectory: manifests
+                // are per-scenario (fingerprinted), so they cannot share
+                // one directory.
+                let mut per = opts.clone();
+                per.out_dir = opts.out_dir.as_ref().map(|d| d.join(name));
+                cgte_scenarios::run_builtin(name, &per)?;
+            }
+            Ok(())
+        }
+        (None, Some(name)) => {
+            cgte_scenarios::run_builtin(&name, &opts)?;
+            Ok(())
+        }
+        (Some(_), Some(_)) => Err("pass either a scenario file or --builtin, not both".into()),
+        (None, None) => {
+            Err(format!("`run` needs a scenario file or --builtin NAME\n{USAGE}").into())
+        }
+    }
 }
 
 fn cmd_exact(args: &Args) -> Result<(), CliError> {

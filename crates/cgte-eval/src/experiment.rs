@@ -118,6 +118,12 @@ impl ExperimentConfig {
         self.design = d;
         self
     }
+
+    /// Sets the worker thread count (0 = all available cores).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
 }
 
 /// NRMSE series per estimator and target, indexed by sample size.
@@ -130,6 +136,50 @@ pub struct ExperimentResult {
 }
 
 impl ExperimentResult {
+    /// Reassembles a result from its serialized parts: one
+    /// `(estimator, target, true value, NRMSE series)` entry per tracked
+    /// combination. This is how the scenario engine rebuilds results from
+    /// run-directory artifacts (`--resume`) without re-executing jobs.
+    ///
+    /// # Panics
+    /// Panics if a series length differs from `sample_sizes.len()`.
+    pub fn from_parts(
+        sample_sizes: Vec<usize>,
+        entries: impl IntoIterator<Item = (EstimatorKind, Target, f64, Vec<f64>)>,
+    ) -> Self {
+        let mut series = HashMap::new();
+        let mut truths = HashMap::new();
+        for (kind, target, truth, values) in entries {
+            assert_eq!(
+                values.len(),
+                sample_sizes.len(),
+                "series length must match sample_sizes"
+            );
+            series.insert((kind, target), values);
+            truths.insert(target, truth);
+        }
+        ExperimentResult {
+            sample_sizes,
+            series,
+            truths,
+        }
+    }
+
+    /// Every tracked `(estimator, target, truth, series)` tuple, in the
+    /// sorted target order of [`ExperimentResult::targets`] — the inverse
+    /// of [`ExperimentResult::from_parts`], used to serialize results.
+    pub fn entries(&self) -> Vec<(EstimatorKind, Target, f64, Vec<f64>)> {
+        let mut out = Vec::new();
+        for t in self.targets() {
+            for kind in ALL_ESTIMATORS {
+                if let Some(s) = self.nrmse(kind, t) {
+                    out.push((kind, t, self.truths[&t], s.to_vec()));
+                }
+            }
+        }
+        out
+    }
+
     /// NRMSE values for one estimator/target, aligned with `sample_sizes`.
     ///
     /// Returns `None` for combinations that were not tracked.

@@ -49,6 +49,16 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Writes the table as CSV (RFC-4180 quoting for fields containing
     /// commas or quotes).
     pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {

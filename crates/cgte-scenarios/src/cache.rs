@@ -1,0 +1,284 @@
+//! The content-keyed build cache shared by every job in a run.
+//!
+//! Keys are the canonical spec strings of [`crate::plan::ResolvedGraph`];
+//! values are `Arc`-shared built resources. The first requester builds
+//! (under a per-key `OnceLock`, so concurrent requesters block instead of
+//! duplicating work); every later requester gets the shared `Arc` and is
+//! counted as a cache **hit** — the statistic the engine's sweep tests
+//! assert on ("a graph reused by ≥ 4 jobs is built exactly once").
+
+use crate::plan::ResolvedGraph;
+use crate::EngineError;
+use cgte_datasets::{standin, standin_partition, CrawlDataset, FacebookSim};
+use cgte_graph::generators::{planted_partition, PlantedConfig};
+use cgte_graph::{CategoryGraph, Graph, Partition};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Deferred partition constructor (captures the post-graph RNG state).
+type PartitionInit = Box<dyn FnOnce(&Graph) -> Partition + Send>;
+
+/// A built graph + partition, with the exact category graph computed
+/// lazily (shared by every job that needs it for target resolution).
+pub struct BuiltGraph {
+    /// The graph.
+    pub graph: Graph,
+    partition: OnceLock<Partition>,
+    // Deferred partition construction for stand-ins: the builder captures
+    // the RNG state right after graph generation, so the partition stream
+    // is identical whether it is forced eagerly or lazily (jobs that only
+    // need the graph — e.g. `graph-stats` — never pay for it).
+    partition_init: Mutex<Option<PartitionInit>>,
+    exact: OnceLock<CategoryGraph>,
+}
+
+impl BuiltGraph {
+    /// A graph whose partition is already materialized.
+    pub fn eager(graph: Graph, partition: Partition) -> Self {
+        let cell = OnceLock::new();
+        cell.set(partition).ok();
+        BuiltGraph {
+            graph,
+            partition: cell,
+            partition_init: Mutex::new(None),
+            exact: OnceLock::new(),
+        }
+    }
+
+    /// A graph whose partition is built on first use.
+    pub fn lazy_partition(
+        graph: Graph,
+        init: impl FnOnce(&Graph) -> Partition + Send + 'static,
+    ) -> Self {
+        BuiltGraph {
+            graph,
+            partition: OnceLock::new(),
+            partition_init: Mutex::new(Some(Box::new(init))),
+            exact: OnceLock::new(),
+        }
+    }
+
+    /// The node partition, constructing it on first use.
+    pub fn partition(&self) -> &Partition {
+        self.partition.get_or_init(|| {
+            let init = self
+                .partition_init
+                .lock()
+                .expect("partition init poisoned")
+                .take()
+                .expect("lazy partition initializer present");
+            init(&self.graph)
+        })
+    }
+
+    /// The exact category graph, computed once and shared.
+    pub fn exact(&self) -> &CategoryGraph {
+        self.exact
+            .get_or_init(|| CategoryGraph::exact(&self.graph, self.partition()))
+    }
+}
+
+/// A built Facebook-like population, optionally with the paper's two crawl
+/// campaigns (generated from one continuous RNG stream, exactly like the
+/// original figure binaries).
+pub struct FacebookBundle {
+    /// The simulated population.
+    pub sim: FacebookSim,
+    /// 2009-style crawls (MHRW/RW/UIS over regions); empty without crawls.
+    pub c09: Vec<CrawlDataset>,
+    /// 2010-style crawls (RW/S-WRW over colleges); empty without crawls.
+    pub c10: Vec<CrawlDataset>,
+    /// The crawl parameters `(walks09, per_walk09, walks10, per_walk10)`
+    /// the datasets were drawn with, if any.
+    pub crawl_params: Option<(usize, usize, usize, usize)>,
+    exact_regions: OnceLock<CategoryGraph>,
+    exact_colleges: OnceLock<CategoryGraph>,
+}
+
+impl FacebookBundle {
+    /// Exact category graph over the region partition, computed once.
+    pub fn exact_regions(&self) -> &CategoryGraph {
+        self.exact_regions
+            .get_or_init(|| CategoryGraph::exact(&self.sim.graph, &self.sim.regions))
+    }
+
+    /// Exact category graph over the college partition, computed once.
+    pub fn exact_colleges(&self) -> &CategoryGraph {
+        self.exact_colleges
+            .get_or_init(|| CategoryGraph::exact(&self.sim.graph, &self.sim.colleges))
+    }
+}
+
+/// A cached resource.
+#[derive(Clone)]
+pub enum Resource {
+    /// A graph + partition.
+    Graph(Arc<BuiltGraph>),
+    /// A Facebook-like simulation (+ crawls).
+    Facebook(Arc<FacebookBundle>),
+}
+
+impl Resource {
+    /// The graph resource, or an error if the key holds a simulation.
+    pub fn as_graph(&self) -> Result<&Arc<BuiltGraph>, crate::EngineError> {
+        match self {
+            Resource::Graph(g) => Ok(g),
+            Resource::Facebook(_) => Err(crate::EngineError::msg(
+                "expected a graph resource, found a facebook simulation",
+            )),
+        }
+    }
+
+    /// The simulation resource, or an error if the key holds a graph.
+    pub fn as_facebook(&self) -> Result<&Arc<FacebookBundle>, crate::EngineError> {
+        match self {
+            Resource::Facebook(f) => Ok(f),
+            Resource::Graph(_) => Err(crate::EngineError::msg(
+                "expected a facebook simulation, found a graph resource",
+            )),
+        }
+    }
+}
+
+/// Cache counters: `builds` actual constructions, `hits` shared reuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Number of resources actually constructed.
+    pub builds: usize,
+    /// Number of requests served from the cache.
+    pub hits: usize,
+}
+
+/// One lazily-initialized cache slot; a failed build is cached too.
+type Slot = Arc<OnceLock<Result<Resource, EngineError>>>;
+
+/// The content-keyed resource cache shared across a run's jobs.
+#[derive(Default)]
+pub struct ResourceCache {
+    slots: Mutex<HashMap<String, Slot>>,
+    builds: AtomicUsize,
+    hits: AtomicUsize,
+}
+
+impl ResourceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            builds: self.builds.load(Ordering::SeqCst),
+            hits: self.hits.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Fetches the resource for `key`, building it with `build` on first
+    /// request. Concurrent requesters for the same key block until the
+    /// first finishes; exactly one construction attempt happens per key
+    /// (a failed build is cached too, so every sharer sees the same
+    /// error instead of retrying).
+    pub fn get_or_build(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<Resource, EngineError>,
+    ) -> Result<Resource, EngineError> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("cache lock poisoned");
+            Arc::clone(slots.entry(key.to_string()).or_default())
+        };
+        let mut built = false;
+        let resource = slot.get_or_init(|| {
+            built = true;
+            build()
+        });
+        if built {
+            self.builds.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.hits.fetch_add(1, Ordering::SeqCst);
+        }
+        resource.clone()
+    }
+
+    /// Fetches (building if necessary) the resource for a resolved spec.
+    pub fn resource(&self, spec: &ResolvedGraph) -> Result<Resource, EngineError> {
+        self.get_or_build(&spec.key(), || build_resource(spec))
+    }
+}
+
+/// Constructs a resource from its spec, replicating the exact RNG streams
+/// of the original figure binaries (graph first, partition continuing the
+/// same stream, crawls continuing after generation). Infeasible
+/// parameters surface as an [`EngineError`] rather than a worker panic.
+pub fn build_resource(spec: &ResolvedGraph) -> Result<Resource, EngineError> {
+    match *spec {
+        ResolvedGraph::Planted {
+            k,
+            alpha,
+            scale_div,
+            seed,
+        } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cfg = if scale_div == 1 {
+                PlantedConfig::paper(k, alpha)
+            } else {
+                PlantedConfig::scaled(scale_div, k, alpha)
+            };
+            let pg = planted_partition(&cfg, &mut rng).map_err(|e| {
+                EngineError::msg(format!(
+                    "infeasible planted config (k={k}, alpha={alpha}, scale_div={scale_div}): {e}"
+                ))
+            })?;
+            Ok(Resource::Graph(Arc::new(BuiltGraph::eager(
+                pg.graph,
+                pg.partition,
+            ))))
+        }
+        ResolvedGraph::Standin {
+            kind,
+            scale_div,
+            top_k,
+            spectral,
+            seed,
+        } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let graph = standin(kind, scale_div, &mut rng);
+            // Snapshot the stream so the deferred partition continues it.
+            let rng_after = rng.clone();
+            Ok(Resource::Graph(Arc::new(BuiltGraph::lazy_partition(
+                graph,
+                move |g| {
+                    let mut rng = rng_after;
+                    standin_partition(g, top_k, spectral, &mut rng)
+                },
+            ))))
+        }
+        ResolvedGraph::Facebook {
+            ref cfg,
+            crawls,
+            seed,
+        } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sim = FacebookSim::generate(cfg, &mut rng);
+            let (c09, c10) = match crawls {
+                Some((w09, p09, w10, p10)) => (
+                    sim.crawl_2009(w09, p09, &mut rng),
+                    sim.crawl_2010(w10, p10, &mut rng),
+                ),
+                None => (Vec::new(), Vec::new()),
+            };
+            Ok(Resource::Facebook(Arc::new(FacebookBundle {
+                sim,
+                c09,
+                c10,
+                crawl_params: crawls,
+                exact_regions: OnceLock::new(),
+                exact_colleges: OnceLock::new(),
+            })))
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! The dependency-free `.scn` parser.
+//!
+//! The format is a line-oriented TOML subset:
+//!
+//! ```text
+//! # comment
+//! [scenario]                 # section
+//! name = "fig3"              # key = value
+//! [graph.mid]                # section with a name
+//! k = scale(6, 20, 20)       # scale-selected value
+//! alpha = [0.0, 0.5, 1.0]    # list (a sweep in scalar position)
+//! sizes = logsizes(100, 10000, 5)
+//! ```
+//!
+//! Every error carries the 1-based source line. Values must fit on one
+//! line; strings are double-quoted (bare words are accepted for
+//! identifier-like strings such as sampler kinds).
+
+use crate::value::Value;
+use crate::EngineError;
+
+/// One `key = value` entry with its source line.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The key left of `=`.
+    pub key: String,
+    /// The parsed value.
+    pub value: Value,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One `[kind]` or `[kind.name]` section.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// The part before the dot (`graph`, `sampler`, `job`, …).
+    pub kind: String,
+    /// The part after the dot, or `""` for unnamed sections.
+    pub name: String,
+    /// 1-based source line of the header.
+    pub line: usize,
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Section {
+    /// Looks up an entry by key.
+    pub fn get(&self, key: &str) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.key == key)
+    }
+}
+
+/// A parsed scenario document: sections in file order.
+#[derive(Debug, Clone, Default)]
+pub struct ScnDoc {
+    /// All sections, in file order.
+    pub sections: Vec<Section>,
+}
+
+impl ScnDoc {
+    /// All sections of one kind, in file order.
+    pub fn sections_of<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a Section> + 'a {
+        self.sections.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// The single section of a kind, if present; errors on duplicates.
+    pub fn unique_section<'a>(&'a self, kind: &'a str) -> Result<Option<&'a Section>, EngineError> {
+        let mut found = None;
+        for s in self.sections_of(kind) {
+            if found.is_some() {
+                return Err(EngineError::at(
+                    s.line,
+                    format!("duplicate [{kind}] section"),
+                ));
+            }
+            found = Some(s);
+        }
+        Ok(found)
+    }
+}
+
+/// Parses a `.scn` document, reporting the first error with its line.
+pub fn parse_scn(text: &str) -> Result<ScnDoc, EngineError> {
+    let mut doc = ScnDoc::default();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| {
+                    EngineError::at(lineno, "unterminated section header (missing ']')")
+                })?
+                .trim();
+            let (kind, name) = match inner.split_once('.') {
+                Some((k, n)) => (k.trim(), n.trim()),
+                None => (inner, ""),
+            };
+            if kind.is_empty() || !is_ident(kind) || (!name.is_empty() && !is_ident(name)) {
+                return Err(EngineError::at(
+                    lineno,
+                    format!("invalid section header [{inner}]"),
+                ));
+            }
+            if doc
+                .sections
+                .iter()
+                .any(|s| s.kind == kind && s.name == name)
+            {
+                return Err(EngineError::at(
+                    lineno,
+                    format!("duplicate section [{inner}]"),
+                ));
+            }
+            doc.sections.push(Section {
+                kind: kind.to_string(),
+                name: name.to_string(),
+                line: lineno,
+                entries: Vec::new(),
+            });
+            continue;
+        }
+        let (key, rest) = line.split_once('=').ok_or_else(|| {
+            EngineError::at(lineno, format!("expected `key = value`, got {line:?}"))
+        })?;
+        let key = key.trim();
+        if !is_ident(key) {
+            return Err(EngineError::at(lineno, format!("invalid key {key:?}")));
+        }
+        let value = parse_value_str(rest.trim(), lineno)?;
+        let section = doc.sections.last_mut().ok_or_else(|| {
+            EngineError::at(lineno, format!("entry {key:?} before any [section] header"))
+        })?;
+        if section.entries.iter().any(|e| e.key == key) {
+            return Err(EngineError::at(
+                lineno,
+                format!("duplicate key {key:?} in section [{}]", section.kind),
+            ));
+        }
+        section.entries.push(Entry {
+            key: key.to_string(),
+            value,
+            line: lineno,
+        });
+    }
+    Ok(doc)
+}
+
+/// Strips a trailing `# comment`, honoring double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Parses a complete value string; errors if trailing characters remain.
+pub fn parse_value_str(s: &str, line: usize) -> Result<Value, EngineError> {
+    if s.is_empty() {
+        return Err(EngineError::at(line, "missing value after `=`"));
+    }
+    let bytes: Vec<char> = s.chars().collect();
+    let mut pos = 0usize;
+    let v = parse_value(&bytes, &mut pos, line)?;
+    skip_ws(&bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(EngineError::at(
+            line,
+            format!(
+                "unexpected trailing characters {:?} after value",
+                bytes[pos..].iter().collect::<String>()
+            ),
+        ));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[char], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[char], pos: &mut usize, line: usize) -> Result<Value, EngineError> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(EngineError::at(line, "unexpected end of value"));
+    };
+    match c {
+        '"' => parse_string(b, pos, line),
+        '[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            loop {
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&']') {
+                    *pos += 1;
+                    return Ok(Value::List(items));
+                }
+                if !items.is_empty() {
+                    if b.get(*pos) != Some(&',') {
+                        return Err(EngineError::at(line, "expected ',' or ']' in list"));
+                    }
+                    *pos += 1;
+                    skip_ws(b, pos);
+                    // Allow a trailing comma before ']'.
+                    if b.get(*pos) == Some(&']') {
+                        *pos += 1;
+                        return Ok(Value::List(items));
+                    }
+                }
+                items.push(parse_value(b, pos, line)?);
+            }
+        }
+        c if c.is_ascii_digit() || c == '-' || c == '+' => parse_number(b, pos, line),
+        c if c.is_ascii_alphabetic() || c == '_' => {
+            let start = *pos;
+            while *pos < b.len()
+                && (b[*pos].is_ascii_alphanumeric() || b[*pos] == '_' || b[*pos] == '-')
+            {
+                *pos += 1;
+            }
+            let word: String = b[start..*pos].iter().collect();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&'(') {
+                *pos += 1;
+                let mut args = Vec::new();
+                loop {
+                    skip_ws(b, pos);
+                    if b.get(*pos) == Some(&')') {
+                        *pos += 1;
+                        return Ok(Value::Func(word, args));
+                    }
+                    if !args.is_empty() {
+                        if b.get(*pos) != Some(&',') {
+                            return Err(EngineError::at(
+                                line,
+                                format!("expected ',' or ')' in {word}(...)"),
+                            ));
+                        }
+                        *pos += 1;
+                    }
+                    args.push(parse_value(b, pos, line)?);
+                }
+            }
+            Ok(match word.as_str() {
+                "true" => Value::Bool(true),
+                "false" => Value::Bool(false),
+                _ => Value::Str(word),
+            })
+        }
+        other => Err(EngineError::at(
+            line,
+            format!("unexpected character {other:?} in value"),
+        )),
+    }
+}
+
+fn parse_string(b: &[char], pos: &mut usize, line: usize) -> Result<Value, EngineError> {
+    debug_assert_eq!(b[*pos], '"');
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            '"' => return Ok(Value::Str(out)),
+            '\\' => {
+                let Some(&e) = b.get(*pos) else {
+                    return Err(EngineError::at(line, "unterminated escape in string"));
+                };
+                *pos += 1;
+                out.push(match e {
+                    'n' => '\n',
+                    't' => '\t',
+                    '\\' => '\\',
+                    '"' => '"',
+                    other => {
+                        return Err(EngineError::at(
+                            line,
+                            format!("unknown escape \\{other} in string"),
+                        ))
+                    }
+                });
+            }
+            other => out.push(other),
+        }
+    }
+    Err(EngineError::at(line, "unterminated string literal"))
+}
+
+fn parse_number(b: &[char], pos: &mut usize, line: usize) -> Result<Value, EngineError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&'-') || b.get(*pos) == Some(&'+') {
+        *pos += 1;
+    }
+    // Hex integers: 0x…
+    if b.get(*pos) == Some(&'0') && matches!(b.get(*pos + 1), Some('x') | Some('X')) {
+        *pos += 2;
+        let digits_start = *pos;
+        while *pos < b.len() && (b[*pos].is_ascii_hexdigit() || b[*pos] == '_') {
+            *pos += 1;
+        }
+        let digits: String = b[digits_start..*pos]
+            .iter()
+            .filter(|&&c| c != '_')
+            .collect();
+        if digits.is_empty() {
+            return Err(EngineError::at(line, "empty hex literal"));
+        }
+        let neg = b[start] == '-';
+        let mag = i64::from_str_radix(&digits, 16)
+            .map_err(|e| EngineError::at(line, format!("invalid hex literal: {e}")))?;
+        return Ok(Value::Int(if neg { -mag } else { mag }));
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        if c.is_ascii_digit() || c == '_' {
+            *pos += 1;
+        } else if c == '.' || c == 'e' || c == 'E' {
+            is_float = true;
+            *pos += 1;
+            // Allow an exponent sign right after e/E.
+            if (c == 'e' || c == 'E') && matches!(b.get(*pos), Some('-') | Some('+')) {
+                *pos += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let text: String = b[start..*pos].iter().filter(|&&c| c != '_').collect();
+    if is_float {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|e| EngineError::at(line, format!("invalid float {text:?}: {e}")))
+    } else {
+        text.parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| EngineError::at(line, format!("invalid integer {text:?}: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_values() {
+        let doc = parse_scn(
+            "# header\n[scenario]\nname = \"demo\"\nseed = 0x10\n[graph.g]\nk = [1, 2]\nalpha = 0.5 # inline\nsizes = logsizes(10, 100, 3)\nreps = scale(1, 2, 3)\nflag = true\n",
+        )
+        .unwrap();
+        assert_eq!(doc.sections.len(), 2);
+        assert_eq!(doc.sections[0].kind, "scenario");
+        assert_eq!(doc.sections[1].name, "g");
+        assert_eq!(
+            doc.sections[1].get("k").unwrap().value,
+            Value::List(vec![Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(doc.sections[0].get("seed").unwrap().value, Value::Int(16));
+        assert_eq!(
+            doc.sections[1].get("alpha").unwrap().value,
+            Value::Float(0.5)
+        );
+        assert_eq!(
+            doc.sections[1].get("flag").unwrap().value,
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_scn("[scenario]\nname = \"x\"\noops\n").unwrap_err();
+        assert_eq!(e.line, Some(3));
+        let e = parse_scn("key = 1\n").unwrap_err();
+        assert_eq!(e.line, Some(1));
+        let e = parse_scn("[s]\nk = [1, 2\n").unwrap_err();
+        assert_eq!(e.line, Some(2));
+        let e = parse_scn("[s]\nk = \"unterminated\n").unwrap_err();
+        assert_eq!(e.line, Some(2));
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(parse_scn("[s]\nk = 1\nk = 2\n")
+            .unwrap_err()
+            .msg
+            .contains("duplicate key"));
+        assert!(parse_scn("[s]\n[s]\n")
+            .unwrap_err()
+            .msg
+            .contains("duplicate section"));
+    }
+
+    #[test]
+    fn comment_hash_inside_string_kept() {
+        let doc = parse_scn("[s]\nk = \"a # b\"\n").unwrap();
+        assert_eq!(
+            doc.sections[0].get("k").unwrap().value,
+            Value::Str("a # b".into())
+        );
+    }
+}

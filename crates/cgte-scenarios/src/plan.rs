@@ -1,0 +1,683 @@
+//! Job-matrix expansion: sweeps → concrete jobs → dependency DAG.
+//!
+//! Every graph/sampler/custom section key holding a list in scalar
+//! position is a **sweep**; the planner takes the cross product of all
+//! sweeps in a section (in key order) and materializes one variant per
+//! combination. Jobs reference graph variants by content key; one build
+//! job per distinct key is prepended and every consumer depends on it, so
+//! the scheduler's topological order guarantees a graph is constructed
+//! exactly once no matter how many jobs share it.
+
+use crate::spec::{is_sweep_key, Params, Scenario};
+use crate::value::Value;
+use crate::EngineError;
+use cgte_datasets::{FacebookSimConfig, StandinKind};
+use std::collections::HashMap;
+
+/// A concrete (sweep-expanded) graph/simulation spec, identified by a
+/// canonical content key.
+#[derive(Debug, Clone)]
+pub enum ResolvedGraph {
+    /// Planted-partition generator (`PlantedConfig::paper`/`scaled`).
+    Planted {
+        /// Intra-category mean degree.
+        k: usize,
+        /// Community tightness.
+        alpha: f64,
+        /// Down-scaling divisor (1 = paper scale).
+        scale_div: usize,
+        /// Fully derived RNG seed.
+        seed: u64,
+    },
+    /// Table-1 stand-in graphs (+ spectral top-k partition).
+    Standin {
+        /// Which dataset stand-in.
+        kind: StandinKind,
+        /// Down-scaling divisor.
+        scale_div: usize,
+        /// Partition: the top-k communities + rest.
+        top_k: usize,
+        /// Use the spectral community finder.
+        spectral: bool,
+        /// Fully derived RNG seed.
+        seed: u64,
+    },
+    /// The Facebook-like population simulator, optionally with the 2009 +
+    /// 2010 crawl datasets.
+    Facebook {
+        /// Simulator configuration.
+        cfg: FacebookSimConfig,
+        /// Crawl parameters `(walks09, per_walk09, walks10, per_walk10)`,
+        /// when the scenario needs the crawl datasets.
+        crawls: Option<(usize, usize, usize, usize)>,
+        /// Fully derived RNG seed.
+        seed: u64,
+    },
+}
+
+impl ResolvedGraph {
+    /// Canonical content key: generator + every parameter + seed. Two
+    /// specs with equal keys build identical resources.
+    pub fn key(&self) -> String {
+        match self {
+            ResolvedGraph::Planted {
+                k,
+                alpha,
+                scale_div,
+                seed,
+            } => format!("planted:k={k},alpha={alpha},scale_div={scale_div},seed={seed}"),
+            ResolvedGraph::Standin {
+                kind,
+                scale_div,
+                top_k,
+                spectral,
+                seed,
+            } => format!(
+                "standin:kind={},scale_div={scale_div},top_k={top_k},spectral={spectral},seed={seed}",
+                kind.name()
+            ),
+            ResolvedGraph::Facebook { cfg, crawls, seed } => {
+                let crawl_part = match crawls {
+                    Some((w09, p09, w10, p10)) => format!(",crawls={w09}x{p09}+{w10}x{p10}"),
+                    None => String::new(),
+                };
+                format!(
+                    "facebook:users={},regions={},countries={},declared={},colleges={},cfrac={},kmean={},gamma={},rhom={},chom={},zipf={}{crawl_part},seed={seed}",
+                    cfg.num_users,
+                    cfg.num_regions,
+                    cfg.num_countries,
+                    cfg.region_declared_fraction,
+                    cfg.num_colleges,
+                    cfg.college_fraction,
+                    cfg.mean_degree,
+                    cfg.gamma,
+                    cfg.region_homophily,
+                    cfg.college_homophily,
+                    cfg.zipf_exponent,
+                )
+            }
+        }
+    }
+}
+
+/// Which sampler a job draws with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// Uniform independence sampling.
+    Uis,
+    /// Simple random walk.
+    Rw,
+    /// Metropolis-Hastings random walk.
+    Mhrw,
+    /// Stratified weighted random walk (equal-category-mass target).
+    Swrw,
+}
+
+impl SamplerKind {
+    /// Parses a sampler kind name.
+    pub fn parse(s: &str, line: usize) -> Result<SamplerKind, EngineError> {
+        Ok(match s {
+            "uis" => SamplerKind::Uis,
+            "rw" => SamplerKind::Rw,
+            "mhrw" => SamplerKind::Mhrw,
+            "swrw" => SamplerKind::Swrw,
+            other => {
+                return Err(EngineError::at(
+                    line,
+                    format!("unknown sampler kind {other:?} (known: uis, rw, mhrw, swrw)"),
+                ))
+            }
+        })
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SamplerKind::Uis => "uis",
+            SamplerKind::Rw => "rw",
+            SamplerKind::Mhrw => "mhrw",
+            SamplerKind::Swrw => "swrw",
+        }
+    }
+}
+
+/// Burn-in policy for walk samplers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BurnIn {
+    /// A fixed number of discarded steps.
+    Fixed(usize),
+    /// `max(sample sizes) / div` steps (the figure binaries' idiom).
+    Div(usize),
+}
+
+/// A concrete sampler variant.
+#[derive(Debug, Clone)]
+pub struct ResolvedSampler {
+    /// Variant display name (section name + sweep suffix).
+    pub name: String,
+    /// Which sampler.
+    pub kind: SamplerKind,
+    /// Burn-in policy.
+    pub burn_in: BurnIn,
+    /// Thinning factor (keep every T-th node).
+    pub thinning: usize,
+}
+
+/// Estimator design choice for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesignChoice {
+    /// Uniform (UIS-style) estimators.
+    Uniform,
+    /// Hansen–Hurwitz weighted estimators.
+    Weighted,
+    /// Uniform for independence samplers, weighted for walks.
+    Auto,
+}
+
+/// Experiment settings for one job, after inheritance from `[experiment]`.
+#[derive(Debug, Clone)]
+pub struct ResolvedExperiment {
+    /// Prefix sizes `|S|`.
+    pub sizes: Vec<usize>,
+    /// Replications per point.
+    pub replications: usize,
+    /// Estimator design.
+    pub design: DesignChoice,
+    /// Symbolic target specs (`size:all`, `weight:q75`, …), resolved
+    /// against the built graph at job start.
+    pub targets: Vec<String>,
+    /// Cap for `weight:spectrum` targets (0 = no cap).
+    pub max_weight_targets: usize,
+    /// `ExperimentConfig::threads` for this job (0 = all cores); the plan
+    /// leaves 0 only for single-experiment plans, where the scheduler
+    /// passes its own `--threads` through.
+    pub threads: usize,
+    /// Base seed for the replication streams.
+    pub seed: u64,
+}
+
+/// What a scheduled job does.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// Construct (and cache) a graph resource.
+    Build {
+        /// Content key into the resource cache.
+        key: String,
+    },
+    /// Run the NRMSE protocol for one graph × sampler × settings cell.
+    Experiment {
+        /// Content key of the graph resource.
+        graph_key: String,
+        /// Sampler variant.
+        sampler: ResolvedSampler,
+        /// Experiment settings.
+        exp: ResolvedExperiment,
+    },
+    /// Run a registered custom stage (the Facebook-crawl figures and the
+    /// ablations that predate the declarative job model).
+    Custom {
+        /// Stage name in the registry.
+        stage: String,
+        /// Resolved stage parameters (sweeps already applied).
+        params: Vec<(String, Value)>,
+        /// Content key of the resource the stage consumes, if any.
+        uses: Option<String>,
+        /// Scenario base seed.
+        seed: u64,
+    },
+}
+
+/// One schedulable job.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Stable id (`jobsection/graphvariant/samplervariant`), used for
+    /// artifacts, `--resume`, and reporter lookups.
+    pub id: String,
+    /// What to do.
+    pub kind: JobKind,
+    /// Indices of jobs that must complete first.
+    pub deps: Vec<usize>,
+}
+
+/// The expanded, dependency-ordered run plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The resolved scenario (reporters read headings/params from here).
+    pub scenario: Scenario,
+    /// All jobs; build jobs precede their consumers.
+    pub jobs: Vec<Job>,
+    /// Graph specs by content key.
+    pub graphs: HashMap<String, ResolvedGraph>,
+    /// Graph section name → expanded `(variant name, content key)` list.
+    pub graph_variants: HashMap<String, Vec<(String, String)>>,
+}
+
+impl Plan {
+    /// Number of runnable (non-build) jobs.
+    pub fn num_runnable(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| !matches!(j.kind, JobKind::Build { .. }))
+            .count()
+    }
+}
+
+/// `(key, value, source line)` entries of one expanded section variant.
+type SectionEntries = Vec<(String, Value, usize)>;
+
+/// Expands one section's sweep keys into concrete variants. Returns
+/// `(variant-suffixed name, key → scalar value map)` pairs; a section with
+/// no sweeps yields exactly itself.
+fn expand_sweeps(kind: &str, p: &Params) -> Vec<(String, SectionEntries)> {
+    let sweep_keys: Vec<usize> = p
+        .entries
+        .iter()
+        .enumerate()
+        .filter(|(_, (k, v, _))| matches!(v, Value::List(_)) && is_sweep_key(kind, k))
+        .map(|(i, _)| i)
+        .collect();
+    if sweep_keys.is_empty() {
+        return vec![(p.name.clone(), p.entries.clone())];
+    }
+    let single = sweep_keys.len() == 1;
+    let mut variants: Vec<(String, SectionEntries)> = vec![(String::new(), p.entries.clone())];
+    for &ki in &sweep_keys {
+        let (key, value, line) = p.entries[ki].clone();
+        let Value::List(options) = value else {
+            unreachable!()
+        };
+        let mut next = Vec::with_capacity(variants.len() * options.len());
+        for (suffix, entries) in &variants {
+            for opt in &options {
+                let mut e = entries.clone();
+                e[ki] = (key.clone(), opt.clone(), line);
+                let part = if single {
+                    format!("{opt}")
+                } else {
+                    format!("{key}={opt}")
+                };
+                let suffix = if suffix.is_empty() {
+                    part
+                } else {
+                    format!("{suffix},{part}")
+                };
+                next.push((suffix, e));
+            }
+        }
+        variants = next;
+    }
+    variants
+        .into_iter()
+        .map(|(suffix, entries)| (format!("{}[{suffix}]", p.name), entries))
+        .collect()
+}
+
+fn params_of(name: &str, line: usize, entries: SectionEntries) -> Params {
+    Params {
+        name: name.to_string(),
+        line,
+        entries,
+    }
+}
+
+fn resolve_graph(p: &Params, base_seed: u64) -> Result<ResolvedGraph, EngineError> {
+    let (gen_v, gen_l) = p.required("generator")?;
+    let gen = gen_v.as_str(gen_l, "generator")?;
+    let seed = base_seed.wrapping_add(p.u64_or("seed_add", 0)?) ^ p.u64_or("seed_xor", 0)?;
+    match gen {
+        "planted" => Ok(ResolvedGraph::Planted {
+            k: p.usize_or("k", 20)?,
+            alpha: p.f64_or("alpha", 0.5)?,
+            scale_div: p.usize_or("scale_div", 1)?,
+            seed,
+        }),
+        "standin" => {
+            let (kv, kl) = p.required("kind")?;
+            let kind = match kv.as_str(kl, "kind")? {
+                "texas" => StandinKind::FacebookTexas,
+                "neworleans" => StandinKind::FacebookNewOrleans,
+                "p2p" => StandinKind::P2p,
+                "epinions" => StandinKind::Epinions,
+                other => {
+                    return Err(EngineError::at(
+                        kl,
+                        format!(
+                        "unknown standin kind {other:?} (known: texas, neworleans, p2p, epinions)"
+                    ),
+                    ))
+                }
+            };
+            Ok(ResolvedGraph::Standin {
+                kind,
+                scale_div: p.usize_or("scale_div", 1)?,
+                top_k: p.usize_or("top_k", 50)?,
+                spectral: p.bool_or("spectral", true)?,
+                seed,
+            })
+        }
+        "facebook" => {
+            let preset = p.str_or("preset", "default")?;
+            let mut cfg = match preset.as_str() {
+                "default" => FacebookSimConfig::default(),
+                "quick" => FacebookSimConfig::quick(),
+                other => {
+                    return Err(EngineError::at(
+                        p.line,
+                        format!("unknown facebook preset {other:?} (known: default, quick)"),
+                    ))
+                }
+            };
+            // Every override accepts the bare word `keep`, which leaves
+            // the preset's value in place (used by scale() selectors).
+            macro_rules! ov {
+                ($key:literal, $field:ident, usize) => {
+                    if let Some((v, l)) = p.get($key) {
+                        if !matches!(v, Value::Str(s) if s == "keep") {
+                            cfg.$field = v.as_usize(l, $key)?;
+                        }
+                    }
+                };
+                ($key:literal, $field:ident, f64) => {
+                    if let Some((v, l)) = p.get($key) {
+                        if !matches!(v, Value::Str(s) if s == "keep") {
+                            cfg.$field = v.as_f64(l, $key)?;
+                        }
+                    }
+                };
+            }
+            ov!("num_users", num_users, usize);
+            ov!("num_regions", num_regions, usize);
+            ov!("num_countries", num_countries, usize);
+            ov!("num_colleges", num_colleges, usize);
+            ov!("college_fraction", college_fraction, f64);
+            ov!("region_declared_fraction", region_declared_fraction, f64);
+            ov!("mean_degree", mean_degree, f64);
+            ov!("gamma", gamma, f64);
+            ov!("region_homophily", region_homophily, f64);
+            ov!("college_homophily", college_homophily, f64);
+            ov!("zipf_exponent", zipf_exponent, f64);
+            if let Some((v, l)) = p.get("college_fraction_min") {
+                if !matches!(v, Value::Str(s) if s == "keep") {
+                    cfg.college_fraction = cfg
+                        .college_fraction
+                        .max(v.as_f64(l, "college_fraction_min")?);
+                }
+            }
+            let crawls = if p.bool_or("crawls", false)? {
+                Some((
+                    p.usize_or("walks09", 28)?,
+                    p.usize_or("per_walk09", 5_000)?,
+                    p.usize_or("walks10", 25)?,
+                    p.usize_or("per_walk10", 5_000)?,
+                ))
+            } else {
+                None
+            };
+            Ok(ResolvedGraph::Facebook { cfg, crawls, seed })
+        }
+        other => Err(EngineError::at(
+            gen_l,
+            format!("unknown generator {other:?}"),
+        )),
+    }
+}
+
+fn resolve_sampler(p: &Params) -> Result<ResolvedSampler, EngineError> {
+    let (kv, kl) = p.required("kind")?;
+    let kind = SamplerKind::parse(kv.as_str(kl, "kind")?, kl)?;
+    let burn_in = if let Some((v, l)) = p.get("burn_in_div") {
+        if p.get("burn_in").is_some() {
+            return Err(EngineError::at(
+                l,
+                "burn_in and burn_in_div are mutually exclusive",
+            ));
+        }
+        BurnIn::Div(v.as_usize(l, "burn_in_div")?)
+    } else {
+        BurnIn::Fixed(p.usize_or("burn_in", 0)?)
+    };
+    Ok(ResolvedSampler {
+        name: p.name.clone(),
+        kind,
+        burn_in,
+        thinning: p.usize_or("thinning", 1)?,
+    })
+}
+
+fn resolve_experiment(
+    job: Option<&Params>,
+    base: &Params,
+    seed: u64,
+) -> Result<ResolvedExperiment, EngineError> {
+    let lookup = |key: &str| job.and_then(|j| j.get(key)).or_else(|| base.get(key));
+    let sizes = match lookup("sizes") {
+        Some((v, l)) => v.as_usize_list(l, "sizes")?,
+        None => vec![100, 1_000, 10_000],
+    };
+    let replications = match lookup("replications") {
+        Some((v, l)) => v.as_usize(l, "replications")?,
+        None => 10,
+    };
+    let design = match lookup("design") {
+        Some((v, l)) => match v.as_str(l, "design")? {
+            "uniform" => DesignChoice::Uniform,
+            "weighted" => DesignChoice::Weighted,
+            "auto" => DesignChoice::Auto,
+            other => {
+                return Err(EngineError::at(
+                    l,
+                    format!("unknown design {other:?} (known: uniform, weighted, auto)"),
+                ))
+            }
+        },
+        None => DesignChoice::Auto,
+    };
+    let targets = match lookup("targets") {
+        Some((v, l)) => v.as_str_list(l, "targets")?,
+        None => vec!["size:all".into(), "weight:all".into()],
+    };
+    let max_weight_targets = match lookup("max_weight_targets") {
+        Some((v, l)) => v.as_usize(l, "max_weight_targets")?,
+        None => 0,
+    };
+    let threads = match base.get("threads") {
+        Some((v, l)) => v.as_usize(l, "threads")?,
+        None => 1,
+    };
+    Ok(ResolvedExperiment {
+        sizes,
+        replications,
+        design,
+        targets,
+        max_weight_targets,
+        threads,
+        seed,
+    })
+}
+
+/// Expands a resolved scenario into the job DAG.
+pub fn build_plan(scenario: &Scenario) -> Result<Plan, EngineError> {
+    let mut graphs: HashMap<String, ResolvedGraph> = HashMap::new();
+    let mut graph_variants: HashMap<String, Vec<(String, String)>> = HashMap::new();
+    let mut build_idx: HashMap<String, usize> = HashMap::new();
+    let mut jobs: Vec<Job> = Vec::new();
+
+    // Build jobs, one per distinct graph content key, in section order.
+    for g in &scenario.graphs {
+        let mut variants = Vec::new();
+        for (vname, entries) in expand_sweeps("graph", g) {
+            let params = params_of(&vname, g.line, entries);
+            let rg = resolve_graph(&params, scenario.seed)?;
+            let key = rg.key();
+            if !build_idx.contains_key(&key) {
+                build_idx.insert(key.clone(), jobs.len());
+                jobs.push(Job {
+                    id: format!("build/{vname}"),
+                    kind: JobKind::Build { key: key.clone() },
+                    deps: Vec::new(),
+                });
+                graphs.insert(key.clone(), rg);
+            }
+            variants.push((vname, key));
+        }
+        graph_variants.insert(g.name.clone(), variants);
+    }
+
+    // Sampler variants by section name.
+    let mut sampler_variants: HashMap<String, Vec<ResolvedSampler>> = HashMap::new();
+    let mut sampler_order: Vec<String> = Vec::new();
+    for s in &scenario.samplers {
+        let mut variants = Vec::new();
+        for (vname, entries) in expand_sweeps("sampler", s) {
+            let params = params_of(&vname, s.line, entries);
+            variants.push(resolve_sampler(&params)?);
+        }
+        sampler_variants.insert(s.name.clone(), variants);
+        sampler_order.push(s.name.clone());
+    }
+
+    // Experiment jobs: explicit [job.X] sections, or the full matrix.
+    let emit_cell = |jobs: &mut Vec<Job>,
+                     jobsec: Option<&Params>,
+                     jobsec_name: &str,
+                     gvariant: &(String, String),
+                     sampler: &ResolvedSampler|
+     -> Result<(), EngineError> {
+        let exp = resolve_experiment(jobsec, &scenario.experiment, scenario.seed)?;
+        let (gname, gkey) = gvariant;
+        let dep = build_idx[gkey];
+        jobs.push(Job {
+            id: format!("{jobsec_name}/{gname}/{}", sampler.name),
+            kind: JobKind::Experiment {
+                graph_key: gkey.clone(),
+                sampler: sampler.clone(),
+                exp,
+            },
+            deps: vec![dep],
+        });
+        Ok(())
+    };
+
+    if scenario.jobs.is_empty() {
+        // The implicit all-graphs × all-samplers matrix is enabled by the
+        // presence of an [experiment] section (its line is 0 only when
+        // synthesized); missing keys fall back to the same defaults an
+        // explicit [job] section would get. Scenarios that drive custom
+        // stages only (fig5, table1, …) omit [experiment] entirely.
+        if !scenario.graphs.is_empty() && scenario.experiment.line > 0 {
+            for g in &scenario.graphs {
+                for gvariant in &graph_variants[&g.name] {
+                    for sname in &sampler_order {
+                        for sv in &sampler_variants[sname] {
+                            emit_cell(&mut jobs, None, "run", gvariant, sv)?;
+                        }
+                    }
+                }
+            }
+        }
+    } else {
+        for j in &scenario.jobs {
+            let graph_refs = match j.get("graph") {
+                Some((v, l)) => v.as_str_list(l, "graph")?,
+                None => scenario.graphs.iter().map(|g| g.name.clone()).collect(),
+            };
+            let sampler_refs = match j.get("sampler") {
+                Some((v, l)) => v.as_str_list(l, "sampler")?,
+                None => sampler_order.clone(),
+            };
+            for gref in &graph_refs {
+                let variants = graph_variants.get(gref).ok_or_else(|| {
+                    EngineError::at(j.line, format!("job references unknown graph {gref:?}"))
+                })?;
+                for gvariant in variants {
+                    for sref in &sampler_refs {
+                        let svs = sampler_variants.get(sref).ok_or_else(|| {
+                            EngineError::at(
+                                j.line,
+                                format!("job references unknown sampler {sref:?}"),
+                            )
+                        })?;
+                        for sv in svs {
+                            emit_cell(&mut jobs, Some(j), &j.name, gvariant, sv)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Custom stage jobs.
+    for c in &scenario.customs {
+        for (vname, entries) in expand_sweeps("custom", c) {
+            let params = params_of(&vname, c.line, entries);
+            let (sv, sl) = params.required("stage")?;
+            let stage = sv.as_str(sl, "stage")?.to_string();
+            let (uses, deps) = match params.get("uses") {
+                Some((v, l)) => {
+                    let gref = v.as_str(l, "uses")?;
+                    let variants = graph_variants.get(gref).ok_or_else(|| {
+                        EngineError::at(
+                            l,
+                            format!("custom stage references unknown graph {gref:?}"),
+                        )
+                    })?;
+                    if variants.len() != 1 {
+                        return Err(EngineError::at(
+                            l,
+                            format!("custom stage `uses` must name an unswept graph; {gref:?} has {} variants", variants.len()),
+                        ));
+                    }
+                    let key = variants[0].1.clone();
+                    let dep = build_idx[&key];
+                    (Some(key), vec![dep])
+                }
+                None => (None, Vec::new()),
+            };
+            let plain_params: Vec<(String, Value)> = params
+                .entries
+                .iter()
+                .filter(|(k, _, _)| k != "stage" && k != "uses")
+                .map(|(k, v, _)| (k.clone(), v.clone()))
+                .collect();
+            jobs.push(Job {
+                id: vname,
+                kind: JobKind::Custom {
+                    stage,
+                    params: plain_params,
+                    uses,
+                    seed: scenario.seed,
+                },
+                deps,
+            });
+        }
+    }
+
+    if jobs.is_empty() {
+        return Err(EngineError::msg(
+            "scenario expands to zero jobs — add an [experiment] section to run the \
+             implicit graph × sampler matrix, or explicit [job]/[custom] sections",
+        ));
+    }
+
+    // Single-experiment plans inherit the scheduler's full thread budget.
+    let exp_jobs: Vec<usize> = jobs
+        .iter()
+        .enumerate()
+        .filter(|(_, j)| matches!(j.kind, JobKind::Experiment { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    if exp_jobs.len() == 1 {
+        if let JobKind::Experiment { exp, .. } = &mut jobs[exp_jobs[0]].kind {
+            if scenario.experiment.get("threads").is_none() {
+                exp.threads = 0;
+            }
+        }
+    }
+
+    Ok(Plan {
+        scenario: scenario.clone(),
+        jobs,
+        graphs,
+        graph_variants,
+    })
+}

@@ -1,0 +1,308 @@
+//! Job execution: the bridge from the declarative plan to the evaluation
+//! harness, plus the serializable job-output model.
+
+use crate::cache::{BuiltGraph, ResourceCache};
+use crate::plan::{BurnIn, DesignChoice, Job, JobKind, Plan, ResolvedSampler, SamplerKind};
+use crate::{EngineError, RunOptions};
+use cgte_core::Design;
+use cgte_eval::{run_experiment, EstimatorKind, ExperimentConfig, Table, Target};
+use cgte_sampling::{AnySampler, MetropolisHastingsWalk, RandomWalk, Swrw, UniformIndependence};
+
+/// Summary statistics of the graph a job ran on (reporters use these for
+/// headings without re-touching the graph on `--resume`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphInfo {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Partition category count.
+    pub num_categories: usize,
+}
+
+/// The serialized form of an [`cgte_eval::ExperimentResult`].
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Evaluated sample sizes.
+    pub sizes: Vec<usize>,
+    /// `(estimator, target, truth, NRMSE series)` per tracked combination.
+    pub entries: Vec<(EstimatorKind, Target, f64, Vec<f64>)>,
+    /// Statistics of the underlying graph.
+    pub graph: GraphInfo,
+}
+
+impl ExperimentOutput {
+    /// Rebuilds the full result type for reporter post-processing.
+    pub fn to_result(&self) -> cgte_eval::ExperimentResult {
+        cgte_eval::ExperimentResult::from_parts(self.sizes.clone(), self.entries.iter().cloned())
+    }
+}
+
+/// One labelled numeric series (custom stages that produce table columns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedSeries {
+    /// Column label.
+    pub label: String,
+    /// Values.
+    pub values: Vec<f64>,
+}
+
+/// A renderable piece of a custom stage's report.
+#[derive(Debug, Clone)]
+pub enum ReportSection {
+    /// A named, headed table (rendered exactly like the legacy binaries).
+    Table {
+        /// CSV artifact base name.
+        name: String,
+        /// Printed heading.
+        heading: String,
+        /// The table.
+        table: Table,
+    },
+    /// A verbatim stdout block (printed with a single trailing newline).
+    Text(String),
+    /// A file exported next to the CSVs (fig7's DOT/JSON/GraphML dumps).
+    File {
+        /// Base name.
+        name: String,
+        /// Extension.
+        ext: String,
+        /// Contents.
+        content: String,
+    },
+    /// Raw key/value pairs consumed by a reporter (never printed).
+    Values(Vec<(String, String)>),
+}
+
+/// What a finished job hands to reporters and the artifact layer.
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    /// Build jobs produce no output (their effect is the warm cache).
+    None,
+    /// A full NRMSE experiment.
+    Experiment(ExperimentOutput),
+    /// Labelled numeric columns.
+    Columns(Vec<NamedSeries>),
+    /// Pre-rendered report sections.
+    Sections(Vec<ReportSection>),
+}
+
+/// Resolves the symbolic target specs of a job against a built graph.
+///
+/// Supported forms: `size:all`, `size:last`, `size:last-N`, `size:N`,
+/// `weight:all`, `weight:spectrum`, `weight:qNN`, `weight:A-B`.
+pub fn resolve_targets(
+    specs: &[String],
+    built: &BuiltGraph,
+    max_weight_targets: usize,
+) -> Result<Vec<Target>, EngineError> {
+    let ncat = built.partition().num_categories() as u32;
+    let mut out = Vec::new();
+    for spec in specs {
+        let (kind, arg) = spec.split_once(':').ok_or_else(|| {
+            EngineError::msg(format!("malformed target {spec:?} (expected kind:arg)"))
+        })?;
+        match kind {
+            "size" => {
+                if arg == "all" {
+                    out.extend((0..ncat).map(Target::Size));
+                } else if arg == "last" {
+                    out.push(Target::Size(ncat.saturating_sub(1)));
+                } else if let Some(n) = arg.strip_prefix("last-") {
+                    let n: u32 = n
+                        .parse()
+                        .map_err(|_| EngineError::msg(format!("malformed target {spec:?}")))?;
+                    out.push(Target::Size(ncat.saturating_sub(1).saturating_sub(n)));
+                } else {
+                    let c: u32 = arg
+                        .parse()
+                        .map_err(|_| EngineError::msg(format!("malformed target {spec:?}")))?;
+                    out.push(Target::Size(c));
+                }
+            }
+            "weight" => {
+                let exact = built.exact();
+                if arg == "all" {
+                    for a in 0..ncat {
+                        for b in (a + 1)..ncat {
+                            if exact.weight(a, b) > 0.0 {
+                                out.push(Target::Weight(a, b));
+                            }
+                        }
+                    }
+                } else if arg == "spectrum" {
+                    let mut edges = exact.edges_by_weight();
+                    edges.retain(|e| e.weight > 0.0);
+                    if !edges.is_empty() {
+                        let cap = if max_weight_targets == 0 {
+                            edges.len()
+                        } else {
+                            max_weight_targets
+                        };
+                        let stride = (edges.len() / cap).max(1);
+                        out.extend(
+                            edges
+                                .iter()
+                                .step_by(stride)
+                                .take(cap)
+                                .map(|e| Target::Weight(e.a, e.b)),
+                        );
+                    }
+                } else if let Some(q) = arg.strip_prefix('q') {
+                    let q: f64 = q
+                        .parse()
+                        .map_err(|_| EngineError::msg(format!("malformed target {spec:?}")))?;
+                    let e = exact
+                        .weight_quantile_edge(q / 100.0)
+                        .ok_or_else(|| EngineError::msg("graph has no category edges"))?;
+                    out.push(Target::Weight(e.a, e.b));
+                } else {
+                    let (a, b) = arg
+                        .split_once('-')
+                        .ok_or_else(|| EngineError::msg(format!("malformed target {spec:?}")))?;
+                    let a: u32 = a
+                        .parse()
+                        .map_err(|_| EngineError::msg(format!("malformed target {spec:?}")))?;
+                    let b: u32 = b
+                        .parse()
+                        .map_err(|_| EngineError::msg(format!("malformed target {spec:?}")))?;
+                    out.push(Target::Weight(a, b));
+                }
+            }
+            other => {
+                return Err(EngineError::msg(format!(
+                    "unknown target kind {other:?} in {spec:?} (known: size, weight)"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the concrete sampler for a job (burn-in resolved against the
+/// largest sample size, as the figure binaries did).
+pub fn build_sampler(
+    s: &ResolvedSampler,
+    built: &BuiltGraph,
+    max_size: usize,
+) -> Result<AnySampler, EngineError> {
+    let burn = match s.burn_in {
+        BurnIn::Fixed(b) => b,
+        BurnIn::Div(d) => max_size / d.max(1),
+    };
+    Ok(match s.kind {
+        SamplerKind::Uis => AnySampler::Uis(UniformIndependence),
+        SamplerKind::Rw => AnySampler::Rw(RandomWalk::new().burn_in(burn).thinning(s.thinning)),
+        SamplerKind::Mhrw => AnySampler::Mhrw(
+            MetropolisHastingsWalk::new()
+                .burn_in(burn)
+                .thinning(s.thinning),
+        ),
+        SamplerKind::Swrw => AnySampler::Swrw(
+            Swrw::equal_category_target(&built.graph, built.partition())
+                .ok_or_else(|| EngineError::msg("cannot build S-WRW (empty partition?)"))?
+                .burn_in(burn)
+                .thinning(s.thinning),
+        ),
+    })
+}
+
+/// Executes one job against the shared cache.
+pub fn execute_job(
+    job: &Job,
+    plan: &Plan,
+    cache: &ResourceCache,
+    opts: &RunOptions,
+) -> Result<JobOutput, EngineError> {
+    match &job.kind {
+        JobKind::Build { key } => {
+            let spec = plan
+                .graphs
+                .get(key)
+                .ok_or_else(|| EngineError::msg(format!("unknown graph key {key:?}")))?;
+            cache.resource(spec)?;
+            Ok(JobOutput::None)
+        }
+        JobKind::Experiment {
+            graph_key,
+            sampler,
+            exp,
+        } => {
+            let spec = plan
+                .graphs
+                .get(graph_key)
+                .ok_or_else(|| EngineError::msg(format!("unknown graph key {graph_key:?}")))?;
+            let built = cache.resource(spec)?;
+            let built = built.as_graph()?;
+            let targets = resolve_targets(&exp.targets, built, exp.max_weight_targets)?;
+            if targets.is_empty() {
+                return Err(EngineError::msg(format!(
+                    "job {} resolves to zero targets",
+                    job.id
+                )));
+            }
+            let max_size = *exp
+                .sizes
+                .iter()
+                .max()
+                .ok_or_else(|| EngineError::msg(format!("job {} has no sizes", job.id)))?;
+            let any = build_sampler(sampler, built, max_size)?;
+            let design = match exp.design {
+                DesignChoice::Uniform => Design::Uniform,
+                DesignChoice::Weighted => Design::Weighted,
+                DesignChoice::Auto => match sampler.kind {
+                    SamplerKind::Uis => Design::Uniform,
+                    _ => Design::Weighted,
+                },
+            };
+            let threads = if exp.threads == 0 {
+                opts.threads
+            } else {
+                exp.threads
+            };
+            let cfg = ExperimentConfig::new(exp.sizes.clone(), exp.replications)
+                .seed(exp.seed)
+                .design(design)
+                .threads(threads);
+            let res = run_experiment(&built.graph, built.partition(), &any, &targets, &cfg);
+            Ok(JobOutput::Experiment(ExperimentOutput {
+                sizes: exp.sizes.clone(),
+                entries: res.entries(),
+                graph: GraphInfo {
+                    nodes: built.graph.num_nodes(),
+                    edges: built.graph.num_edges(),
+                    mean_degree: built.graph.mean_degree(),
+                    num_categories: built.partition().num_categories(),
+                },
+            }))
+        }
+        JobKind::Custom {
+            stage,
+            params,
+            uses,
+            seed,
+        } => {
+            let resource = match uses {
+                Some(key) => {
+                    let spec = plan
+                        .graphs
+                        .get(key)
+                        .ok_or_else(|| EngineError::msg(format!("unknown graph key {key:?}")))?;
+                    Some(cache.resource(spec)?)
+                }
+                None => None,
+            };
+            crate::stages::run_stage(
+                stage,
+                &crate::stages::StageCtx {
+                    params,
+                    resource,
+                    seed: *seed,
+                    scale: opts.scale,
+                },
+            )
+        }
+    }
+}

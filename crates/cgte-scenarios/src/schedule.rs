@@ -1,0 +1,211 @@
+//! The parallel job scheduler: topological ordering over the plan's
+//! dependency DAG, `--threads`-bounded workers fed through `crossbeam`
+//! channels, streamed progress, and artifact/manifest updates after every
+//! completion (so an interrupted run can `--resume`).
+
+use crate::artifact::RunDir;
+use crate::cache::ResourceCache;
+use crate::plan::{JobKind, Plan};
+use crate::runner::{execute_job, JobOutput};
+use crate::{EngineError, RunOptions};
+use crossbeam::channel;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Runs every job of the plan, in dependency order, on a pool of worker
+/// threads. Returns the outputs keyed by job id.
+///
+/// With `opts.out_dir` set, every completed job is persisted (CSV + JSON)
+/// and recorded in the run manifest; with `opts.resume` additionally set,
+/// jobs already recorded as complete are loaded from their artifacts
+/// instead of re-executed.
+pub fn run_plan(
+    plan: &Plan,
+    cache: &ResourceCache,
+    opts: &RunOptions,
+    source: &str,
+) -> Result<BTreeMap<String, JobOutput>, EngineError> {
+    let n = plan.jobs.len();
+    let mut outputs: BTreeMap<String, JobOutput> = BTreeMap::new();
+
+    // Resume: load completed outputs from the run directory.
+    let mut run_dir = match &opts.out_dir {
+        Some(dir) => Some(RunDir::open(dir, &plan.scenario.name, source, opts)?),
+        None => None,
+    };
+    let mut completed: Vec<bool> = vec![false; n];
+    if opts.resume {
+        if let Some(rd) = &run_dir {
+            for (i, job) in plan.jobs.iter().enumerate() {
+                if matches!(job.kind, JobKind::Build { .. }) {
+                    continue; // build jobs are cheap state, always re-runnable
+                }
+                if let Some(out) = rd.load_completed(&job.id)? {
+                    outputs.insert(job.id.clone(), out);
+                    completed[i] = true;
+                }
+            }
+        }
+    }
+
+    // A build job is unnecessary when every dependent is already complete.
+    for (i, job) in plan.jobs.iter().enumerate() {
+        if matches!(job.kind, JobKind::Build { .. }) {
+            let needed = plan
+                .jobs
+                .iter()
+                .enumerate()
+                .any(|(j, other)| other.deps.contains(&i) && !completed[j]);
+            if !needed && plan.jobs.iter().any(|o| o.deps.contains(&i)) {
+                completed[i] = true;
+            }
+        }
+    }
+
+    // Dependency bookkeeping.
+    let mut indegree: Vec<usize> = plan
+        .jobs
+        .iter()
+        .map(|j| j.deps.iter().filter(|&&d| !completed[d]).count())
+        .collect();
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, job) in plan.jobs.iter().enumerate() {
+        for &d in &job.deps {
+            if d >= n {
+                return Err(EngineError::msg(format!(
+                    "job {} depends on out-of-range job index {d}",
+                    job.id
+                )));
+            }
+            dependents[d].push(i);
+        }
+    }
+
+    let total_runnable = completed.iter().filter(|&&c| !c).count();
+    let workers = if opts.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        opts.threads
+    }
+    .min(total_runnable.max(1));
+
+    if !opts.quiet && total_runnable > 0 {
+        eprintln!(
+            "{}: scheduling {total_runnable} job(s) on {workers} worker(s){}",
+            plan.scenario.name,
+            if n - total_runnable > 0 {
+                format!(" ({} resumed)", n - total_runnable)
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    let (ready_tx, ready_rx) = channel::unbounded::<usize>();
+    let (done_tx, done_rx) = channel::unbounded::<(usize, Result<JobOutput, EngineError>, u128)>();
+
+    let mut dispatched = 0usize;
+    for i in 0..n {
+        if !completed[i] && indegree[i] == 0 {
+            ready_tx.send(i).expect("ready channel open");
+            dispatched += 1;
+        }
+    }
+
+    let mut first_error: Option<EngineError> = None;
+    let mut finished = 0usize;
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let ready_rx = ready_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move |_| {
+                while let Ok(i) = ready_rx.recv() {
+                    let start = Instant::now();
+                    let result = execute_job(&plan.jobs[i], plan, cache, opts);
+                    let ms = start.elapsed().as_millis();
+                    if done_tx.send((i, result, ms)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+
+        let mut in_flight = dispatched;
+        while finished < total_runnable {
+            if in_flight == 0 {
+                // No runnable work left but jobs remain: the scenario's
+                // dependency graph has a cycle (or an upstream failure
+                // stranded dependents).
+                if first_error.is_none() {
+                    first_error = Some(EngineError::msg(
+                        "scheduler stalled: dependency cycle in the job graph",
+                    ));
+                }
+                break;
+            }
+            let Ok((i, result, ms)) = done_rx.recv() else {
+                break;
+            };
+            in_flight -= 1;
+            finished += 1;
+            match result {
+                Ok(out) => {
+                    let job = &plan.jobs[i];
+                    if !opts.quiet {
+                        let hits = cache.stats();
+                        eprintln!(
+                            "[{finished}/{total_runnable}] {} ({ms} ms, cache {}+{})",
+                            job.id, hits.builds, hits.hits
+                        );
+                    }
+                    if let Some(rd) = &mut run_dir {
+                        if !matches!(job.kind, JobKind::Build { .. }) {
+                            if let Err(e) = rd.record(&job.id, &out) {
+                                if first_error.is_none() {
+                                    first_error = Some(e);
+                                }
+                            }
+                        }
+                    }
+                    outputs.insert(job.id.clone(), out);
+                    completed[i] = true;
+                    for &dep in &dependents[i] {
+                        indegree[dep] -= 1;
+                        if indegree[dep] == 0
+                            && !completed[dep]
+                            && first_error.is_none()
+                            && ready_tx.send(dep).is_ok()
+                        {
+                            in_flight += 1;
+                        }
+                    }
+                }
+                Err(e) => {
+                    if !opts.quiet {
+                        eprintln!(
+                            "[{finished}/{total_runnable}] {} FAILED: {e}",
+                            plan.jobs[i].id
+                        );
+                    }
+                    if first_error.is_none() {
+                        first_error = Some(EngineError::msg(format!(
+                            "job {} failed: {e}",
+                            plan.jobs[i].id
+                        )));
+                    }
+                }
+            }
+        }
+        drop(ready_tx);
+    })
+    .map_err(|_| EngineError::msg("scheduler worker panicked"))?;
+
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(outputs),
+    }
+}

@@ -1,0 +1,444 @@
+//! Typed, scale-resolved scenario model with schema validation.
+//!
+//! [`resolve_scenario`] turns a parsed [`ScnDoc`] into a [`Scenario`]:
+//! every `scale(...)` / `logsizes(...)` call is resolved for the run's
+//! scale, every key is checked against the section's schema (unknown keys
+//! and malformed values are rejected with their source line), and the CLI
+//! seed override is applied. Sweep lists stay symbolic; they are expanded
+//! into the job matrix by [`crate::plan::build_plan`].
+
+use crate::parse::{ScnDoc, Section};
+use crate::value::Value;
+use crate::{EngineError, Scale};
+
+/// One resolved section: ordered `key -> value` entries plus source lines.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Section name (`""` for unnamed sections).
+    pub name: String,
+    /// Header source line.
+    pub line: usize,
+    /// Resolved entries in file order.
+    pub entries: Vec<(String, Value, usize)>,
+}
+
+impl Params {
+    /// Looks up a resolved value and its line.
+    pub fn get(&self, key: &str) -> Option<(&Value, usize)> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, l)| (v, *l))
+    }
+
+    /// A required key.
+    pub fn required(&self, key: &str) -> Result<(&Value, usize), EngineError> {
+        self.get(key).ok_or_else(|| {
+            EngineError::at(
+                self.line,
+                format!("section is missing required key `{key}`"),
+            )
+        })
+    }
+
+    /// An optional integer with a default.
+    pub fn usize_or(&self, key: &str, default: usize) -> Result<usize, EngineError> {
+        match self.get(key) {
+            Some((v, l)) => v.as_usize(l, key),
+            None => Ok(default),
+        }
+    }
+
+    /// An optional u64 with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, EngineError> {
+        match self.get(key) {
+            Some((v, l)) => v.as_u64(l, key),
+            None => Ok(default),
+        }
+    }
+
+    /// An optional float with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, EngineError> {
+        match self.get(key) {
+            Some((v, l)) => v.as_f64(l, key),
+            None => Ok(default),
+        }
+    }
+
+    /// An optional bool with a default.
+    pub fn bool_or(&self, key: &str, default: bool) -> Result<bool, EngineError> {
+        match self.get(key) {
+            Some((v, l)) => v.as_bool(l, key),
+            None => Ok(default),
+        }
+    }
+
+    /// An optional string with a default.
+    pub fn str_or(&self, key: &str, default: &str) -> Result<String, EngineError> {
+        match self.get(key) {
+            Some((v, l)) => v.as_str(l, key).map(String::from),
+            None => Ok(default.to_string()),
+        }
+    }
+}
+
+/// A fully scale-resolved scenario, ready for job-matrix expansion.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (`[scenario] name = "..."`).
+    pub name: String,
+    /// Base RNG seed after any CLI override.
+    pub seed: u64,
+    /// `[graph.X]` sections in file order.
+    pub graphs: Vec<Params>,
+    /// `[sampler.X]` sections in file order.
+    pub samplers: Vec<Params>,
+    /// The `[experiment]` section (possibly empty defaults).
+    pub experiment: Params,
+    /// `[job.X]` sections in file order (empty = all graphs × samplers).
+    pub jobs: Vec<Params>,
+    /// `[custom.X]` sections in file order.
+    pub customs: Vec<Params>,
+}
+
+impl Scenario {
+    /// Looks up a graph section by name (reporters use this for headings).
+    pub fn graph(&self, name: &str) -> Option<&Params> {
+        self.graphs.iter().find(|p| p.name == name)
+    }
+
+    /// A resolved integer param of a named graph section.
+    pub fn graph_usize(&self, graph: &str, key: &str) -> Option<usize> {
+        let p = self.graph(graph)?;
+        let (v, l) = p.get(key)?;
+        v.as_usize(l, key).ok()
+    }
+
+    /// Looks up a custom section by name.
+    pub fn custom(&self, name: &str) -> Option<&Params> {
+        self.customs.iter().find(|p| p.name == name)
+    }
+
+    /// Looks up a sampler section by name.
+    pub fn sampler(&self, name: &str) -> Option<&Params> {
+        self.samplers.iter().find(|p| p.name == name)
+    }
+}
+
+/// Schema entry: whether a list value is plain data (never a sweep).
+#[derive(Clone, Copy, PartialEq)]
+enum KeyKind {
+    /// Scalar position: a list here means a sweep.
+    Scalar,
+    /// List-valued data (`sizes`, `targets`, `graph`, `sampler` refs).
+    DataList,
+}
+
+const SCENARIO_KEYS: &[(&str, KeyKind)] = &[("name", KeyKind::Scalar), ("seed", KeyKind::Scalar)];
+
+const PLANTED_KEYS: &[(&str, KeyKind)] = &[
+    ("generator", KeyKind::Scalar),
+    ("k", KeyKind::Scalar),
+    ("alpha", KeyKind::Scalar),
+    ("scale_div", KeyKind::Scalar),
+    ("seed_add", KeyKind::Scalar),
+    ("seed_xor", KeyKind::Scalar),
+];
+
+const STANDIN_KEYS: &[(&str, KeyKind)] = &[
+    ("generator", KeyKind::Scalar),
+    ("kind", KeyKind::Scalar),
+    ("scale_div", KeyKind::Scalar),
+    ("top_k", KeyKind::Scalar),
+    ("spectral", KeyKind::Scalar),
+    ("seed_add", KeyKind::Scalar),
+    ("seed_xor", KeyKind::Scalar),
+];
+
+const FACEBOOK_KEYS: &[(&str, KeyKind)] = &[
+    ("generator", KeyKind::Scalar),
+    ("preset", KeyKind::Scalar),
+    ("num_users", KeyKind::Scalar),
+    ("num_regions", KeyKind::Scalar),
+    ("num_countries", KeyKind::Scalar),
+    ("num_colleges", KeyKind::Scalar),
+    ("college_fraction", KeyKind::Scalar),
+    ("college_fraction_min", KeyKind::Scalar),
+    ("region_declared_fraction", KeyKind::Scalar),
+    ("mean_degree", KeyKind::Scalar),
+    ("gamma", KeyKind::Scalar),
+    ("region_homophily", KeyKind::Scalar),
+    ("college_homophily", KeyKind::Scalar),
+    ("zipf_exponent", KeyKind::Scalar),
+    ("crawls", KeyKind::Scalar),
+    ("walks09", KeyKind::Scalar),
+    ("per_walk09", KeyKind::Scalar),
+    ("walks10", KeyKind::Scalar),
+    ("per_walk10", KeyKind::Scalar),
+    ("seed_add", KeyKind::Scalar),
+    ("seed_xor", KeyKind::Scalar),
+];
+
+const SAMPLER_KEYS: &[(&str, KeyKind)] = &[
+    ("kind", KeyKind::Scalar),
+    ("burn_in", KeyKind::Scalar),
+    ("burn_in_div", KeyKind::Scalar),
+    ("thinning", KeyKind::Scalar),
+];
+
+const EXPERIMENT_KEYS: &[(&str, KeyKind)] = &[
+    ("sizes", KeyKind::DataList),
+    ("replications", KeyKind::Scalar),
+    ("design", KeyKind::Scalar),
+    ("targets", KeyKind::DataList),
+    ("max_weight_targets", KeyKind::Scalar),
+    ("threads", KeyKind::Scalar),
+];
+
+const JOB_KEYS: &[(&str, KeyKind)] = &[
+    ("graph", KeyKind::DataList),
+    ("sampler", KeyKind::DataList),
+    ("targets", KeyKind::DataList),
+    ("design", KeyKind::Scalar),
+    ("sizes", KeyKind::DataList),
+    ("replications", KeyKind::Scalar),
+    ("max_weight_targets", KeyKind::Scalar),
+];
+
+/// Keys every `[custom.X]` section accepts besides its stage's own.
+const CUSTOM_BASE_KEYS: &[&str] = &["stage", "uses"];
+
+fn check_keys(
+    section: &Section,
+    allowed: &[(&str, KeyKind)],
+    context: &str,
+) -> Result<(), EngineError> {
+    for e in &section.entries {
+        if !allowed.iter().any(|(k, _)| *k == e.key) {
+            let known: Vec<&str> = allowed.iter().map(|(k, _)| *k).collect();
+            return Err(EngineError::at(
+                e.line,
+                format!(
+                    "unknown key `{}` in {context} (known keys: {})",
+                    e.key,
+                    known.join(", ")
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Whether a key's list value is a sweep (scalar position) for the given
+/// section kind, used by the planner.
+pub(crate) fn is_sweep_key(kind: &str, key: &str) -> bool {
+    let table: &[(&str, KeyKind)] = match kind {
+        "graph" => {
+            // The union of all generator schemas; list-typed keys are the
+            // same across generators (none).
+            PLANTED_KEYS
+        }
+        "sampler" => SAMPLER_KEYS,
+        "custom" => return !CUSTOM_BASE_KEYS.contains(&key),
+        "job" => JOB_KEYS,
+        _ => return false,
+    };
+    table
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, t)| *t == KeyKind::Scalar)
+        .unwrap_or(true)
+}
+
+fn resolve_section(section: &Section, scale: Scale) -> Result<Params, EngineError> {
+    let entries = section
+        .entries
+        .iter()
+        .map(|e| Ok((e.key.clone(), e.value.resolve(scale, e.line)?, e.line)))
+        .collect::<Result<Vec<_>, EngineError>>()?;
+    Ok(Params {
+        name: section.name.clone(),
+        line: section.line,
+        entries,
+    })
+}
+
+/// Resolves a parsed document into a typed scenario for one run scale,
+/// validating every section and key.
+pub fn resolve_scenario(
+    doc: &ScnDoc,
+    scale: Scale,
+    seed_override: Option<u64>,
+) -> Result<Scenario, EngineError> {
+    for s in &doc.sections {
+        match s.kind.as_str() {
+            "scenario" | "graph" | "sampler" | "experiment" | "job" | "custom" => {}
+            other => {
+                return Err(EngineError::at(
+                    s.line,
+                    format!(
+                        "unknown section kind [{other}] (known: scenario, graph, sampler, experiment, job, custom)"
+                    ),
+                ))
+            }
+        }
+    }
+
+    let meta = doc
+        .unique_section("scenario")?
+        .ok_or_else(|| EngineError::msg("scenario file has no [scenario] section"))?;
+    check_keys(meta, SCENARIO_KEYS, "[scenario]")?;
+    let meta_params = resolve_section(meta, scale)?;
+    let (name_v, name_l) = meta_params.required("name")?;
+    let name = name_v.as_str(name_l, "name")?.to_string();
+    let seed = match seed_override {
+        Some(s) => s,
+        None => meta_params.u64_or("seed", 0x2012_5EED)?,
+    };
+
+    let mut graphs = Vec::new();
+    for s in doc.sections_of("graph") {
+        if s.name.is_empty() && doc.sections_of("graph").count() > 1 {
+            return Err(EngineError::at(
+                s.line,
+                "multiple [graph] sections must be named ([graph.NAME])",
+            ));
+        }
+        let gen = s
+            .get("generator")
+            .ok_or_else(|| EngineError::at(s.line, "graph section is missing `generator`"))?;
+        // The generator choice cannot itself be swept or scale-dependent:
+        // it selects the schema.
+        let gen_name = match &gen.value {
+            Value::Str(g) => g.as_str(),
+            other => {
+                return Err(EngineError::at(
+                    gen.line,
+                    format!("generator must be a plain string, got {other}"),
+                ))
+            }
+        };
+        let schema = match gen_name {
+            "planted" => PLANTED_KEYS,
+            "standin" => STANDIN_KEYS,
+            "facebook" => FACEBOOK_KEYS,
+            other => {
+                return Err(EngineError::at(
+                    gen.line,
+                    format!("unknown generator {other:?} (known: planted, standin, facebook)"),
+                ))
+            }
+        };
+        check_keys(s, schema, &format!("[graph.{}] ({gen_name})", s.name))?;
+        let mut p = resolve_section(s, scale)?;
+        if p.name.is_empty() {
+            p.name = "g".into();
+        }
+        graphs.push(p);
+    }
+
+    let mut samplers = Vec::new();
+    for s in doc.sections_of("sampler") {
+        if s.name.is_empty() && doc.sections_of("sampler").count() > 1 {
+            return Err(EngineError::at(
+                s.line,
+                "multiple [sampler] sections must be named ([sampler.NAME])",
+            ));
+        }
+        check_keys(s, SAMPLER_KEYS, &format!("[sampler.{}]", s.name))?;
+        let mut p = resolve_section(s, scale)?;
+        if p.name.is_empty() {
+            p.name = "s".into();
+        }
+        samplers.push(p);
+    }
+    if samplers.is_empty() && !graphs.is_empty() {
+        // Default sampler: uniform independence.
+        samplers.push(Params {
+            name: "uis".into(),
+            line: 0,
+            entries: vec![("kind".into(), Value::Str("uis".into()), 0)],
+        });
+    }
+
+    let experiment = match doc.unique_section("experiment")? {
+        Some(s) => {
+            check_keys(s, EXPERIMENT_KEYS, "[experiment]")?;
+            resolve_section(s, scale)?
+        }
+        None => Params {
+            name: String::new(),
+            line: 0,
+            entries: Vec::new(),
+        },
+    };
+
+    let mut jobs = Vec::new();
+    for s in doc.sections_of("job") {
+        check_keys(s, JOB_KEYS, &format!("[job.{}]", s.name))?;
+        let mut p = resolve_section(s, scale)?;
+        if p.name.is_empty() {
+            p.name = "run".into();
+        }
+        jobs.push(p);
+    }
+
+    let mut customs = Vec::new();
+    for s in doc.sections_of("custom") {
+        let stage = s
+            .get("stage")
+            .ok_or_else(|| EngineError::at(s.line, "custom section is missing `stage`"))?;
+        let stage_name = match &stage.value {
+            Value::Str(g) => g.as_str(),
+            other => {
+                return Err(EngineError::at(
+                    stage.line,
+                    format!("stage must be a plain string, got {other}"),
+                ))
+            }
+        };
+        let extra = crate::stages::stage_param_keys(stage_name).ok_or_else(|| {
+            EngineError::at(
+                stage.line,
+                format!(
+                    "unknown stage {stage_name:?} (known: {})",
+                    crate::stages::stage_names().join(", ")
+                ),
+            )
+        })?;
+        for e in &s.entries {
+            if !CUSTOM_BASE_KEYS.contains(&e.key.as_str()) && !extra.contains(&e.key.as_str()) {
+                return Err(EngineError::at(
+                    e.line,
+                    format!(
+                        "unknown key `{}` for stage {stage_name:?} (known: {}, {})",
+                        e.key,
+                        CUSTOM_BASE_KEYS.join(", "),
+                        extra.join(", ")
+                    ),
+                ));
+            }
+        }
+        let mut p = resolve_section(s, scale)?;
+        if p.name.is_empty() {
+            p.name = stage_name.to_string();
+        }
+        customs.push(p);
+    }
+
+    if graphs.is_empty() && customs.is_empty() {
+        return Err(EngineError::msg(
+            "scenario defines no [graph] sections and no [custom] stages; nothing to run",
+        ));
+    }
+
+    Ok(Scenario {
+        name,
+        seed,
+        graphs,
+        samplers,
+        experiment,
+        jobs,
+        customs,
+    })
+}

@@ -1,0 +1,92 @@
+//! A1 (paper footnote 4): the model-based star size estimator, ported
+//! from the `ablation_model_based` binary. One stage invocation evaluates
+//! one sampler on the shared Epinions stand-in and renders its complete
+//! table.
+
+use super::StageCtx;
+use crate::report::{fmt_nrmse, log_sizes};
+use crate::runner::{JobOutput, ReportSection};
+use crate::{EngineError, Scale};
+use cgte_core::category_size::{induced_sizes, star_sizes, StarSizeOptions};
+use cgte_eval::{median, Table};
+use cgte_sampling::{AnySampler, NodeSampler, RandomWalk, StarSample, UniformIndependence};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Evaluates induced / plug-in star / model-based star sizes for one
+/// sampler; `sampler` parameter is `"uis"` or `"rw"`.
+pub fn model_based(ctx: &StageCtx<'_>) -> Result<JobOutput, EngineError> {
+    let built = ctx.graph()?;
+    let g = &built.graph;
+    let p = built.partition();
+    let reps = ctx.usize_param("reps", 40)?;
+    let sizes = match ctx.scale {
+        Scale::Quick => log_sizes(100, 1000, 3),
+        Scale::Default => log_sizes(200, 20_000, 5),
+        Scale::Full => log_sizes(1000, 100_000, 5),
+    };
+    let (sampler, label) = match ctx.str_param("sampler")? {
+        "uis" => (AnySampler::Uis(UniformIndependence), "UIS"),
+        "rw" => (AnySampler::Rw(RandomWalk::new().burn_in(2000)), "RW"),
+        other => {
+            return Err(EngineError::msg(format!(
+                "unknown A1 sampler {other:?} (known: uis, rw)"
+            )))
+        }
+    };
+
+    let truth: Vec<f64> = p.sizes().iter().map(|&s| s as f64).collect();
+    let population = g.num_nodes() as f64;
+    let num_c = p.num_categories();
+
+    let mut t = Table::new(
+        ["|S|", "induced", "star(plug-in k̂_A)", "star(k̂_A = k̂_V)"]
+            .map(String::from)
+            .to_vec(),
+    );
+    // sum of squared errors [estimator][size][category]
+    let mut errs = vec![vec![vec![0.0f64; num_c]; sizes.len()]; 3];
+    for rep in 0..reps {
+        let mut rng = StdRng::seed_from_u64(ctx.seed + 1000 + rep as u64);
+        let nodes = sampler.sample(g, *sizes.last().unwrap(), &mut rng);
+        for (si, &s) in sizes.iter().enumerate() {
+            let star = if label == "UIS" {
+                StarSample::observe(g, p, &nodes[..s])
+            } else {
+                StarSample::observe_sampler(g, p, &nodes[..s], &sampler)
+            };
+            let ind = induced_sizes(&star, population).unwrap_or_else(|| vec![0.0; num_c]);
+            let plug = star_sizes(&star, population, &StarSizeOptions::default());
+            let model = star_sizes(
+                &star,
+                population,
+                &StarSizeOptions {
+                    model_based_mean_degree: true,
+                },
+            );
+            for c in 0..num_c {
+                errs[0][si][c] += (ind[c] - truth[c]).powi(2);
+                errs[1][si][c] += (plug[c].unwrap_or(0.0) - truth[c]).powi(2);
+                errs[2][si][c] += (model[c].unwrap_or(0.0) - truth[c]).powi(2);
+            }
+        }
+    }
+    for (si, &s) in sizes.iter().enumerate() {
+        let mut row = vec![s.to_string()];
+        for e in &errs {
+            let per_cat: Vec<f64> = (0..num_c)
+                .filter(|&c| truth[c] > 0.0)
+                .map(|c| (e[si][c] / reps as f64).sqrt() / truth[c])
+                .collect();
+            row.push(fmt_nrmse(median(&per_cat).unwrap_or(f64::NAN)));
+        }
+        t.row(row);
+    }
+    Ok(JobOutput::Sections(vec![ReportSection::Table {
+        name: format!("ablation_model_based_{}", label.to_lowercase()),
+        heading: format!(
+            "A1 ({label}): median NRMSE(|Â|) across {num_c} categories, Epinions stand-in"
+        ),
+        table: t,
+    }]))
+}

@@ -1,0 +1,135 @@
+//! Custom stage registry.
+//!
+//! Not every figure fits the declarative experiment-job model: the
+//! Facebook-crawl figures (fig5–fig7, table2) evaluate pre-drawn crawl
+//! datasets with bespoke protocols, and two ablations predate
+//! `run_experiment`. Those live here as **stages**: named, parameterized
+//! job bodies that scenarios invoke through `[custom.X]` sections. Stages
+//! draw their inputs from the shared resource cache (`uses = "..."`), so a
+//! suite run builds each simulation exactly once no matter how many stages
+//! consume it.
+
+mod ablation;
+mod facebook;
+
+use crate::cache::Resource;
+use crate::runner::JobOutput;
+use crate::value::Value;
+use crate::{EngineError, Scale};
+
+/// Execution context handed to a stage.
+pub struct StageCtx<'a> {
+    /// Resolved stage parameters (sweeps already applied).
+    pub params: &'a [(String, Value)],
+    /// The resource named by `uses`, if any.
+    pub resource: Option<Resource>,
+    /// Scenario base seed.
+    pub seed: u64,
+    /// Run scale (stages that predate the engine key sizes off it).
+    pub scale: Scale,
+}
+
+impl StageCtx<'_> {
+    /// A parameter value by key.
+    pub fn param(&self, key: &str) -> Option<&Value> {
+        self.params.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// An integer parameter with a default.
+    pub fn usize_param(&self, key: &str, default: usize) -> Result<usize, EngineError> {
+        match self.param(key) {
+            Some(v) => v.as_usize(0, key),
+            None => Ok(default),
+        }
+    }
+
+    /// A float parameter with a default.
+    pub fn f64_param(&self, key: &str, default: f64) -> Result<f64, EngineError> {
+        match self.param(key) {
+            Some(v) => v.as_f64(0, key),
+            None => Ok(default),
+        }
+    }
+
+    /// A required string parameter.
+    pub fn str_param(&self, key: &str) -> Result<&str, EngineError> {
+        self.param(key)
+            .ok_or_else(|| EngineError::msg(format!("stage is missing parameter `{key}`")))?
+            .as_str(0, key)
+    }
+
+    /// The stage's graph resource.
+    pub fn graph(&self) -> Result<&std::sync::Arc<crate::cache::BuiltGraph>, EngineError> {
+        self.resource
+            .as_ref()
+            .ok_or_else(|| EngineError::msg("stage needs `uses = \"<graph>\"`"))?
+            .as_graph()
+    }
+
+    /// The stage's Facebook simulation resource.
+    pub fn facebook(&self) -> Result<&std::sync::Arc<crate::cache::FacebookBundle>, EngineError> {
+        self.resource
+            .as_ref()
+            .ok_or_else(|| EngineError::msg("stage needs `uses = \"<facebook sim>\"`"))?
+            .as_facebook()
+    }
+}
+
+/// `(name, extra parameter keys)` for every registered stage.
+const STAGES: &[(&str, &[&str])] = &[
+    ("graph-stats", &[]),
+    ("fig5-2009", &[]),
+    ("fig5-2010", &[]),
+    ("fig6-eval", &["crawl", "top"]),
+    ("fig7-countries", &[]),
+    ("fig7-regions", &[]),
+    ("fig7-colleges", &[]),
+    ("table2", &[]),
+    ("ablation-swrw", &["beta", "reps"]),
+    ("ablation-model-based", &["sampler", "reps"]),
+];
+
+/// All registered stage names.
+pub fn stage_names() -> Vec<&'static str> {
+    STAGES.iter().map(|(n, _)| *n).collect()
+}
+
+/// The extra parameter keys a stage accepts (`None` = unknown stage).
+pub fn stage_param_keys(name: &str) -> Option<&'static [&'static str]> {
+    STAGES.iter().find(|(n, _)| *n == name).map(|(_, k)| *k)
+}
+
+/// Dispatches a stage by name.
+pub fn run_stage(name: &str, ctx: &StageCtx<'_>) -> Result<JobOutput, EngineError> {
+    match name {
+        "graph-stats" => graph_stats(ctx),
+        "fig5-2009" => facebook::fig5_2009(ctx),
+        "fig5-2010" => facebook::fig5_2010(ctx),
+        "fig6-eval" => facebook::fig6_eval(ctx),
+        "fig7-countries" => facebook::fig7_countries(ctx),
+        "fig7-regions" => facebook::fig7_regions(ctx),
+        "fig7-colleges" => facebook::fig7_colleges(ctx),
+        "table2" => facebook::table2(ctx),
+        "ablation-swrw" => facebook::ablation_swrw(ctx),
+        "ablation-model-based" => ablation::model_based(ctx),
+        other => Err(EngineError::msg(format!("unknown stage {other:?}"))),
+    }
+}
+
+/// Emits a graph's Table-1 statistics as raw values for a reporter
+/// (formatted exactly as the legacy `table1` binary formatted its cells).
+fn graph_stats(ctx: &StageCtx<'_>) -> Result<JobOutput, EngineError> {
+    use cgte_graph::algorithms::DegreeStats;
+    let built = ctx.graph()?;
+    let g = &built.graph;
+    let stats = DegreeStats::of(g);
+    Ok(JobOutput::Sections(vec![
+        crate::runner::ReportSection::Values(vec![
+            ("nodes".into(), g.num_nodes().to_string()),
+            ("edges".into(), g.num_edges().to_string()),
+            ("mean_degree".into(), format!("{:.1}", g.mean_degree())),
+            ("max_degree".into(), stats.max.to_string()),
+            ("degree_cv".into(), format!("{:.2}", stats.cv)),
+        ]),
+    ]))
+}

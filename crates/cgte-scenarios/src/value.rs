@@ -1,0 +1,216 @@
+//! Scenario values: the scalar/list/function data model of `.scn` files.
+
+use crate::{EngineError, Scale};
+use std::fmt;
+
+/// A parsed `.scn` value. Functions (`scale(...)`, `logsizes(...)`) stay
+/// symbolic until [`Value::resolve`] is called with the run scale.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A quoted or bare-word string.
+    Str(String),
+    /// An integer (decimal, hex `0x…`, underscores allowed).
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `[a, b, c]` — a sweep in scalar position, plain data in list
+    /// position (`sizes`, `targets`).
+    List(Vec<Value>),
+    /// `name(arg, …)` — resolved at scale-resolution time.
+    Func(String, Vec<Value>),
+}
+
+impl Value {
+    /// Resolves `scale(...)` / `logsizes(...)` calls recursively, leaving
+    /// only scalars and lists.
+    pub fn resolve(&self, scale: Scale, line: usize) -> Result<Value, EngineError> {
+        match self {
+            Value::Func(name, args) => match name.as_str() {
+                "scale" => {
+                    if args.len() != 3 {
+                        return Err(EngineError::at(
+                            line,
+                            format!(
+                                "scale() takes 3 arguments (quick, default, full), got {}",
+                                args.len()
+                            ),
+                        ));
+                    }
+                    let idx = match scale {
+                        Scale::Quick => 0,
+                        Scale::Default => 1,
+                        Scale::Full => 2,
+                    };
+                    args[idx].resolve(scale, line)
+                }
+                "logsizes" => {
+                    let args: Vec<Value> = args
+                        .iter()
+                        .map(|a| a.resolve(scale, line))
+                        .collect::<Result<_, _>>()?;
+                    if args.len() != 3 {
+                        return Err(EngineError::at(
+                            line,
+                            format!(
+                                "logsizes() takes 3 arguments (lo, hi, points), got {}",
+                                args.len()
+                            ),
+                        ));
+                    }
+                    let lo = args[0].as_usize(line, "logsizes lo")?;
+                    let hi = args[1].as_usize(line, "logsizes hi")?;
+                    let points = args[2].as_usize(line, "logsizes points")?;
+                    if lo < 1 || hi < lo || points < 2 {
+                        return Err(EngineError::at(
+                            line,
+                            format!("logsizes({lo}, {hi}, {points}): need 1 <= lo <= hi and points >= 2"),
+                        ));
+                    }
+                    Ok(Value::List(
+                        crate::report::log_sizes(lo, hi, points)
+                            .into_iter()
+                            .map(|s| Value::Int(s as i64))
+                            .collect(),
+                    ))
+                }
+                other => Err(EngineError::at(
+                    line,
+                    format!("unknown function {other:?} (supported: scale, logsizes)"),
+                )),
+            },
+            Value::List(items) => Ok(Value::List(
+                items
+                    .iter()
+                    .map(|v| v.resolve(scale, line))
+                    .collect::<Result<_, _>>()?,
+            )),
+            other => Ok(other.clone()),
+        }
+    }
+
+    /// Extracts an integer, accepting `Int` only.
+    pub fn as_i64(&self, line: usize, what: &str) -> Result<i64, EngineError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(EngineError::at(
+                line,
+                format!("{what}: expected an integer, got {other}"),
+            )),
+        }
+    }
+
+    /// Extracts a non-negative integer as `usize`.
+    pub fn as_usize(&self, line: usize, what: &str) -> Result<usize, EngineError> {
+        let i = self.as_i64(line, what)?;
+        usize::try_from(i).map_err(|_| {
+            EngineError::at(
+                line,
+                format!("{what}: expected a non-negative integer, got {i}"),
+            )
+        })
+    }
+
+    /// Extracts a `u64` (seeds and seed modifiers).
+    pub fn as_u64(&self, line: usize, what: &str) -> Result<u64, EngineError> {
+        let i = self.as_i64(line, what)?;
+        u64::try_from(i).map_err(|_| {
+            EngineError::at(
+                line,
+                format!("{what}: expected a non-negative integer, got {i}"),
+            )
+        })
+    }
+
+    /// Extracts a float, accepting `Int` as well.
+    pub fn as_f64(&self, line: usize, what: &str) -> Result<f64, EngineError> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            other => Err(EngineError::at(
+                line,
+                format!("{what}: expected a number, got {other}"),
+            )),
+        }
+    }
+
+    /// Extracts a string.
+    pub fn as_str(&self, line: usize, what: &str) -> Result<&str, EngineError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(EngineError::at(
+                line,
+                format!("{what}: expected a string, got {other}"),
+            )),
+        }
+    }
+
+    /// Extracts a bool.
+    pub fn as_bool(&self, line: usize, what: &str) -> Result<bool, EngineError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(EngineError::at(
+                line,
+                format!("{what}: expected true/false, got {other}"),
+            )),
+        }
+    }
+
+    /// Extracts a list of `usize` (e.g. `sizes`).
+    pub fn as_usize_list(&self, line: usize, what: &str) -> Result<Vec<usize>, EngineError> {
+        match self {
+            Value::List(items) => items.iter().map(|v| v.as_usize(line, what)).collect(),
+            other => Err(EngineError::at(
+                line,
+                format!("{what}: expected a list of integers, got {other}"),
+            )),
+        }
+    }
+
+    /// Extracts a list of strings (e.g. `targets`).
+    pub fn as_str_list(&self, line: usize, what: &str) -> Result<Vec<String>, EngineError> {
+        match self {
+            Value::List(items) => items
+                .iter()
+                .map(|v| v.as_str(line, what).map(String::from))
+                .collect(),
+            Value::Str(s) => Ok(vec![s.clone()]),
+            other => Err(EngineError::at(
+                line,
+                format!("{what}: expected a list of strings, got {other}"),
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Func(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, v) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Engine integration tests: shared-cache deduplication, scheduler
+//! determinism across thread counts, and `--resume` semantics.
+
+use cgte_scenarios::runner::JobOutput;
+use cgte_scenarios::{
+    build_plan, parse_scn, resolve_scenario, run_plan, ResourceCache, RunOptions, Scale,
+};
+use std::collections::BTreeMap;
+
+const SWEEP_SCN: &str = "\
+[scenario]
+name = \"cache-sweep\"
+seed = 77
+[graph.g]
+generator = \"planted\"
+k = 5
+alpha = 0.4
+scale_div = 400
+[sampler.rw]
+kind = \"rw\"
+burn_in = 20
+thinning = [1, 2, 3, 4, 5]
+[experiment]
+sizes = [20, 60]
+replications = 3
+design = \"weighted\"
+targets = [\"size:last\", \"weight:q75\"]
+";
+
+fn quiet_opts() -> RunOptions {
+    RunOptions {
+        quiet: true,
+        ..RunOptions::default()
+    }
+}
+
+fn run_sweep(opts: &RunOptions) -> (BTreeMap<String, JobOutput>, cgte_scenarios::CacheStats) {
+    let doc = parse_scn(SWEEP_SCN).unwrap();
+    let scenario = resolve_scenario(&doc, Scale::Quick, None).unwrap();
+    let plan = build_plan(&scenario).unwrap();
+    let cache = ResourceCache::new();
+    let outputs = run_plan(&plan, &cache, opts, SWEEP_SCN).unwrap();
+    (outputs, cache.stats())
+}
+
+fn experiment_entries(out: &JobOutput) -> Vec<(String, Vec<u64>)> {
+    match out {
+        JobOutput::Experiment(e) => e
+            .entries
+            .iter()
+            .map(|(k, t, _, series)| {
+                (
+                    format!("{}|{t:?}", k.name()),
+                    series.iter().map(|x| x.to_bits()).collect(),
+                )
+            })
+            .collect(),
+        _ => panic!("expected experiment output"),
+    }
+}
+
+/// The acceptance criterion: a sweep scenario reusing one graph across
+/// ≥ 4 jobs builds that graph exactly once.
+#[test]
+fn sweep_builds_shared_graph_exactly_once() {
+    let (outputs, stats) = run_sweep(&quiet_opts());
+    let experiment_jobs = outputs
+        .values()
+        .filter(|o| matches!(o, JobOutput::Experiment(_)))
+        .count();
+    assert_eq!(experiment_jobs, 5, "five thinning variants ran");
+    assert_eq!(stats.builds, 1, "one shared graph build");
+    assert!(
+        stats.hits >= 4,
+        "every other job hits the cache (got {} hits)",
+        stats.hits
+    );
+}
+
+/// Scheduler parallelism must not change any series bit.
+#[test]
+fn outputs_identical_across_thread_counts() {
+    let (a, _) = run_sweep(&quiet_opts());
+    let four = RunOptions {
+        threads: 4,
+        ..quiet_opts()
+    };
+    let (b, _) = run_sweep(&four);
+    assert_eq!(a.len(), b.len());
+    for (id, out) in &a {
+        if matches!(out, JobOutput::Experiment(_)) {
+            assert_eq!(
+                experiment_entries(out),
+                experiment_entries(&b[id]),
+                "job {id} must be bit-identical across thread counts"
+            );
+        }
+    }
+}
+
+/// `--resume` loads completed jobs from artifacts (no re-execution) and
+/// re-executes exactly the incomplete ones.
+#[test]
+fn resume_reexecutes_only_incomplete_jobs() {
+    let dir = std::env::temp_dir().join(format!("cgte-engine-resume-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let full_opts = RunOptions {
+        out_dir: Some(dir.clone()),
+        ..quiet_opts()
+    };
+
+    // Fresh run: one build, four cache hits, all artifacts written.
+    let (first, stats) = run_sweep(&full_opts);
+    assert_eq!(stats.builds, 1);
+
+    // Resume over a complete run: nothing executes, outputs identical.
+    let resume_opts = RunOptions {
+        resume: true,
+        ..full_opts.clone()
+    };
+    let (resumed, stats) = run_sweep(&resume_opts);
+    assert_eq!(
+        stats.builds, 0,
+        "a fully completed run must not rebuild anything"
+    );
+    assert_eq!(stats.hits, 0, "no job executed, so no cache traffic");
+    // The build job is skipped entirely on resume (its only effect is the
+    // warm cache), so only the five experiment outputs reappear.
+    let experiments = |m: &BTreeMap<String, JobOutput>| {
+        m.values()
+            .filter(|o| matches!(o, JobOutput::Experiment(_)))
+            .count()
+    };
+    assert_eq!(experiments(&first), 5);
+    assert_eq!(experiments(&resumed), 5);
+    for (id, out) in &first {
+        if matches!(out, JobOutput::Experiment(_)) {
+            assert_eq!(
+                experiment_entries(out),
+                experiment_entries(&resumed[id]),
+                "job {id} must round-trip bit-exactly through its artifact"
+            );
+        }
+    }
+
+    // Interrupt simulation: delete one job's artifact. Resume re-executes
+    // exactly that job (one graph rebuild, no cache hits from the others).
+    let victim = dir.join("jobs").join("run_g_rw_3_.json");
+    assert!(victim.exists(), "expected artifact at {victim:?}");
+    std::fs::remove_file(&victim).unwrap();
+    let (repaired, stats) = run_sweep(&resume_opts);
+    assert_eq!(
+        stats.builds, 1,
+        "only the incomplete job rebuilds its graph"
+    );
+    assert_eq!(
+        stats.hits, 1,
+        "exactly the one re-executed job touches the cache"
+    );
+    assert_eq!(
+        experiment_entries(&first["run/g/rw[3]"]),
+        experiment_entries(&repaired["run/g/rw[3]"]),
+        "re-executed job reproduces the original series"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Resuming against a run directory written at different parameters is
+/// rejected instead of silently mixing results.
+#[test]
+fn resume_rejects_fingerprint_mismatch() {
+    let dir = std::env::temp_dir().join(format!("cgte-engine-fp-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let opts = RunOptions {
+        out_dir: Some(dir.clone()),
+        ..quiet_opts()
+    };
+    let (_, _) = run_sweep(&opts);
+
+    let other_scn = SWEEP_SCN.replace("seed = 77", "seed = 78");
+    let doc = parse_scn(&other_scn).unwrap();
+    let scenario = resolve_scenario(&doc, Scale::Quick, None).unwrap();
+    let plan = build_plan(&scenario).unwrap();
+    let cache = ResourceCache::new();
+    let resume_opts = RunOptions {
+        resume: true,
+        ..opts
+    };
+    let err = run_plan(&plan, &cache, &resume_opts, &other_scn).unwrap_err();
+    assert!(
+        err.msg.contains("different scenario"),
+        "unexpected error: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Facebook bundles are cached too: several custom stages over one
+/// simulation share a single generation.
+#[test]
+fn facebook_bundle_shared_across_stages() {
+    let doc = parse_scn(cgte_scenarios::builtin_scenario("fig7").unwrap()).unwrap();
+    let scenario = resolve_scenario(&doc, Scale::Quick, None).unwrap();
+    let plan = build_plan(&scenario).unwrap();
+    let cache = ResourceCache::new();
+    let outputs = run_plan(&plan, &cache, &quiet_opts(), "fig7").unwrap();
+    assert_eq!(outputs.len(), 4, "one build + three panels");
+    let stats = cache.stats();
+    assert_eq!(stats.builds, 1, "one simulation build for three panels");
+    assert!(stats.hits >= 3);
+}

@@ -1,0 +1,245 @@
+//! `.scn` parser and spec-resolution coverage: round-trips of every
+//! embedded built-in scenario, sweep-expansion cardinality, and property
+//! tests that unknown keys / malformed values are rejected with a
+//! line-numbered error.
+
+use cgte_scenarios::plan::JobKind;
+use cgte_scenarios::{
+    build_plan, builtin_names, builtin_scenario, parse_scn, resolve_scenario, Scale,
+};
+use proptest::prelude::*;
+
+const ALL_SCALES: [Scale; 3] = [Scale::Quick, Scale::Default, Scale::Full];
+
+/// Every embedded builtin must parse, resolve at every scale, and expand
+/// into a non-empty plan whose name matches the registry key.
+#[test]
+fn builtins_roundtrip_at_every_scale() {
+    for name in builtin_names() {
+        let text = builtin_scenario(name).expect("registered");
+        let doc = parse_scn(text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+        for scale in ALL_SCALES {
+            let scenario = resolve_scenario(&doc, scale, None)
+                .unwrap_or_else(|e| panic!("{name}@{scale:?}: resolve failed: {e}"));
+            assert_eq!(scenario.name, name, "scenario name must match registry key");
+            assert_eq!(scenario.seed, 0x2012_5EED, "builtins share the legacy seed");
+            let plan = build_plan(&scenario)
+                .unwrap_or_else(|e| panic!("{name}@{scale:?}: planning failed: {e}"));
+            assert!(plan.num_runnable() > 0, "{name}: no runnable jobs");
+            // Every non-build job's dependencies point at build jobs.
+            for job in &plan.jobs {
+                for &d in &job.deps {
+                    assert!(
+                        matches!(plan.jobs[d].kind, JobKind::Build { .. }),
+                        "{name}: dep of {} is not a build job",
+                        job.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Known job-matrix sizes of the builtins (runnable jobs, builds excluded).
+#[test]
+fn builtin_job_matrix_sizes() {
+    let expect = [
+        ("fig3", 5),                 // 4 sweep graphs + the shared mid run
+        ("fig4", 12),                // 4 graphs × 3 samplers
+        ("fig5", 2),                 // two panels
+        ("fig6", 5),                 // 5 crawl datasets
+        ("fig7", 3),                 // three panels
+        ("table1", 4),               // four stand-ins
+        ("table2", 1),               // one report
+        ("ablation_model_based", 2), // uis + rw
+        ("ablation_swrw", 5),        // five betas
+        ("ablation_thinning", 5),    // five thinning factors
+    ];
+    for (name, expected) in expect {
+        let doc = parse_scn(builtin_scenario(name).unwrap()).unwrap();
+        let scenario = resolve_scenario(&doc, Scale::Quick, None).unwrap();
+        let plan = build_plan(&scenario).unwrap();
+        let runnable = plan.num_runnable();
+        assert_eq!(
+            runnable, expected,
+            "{name}: expected {expected} runnable jobs, got {runnable}"
+        );
+    }
+}
+
+/// Sweep lists in scalar position take the cross product; the
+/// `ablation_thinning` builtin shares one build across its five jobs.
+#[test]
+fn sweep_expansion_cardinality() {
+    let text = "\
+[scenario]
+name = \"sweeps\"
+seed = 1
+[graph.g]
+generator = \"planted\"
+k = [4, 8]
+alpha = [0.1, 0.5, 0.9]
+scale_div = 500
+[sampler.s]
+kind = [\"uis\", \"rw\"]
+[experiment]
+sizes = [10, 20]
+replications = 2
+";
+    let doc = parse_scn(text).unwrap();
+    let scenario = resolve_scenario(&doc, Scale::Default, None).unwrap();
+    let plan = build_plan(&scenario).unwrap();
+    // 2 k-values × 3 alphas = 6 graph variants (6 builds), × 2 samplers
+    // = 12 experiment jobs.
+    let builds = plan
+        .jobs
+        .iter()
+        .filter(|j| matches!(j.kind, JobKind::Build { .. }))
+        .count();
+    assert_eq!(builds, 6);
+    assert_eq!(plan.num_runnable(), 12);
+
+    // A thinning sweep over one graph keeps a single build job.
+    let doc = parse_scn(builtin_scenario("ablation_thinning").unwrap()).unwrap();
+    let plan = build_plan(&resolve_scenario(&doc, Scale::Quick, None).unwrap()).unwrap();
+    let builds = plan
+        .jobs
+        .iter()
+        .filter(|j| matches!(j.kind, JobKind::Build { .. }))
+        .count();
+    assert_eq!(builds, 1, "five thinning jobs share one graph build");
+    assert_eq!(plan.num_runnable(), 5);
+}
+
+/// The scale() selector resolves per run scale; logsizes() expands.
+#[test]
+fn scale_and_logsizes_resolution() {
+    let text = "\
+[scenario]
+name = \"scales\"
+[graph.g]
+generator = \"planted\"
+k = scale(2, 5, 9)
+scale_div = 100
+[experiment]
+sizes = scale(logsizes(10, 100, 3), [1, 2], [3])
+replications = 1
+";
+    let doc = parse_scn(text).unwrap();
+    for (scale, k, sizes) in [
+        (Scale::Quick, 2usize, vec![10usize, 32, 100]),
+        (Scale::Default, 5, vec![1, 2]),
+        (Scale::Full, 9, vec![3]),
+    ] {
+        let s = resolve_scenario(&doc, scale, None).unwrap();
+        assert_eq!(s.graph_usize("g", "k"), Some(k));
+        let (v, l) = s.experiment.get("sizes").unwrap();
+        assert_eq!(v.as_usize_list(l, "sizes").unwrap(), sizes);
+    }
+}
+
+/// CLI seed overrides beat the file's seed.
+#[test]
+fn seed_override_wins() {
+    let doc = parse_scn("[scenario]\nname = \"s\"\nseed = 9\n[graph.g]\ngenerator = \"planted\"\n")
+        .unwrap();
+    assert_eq!(resolve_scenario(&doc, Scale::Quick, None).unwrap().seed, 9);
+    assert_eq!(
+        resolve_scenario(&doc, Scale::Quick, Some(42)).unwrap().seed,
+        42
+    );
+}
+
+/// Hand-picked rejection cases, each with the offending line.
+#[test]
+fn rejections_carry_line_numbers() {
+    // Unknown key in a graph section (line 5).
+    let text = "[scenario]\nname = \"x\"\n[graph.g]\ngenerator = \"planted\"\nbogus_key = 3\n";
+    let doc = parse_scn(text).unwrap();
+    let e = resolve_scenario(&doc, Scale::Quick, None).unwrap_err();
+    assert_eq!(e.line, Some(5));
+    assert!(e.msg.contains("unknown key"), "{}", e.msg);
+
+    // Unknown section kind (line 3).
+    let text = "[scenario]\nname = \"x\"\n[grpah.g]\ngenerator = \"planted\"\n";
+    let e = resolve_scenario(&parse_scn(text).unwrap(), Scale::Quick, None).unwrap_err();
+    assert_eq!(e.line, Some(3));
+
+    // Type error: string where an integer is expected. Typed extraction
+    // happens at planning time but still reports the source line (5).
+    let text = "[scenario]\nname = \"x\"\n[graph.g]\ngenerator = \"planted\"\nk = \"many\"\n";
+    let s = resolve_scenario(&parse_scn(text).unwrap(), Scale::Quick, None).unwrap();
+    let e = build_plan(&s).unwrap_err();
+    assert_eq!(e.line, Some(5));
+    assert!(e.msg.contains("expected an integer"), "{}", e.msg);
+
+    // Unknown stage (anchored to the `stage = ...` line 4).
+    let text = "[scenario]\nname = \"x\"\n[custom.c]\nstage = \"no-such-stage\"\n";
+    let e = resolve_scenario(&parse_scn(text).unwrap(), Scale::Quick, None).unwrap_err();
+    assert_eq!(e.line, Some(4));
+    assert!(e.msg.contains("unknown stage"), "{}", e.msg);
+
+    // Unknown stage parameter (line 6).
+    let text =
+        "[scenario]\nname = \"x\"\n[graph.g]\ngenerator = \"planted\"\n[custom.c]\nstage = \"graph-stats\"\nwat = 1\n";
+    let e = resolve_scenario(&parse_scn(text).unwrap(), Scale::Quick, None).unwrap_err();
+    assert_eq!(e.line, Some(7));
+}
+
+// Rejected either at parse time (syntax) or at resolve time (bad function
+// arity/arguments); both paths must report the value's line.
+const MALFORMED_VALUES: &[&str] = &[
+    "[1, 2",
+    "\"unterminated",
+    "1.2.3",
+    "0x",
+    "scale(1, 2)",
+    "logsizes(0, 10, 3)",
+    "nosuchfunc(1)",
+    "@!",
+    "",
+    "1 2",
+    "[1,, 2]",
+];
+
+proptest! {
+    // Any unknown key, anywhere in a graph section, is rejected with the
+    // exact line it appears on.
+    #[test]
+    fn unknown_keys_rejected_with_line(suffix in 0u32..1_000_000, pos in 0usize..3) {
+        let bogus = format!("zz_{suffix}");
+        let mut lines = vec![
+            "[scenario]".to_string(),
+            "name = \"p\"".to_string(),
+            "[graph.g]".to_string(),
+            "generator = \"planted\"".to_string(),
+            "k = 5".to_string(),
+            "alpha = 0.5".to_string(),
+        ];
+        let insert_at = 4 + pos; // somewhere inside the graph section
+        lines.insert(insert_at, format!("{bogus} = 1"));
+        let text = lines.join("\n");
+        let doc = parse_scn(&text).expect("syntactically valid");
+        let e = resolve_scenario(&doc, Scale::Quick, None).expect_err("unknown key must be rejected");
+        prop_assert_eq!(e.line, Some(insert_at + 1));
+        prop_assert!(e.msg.contains(&bogus));
+    }
+
+    // Malformed values are rejected with the line they sit on, whether
+    // the failure surfaces at parse time or at scale resolution.
+    #[test]
+    fn malformed_values_rejected_with_line(idx in 0usize..MALFORMED_VALUES.len(), blanks in 0usize..4) {
+        let mut text = String::from("[scenario]\nname = \"p\"\n");
+        for _ in 0..blanks {
+            text.push('\n');
+        }
+        let bad_line = 3 + blanks;
+        text.push_str(&format!("seed = {}\n", MALFORMED_VALUES[idx]));
+        let e = match parse_scn(&text) {
+            Err(e) => e,
+            Ok(doc) => resolve_scenario(&doc, Scale::Quick, None)
+                .expect_err("malformed value must be rejected at resolution"),
+        };
+        prop_assert_eq!(e.line, Some(bad_line));
+    }
+}

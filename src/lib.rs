@@ -19,6 +19,7 @@
 //! | [`eval`] | NRMSE harness, experiment sweeps |
 //! | [`datasets`] | edge-list IO, empirical stand-ins, Facebook-like simulator |
 //! | [`viz`] | DOT/JSON/GraphML exporters and SVG plots for category graphs |
+//! | [`scenarios`] | declarative `.scn` experiment scenarios, parallel job scheduler, shared graph cache |
 //!
 //! # Quickstart
 //!
@@ -47,4 +48,5 @@ pub use cgte_datasets as datasets;
 pub use cgte_eval as eval;
 pub use cgte_graph as graph;
 pub use cgte_sampling as sampling;
+pub use cgte_scenarios as scenarios;
 pub use cgte_viz as viz;
