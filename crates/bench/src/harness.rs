@@ -1,0 +1,390 @@
+//! The `cgte bench` harness: machine-readable performance trajectory.
+//!
+//! Times three hot paths at each configured thread count and emits a JSON
+//! report (`BENCH_PR3.json` by default) that later PRs append to, so speed
+//! claims are pinned from PR to PR rather than asserted in prose:
+//!
+//! - **build** — edges/sec of every parallel generator (Chung–Lu at
+//!   million-node scale is the headline), with a bit-identity check of
+//!   each multi-threaded build against the serial (`threads = 1`)
+//!   reference;
+//! - **walk** — aggregate RW/MHRW steps/sec with `t` concurrent
+//!   independent walkers over the shared CSR;
+//! - **estimate** — NRMSE-experiment throughput (replications and
+//!   observed samples per second) via `ExperimentConfig::threads`.
+//!
+//! The JSON schema is documented in `EXPERIMENTS.md` (§ benchmark
+//! harness). Timings are wall-clock; `available_parallelism` is recorded
+//! so a 1-core CI box's flat speedups are interpretable.
+
+use cgte_eval::{run_experiment, ExperimentConfig, Target};
+use cgte_graph::generators::{
+    par_barabasi_albert, par_chung_lu, par_configuration_model_erased, par_gnp,
+    par_planted_partition, powerlaw_degree_sequence, powerlaw_weights, scale_to_mean,
+    PlantedConfig,
+};
+use cgte_graph::Graph;
+use cgte_sampling::{AnySampler, MetropolisHastingsWalk, NodeSampler, RandomWalk};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Options for one benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// CI-sized problem sizes (seconds instead of minutes).
+    pub quick: bool,
+    /// Base RNG seed for every timed workload.
+    pub seed: u64,
+    /// Thread counts to measure (the first must be 1 — the serial
+    /// reference everything is compared against).
+    pub threads: Vec<usize>,
+    /// Where to write the JSON report.
+    pub out: PathBuf,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            quick: false,
+            seed: 0x2012_5EED,
+            threads: vec![1, 2, 8],
+            out: PathBuf::from("BENCH_PR3.json"),
+        }
+    }
+}
+
+struct TimedRun {
+    threads: usize,
+    secs: f64,
+    rate: f64,
+}
+
+struct BuildEntry {
+    generator: String,
+    nodes: usize,
+    edges: usize,
+    runs: Vec<TimedRun>,
+    bit_identical: bool,
+}
+
+struct WalkEntry {
+    sampler: String,
+    steps_per_walker: usize,
+    runs: Vec<TimedRun>,
+}
+
+struct EstimateEntry {
+    nodes: usize,
+    replications: usize,
+    max_size: usize,
+    targets: usize,
+    runs: Vec<TimedRun>,
+}
+
+fn secs(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64()
+}
+
+/// Wall-clock speedup for fixed-size workloads (build, estimate): the
+/// same work at every thread count, so time ratios are the right metric.
+fn speedup(runs: &[TimedRun]) -> f64 {
+    let t1 = runs.iter().find(|r| r.threads == 1);
+    let best = runs.iter().map(|r| r.secs).fold(f64::INFINITY, f64::min);
+    match t1 {
+        Some(r1) if best > 0.0 => r1.secs / best,
+        _ => 1.0,
+    }
+}
+
+/// Throughput speedup for workloads that scale with the thread count
+/// (the walk section runs `t` walkers of `steps` each): best aggregate
+/// rate over the serial rate. Comparing wall-clock there would divide
+/// times of different-sized workloads and could never show scaling.
+fn rate_speedup(runs: &[TimedRun]) -> f64 {
+    let t1 = runs.iter().find(|r| r.threads == 1);
+    let best = runs.iter().map(|r| r.rate).fold(0.0f64, f64::max);
+    match t1 {
+        Some(r1) if r1.rate > 0.0 => best / r1.rate,
+        _ => 1.0,
+    }
+}
+
+fn bench_build(name: &str, opts: &BenchOptions, build: impl Fn(usize) -> Graph) -> BuildEntry {
+    let mut runs = Vec::new();
+    let mut reference: Option<Graph> = None;
+    let mut identical = true;
+    for &t in &opts.threads {
+        let start = Instant::now();
+        let g = build(t);
+        let dt = secs(start);
+        runs.push(TimedRun {
+            threads: t,
+            secs: dt,
+            rate: g.num_edges() as f64 / dt.max(1e-9),
+        });
+        match &reference {
+            None => reference = Some(g),
+            Some(r) => identical &= &g == r,
+        }
+    }
+    let g = reference.expect("at least one thread count");
+    eprintln!(
+        "build/{name}: {} nodes, {} edges, serial {:.2}s, speedup {:.2}x, bit-identical: {identical}",
+        g.num_nodes(),
+        g.num_edges(),
+        runs[0].secs,
+        speedup(&runs),
+    );
+    BuildEntry {
+        generator: name.to_string(),
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        runs,
+        bit_identical: identical,
+    }
+}
+
+fn bench_walks(g: &Graph, opts: &BenchOptions) -> Vec<WalkEntry> {
+    let steps = if opts.quick { 200_000 } else { 2_000_000 };
+    let samplers: [(&str, AnySampler); 2] = [
+        ("rw", AnySampler::Rw(RandomWalk::new())),
+        ("mhrw", AnySampler::Mhrw(MetropolisHastingsWalk::new())),
+    ];
+    samplers
+        .into_iter()
+        .map(|(name, sampler)| {
+            let mut runs = Vec::new();
+            for &t in &opts.threads {
+                let start = Instant::now();
+                crossbeam::scope(|scope| {
+                    for w in 0..t {
+                        let sampler = &sampler;
+                        scope.spawn(move |_| {
+                            let mut rng = StdRng::seed_from_u64(
+                                opts.seed ^ (w as u64).wrapping_mul(0x9E37_79B9),
+                            );
+                            let mut buf = Vec::with_capacity(steps);
+                            sampler.sample_into(g, steps, &mut rng, &mut buf);
+                            buf.len()
+                        });
+                    }
+                })
+                .expect("walker panicked");
+                let dt = secs(start);
+                runs.push(TimedRun {
+                    threads: t,
+                    secs: dt,
+                    rate: (steps * t) as f64 / dt.max(1e-9),
+                });
+            }
+            eprintln!(
+                "walk/{name}: {steps} steps/walker, serial {:.0} steps/s",
+                runs[0].rate
+            );
+            WalkEntry {
+                sampler: name.to_string(),
+                steps_per_walker: steps,
+                runs,
+            }
+        })
+        .collect()
+}
+
+fn bench_estimate(opts: &BenchOptions) -> EstimateEntry {
+    // A laptop-scale planted graph: estimate throughput is dominated by
+    // walking + observation, not graph size.
+    let scale_div = if opts.quick { 60 } else { 10 };
+    let cfg = PlantedConfig::scaled(scale_div, 20, 0.5);
+    let pg = par_planted_partition(&cfg, opts.seed, 0).expect("feasible planted config");
+    let sizes = if opts.quick {
+        vec![100, 500]
+    } else {
+        vec![100, 1_000, 10_000]
+    };
+    let max_size = *sizes.iter().max().unwrap();
+    let replications = if opts.quick { 8 } else { 40 };
+    let ncat = pg.partition.num_categories() as u32;
+    let targets: Vec<Target> = (0..ncat).map(Target::Size).collect();
+    let sampler = AnySampler::Rw(RandomWalk::new().burn_in(max_size / 10));
+    let mut runs = Vec::new();
+    for &t in &opts.threads {
+        let cfg = ExperimentConfig::new(sizes.clone(), replications)
+            .seed(opts.seed)
+            .threads(t);
+        let start = Instant::now();
+        let res = run_experiment(&pg.graph, &pg.partition, &sampler, &targets, &cfg);
+        let dt = secs(start);
+        assert!(!res.entries().is_empty(), "experiment produced no series");
+        runs.push(TimedRun {
+            threads: t,
+            secs: dt,
+            rate: (replications * max_size) as f64 / dt.max(1e-9),
+        });
+    }
+    eprintln!(
+        "estimate: {} nodes, {replications} reps × |S|={max_size}, serial {:.0} samples/s",
+        pg.graph.num_nodes(),
+        runs[0].rate
+    );
+    EstimateEntry {
+        nodes: pg.graph.num_nodes(),
+        replications,
+        max_size,
+        targets: targets.len(),
+        runs,
+    }
+}
+
+fn runs_json(runs: &[TimedRun], rate_key: &str) -> String {
+    let items: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"threads\":{},\"secs\":{:.6},\"{rate_key}\":{:.1}}}",
+                r.threads, r.secs, r.rate
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Runs the full harness and writes the JSON report. Returns the JSON.
+pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
+    assert!(
+        opts.threads.first() == Some(&1),
+        "the first thread count must be 1 (the serial reference)"
+    );
+    assert!(
+        opts.threads.iter().all(|&t| t >= 1),
+        "thread counts must be positive"
+    );
+    let seed = opts.seed;
+    let quick = opts.quick;
+
+    // --- build rates ------------------------------------------------------
+    let cl_n = if quick { 100_000 } else { 1_000_000 };
+    let mut w = powerlaw_weights(
+        cl_n,
+        2.5,
+        2.0,
+        (cl_n as f64).sqrt(),
+        &mut StdRng::seed_from_u64(seed),
+    );
+    scale_to_mean(&mut w, 10.0);
+    let mut builds = Vec::new();
+    builds.push(bench_build("chung_lu", opts, |t| par_chung_lu(&w, seed, t)));
+    let gnp_n = if quick { 100_000 } else { 1_000_000 };
+    builds.push(bench_build("gnp", opts, |t| {
+        par_gnp(gnp_n, 10.0 / gnp_n as f64, seed, t)
+    }));
+    let ba_n = if quick { 30_000 } else { 300_000 };
+    builds.push(bench_build("barabasi_albert", opts, |t| {
+        par_barabasi_albert(ba_n, 4, seed, t).expect("valid BA parameters")
+    }));
+    let cm_n = if quick { 30_000 } else { 300_000 };
+    let mut deg = powerlaw_degree_sequence(cm_n, 2.5, 2, 200, &mut StdRng::seed_from_u64(seed));
+    if deg.iter().sum::<usize>() % 2 != 0 {
+        deg[0] += 1;
+    }
+    builds.push(bench_build("configuration", opts, |t| {
+        par_configuration_model_erased(&deg, seed, t).expect("even degree sum")
+    }));
+    let planted_cfg = if quick {
+        PlantedConfig::scaled(30, 10, 0.5)
+    } else {
+        PlantedConfig::scaled_up(3, 10, 0.5)
+    };
+    builds.push(bench_build("planted", opts, |t| {
+        par_planted_partition(&planted_cfg, seed, t)
+            .expect("feasible planted config")
+            .graph
+    }));
+
+    // --- walk + estimate throughput --------------------------------------
+    let walk_graph = par_chung_lu(&w, seed, 0);
+    let walks = bench_walks(&walk_graph, opts);
+    let estimate = bench_estimate(opts);
+
+    // --- report -----------------------------------------------------------
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"schema\": \"cgte-bench/1\",\n  \"pr\": \"PR3\",\n  \"quick\": {},\n  \"seed\": {},\n  \"available_parallelism\": {},\n  \"threads\": [{}],\n",
+        quick,
+        seed,
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        opts.threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    json.push_str("  \"build\": [\n");
+    for (i, b) in builds.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"generator\":\"{}\",\"nodes\":{},\"edges\":{},\"bit_identical\":{},\"best_speedup\":{:.3},\"runs\":{}}}{}",
+            b.generator,
+            b.nodes,
+            b.edges,
+            b.bit_identical,
+            speedup(&b.runs),
+            runs_json(&b.runs, "edges_per_sec"),
+            if i + 1 < builds.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n  \"walk\": [\n");
+    for (i, e) in walks.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"sampler\":\"{}\",\"steps_per_walker\":{},\"best_speedup\":{:.3},\"runs\":{}}}{}",
+            e.sampler,
+            e.steps_per_walker,
+            rate_speedup(&e.runs),
+            runs_json(&e.runs, "steps_per_sec"),
+            if i + 1 < walks.len() { "," } else { "" }
+        );
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"estimate\": {{\"nodes\":{},\"replications\":{},\"max_size\":{},\"targets\":{},\"best_speedup\":{:.3},\"runs\":{}}}\n}}\n",
+        estimate.nodes,
+        estimate.replications,
+        estimate.max_size,
+        estimate.targets,
+        speedup(&estimate.runs),
+        runs_json(&estimate.runs, "samples_per_sec"),
+    );
+
+    std::fs::write(&opts.out, &json).map_err(|e| format!("cannot write {:?}: {e}", opts.out))?;
+    eprintln!("wrote {}", opts.out.display());
+    Ok(json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_bench_runs_and_reports() {
+        let dir = std::env::temp_dir().join("cgte-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = BenchOptions {
+            quick: true,
+            seed: 7,
+            threads: vec![1, 2],
+            out: dir.join("bench.json"),
+        };
+        let json = run_bench(&opts).unwrap();
+        assert!(json.contains("\"schema\": \"cgte-bench/1\""));
+        assert!(json.contains("\"generator\":\"chung_lu\""));
+        assert!(json.contains("\"bit_identical\":true"));
+        assert!(json.contains("\"steps_per_sec\""));
+        assert!(json.contains("\"samples_per_sec\""));
+        let back = std::fs::read_to_string(&opts.out).unwrap();
+        assert_eq!(back, json);
+    }
+}

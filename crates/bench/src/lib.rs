@@ -20,6 +20,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 pub use cgte_scenarios::{fmt_nrmse, log_sizes, RunOptions, Scale};
 use std::path::PathBuf;
 
@@ -54,6 +56,7 @@ impl RunArgs {
             match a.as_str() {
                 "--quick" => scale = Scale::Quick,
                 "--full" => scale = Scale::Full,
+                "--huge" => scale = Scale::Huge,
                 "--csv" => {
                     let dir = it.next().unwrap_or_else(|| {
                         eprintln!("--csv needs a directory");
@@ -83,7 +86,7 @@ impl RunArgs {
                 }
                 other => {
                     eprintln!(
-                        "unknown flag {other:?} (supported: --quick --full --csv DIR --seed N --threads N --out DIR --resume)"
+                        "unknown flag {other:?} (supported: --quick --full --huge --csv DIR --seed N --threads N --out DIR --resume)"
                     );
                     std::process::exit(2);
                 }
@@ -116,12 +119,13 @@ impl RunArgs {
         }
     }
 
-    /// Picks a value by scale.
+    /// Picks a value by scale. The `huge` tier reuses the `full` value —
+    /// legacy binaries have no dedicated huge parameters.
     pub fn pick<T: Copy>(&self, quick: T, default: T, full: T) -> T {
         match self.scale {
             Scale::Quick => quick,
             Scale::Default => default,
-            Scale::Full => full,
+            Scale::Full | Scale::Huge => full,
         }
     }
 }

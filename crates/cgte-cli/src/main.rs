@@ -45,15 +45,20 @@ USAGE:
   cgte estimate          --graph G.txt --cats C.txt --sampler uis|rw|mhrw|swrw [--n N]
                          [--design uniform|weighted] [--sizes induced|star] [--seed S]
                          [--format dot|json|graphml|csv|report] [--top-k K] [--out F]
-  cgte run               SCENARIO.scn | --builtin NAME|all [--quick | --full] [--seed S]
-                         [--threads N] [--csv DIR] [--out DIR] [--resume]
+  cgte run               SCENARIO.scn | --builtin NAME|all [--quick | --full | --huge]
+                         [--seed S] [--threads N] [--csv DIR] [--out DIR] [--resume]
+  cgte bench             [--quick] [--seed S] [--threads 1,2,8] [--out FILE.json]
   cgte help
 
 `cgte run` executes a declarative experiment scenario: graphs, samplers,
 sweeps, prefix sizes and targets described in a TOML-like .scn file (see
 EXPERIMENTS.md), scheduled as a parallel job DAG with a shared graph cache.
 Built-in scenarios: fig3 fig4 fig5 fig6 fig7 table1 table2
-ablation_model_based ablation_swrw ablation_thinning.
+ablation_model_based ablation_swrw ablation_thinning huge.
+
+`cgte bench` times graph build rate, walk steps/sec and estimate
+throughput at each thread count and writes a machine-readable JSON report
+(default BENCH_PR3.json; see EXPERIMENTS.md for the schema).
 ";
 
 fn main() -> ExitCode {
@@ -121,6 +126,7 @@ fn run() -> Result<(), CliError> {
         Some("exact") => cmd_exact(&Args::parse(&argv[1..])?),
         Some("estimate") => cmd_estimate(&Args::parse(&argv[1..])?),
         Some("run") => cmd_run(&argv[1..]),
+        Some("bench") => cmd_bench(&argv[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -269,6 +275,7 @@ fn cmd_run(argv: &[String]) -> Result<(), CliError> {
         match a.as_str() {
             "--quick" => opts.scale = cgte_scenarios::Scale::Quick,
             "--full" => opts.scale = cgte_scenarios::Scale::Full,
+            "--huge" => opts.scale = cgte_scenarios::Scale::Huge,
             "--resume" => opts.resume = true,
             "--builtin" => {
                 builtin = Some(
@@ -335,6 +342,47 @@ fn cmd_run(argv: &[String]) -> Result<(), CliError> {
             Err(format!("`run` needs a scenario file or --builtin NAME\n{USAGE}").into())
         }
     }
+}
+
+fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
+    let mut opts = cgte_bench::harness::BenchOptions::default();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => opts.quick = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs an integer")?;
+                opts.seed = v
+                    .parse()
+                    .map_err(|e| format!("invalid --seed {v:?}: {e}"))?;
+            }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or("--threads needs a comma list, e.g. 1,2,8")?;
+                opts.threads = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("invalid --threads entry {s:?}: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if opts.threads.first() != Some(&1) || opts.threads.contains(&0) {
+                    return Err(
+                        "--threads must start with 1 (the serial reference) and contain only positive counts"
+                            .into(),
+                    );
+                }
+            }
+            "--out" => {
+                opts.out = it.next().ok_or("--out needs a file path")?.into();
+            }
+            other => return Err(format!("unknown `bench` argument {other:?}\n{USAGE}").into()),
+        }
+    }
+    cgte_bench::harness::run_bench(&opts)?;
+    Ok(())
 }
 
 fn cmd_exact(args: &Args) -> Result<(), CliError> {

@@ -25,4 +25,4 @@ pub use edgelist::{
     read_categories, read_edgelist, write_categories, write_edgelist, DatasetError,
 };
 pub use facebook::{CrawlDataset, CrawlType, FacebookSim, FacebookSimConfig};
-pub use standins::{standin, standin_partition, StandinKind};
+pub use standins::{standin, standin_huge, standin_partition, StandinKind};

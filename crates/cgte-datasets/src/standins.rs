@@ -136,6 +136,75 @@ pub fn standin<R: Rng + ?Sized>(kind: StandinKind, scale_div: usize, rng: &mut R
     giant_component(&b.build()).0
 }
 
+/// Generates a million-node stand-in: the published topology scaled **up**
+/// by `scale_mul`, built by the thread-invariant parallel layered
+/// Chung–Lu path ([`cgte_graph::generators::par_chung_lu_layers`]).
+///
+/// The construction mirrors [`standin`] — a global expected-degree layer
+/// plus Zipf-sized homophilous block layers, reduced to the giant
+/// component — but proposes every layer's edges concurrently in chunks
+/// with counter-derived RNG streams, so the result depends only on
+/// `(kind, scale_mul, seed)`, never on `threads`.
+///
+/// # Panics
+/// Panics if `scale_mul == 0`.
+pub fn standin_huge(kind: StandinKind, scale_mul: usize, seed: u64, threads: usize) -> Graph {
+    use cgte_graph::generators::{par_chung_lu_layers, ChungLuLayer};
+    use cgte_graph::parallel::stream_seed;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    assert!(scale_mul >= 1, "scale multiplier must be positive");
+    let (n_pub, kv) = kind.published();
+    let n = n_pub * scale_mul;
+    let w_max = (n as f64).sqrt() * kv.max(1.0);
+    // Weight sampling is serial (a few tens of ms even at 2M nodes) from
+    // a dedicated stream, keeping layer proposal the only parallel stage.
+    let mut wrng = StdRng::seed_from_u64(stream_seed(seed, 0x57A2));
+    let mut w = powerlaw_weights(n, kind.gamma(), 1.0, w_max, &mut wrng);
+    scale_to_mean(&mut w, kv);
+
+    let h = kind.homophily();
+    let blocks = zipf_sizes(n, NUM_BLOCKS.min(n / 4).max(1), 0.8);
+
+    // Each layer wants its members sorted by descending weight (the
+    // Miller–Hagberg row order); ties break on node id so the order is a
+    // pure function of the weights.
+    let sort_desc = |members: std::ops::Range<usize>, scale: f64| {
+        let mut idx: Vec<NodeId> = members.clone().map(|v| v as NodeId).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            w[b as usize]
+                .partial_cmp(&w[a as usize])
+                .expect("finite")
+                .then(a.cmp(&b))
+        });
+        let wts: Vec<f64> = idx.iter().map(|&v| w[v as usize] * scale).collect();
+        (idx, wts)
+    };
+
+    let mut owned: Vec<(Vec<NodeId>, Vec<f64>, u64)> = Vec::with_capacity(blocks.len() + 1);
+    owned.push({
+        let (ids, wts) = sort_desc(0..n, 1.0 - h);
+        (ids, wts, 0)
+    });
+    let mut base = 0usize;
+    for (bi, &s) in blocks.iter().enumerate() {
+        let (ids, wts) = sort_desc(base..base + s, h);
+        owned.push((ids, wts, 1 + bi as u64));
+        base += s;
+    }
+    let layers: Vec<ChungLuLayer<'_>> = owned
+        .iter()
+        .map(|(ids, wts, salt)| ChungLuLayer {
+            ids,
+            weights: wts,
+            salt: *salt,
+        })
+        .collect();
+    let g = par_chung_lu_layers(n, &layers, stream_seed(seed, 0xED6E), threads);
+    giant_component(&g).0
+}
+
 /// Builds the paper's §6.3.1 category partition for a stand-in: the `top_k`
 /// largest communities become categories, the rest is grouped as one more.
 ///
@@ -256,6 +325,36 @@ mod tests {
         for c in 1..p.num_categories().saturating_sub(1) as u32 {
             assert!(p.category_size(c - 1) >= p.category_size(c));
         }
+    }
+
+    #[test]
+    fn standin_huge_is_thread_invariant() {
+        // scale_mul = 1 keeps the test CI-sized; thread-invariance is the
+        // property (the multiplier only changes n).
+        let a = standin_huge(StandinKind::P2p, 1, 99, 1);
+        let b = standin_huge(StandinKind::P2p, 1, 99, 2);
+        let c = standin_huge(StandinKind::P2p, 1, 99, 8);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert!(a.num_nodes() > 10_000, "giant component too small");
+        let (_, kv) = StandinKind::P2p.published();
+        assert!(
+            (a.mean_degree() - kv).abs() / kv < 0.3,
+            "mean degree {} vs published {kv}",
+            a.mean_degree()
+        );
+    }
+
+    #[test]
+    fn standin_huge_scales_node_count() {
+        let g1 = standin_huge(StandinKind::P2p, 1, 5, 0);
+        let g2 = standin_huge(StandinKind::P2p, 2, 5, 0);
+        assert!(
+            g2.num_nodes() > g1.num_nodes() * 3 / 2,
+            "{} vs {}",
+            g2.num_nodes(),
+            g1.num_nodes()
+        );
     }
 
     #[test]

@@ -263,6 +263,8 @@ impl Accum {
 struct ReplicationScratch {
     star: StarAccumulator,
     induced: InducedAccumulator,
+    /// Drawn node sequence, reused across replications (`sample_into`).
+    nodes: Vec<cgte_graph::NodeId>,
 }
 
 impl ReplicationScratch {
@@ -270,6 +272,7 @@ impl ReplicationScratch {
         ReplicationScratch {
             star: StarAccumulator::new(num_categories),
             induced: InducedAccumulator::new(num_categories),
+            nodes: Vec::new(),
         }
     }
 }
@@ -367,7 +370,8 @@ fn one_replication(
     let g = ctx.graph();
     let mut rng = StdRng::seed_from_u64(cfg.base_seed.wrapping_add(rep as u64));
     let max_size = schedule.last().expect("non-empty sizes").0;
-    let nodes = sampler.sample(g, max_size, &mut rng);
+    let mut nodes = std::mem::take(&mut scratch.nodes);
+    sampler.sample_into(g, max_size, &mut rng, &mut nodes);
     let population = g.num_nodes() as f64;
     let num_categories = ctx.num_categories();
     scratch.star.reset();
@@ -410,6 +414,7 @@ fn one_replication(
         }
     }
     debug_assert_eq!(next, schedule.len(), "every configured size snapshotted");
+    scratch.nodes = nodes;
 }
 
 /// Runs the full NRMSE protocol of §6.1 for one graph, partition and

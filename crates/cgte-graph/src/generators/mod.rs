@@ -13,12 +13,17 @@
 //! - [`chung_lu`]: expected-degree (Chung–Lu) model, used for the empirical
 //!   dataset stand-ins.
 //! - [`barabasi_albert`]: preferential attachment.
+//! - [`par`]-prefixed variants (`par_chung_lu`, `par_gnp`,
+//!   `par_barabasi_albert`, `par_configuration_model_erased`,
+//!   `par_planted_partition`): chunked, thread-invariant parallel
+//!   counterparts for million-node graphs (see [`crate::parallel`]).
 
 mod barabasi_albert;
 mod chung_lu;
 mod configuration;
 mod erdos_renyi;
 mod kregular;
+mod par;
 mod planted;
 
 pub use barabasi_albert::barabasi_albert;
@@ -28,4 +33,8 @@ pub use configuration::{
 };
 pub use erdos_renyi::{gnm, gnp};
 pub use kregular::k_regular;
+pub use par::{
+    par_barabasi_albert, par_chung_lu, par_chung_lu_layers, par_configuration_model_erased,
+    par_gnp, par_planted_partition, ChungLuLayer,
+};
 pub use planted::{planted_partition, PlantedConfig, PlantedGraph, PAPER_CATEGORY_SIZES};

@@ -1,0 +1,600 @@
+//! Parallel, thread-invariant counterparts of the random generators.
+//!
+//! Every `par_*` function here proposes edges in chunks whose boundaries
+//! depend only on the generator parameters; chunk `c` draws from its own
+//! RNG stream derived as `stream_seed(seed, salt_c)`. The proposals are
+//! assembled by [`crate::parallel::assemble_csr`], whose output is a pure
+//! function of the proposed edge multiset. Together this makes every
+//! `par_*` generator produce a **bit-identical graph for every `threads`
+//! value** (including `1`, which is the serial reference the benchmarks
+//! compare against).
+//!
+//! The `par_*` functions draw *different* streams than their serial
+//! namesakes — they are new samplers from the same distributions, not
+//! drop-in replays. The serial generators remain the pinned streams behind
+//! the golden figure outputs; the parallel ones power the `scale(huge)`
+//! tier and the `cgte bench` harness.
+//!
+//! Distribution caveats at this scale (all documented per function):
+//! duplicate proposals that straddle chunk boundaries are collapsed during
+//! assembly, so counting-variant generators (`par_planted_partition`'s
+//! inter-category edges, the erased configuration model) can fall a
+//! vanishing fraction short of their nominal edge counts.
+
+use crate::parallel::{assemble_csr, chunk_count, chunk_range, run_chunks, stream_seed};
+use crate::{Graph, GraphError, NodeId, Partition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+use super::planted::{PlantedConfig, PlantedGraph};
+
+/// One Chung–Lu layer for [`par_chung_lu_layers`]: a member set sorted by
+/// **descending** weight, with a per-layer stream salt.
+pub struct ChungLuLayer<'a> {
+    /// Member node ids (global), sorted by descending weight.
+    pub ids: &'a [NodeId],
+    /// The members' weights, same order (descending).
+    pub weights: &'a [f64],
+    /// Distinguishes this layer's RNG streams from other layers'.
+    pub salt: u64,
+}
+
+/// Samples the union of several Chung–Lu layers in parallel and assembles
+/// the CSR graph over `num_nodes` nodes.
+///
+/// This is the construction behind the million-node stand-ins: a global
+/// expected-degree layer plus homophilous block layers, all proposed
+/// concurrently and assembled once.
+pub fn par_chung_lu_layers(
+    num_nodes: usize,
+    layers: &[ChungLuLayer<'_>],
+    seed: u64,
+    threads: usize,
+) -> Graph {
+    // Task list: (layer index, chunk seed, row range). Chunk boundaries
+    // depend only on layer sizes.
+    let mut tasks: Vec<(usize, u64, std::ops::Range<usize>)> = Vec::new();
+    for (li, layer) in layers.iter().enumerate() {
+        assert_eq!(
+            layer.ids.len(),
+            layer.weights.len(),
+            "layer {li}: ids and weights must align"
+        );
+        // The skip-sampling acceptance test below is only correct for
+        // descending weights (it needs q <= p); an unsorted layer would
+        // silently bias the graph, so reject it loudly.
+        assert!(
+            layer.weights.windows(2).all(|w| w[0] >= w[1]),
+            "layer {li}: weights must be sorted in descending order"
+        );
+        let n = layer.ids.len();
+        if n < 2 {
+            continue;
+        }
+        let total: f64 = layer.weights.iter().sum();
+        if total <= 0.0 {
+            continue;
+        }
+        let layer_seed = stream_seed(seed, layer.salt);
+        let chunks = chunk_count(n);
+        for c in 0..chunks {
+            tasks.push((
+                li,
+                stream_seed(layer_seed, c as u64),
+                chunk_range(n, chunks, c),
+            ));
+        }
+    }
+    let totals: Vec<f64> = layers.iter().map(|l| l.weights.iter().sum()).collect();
+    let proposals: Vec<Vec<(NodeId, NodeId)>> = run_chunks(tasks.len(), threads, |t| {
+        let (li, chunk_seed, ref range) = tasks[t];
+        let layer = &layers[li];
+        let w = layer.weights;
+        let ids = layer.ids;
+        let n = w.len();
+        let total = totals[li];
+        let mut rng = StdRng::seed_from_u64(chunk_seed);
+        let mut out = Vec::new();
+        for u in range.clone() {
+            if u + 1 >= n {
+                break;
+            }
+            if w[u] <= 0.0 {
+                continue;
+            }
+            let mut v = u + 1;
+            let mut p = (w[u] * w[v] / total).min(1.0);
+            while v < n && p > 0.0 {
+                if p < 1.0 {
+                    let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    v += (r.ln() / (1.0 - p).ln()).floor() as usize;
+                }
+                if v < n {
+                    let q = (w[u] * w[v] / total).min(1.0);
+                    let r: f64 = rng.gen();
+                    if r < q / p {
+                        out.push((ids[u], ids[v]));
+                    }
+                    p = q;
+                    v += 1;
+                }
+            }
+        }
+        out
+    });
+    assemble_csr(num_nodes, proposals, threads)
+}
+
+/// Parallel Chung–Lu expected-degree graph: the thread-invariant
+/// counterpart of [`super::chung_lu`].
+///
+/// Like the serial version, weights are sorted descending internally and
+/// node ids come out in descending-weight order.
+///
+/// # Panics
+/// Panics if any weight is negative or not finite.
+pub fn par_chung_lu(weights: &[f64], seed: u64, threads: usize) -> Graph {
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let mut w: Vec<f64> = weights.to_vec();
+    w.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let ids: Vec<NodeId> = (0..w.len() as NodeId).collect();
+    let layer = ChungLuLayer {
+        ids: &ids,
+        weights: &w,
+        salt: 0,
+    };
+    par_chung_lu_layers(weights.len(), &[layer], seed, threads)
+}
+
+/// Parallel `G(n, p)`: the thread-invariant counterpart of [`super::gnp`].
+///
+/// Rows are chunked; each row skip-samples its partners `v > u`
+/// geometrically from the chunk's stream.
+///
+/// # Panics
+/// Panics if `p` is not in `[0, 1]`.
+pub fn par_gnp(n: usize, p: f64, seed: u64, threads: usize) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if n < 2 || p == 0.0 {
+        return assemble_csr(n, Vec::new(), threads);
+    }
+    let chunks = chunk_count(n);
+    let proposals = run_chunks(chunks, threads, |c| {
+        let mut rng = StdRng::seed_from_u64(stream_seed(seed, c as u64));
+        let mut out = Vec::new();
+        for u in chunk_range(n, chunks, c) {
+            if p >= 1.0 {
+                for v in u + 1..n {
+                    out.push((u as NodeId, v as NodeId));
+                }
+                continue;
+            }
+            let log_q = (1.0 - p).ln();
+            let mut v = u + 1;
+            while v < n {
+                let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let skip = (r.ln() / log_q).floor() as usize;
+                v = v.saturating_add(skip);
+                if v < n {
+                    out.push((u as NodeId, v as NodeId));
+                    v += 1;
+                }
+            }
+        }
+        out
+    });
+    assemble_csr(n, proposals, threads)
+}
+
+/// Hash-based bounded draw: uniform in `[0, bound)` as a pure function of
+/// the inputs (no RNG object, so any worker can evaluate any draw).
+#[inline]
+fn hdraw(seed: u64, a: u64, b: u64, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let x = stream_seed(stream_seed(seed, a), b);
+    ((u128::from(x) * u128::from(bound)) >> 64) as u64
+}
+
+/// Parallel Barabási–Albert preferential attachment, thread-invariant.
+///
+/// Uses static stub resolution (Sanders–Schulz style): the `j`-th stub of
+/// node `v` indexes a uniform position in the virtual repeated-endpoint
+/// array of all earlier edges; odd positions resolve recursively through
+/// the referenced edge's own hash draws, so every edge's target is a pure
+/// function of `(seed, n, m)` — no sequential state, hence trivially
+/// chunkable by node ranges.
+///
+/// Within one node's `m` stubs, duplicate targets are rejected
+/// deterministically by re-drawing (bounded, with a uniform fallback), so
+/// nodes keep degree `>= m` exactly as in the serial generator.
+///
+/// Fails if `m == 0` or `n <= m`.
+pub fn par_barabasi_albert(
+    n: usize,
+    m: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<Graph, GraphError> {
+    if m == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "m must be positive".into(),
+        });
+    }
+    if n <= m {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("need n > m (n={n}, m={m})"),
+        });
+    }
+    // Seed clique on 0..=m, edges in row order.
+    let mut clique: Vec<(NodeId, NodeId)> = Vec::with_capacity(m * (m + 1) / 2);
+    for u in 0..=(m as NodeId) {
+        for v in (u + 1)..=(m as NodeId) {
+            clique.push((u, v));
+        }
+    }
+    // Edge indices: the clique owns [0, e0); node v > m owns the range
+    // [e0 + (v-m-1)·m, e0 + (v-m)·m).
+    let e0 = clique.len() as u64;
+    let mu = m as u64;
+
+    // Resolves the accepted targets of node v's stubs `0..=upto` in one
+    // pass, without shared state (a pure function of `seed`). `depth`
+    // caps pathological chase chains with a deterministic uniform
+    // fallback.
+    fn resolve_stubs(
+        v: u64,
+        upto: u64,
+        depth: u32,
+        seed: u64,
+        m: u64,
+        e0: u64,
+        clique: &[(NodeId, NodeId)],
+    ) -> Vec<NodeId> {
+        let base = e0 + (v - m - 1) * m;
+        let pool = 2 * base;
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(upto as usize + 1);
+        for jj in 0..=upto {
+            let e = base + jj;
+            let mut accepted = None;
+            for a in 0..64u64 {
+                let t = if depth >= 48 {
+                    // Deep chase: deterministic uniform fallback.
+                    hdraw(seed, e, 1 << 40 | a, v) as NodeId
+                } else {
+                    let r = hdraw(seed, e, a, pool);
+                    let g = r / 2;
+                    if r.is_multiple_of(2) {
+                        if g < e0 {
+                            clique[g as usize].0
+                        } else {
+                            (m + 1 + (g - e0) / m) as NodeId
+                        }
+                    } else {
+                        target(g, depth + 1, seed, m, e0, clique)
+                    }
+                };
+                if !chosen.contains(&t) {
+                    accepted = Some(t);
+                    break;
+                }
+            }
+            let t = accepted.unwrap_or_else(|| {
+                // 64 duplicate draws in a row: pick the smallest unused id.
+                (0..v as NodeId)
+                    .find(|t| !chosen.contains(t))
+                    .expect("v > m >= chosen.len()")
+            });
+            chosen.push(t);
+        }
+        chosen
+    }
+
+    // The random endpoint ("target") of edge f, for chase resolution.
+    fn target(
+        f: u64,
+        depth: u32,
+        seed: u64,
+        m: u64,
+        e0: u64,
+        clique: &[(NodeId, NodeId)],
+    ) -> NodeId {
+        if f < e0 {
+            return clique[f as usize].1;
+        }
+        let v = m + 1 + (f - e0) / m;
+        let j = (f - e0) % m;
+        resolve_stubs(v, j, depth, seed, m, e0, clique)[j as usize]
+    }
+
+    let attach_nodes = n - m - 1;
+    let chunks = chunk_count(attach_nodes.max(1));
+    let clique_ref = &clique;
+    let proposals = run_chunks(chunks, threads, move |c| {
+        let mut out = Vec::new();
+        if c == 0 {
+            out.extend_from_slice(clique_ref);
+        }
+        for i in chunk_range(attach_nodes, chunks, c) {
+            let v = (mu + 1) + i as u64;
+            // One chain resolution per node yields all m accepted targets
+            // (calling `target` per stub would recompute the prefix
+            // quadratically).
+            let targets = resolve_stubs(v, mu - 1, 0, seed, mu, e0, clique_ref);
+            for t in targets {
+                out.push((v as NodeId, t));
+            }
+        }
+        out
+    });
+    Ok(assemble_csr(n, proposals, threads))
+}
+
+/// Parallel erased configuration model, thread-invariant: stubs are paired
+/// by sorting them under counter-derived random keys (equivalent in
+/// distribution to a uniform stub shuffle), then self-loops are dropped
+/// and parallel edges collapsed, like
+/// [`super::configuration_model_erased`].
+pub fn par_configuration_model_erased(
+    degrees: &[usize],
+    seed: u64,
+    threads: usize,
+) -> Result<Graph, GraphError> {
+    let total: usize = degrees.iter().sum();
+    if !total.is_multiple_of(2) {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("degree sum {total} is odd"),
+        });
+    }
+    if degrees.len() > NodeId::MAX as usize {
+        return Err(GraphError::InvalidParameter {
+            reason: "too many nodes".into(),
+        });
+    }
+    let n = degrees.len();
+    if total == 0 {
+        return Ok(assemble_csr(n, Vec::new(), threads));
+    }
+    // Stub s -> owning node, via the degree prefix sums.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(0usize);
+    for &d in degrees {
+        prefix.push(prefix.last().unwrap() + d);
+    }
+    let owner_of = |s: usize| -> NodeId {
+        // partition_point returns the first index with prefix > s.
+        (prefix.partition_point(|&p| p <= s) - 1) as NodeId
+    };
+
+    // Keyed stubs, bucketed by key high bits (a counting sort's first
+    // pass); each bucket is then sorted, and the bucket concatenation is
+    // the globally key-sorted stub order.
+    const BUCKET_BITS: u32 = 8;
+    let buckets = 1usize << BUCKET_BITS;
+    let chunks = chunk_count(total);
+    let keyed: Vec<Vec<(u64, u32)>> = run_chunks(chunks, threads, |c| {
+        chunk_range(total, chunks, c)
+            .map(|s| (stream_seed(seed, s as u64), s as u32))
+            .collect()
+    });
+    let mut scattered: Vec<Vec<(u64, u32)>> = vec![Vec::new(); buckets];
+    for chunk in keyed {
+        for (k, s) in chunk {
+            scattered[(k >> (64 - BUCKET_BITS)) as usize].push((k, s));
+        }
+    }
+    // Hand each bucket to its sorting task by move (taken under a Mutex —
+    // run_chunks closures only get `&self` captures), avoiding a second
+    // copy of the keyed-stub array.
+    let piles: Vec<std::sync::Mutex<Vec<(u64, u32)>>> =
+        scattered.into_iter().map(std::sync::Mutex::new).collect();
+    let sorted: Vec<Vec<(u64, u32)>> = run_chunks(buckets, threads, |b| {
+        let mut v = std::mem::take(&mut *piles[b].lock().expect("pile lock"));
+        v.sort_unstable();
+        v
+    });
+    let mut order: Vec<u32> = Vec::with_capacity(total);
+    for b in sorted {
+        order.extend(b.into_iter().map(|(_, s)| s));
+    }
+    // Pair consecutive stubs in key order.
+    let pairs = total / 2;
+    let pchunks = chunk_count(pairs);
+    let order_ref = &order;
+    let proposals = run_chunks(pchunks, threads, move |c| {
+        let mut out = Vec::new();
+        for i in chunk_range(pairs, pchunks, c) {
+            let u = owner_of(order_ref[2 * i] as usize);
+            let v = owner_of(order_ref[2 * i + 1] as usize);
+            if u != v {
+                out.push((u, v));
+            }
+        }
+        out
+    });
+    Ok(assemble_csr(n, proposals, threads))
+}
+
+/// Parallel planted-partition generator (§6.2.1), thread-invariant: each
+/// category's k-regular subgraph is generated from its own stream (the
+/// categories are the chunks), inter-category edges are proposed in
+/// quota chunks, and the label permutation draws a dedicated stream.
+///
+/// The inter-category edge count can fall short of the nominal `N·k/10`
+/// by cross-chunk duplicate collapses — a vanishing fraction at the scale
+/// this path targets (the serial [`super::planted_partition`] stays exact).
+///
+/// Fails if any category cannot host a k-regular graph.
+pub fn par_planted_partition(
+    config: &PlantedConfig,
+    seed: u64,
+    threads: usize,
+) -> Result<PlantedGraph, GraphError> {
+    let n = config.num_nodes();
+    let k = config.k;
+    for (c, &s) in config.category_sizes.iter().enumerate() {
+        if k >= s {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("category {c} of size {s} cannot be {k}-regular"),
+            });
+        }
+        if !(s * k).is_multiple_of(2) {
+            return Err(GraphError::InvalidParameter {
+                reason: format!("category {c}: size*k = {} is odd", s * k),
+            });
+        }
+    }
+    let partition = Partition::blocks(n, &config.category_sizes)?;
+    let ncat = config.category_sizes.len();
+    let mut bases = Vec::with_capacity(ncat + 1);
+    bases.push(0usize);
+    for &s in &config.category_sizes {
+        bases.push(bases.last().unwrap() + s);
+    }
+
+    // Intra-category chunks: one per category, each with its own stream.
+    let sizes = &config.category_sizes;
+    let bases_ref = &bases;
+    let intra: Vec<Result<Vec<(NodeId, NodeId)>, GraphError>> =
+        run_chunks(ncat, threads, move |c| {
+            let mut rng = StdRng::seed_from_u64(stream_seed(seed, 0x1000 + c as u64));
+            let local = super::k_regular(sizes[c], k, &mut rng)?;
+            let base = bases_ref[c] as NodeId;
+            Ok(local.edges().map(|(u, v)| (u + base, v + base)).collect())
+        });
+    let mut proposals: Vec<Vec<(NodeId, NodeId)>> = Vec::new();
+    for r in intra {
+        proposals.push(r?);
+    }
+
+    // Inter-category quota chunks. Same-category pairs and within-chunk
+    // duplicates are rejected; cross-chunk duplicates (rare) collapse in
+    // assembly.
+    let target = n * k / 10;
+    let qchunks = chunk_count(target.max(1));
+    let cat_of = |v: NodeId| -> usize { bases_ref.partition_point(|&b| b <= v as usize) - 1 };
+    let inter: Vec<Vec<(NodeId, NodeId)>> = run_chunks(qchunks, threads, move |c| {
+        let quota = chunk_range(target, qchunks, c).len();
+        let mut rng = StdRng::seed_from_u64(stream_seed(seed, 0x2000 + c as u64));
+        let mut local: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(quota * 2);
+        let mut out = Vec::with_capacity(quota);
+        while out.len() < quota {
+            let u = rng.gen_range(0..n as NodeId);
+            let v = rng.gen_range(0..n as NodeId);
+            if cat_of(u) == cat_of(v) {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if local.insert(key) {
+                out.push(key);
+            }
+        }
+        out
+    });
+    proposals.extend(inter);
+
+    let graph = assemble_csr(n, proposals, threads);
+    let mut perm_rng = StdRng::seed_from_u64(stream_seed(seed, 0x3000));
+    let partition = partition.permute_labels(config.alpha, &mut perm_rng);
+    Ok(PlantedGraph { graph, partition })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_chung_lu_matches_serial_statistics() {
+        let mut w =
+            super::super::powerlaw_weights(4000, 2.5, 2.0, 100.0, &mut StdRng::seed_from_u64(1));
+        super::super::scale_to_mean(&mut w, 10.0);
+        let g = par_chung_lu(&w, 42, 1);
+        let mean = g.mean_degree();
+        assert!((mean - 10.0).abs() < 1.5, "mean degree {mean}");
+    }
+
+    #[test]
+    fn par_gnp_edge_count_near_expectation() {
+        let n = 3000;
+        let p = 0.004;
+        let g = par_gnp(n, p, 7, 1);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let sigma = (expected * (1.0 - p)).sqrt();
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 5.0 * sigma,
+            "edges {got} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn par_gnp_extremes() {
+        assert_eq!(par_gnp(40, 0.0, 1, 2).num_edges(), 0);
+        assert_eq!(par_gnp(10, 1.0, 1, 2).num_edges(), 45);
+        assert_eq!(par_gnp(0, 0.5, 1, 2).num_nodes(), 0);
+        assert_eq!(par_gnp(1, 0.5, 1, 2).num_edges(), 0);
+    }
+
+    #[test]
+    fn par_ba_counts_and_min_degree() {
+        let n = 600;
+        let m = 3;
+        let g = par_barabasi_albert(n, m, 5, 1).unwrap();
+        assert_eq!(g.num_nodes(), n);
+        for v in 0..n {
+            assert!(
+                g.degree(v as NodeId) >= m,
+                "node {v}: {}",
+                g.degree(v as NodeId)
+            );
+        }
+        assert!(g.max_degree() > 3 * m, "hub missing: {}", g.max_degree());
+        assert!(par_barabasi_albert(3, 3, 5, 1).is_err());
+        assert!(par_barabasi_albert(5, 0, 5, 1).is_err());
+    }
+
+    #[test]
+    fn par_configuration_respects_degree_bound() {
+        let deg = vec![4usize; 500];
+        let g = par_configuration_model_erased(&deg, 3, 1).unwrap();
+        assert_eq!(g.num_nodes(), 500);
+        for v in 0..500 {
+            assert!(g.degree(v) <= 4);
+        }
+        assert!(g.total_volume() as f64 > 0.9 * 2000.0);
+        assert!(par_configuration_model_erased(&[1, 1, 1], 3, 1).is_err());
+    }
+
+    #[test]
+    fn par_planted_structure() {
+        let cfg = PlantedConfig {
+            category_sizes: vec![40, 80, 160],
+            k: 6,
+            alpha: 0.0,
+        };
+        let pg = par_planted_partition(&cfg, 11, 1).unwrap();
+        assert_eq!(pg.graph.num_nodes(), 280);
+        let target = 280 * 6 / 2 + 280 * 6 / 10;
+        let got = pg.graph.num_edges();
+        assert!(
+            got <= target && got + 8 >= target,
+            "edges {got} vs nominal {target}"
+        );
+        let cg = crate::CategoryGraph::exact(&pg.graph, &pg.partition);
+        let intra: u64 = (0..3).map(|c| cg.intra_edge_count(c)).sum();
+        assert!(intra > 3 * cg.total_cut_edges());
+        assert!(par_planted_partition(
+            &PlantedConfig {
+                category_sizes: vec![5, 50],
+                k: 6,
+                alpha: 0.0
+            },
+            1,
+            1
+        )
+        .is_err());
+    }
+}

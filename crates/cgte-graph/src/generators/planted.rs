@@ -60,6 +60,29 @@ impl PlantedConfig {
         }
     }
 
+    /// A proportionally scaled-**up** configuration for the `scale(huge)`
+    /// tier: category sizes are `PAPER_CATEGORY_SIZES × scale_mul` (parity
+    /// fixed so each category stays k-regular-feasible). `scale_mul = 12`
+    /// gives ≈1.07M nodes, `scale_mul = 22` ≈1.95M.
+    pub fn scaled_up(scale_mul: usize, k: usize, alpha: f64) -> Self {
+        assert!(scale_mul >= 1);
+        let category_sizes = PAPER_CATEGORY_SIZES
+            .iter()
+            .map(|&s| {
+                let mut t = (s * scale_mul).max(k + 1);
+                if !(t * k).is_multiple_of(2) {
+                    t += 1; // keep n·k even per category
+                }
+                t
+            })
+            .collect();
+        PlantedConfig {
+            category_sizes,
+            k,
+            alpha,
+        }
+    }
+
     /// Total node count `N`.
     pub fn num_nodes(&self) -> usize {
         self.category_sizes.iter().sum()

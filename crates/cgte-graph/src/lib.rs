@@ -51,6 +51,7 @@ mod partition;
 
 pub mod algorithms;
 pub mod generators;
+pub mod parallel;
 
 pub use builder::GraphBuilder;
 pub use category_graph::{CategoryEdge, CategoryGraph};

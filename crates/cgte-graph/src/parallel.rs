@@ -1,0 +1,333 @@
+//! Deterministic parallel graph construction.
+//!
+//! The serial generators in [`crate::generators`] draw from one sequential
+//! RNG stream, which caps graph size at whatever a single core can build.
+//! This module provides the million-node path: edge *proposal* is split
+//! into chunks whose boundaries depend only on the generator parameters
+//! (never on the worker count), each chunk is driven by its own
+//! counter-derived RNG stream, and the proposals are assembled into CSR by
+//! a parallel bucket/counting sort. Because the proposed edge multiset and
+//! the final per-node sort are both independent of scheduling, the
+//! resulting [`Graph`] is **bit-identical for every `threads` setting** —
+//! `threads` only changes wall-clock time. The property tests in
+//! `tests/parallel_generators.rs` pin this for every generator.
+//!
+//! Workers are plain scoped threads fed by an atomic chunk cursor (the
+//! same vendored `crossbeam` primitives the scenario scheduler uses).
+
+use crate::{Graph, NodeId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixer, used to derive
+/// independent per-chunk seeds from `(base seed, chunk salt)`.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the seed of one chunk's RNG stream. Streams for distinct
+/// `(seed, salt)` pairs are independent for every statistical purpose in
+/// this workspace.
+#[inline]
+pub fn stream_seed(seed: u64, salt: u64) -> u64 {
+    mix64(seed ^ mix64(salt).rotate_left(17))
+}
+
+/// Resolves a `threads` argument: `0` means all available cores.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Runs `work(chunk_index)` for every chunk on `threads` workers and
+/// returns the outputs **in chunk order**, so the caller sees the same
+/// sequence regardless of how chunks were interleaved across workers.
+///
+/// The chunk count must be a function of the problem size only — that is
+/// what makes the overall output thread-invariant.
+pub fn run_chunks<T, F>(num_chunks: usize, threads: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = resolve_threads(threads).min(num_chunks.max(1));
+    if threads <= 1 {
+        return (0..num_chunks).map(&work).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..num_chunks).map(|_| Mutex::new(None)).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= num_chunks {
+                    break;
+                }
+                let out = work(i);
+                *slots[i].lock().expect("chunk slot poisoned") = Some(out);
+            });
+        }
+    })
+    .expect("chunk worker panicked");
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("chunk slot poisoned")
+                .expect("every chunk completed")
+        })
+        .collect()
+}
+
+/// Picks a chunk count for an `items`-sized iteration space: enough chunks
+/// to load-balance any realistic worker count, few enough that per-chunk
+/// overhead is noise. Depends only on `items`.
+pub(crate) fn chunk_count(items: usize) -> usize {
+    // ~8k items per chunk, capped at 1024 chunks.
+    (items / 8192).clamp(1, 1024)
+}
+
+/// Splits `0..items` into `chunks` near-equal contiguous ranges; returns
+/// the half-open range of chunk `c`.
+#[inline]
+pub(crate) fn chunk_range(items: usize, chunks: usize, c: usize) -> std::ops::Range<usize> {
+    let lo = items * c / chunks;
+    let hi = items * (c + 1) / chunks;
+    lo..hi
+}
+
+/// Assembles a CSR [`Graph`] from chunked undirected edge proposals, in
+/// parallel.
+///
+/// Duplicate proposals are collapsed and self-loops dropped, exactly like
+/// [`crate::GraphBuilder::build`]. The assembly is a bucket/counting sort:
+///
+/// 1. **scatter** (parallel over chunks): every proposal `{u, v}` becomes
+///    two directed entries, bucketed by a fixed partition of the node
+///    space;
+/// 2. **count + fill** (parallel over buckets): each bucket counts its
+///    per-node entries, prefix-sums local offsets, scatters neighbors into
+///    place, then sorts and dedups each adjacency list;
+/// 3. **concatenate** (serial): per-bucket degrees and neighbor arrays are
+///    spliced into the final CSR.
+///
+/// Step 2's per-list `sort_unstable` makes the result a pure function of
+/// the proposed edge *multiset*, so any chunk interleaving yields the same
+/// graph.
+///
+/// # Panics
+/// Panics if a proposal references a node `>= num_nodes`.
+pub fn assemble_csr(num_nodes: usize, chunks: Vec<Vec<(NodeId, NodeId)>>, threads: usize) -> Graph {
+    let threads = resolve_threads(threads);
+    let n = num_nodes;
+    if n == 0 {
+        return crate::GraphBuilder::new(0).build();
+    }
+    for c in &chunks {
+        for &(u, v) in c {
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range for {n} nodes"
+            );
+        }
+    }
+    // Bucket count is free to depend on `threads`: buckets are contiguous
+    // node ranges and the per-node output is order-canonical, so the
+    // partition never shows in the result.
+    let want_buckets = (threads * 4).clamp(1, 256).min(n);
+    let bucket_width = n.div_ceil(want_buckets);
+    let buckets = n.div_ceil(bucket_width);
+
+    let bucket_of = |v: NodeId| -> usize { v as usize / bucket_width };
+
+    // Phase 1: scatter directed entries into per-worker per-bucket piles.
+    let chunks = Mutex::new(chunks.into_iter().map(Some).collect::<Vec<_>>());
+    let cursor = AtomicUsize::new(0);
+    let total_chunks = {
+        let guard = chunks.lock().expect("chunks");
+        guard.len()
+    };
+    let piles: Vec<Vec<Vec<u64>>> = {
+        let workers = threads.min(total_chunks.max(1));
+        let run_one = |_w: usize| -> Vec<Vec<u64>> {
+            let mut local: Vec<Vec<u64>> = (0..buckets).map(|_| Vec::new()).collect();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= total_chunks {
+                    break;
+                }
+                let chunk = chunks.lock().expect("chunks")[i].take().expect("chunk");
+                for (u, v) in chunk {
+                    if u == v {
+                        continue; // defensive: generators never propose these
+                    }
+                    local[bucket_of(u)].push(((u as u64) << 32) | v as u64);
+                    local[bucket_of(v)].push(((v as u64) << 32) | u as u64);
+                }
+            }
+            local
+        };
+        if workers <= 1 {
+            vec![run_one(0)]
+        } else {
+            let slots: Vec<Mutex<Option<Vec<Vec<u64>>>>> =
+                (0..workers).map(|_| Mutex::new(None)).collect();
+            crossbeam::scope(|scope| {
+                for (w, slot) in slots.iter().enumerate() {
+                    scope.spawn(move |_| {
+                        *slot.lock().expect("pile slot") = Some(run_one(w));
+                    });
+                }
+            })
+            .expect("scatter worker panicked");
+            slots
+                .into_iter()
+                .map(|s| s.into_inner().expect("pile slot").expect("worker ran"))
+                .collect()
+        }
+    };
+
+    // Phase 2: per bucket, counting sort by node, then canonicalize lists.
+    let per_bucket: Vec<(Vec<u32>, Vec<NodeId>)> = run_chunks(buckets, threads, |b| {
+        let lo = b * bucket_width;
+        let hi = ((b + 1) * bucket_width).min(n);
+        let width = hi - lo;
+        let mut counts = vec![0u32; width];
+        let mut total = 0usize;
+        for pile in &piles {
+            for &e in &pile[b] {
+                counts[(e >> 32) as usize - lo] += 1;
+                total += 1;
+            }
+        }
+        let mut offsets = vec![0usize; width + 1];
+        for i in 0..width {
+            offsets[i + 1] = offsets[i] + counts[i] as usize;
+        }
+        let mut cursors = offsets.clone();
+        let mut buf = vec![0 as NodeId; total];
+        for pile in &piles {
+            for &e in &pile[b] {
+                let u = (e >> 32) as usize - lo;
+                buf[cursors[u]] = e as u32;
+                cursors[u] += 1;
+            }
+        }
+        // Sort + dedup each adjacency list in place, compacting as we go.
+        let mut deg = vec![0u32; width];
+        let mut out = Vec::with_capacity(total);
+        for i in 0..width {
+            let list = &mut buf[offsets[i]..offsets[i + 1]];
+            list.sort_unstable();
+            let before = out.len();
+            let mut prev: Option<NodeId> = None;
+            for &x in list.iter() {
+                if prev != Some(x) {
+                    out.push(x);
+                    prev = Some(x);
+                }
+            }
+            deg[i] = (out.len() - before) as u32;
+        }
+        (deg, out)
+    });
+
+    // Phase 3: splice buckets into the final CSR.
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut acc = 0usize;
+    for (deg, _) in &per_bucket {
+        for &d in deg {
+            acc += d as usize;
+            offsets.push(acc);
+        }
+    }
+    let mut neighbors = Vec::with_capacity(acc);
+    for (_, out) in per_bucket {
+        neighbors.extend_from_slice(&out);
+    }
+    Graph::from_csr(offsets, neighbors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stream_seeds_are_distinct() {
+        let a = stream_seed(7, 0);
+        let b = stream_seed(7, 1);
+        let c = stream_seed(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn run_chunks_preserves_order() {
+        let out = run_chunks(100, 4, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        let out = run_chunks(5, 1, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn assemble_matches_builder_on_duplicates() {
+        // The same edge proposed from two chunks, plus scrambled orders.
+        let chunks = vec![
+            vec![(0, 1), (2, 0), (3, 1)],
+            vec![(1, 0), (4, 2), (2, 4)],
+            vec![],
+            vec![(3, 4)],
+        ];
+        let g = assemble_csr(5, chunks, 3);
+        let want = GraphBuilder::from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 4), (3, 4)]).unwrap();
+        assert_eq!(g, want);
+    }
+
+    #[test]
+    fn assemble_thread_invariant() {
+        let mk = || {
+            (0..16)
+                .map(|c| {
+                    (0..50)
+                        .map(|i| {
+                            let u = mix64(c * 100 + i) % 97;
+                            let v = mix64(c * 100 + i + 7919) % 97;
+                            (u as NodeId, v as NodeId)
+                        })
+                        .filter(|(u, v)| u != v)
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        let g1 = assemble_csr(97, mk(), 1);
+        let g2 = assemble_csr(97, mk(), 2);
+        let g8 = assemble_csr(97, mk(), 8);
+        assert_eq!(g1, g2);
+        assert_eq!(g1, g8);
+    }
+
+    #[test]
+    fn assemble_empty_inputs() {
+        assert_eq!(assemble_csr(0, vec![], 4).num_nodes(), 0);
+        let g = assemble_csr(3, vec![vec![]], 4);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assemble_rejects_out_of_range() {
+        assemble_csr(2, vec![vec![(0, 5)]], 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the parallel generators: for every generator × seed
+//! × thread count, the CSR invariants hold (sorted, symmetric,
+//! self-loop-free, degree sum = 2|E|) and the parallel output is
+//! byte-identical to the serial reference (`threads = 1` of the same
+//! chunked algorithm).
+
+use cgte_graph::generators::{
+    par_barabasi_albert, par_chung_lu, par_configuration_model_erased, par_gnp,
+    par_planted_partition, powerlaw_weights, PlantedConfig,
+};
+use cgte_graph::{Graph, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Asserts every CSR invariant the paper's model relies on.
+fn assert_csr_invariants(g: &Graph, what: &str) {
+    let mut degree_sum = 0usize;
+    for v in 0..g.num_nodes() as NodeId {
+        let adj = g.neighbors(v);
+        degree_sum += adj.len();
+        for w in adj.windows(2) {
+            assert!(w[0] < w[1], "{what}: adjacency of {v} not strictly sorted");
+        }
+        for &u in adj {
+            assert_ne!(u, v, "{what}: self-loop on {v}");
+            assert!(
+                (u as usize) < g.num_nodes(),
+                "{what}: neighbor {u} out of range"
+            );
+            assert!(
+                g.neighbors(u).binary_search(&v).is_ok(),
+                "{what}: edge ({v},{u}) not symmetric"
+            );
+        }
+    }
+    assert_eq!(
+        degree_sum,
+        2 * g.num_edges(),
+        "{what}: degree sum must equal 2|E|"
+    );
+}
+
+/// Builds with every thread count and checks bit-identity + invariants.
+fn check_thread_invariance(what: &str, build: impl Fn(usize) -> Graph) {
+    let reference = build(1);
+    assert_csr_invariants(&reference, what);
+    for &t in &THREAD_COUNTS[1..] {
+        let g = build(t);
+        assert_eq!(
+            g, reference,
+            "{what}: threads={t} differs from the serial reference"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn par_chung_lu_invariants(seed in 0u64..1_000_000, n in 50usize..400) {
+        let mut wrng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let w = powerlaw_weights(n, 2.5, 1.0, 30.0, &mut wrng);
+        check_thread_invariance("par_chung_lu", |t| par_chung_lu(&w, seed, t));
+    }
+
+    #[test]
+    fn par_gnp_invariants(seed in 0u64..1_000_000, n in 2usize..400) {
+        let p = 8.0 / n as f64;
+        let p = p.min(1.0);
+        check_thread_invariance("par_gnp", |t| par_gnp(n, p, seed, t));
+    }
+
+    #[test]
+    fn par_ba_invariants(seed in 0u64..1_000_000, n in 10usize..300, m in 1usize..5) {
+        prop_assume!(n > m);
+        check_thread_invariance("par_barabasi_albert", |t| {
+            par_barabasi_albert(n, m, seed, t).expect("valid parameters")
+        });
+        // Preferential attachment keeps every attaching node at >= m edges.
+        let g = par_barabasi_albert(n, m, seed, 1).unwrap();
+        for v in 0..n {
+            prop_assert!(g.degree(v as NodeId) >= m, "node {v} degree {}", g.degree(v as NodeId));
+        }
+    }
+
+    #[test]
+    fn par_configuration_invariants(seed in 0u64..1_000_000, n in 10usize..300) {
+        let mut drng = StdRng::seed_from_u64(seed ^ 0x51AB);
+        let mut deg = cgte_graph::generators::powerlaw_degree_sequence(n, 2.5, 1, 20, &mut drng);
+        if deg.iter().sum::<usize>() % 2 != 0 {
+            deg[0] += 1;
+        }
+        check_thread_invariance("par_configuration_model_erased", |t| {
+            par_configuration_model_erased(&deg, seed, t).expect("even degree sum")
+        });
+        // Erased semantics: realized degrees never exceed the prescription.
+        let g = par_configuration_model_erased(&deg, seed, 1).unwrap();
+        for (v, &d) in deg.iter().enumerate() {
+            prop_assert!(g.degree(v as NodeId) <= d);
+        }
+    }
+
+    #[test]
+    fn par_planted_invariants(seed in 0u64..1_000_000, k in 2usize..6, alpha in 0.0f64..1.0) {
+        let cfg = PlantedConfig {
+            category_sizes: vec![2 * k + 2, 4 * k + 2, 8 * k + 2],
+            k,
+            alpha,
+        };
+        check_thread_invariance("par_planted_partition", |t| {
+            par_planted_partition(&cfg, seed, t).expect("feasible config").graph
+        });
+        // The ground-truth partition is thread-invariant too.
+        let a = par_planted_partition(&cfg, seed, 1).unwrap();
+        let b = par_planted_partition(&cfg, seed, 8).unwrap();
+        for v in 0..a.graph.num_nodes() as NodeId {
+            prop_assert_eq!(a.partition.category_of(v), b.partition.category_of(v));
+        }
+    }
+}

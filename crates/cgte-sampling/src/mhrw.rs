@@ -76,18 +76,30 @@ impl MetropolisHastingsWalk {
 
 impl NodeSampler for MetropolisHastingsWalk {
     fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(n);
+        self.sample_into(g, n, rng, &mut out);
+        out
+    }
+
+    fn sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        out.reserve(n);
         let mut cur = self.start.unwrap_or_else(|| random_start(g, rng));
         for _ in 0..self.burn_in {
             cur = Self::step(g, cur, rng);
         }
-        let mut out = Vec::with_capacity(n);
         while out.len() < n {
             out.push(cur);
             for _ in 0..self.thinning {
                 cur = Self::step(g, cur, rng);
             }
         }
-        out
     }
 
     fn design(&self) -> DesignKind {
@@ -108,6 +120,16 @@ mod tests {
 
     fn lollipop() -> Graph {
         GraphBuilder::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn sample_into_matches_sample() {
+        let g = lollipop();
+        let w = MetropolisHastingsWalk::new().burn_in(5).thinning(3);
+        let v = w.sample(&g, 40, &mut StdRng::seed_from_u64(77));
+        let mut buf = Vec::with_capacity(40);
+        w.sample_into(&g, 40, &mut StdRng::seed_from_u64(77), &mut buf);
+        assert_eq!(v, buf);
     }
 
     #[test]

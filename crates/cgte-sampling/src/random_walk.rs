@@ -93,18 +93,30 @@ impl RandomWalk {
 
 impl NodeSampler for RandomWalk {
     fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(n);
+        self.sample_into(g, n, rng, &mut out);
+        out
+    }
+
+    fn sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        out.reserve(n);
         let mut cur = self.start.unwrap_or_else(|| random_start(g, rng));
         for _ in 0..self.burn_in {
             cur = Self::step(g, cur, rng);
         }
-        let mut out = Vec::with_capacity(n);
         while out.len() < n {
             out.push(cur);
             for _ in 0..self.thinning {
                 cur = Self::step(g, cur, rng);
             }
         }
-        out
     }
 
     fn design(&self) -> DesignKind {
@@ -126,6 +138,20 @@ mod tests {
     fn lollipop() -> Graph {
         // Triangle {0,1,2} plus a path 2-3-4: degrees 2,2,3,2,1.
         GraphBuilder::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn sample_into_matches_sample_and_reuses_buffer() {
+        let g = lollipop();
+        let rw = RandomWalk::new().burn_in(7).thinning(2);
+        let v = rw.sample(&g, 50, &mut StdRng::seed_from_u64(31));
+        let mut buf = Vec::new();
+        rw.sample_into(&g, 50, &mut StdRng::seed_from_u64(31), &mut buf);
+        assert_eq!(v, buf);
+        let cap = buf.capacity();
+        rw.sample_into(&g, 50, &mut StdRng::seed_from_u64(32), &mut buf);
+        assert_eq!(buf.capacity(), cap, "second draw must reuse the buffer");
+        assert_eq!(buf.len(), 50);
     }
 
     #[test]

@@ -32,6 +32,24 @@ pub trait NodeSampler {
     /// (after burn-in and thinning).
     fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId>;
 
+    /// Draws a sample into a caller-provided buffer, clearing it first.
+    ///
+    /// Identical sequence to [`NodeSampler::sample`] given the same RNG
+    /// state; callers that draw many samples (big-walk replication loops,
+    /// the benchmark harness) reuse one buffer instead of allocating per
+    /// draw. The default forwards to `sample`; walk samplers override it
+    /// to write in place.
+    fn sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) {
+        out.clear();
+        out.extend(self.sample(g, n, rng));
+    }
+
     /// The design family this sampler realizes (asymptotically, for walks).
     fn design(&self) -> DesignKind;
 
@@ -90,6 +108,26 @@ impl NodeSampler for AnySampler {
         }
     }
 
+    // Must forward (not inherit the default): the hot callers hold an
+    // `AnySampler`, and the default would allocate via `sample` and copy,
+    // defeating the walks' in-place overrides.
+    fn sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) {
+        match self {
+            AnySampler::Uis(s) => s.sample_into(g, n, rng, out),
+            AnySampler::Wis(s) => s.sample_into(g, n, rng, out),
+            AnySampler::Rw(s) => s.sample_into(g, n, rng, out),
+            AnySampler::Mhrw(s) => s.sample_into(g, n, rng, out),
+            AnySampler::Wrw(s) => s.sample_into(g, n, rng, out),
+            AnySampler::Swrw(s) => s.sample_into(g, n, rng, out),
+        }
+    }
+
     fn design(&self) -> DesignKind {
         match self {
             AnySampler::Uis(s) => s.design(),
@@ -143,5 +181,20 @@ mod tests {
         assert_eq!(s.design(), DesignKind::Weighted);
         assert_eq!(s.sample(&g, 10, &mut rng).len(), 10);
         assert_eq!(s.weight_of(&g, 0), 2.0); // degree
+    }
+
+    #[test]
+    fn any_sampler_sample_into_forwards_to_variant() {
+        let g = GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        for s in [
+            AnySampler::Uis(UniformIndependence),
+            AnySampler::Rw(RandomWalk::new().burn_in(3)),
+            AnySampler::Mhrw(MetropolisHastingsWalk::new().thinning(2)),
+        ] {
+            let v = s.sample(&g, 25, &mut StdRng::seed_from_u64(13));
+            let mut buf = Vec::new();
+            s.sample_into(&g, 25, &mut StdRng::seed_from_u64(13), &mut buf);
+            assert_eq!(v, buf, "{} sample_into must match sample", s.name());
+        }
     }
 }

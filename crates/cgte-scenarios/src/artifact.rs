@@ -21,7 +21,7 @@
 use crate::runner::{ExperimentOutput, GraphInfo, JobOutput, NamedSeries, ReportSection};
 use crate::{EngineError, RunOptions};
 use cgte_eval::{EstimatorKind, Table, Target};
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -663,31 +663,46 @@ pub fn output_to_csv(out: &JobOutput) -> String {
 // ---------------------------------------------------------------------------
 // Run directory + manifest
 
-/// FNV-1a over the scenario source + options, for manifest compatibility
-/// checks.
-pub fn fingerprint(source: &str, opts: &RunOptions) -> String {
+/// FNV-1a over arbitrary bytes; the primitive behind both fingerprints.
+fn fnv1a(chunks: &[&[u8]]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
+    for chunk in chunks {
+        for &b in *chunk {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-    };
-    eat(source.as_bytes());
-    eat(opts.scale.name().as_bytes());
-    if let Some(s) = opts.seed {
-        eat(&s.to_le_bytes());
     }
-    format!("{h:016x}")
+    h
 }
 
-/// A run directory with its manifest.
+/// FNV-1a over the scenario source + options, for manifest compatibility
+/// checks.
+pub fn fingerprint(source: &str, opts: &RunOptions) -> String {
+    let seed_bytes;
+    let mut chunks: Vec<&[u8]> = vec![source.as_bytes(), opts.scale.name().as_bytes()];
+    if let Some(s) = opts.seed {
+        seed_bytes = s.to_le_bytes();
+        chunks.push(&seed_bytes);
+    }
+    format!("{:016x}", fnv1a(&chunks))
+}
+
+/// Content fingerprint of one job artifact, recorded in the manifest so
+/// `--resume` detects truncated or corrupted artifacts and re-executes
+/// exactly those jobs.
+pub fn artifact_fingerprint(content: &str) -> String {
+    format!("{:016x}", fnv1a(&[content.as_bytes()]))
+}
+
+/// A run directory with its manifest. `done` maps completed job ids to
+/// their artifact content fingerprints (`None` for manifests written
+/// before per-job fingerprints existed).
 pub struct RunDir {
     jobs_dir: PathBuf,
     manifest_path: PathBuf,
     scenario: String,
     fingerprint: String,
-    done: BTreeSet<String>,
+    done: BTreeMap<String, Option<String>>,
 }
 
 fn sanitize(id: &str) -> String {
@@ -722,7 +737,7 @@ impl RunDir {
             manifest_path,
             scenario: scenario.to_string(),
             fingerprint: fp.clone(),
-            done: BTreeSet::new(),
+            done: BTreeMap::new(),
         };
         if opts.resume && rd.manifest_path.exists() {
             let text = std::fs::read_to_string(&rd.manifest_path)
@@ -741,9 +756,20 @@ impl RunDir {
                 )));
             }
             if let Some(Json::Arr(ids)) = v.get("done") {
-                for id in ids {
-                    if let Json::Str(s) = id {
-                        rd.done.insert(s.clone());
+                for entry in ids {
+                    match entry {
+                        // Legacy manifests: plain id, no content hash.
+                        Json::Str(s) => {
+                            rd.done.insert(s.clone(), None);
+                        }
+                        Json::Obj(_) => {
+                            if let (Some(Json::Str(id)), Some(Json::Str(h))) =
+                                (entry.get("id"), entry.get("hash"))
+                            {
+                                rd.done.insert(id.clone(), Some(h.clone()));
+                            }
+                        }
+                        _ => {}
                     }
                 }
             }
@@ -753,25 +779,44 @@ impl RunDir {
         Ok(rd)
     }
 
-    /// Loads a previously completed job's output, if recorded.
+    /// Loads a previously completed job's output, if recorded **and**
+    /// intact. A missing, truncated, or corrupted artifact — detected by
+    /// the manifest's per-job content fingerprint, or by a parse failure
+    /// for pre-fingerprint manifests — yields `Ok(None)`, so `--resume`
+    /// re-executes exactly that job instead of failing the run.
     pub fn load_completed(&self, id: &str) -> Result<Option<JobOutput>, EngineError> {
-        if !self.done.contains(id) {
+        let Some(recorded_hash) = self.done.get(id) else {
             return Ok(None);
-        }
+        };
         let path = self.jobs_dir.join(format!("{}.json", sanitize(id)));
         let Ok(text) = std::fs::read_to_string(&path) else {
             return Ok(None); // manifest said done but artifact is gone: re-run
         };
-        Ok(Some(output_from_json(&text).map_err(|e| {
-            EngineError::msg(format!("corrupt artifact {path:?}: {}", e.msg))
-        })?))
+        if let Some(h) = recorded_hash {
+            if artifact_fingerprint(&text) != *h {
+                eprintln!("warning: artifact {path:?} does not match its recorded fingerprint; re-running {id}");
+                return Ok(None);
+            }
+        }
+        match output_from_json(&text) {
+            Ok(out) => Ok(Some(out)),
+            Err(e) => {
+                eprintln!(
+                    "warning: corrupt artifact {path:?} ({}); re-running {id}",
+                    e.msg
+                );
+                Ok(None)
+            }
+        }
     }
 
-    /// Persists one job's output and marks it complete in the manifest.
+    /// Persists one job's output and marks it complete in the manifest,
+    /// recording the artifact's content fingerprint.
     pub fn record(&mut self, id: &str, out: &JobOutput) -> Result<(), EngineError> {
         let base = sanitize(id);
+        let json = output_to_json(out);
         let json_path = self.jobs_dir.join(format!("{base}.json"));
-        std::fs::write(&json_path, output_to_json(out))
+        std::fs::write(&json_path, &json)
             .map_err(|e| EngineError::msg(format!("cannot write {json_path:?}: {e}")))?;
         let csv = output_to_csv(out);
         if !csv.is_empty() {
@@ -779,7 +824,8 @@ impl RunDir {
             std::fs::write(&csv_path, csv)
                 .map_err(|e| EngineError::msg(format!("cannot write {csv_path:?}: {e}")))?;
         }
-        self.done.insert(id.to_string());
+        self.done
+            .insert(id.to_string(), Some(artifact_fingerprint(&json)));
         self.write_manifest()
     }
 
@@ -787,7 +833,10 @@ impl RunDir {
         let ids: Vec<String> = self
             .done
             .iter()
-            .map(|id| format!("\"{}\"", json_escape(id)))
+            .map(|(id, hash)| match hash {
+                Some(h) => format!("{{\"id\":\"{}\",\"hash\":\"{h}\"}}", json_escape(id)),
+                None => format!("\"{}\"", json_escape(id)),
+            })
             .collect();
         let text = format!(
             "{{\"scenario\":\"{}\",\"fingerprint\":\"{}\",\"done\":[{}]}}\n",

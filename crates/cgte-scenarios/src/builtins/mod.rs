@@ -66,7 +66,18 @@ const BUILTINS: &[(&str, &str, Reporter)] = &[
         include_str!("../../scenarios/ablation_thinning.scn"),
         ablations::thinning_report,
     ),
+    (
+        "huge",
+        include_str!("../../scenarios/huge.scn"),
+        huge_report,
+    ),
 ];
+
+/// The `huge` scenario has no legacy binary to replicate; it renders with
+/// the generic reporter.
+fn huge_report(ctx: &RunContext<'_>) -> Result<(), EngineError> {
+    crate::report::generic_report(ctx)
+}
 
 /// Names of all built-in scenarios, in figure order.
 pub fn builtin_names() -> Vec<&'static str> {

@@ -9,8 +9,8 @@
 
 use crate::plan::ResolvedGraph;
 use crate::EngineError;
-use cgte_datasets::{standin, standin_partition, CrawlDataset, FacebookSim};
-use cgte_graph::generators::{planted_partition, PlantedConfig};
+use cgte_datasets::{standin, standin_huge, standin_partition, CrawlDataset, FacebookSim};
+use cgte_graph::generators::{par_planted_partition, planted_partition, PlantedConfig};
 use cgte_graph::{CategoryGraph, Graph, Partition};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -206,22 +206,71 @@ impl ResourceCache {
 
     /// Fetches (building if necessary) the resource for a resolved spec.
     pub fn resource(&self, spec: &ResolvedGraph) -> Result<Resource, EngineError> {
-        self.get_or_build(&spec.key(), || build_resource(spec))
+        self.resource_threads(spec, 0)
     }
+
+    /// Like [`ResourceCache::resource`], with a worker-count hint for the
+    /// huge-tier parallel builders. `threads` only affects wall-clock
+    /// time — the parallel generators are thread-invariant, so the cached
+    /// resource is identical for every hint.
+    ///
+    /// When several huge builds are scheduled concurrently each gets the
+    /// full hint, briefly oversubscribing the cores; the generator
+    /// threads are CPU-bound and OS time-slicing keeps total throughput
+    /// near the exclusive case, which beats serializing builds (the
+    /// common many-small-builds plans would lose their job-level
+    /// parallelism).
+    pub fn resource_threads(
+        &self,
+        spec: &ResolvedGraph,
+        threads: usize,
+    ) -> Result<Resource, EngineError> {
+        self.get_or_build(&spec.key(), || build_resource_threads(spec, threads))
+    }
+}
+
+/// Constructs a resource from its spec with the default worker hint; see
+/// [`build_resource_threads`].
+pub fn build_resource(spec: &ResolvedGraph) -> Result<Resource, EngineError> {
+    build_resource_threads(spec, 0)
 }
 
 /// Constructs a resource from its spec, replicating the exact RNG streams
 /// of the original figure binaries (graph first, partition continuing the
-/// same stream, crawls continuing after generation). Infeasible
-/// parameters surface as an [`EngineError`] rather than a worker panic.
-pub fn build_resource(spec: &ResolvedGraph) -> Result<Resource, EngineError> {
+/// same stream, crawls continuing after generation). Specs with
+/// `scale_mul > 1` — the `scale(huge)` tier — route through the parallel
+/// generators instead, whose counter-derived streams make the result
+/// independent of `threads`. Infeasible parameters surface as an
+/// [`EngineError`] rather than a worker panic.
+pub fn build_resource_threads(
+    spec: &ResolvedGraph,
+    threads: usize,
+) -> Result<Resource, EngineError> {
     match *spec {
         ResolvedGraph::Planted {
             k,
             alpha,
             scale_div,
+            scale_mul,
             seed,
         } => {
+            if scale_mul > 1 && scale_div > 1 {
+                return Err(EngineError::msg(format!(
+                    "planted: scale_div={scale_div} and scale_mul={scale_mul} are mutually exclusive"
+                )));
+            }
+            if scale_mul > 1 {
+                let cfg = PlantedConfig::scaled_up(scale_mul, k, alpha);
+                let pg = par_planted_partition(&cfg, seed, threads).map_err(|e| {
+                    EngineError::msg(format!(
+                        "infeasible planted config (k={k}, alpha={alpha}, scale_mul={scale_mul}): {e}"
+                    ))
+                })?;
+                return Ok(Resource::Graph(Arc::new(BuiltGraph::eager(
+                    pg.graph,
+                    pg.partition,
+                ))));
+            }
             let mut rng = StdRng::seed_from_u64(seed);
             let cfg = if scale_div == 1 {
                 PlantedConfig::paper(k, alpha)
@@ -241,10 +290,29 @@ pub fn build_resource(spec: &ResolvedGraph) -> Result<Resource, EngineError> {
         ResolvedGraph::Standin {
             kind,
             scale_div,
+            scale_mul,
             top_k,
             spectral,
             seed,
         } => {
+            if scale_mul > 1 && scale_div > 1 {
+                return Err(EngineError::msg(format!(
+                    "standin: scale_div={scale_div} and scale_mul={scale_mul} are mutually exclusive"
+                )));
+            }
+            if scale_mul > 1 {
+                let graph = standin_huge(kind, scale_mul, seed, threads);
+                // Huge-tier partitions draw a dedicated stream (there is
+                // no sequential generator stream to continue).
+                return Ok(Resource::Graph(Arc::new(BuiltGraph::lazy_partition(
+                    graph,
+                    move |g| {
+                        let mut rng =
+                            StdRng::seed_from_u64(cgte_graph::parallel::stream_seed(seed, 0x9A27));
+                        standin_partition(g, top_k, spectral, &mut rng)
+                    },
+                ))));
+            }
             let mut rng = StdRng::seed_from_u64(seed);
             let graph = standin(kind, scale_div, &mut rng);
             // Snapshot the stream so the deferred partition continues it.

@@ -52,8 +52,9 @@ pub use value::Value;
 
 use std::path::PathBuf;
 
-/// Run scale selected on the command line; mirrors the three parameter
-/// tiers every figure binary historically supported.
+/// Run scale selected on the command line; the three parameter tiers
+/// every figure binary historically supported, plus the million-node
+/// `huge` tier served by the parallel generators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Smoke-test parameters (CI-sized, seconds).
@@ -62,6 +63,10 @@ pub enum Scale {
     Default,
     /// The paper's parameters.
     Full,
+    /// Million-node scale tier (1M–2M-node graphs, built by the parallel
+    /// generators). `scale(...)` selectors with only three arguments fall
+    /// back to their `full` value at this tier.
+    Huge,
 }
 
 impl Scale {
@@ -71,6 +76,7 @@ impl Scale {
             Scale::Quick => "quick",
             Scale::Default => "default",
             Scale::Full => "full",
+            Scale::Huge => "huge",
         }
     }
 }

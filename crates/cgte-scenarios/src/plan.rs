@@ -18,7 +18,8 @@ use std::collections::HashMap;
 /// canonical content key.
 #[derive(Debug, Clone)]
 pub enum ResolvedGraph {
-    /// Planted-partition generator (`PlantedConfig::paper`/`scaled`).
+    /// Planted-partition generator (`PlantedConfig::paper`/`scaled`, or
+    /// `scaled_up` through the parallel path when `scale_mul > 1`).
     Planted {
         /// Intra-category mean degree.
         k: usize,
@@ -26,6 +27,10 @@ pub enum ResolvedGraph {
         alpha: f64,
         /// Down-scaling divisor (1 = paper scale).
         scale_div: usize,
+        /// Up-scaling multiplier for the `scale(huge)` tier (1 = paper
+        /// scale; `> 1` routes construction through the thread-invariant
+        /// parallel generators).
+        scale_mul: usize,
         /// Fully derived RNG seed.
         seed: u64,
     },
@@ -35,6 +40,8 @@ pub enum ResolvedGraph {
         kind: StandinKind,
         /// Down-scaling divisor.
         scale_div: usize,
+        /// Up-scaling multiplier (`> 1` = parallel huge-tier build).
+        scale_mul: usize,
         /// Partition: the top-k communities + rest.
         top_k: usize,
         /// Use the spectral community finder.
@@ -64,18 +71,36 @@ impl ResolvedGraph {
                 k,
                 alpha,
                 scale_div,
+                scale_mul,
                 seed,
-            } => format!("planted:k={k},alpha={alpha},scale_div={scale_div},seed={seed}"),
+            } => {
+                // `scale_mul` joins the key only when it scales (keeps the
+                // legacy keys of every pre-huge scenario byte-stable).
+                let mul = if *scale_mul > 1 {
+                    format!(",scale_mul={scale_mul}")
+                } else {
+                    String::new()
+                };
+                format!("planted:k={k},alpha={alpha},scale_div={scale_div}{mul},seed={seed}")
+            }
             ResolvedGraph::Standin {
                 kind,
                 scale_div,
+                scale_mul,
                 top_k,
                 spectral,
                 seed,
-            } => format!(
-                "standin:kind={},scale_div={scale_div},top_k={top_k},spectral={spectral},seed={seed}",
-                kind.name()
-            ),
+            } => {
+                let mul = if *scale_mul > 1 {
+                    format!(",scale_mul={scale_mul}")
+                } else {
+                    String::new()
+                };
+                format!(
+                    "standin:kind={},scale_div={scale_div}{mul},top_k={top_k},spectral={spectral},seed={seed}",
+                    kind.name()
+                )
+            }
             ResolvedGraph::Facebook { cfg, crawls, seed } => {
                 let crawl_part = match crawls {
                     Some((w09, p09, w10, p10)) => format!(",crawls={w09}x{p09}+{w10}x{p10}"),
@@ -329,6 +354,7 @@ fn resolve_graph(p: &Params, base_seed: u64) -> Result<ResolvedGraph, EngineErro
             k: p.usize_or("k", 20)?,
             alpha: p.f64_or("alpha", 0.5)?,
             scale_div: p.usize_or("scale_div", 1)?,
+            scale_mul: p.usize_or("scale_mul", 1)?.max(1),
             seed,
         }),
         "standin" => {
@@ -350,6 +376,7 @@ fn resolve_graph(p: &Params, base_seed: u64) -> Result<ResolvedGraph, EngineErro
             Ok(ResolvedGraph::Standin {
                 kind,
                 scale_div: p.usize_or("scale_div", 1)?,
+                scale_mul: p.usize_or("scale_mul", 1)?.max(1),
                 top_k: p.usize_or("top_k", 50)?,
                 spectral: p.bool_or("spectral", true)?,
                 seed,

@@ -222,7 +222,7 @@ pub fn execute_job(
                 .graphs
                 .get(key)
                 .ok_or_else(|| EngineError::msg(format!("unknown graph key {key:?}")))?;
-            cache.resource(spec)?;
+            cache.resource_threads(spec, opts.threads)?;
             Ok(JobOutput::None)
         }
         JobKind::Experiment {
@@ -234,7 +234,7 @@ pub fn execute_job(
                 .graphs
                 .get(graph_key)
                 .ok_or_else(|| EngineError::msg(format!("unknown graph key {graph_key:?}")))?;
-            let built = cache.resource(spec)?;
+            let built = cache.resource_threads(spec, opts.threads)?;
             let built = built.as_graph()?;
             let targets = resolve_targets(&exp.targets, built, exp.max_weight_targets)?;
             if targets.is_empty() {
@@ -290,7 +290,7 @@ pub fn execute_job(
                         .graphs
                         .get(key)
                         .ok_or_else(|| EngineError::msg(format!("unknown graph key {key:?}")))?;
-                    Some(cache.resource(spec)?)
+                    Some(cache.resource_threads(spec, opts.threads)?)
                 }
                 None => None,
             };

@@ -141,6 +141,7 @@ const PLANTED_KEYS: &[(&str, KeyKind)] = &[
     ("k", KeyKind::Scalar),
     ("alpha", KeyKind::Scalar),
     ("scale_div", KeyKind::Scalar),
+    ("scale_mul", KeyKind::Scalar),
     ("seed_add", KeyKind::Scalar),
     ("seed_xor", KeyKind::Scalar),
 ];
@@ -149,6 +150,7 @@ const STANDIN_KEYS: &[(&str, KeyKind)] = &[
     ("generator", KeyKind::Scalar),
     ("kind", KeyKind::Scalar),
     ("scale_div", KeyKind::Scalar),
+    ("scale_mul", KeyKind::Scalar),
     ("top_k", KeyKind::Scalar),
     ("spectral", KeyKind::Scalar),
     ("seed_add", KeyKind::Scalar),

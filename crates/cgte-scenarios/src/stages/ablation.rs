@@ -23,7 +23,7 @@ pub fn model_based(ctx: &StageCtx<'_>) -> Result<JobOutput, EngineError> {
     let sizes = match ctx.scale {
         Scale::Quick => log_sizes(100, 1000, 3),
         Scale::Default => log_sizes(200, 20_000, 5),
-        Scale::Full => log_sizes(1000, 100_000, 5),
+        Scale::Full | Scale::Huge => log_sizes(1000, 100_000, 5),
     };
     let (sampler, label) = match ctx.str_param("sampler")? {
         "uis" => (AnySampler::Uis(UniformIndependence), "UIS"),

@@ -29,11 +29,11 @@ impl Value {
         match self {
             Value::Func(name, args) => match name.as_str() {
                 "scale" => {
-                    if args.len() != 3 {
+                    if args.len() != 3 && args.len() != 4 {
                         return Err(EngineError::at(
                             line,
                             format!(
-                                "scale() takes 3 arguments (quick, default, full), got {}",
+                                "scale() takes 3 or 4 arguments (quick, default, full[, huge]), got {}",
                                 args.len()
                             ),
                         ));
@@ -42,6 +42,9 @@ impl Value {
                         Scale::Quick => 0,
                         Scale::Default => 1,
                         Scale::Full => 2,
+                        // With no explicit 4th argument, huge runs reuse
+                        // the paper-scale value.
+                        Scale::Huge => 3.min(args.len() - 1),
                     };
                     args[idx].resolve(scale, line)
                 }

@@ -165,6 +165,131 @@ fn resume_reexecutes_only_incomplete_jobs() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A truncated or corrupted artifact is caught by the manifest's per-job
+/// content fingerprint: `--resume` re-executes exactly that job and the
+/// untouched completed series stay bit-exact on disk.
+#[test]
+fn resume_detects_corrupt_artifact_and_reexecutes_it() {
+    let dir = std::env::temp_dir().join(format!("cgte-engine-corrupt-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let full_opts = RunOptions {
+        out_dir: Some(dir.clone()),
+        ..quiet_opts()
+    };
+    let (first, _) = run_sweep(&full_opts);
+
+    // Truncate one artifact (simulating a crash mid-write) and scramble
+    // nothing else; snapshot the other artifacts' bytes.
+    let jobs = dir.join("jobs");
+    let victim = jobs.join("run_g_rw_2_.json");
+    let original = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &original[..original.len() / 2]).unwrap();
+    let untouched: Vec<(std::path::PathBuf, Vec<u8>)> = std::fs::read_dir(&jobs)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p != &victim && p.extension().is_some_and(|x| x == "json"))
+        .map(|p| {
+            let bytes = std::fs::read(&p).unwrap();
+            (p, bytes)
+        })
+        .collect();
+    assert_eq!(untouched.len(), 4, "four intact artifacts remain");
+
+    let resume_opts = RunOptions {
+        resume: true,
+        ..full_opts
+    };
+    let (repaired, stats) = run_sweep(&resume_opts);
+    assert_eq!(
+        stats.builds, 1,
+        "only the corrupted job re-executes (one graph rebuild)"
+    );
+    assert_eq!(stats.hits, 1, "exactly one job touched the cache");
+    assert_eq!(
+        experiment_entries(&first["run/g/rw[2]"]),
+        experiment_entries(&repaired["run/g/rw[2]"]),
+        "the re-executed job reproduces the original series bit-exactly"
+    );
+    // The repaired artifact matches its pre-corruption bytes, and the
+    // completed jobs were not rewritten differently.
+    assert_eq!(std::fs::read(&victim).unwrap(), original);
+    for (p, before) in untouched {
+        assert_eq!(
+            std::fs::read(&p).unwrap(),
+            before,
+            "completed artifact {p:?} must stay bit-exact across resume"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A byte-flipped (same-length) artifact is equally detected by the
+/// content fingerprint, not just truncation.
+#[test]
+fn resume_detects_bitflip_artifact() {
+    let dir = std::env::temp_dir().join(format!("cgte-engine-bitflip-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let full_opts = RunOptions {
+        out_dir: Some(dir.clone()),
+        ..quiet_opts()
+    };
+    let (first, _) = run_sweep(&full_opts);
+    let victim = dir.join("jobs").join("run_g_rw_5_.json");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    // Flip one digit inside the series payload; the result still parses
+    // as JSON, so only the fingerprint can catch it.
+    let pos = bytes
+        .windows(8)
+        .position(|w| w == b"\"series\"")
+        .expect("series key present")
+        + 12;
+    bytes[pos] = if bytes[pos] == b'1' { b'2' } else { b'1' };
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let resume_opts = RunOptions {
+        resume: true,
+        ..full_opts
+    };
+    let (repaired, stats) = run_sweep(&resume_opts);
+    assert_eq!(stats.builds, 1, "the tampered job must re-execute");
+    assert_eq!(
+        experiment_entries(&first["run/g/rw[5]"]),
+        experiment_entries(&repaired["run/g/rw[5]"]),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The CLI-level `--seed` override reaches every job's
+/// `ExperimentConfig`: different seeds change the series, the same seed
+/// reproduces them bit-exactly — without editing the `.scn`.
+#[test]
+fn seed_override_reaches_experiment_config() {
+    let doc = parse_scn(SWEEP_SCN).unwrap();
+    let run_with = |seed: Option<u64>| {
+        let scenario = resolve_scenario(&doc, Scale::Quick, seed).unwrap();
+        let plan = build_plan(&scenario).unwrap();
+        let cache = ResourceCache::new();
+        run_plan(&plan, &cache, &quiet_opts(), SWEEP_SCN).unwrap()
+    };
+    let base = run_with(None);
+    let a = run_with(Some(123));
+    let b = run_with(Some(123));
+    for (id, out) in &a {
+        if matches!(out, JobOutput::Experiment(_)) {
+            assert_eq!(
+                experiment_entries(out),
+                experiment_entries(&b[id]),
+                "same seed must reproduce job {id} bit-exactly"
+            );
+            assert_ne!(
+                experiment_entries(out),
+                experiment_entries(&base[id]),
+                "seed override must actually change job {id}"
+            );
+        }
+    }
+}
+
 /// Resuming against a run directory written at different parameters is
 /// rejected instead of silently mixing results.
 #[test]

@@ -9,7 +9,7 @@ use cgte_scenarios::{
 };
 use proptest::prelude::*;
 
-const ALL_SCALES: [Scale; 3] = [Scale::Quick, Scale::Default, Scale::Full];
+const ALL_SCALES: [Scale; 4] = [Scale::Quick, Scale::Default, Scale::Full, Scale::Huge];
 
 /// Every embedded builtin must parse, resolve at every scale, and expand
 /// into a non-empty plan whose name matches the registry key.
@@ -54,6 +54,7 @@ fn builtin_job_matrix_sizes() {
         ("ablation_model_based", 2), // uis + rw
         ("ablation_swrw", 5),        // five betas
         ("ablation_thinning", 5),    // five thinning factors
+        ("huge", 4),                 // one NRMSE run + three stats jobs
     ];
     for (name, expected) in expect {
         let doc = parse_scn(builtin_scenario(name).unwrap()).unwrap();
