@@ -1,0 +1,363 @@
+//! The CI performance-regression gate: `cgte bench --check BASELINE.json`.
+//!
+//! Compares a freshly produced harness report against a committed
+//! baseline, metric by metric, with ratio thresholds: a metric that drops
+//! below [`FAIL_RATIO`] (>25 % regression) fails the gate, below
+//! [`WARN_RATIO`] (>10 %) warns.
+//!
+//! **Machine normalization.** Absolute throughputs (edges/sec,
+//! steps/sec, samples/sec) are only meaningful between comparable
+//! machines, and thread-scaling figures are only meaningful on equal
+//! core counts — so those metrics are compared **only when both reports
+//! record the same `available_parallelism`** (the committed baseline and
+//! CI's runners, or two runs on one developer box). Internal ratios —
+//! currently the load section's `speedup_vs_regen`, where both timings
+//! come from the same box within one run — are machine-independent and
+//! are always compared. Reports from different tiers (`quick` flag
+//! mismatch) are never comparable: the workloads differ, so the checker
+//! refuses with instructions to regenerate the baseline.
+
+use cgte_scenarios::artifact::{parse_json, Json};
+
+/// A metric at or below this fraction of its baseline fails the gate
+/// (0.75 = a regression of more than 25 %).
+pub const FAIL_RATIO: f64 = 0.75;
+/// A metric at or below this fraction of its baseline warns
+/// (0.90 = a regression of more than 10 %).
+pub const WARN_RATIO: f64 = 0.90;
+
+/// How a metric travels between machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricClass {
+    /// Absolute throughput — comparable only on matching machines.
+    Absolute,
+    /// Internal ratio (both sides measured in one run on one box) —
+    /// always comparable.
+    Ratio,
+}
+
+struct Metric {
+    name: String,
+    value: f64,
+    class: MetricClass,
+}
+
+struct Extracted {
+    quick: bool,
+    parallelism: f64,
+    metrics: Vec<Metric>,
+}
+
+/// The checker's verdict.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOutcome {
+    /// Metrics that regressed beyond [`FAIL_RATIO`] (plus structural
+    /// problems such as a metric disappearing from the report).
+    pub failures: Vec<String>,
+    /// Metrics that regressed beyond [`WARN_RATIO`] but not enough to
+    /// fail.
+    pub warnings: Vec<String>,
+    /// Number of metrics actually compared.
+    pub compared: usize,
+    /// Metrics skipped because the machines are not comparable
+    /// (`available_parallelism` mismatch).
+    pub skipped: usize,
+}
+
+fn get<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a Json, String> {
+    v.get(key)
+        .ok_or_else(|| format!("{ctx}: missing key {key:?}"))
+}
+
+fn num(v: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    match get(v, key, ctx)? {
+        Json::Num(x) => Ok(*x),
+        other => Err(format!("{ctx}: {key} is not a number ({other:?})")),
+    }
+}
+
+fn text<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a str, String> {
+    match get(v, key, ctx)? {
+        Json::Str(s) => Ok(s),
+        other => Err(format!("{ctx}: {key} is not a string ({other:?})")),
+    }
+}
+
+fn arr<'a>(v: &'a Json, key: &str, ctx: &str) -> Result<&'a [Json], String> {
+    match get(v, key, ctx)? {
+        Json::Arr(a) => Ok(a),
+        other => Err(format!("{ctx}: {key} is not an array ({other:?})")),
+    }
+}
+
+/// The serial (threads == 1) rate of a `runs` array.
+fn serial_rate(entry: &Json, rate_key: &str, ctx: &str) -> Result<f64, String> {
+    for run in arr(entry, "runs", ctx)? {
+        if num(run, "threads", ctx)? == 1.0 {
+            return num(run, rate_key, ctx);
+        }
+    }
+    Err(format!("{ctx}: no threads=1 run"))
+}
+
+fn extract(report: &str, label: &str) -> Result<Extracted, String> {
+    let v = parse_json(report).map_err(|e| format!("{label}: invalid JSON: {e}"))?;
+    let schema = text(&v, "schema", label)?;
+    if schema != "cgte-bench/1" {
+        return Err(format!("{label}: unsupported schema {schema:?}"));
+    }
+    let quick = matches!(get(&v, "quick", label)?, Json::Bool(true));
+    let parallelism = num(&v, "available_parallelism", label)?;
+    let mut metrics = Vec::new();
+
+    for entry in arr(&v, "build", label)? {
+        let generator = text(entry, "generator", label)?;
+        let ctx = format!("{label}: build/{generator}");
+        metrics.push(Metric {
+            name: format!("build/{generator}/edges_per_sec@1"),
+            value: serial_rate(entry, "edges_per_sec", &ctx)?,
+            class: MetricClass::Absolute,
+        });
+        // Thread-scaling figures are meaningful only when the machine can
+        // actually scale: on a 1-core box any recorded speedup is
+        // scheduler/timer noise and would make the gate flaky.
+        if parallelism > 1.0 {
+            metrics.push(Metric {
+                name: format!("build/{generator}/best_speedup"),
+                value: num(entry, "best_speedup", &ctx)?,
+                class: MetricClass::Absolute,
+            });
+        }
+    }
+    for entry in arr(&v, "walk", label)? {
+        let sampler = text(entry, "sampler", label)?;
+        let ctx = format!("{label}: walk/{sampler}");
+        metrics.push(Metric {
+            name: format!("walk/{sampler}/steps_per_sec@1"),
+            value: serial_rate(entry, "steps_per_sec", &ctx)?,
+            class: MetricClass::Absolute,
+        });
+    }
+    let estimate = get(&v, "estimate", label)?;
+    metrics.push(Metric {
+        name: "estimate/samples_per_sec@1".into(),
+        value: serial_rate(estimate, "samples_per_sec", &format!("{label}: estimate"))?,
+        class: MetricClass::Absolute,
+    });
+    // Reports written before the load section existed (PR3) simply
+    // contribute no load metrics.
+    if let Some(load) = v.get("load") {
+        let ctx = format!("{label}: load");
+        metrics.push(Metric {
+            name: "load/edges_per_sec".into(),
+            value: num(load, "load_edges_per_sec", &ctx)?,
+            class: MetricClass::Absolute,
+        });
+        metrics.push(Metric {
+            name: "load/speedup_vs_regen".into(),
+            value: num(load, "speedup_vs_regen", &ctx)?,
+            class: MetricClass::Ratio,
+        });
+    }
+    Ok(Extracted {
+        quick,
+        parallelism,
+        metrics,
+    })
+}
+
+/// Compares a current harness report against a baseline report. `Err` is
+/// reserved for unusable input (bad JSON, tier mismatch); regressions
+/// land in the returned [`CheckOutcome`].
+pub fn check_reports(current: &str, baseline: &str) -> Result<CheckOutcome, String> {
+    let cur = extract(current, "current report")?;
+    let base = extract(baseline, "baseline")?;
+    if cur.quick != base.quick {
+        return Err(format!(
+            "tier mismatch: current quick={}, baseline quick={} — the workloads differ; \
+             regenerate the baseline at the gate's tier",
+            cur.quick, base.quick
+        ));
+    }
+    let same_machine = cur.parallelism == base.parallelism;
+    let mut out = CheckOutcome::default();
+    for bm in &base.metrics {
+        if bm.class == MetricClass::Absolute && !same_machine {
+            out.skipped += 1;
+            continue;
+        }
+        let Some(cm) = cur.metrics.iter().find(|m| m.name == bm.name) else {
+            out.failures.push(format!(
+                "{}: present in baseline but missing from the current report",
+                bm.name
+            ));
+            continue;
+        };
+        if !(bm.value.is_finite() && bm.value > 0.0) {
+            out.skipped += 1;
+            continue;
+        }
+        out.compared += 1;
+        let ratio = cm.value / bm.value;
+        let line = format!(
+            "{}: {:.1} vs baseline {:.1} (ratio {:.3})",
+            bm.name, cm.value, bm.value, ratio
+        );
+        if ratio < FAIL_RATIO {
+            out.failures.push(line);
+        } else if ratio < WARN_RATIO {
+            out.warnings.push(line);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal but schema-complete report with every rate scaled by
+    /// `f` (except the internal load ratio, scaled by `ratio_f`).
+    fn report(parallelism: usize, f: f64, ratio_f: f64) -> String {
+        format!(
+            r#"{{
+  "schema": "cgte-bench/1",
+  "pr": "PR4",
+  "quick": true,
+  "seed": 7,
+  "available_parallelism": {parallelism},
+  "threads": [1,2],
+  "build": [
+    {{"generator":"chung_lu","nodes":1000,"edges":5000,"bit_identical":true,"best_speedup":{sp:.3},"runs":[{{"threads":1,"secs":0.5,"edges_per_sec":{b1:.1}}},{{"threads":2,"secs":0.4,"edges_per_sec":{b2:.1}}}]}}
+  ],
+  "walk": [
+    {{"sampler":"rw","steps_per_walker":1000,"best_speedup":1.0,"runs":[{{"threads":1,"secs":0.1,"steps_per_sec":{w1:.1}}}]}}
+  ],
+  "estimate": {{"nodes":100,"replications":2,"max_size":10,"targets":3,"best_speedup":1.0,"runs":[{{"threads":1,"secs":0.1,"samples_per_sec":{e1:.1}}}]}},
+  "load": {{"generator":"chung_lu","nodes":1000,"edges":5000,"write_secs":0.1,"load_secs":0.01,"regen_secs":0.5,"load_edges_per_sec":{l1:.1},"regen_edges_per_sec":10000.0,"speedup_vs_regen":{lr:.3},"identical":true}}
+}}
+"#,
+            sp = 1.2 * f,
+            b1 = 10000.0 * f,
+            b2 = 12000.0 * f,
+            w1 = 50000.0 * f,
+            e1 = 20000.0 * f,
+            l1 = 500000.0 * f,
+            lr = 50.0 * ratio_f,
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(1, 1.0, 1.0);
+        let out = check_reports(&r, &r).unwrap();
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+        assert!(out.compared >= 5, "compared {} metrics", out.compared);
+        assert_eq!(out.skipped, 0);
+    }
+
+    #[test]
+    fn speedups_gate_only_on_multicore_machines() {
+        // On matching multi-core boxes best_speedup gates…
+        let out = check_reports(&report(8, 1.0, 1.0), &report(8, 1.0, 1.0)).unwrap();
+        assert!(out.compared >= 6, "compared {} metrics", out.compared);
+        let degraded = check_reports(&report(8, 0.7, 1.0), &report(8, 1.0, 1.0)).unwrap();
+        assert!(degraded.failures.iter().any(|f| f.contains("best_speedup")));
+        // …on 1-core boxes it is never extracted (speedups there are
+        // timer noise, and gating on them makes CI flaky).
+        let single = check_reports(&report(1, 0.7, 1.0), &report(1, 1.0, 1.0)).unwrap();
+        assert!(single.failures.iter().all(|f| !f.contains("best_speedup")));
+    }
+
+    #[test]
+    fn small_regression_only_warns() {
+        // 15% down: past the warn line, short of the fail line.
+        let out = check_reports(&report(1, 0.85, 0.85), &report(1, 1.0, 1.0)).unwrap();
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert_eq!(out.warnings.len(), out.compared, "every metric warns");
+    }
+
+    #[test]
+    fn synthetically_degraded_report_fails_the_gate() {
+        // The acceptance test: a >25% throughput regression must fail.
+        let out = check_reports(&report(1, 0.70, 1.0), &report(1, 1.0, 1.0)).unwrap();
+        assert!(
+            !out.failures.is_empty(),
+            "a 30% regression must produce failures"
+        );
+        assert!(
+            out.failures.iter().any(|f| f.contains("edges_per_sec")),
+            "the degraded build throughput is named: {:?}",
+            out.failures
+        );
+        // The internal load ratio was untouched, so it is not among them.
+        assert!(out.failures.iter().all(|f| !f.contains("speedup_vs_regen")));
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let out = check_reports(&report(1, 1.5, 1.5), &report(1, 1.0, 1.0)).unwrap();
+        assert!(out.failures.is_empty());
+        assert!(out.warnings.is_empty());
+    }
+
+    #[test]
+    fn absolute_metrics_skipped_across_machines_but_ratios_still_gate() {
+        // Baseline from a 1-core box, current from an 8-core box: every
+        // absolute throughput is skipped (machine-normalized via
+        // available_parallelism), yet a collapsed internal load ratio
+        // still fails the gate.
+        let out = check_reports(&report(8, 0.5, 0.5), &report(1, 1.0, 1.0)).unwrap();
+        assert!(out.skipped > 0, "absolute metrics skipped");
+        assert_eq!(
+            out.compared, 1,
+            "only the machine-independent ratio is compared"
+        );
+        assert!(
+            out.failures.iter().any(|f| f.contains("speedup_vs_regen")),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn missing_metric_is_a_failure() {
+        let base = report(1, 1.0, 1.0);
+        let current = base
+            .replace("\"walk/", "\"wxlk/")
+            .replace("{\"sampler\":\"rw\"", "{\"sampler\":\"other\"");
+        let out = check_reports(&current, &base).unwrap();
+        assert!(
+            out.failures.iter().any(|f| f.contains("missing")),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn tier_mismatch_is_unusable_input() {
+        let base = report(1, 1.0, 1.0);
+        let current = base.replace("\"quick\": true", "\"quick\": false");
+        let err = check_reports(&current, &base).unwrap_err();
+        assert!(err.contains("tier mismatch"), "{err}");
+    }
+
+    #[test]
+    fn pr3_baseline_without_load_section_is_accepted() {
+        let base = {
+            let r = report(1, 1.0, 1.0);
+            // Strip the load section the way a PR3-era report lacks it.
+            let head = r.split("  \"load\":").next().unwrap().to_string();
+            format!("{}\n}}\n", head.trim_end().trim_end_matches(','))
+        };
+        let out = check_reports(&report(1, 1.0, 1.0), &base).unwrap();
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn garbage_input_is_an_error_not_a_panic() {
+        assert!(check_reports("not json", &report(1, 1.0, 1.0)).is_err());
+        assert!(check_reports(&report(1, 1.0, 1.0), "{}").is_err());
+    }
+}

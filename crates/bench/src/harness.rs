@@ -1,13 +1,16 @@
 //! The `cgte bench` harness: machine-readable performance trajectory.
 //!
-//! Times three hot paths at each configured thread count and emits a JSON
-//! report (`BENCH_PR3.json` by default) that later PRs append to, so speed
+//! Times four hot paths at each configured thread count and emits a JSON
+//! report (`BENCH_PR4.json` by default) that later PRs append to, so speed
 //! claims are pinned from PR to PR rather than asserted in prose:
 //!
 //! - **build** — edges/sec of every parallel generator (Chung–Lu at
 //!   million-node scale is the headline), with a bit-identity check of
 //!   each multi-threaded build against the serial (`threads = 1`)
 //!   reference;
+//! - **load** — edges/sec restoring the headline 1M-node Chung–Lu graph
+//!   from its `.cgteg` container versus regenerating it (the disk cache
+//!   tier's value proposition; always full-size, even at `--quick`);
 //! - **walk** — aggregate RW/MHRW steps/sec with `t` concurrent
 //!   independent walkers over the shared CSR;
 //! - **estimate** — NRMSE-experiment throughput (replications and
@@ -15,7 +18,9 @@
 //!
 //! The JSON schema is documented in `EXPERIMENTS.md` (§ benchmark
 //! harness). Timings are wall-clock; `available_parallelism` is recorded
-//! so a 1-core CI box's flat speedups are interpretable.
+//! so a 1-core CI box's flat speedups are interpretable — and so the
+//! [`crate::check`] regression gate knows which metrics are comparable
+//! across machines.
 
 use cgte_eval::{run_experiment, ExperimentConfig, Target};
 use cgte_graph::generators::{
@@ -23,11 +28,14 @@ use cgte_graph::generators::{
     par_planted_partition, powerlaw_degree_sequence, powerlaw_weights, scale_to_mean,
     PlantedConfig,
 };
+use cgte_graph::store::{read_bundle, write_bundle, Validate};
 use cgte_graph::Graph;
 use cgte_sampling::{AnySampler, MetropolisHastingsWalk, NodeSampler, RandomWalk};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -43,6 +51,13 @@ pub struct BenchOptions {
     pub threads: Vec<usize>,
     /// Where to write the JSON report.
     pub out: PathBuf,
+    /// Directory for the load section's `.cgteg` store (`--cache-dir`);
+    /// a temp directory is used when unset.
+    pub cache_dir: Option<PathBuf>,
+    /// Node count of the load section's headline graph. The default
+    /// (1,000,000) is used even at `--quick` so every committed report
+    /// records the huge-tier load-vs-regen ratio; tests shrink it.
+    pub load_nodes: usize,
 }
 
 impl Default for BenchOptions {
@@ -51,7 +66,9 @@ impl Default for BenchOptions {
             quick: false,
             seed: 0x2012_5EED,
             threads: vec![1, 2, 8],
-            out: PathBuf::from("BENCH_PR3.json"),
+            out: PathBuf::from("BENCH_PR4.json"),
+            cache_dir: None,
+            load_nodes: 1_000_000,
         }
     }
 }
@@ -88,6 +105,29 @@ fn secs(start: Instant) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
+/// Serial (threads = 1) measurements are best-of-N: the minimum of a few
+/// repetitions approximates the noise-free capability of the machine,
+/// which is what the `--check` gate needs — a single-shot timing of a
+/// millisecond-scale quick workload swings ±40% with scheduler noise and
+/// would fail the gate on phantom regressions. Multi-threaded runs stay
+/// single-shot (they only feed `best_speedup`, which never gates on the
+/// noisy 1-core case).
+const SERIAL_REPS: usize = 3;
+
+/// Runs `f` `reps` times; returns the last result and the minimum
+/// wall-clock seconds.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(secs(start));
+        out = Some(r);
+    }
+    (out.expect("at least one rep"), best)
+}
+
 /// Wall-clock speedup for fixed-size workloads (build, estimate): the
 /// same work at every thread count, so time ratios are the right metric.
 fn speedup(runs: &[TimedRun]) -> f64 {
@@ -117,9 +157,8 @@ fn bench_build(name: &str, opts: &BenchOptions, build: impl Fn(usize) -> Graph) 
     let mut reference: Option<Graph> = None;
     let mut identical = true;
     for &t in &opts.threads {
-        let start = Instant::now();
-        let g = build(t);
-        let dt = secs(start);
+        let reps = if t == 1 { SERIAL_REPS } else { 1 };
+        let (g, dt) = best_of(reps, || build(t));
         runs.push(TimedRun {
             threads: t,
             secs: dt,
@@ -148,7 +187,10 @@ fn bench_build(name: &str, opts: &BenchOptions, build: impl Fn(usize) -> Graph) 
 }
 
 fn bench_walks(g: &Graph, opts: &BenchOptions) -> Vec<WalkEntry> {
-    let steps = if opts.quick { 200_000 } else { 2_000_000 };
+    // Even at --quick the walk workload must run long enough to time
+    // stably (tens of ms is timer + cache-warmth noise, which makes the
+    // --check gate flaky on quiet regressions).
+    let steps = if opts.quick { 1_000_000 } else { 2_000_000 };
     let samplers: [(&str, AnySampler); 2] = [
         ("rw", AnySampler::Rw(RandomWalk::new())),
         ("mhrw", AnySampler::Mhrw(MetropolisHastingsWalk::new())),
@@ -158,22 +200,23 @@ fn bench_walks(g: &Graph, opts: &BenchOptions) -> Vec<WalkEntry> {
         .map(|(name, sampler)| {
             let mut runs = Vec::new();
             for &t in &opts.threads {
-                let start = Instant::now();
-                crossbeam::scope(|scope| {
-                    for w in 0..t {
-                        let sampler = &sampler;
-                        scope.spawn(move |_| {
-                            let mut rng = StdRng::seed_from_u64(
-                                opts.seed ^ (w as u64).wrapping_mul(0x9E37_79B9),
-                            );
-                            let mut buf = Vec::with_capacity(steps);
-                            sampler.sample_into(g, steps, &mut rng, &mut buf);
-                            buf.len()
-                        });
-                    }
-                })
-                .expect("walker panicked");
-                let dt = secs(start);
+                let reps = if t == 1 { SERIAL_REPS } else { 1 };
+                let ((), dt) = best_of(reps, || {
+                    crossbeam::scope(|scope| {
+                        for w in 0..t {
+                            let sampler = &sampler;
+                            scope.spawn(move |_| {
+                                let mut rng = StdRng::seed_from_u64(
+                                    opts.seed ^ (w as u64).wrapping_mul(0x9E37_79B9),
+                                );
+                                let mut buf = Vec::with_capacity(steps);
+                                sampler.sample_into(g, steps, &mut rng, &mut buf);
+                                buf.len()
+                            });
+                        }
+                    })
+                    .expect("walker panicked");
+                });
                 runs.push(TimedRun {
                     threads: t,
                     secs: dt,
@@ -191,6 +234,103 @@ fn bench_walks(g: &Graph, opts: &BenchOptions) -> Vec<WalkEntry> {
             }
         })
         .collect()
+}
+
+struct LoadEntry {
+    nodes: usize,
+    edges: usize,
+    write_secs: f64,
+    load_secs: f64,
+    regen_secs: f64,
+    identical: bool,
+}
+
+impl LoadEntry {
+    fn load_rate(&self) -> f64 {
+        self.edges as f64 / self.load_secs.max(1e-9)
+    }
+
+    fn regen_rate(&self) -> f64 {
+        self.edges as f64 / self.regen_secs.max(1e-9)
+    }
+
+    /// Load-vs-regenerate speedup — an internal ratio, so it stays
+    /// comparable across machines (both timings come from the same box,
+    /// and both sides run on a single core).
+    fn speedup(&self) -> f64 {
+        self.regen_secs / self.load_secs.max(1e-9)
+    }
+}
+
+/// Times the disk-store round trip of the headline Chung–Lu graph:
+/// serialize to `.cgteg`, load it back along the scenario cache's
+/// trusted path, regenerate from scratch for comparison, and verify the
+/// loaded CSR is bit-identical to the generated one.
+fn bench_load(opts: &BenchOptions) -> Result<LoadEntry, String> {
+    let n = opts.load_nodes;
+    let mut w = powerlaw_weights(
+        n,
+        2.5,
+        2.0,
+        (n as f64).sqrt(),
+        &mut StdRng::seed_from_u64(opts.seed),
+    );
+    scale_to_mean(&mut w, 10.0);
+    let g = par_chung_lu(&w, opts.seed, 0);
+
+    // The fallback directory is per-process: concurrent bench runs (or
+    // other users on a shared box) must not truncate each other's store
+    // file mid-read.
+    let dir = opts.cache_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("cgte-bench-store-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    let path = dir.join(format!("bench-headline-{n}-{}.cgteg", opts.seed));
+
+    let start = Instant::now();
+    let mut out =
+        BufWriter::new(File::create(&path).map_err(|e| format!("cannot create {path:?}: {e}"))?);
+    write_bundle(&mut out, &g, None)
+        .and_then(|()| out.flush())
+        .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    drop(out);
+    let write_secs = secs(start);
+
+    let (loaded, load_secs) = best_of(SERIAL_REPS, || {
+        File::open(&path)
+            .map_err(|e| format!("cannot open {path:?}: {e}"))
+            .and_then(|f| {
+                read_bundle(BufReader::new(f), Validate::Trusted)
+                    .map_err(|e| format!("cannot load {path:?}: {e}"))
+            })
+    });
+    let loaded = loaded?;
+
+    // Regenerate with threads=1: the `.cgteg` load is inherently serial,
+    // and the checker treats load-vs-regen as a machine-independent
+    // ratio, so both sides must use one core regardless of the host —
+    // otherwise the committed ratio would shrink on bigger machines and
+    // trip the gate as a phantom regression.
+    let (regen, regen_secs) = best_of(SERIAL_REPS, || par_chung_lu(&w, opts.seed, 1));
+
+    let identical = loaded.graph == regen && loaded.graph == g;
+    let entry = LoadEntry {
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        write_secs,
+        load_secs,
+        regen_secs,
+        identical,
+    };
+    eprintln!(
+        "load: {} edges, write {:.2}s, load {:.2}s vs regen {:.2}s = {:.1}x, bit-identical: {identical}",
+        entry.edges, entry.write_secs, entry.load_secs, entry.regen_secs, entry.speedup(),
+    );
+    if opts.cache_dir.is_none() {
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+    Ok(entry)
 }
 
 fn bench_estimate(opts: &BenchOptions) -> EstimateEntry {
@@ -214,9 +354,10 @@ fn bench_estimate(opts: &BenchOptions) -> EstimateEntry {
         let cfg = ExperimentConfig::new(sizes.clone(), replications)
             .seed(opts.seed)
             .threads(t);
-        let start = Instant::now();
-        let res = run_experiment(&pg.graph, &pg.partition, &sampler, &targets, &cfg);
-        let dt = secs(start);
+        let reps = if t == 1 { SERIAL_REPS } else { 1 };
+        let (res, dt) = best_of(reps, || {
+            run_experiment(&pg.graph, &pg.partition, &sampler, &targets, &cfg)
+        });
         assert!(!res.entries().is_empty(), "experiment produced no series");
         runs.push(TimedRun {
             threads: t,
@@ -308,11 +449,14 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     let walks = bench_walks(&walk_graph, opts);
     let estimate = bench_estimate(opts);
 
+    // --- disk-store load throughput ---------------------------------------
+    let load = bench_load(opts)?;
+
     // --- report -----------------------------------------------------------
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\n  \"schema\": \"cgte-bench/1\",\n  \"pr\": \"PR3\",\n  \"quick\": {},\n  \"seed\": {},\n  \"available_parallelism\": {},\n  \"threads\": [{}],\n",
+        "{{\n  \"schema\": \"cgte-bench/1\",\n  \"pr\": \"PR4\",\n  \"quick\": {},\n  \"seed\": {},\n  \"available_parallelism\": {},\n  \"threads\": [{}],\n",
         quick,
         seed,
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
@@ -350,13 +494,26 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     }
     let _ = write!(
         json,
-        "  ],\n  \"estimate\": {{\"nodes\":{},\"replications\":{},\"max_size\":{},\"targets\":{},\"best_speedup\":{:.3},\"runs\":{}}}\n}}\n",
+        "  ],\n  \"estimate\": {{\"nodes\":{},\"replications\":{},\"max_size\":{},\"targets\":{},\"best_speedup\":{:.3},\"runs\":{}}},\n",
         estimate.nodes,
         estimate.replications,
         estimate.max_size,
         estimate.targets,
         speedup(&estimate.runs),
         runs_json(&estimate.runs, "samples_per_sec"),
+    );
+    let _ = write!(
+        json,
+        "  \"load\": {{\"generator\":\"chung_lu\",\"nodes\":{},\"edges\":{},\"write_secs\":{:.6},\"load_secs\":{:.6},\"regen_secs\":{:.6},\"load_edges_per_sec\":{:.1},\"regen_edges_per_sec\":{:.1},\"speedup_vs_regen\":{:.3},\"identical\":{}}}\n}}\n",
+        load.nodes,
+        load.edges,
+        load.write_secs,
+        load.load_secs,
+        load.regen_secs,
+        load.load_rate(),
+        load.regen_rate(),
+        load.speedup(),
+        load.identical,
     );
 
     std::fs::write(&opts.out, &json).map_err(|e| format!("cannot write {:?}: {e}", opts.out))?;
@@ -377,6 +534,10 @@ mod tests {
             seed: 7,
             threads: vec![1, 2],
             out: dir.join("bench.json"),
+            cache_dir: Some(dir.clone()),
+            // Tests run unoptimized; the committed reports use the real
+            // 1M-node headline via the release binary.
+            load_nodes: 20_000,
         };
         let json = run_bench(&opts).unwrap();
         assert!(json.contains("\"schema\": \"cgte-bench/1\""));
@@ -384,7 +545,15 @@ mod tests {
         assert!(json.contains("\"bit_identical\":true"));
         assert!(json.contains("\"steps_per_sec\""));
         assert!(json.contains("\"samples_per_sec\""));
+        assert!(json.contains("\"speedup_vs_regen\""));
+        assert!(json.contains("\"identical\":true"));
         let back = std::fs::read_to_string(&opts.out).unwrap();
         assert_eq!(back, json);
+        // The load section kept its .cgteg in the cache dir.
+        let kept = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .any(|p| p.extension().is_some_and(|x| x == "cgteg"));
+        assert!(kept, "--cache-dir keeps the headline store file");
     }
 }

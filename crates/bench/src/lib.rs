@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod harness;
 
 pub use cgte_scenarios::{fmt_nrmse, log_sizes, RunOptions, Scale};
@@ -116,6 +117,7 @@ impl RunArgs {
             out_dir: self.out_dir.clone(),
             resume: self.resume,
             quiet: false,
+            cache_dir: None,
         }
     }
 

@@ -3,11 +3,16 @@
 //! Subcommands:
 //!
 //! - `generate` — synthesize a graph + categories to edge-list files;
+//! - `ingest`   — convert a text edge list (+ categories) to the binary
+//!   `.cgteg` graph container;
+//! - `info`     — inspect a `.cgteg` container (sections, graph stats);
 //! - `sample`   — draw a node sample from a graph with any sampler;
 //! - `exact`    — compute the exact category graph and export it;
 //! - `estimate` — sample, estimate the category graph, and export it;
 //! - `run`      — execute a declarative `.scn` experiment scenario (or a
-//!   built-in one) on the parallel scenario engine.
+//!   built-in one) on the parallel scenario engine;
+//! - `bench`    — the performance harness, with a `--check` regression
+//!   gate against a committed baseline report.
 //!
 //! Run `cgte help` for usage. Arguments are `--key value` pairs; parsing is
 //! deliberately dependency-free.
@@ -38,6 +43,8 @@ USAGE:
   cgte generate planted  --k K --alpha A [--scale D] [--seed S] --graph G.txt --cats C.txt
   cgte generate standin  --kind texas|neworleans|p2p|epinions [--scale D] [--top-k 50]
                          [--seed S] --graph G.txt --cats C.txt
+  cgte ingest            --graph G.txt [--cats C.txt] --out F.cgteg
+  cgte info              F.cgteg [--sections true]
   cgte sample            --graph G.txt --sampler uis|rw|mhrw|swrw [--cats C.txt] [--n N]
                          [--burn-in B] [--thinning T] [--seed S] [--out S.txt]
   cgte exact             --graph G.txt --cats C.txt [--format dot|json|graphml|csv|report]
@@ -47,18 +54,29 @@ USAGE:
                          [--format dot|json|graphml|csv|report] [--top-k K] [--out F]
   cgte run               SCENARIO.scn | --builtin NAME|all [--quick | --full | --huge]
                          [--seed S] [--threads N] [--csv DIR] [--out DIR] [--resume]
+                         [--cache-dir DIR]
   cgte bench             [--quick] [--seed S] [--threads 1,2,8] [--out FILE.json]
+                         [--cache-dir DIR] [--check BASELINE.json]
   cgte help
+
+`cgte ingest` converts a SNAP-style text edge list (plus an optional node
+category file) into the checksummed binary .cgteg container; `cgte info`
+prints a container's sections and graph statistics. Scenario files load
+.cgteg graphs with `generator = \"file\"`.
 
 `cgte run` executes a declarative experiment scenario: graphs, samplers,
 sweeps, prefix sizes and targets described in a TOML-like .scn file (see
 EXPERIMENTS.md), scheduled as a parallel job DAG with a shared graph cache.
+With --cache-dir every built graph is persisted under its content key, so
+a warm run performs zero graph builds (stderr reports builds/loads/hits).
 Built-in scenarios: fig3 fig4 fig5 fig6 fig7 table1 table2
 ablation_model_based ablation_swrw ablation_thinning huge.
 
-`cgte bench` times graph build rate, walk steps/sec and estimate
-throughput at each thread count and writes a machine-readable JSON report
-(default BENCH_PR3.json; see EXPERIMENTS.md for the schema).
+`cgte bench` times graph build rate, .cgteg load rate, walk steps/sec and
+estimate throughput at each thread count and writes a machine-readable
+JSON report (default BENCH_PR4.json; see EXPERIMENTS.md for the schema).
+With --check it then compares the fresh report against a committed
+baseline and fails on a >25% per-metric regression (warns over 10%).
 ";
 
 fn main() -> ExitCode {
@@ -122,6 +140,8 @@ fn run() -> Result<(), CliError> {
             let args = Args::parse(&argv[2..])?;
             cmd_generate(kind, &args)
         }
+        Some("ingest") => cmd_ingest(&Args::parse(&argv[1..])?),
+        Some("info") => cmd_info(&argv[1..]),
         Some("sample") => cmd_sample(&Args::parse(&argv[1..])?),
         Some("exact") => cmd_exact(&Args::parse(&argv[1..])?),
         Some("estimate") => cmd_estimate(&Args::parse(&argv[1..])?),
@@ -202,6 +222,84 @@ fn cmd_generate(kind: &str, args: &Args) -> Result<(), CliError> {
         graph.num_edges(),
         partition.num_categories()
     );
+    Ok(())
+}
+
+fn cmd_ingest(args: &Args) -> Result<(), CliError> {
+    let gpath = args.required("graph")?;
+    let opath = args.required("out")?;
+    let edges = BufReader::new(File::open(gpath)?);
+    let cats = match args.get("cats") {
+        Some(p) => Some(BufReader::new(File::open(p)?)),
+        None => None,
+    };
+    let out = BufWriter::new(File::create(opath)?);
+    let bundle = cgte_datasets::edgelist_to_cgteg(edges, cats, out)?;
+    eprintln!(
+        "ingested {} nodes, {} edges{} into {opath}",
+        bundle.graph.num_nodes(),
+        bundle.graph.num_edges(),
+        match &bundle.partition {
+            Some(p) => format!(", {} categories", p.num_categories()),
+            None => String::new(),
+        }
+    );
+    Ok(())
+}
+
+fn cmd_info(argv: &[String]) -> Result<(), CliError> {
+    use cgte_graph::store::{Container, SectionData, Validate};
+    let path = argv
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("`info` needs a .cgteg file path")?;
+    let args = Args::parse(&argv[1..])?;
+    let show_sections: bool = args.parse_or("sections", true)?;
+    let c = Container::read_from(BufReader::new(File::open(path)?))?;
+    println!(
+        "{path}: cgteg v{}, {} section(s)",
+        cgte_graph::store::VERSION,
+        c.sections.len()
+    );
+    if show_sections {
+        for s in &c.sections {
+            let ty = match &s.data {
+                SectionData::U32(_) => "u32",
+                SectionData::U64(_) => "u64",
+                SectionData::F64(_) => "f64",
+                SectionData::Bytes(_) => "bytes",
+            };
+            println!(
+                "  {:<24} {ty:>5} x {:>10}  ({} bytes)",
+                s.name,
+                s.data.len(),
+                s.data.byte_len()
+            );
+        }
+    }
+    if let Ok(kind) = c.string("meta.kind") {
+        println!("kind: {kind}");
+    }
+    if let Ok(key) = c.string("meta.key") {
+        println!("key:  {key}");
+    }
+    let graph = cgte_graph::store::graph_from_container(&c, Validate::Full)?;
+    println!(
+        "graph: {} nodes, {} edges, mean degree {:.2}, max degree {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.mean_degree(),
+        graph.max_degree()
+    );
+    for s in &c.sections {
+        if let Some(name) = s.name.strip_prefix("part.") {
+            if let Some(p) =
+                cgte_graph::store::partition_from_container(&c, name, graph.num_nodes())?
+            {
+                println!("partition {name}: {} categories", p.num_categories());
+            }
+        }
+    }
     Ok(())
 }
 
@@ -303,6 +401,9 @@ fn cmd_run(argv: &[String]) -> Result<(), CliError> {
             "--out" => {
                 opts.out_dir = Some(it.next().ok_or("--out needs a directory")?.into());
             }
+            "--cache-dir" => {
+                opts.cache_dir = Some(it.next().ok_or("--cache-dir needs a directory")?.into());
+            }
             other if !other.starts_with("--") && scenario_path.is_none() => {
                 scenario_path = Some(other.to_string());
             }
@@ -312,29 +413,48 @@ fn cmd_run(argv: &[String]) -> Result<(), CliError> {
     if opts.resume && opts.out_dir.is_none() {
         return Err("--resume requires --out DIR (the run directory holding the manifest)".into());
     }
+    // The `cache: builds=… loads=… hits=…` stderr lines are a stable,
+    // grep-able contract: CI's warm-cache job asserts `builds=0` on them.
     match (scenario_path, builtin) {
         (Some(path), None) => {
             let stats = cgte_scenarios::run_scenario_path(std::path::Path::new(&path), &opts)?;
             eprintln!(
-                "run complete: {} resource build(s), {} cache hit(s)",
-                stats.builds, stats.hits
+                "run complete: cache: builds={} loads={} hits={}",
+                stats.builds, stats.loads, stats.hits
             );
             Ok(())
         }
         (None, Some(name)) if name == "all" => {
+            let mut total = cgte_scenarios::CacheStats::default();
             for name in cgte_scenarios::builtin_names() {
                 eprintln!("=== {name} ===");
                 // Each scenario gets its own run subdirectory: manifests
                 // are per-scenario (fingerprinted), so they cannot share
-                // one directory.
+                // one directory. The graph cache directory, by contrast,
+                // is shared — content keys are global.
                 let mut per = opts.clone();
                 per.out_dir = opts.out_dir.as_ref().map(|d| d.join(name));
-                cgte_scenarios::run_builtin(name, &per)?;
+                let stats = cgte_scenarios::run_builtin(name, &per)?;
+                eprintln!(
+                    "[{name}] cache: builds={} loads={} hits={}",
+                    stats.builds, stats.loads, stats.hits
+                );
+                total.builds += stats.builds;
+                total.loads += stats.loads;
+                total.hits += stats.hits;
             }
+            eprintln!(
+                "total cache: builds={} loads={} hits={}",
+                total.builds, total.loads, total.hits
+            );
             Ok(())
         }
         (None, Some(name)) => {
-            cgte_scenarios::run_builtin(&name, &opts)?;
+            let stats = cgte_scenarios::run_builtin(&name, &opts)?;
+            eprintln!(
+                "run complete: cache: builds={} loads={} hits={}",
+                stats.builds, stats.loads, stats.hits
+            );
             Ok(())
         }
         (Some(_), Some(_)) => Err("pass either a scenario file or --builtin, not both".into()),
@@ -346,10 +466,21 @@ fn cmd_run(argv: &[String]) -> Result<(), CliError> {
 
 fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
     let mut opts = cgte_bench::harness::BenchOptions::default();
+    let mut baseline: Option<String> = None;
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--cache-dir" => {
+                opts.cache_dir = Some(it.next().ok_or("--cache-dir needs a directory")?.into());
+            }
+            "--check" => {
+                baseline = Some(
+                    it.next()
+                        .ok_or("--check needs a baseline JSON path")?
+                        .clone(),
+                );
+            }
             "--seed" => {
                 let v = it.next().ok_or("--seed needs an integer")?;
                 opts.seed = v
@@ -381,7 +512,32 @@ fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
             other => return Err(format!("unknown `bench` argument {other:?}\n{USAGE}").into()),
         }
     }
-    cgte_bench::harness::run_bench(&opts)?;
+    let report = cgte_bench::harness::run_bench(&opts)?;
+    if let Some(path) = baseline {
+        let baseline_text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read baseline {path:?}: {e}"))?;
+        let outcome = cgte_bench::check::check_reports(&report, &baseline_text)?;
+        for w in &outcome.warnings {
+            eprintln!("bench-check WARN: {w}");
+        }
+        for f in &outcome.failures {
+            eprintln!("bench-check FAIL: {f}");
+        }
+        eprintln!(
+            "bench-check: {} metric(s) compared against {path}: {} failure(s), {} warning(s)",
+            outcome.compared,
+            outcome.failures.len(),
+            outcome.warnings.len()
+        );
+        if !outcome.failures.is_empty() {
+            return Err(format!(
+                "performance regression: {} metric(s) degraded more than {:.0}% vs {path}",
+                outcome.failures.len(),
+                (1.0 - cgte_bench::check::FAIL_RATIO) * 100.0
+            )
+            .into());
+        }
+    }
     Ok(())
 }
 

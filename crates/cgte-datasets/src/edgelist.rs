@@ -121,6 +121,27 @@ pub fn write_edgelist<W: Write>(g: &Graph, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
+/// Converts a text edge list (+ optional `node category` file) into the
+/// binary `.cgteg` container of [`cgte_graph::store`] — the `cgte ingest`
+/// pipeline. Returns the parsed bundle so callers can report statistics.
+///
+/// The written CSR is exactly what [`read_edgelist`] +
+/// [`cgte_graph::GraphBuilder`] produce, so loading the container back
+/// yields byte-identical offset/neighbor arrays.
+pub fn edgelist_to_cgteg<R: BufRead, C: BufRead, W: Write>(
+    edges: R,
+    cats: Option<C>,
+    out: W,
+) -> Result<cgte_graph::store::GraphBundle, DatasetError> {
+    let graph = read_edgelist(edges)?;
+    let partition = match cats {
+        Some(c) => Some(read_categories(c, graph.num_nodes())?),
+        None => None,
+    };
+    cgte_graph::store::write_bundle(out, &graph, partition.as_ref())?;
+    Ok(cgte_graph::store::GraphBundle { graph, partition })
+}
+
 /// Reads a `node category` file into a [`Partition`] covering `num_nodes`
 /// nodes.
 ///
@@ -196,6 +217,102 @@ mod tests {
         let g = read_edgelist(Cursor::new(text)).unwrap();
         assert_eq!(g.num_nodes(), 3);
         assert_eq!(g.num_edges(), 2); // (0,1) deduped, (2,2) dropped
+    }
+
+    #[test]
+    fn crlf_line_endings_are_accepted() {
+        // Files exported on Windows end lines with \r\n; the parser must
+        // treat them identically to \n (including on comment lines).
+        let crlf = "# header\r\n0 1\r\n1 2\r\n\r\n2 3\r\n";
+        let lf = "# header\n0 1\n1 2\n\n2 3\n";
+        let a = read_edgelist(Cursor::new(crlf)).unwrap();
+        let b = read_edgelist(Cursor::new(lf)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.num_edges(), 3);
+        let p = read_categories(Cursor::new("0 0\r\n1 1\r\n2 0\r\n3 1\r\n"), 4).unwrap();
+        assert_eq!(p.num_categories(), 2);
+    }
+
+    #[test]
+    fn stray_whitespace_is_tolerated() {
+        // Leading/trailing blanks, tabs, and multi-space separators all
+        // appear in real SNAP exports.
+        let text = "  0\t1 \n\t1  2\t\n   \n2 \t 3\n";
+        let g = read_edgelist(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn bad_node_id_reports_line_and_token() {
+        let err = read_edgelist(Cursor::new("0 1\n1 2\n3 x7\n")).unwrap_err();
+        match err {
+            DatasetError::Parse { line, reason } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("x7"), "reason names the token: {reason}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // Negative ids are not valid node ids.
+        let err = read_edgelist(Cursor::new("0 -1\n")).unwrap_err();
+        assert!(matches!(err, DatasetError::Parse { line: 1, .. }), "{err}");
+        // Ids beyond NodeId range are rejected with the offending value.
+        let err = read_edgelist(Cursor::new("0 99999999999\n")).unwrap_err();
+        match err {
+            DatasetError::Parse { line, reason } => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("99999999999"), "{reason}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncated_line_reports_line_number() {
+        let err = read_edgelist(Cursor::new("0 1\n1 2\n7\n")).unwrap_err();
+        match err {
+            DatasetError::Parse { line, reason } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("second field"), "{reason}");
+            }
+            other => panic!("expected parse error, got {other}"),
+        }
+        // A trailing third field is equally positioned.
+        let err = read_edgelist(Cursor::new("0 1 junk\n")).unwrap_err();
+        assert!(matches!(err, DatasetError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn ingest_cgteg_round_trip_is_csr_identical() {
+        // The tentpole round trip: text edge list -> .cgteg -> load must
+        // reproduce the exact CSR arrays GraphBuilder::from_edges yields.
+        let text = "# toy\n0 1\n1 2\n2 0\n3 4\n1 3\n";
+        let cats = "0 0\n1 0\n2 1\n3 1\n4 1\n";
+        let mut cgteg = Vec::new();
+        let bundle =
+            edgelist_to_cgteg(Cursor::new(text), Some(Cursor::new(cats)), &mut cgteg).unwrap();
+        let reference =
+            GraphBuilder::from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 4), (1, 3)]).unwrap();
+        let loaded =
+            cgte_graph::store::read_bundle(Cursor::new(&cgteg), cgte_graph::store::Validate::Full)
+                .unwrap();
+        assert_eq!(loaded.graph, reference);
+        assert_eq!(loaded.graph.csr_offsets(), reference.csr_offsets());
+        assert_eq!(loaded.graph.csr_neighbors(), reference.csr_neighbors());
+        assert_eq!(loaded.partition, bundle.partition);
+        assert_eq!(loaded.partition.unwrap().num_categories(), 2);
+    }
+
+    #[test]
+    fn ingest_propagates_parse_errors() {
+        let mut out = Vec::new();
+        let err = edgelist_to_cgteg(
+            Cursor::new("0 1\nbroken\n"),
+            None::<Cursor<&[u8]>>,
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DatasetError::Parse { line: 2, .. }), "{err}");
     }
 
     #[test]

@@ -258,6 +258,27 @@ impl FacebookSim {
         }
     }
 
+    /// Reassembles a population from previously generated parts — the
+    /// deserialization entry point for the scenario engine's disk cache
+    /// (the parts must come from [`FacebookSim::generate`] output, e.g.
+    /// a `.cgteg` round trip; no re-validation is performed beyond the
+    /// partition constructors the caller already ran).
+    pub fn from_parts(
+        graph: Graph,
+        regions: Partition,
+        colleges: Partition,
+        region_to_country: Vec<CategoryId>,
+        config: FacebookSimConfig,
+    ) -> Self {
+        FacebookSim {
+            graph,
+            regions,
+            colleges,
+            region_to_country,
+            config,
+        }
+    }
+
     /// The configuration this population was generated from.
     pub fn config(&self) -> &FacebookSimConfig {
         &self.config

@@ -22,7 +22,8 @@ mod layered;
 pub mod standins;
 
 pub use edgelist::{
-    read_categories, read_edgelist, write_categories, write_edgelist, DatasetError,
+    edgelist_to_cgteg, read_categories, read_edgelist, write_categories, write_edgelist,
+    DatasetError,
 };
 pub use facebook::{CrawlDataset, CrawlType, FacebookSim, FacebookSimConfig};
 pub use standins::{standin, standin_huge, standin_partition, StandinKind};

@@ -179,6 +179,23 @@ impl Graph {
             .unwrap_or(0)
     }
 
+    /// The raw CSR offset array: `offsets[v]..offsets[v+1]` indexes the
+    /// neighbor array for node `v` (`num_nodes + 1` entries).
+    ///
+    /// Exposed for bulk serialization ([`crate::store`]); prefer
+    /// [`Graph::neighbors`] for traversal.
+    #[inline]
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated neighbor array (`2 |E|` entries, per-node
+    /// sorted). Exposed for bulk serialization ([`crate::store`]).
+    #[inline]
+    pub fn csr_neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
     /// Approximate heap memory used by the CSR arrays, in bytes.
     ///
     /// Useful for sizing experiments; not an exact allocator measurement.

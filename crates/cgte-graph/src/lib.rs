@@ -52,6 +52,7 @@ mod partition;
 pub mod algorithms;
 pub mod generators;
 pub mod parallel;
+pub mod store;
 
 pub use builder::GraphBuilder;
 pub use category_graph::{CategoryEdge, CategoryGraph};

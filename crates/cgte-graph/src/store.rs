@@ -1,0 +1,884 @@
+//! `.cgteg` — the persistent binary graph container.
+//!
+//! Large-graph frameworks (SNAP-derived toolkits, Ligra-style CSR loaders)
+//! all converge on the same trick: serialize the CSR arrays once and mmap
+//! or bulk-read them forever after, turning repeated experiment runs into
+//! load-bound work. This module is our version of that container:
+//!
+//! ```text
+//! magic   "CGTEG\0"            6 bytes
+//! version u16                  currently 1
+//! nsect   u32                  number of sections
+//! section × nsect:
+//!   name_len u16, name utf-8   e.g. "csr.offsets", "part.main"
+//!   tag      u8                1 = u32, 2 = u64, 3 = f64, 4 = bytes
+//!   count    u64               element count
+//!   payload  count × size      little-endian
+//!   checksum u64               FNV-style 8-byte-block mix over
+//!                              name ‖ tag ‖ payload (see section_checksum)
+//! ```
+//!
+//! Everything is little-endian. The container is deliberately generic — a
+//! flat list of named, typed, individually checksummed sections — so the
+//! same format carries a bare graph (`csr.offsets` + `csr.targets`), a
+//! graph with partition blocks (`part.<name>`), or richer layered bundles
+//! (the scenario engine's disk cache stores whole Facebook-simulation
+//! bundles, crawls included, as extra sections).
+//!
+//! Loading never panics on hostile input: magic/version/structure problems
+//! surface as [`StoreError::Format`], bit rot as [`StoreError::Checksum`],
+//! and CSR-invariant violations as [`StoreError::Graph`]. With
+//! [`Validate::Full`] the loader proves every invariant `Graph` relies on
+//! (monotone offsets, in-range targets, strictly sorted adjacency, no
+//! self-loops, and symmetry via a transpose pass); [`Validate::Trusted`]
+//! skips only the symmetry transpose and is meant for files the caller
+//! wrote itself (e.g. the scenario engine's own cache directory), where
+//! the per-section checksums already guarantee integrity.
+
+use crate::{Graph, NodeId, Partition};
+use std::io::{self, Read, Write};
+
+/// File magic, first 6 bytes of every `.cgteg`.
+pub const MAGIC: &[u8; 6] = b"CGTEG\0";
+/// Current container version.
+pub const VERSION: u16 = 1;
+
+/// Section name of the CSR offset array (u64, `num_nodes + 1` entries).
+pub const SEC_OFFSETS: &str = "csr.offsets";
+/// Section name of the CSR target array (u32, `2 |E|` entries).
+pub const SEC_TARGETS: &str = "csr.targets";
+
+/// Section name of a named partition block: `data[0]` is the category
+/// count, `data[1..]` the per-node assignments.
+pub fn partition_section_name(name: &str) -> String {
+    format!("part.{name}")
+}
+
+/// Errors surfaced while reading or decoding a container.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// Malformed container: bad magic, unsupported version, truncated or
+    /// structurally invalid section framing.
+    Format(String),
+    /// A section's payload does not match its recorded checksum.
+    Checksum {
+        /// Name of the corrupted section.
+        section: String,
+    },
+    /// The CSR (or partition) content violates a graph invariant.
+    Graph(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Format(m) => write!(f, "malformed .cgteg: {m}"),
+            StoreError::Checksum { section } => {
+                write!(
+                    f,
+                    "checksum mismatch in section {section:?} (corrupted file?)"
+                )
+            }
+            StoreError::Graph(m) => write!(f, "invalid graph data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            StoreError::Format("truncated file".into())
+        } else {
+            StoreError::Io(e)
+        }
+    }
+}
+
+/// How thoroughly [`graph_from_container`] checks CSR structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Validate {
+    /// Prove every invariant, including adjacency symmetry (one extra
+    /// `O(E)` transpose pass). Use for files from unknown sources.
+    Full,
+    /// Skip only the symmetry transpose; bounds, monotonicity, sortedness
+    /// and self-loop freedom are still checked. Safe for files this
+    /// process (or a sibling cache writer) produced — the per-section
+    /// checksums already rule out bit rot.
+    Trusted,
+}
+
+/// Typed payload of one section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SectionData {
+    /// 32-bit unsigned integers (node ids, assignments).
+    U32(Vec<u32>),
+    /// 64-bit unsigned integers (offsets, counts).
+    U64(Vec<u64>),
+    /// 64-bit floats (model parameters); bit-exact round trip.
+    F64(Vec<f64>),
+    /// Raw bytes (strings, metadata).
+    Bytes(Vec<u8>),
+}
+
+impl SectionData {
+    fn tag(&self) -> u8 {
+        match self {
+            SectionData::U32(_) => 1,
+            SectionData::U64(_) => 2,
+            SectionData::F64(_) => 3,
+            SectionData::Bytes(_) => 4,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            SectionData::U32(v) => v.len(),
+            SectionData::U64(v) => v.len(),
+            SectionData::F64(v) => v.len(),
+            SectionData::Bytes(v) => v.len(),
+        }
+    }
+
+    /// Whether the section holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            SectionData::U32(v) => v.len() * 4,
+            SectionData::U64(v) => v.len() * 8,
+            SectionData::F64(v) => v.len() * 8,
+            SectionData::Bytes(v) => v.len(),
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_len());
+        match self {
+            SectionData::U32(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            SectionData::U64(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            SectionData::F64(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            SectionData::Bytes(v) => out.extend_from_slice(v),
+        }
+        out
+    }
+
+    fn from_payload(tag: u8, count: usize, bytes: &[u8]) -> Result<SectionData, StoreError> {
+        Ok(match tag {
+            1 => SectionData::U32(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect(),
+            ),
+            2 => SectionData::U64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                    .collect(),
+            ),
+            3 => SectionData::F64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                    .collect(),
+            ),
+            4 => SectionData::Bytes(bytes.to_vec()),
+            other => {
+                return Err(StoreError::Format(format!(
+                    "unknown section tag {other} ({count} elements)"
+                )))
+            }
+        })
+    }
+}
+
+/// One named, typed section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// Section name (looked up by readers; ignored names are skipped).
+    pub name: String,
+    /// Payload.
+    pub data: SectionData,
+}
+
+impl Section {
+    /// A u32 section.
+    pub fn u32s(name: impl Into<String>, data: Vec<u32>) -> Self {
+        Section {
+            name: name.into(),
+            data: SectionData::U32(data),
+        }
+    }
+
+    /// A u64 section.
+    pub fn u64s(name: impl Into<String>, data: Vec<u64>) -> Self {
+        Section {
+            name: name.into(),
+            data: SectionData::U64(data),
+        }
+    }
+
+    /// An f64 section.
+    pub fn f64s(name: impl Into<String>, data: Vec<f64>) -> Self {
+        Section {
+            name: name.into(),
+            data: SectionData::F64(data),
+        }
+    }
+
+    /// A raw-bytes section (also used for strings).
+    pub fn bytes(name: impl Into<String>, data: Vec<u8>) -> Self {
+        Section {
+            name: name.into(),
+            data: SectionData::Bytes(data),
+        }
+    }
+
+    /// A string section (bytes, utf-8).
+    pub fn string(name: impl Into<String>, s: &str) -> Self {
+        Section::bytes(name, s.as_bytes().to_vec())
+    }
+}
+
+/// The per-section checksum: an FNV-style multiplicative mix consumed in
+/// 8-byte blocks (with a byte-wise FNV-1a tail), so hashing a 40 MB
+/// payload costs one multiply per word instead of one per byte — at CSR
+/// sizes the checksum would otherwise dominate load time. Each chunk's
+/// length is folded in so chunk boundaries stay significant.
+fn section_checksum(chunks: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in chunks {
+        let mut blocks = chunk.chunks_exact(8);
+        for b in &mut blocks {
+            let x = u64::from_le_bytes(b.try_into().expect("8-byte block"));
+            h = (h ^ x).wrapping_mul(0x1000_0000_01b3);
+            h ^= h >> 32;
+        }
+        for &b in blocks.remainder() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h = (h ^ chunk.len() as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A parsed (or to-be-written) container: an ordered list of sections.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Container {
+    /// Sections in file order.
+    pub sections: Vec<Section>,
+}
+
+impl Container {
+    /// An empty container.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a section.
+    pub fn push(&mut self, s: Section) {
+        self.sections.push(s);
+    }
+
+    /// Looks up a section's data by name (first match).
+    pub fn get(&self, name: &str) -> Option<&SectionData> {
+        self.sections
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| &s.data)
+    }
+
+    /// Removes and returns a section's data by name (first match). Lets
+    /// loaders move large payloads (the CSR target array) out of the
+    /// container instead of copying them.
+    pub fn take(&mut self, name: &str) -> Option<SectionData> {
+        let i = self.sections.iter().position(|s| s.name == name)?;
+        Some(self.sections.remove(i).data)
+    }
+
+    /// A required u32 section.
+    pub fn u32s(&self, name: &str) -> Result<&[u32], StoreError> {
+        match self.get(name) {
+            Some(SectionData::U32(v)) => Ok(v),
+            Some(_) => Err(StoreError::Format(format!("section {name:?} is not u32"))),
+            None => Err(StoreError::Format(format!("missing section {name:?}"))),
+        }
+    }
+
+    /// A required u64 section.
+    pub fn u64s(&self, name: &str) -> Result<&[u64], StoreError> {
+        match self.get(name) {
+            Some(SectionData::U64(v)) => Ok(v),
+            Some(_) => Err(StoreError::Format(format!("section {name:?} is not u64"))),
+            None => Err(StoreError::Format(format!("missing section {name:?}"))),
+        }
+    }
+
+    /// A required f64 section.
+    pub fn f64s(&self, name: &str) -> Result<&[f64], StoreError> {
+        match self.get(name) {
+            Some(SectionData::F64(v)) => Ok(v),
+            Some(_) => Err(StoreError::Format(format!("section {name:?} is not f64"))),
+            None => Err(StoreError::Format(format!("missing section {name:?}"))),
+        }
+    }
+
+    /// A required string (bytes, utf-8) section.
+    pub fn string(&self, name: &str) -> Result<&str, StoreError> {
+        match self.get(name) {
+            Some(SectionData::Bytes(v)) => std::str::from_utf8(v)
+                .map_err(|_| StoreError::Format(format!("section {name:?} is not utf-8"))),
+            Some(_) => Err(StoreError::Format(format!("section {name:?} is not bytes"))),
+            None => Err(StoreError::Format(format!("missing section {name:?}"))),
+        }
+    }
+
+    /// Serializes the container (header + all sections with checksums).
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        let nsect = u32::try_from(self.sections.len())
+            .map_err(|_| io::Error::other("too many sections"))?;
+        w.write_all(&nsect.to_le_bytes())?;
+        for s in &self.sections {
+            let name = s.name.as_bytes();
+            let name_len = u16::try_from(name.len())
+                .map_err(|_| io::Error::other(format!("section name too long: {:?}", s.name)))?;
+            w.write_all(&name_len.to_le_bytes())?;
+            w.write_all(name)?;
+            let tag = s.data.tag();
+            w.write_all(&[tag])?;
+            w.write_all(&(s.data.len() as u64).to_le_bytes())?;
+            let payload = s.data.payload();
+            w.write_all(&payload)?;
+            let checksum = section_checksum(&[name, &[tag], &payload]);
+            w.write_all(&checksum.to_le_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Parses a container, verifying the magic, version, section framing
+    /// and every per-section checksum. Truncated or corrupted input yields
+    /// an error — never a panic.
+    pub fn read_from<R: Read>(mut r: R) -> Result<Container, StoreError> {
+        let mut magic = [0u8; 6];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(StoreError::Format(format!(
+                "bad magic {magic:?} (not a .cgteg file)"
+            )));
+        }
+        let version = read_u16(&mut r)?;
+        if version != VERSION {
+            return Err(StoreError::Format(format!(
+                "unsupported version {version} (this build reads version {VERSION})"
+            )));
+        }
+        let nsect = read_u32(&mut r)?;
+        let mut sections = Vec::new();
+        for i in 0..nsect {
+            let name_len = read_u16(&mut r)? as usize;
+            let mut name_buf = vec![0u8; name_len];
+            r.read_exact(&mut name_buf)?;
+            let name = String::from_utf8(name_buf)
+                .map_err(|_| StoreError::Format(format!("section {i} name is not utf-8")))?;
+            let mut tag = [0u8; 1];
+            r.read_exact(&mut tag)?;
+            let tag = tag[0];
+            let count = read_u64(&mut r)?;
+            let elem_size: u64 = match tag {
+                1 => 4,
+                2 | 3 => 8,
+                4 => 1,
+                other => {
+                    return Err(StoreError::Format(format!(
+                        "section {name:?} has unknown tag {other}"
+                    )))
+                }
+            };
+            let byte_len = count
+                .checked_mul(elem_size)
+                .ok_or_else(|| StoreError::Format(format!("section {name:?} count overflows")))?;
+            // Read via `take` so a corrupted (huge) count cannot trigger a
+            // matching up-front allocation: beyond the pre-reserve cap the
+            // buffer grows only as real bytes arrive, and a short read is
+            // a clean truncation error. Honest section sizes (the cap is
+            // far above any real graph's) are reserved exactly, so the
+            // bulk read lands in one allocation with no regrow copies.
+            const RESERVE_CAP: u64 = 1 << 28;
+            let mut payload = Vec::new();
+            payload.reserve_exact(byte_len.min(RESERVE_CAP) as usize);
+            let read = (&mut r)
+                .take(byte_len)
+                .read_to_end(&mut payload)
+                .map_err(StoreError::Io)?;
+            if read as u64 != byte_len {
+                return Err(StoreError::Format(format!(
+                    "section {name:?} truncated ({read} of {byte_len} bytes)"
+                )));
+            }
+            let checksum = read_u64(&mut r)?;
+            if section_checksum(&[name.as_bytes(), &[tag], &payload]) != checksum {
+                return Err(StoreError::Checksum { section: name });
+            }
+            let data = SectionData::from_payload(tag, count as usize, &payload)?;
+            sections.push(Section { name, data });
+        }
+        Ok(Container { sections })
+    }
+}
+
+fn read_u16<R: Read>(r: &mut R) -> Result<u16, StoreError> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, StoreError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, StoreError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+// ---------------------------------------------------------------------------
+// Graph / partition codecs
+
+/// The two CSR sections of a graph.
+pub fn graph_sections(g: &Graph) -> Vec<Section> {
+    vec![
+        Section::u64s(
+            SEC_OFFSETS,
+            g.csr_offsets().iter().map(|&o| o as u64).collect(),
+        ),
+        Section::u32s(SEC_TARGETS, g.csr_neighbors().to_vec()),
+    ]
+}
+
+/// Encodes a partition as one section: `data[0]` is the category count,
+/// `data[1..]` the per-node category assignments.
+pub fn partition_section(name: &str, p: &Partition) -> Section {
+    let mut data = Vec::with_capacity(p.num_nodes() + 1);
+    data.push(p.num_categories() as u32);
+    data.extend_from_slice(p.assignments());
+    Section::u32s(partition_section_name(name), data)
+}
+
+/// Decodes the named partition block, if present, checking that it covers
+/// exactly `num_nodes` nodes.
+pub fn partition_from_container(
+    c: &Container,
+    name: &str,
+    num_nodes: usize,
+) -> Result<Option<Partition>, StoreError> {
+    let sec = partition_section_name(name);
+    let Some(data) = c.get(&sec) else {
+        return Ok(None);
+    };
+    let SectionData::U32(v) = data else {
+        return Err(StoreError::Format(format!("section {sec:?} is not u32")));
+    };
+    let Some((&ncat, assign)) = v.split_first() else {
+        return Err(StoreError::Graph(format!("partition {name:?} is empty")));
+    };
+    if assign.len() != num_nodes {
+        return Err(StoreError::Graph(format!(
+            "partition {name:?} covers {} nodes, graph has {num_nodes}",
+            assign.len()
+        )));
+    }
+    Partition::from_assignments(assign.to_vec(), ncat as usize)
+        .map(Some)
+        .map_err(|e| StoreError::Graph(e.to_string()))
+}
+
+/// Reconstructs the graph from the CSR sections, proving the invariants
+/// the in-memory [`Graph`] relies on (see [`Validate`]).
+pub fn graph_from_container(c: &Container, validate: Validate) -> Result<Graph, StoreError> {
+    let offsets64 = c.u64s(SEC_OFFSETS)?;
+    let targets = c.u32s(SEC_TARGETS)?;
+    let offsets = validate_csr(offsets64, targets, validate)?;
+    Ok(Graph::from_csr(offsets, targets.to_vec()))
+}
+
+/// Like [`graph_from_container`], but **moves** the CSR sections out of
+/// the container instead of copying the (large) target array — the hot
+/// path for the scenario cache and `file =` sources.
+pub fn graph_from_container_owned(
+    c: &mut Container,
+    validate: Validate,
+) -> Result<Graph, StoreError> {
+    let offsets64 = match c.take(SEC_OFFSETS) {
+        Some(SectionData::U64(v)) => v,
+        Some(_) => {
+            return Err(StoreError::Format(format!(
+                "section {SEC_OFFSETS:?} is not u64"
+            )))
+        }
+        None => {
+            return Err(StoreError::Format(format!(
+                "missing section {SEC_OFFSETS:?}"
+            )))
+        }
+    };
+    let targets = match c.take(SEC_TARGETS) {
+        Some(SectionData::U32(v)) => v,
+        Some(_) => {
+            return Err(StoreError::Format(format!(
+                "section {SEC_TARGETS:?} is not u32"
+            )))
+        }
+        None => {
+            return Err(StoreError::Format(format!(
+                "missing section {SEC_TARGETS:?}"
+            )))
+        }
+    };
+    let offsets = validate_csr(&offsets64, &targets, validate)?;
+    Ok(Graph::from_csr(offsets, targets))
+}
+
+/// Verifies every CSR invariant (per [`Validate`]) and returns the
+/// offsets converted to `usize`.
+fn validate_csr(
+    offsets64: &[u64],
+    targets: &[u32],
+    validate: Validate,
+) -> Result<Vec<usize>, StoreError> {
+    if offsets64.is_empty() {
+        return Err(StoreError::Graph("offset array is empty".into()));
+    }
+    let n = offsets64.len() - 1;
+    if n > NodeId::MAX as usize {
+        return Err(StoreError::Graph(format!(
+            "{n} nodes exceed NodeId capacity"
+        )));
+    }
+    if offsets64[0] != 0 {
+        return Err(StoreError::Graph("offsets do not start at 0".into()));
+    }
+    if *offsets64.last().expect("non-empty") != targets.len() as u64 {
+        return Err(StoreError::Graph(format!(
+            "last offset {} does not match target count {}",
+            offsets64.last().expect("non-empty"),
+            targets.len()
+        )));
+    }
+    if !targets.len().is_multiple_of(2) {
+        return Err(StoreError::Graph(
+            "odd target count (undirected edges are stored twice)".into(),
+        ));
+    }
+    let mut offsets = Vec::with_capacity(offsets64.len());
+    for w in offsets64.windows(2) {
+        if w[1] < w[0] {
+            return Err(StoreError::Graph("offsets are not monotone".into()));
+        }
+    }
+    for &o in offsets64 {
+        offsets.push(
+            usize::try_from(o).map_err(|_| {
+                StoreError::Graph(format!("offset {o} exceeds this platform's usize"))
+            })?,
+        );
+    }
+    // Bounds first, over the flat array (vectorizes well), then per-list
+    // structure: strictly ascending (no duplicates) and self-loop free.
+    if let Some(&bad) = targets.iter().find(|&&u| u as usize >= n) {
+        return Err(StoreError::Graph(format!(
+            "target {bad} out of range ({n} nodes)"
+        )));
+    }
+    for v in 0..n {
+        let adj = &targets[offsets[v]..offsets[v + 1]];
+        if !adj.windows(2).all(|w| w[0] < w[1]) {
+            return Err(StoreError::Graph(format!(
+                "adjacency of node {v} is not strictly sorted"
+            )));
+        }
+        if adj.binary_search(&(v as NodeId)).is_ok() {
+            return Err(StoreError::Graph(format!("self-loop on node {v}")));
+        }
+    }
+    if validate == Validate::Full {
+        // Symmetry via one O(E) transpose pass: because source nodes are
+        // visited in ascending order, the transpose of a symmetric CSR is
+        // itself — any mismatch is an asymmetric edge.
+        let mut cursor = offsets[..n].to_vec();
+        let mut transpose = vec![0 as NodeId; targets.len()];
+        for u in 0..n {
+            for &v in &targets[offsets[u]..offsets[u + 1]] {
+                let vi = v as usize;
+                if cursor[vi] == offsets[vi + 1] {
+                    return Err(StoreError::Graph(format!(
+                        "edge ({u},{v}) is not symmetric"
+                    )));
+                }
+                transpose[cursor[vi]] = u as NodeId;
+                cursor[vi] += 1;
+            }
+        }
+        if transpose != *targets {
+            return Err(StoreError::Graph("adjacency is not symmetric".into()));
+        }
+    }
+    Ok(offsets)
+}
+
+// ---------------------------------------------------------------------------
+// Convenience bundle API (cgte ingest / file= scenario sources)
+
+/// A graph plus its optional primary partition — what `cgte ingest`
+/// writes and `file =` scenario sources read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphBundle {
+    /// The graph.
+    pub graph: Graph,
+    /// The `main` partition block, when the file carries one.
+    pub partition: Option<Partition>,
+}
+
+/// Writes a graph (+ optional `main` partition) as a `.cgteg` stream.
+pub fn write_bundle<W: Write>(
+    w: W,
+    graph: &Graph,
+    partition: Option<&Partition>,
+) -> io::Result<()> {
+    let mut c = Container::new();
+    for s in graph_sections(graph) {
+        c.push(s);
+    }
+    if let Some(p) = partition {
+        c.push(partition_section("main", p));
+    }
+    c.write_to(w)
+}
+
+/// Reads a `.cgteg` stream back into a graph (+ `main` partition).
+pub fn read_bundle<R: Read>(r: R, validate: Validate) -> Result<GraphBundle, StoreError> {
+    let mut c = Container::read_from(r)?;
+    let graph = graph_from_container_owned(&mut c, validate)?;
+    let partition = partition_from_container(&c, "main", graph.num_nodes())?;
+    Ok(GraphBundle { graph, partition })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample_graph() -> Graph {
+        GraphBuilder::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn bundle_round_trips_bit_exactly() {
+        let g = sample_graph();
+        let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, Some(&p)).unwrap();
+        let back = read_bundle(&buf[..], Validate::Full).unwrap();
+        assert_eq!(back.graph, g);
+        assert_eq!(back.graph.csr_offsets(), g.csr_offsets());
+        assert_eq!(back.graph.csr_neighbors(), g.csr_neighbors());
+        assert_eq!(back.partition.as_ref(), Some(&p));
+    }
+
+    #[test]
+    fn bundle_without_partition() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, None).unwrap();
+        let back = read_bundle(&buf[..], Validate::Trusted).unwrap();
+        assert_eq!(back.graph, g);
+        assert!(back.partition.is_none());
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = GraphBuilder::new(0).build();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, None).unwrap();
+        let back = read_bundle(&buf[..], Validate::Full).unwrap();
+        assert_eq!(back.graph.num_nodes(), 0);
+        assert_eq!(back.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_bundle(&b"NOTCGTEG AT ALL"[..], Validate::Full).unwrap_err();
+        assert!(matches!(err, StoreError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, None).unwrap();
+        buf[6] = 99; // version low byte
+        let err = read_bundle(&buf[..], Validate::Full).unwrap_err();
+        match err {
+            StoreError::Format(m) => assert!(m.contains("version"), "{m}"),
+            other => panic!("expected format error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_fails_cleanly() {
+        let g = sample_graph();
+        let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, Some(&p)).unwrap();
+        for len in 0..buf.len() {
+            assert!(
+                read_bundle(&buf[..len], Validate::Full).is_err(),
+                "truncation at {len} bytes must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_fails_cleanly() {
+        // Exhaustive bit-rot sweep: flipping any byte must produce an
+        // error (usually a checksum mismatch), never a panic or a
+        // silently different graph.
+        let g = sample_graph();
+        let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, Some(&p)).unwrap();
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0xFF;
+            match read_bundle(&bad[..], Validate::Full) {
+                Err(_) => {}
+                Ok(b) => {
+                    // A flip confined to a checksum-covered payload must be
+                    // caught; the only acceptable Ok is a flip that somehow
+                    // reconstructs the identical input (impossible for XOR
+                    // with 0xFF), so any Ok must still equal the original.
+                    assert_eq!(b.graph, g, "byte {i} flip silently changed the graph");
+                    assert_eq!(b.partition.as_ref(), Some(&p));
+                    panic!("byte {i} flip was not detected");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_checksum_reports_section() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, None).unwrap();
+        // Corrupt one payload byte of the final section (its checksum is
+        // the last 8 bytes).
+        let idx = buf.len() - 12;
+        buf[idx] ^= 0x01;
+        let err = read_bundle(&buf[..], Validate::Full).unwrap_err();
+        assert!(matches!(err, StoreError::Checksum { .. }), "{err}");
+    }
+
+    #[test]
+    fn asymmetric_csr_is_rejected_by_full_validation() {
+        // Hand-craft a container whose lists are sorted and in range but
+        // not symmetric: 0 -> 1 without 1 -> 0.
+        let mut c = Container::new();
+        c.push(Section::u64s(SEC_OFFSETS, vec![0, 1, 1, 2]));
+        c.push(Section::u32s(SEC_TARGETS, vec![1, 0]));
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let parsed = Container::read_from(&buf[..]).unwrap();
+        let err = graph_from_container(&parsed, Validate::Full).unwrap_err();
+        assert!(matches!(err, StoreError::Graph(_)), "{err}");
+    }
+
+    #[test]
+    fn unsorted_or_out_of_range_targets_rejected() {
+        for targets in [vec![2, 1, 0, 0], vec![9, 9, 0, 0]] {
+            let mut c = Container::new();
+            c.push(Section::u64s(SEC_OFFSETS, vec![0, 2, 3, 4]));
+            c.push(Section::u32s(SEC_TARGETS, targets));
+            let mut buf = Vec::new();
+            c.write_to(&mut buf).unwrap();
+            let parsed = Container::read_from(&buf[..]).unwrap();
+            assert!(graph_from_container(&parsed, Validate::Trusted).is_err());
+        }
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut c = Container::new();
+        c.push(Section::u64s(SEC_OFFSETS, vec![0, 1, 2]));
+        c.push(Section::u32s(SEC_TARGETS, vec![0, 0]));
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let parsed = Container::read_from(&buf[..]).unwrap();
+        let err = graph_from_container(&parsed, Validate::Trusted).unwrap_err();
+        match err {
+            StoreError::Graph(m) => assert!(m.contains("self-loop"), "{m}"),
+            other => panic!("expected graph error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn partition_block_mismatch_rejected() {
+        let g = sample_graph();
+        let mut c = Container::new();
+        for s in graph_sections(&g) {
+            c.push(s);
+        }
+        // Partition covering the wrong node count.
+        let p = Partition::trivial(3);
+        c.push(partition_section("main", &p));
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let parsed = Container::read_from(&buf[..]).unwrap();
+        let graph = graph_from_container(&parsed, Validate::Full).unwrap();
+        assert!(partition_from_container(&parsed, "main", graph.num_nodes()).is_err());
+    }
+
+    #[test]
+    fn generic_sections_round_trip() {
+        let mut c = Container::new();
+        c.push(Section::f64s("floats", vec![1.5, f64::NAN, -0.0]));
+        c.push(Section::string("meta.kind", "facebook"));
+        c.push(Section::u64s("counts", vec![3, 2]));
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let back = Container::read_from(&buf[..]).unwrap();
+        let f = back.f64s("floats").unwrap();
+        assert_eq!(f[0], 1.5);
+        assert!(f[1].is_nan());
+        assert_eq!(f[2].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.string("meta.kind").unwrap(), "facebook");
+        assert_eq!(back.u64s("counts").unwrap(), &[3, 2]);
+        assert!(back.get("absent").is_none());
+        assert!(back.u32s("counts").is_err(), "type mismatch is an error");
+    }
+}

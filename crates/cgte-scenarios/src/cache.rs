@@ -1,4 +1,5 @@
-//! The content-keyed build cache shared by every job in a run.
+//! The content-keyed build cache shared by every job in a run, with an
+//! optional persistent disk tier.
 //!
 //! Keys are the canonical spec strings of [`crate::plan::ResolvedGraph`];
 //! values are `Arc`-shared built resources. The first requester builds
@@ -6,15 +7,38 @@
 //! duplicating work); every later requester gets the shared `Arc` and is
 //! counted as a cache **hit** — the statistic the engine's sweep tests
 //! assert on ("a graph reused by ≥ 4 jobs is built exactly once").
+//!
+//! With a disk tier attached ([`ResourceCache::with_disk`], the CLI's
+//! `--cache-dir`), every first-time construction is also persisted as a
+//! `.cgteg` container under its content key, and later runs **load**
+//! instead of building — a third counter, so "a warm run performs zero
+//! graph builds" is machine-checkable (`builds == 0`, `loads > 0`).
+//! Loads go through the checksummed [`cgte_graph::store`] reader; any
+//! corrupted or mismatched cache file is treated as a miss and rebuilt
+//! (the cache self-heals rather than failing the run). Because every
+//! resource is derived deterministically from its key's RNG streams, a
+//! loaded resource is bit-identical to a rebuilt one, and run artifacts
+//! are byte-identical between cold and warm runs.
 
 use crate::plan::ResolvedGraph;
 use crate::EngineError;
-use cgte_datasets::{standin, standin_huge, standin_partition, CrawlDataset, FacebookSim};
+use cgte_datasets::{
+    standin, standin_huge, standin_partition, CrawlDataset, CrawlType, FacebookSim,
+    FacebookSimConfig,
+};
 use cgte_graph::generators::{par_planted_partition, planted_partition, PlantedConfig};
-use cgte_graph::{CategoryGraph, Graph, Partition};
+use cgte_graph::store::{
+    graph_from_container_owned, graph_sections, partition_from_container, partition_section,
+    read_bundle, Container, Section, Validate,
+};
+use cgte_graph::{CategoryGraph, Graph, NodeId, Partition};
+use cgte_sampling::MultiWalkSample;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -143,36 +167,68 @@ impl Resource {
     }
 }
 
-/// Cache counters: `builds` actual constructions, `hits` shared reuses.
+/// Cache counters: `builds` actual constructions, `loads` disk-tier
+/// restores, `hits` shared in-memory reuses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Number of resources actually constructed.
     pub builds: usize,
-    /// Number of requests served from the cache.
+    /// Number of resources restored from the disk tier (`--cache-dir`)
+    /// or loaded from a `file =` graph source.
+    pub loads: usize,
+    /// Number of requests served from the in-memory cache.
     pub hits: usize,
 }
 
 /// One lazily-initialized cache slot; a failed build is cached too.
 type Slot = Arc<OnceLock<Result<Resource, EngineError>>>;
 
-/// The content-keyed resource cache shared across a run's jobs.
+/// How a slot's resource came to exist, for the counters.
+#[derive(Clone, Copy, PartialEq)]
+enum Origin {
+    /// Constructed from its generator spec.
+    Built,
+    /// Restored from a `.cgteg` (disk tier or `file =` source).
+    Loaded,
+}
+
+/// The content-keyed resource cache shared across a run's jobs, with an
+/// optional persistent `.cgteg` disk tier.
 #[derive(Default)]
 pub struct ResourceCache {
     slots: Mutex<HashMap<String, Slot>>,
+    disk_dir: Option<PathBuf>,
     builds: AtomicUsize,
+    loads: AtomicUsize,
     hits: AtomicUsize,
 }
 
 impl ResourceCache {
-    /// An empty cache.
+    /// An empty in-memory cache (no disk tier).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A cache backed by a persistent directory: every build is saved as
+    /// a `.cgteg` under its content key, and later runs load instead of
+    /// rebuilding. The directory is created on first write.
+    pub fn with_disk(dir: impl Into<PathBuf>) -> Self {
+        ResourceCache {
+            disk_dir: Some(dir.into()),
+            ..Self::default()
+        }
+    }
+
+    /// The disk-tier directory, if one is attached.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
     }
 
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             builds: self.builds.load(Ordering::SeqCst),
+            loads: self.loads.load(Ordering::SeqCst),
             hits: self.hits.load(Ordering::SeqCst),
         }
     }
@@ -187,20 +243,36 @@ impl ResourceCache {
         key: &str,
         build: impl FnOnce() -> Result<Resource, EngineError>,
     ) -> Result<Resource, EngineError> {
+        self.get_counted(key, || build().map(|r| (r, Origin::Built)))
+    }
+
+    /// [`ResourceCache::get_or_build`] with the producer reporting
+    /// whether it built or loaded, so the counters stay truthful.
+    fn get_counted(
+        &self,
+        key: &str,
+        produce: impl FnOnce() -> Result<(Resource, Origin), EngineError>,
+    ) -> Result<Resource, EngineError> {
         let slot = {
             let mut slots = self.slots.lock().expect("cache lock poisoned");
             Arc::clone(slots.entry(key.to_string()).or_default())
         };
-        let mut built = false;
-        let resource = slot.get_or_init(|| {
-            built = true;
-            build()
+        let mut origin: Option<Origin> = None;
+        let resource = slot.get_or_init(|| match produce() {
+            Ok((r, o)) => {
+                origin = Some(o);
+                Ok(r)
+            }
+            Err(e) => {
+                origin = Some(Origin::Built);
+                Err(e)
+            }
         });
-        if built {
-            self.builds.fetch_add(1, Ordering::SeqCst);
-        } else {
-            self.hits.fetch_add(1, Ordering::SeqCst);
-        }
+        match origin {
+            Some(Origin::Built) => self.builds.fetch_add(1, Ordering::SeqCst),
+            Some(Origin::Loaded) => self.loads.fetch_add(1, Ordering::SeqCst),
+            None => self.hits.fetch_add(1, Ordering::SeqCst),
+        };
         resource.clone()
     }
 
@@ -220,12 +292,41 @@ impl ResourceCache {
     /// near the exclusive case, which beats serializing builds (the
     /// common many-small-builds plans would lose their job-level
     /// parallelism).
+    ///
+    /// Resolution order per key: in-memory slot → disk tier (when
+    /// attached) → generator build (persisted to the disk tier on
+    /// success). `file =` sources always load from their own path and are
+    /// never copied into the cache directory — the source file stays
+    /// authoritative, so editing it is picked up by the next run.
     pub fn resource_threads(
         &self,
         spec: &ResolvedGraph,
         threads: usize,
     ) -> Result<Resource, EngineError> {
-        self.get_or_build(&spec.key(), || build_resource_threads(spec, threads))
+        let key = spec.key();
+        if matches!(spec, ResolvedGraph::File { .. }) {
+            // The source file is authoritative: always load from it (so
+            // edits are picked up) and never copy it into the cache dir.
+            return self.get_counted(&key, || {
+                build_resource_threads(spec, threads).map(|r| (r, Origin::Loaded))
+            });
+        }
+        self.get_counted(&key, || {
+            if let Some(dir) = &self.disk_dir {
+                match load_resource(dir, &key) {
+                    Ok(Some(r)) => return Ok((r, Origin::Loaded)),
+                    Ok(None) => {}
+                    Err(e) => eprintln!("warning: cache load failed for {key} ({e}); rebuilding"),
+                }
+            }
+            let resource = build_resource_threads(spec, threads)?;
+            if let Some(dir) = &self.disk_dir {
+                if let Err(e) = save_resource(dir, &key, &resource) {
+                    eprintln!("warning: cannot persist {key} to cache ({e})");
+                }
+            }
+            Ok((resource, Origin::Built))
+        })
     }
 }
 
@@ -325,6 +426,33 @@ pub fn build_resource_threads(
                 },
             ))))
         }
+        ResolvedGraph::File {
+            ref path,
+            top_k,
+            spectral,
+            seed,
+        } => {
+            let file = File::open(path)
+                .map_err(|e| EngineError::msg(format!("cannot open graph file {path:?}: {e}")))?;
+            // Untrusted input: full structural validation, so a crafted
+            // file cannot violate Graph invariants downstream.
+            let bundle = read_bundle(BufReader::new(file), Validate::Full)
+                .map_err(|e| EngineError::msg(format!("cannot load {path:?}: {e}")))?;
+            match bundle.partition {
+                Some(p) => Ok(Resource::Graph(Arc::new(BuiltGraph::eager(
+                    bundle.graph,
+                    p,
+                )))),
+                None => Ok(Resource::Graph(Arc::new(BuiltGraph::lazy_partition(
+                    bundle.graph,
+                    move |g| {
+                        let mut rng =
+                            StdRng::seed_from_u64(cgte_graph::parallel::stream_seed(seed, 0xF11E));
+                        standin_partition(g, top_k, spectral, &mut rng)
+                    },
+                )))),
+            }
+        }
         ResolvedGraph::Facebook {
             ref cfg,
             crawls,
@@ -349,4 +477,290 @@ pub fn build_resource_threads(
             })))
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Disk tier: Resource <-> .cgteg containers
+
+/// The cache file of a content key: `<fnv64(key)>.cgteg`, with the full
+/// key recorded inside the container (`meta.key`) as a collision guard.
+fn cache_file(dir: &Path, key: &str) -> PathBuf {
+    dir.join(format!(
+        "{}.cgteg",
+        crate::artifact::artifact_fingerprint(key)
+    ))
+}
+
+fn store_err(e: impl std::fmt::Display) -> EngineError {
+    EngineError::msg(e.to_string())
+}
+
+/// `FacebookSimConfig` fields in their fixed `fb.config` section order.
+/// Counts are stored as exact f64s (all well under 2^53).
+fn config_to_f64s(c: &FacebookSimConfig) -> Vec<f64> {
+    vec![
+        c.num_users as f64,
+        c.num_regions as f64,
+        c.num_countries as f64,
+        c.region_declared_fraction,
+        c.num_colleges as f64,
+        c.college_fraction,
+        c.mean_degree,
+        c.gamma,
+        c.region_homophily,
+        c.college_homophily,
+        c.zipf_exponent,
+    ]
+}
+
+fn config_from_f64s(v: &[f64]) -> Result<FacebookSimConfig, EngineError> {
+    if v.len() != 11 {
+        return Err(EngineError::msg(format!(
+            "fb.config has {} fields, expected 11",
+            v.len()
+        )));
+    }
+    Ok(FacebookSimConfig {
+        num_users: v[0] as usize,
+        num_regions: v[1] as usize,
+        num_countries: v[2] as usize,
+        region_declared_fraction: v[3],
+        num_colleges: v[4] as usize,
+        college_fraction: v[5],
+        mean_degree: v[6],
+        gamma: v[7],
+        region_homophily: v[8],
+        college_homophily: v[9],
+        zipf_exponent: v[10],
+    })
+}
+
+fn crawl_type_code(t: CrawlType) -> u32 {
+    match t {
+        CrawlType::Uis => 0,
+        CrawlType::Rw => 1,
+        CrawlType::Mhrw => 2,
+        CrawlType::Swrw => 3,
+    }
+}
+
+fn crawl_type_from_code(c: u32) -> Result<CrawlType, EngineError> {
+    Ok(match c {
+        0 => CrawlType::Uis,
+        1 => CrawlType::Rw,
+        2 => CrawlType::Mhrw,
+        3 => CrawlType::Swrw,
+        other => return Err(EngineError::msg(format!("unknown crawl type code {other}"))),
+    })
+}
+
+fn push_crawls(c: &mut Container, prefix: &str, sets: &[CrawlDataset]) {
+    for (i, ds) in sets.iter().enumerate() {
+        c.push(Section::string(format!("fb.{prefix}.{i}.name"), &ds.name));
+        c.push(Section::u32s(
+            format!("fb.{prefix}.{i}.type"),
+            vec![crawl_type_code(ds.crawl)],
+        ));
+        let lens: Vec<u64> = ds.walks.walks().map(|w| w.len() as u64).collect();
+        let mut nodes: Vec<NodeId> = Vec::with_capacity(ds.walks.total_len());
+        for w in ds.walks.walks() {
+            nodes.extend_from_slice(w);
+        }
+        c.push(Section::u64s(format!("fb.{prefix}.{i}.lens"), lens));
+        c.push(Section::u32s(format!("fb.{prefix}.{i}.nodes"), nodes));
+    }
+}
+
+fn read_crawls(
+    c: &Container,
+    prefix: &str,
+    count: usize,
+    num_nodes: usize,
+) -> Result<Vec<CrawlDataset>, EngineError> {
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let name = c
+            .string(&format!("fb.{prefix}.{i}.name"))
+            .map_err(store_err)?
+            .to_string();
+        let type_sec = c
+            .u32s(&format!("fb.{prefix}.{i}.type"))
+            .map_err(store_err)?;
+        let crawl =
+            crawl_type_from_code(*type_sec.first().ok_or_else(|| {
+                EngineError::msg(format!("fb.{prefix}.{i}.type section is empty"))
+            })?)?;
+        let lens = c
+            .u64s(&format!("fb.{prefix}.{i}.lens"))
+            .map_err(store_err)?;
+        let nodes = c
+            .u32s(&format!("fb.{prefix}.{i}.nodes"))
+            .map_err(store_err)?;
+        let total: u64 = lens.iter().sum();
+        if total != nodes.len() as u64 {
+            return Err(EngineError::msg(format!(
+                "crawl {prefix}.{i}: walk lengths sum to {total}, {} nodes stored",
+                nodes.len()
+            )));
+        }
+        if let Some(&bad) = nodes.iter().find(|&&v| v as usize >= num_nodes) {
+            return Err(EngineError::msg(format!(
+                "crawl {prefix}.{i}: node {bad} out of range ({num_nodes} nodes)"
+            )));
+        }
+        let mut walks = Vec::with_capacity(lens.len());
+        let mut cursor = 0usize;
+        for &l in lens {
+            let l = l as usize;
+            walks.push(nodes[cursor..cursor + l].to_vec());
+            cursor += l;
+        }
+        out.push(CrawlDataset {
+            name,
+            crawl,
+            walks: MultiWalkSample::new(walks),
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes a resource as a `.cgteg` container. Lazily deferred pieces
+/// (stand-in partitions) are forced here — their RNG streams are captured
+/// at build time, so forcing is deterministic and the loaded resource is
+/// identical to the built one.
+fn resource_to_container(key: &str, r: &Resource) -> Container {
+    let mut c = Container::new();
+    c.push(Section::string("meta.key", key));
+    match r {
+        Resource::Graph(bg) => {
+            c.push(Section::string("meta.kind", "graph"));
+            for s in graph_sections(&bg.graph) {
+                c.push(s);
+            }
+            c.push(partition_section("main", bg.partition()));
+        }
+        Resource::Facebook(fb) => {
+            c.push(Section::string("meta.kind", "facebook"));
+            for s in graph_sections(&fb.sim.graph) {
+                c.push(s);
+            }
+            c.push(partition_section("regions", &fb.sim.regions));
+            c.push(partition_section("colleges", &fb.sim.colleges));
+            c.push(Section::u32s(
+                "fb.region_to_country",
+                fb.sim.region_to_country.clone(),
+            ));
+            c.push(Section::f64s("fb.config", config_to_f64s(fb.sim.config())));
+            if let Some((w09, p09, w10, p10)) = fb.crawl_params {
+                c.push(Section::u64s(
+                    "fb.crawl_params",
+                    vec![w09 as u64, p09 as u64, w10 as u64, p10 as u64],
+                ));
+            }
+            c.push(Section::u64s(
+                "fb.counts",
+                vec![fb.c09.len() as u64, fb.c10.len() as u64],
+            ));
+            push_crawls(&mut c, "c09", &fb.c09);
+            push_crawls(&mut c, "c10", &fb.c10);
+        }
+    }
+    c
+}
+
+/// Decodes a cached resource, verifying the recorded key. The CSR goes
+/// through [`Validate::Trusted`] — the per-section checksums already rule
+/// out bit rot for files this cache wrote itself.
+fn resource_from_container(key: &str, c: &mut Container) -> Result<Resource, EngineError> {
+    let recorded = c.string("meta.key").map_err(store_err)?;
+    if recorded != key {
+        return Err(EngineError::msg(format!(
+            "cache file holds key {recorded:?}, expected {key:?} (hash collision?)"
+        )));
+    }
+    let graph = graph_from_container_owned(c, Validate::Trusted).map_err(store_err)?;
+    match c.string("meta.kind").map_err(store_err)? {
+        "graph" => {
+            let partition = partition_from_container(c, "main", graph.num_nodes())
+                .map_err(store_err)?
+                .ok_or_else(|| EngineError::msg("graph cache file has no main partition"))?;
+            Ok(Resource::Graph(Arc::new(BuiltGraph::eager(
+                graph, partition,
+            ))))
+        }
+        "facebook" => {
+            let n = graph.num_nodes();
+            let regions = partition_from_container(c, "regions", n)
+                .map_err(store_err)?
+                .ok_or_else(|| EngineError::msg("facebook cache file has no regions block"))?;
+            let colleges = partition_from_container(c, "colleges", n)
+                .map_err(store_err)?
+                .ok_or_else(|| EngineError::msg("facebook cache file has no colleges block"))?;
+            let region_to_country = c.u32s("fb.region_to_country").map_err(store_err)?.to_vec();
+            let config = config_from_f64s(c.f64s("fb.config").map_err(store_err)?)?;
+            let crawl_params = match c.get("fb.crawl_params") {
+                Some(_) => {
+                    let p = c.u64s("fb.crawl_params").map_err(store_err)?;
+                    if p.len() != 4 {
+                        return Err(EngineError::msg("fb.crawl_params must have 4 entries"));
+                    }
+                    Some((p[0] as usize, p[1] as usize, p[2] as usize, p[3] as usize))
+                }
+                None => None,
+            };
+            let counts = c.u64s("fb.counts").map_err(store_err)?;
+            if counts.len() != 2 {
+                return Err(EngineError::msg("fb.counts must have 2 entries"));
+            }
+            let c09 = read_crawls(c, "c09", counts[0] as usize, n)?;
+            let c10 = read_crawls(c, "c10", counts[1] as usize, n)?;
+            let sim = FacebookSim::from_parts(graph, regions, colleges, region_to_country, config);
+            Ok(Resource::Facebook(Arc::new(FacebookBundle {
+                sim,
+                c09,
+                c10,
+                crawl_params,
+                exact_regions: OnceLock::new(),
+                exact_colleges: OnceLock::new(),
+            })))
+        }
+        other => Err(EngineError::msg(format!(
+            "unknown cache resource kind {other:?}"
+        ))),
+    }
+}
+
+/// Persists a resource to the disk tier (atomic: tmp file + rename).
+fn save_resource(dir: &Path, key: &str, r: &Resource) -> Result<(), EngineError> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| EngineError::msg(format!("cannot create cache dir {dir:?}: {e}")))?;
+    let container = resource_to_container(key, r);
+    let path = cache_file(dir, key);
+    // Per-process tmp name: the cache directory is shared across
+    // processes, and two cold runs building the same key concurrently
+    // must not interleave writes into one tmp inode before the rename.
+    let tmp = path.with_extension(format!("cgteg.tmp.{}", std::process::id()));
+    let mut w = BufWriter::new(
+        File::create(&tmp).map_err(|e| EngineError::msg(format!("cannot create {tmp:?}: {e}")))?,
+    );
+    container
+        .write_to(&mut w)
+        .and_then(|()| w.flush())
+        .map_err(|e| EngineError::msg(format!("cannot write {tmp:?}: {e}")))?;
+    drop(w);
+    std::fs::rename(&tmp, &path)
+        .map_err(|e| EngineError::msg(format!("cannot move cache file into place: {e}")))?;
+    Ok(())
+}
+
+/// Loads a resource from the disk tier. `Ok(None)` means "not cached";
+/// corrupted files surface as `Err` (the caller rebuilds).
+fn load_resource(dir: &Path, key: &str) -> Result<Option<Resource>, EngineError> {
+    let path = cache_file(dir, key);
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(_) => return Ok(None),
+    };
+    let mut container = Container::read_from(BufReader::new(file)).map_err(store_err)?;
+    resource_from_container(key, &mut container).map(Some)
 }

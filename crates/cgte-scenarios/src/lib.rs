@@ -100,6 +100,10 @@ pub struct RunOptions {
     pub resume: bool,
     /// Suppress per-job progress lines on stderr.
     pub quiet: bool,
+    /// Persistent graph-store directory (the `--cache-dir` disk tier):
+    /// every built resource is saved as a `.cgteg` under its content key,
+    /// and warm runs load instead of rebuilding (`builds == 0`).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -112,6 +116,7 @@ impl Default for RunOptions {
             out_dir: None,
             resume: false,
             quiet: false,
+            cache_dir: None,
         }
     }
 }
@@ -193,7 +198,10 @@ fn run_resolved(
     reporter: Option<builtins::Reporter>,
 ) -> Result<CacheStats, EngineError> {
     let plan = build_plan(&scenario)?;
-    let cache = ResourceCache::new();
+    let cache = match &opts.cache_dir {
+        Some(dir) => ResourceCache::with_disk(dir),
+        None => ResourceCache::new(),
+    };
     let outputs = run_plan(&plan, &cache, opts, source)?;
     let ctx = report::RunContext {
         plan: &plan,

@@ -49,6 +49,19 @@ pub enum ResolvedGraph {
         /// Fully derived RNG seed.
         seed: u64,
     },
+    /// A pre-built graph loaded from a `.cgteg` container (`cgte ingest`
+    /// output). Uses the file's embedded `main` partition when present;
+    /// otherwise a top-k community partition is computed on first use.
+    File {
+        /// Path to the `.cgteg` file.
+        path: String,
+        /// Fallback partition: the top-k communities + rest.
+        top_k: usize,
+        /// Fallback partition: use the spectral community finder.
+        spectral: bool,
+        /// Fully derived RNG seed (for the fallback partition stream).
+        seed: u64,
+    },
     /// The Facebook-like population simulator, optionally with the 2009 +
     /// 2010 crawl datasets.
     Facebook {
@@ -100,6 +113,14 @@ impl ResolvedGraph {
                     "standin:kind={},scale_div={scale_div}{mul},top_k={top_k},spectral={spectral},seed={seed}",
                     kind.name()
                 )
+            }
+            ResolvedGraph::File {
+                path,
+                top_k,
+                spectral,
+                seed,
+            } => {
+                format!("file:path={path},top_k={top_k},spectral={spectral},seed={seed}")
             }
             ResolvedGraph::Facebook { cfg, crawls, seed } => {
                 let crawl_part = match crawls {
@@ -379,6 +400,15 @@ fn resolve_graph(p: &Params, base_seed: u64) -> Result<ResolvedGraph, EngineErro
                 scale_mul: p.usize_or("scale_mul", 1)?.max(1),
                 top_k: p.usize_or("top_k", 50)?,
                 spectral: p.bool_or("spectral", true)?,
+                seed,
+            })
+        }
+        "file" => {
+            let (pv, pl) = p.required("file")?;
+            Ok(ResolvedGraph::File {
+                path: pv.as_str(pl, "file")?.to_string(),
+                top_k: p.usize_or("top_k", 50)?,
+                spectral: p.bool_or("spectral", false)?,
                 seed,
             })
         }

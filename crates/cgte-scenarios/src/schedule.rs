@@ -156,10 +156,10 @@ pub fn run_plan(
                 Ok(out) => {
                     let job = &plan.jobs[i];
                     if !opts.quiet {
-                        let hits = cache.stats();
+                        let stats = cache.stats();
                         eprintln!(
-                            "[{finished}/{total_runnable}] {} ({ms} ms, cache {}+{})",
-                            job.id, hits.builds, hits.hits
+                            "[{finished}/{total_runnable}] {} ({ms} ms, cache {}b/{}l/{}h)",
+                            job.id, stats.builds, stats.loads, stats.hits
                         );
                     }
                     if let Some(rd) = &mut run_dir {

@@ -157,6 +157,15 @@ const STANDIN_KEYS: &[(&str, KeyKind)] = &[
     ("seed_xor", KeyKind::Scalar),
 ];
 
+const FILE_KEYS: &[(&str, KeyKind)] = &[
+    ("generator", KeyKind::Scalar),
+    ("file", KeyKind::Scalar),
+    ("top_k", KeyKind::Scalar),
+    ("spectral", KeyKind::Scalar),
+    ("seed_add", KeyKind::Scalar),
+    ("seed_xor", KeyKind::Scalar),
+];
+
 const FACEBOOK_KEYS: &[(&str, KeyKind)] = &[
     ("generator", KeyKind::Scalar),
     ("preset", KeyKind::Scalar),
@@ -324,10 +333,13 @@ pub fn resolve_scenario(
             "planted" => PLANTED_KEYS,
             "standin" => STANDIN_KEYS,
             "facebook" => FACEBOOK_KEYS,
+            "file" => FILE_KEYS,
             other => {
                 return Err(EngineError::at(
                     gen.line,
-                    format!("unknown generator {other:?} (known: planted, standin, facebook)"),
+                    format!(
+                        "unknown generator {other:?} (known: planted, standin, facebook, file)"
+                    ),
                 ))
             }
         };

@@ -319,6 +319,206 @@ fn resume_rejects_fingerprint_mismatch() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The disk tier: a cold run builds and persists, a warm run loads
+/// instead (zero builds) and reproduces every series bit-exactly.
+#[test]
+fn disk_cache_warm_run_performs_zero_builds() {
+    let dir = std::env::temp_dir().join(format!("cgte-disk-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let doc = parse_scn(SWEEP_SCN).unwrap();
+    let scenario = resolve_scenario(&doc, Scale::Quick, None).unwrap();
+    let plan = build_plan(&scenario).unwrap();
+
+    let cold_cache = ResourceCache::with_disk(&dir);
+    let cold = run_plan(&plan, &cold_cache, &quiet_opts(), SWEEP_SCN).unwrap();
+    let stats = cold_cache.stats();
+    assert_eq!(stats.builds, 1, "cold run builds the shared graph once");
+    assert_eq!(stats.loads, 0, "nothing to load on a cold cache");
+    let cgteg_files = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cgteg"))
+        .count();
+    assert_eq!(cgteg_files, 1, "one graph persisted under its content key");
+
+    let warm_cache = ResourceCache::with_disk(&dir);
+    let warm = run_plan(&plan, &warm_cache, &quiet_opts(), SWEEP_SCN).unwrap();
+    let stats = warm_cache.stats();
+    assert_eq!(stats.builds, 0, "warm run performs zero graph builds");
+    assert_eq!(stats.loads, 1, "the graph is loaded from the store");
+    assert!(stats.hits >= 4, "later jobs still hit the in-memory tier");
+    for (id, out) in &cold {
+        if matches!(out, JobOutput::Experiment(_)) {
+            assert_eq!(
+                experiment_entries(out),
+                experiment_entries(&warm[id]),
+                "job {id} must be bit-identical between cold and warm runs"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Facebook bundles (graph + two partitions + crawls + config) survive
+/// the `.cgteg` round trip: a warm fig7 run builds nothing and renders
+/// byte-identical sections.
+#[test]
+fn disk_cache_facebook_bundle_round_trips() {
+    let dir = std::env::temp_dir().join(format!("cgte-disk-fb-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let src = cgte_scenarios::builtin_scenario("fig7").unwrap();
+    let doc = parse_scn(src).unwrap();
+    let scenario = resolve_scenario(&doc, Scale::Quick, None).unwrap();
+    let plan = build_plan(&scenario).unwrap();
+
+    let cold_cache = ResourceCache::with_disk(&dir);
+    let cold = run_plan(&plan, &cold_cache, &quiet_opts(), src).unwrap();
+    assert_eq!(cold_cache.stats().builds, 1);
+
+    let warm_cache = ResourceCache::with_disk(&dir);
+    let warm = run_plan(&plan, &warm_cache, &quiet_opts(), src).unwrap();
+    let stats = warm_cache.stats();
+    assert_eq!(stats.builds, 0, "warm facebook run builds nothing");
+    assert_eq!(stats.loads, 1, "the bundle is loaded from the store");
+    assert_eq!(cold.len(), warm.len());
+    for (id, out) in &cold {
+        assert_eq!(
+            cgte_scenarios::artifact::output_to_json(out),
+            cgte_scenarios::artifact::output_to_json(&warm[id]),
+            "job {id} must serialize identically between cold and warm runs"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupted cache file is a miss, not a failure: the run rebuilds,
+/// reproduces identical results, and rewrites the file so the next run
+/// loads again.
+#[test]
+fn disk_cache_self_heals_on_corruption() {
+    let dir = std::env::temp_dir().join(format!("cgte-disk-heal-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let doc = parse_scn(SWEEP_SCN).unwrap();
+    let scenario = resolve_scenario(&doc, Scale::Quick, None).unwrap();
+    let plan = build_plan(&scenario).unwrap();
+    let cold_cache = ResourceCache::with_disk(&dir);
+    let cold = run_plan(&plan, &cold_cache, &quiet_opts(), SWEEP_SCN).unwrap();
+
+    let victim = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|x| x == "cgteg"))
+        .expect("a cache file exists");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let healed_cache = ResourceCache::with_disk(&dir);
+    let healed = run_plan(&plan, &healed_cache, &quiet_opts(), SWEEP_SCN).unwrap();
+    let stats = healed_cache.stats();
+    assert_eq!(stats.builds, 1, "corrupted entry is rebuilt");
+    assert_eq!(stats.loads, 0);
+    for (id, out) in &cold {
+        if matches!(out, JobOutput::Experiment(_)) {
+            assert_eq!(experiment_entries(out), experiment_entries(&healed[id]));
+        }
+    }
+
+    // The rebuild rewrote the entry: a third run loads again.
+    let warm_cache = ResourceCache::with_disk(&dir);
+    run_plan(&plan, &warm_cache, &quiet_opts(), SWEEP_SCN).unwrap();
+    assert_eq!(warm_cache.stats().builds, 0);
+    assert_eq!(warm_cache.stats().loads, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `generator = "file"` sources: a `.cgteg` written by the store API is
+/// a first-class scenario graph, counted as a load (never a build).
+#[test]
+fn file_graph_source_loads_cgteg() {
+    use cgte_graph::{GraphBuilder, Partition};
+    let dir = std::env::temp_dir().join(format!("cgte-file-src-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    // A tiny two-community graph with an explicit partition.
+    let mut b = GraphBuilder::new(8);
+    for &(u, v) in &[
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (0, 3),
+        (4, 5),
+        (5, 6),
+        (6, 7),
+        (4, 7),
+        (3, 4),
+    ] {
+        b.add_edge(u, v).unwrap();
+    }
+    let g = b.build();
+    let p = Partition::from_assignments(vec![0, 0, 0, 0, 1, 1, 1, 1], 2).unwrap();
+    let path = dir.join("toy.cgteg");
+    let f = std::fs::File::create(&path).unwrap();
+    cgte_graph::store::write_bundle(f, &g, Some(&p)).unwrap();
+
+    let scn = format!(
+        "[scenario]\nname = \"file-src\"\nseed = 5\n\
+         [graph.g]\ngenerator = \"file\"\nfile = \"{}\"\n\
+         [sampler.rw]\nkind = \"rw\"\n\
+         [experiment]\nsizes = [10, 20]\nreplications = 2\ntargets = [\"size:all\"]\n",
+        path.display()
+    );
+    let doc = parse_scn(&scn).unwrap();
+    let scenario = resolve_scenario(&doc, Scale::Quick, None).unwrap();
+    let plan = build_plan(&scenario).unwrap();
+    let cache = ResourceCache::new();
+    let outputs = run_plan(&plan, &cache, &quiet_opts(), &scn).unwrap();
+    let stats = cache.stats();
+    assert_eq!(stats.builds, 0, "file sources never count as builds");
+    assert_eq!(stats.loads, 1, "the file is loaded once");
+    let exp = outputs
+        .values()
+        .find_map(|o| match o {
+            JobOutput::Experiment(e) => Some(e),
+            _ => None,
+        })
+        .expect("one experiment ran");
+    assert_eq!(exp.graph.nodes, 8);
+    assert_eq!(exp.graph.num_categories, 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A missing or malformed `.cgteg` surfaces as a job error, not a panic.
+#[test]
+fn file_graph_source_errors_cleanly() {
+    let dir = std::env::temp_dir().join(format!("cgte-file-bad-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.cgteg");
+    std::fs::write(&bad, b"this is not a cgteg file").unwrap();
+    for path in [
+        bad.display().to_string(),
+        dir.join("absent.cgteg").display().to_string(),
+    ] {
+        let scn = format!(
+            "[scenario]\nname = \"file-bad\"\n\
+             [graph.g]\ngenerator = \"file\"\nfile = \"{path}\"\n\
+             [experiment]\nsizes = [10]\nreplications = 1\ntargets = [\"size:all\"]\n",
+        );
+        let doc = parse_scn(&scn).unwrap();
+        let scenario = resolve_scenario(&doc, Scale::Quick, None).unwrap();
+        let plan = build_plan(&scenario).unwrap();
+        let cache = ResourceCache::new();
+        let err = run_plan(&plan, &cache, &quiet_opts(), &scn).unwrap_err();
+        assert!(
+            err.msg.contains("cannot open") || err.msg.contains("cannot load"),
+            "unexpected error: {err}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Facebook bundles are cached too: several custom stages over one
 /// simulation share a single generation.
 #[test]
