@@ -25,6 +25,12 @@ pub const FAIL_RATIO: f64 = 0.75;
 /// A metric at or below this fraction of its baseline warns
 /// (0.90 = a regression of more than 10 %).
 pub const WARN_RATIO: f64 = 0.90;
+/// Latencies below this many milliseconds are clamped up to it before
+/// the gate ratio: at the tens-of-microseconds scale a "25 % regression"
+/// is scheduler/timer noise (a 70 µs vs 100 µs p50 is the same service),
+/// while any regression a user could notice pushes well past the floor
+/// and still fails.
+pub const LATENCY_FLOOR_MS: f64 = 0.5;
 
 /// How a metric travels between machines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +46,30 @@ struct Metric {
     name: String,
     value: f64,
     class: MetricClass,
+    /// Most metrics are throughputs (bigger is better); latency metrics
+    /// (`p50_ms`, `p99_ms`) invert — the gate ratio is computed so that
+    /// `< 1` always means "got worse".
+    higher_is_better: bool,
+}
+
+impl Metric {
+    fn throughput(name: String, value: f64, class: MetricClass) -> Metric {
+        Metric {
+            name,
+            value,
+            class,
+            higher_is_better: true,
+        }
+    }
+
+    fn latency(name: String, value: f64) -> Metric {
+        Metric {
+            name,
+            value,
+            class: MetricClass::Absolute,
+            higher_is_better: false,
+        }
+    }
 }
 
 struct Extracted {
@@ -113,51 +143,70 @@ fn extract(report: &str, label: &str) -> Result<Extracted, String> {
     for entry in arr(&v, "build", label)? {
         let generator = text(entry, "generator", label)?;
         let ctx = format!("{label}: build/{generator}");
-        metrics.push(Metric {
-            name: format!("build/{generator}/edges_per_sec@1"),
-            value: serial_rate(entry, "edges_per_sec", &ctx)?,
-            class: MetricClass::Absolute,
-        });
+        metrics.push(Metric::throughput(
+            format!("build/{generator}/edges_per_sec@1"),
+            serial_rate(entry, "edges_per_sec", &ctx)?,
+            MetricClass::Absolute,
+        ));
         // Thread-scaling figures are meaningful only when the machine can
         // actually scale: on a 1-core box any recorded speedup is
         // scheduler/timer noise and would make the gate flaky.
         if parallelism > 1.0 {
-            metrics.push(Metric {
-                name: format!("build/{generator}/best_speedup"),
-                value: num(entry, "best_speedup", &ctx)?,
-                class: MetricClass::Absolute,
-            });
+            metrics.push(Metric::throughput(
+                format!("build/{generator}/best_speedup"),
+                num(entry, "best_speedup", &ctx)?,
+                MetricClass::Absolute,
+            ));
         }
     }
     for entry in arr(&v, "walk", label)? {
         let sampler = text(entry, "sampler", label)?;
         let ctx = format!("{label}: walk/{sampler}");
-        metrics.push(Metric {
-            name: format!("walk/{sampler}/steps_per_sec@1"),
-            value: serial_rate(entry, "steps_per_sec", &ctx)?,
-            class: MetricClass::Absolute,
-        });
+        metrics.push(Metric::throughput(
+            format!("walk/{sampler}/steps_per_sec@1"),
+            serial_rate(entry, "steps_per_sec", &ctx)?,
+            MetricClass::Absolute,
+        ));
     }
     let estimate = get(&v, "estimate", label)?;
-    metrics.push(Metric {
-        name: "estimate/samples_per_sec@1".into(),
-        value: serial_rate(estimate, "samples_per_sec", &format!("{label}: estimate"))?,
-        class: MetricClass::Absolute,
-    });
+    metrics.push(Metric::throughput(
+        "estimate/samples_per_sec@1".into(),
+        serial_rate(estimate, "samples_per_sec", &format!("{label}: estimate"))?,
+        MetricClass::Absolute,
+    ));
     // Reports written before the load section existed (PR3) simply
     // contribute no load metrics.
     if let Some(load) = v.get("load") {
         let ctx = format!("{label}: load");
-        metrics.push(Metric {
-            name: "load/edges_per_sec".into(),
-            value: num(load, "load_edges_per_sec", &ctx)?,
-            class: MetricClass::Absolute,
-        });
-        metrics.push(Metric {
-            name: "load/speedup_vs_regen".into(),
-            value: num(load, "speedup_vs_regen", &ctx)?,
-            class: MetricClass::Ratio,
-        });
+        metrics.push(Metric::throughput(
+            "load/edges_per_sec".into(),
+            num(load, "load_edges_per_sec", &ctx)?,
+            MetricClass::Absolute,
+        ));
+        metrics.push(Metric::throughput(
+            "load/speedup_vs_regen".into(),
+            num(load, "speedup_vs_regen", &ctx)?,
+            MetricClass::Ratio,
+        ));
+    }
+    // Reports written before the serve section existed (PR4 and earlier)
+    // simply contribute no serve metrics. Latencies gate inverted: a
+    // higher p50/p99 than baseline is the regression.
+    if let Some(serve) = v.get("serve") {
+        let ctx = format!("{label}: serve");
+        metrics.push(Metric::throughput(
+            "serve/requests_per_sec@1".into(),
+            serial_rate(serve, "requests_per_sec", &ctx)?,
+            MetricClass::Absolute,
+        ));
+        metrics.push(Metric::latency(
+            "serve/p50_ms@1".into(),
+            serial_rate(serve, "p50_ms", &ctx)?,
+        ));
+        metrics.push(Metric::latency(
+            "serve/p99_ms@1".into(),
+            serial_rate(serve, "p99_ms", &ctx)?,
+        ));
     }
     Ok(Extracted {
         quick,
@@ -198,7 +247,14 @@ pub fn check_reports(current: &str, baseline: &str) -> Result<CheckOutcome, Stri
             continue;
         }
         out.compared += 1;
-        let ratio = cm.value / bm.value;
+        // Oriented so < 1 always means "got worse": current/baseline for
+        // throughputs, baseline/current for latencies (the latter floored
+        // at [`LATENCY_FLOOR_MS`] — see its docs).
+        let ratio = if bm.higher_is_better {
+            cm.value / bm.value
+        } else {
+            bm.value.max(LATENCY_FLOOR_MS) / cm.value.max(LATENCY_FLOOR_MS)
+        };
         let line = format!(
             "{}: {:.1} vs baseline {:.1} (ratio {:.3})",
             bm.name, cm.value, bm.value, ratio
@@ -234,7 +290,8 @@ mod tests {
     {{"sampler":"rw","steps_per_walker":1000,"best_speedup":1.0,"runs":[{{"threads":1,"secs":0.1,"steps_per_sec":{w1:.1}}}]}}
   ],
   "estimate": {{"nodes":100,"replications":2,"max_size":10,"targets":3,"best_speedup":1.0,"runs":[{{"threads":1,"secs":0.1,"samples_per_sec":{e1:.1}}}]}},
-  "load": {{"generator":"chung_lu","nodes":1000,"edges":5000,"write_secs":0.1,"load_secs":0.01,"regen_secs":0.5,"load_edges_per_sec":{l1:.1},"regen_edges_per_sec":10000.0,"speedup_vs_regen":{lr:.3},"identical":true}}
+  "load": {{"generator":"chung_lu","nodes":1000,"edges":5000,"write_secs":0.1,"load_secs":0.01,"regen_secs":0.5,"load_edges_per_sec":{l1:.1},"regen_edges_per_sec":10000.0,"speedup_vs_regen":{lr:.3},"identical":true}},
+  "serve": {{"nodes":1000,"edges":5000,"categories":10,"rounds":25,"steps_per_ingest":200,"best_speedup":1.0,"runs":[{{"threads":1,"secs":1.0,"requests":100,"requests_per_sec":{s1:.1},"p50_ms":{p50:.4},"p99_ms":{p99:.4}}}]}}
 }}
 "#,
             sp = 1.2 * f,
@@ -244,6 +301,11 @@ mod tests {
             e1 = 20000.0 * f,
             l1 = 500000.0 * f,
             lr = 50.0 * ratio_f,
+            s1 = 800.0 * f,
+            // Latencies move inversely with throughput: a degraded report
+            // (f < 1) has *higher* p50/p99.
+            p50 = 2.0 / f,
+            p99 = 9.0 / f,
         )
     }
 
@@ -319,6 +381,60 @@ mod tests {
             "{:?}",
             out.failures
         );
+    }
+
+    #[test]
+    fn latency_regressions_gate_inverted() {
+        // f = 0.7 makes every throughput 30% lower AND every latency
+        // ~43% higher; both directions must fail, with the latency
+        // failures carrying the serve p50/p99 names.
+        let out = check_reports(&report(1, 0.7, 1.0), &report(1, 1.0, 1.0)).unwrap();
+        assert!(out.failures.iter().any(|f| f.contains("serve/p99_ms")));
+        assert!(out.failures.iter().any(|f| f.contains("serve/p50_ms")));
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("serve/requests_per_sec")),
+            "{:?}",
+            out.failures
+        );
+        // A latency *improvement* (current lower than baseline) passes.
+        let out = check_reports(&report(1, 1.3, 1.0), &report(1, 1.0, 1.0)).unwrap();
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+    }
+
+    #[test]
+    fn microsecond_latency_jitter_is_floored() {
+        // 70 µs vs 103 µs is scheduler noise, not a regression: both
+        // sides clamp to the floor and the gate stays green. A genuine
+        // multi-millisecond regression still fails.
+        let base = report(1, 1.0, 1.0).replace("\"p50_ms\":2.0000", "\"p50_ms\":0.0700");
+        let cur = report(1, 1.0, 1.0).replace("\"p50_ms\":2.0000", "\"p50_ms\":0.1030");
+        let out = check_reports(&cur, &base).unwrap();
+        assert!(
+            out.failures.iter().all(|f| !f.contains("p50_ms")),
+            "{:?}",
+            out.failures
+        );
+        let bad = report(1, 1.0, 1.0).replace("\"p50_ms\":2.0000", "\"p50_ms\":9.0000");
+        let out = check_reports(&bad, &base).unwrap();
+        assert!(
+            out.failures.iter().any(|f| f.contains("p50_ms")),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn pr4_baseline_without_serve_section_is_accepted() {
+        let base = {
+            let r = report(1, 1.0, 1.0);
+            let head = r.split("  \"serve\":").next().unwrap().to_string();
+            format!("{}\n}}\n", head.trim_end().trim_end_matches(','))
+        };
+        let out = check_reports(&report(1, 1.0, 1.0), &base).unwrap();
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
     }
 
     #[test]

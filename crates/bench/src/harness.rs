@@ -1,7 +1,7 @@
 //! The `cgte bench` harness: machine-readable performance trajectory.
 //!
-//! Times four hot paths at each configured thread count and emits a JSON
-//! report (`BENCH_PR4.json` by default) that later PRs append to, so speed
+//! Times five hot paths at each configured thread count and emits a JSON
+//! report (`BENCH_PR5.json` by default) that later PRs append to, so speed
 //! claims are pinned from PR to PR rather than asserted in prose:
 //!
 //! - **build** — edges/sec of every parallel generator (Chung–Lu at
@@ -14,7 +14,10 @@
 //! - **walk** — aggregate RW/MHRW steps/sec with `t` concurrent
 //!   independent walkers over the shared CSR;
 //! - **estimate** — NRMSE-experiment throughput (replications and
-//!   observed samples per second) via `ExperimentConfig::threads`.
+//!   observed samples per second) via `ExperimentConfig::threads`;
+//! - **serve** — sustained requests/sec and p50/p99 request latency of
+//!   the online estimation service (`cgte-serve`) against the warm
+//!   headline graph, at each worker-pool size.
 //!
 //! The JSON schema is documented in `EXPERIMENTS.md` (§ benchmark
 //! harness). Timings are wall-clock; `available_parallelism` is recorded
@@ -66,7 +69,7 @@ impl Default for BenchOptions {
             quick: false,
             seed: 0x2012_5EED,
             threads: vec![1, 2, 8],
-            out: PathBuf::from("BENCH_PR4.json"),
+            out: PathBuf::from("BENCH_PR5.json"),
             cache_dir: None,
             load_nodes: 1_000_000,
         }
@@ -265,19 +268,10 @@ impl LoadEntry {
 /// Times the disk-store round trip of the headline Chung–Lu graph:
 /// serialize to `.cgteg`, load it back along the scenario cache's
 /// trusted path, regenerate from scratch for comparison, and verify the
-/// loaded CSR is bit-identical to the generated one.
-fn bench_load(opts: &BenchOptions) -> Result<LoadEntry, String> {
+/// loaded CSR is bit-identical to the generated one. The graph is built
+/// once by the caller and shared with the serve section.
+fn bench_load(opts: &BenchOptions, w: &[f64], g: &Graph) -> Result<LoadEntry, String> {
     let n = opts.load_nodes;
-    let mut w = powerlaw_weights(
-        n,
-        2.5,
-        2.0,
-        (n as f64).sqrt(),
-        &mut StdRng::seed_from_u64(opts.seed),
-    );
-    scale_to_mean(&mut w, 10.0);
-    let g = par_chung_lu(&w, opts.seed, 0);
-
     // The fallback directory is per-process: concurrent bench runs (or
     // other users on a shared box) must not truncate each other's store
     // file mid-read.
@@ -290,7 +284,7 @@ fn bench_load(opts: &BenchOptions) -> Result<LoadEntry, String> {
     let start = Instant::now();
     let mut out =
         BufWriter::new(File::create(&path).map_err(|e| format!("cannot create {path:?}: {e}"))?);
-    write_bundle(&mut out, &g, None)
+    write_bundle(&mut out, g, None)
         .and_then(|()| out.flush())
         .map_err(|e| format!("cannot write {path:?}: {e}"))?;
     drop(out);
@@ -311,9 +305,9 @@ fn bench_load(opts: &BenchOptions) -> Result<LoadEntry, String> {
     // ratio, so both sides must use one core regardless of the host —
     // otherwise the committed ratio would shrink on bigger machines and
     // trip the gate as a phantom regression.
-    let (regen, regen_secs) = best_of(SERIAL_REPS, || par_chung_lu(&w, opts.seed, 1));
+    let (regen, regen_secs) = best_of(SERIAL_REPS, || par_chung_lu(w, opts.seed, 1));
 
-    let identical = loaded.graph == regen && loaded.graph == g;
+    let identical = loaded.graph == regen && &loaded.graph == g;
     let entry = LoadEntry {
         nodes: g.num_nodes(),
         edges: g.num_edges(),
@@ -331,6 +325,201 @@ fn bench_load(opts: &BenchOptions) -> Result<LoadEntry, String> {
         std::fs::remove_dir(&dir).ok();
     }
     Ok(entry)
+}
+
+struct ServeRun {
+    threads: usize,
+    secs: f64,
+    requests: usize,
+    rate: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+struct ServeEntry {
+    nodes: usize,
+    edges: usize,
+    categories: usize,
+    rounds: usize,
+    steps_per_ingest: usize,
+    runs: Vec<ServeRun>,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Benchmarks the online estimation service against the warm headline
+/// graph: a `.cgteg` bundle (graph + top-50 partition) is staged in the
+/// store directory, a server is booted per configured worker count, and
+/// `t` concurrent keep-alive clients each run a scripted session —
+/// `rounds` iterations of (ingest a walk budget, read the estimate) —
+/// while every request's wall-clock latency is recorded. Reported:
+/// sustained requests/sec plus p50/p99 latency. The server performs zero
+/// graph builds (loads only), which is the disk tier's contract.
+fn bench_serve(g: &Graph, opts: &BenchOptions) -> Result<ServeEntry, String> {
+    use cgte_serve::client::Client;
+    use cgte_serve::{ServeConfig, Server};
+
+    let partition = cgte_datasets::standin_partition(
+        g,
+        50,
+        false,
+        &mut StdRng::seed_from_u64(opts.seed ^ 0x5E7E),
+    );
+    let dir = opts.cache_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("cgte-bench-serve-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    let name = format!("serve-headline-{}-{}", g.num_nodes(), opts.seed);
+    let path = dir.join(format!("{name}.cgteg"));
+    {
+        use cgte_graph::store::{graph_sections, partition_section, Container, Section};
+        let mut c = Container::new();
+        c.push(Section::string("meta.kind", "graph"));
+        for s in graph_sections(g) {
+            c.push(s);
+        }
+        c.push(partition_section("main", &partition));
+        let mut out = BufWriter::new(
+            File::create(&path).map_err(|e| format!("cannot create {path:?}: {e}"))?,
+        );
+        c.write_to(&mut out)
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+
+    // Thousands of requests per run: with Nagle disabled a request is
+    // ~0.1 ms, and the gate needs hundreds of milliseconds of sustained
+    // traffic for stable rates and percentiles.
+    let rounds = if opts.quick { 1000 } else { 2500 };
+    let steps = if opts.quick { 500 } else { 1000 };
+    let mut runs = Vec::new();
+    for &t in &opts.threads {
+        let server = Server::bind(&ServeConfig {
+            cache_dir: dir.clone(),
+            addr: "127.0.0.1:0".to_string(),
+            threads: t,
+        })
+        .map_err(|e| format!("cannot bind bench server: {e}"))?;
+        let addr = server.addr();
+        // Warm the server outside the timed window: the first session
+        // loads the graph and builds the shared neighbor-category index.
+        {
+            let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+            let (st, body) = c
+                .request(
+                    "POST",
+                    "/sessions",
+                    &format!("{{\"graph\":\"{name}\",\"sampler\":\"rw\",\"seed\":1}}"),
+                )
+                .map_err(|e| e.to_string())?;
+            if st != 200 {
+                return Err(format!("bench warm-up session failed ({st}): {body}"));
+            }
+            let (st, body) = c
+                .request("POST", "/sessions/s0/ingest", "{\"steps\":10}")
+                .map_err(|e| e.to_string())?;
+            if st != 200 {
+                return Err(format!("bench warm-up ingest failed ({st}): {body}"));
+            }
+        }
+        let start = Instant::now();
+        let latencies: Vec<Vec<f64>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..t)
+                .map(|i| {
+                    let name = &name;
+                    scope.spawn(move |_| {
+                        let mut lat = Vec::with_capacity(2 * rounds + 1);
+                        let mut c = Client::connect(addr).expect("bench client connect");
+                        let t0 = Instant::now();
+                        let (st, body) = c
+                            .request(
+                                "POST",
+                                "/sessions",
+                                &format!(
+                                    "{{\"graph\":\"{name}\",\"sampler\":\"rw\",\"seed\":{}}}",
+                                    1000 + i
+                                ),
+                            )
+                            .expect("open session");
+                        lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(st, 200, "{body}");
+                        let id = body
+                            .split("\"session\":\"")
+                            .nth(1)
+                            .and_then(|s| s.split('"').next())
+                            .expect("session id")
+                            .to_string();
+                        for _ in 0..rounds {
+                            let t0 = Instant::now();
+                            let (st, _) = c
+                                .request(
+                                    "POST",
+                                    &format!("/sessions/{id}/ingest"),
+                                    &format!("{{\"steps\":{steps}}}"),
+                                )
+                                .expect("ingest");
+                            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                            assert_eq!(st, 200);
+                            let t0 = Instant::now();
+                            let (st, _) = c
+                                .request("GET", &format!("/sessions/{id}/estimate"), "")
+                                .expect("estimate");
+                            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                            assert_eq!(st, 200);
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bench client panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
+        let secs = secs(start);
+        server.shutdown();
+        server.join();
+        let mut all: Vec<f64> = latencies.into_iter().flatten().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let requests = all.len();
+        runs.push(ServeRun {
+            threads: t,
+            secs,
+            requests,
+            rate: requests as f64 / secs.max(1e-9),
+            p50_ms: percentile(&all, 0.50),
+            p99_ms: percentile(&all, 0.99),
+        });
+    }
+    if opts.cache_dir.is_none() {
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+    let first = &runs[0];
+    eprintln!(
+        "serve: {} nodes, {} cats, {} req @ t=1: {:.0} req/s, p50 {:.2} ms, p99 {:.2} ms",
+        g.num_nodes(),
+        partition.num_categories(),
+        first.requests,
+        first.rate,
+        first.p50_ms,
+        first.p99_ms,
+    );
+    Ok(ServeEntry {
+        nodes: g.num_nodes(),
+        edges: g.num_edges(),
+        categories: partition.num_categories(),
+        rounds,
+        steps_per_ingest: steps,
+        runs,
+    })
 }
 
 fn bench_estimate(opts: &BenchOptions) -> EstimateEntry {
@@ -449,14 +638,29 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     let walks = bench_walks(&walk_graph, opts);
     let estimate = bench_estimate(opts);
 
+    // --- headline graph (always full-size, even at --quick) ---------------
+    // Built once, shared by the load and serve sections.
+    let mut headline_w = powerlaw_weights(
+        opts.load_nodes,
+        2.5,
+        2.0,
+        (opts.load_nodes as f64).sqrt(),
+        &mut StdRng::seed_from_u64(seed),
+    );
+    scale_to_mean(&mut headline_w, 10.0);
+    let headline = par_chung_lu(&headline_w, seed, 0);
+
     // --- disk-store load throughput ---------------------------------------
-    let load = bench_load(opts)?;
+    let load = bench_load(opts, &headline_w, &headline)?;
+
+    // --- serve request throughput + latency -------------------------------
+    let serve = bench_serve(&headline, opts)?;
 
     // --- report -----------------------------------------------------------
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\n  \"schema\": \"cgte-bench/1\",\n  \"pr\": \"PR4\",\n  \"quick\": {},\n  \"seed\": {},\n  \"available_parallelism\": {},\n  \"threads\": [{}],\n",
+        "{{\n  \"schema\": \"cgte-bench/1\",\n  \"pr\": \"PR5\",\n  \"quick\": {},\n  \"seed\": {},\n  \"available_parallelism\": {},\n  \"threads\": [{}],\n",
         quick,
         seed,
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
@@ -502,9 +706,9 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
         speedup(&estimate.runs),
         runs_json(&estimate.runs, "samples_per_sec"),
     );
-    let _ = write!(
+    let _ = writeln!(
         json,
-        "  \"load\": {{\"generator\":\"chung_lu\",\"nodes\":{},\"edges\":{},\"write_secs\":{:.6},\"load_secs\":{:.6},\"regen_secs\":{:.6},\"load_edges_per_sec\":{:.1},\"regen_edges_per_sec\":{:.1},\"speedup_vs_regen\":{:.3},\"identical\":{}}}\n}}\n",
+        "  \"load\": {{\"generator\":\"chung_lu\",\"nodes\":{},\"edges\":{},\"write_secs\":{:.6},\"load_secs\":{:.6},\"regen_secs\":{:.6},\"load_edges_per_sec\":{:.1},\"regen_edges_per_sec\":{:.1},\"speedup_vs_regen\":{:.3},\"identical\":{}}},",
         load.nodes,
         load.edges,
         load.write_secs,
@@ -514,6 +718,34 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
         load.regen_rate(),
         load.speedup(),
         load.identical,
+    );
+    let serve_runs: Vec<String> = serve
+        .runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"threads\":{},\"secs\":{:.6},\"requests\":{},\"requests_per_sec\":{:.1},\"p50_ms\":{:.4},\"p99_ms\":{:.4}}}",
+                r.threads, r.secs, r.requests, r.rate, r.p50_ms, r.p99_ms
+            )
+        })
+        .collect();
+    let _ = write!(
+        json,
+        "  \"serve\": {{\"nodes\":{},\"edges\":{},\"categories\":{},\"rounds\":{},\"steps_per_ingest\":{},\"best_speedup\":{:.3},\"runs\":[{}]}}\n}}\n",
+        serve.nodes,
+        serve.edges,
+        serve.categories,
+        serve.rounds,
+        serve.steps_per_ingest,
+        {
+            let t1 = serve.runs.iter().find(|r| r.threads == 1);
+            let best = serve.runs.iter().map(|r| r.rate).fold(0.0f64, f64::max);
+            match t1 {
+                Some(r1) if r1.rate > 0.0 => best / r1.rate,
+                _ => 1.0,
+            }
+        },
+        serve_runs.join(","),
     );
 
     std::fs::write(&opts.out, &json).map_err(|e| format!("cannot write {:?}: {e}", opts.out))?;
@@ -547,6 +779,9 @@ mod tests {
         assert!(json.contains("\"samples_per_sec\""));
         assert!(json.contains("\"speedup_vs_regen\""));
         assert!(json.contains("\"identical\":true"));
+        assert!(json.contains("\"serve\""));
+        assert!(json.contains("\"requests_per_sec\""));
+        assert!(json.contains("\"p99_ms\""));
         let back = std::fs::read_to_string(&opts.out).unwrap();
         assert_eq!(back, json);
         // The load section kept its .cgteg in the cache dir.

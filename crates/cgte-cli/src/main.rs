@@ -51,10 +51,12 @@ USAGE:
                          [--top-k K] [--out F]
   cgte estimate          --graph G.txt --cats C.txt --sampler uis|rw|mhrw|swrw [--n N]
                          [--design uniform|weighted] [--sizes induced|star] [--seed S]
+                         [--ci LEVEL] [--boot REPS]
                          [--format dot|json|graphml|csv|report] [--top-k K] [--out F]
   cgte run               SCENARIO.scn | --builtin NAME|all [--quick | --full | --huge]
                          [--seed S] [--threads N] [--csv DIR] [--out DIR] [--resume]
                          [--cache-dir DIR]
+  cgte serve             --cache-dir DIR [--port P] [--addr HOST:PORT] [--threads N]
   cgte bench             [--quick] [--seed S] [--threads 1,2,8] [--out FILE.json]
                          [--cache-dir DIR] [--check BASELINE.json]
   cgte help
@@ -72,11 +74,21 @@ a warm run performs zero graph builds (stderr reports builds/loads/hits).
 Built-in scenarios: fig3 fig4 fig5 fig6 fig7 table1 table2
 ablation_model_based ablation_swrw ablation_thinning huge.
 
-`cgte bench` times graph build rate, .cgteg load rate, walk steps/sec and
-estimate throughput at each thread count and writes a machine-readable
-JSON report (default BENCH_PR4.json; see EXPERIMENTS.md for the schema).
-With --check it then compares the fresh report against a committed
-baseline and fails on a >25% per-metric regression (warns over 10%).
+`cgte serve` runs the online estimation service: an HTTP/1.1 API over the
+.cgteg store directory (open sampling sessions, stream node batches or
+walk budgets in, read category-graph estimates at any prefix — with
+bootstrap CIs via ?ci=0.95). On a warm cache the server performs zero
+graph builds; see EXPERIMENTS.md for endpoints and JSON shapes.
+
+`cgte estimate --ci 0.95` additionally prints per-category bootstrap
+percentile confidence intervals for the size estimates to stderr.
+
+`cgte bench` times graph build rate, .cgteg load rate, walk steps/sec,
+estimate throughput and serve request throughput/latency at each thread
+count and writes a machine-readable JSON report (default BENCH_PR5.json;
+see EXPERIMENTS.md for the schema). With --check it then compares the
+fresh report against a committed baseline and fails on a >25% per-metric
+regression (warns over 10%).
 ";
 
 fn main() -> ExitCode {
@@ -146,6 +158,7 @@ fn run() -> Result<(), CliError> {
         Some("exact") => cmd_exact(&Args::parse(&argv[1..])?),
         Some("estimate") => cmd_estimate(&Args::parse(&argv[1..])?),
         Some("run") => cmd_run(&argv[1..]),
+        Some("serve") => cmd_serve(&Args::parse(&argv[1..])?),
         Some("bench") => cmd_bench(&argv[1..]),
         Some("help") | None => {
             print!("{USAGE}");
@@ -464,6 +477,32 @@ fn cmd_run(argv: &[String]) -> Result<(), CliError> {
     }
 }
 
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let cache_dir = args.required("cache-dir")?;
+    let addr = match (args.get("addr"), args.get("port")) {
+        (Some(_), Some(_)) => return Err("pass either --addr or --port, not both".into()),
+        (Some(a), None) => a.to_string(),
+        (None, Some(p)) => {
+            let port: u16 = p
+                .parse()
+                .map_err(|e| format!("invalid --port {p:?}: {e}"))?;
+            format!("127.0.0.1:{port}")
+        }
+        (None, None) => "127.0.0.1:7171".to_string(),
+    };
+    let threads: usize = args.parse_or("threads", 4)?;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    let cfg = cgte_serve::ServeConfig {
+        cache_dir: cache_dir.into(),
+        addr,
+        threads,
+    };
+    cgte_serve::run(&cfg)?;
+    Ok(())
+}
+
 fn cmd_bench(argv: &[String]) -> Result<(), CliError> {
     let mut opts = cgte_bench::harness::BenchOptions::default();
     let mut baseline: Option<String> = None;
@@ -567,6 +606,12 @@ fn cmd_estimate(args: &Args) -> Result<(), CliError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let nodes = sampler.sample(&g, n, &mut rng);
     let star = StarSample::observe_sampler(&g, &p, &nodes, &sampler);
+    // Uniform designs reinterpret the draw with unit weights — the same
+    // rule CategoryGraphEstimator applies internally.
+    let star = match design {
+        Design::Uniform => star.with_unit_weights(),
+        Design::Weighted => star,
+    };
     let est = CategoryGraphEstimator::new(design)
         .size_method(size_method)
         .estimate_star(&star, g.num_nodes() as f64);
@@ -575,5 +620,49 @@ fn cmd_estimate(args: &Args) -> Result<(), CliError> {
         est.num_categories(),
         est.num_edges()
     );
+    if let Some(level_raw) = args.get("ci") {
+        let level: f64 = level_raw
+            .parse()
+            .map_err(|e| format!("invalid --ci {level_raw:?}: {e}"))?;
+        if !(level > 0.0 && level < 1.0) {
+            return Err(format!("--ci must be in (0, 1), got {level}").into());
+        }
+        let reps: usize = args.parse_or("boot", 200)?;
+        if reps == 0 {
+            return Err("--boot must be positive".into());
+        }
+        let population = g.num_nodes() as f64;
+        let opts = StarSizeOptions::default();
+        eprintln!(
+            "bootstrap {:.0}% percentile CIs for category sizes ({reps} replicates):",
+            level * 100.0
+        );
+        // One deterministic stream, separate from the sampling stream.
+        let mut boot_rng = StdRng::seed_from_u64(seed ^ 0xB007_57AB);
+        let induced = matches!(size_method, SizeMethod::Induced).then(|| star.to_induced(&g, &p));
+        for c in 0..p.num_categories() as u32 {
+            let line = match &induced {
+                Some(induced) => cgte_core::bootstrap::bootstrap_induced(
+                    induced,
+                    reps,
+                    level,
+                    &mut boot_rng,
+                    |s| cgte_core::category_size::induced_size(s, c, population),
+                ),
+                None => {
+                    cgte_core::bootstrap::bootstrap_star(&star, reps, level, &mut boot_rng, |s| {
+                        cgte_core::category_size::star_size(s, c, population, &opts)
+                    })
+                }
+            };
+            match line {
+                Some(s) => eprintln!(
+                    "  |C{c}|: mean {:.2}, sd {:.2}, ci [{:.2}, {:.2}] ({} defined replicates)",
+                    s.mean, s.std_dev, s.ci.0, s.ci.1, s.replicates
+                ),
+                None => eprintln!("  |C{c}|: undefined on every replicate"),
+            }
+        }
+    }
     export(&est, args)
 }

@@ -188,9 +188,10 @@ pub fn star_size(
 
 /// Final assembly of the star size estimates from the five sufficient
 /// statistics — shared verbatim by the from-scratch and incremental paths
-/// so the two are bit-identical.
+/// so the two are bit-identical. Writes into `out` (cleared first) so hot
+/// snapshot paths reuse one buffer per thread.
 #[allow(clippy::too_many_arguments)]
-fn finish_star_sizes(
+fn finish_star_sizes_into(
     num_c: usize,
     nbr_mass: &[f64],
     deg_mass: f64,
@@ -199,28 +200,29 @@ fn finish_star_sizes(
     deg_mass_in: &[f64],
     population: f64,
     opts: &StarSizeOptions,
-) -> Vec<Option<f64>> {
+    out: &mut Vec<Option<f64>>,
+) {
+    out.clear();
     if deg_mass == 0.0 || inv_mass == 0.0 {
-        return vec![None; num_c];
+        out.resize(num_c, None);
+        return;
     }
     let k_v = deg_mass / inv_mass;
-    (0..num_c)
-        .map(|c| {
-            let f_vol = nbr_mass[c] / deg_mass;
-            let k_a = if opts.model_based_mean_degree {
-                k_v
-            } else {
-                if inv_mass_in[c] == 0.0 {
-                    return None;
-                }
-                deg_mass_in[c] / inv_mass_in[c]
-            };
-            if k_a == 0.0 {
+    out.extend((0..num_c).map(|c| {
+        let f_vol = nbr_mass[c] / deg_mass;
+        let k_a = if opts.model_based_mean_degree {
+            k_v
+        } else {
+            if inv_mass_in[c] == 0.0 {
                 return None;
             }
-            Some(population * f_vol * k_v / k_a)
-        })
-        .collect()
+            deg_mass_in[c] / inv_mass_in[c]
+        };
+        if k_a == 0.0 {
+            return None;
+        }
+        Some(population * f_vol * k_v / k_a)
+    }));
 }
 
 /// All category sizes by the star estimator in one pass over the sample.
@@ -249,7 +251,8 @@ pub fn star_sizes(
         inv_mass_in[c] += 1.0 / w;
         deg_mass_in[c] += d / w;
     }
-    finish_star_sizes(
+    let mut out = Vec::new();
+    finish_star_sizes_into(
         num_c,
         &nbr_mass,
         deg_mass,
@@ -258,7 +261,9 @@ pub fn star_sizes(
         &deg_mass_in,
         population,
         opts,
-    )
+        &mut out,
+    );
+    out
 }
 
 /// All category sizes by the star estimator from incremental accumulator
@@ -268,7 +273,20 @@ pub fn star_sizes_acc(
     population: f64,
     opts: &StarSizeOptions,
 ) -> Vec<Option<f64>> {
-    finish_star_sizes(
+    let mut out = Vec::new();
+    star_sizes_acc_into(acc, population, opts, &mut out);
+    out
+}
+
+/// Allocation-free [`star_sizes_acc`]: writes into `out` (cleared first),
+/// so per-prefix snapshot loops reuse one buffer.
+pub fn star_sizes_acc_into(
+    acc: &StarAccumulator,
+    population: f64,
+    opts: &StarSizeOptions,
+    out: &mut Vec<Option<f64>>,
+) {
+    finish_star_sizes_into(
         acc.num_categories(),
         acc.neighbor_mass(),
         acc.degree_mass(),
@@ -277,6 +295,7 @@ pub fn star_sizes_acc(
         acc.degree_mass_in(),
         population,
         opts,
+        out,
     )
 }
 
@@ -289,13 +308,32 @@ pub fn induced_sizes_acc(acc: &InducedAccumulator, population: f64) -> Option<Ve
     if acc.is_empty() {
         return None;
     }
+    let mut out = Vec::new();
+    induced_sizes_acc_into(acc, population, &mut out);
+    Some(out)
+}
+
+/// Allocation-free [`induced_sizes_acc`]: writes into `out` (cleared
+/// first). On an empty accumulator — where the estimator is undefined —
+/// it writes the operational all-zeros reading (the NRMSE protocol's
+/// "observed nothing, estimate 0") and returns `false`; otherwise `true`.
+pub fn induced_sizes_acc_into(
+    acc: &InducedAccumulator,
+    population: f64,
+    out: &mut Vec<f64>,
+) -> bool {
+    out.clear();
+    if acc.is_empty() {
+        out.resize(acc.num_categories(), 0.0);
+        return false;
+    }
     let total = acc.inverse_mass();
-    Some(
+    out.extend(
         acc.per_category_mass()
             .iter()
-            .map(|&x| population * x / total)
-            .collect(),
-    )
+            .map(|&x| population * x / total),
+    );
+    true
 }
 
 #[cfg(test)]

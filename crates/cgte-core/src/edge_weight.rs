@@ -30,7 +30,13 @@ fn inv_mass_per_category(cats: &[CategoryId], ws: &[f64], num_c: usize) -> Vec<f
 /// Final division of Eq. (8)/(15): numerators over `w⁻¹(S_A)·w⁻¹(S_B)`.
 /// Pairs with empty numerator or vanishing denominator estimate 0.
 fn finish_induced_weights(num: &CategoryMatrix, mass: &[f64]) -> CategoryMatrix {
-    num.map_upper(|a, b, n| {
+    let mut out = CategoryMatrix::zeros(num.num_categories());
+    finish_induced_weights_into(num, mass, &mut out);
+    out
+}
+
+fn finish_induced_weights_into(num: &CategoryMatrix, mass: &[f64], out: &mut CategoryMatrix) {
+    num.map_upper_into(out, |a, b, n| {
         let d = mass[a as usize] * mass[b as usize];
         if a != b && n != 0.0 && d > 0.0 {
             n / d
@@ -44,7 +50,18 @@ fn finish_induced_weights(num: &CategoryMatrix, mass: &[f64]) -> CategoryMatrix 
 /// `w⁻¹(S_A)·|B̂| + w⁻¹(S_B)·|Â|`. Pairs with empty numerator or vanishing
 /// denominator estimate 0.
 fn finish_star_weights(num: &CategoryMatrix, mass: &[f64], sizes: &[f64]) -> CategoryMatrix {
-    num.map_upper(|a, b, n| {
+    let mut out = CategoryMatrix::zeros(num.num_categories());
+    finish_star_weights_into(num, mass, sizes, &mut out);
+    out
+}
+
+fn finish_star_weights_into(
+    num: &CategoryMatrix,
+    mass: &[f64],
+    sizes: &[f64],
+    out: &mut CategoryMatrix,
+) {
+    num.map_upper_into(out, |a, b, n| {
         let d = mass[a as usize] * sizes[b as usize] + mass[b as usize] * sizes[a as usize];
         if a != b && n != 0.0 && d > 0.0 {
             n / d
@@ -143,6 +160,12 @@ pub fn induced_weights_acc(acc: &InducedAccumulator) -> CategoryMatrix {
     finish_induced_weights(acc.weight_numerators(), acc.per_category_mass())
 }
 
+/// Allocation-free [`induced_weights_acc`]: writes into `out`, which must
+/// have the accumulator's category count.
+pub fn induced_weights_acc_into(acc: &InducedAccumulator, out: &mut CategoryMatrix) {
+    finish_induced_weights_into(acc.weight_numerators(), acc.per_category_mass(), out)
+}
+
 /// Star estimator of `w(A,B)`: Eq. (9) uniform, Eq. (16) weighted —
 /// `ŵ(A,B) = [Σ_{a∈S_A} |E_{a,B}|/w(a) + Σ_{b∈S_B} |E_{b,A}|/w(b)]
 ///           / [w⁻¹(S_A)·|B̂| + w⁻¹(S_B)·|Â|]`.
@@ -230,6 +253,16 @@ pub fn star_weights_all(sample: &StarSample, sizes: &[f64]) -> CategoryMatrix {
 pub fn star_weights_acc(acc: &StarAccumulator, sizes: &[f64]) -> CategoryMatrix {
     assert_eq!(sizes.len(), acc.num_categories(), "one size per category");
     finish_star_weights(acc.weight_numerators(), acc.inverse_mass_in(), sizes)
+}
+
+/// Allocation-free [`star_weights_acc`]: writes into `out`, which must
+/// have the accumulator's category count.
+///
+/// # Panics
+/// Panics unless `sizes` has one entry per category.
+pub fn star_weights_acc_into(acc: &StarAccumulator, sizes: &[f64], out: &mut CategoryMatrix) {
+    assert_eq!(sizes.len(), acc.num_categories(), "one size per category");
+    finish_star_weights_into(acc.weight_numerators(), acc.inverse_mass_in(), sizes, out)
 }
 
 #[cfg(test)]

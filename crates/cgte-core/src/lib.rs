@@ -40,8 +40,10 @@ pub mod edge_weight;
 pub mod hansen_hurwitz;
 pub mod local_properties;
 pub mod population;
+pub mod stream;
 
 mod category_graph_est;
 
 pub use category_graph_est::{CategoryGraphEstimator, Design, SizeMethod};
 pub use category_size::StarSizeOptions;
+pub use stream::{estimate_stream, estimate_stream_into, StreamEstimate};

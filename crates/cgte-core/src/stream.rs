@@ -1,0 +1,213 @@
+//! Estimates over the streaming observation kernel
+//! ([`cgte_sampling::ObservationStream`]).
+//!
+//! One function — [`estimate_stream_into`] — turns the kernel's sufficient
+//! statistics into every estimator family of the paper at the current
+//! prefix. The batch experiment runner (`cgte_eval::run_experiment`) and
+//! the online service (`cgte-serve`) both call it, which is what makes a
+//! serve session fed the same sampled sequence **bit-identical** to the
+//! batch path: there is only one snapshot computation to agree with.
+
+use crate::category_size::{induced_sizes_acc_into, star_sizes_acc_into, StarSizeOptions};
+use crate::edge_weight::{induced_weights_acc_into, star_weights_acc_into};
+use cgte_graph::CategoryMatrix;
+use cgte_sampling::{InducedAccumulator, ObservationStream, StarAccumulator};
+
+/// A full snapshot of both estimator families at one prefix, with reusable
+/// buffers ("cheap `snapshot_into`"): construct once, re-fill per prefix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamEstimate {
+    /// The population size `N` the sizes were scaled by.
+    pub population: f64,
+    /// Number of ingested samples at this snapshot.
+    pub len: usize,
+    /// Whether the induced size estimator was defined (non-empty sample);
+    /// when `false`, `sizes_induced` holds the operational all-zeros
+    /// reading.
+    pub induced_defined: bool,
+    /// Induced (counting) size estimates, Eq. (4)/(11), one per category.
+    pub sizes_induced: Vec<f64>,
+    /// Star size estimates, Eq. (5)/(12); `None` where undefined.
+    pub sizes_star: Vec<Option<f64>>,
+    /// The §5.3.2 plug-in sizes the star weight estimator uses: star size
+    /// with induced fallback per category.
+    pub plug_sizes: Vec<f64>,
+    /// Whether the weight matrices below were computed at this snapshot.
+    pub with_weights: bool,
+    /// Induced edge-weight estimates, Eq. (8)/(15); zeros when
+    /// `with_weights` is false.
+    pub weights_induced: CategoryMatrix,
+    /// Star edge-weight estimates, Eq. (9)/(16) with plug-in sizes; zeros
+    /// when `with_weights` is false.
+    pub weights_star: CategoryMatrix,
+}
+
+impl StreamEstimate {
+    /// An empty snapshot buffer over `num_categories` categories.
+    pub fn new(num_categories: usize) -> Self {
+        StreamEstimate {
+            population: 0.0,
+            len: 0,
+            induced_defined: false,
+            sizes_induced: Vec::with_capacity(num_categories),
+            sizes_star: Vec::with_capacity(num_categories),
+            plug_sizes: Vec::with_capacity(num_categories),
+            with_weights: false,
+            weights_induced: CategoryMatrix::zeros(num_categories),
+            weights_star: CategoryMatrix::zeros(num_categories),
+        }
+    }
+
+    /// Number of categories this buffer snapshots.
+    pub fn num_categories(&self) -> usize {
+        self.weights_induced.num_categories()
+    }
+}
+
+/// Snapshots both estimator families from raw accumulator state into a
+/// reusable [`StreamEstimate`] buffer.
+///
+/// The computation — induced sizes (all-zeros when undefined), star sizes,
+/// plug-in sizes (star with induced fallback), then optionally both weight
+/// matrices — replays the batch experiment runner's snapshot expression
+/// for expression, so the two paths agree bit for bit. `with_weights`
+/// skips the `O(C²)` weight work for size-only consumers.
+///
+/// # Panics
+/// Panics if `out`'s category count differs from the accumulators'.
+pub fn estimate_stream_into(
+    star: &StarAccumulator,
+    induced: &InducedAccumulator,
+    population: f64,
+    opts: &StarSizeOptions,
+    with_weights: bool,
+    out: &mut StreamEstimate,
+) {
+    assert_eq!(
+        out.num_categories(),
+        star.num_categories(),
+        "snapshot buffer dimension mismatch"
+    );
+    out.population = population;
+    out.len = star.len();
+    out.induced_defined = induced_sizes_acc_into(induced, population, &mut out.sizes_induced);
+    star_sizes_acc_into(star, population, opts, &mut out.sizes_star);
+    out.with_weights = with_weights;
+    if with_weights {
+        // Star edge weights plug in the star size with induced fallback
+        // (§5.3.2: pick the better-behaved size estimator).
+        out.plug_sizes.clear();
+        out.plug_sizes.extend(
+            out.sizes_star
+                .iter()
+                .zip(&out.sizes_induced)
+                .map(|(s, &i)| s.unwrap_or(i)),
+        );
+        induced_weights_acc_into(induced, &mut out.weights_induced);
+        star_weights_acc_into(star, &out.plug_sizes, &mut out.weights_star);
+    } else {
+        out.plug_sizes.clear();
+        out.weights_induced.reset();
+        out.weights_star.reset();
+    }
+}
+
+/// Allocating convenience over [`estimate_stream_into`] for one-shot
+/// consumers: a full snapshot (sizes and weights) of a stream.
+pub fn estimate_stream(
+    stream: &ObservationStream,
+    population: f64,
+    opts: &StarSizeOptions,
+) -> StreamEstimate {
+    let mut out = StreamEstimate::new(stream.num_categories());
+    estimate_stream_into(
+        stream.star(),
+        stream.induced(),
+        population,
+        opts,
+        true,
+        &mut out,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category_size::{induced_sizes_acc, star_sizes_acc};
+    use crate::edge_weight::{induced_weights_acc, star_weights_acc};
+    use cgte_graph::{Graph, GraphBuilder, Partition};
+    use cgte_sampling::ObservationContext;
+
+    fn fixture() -> (Graph, Partition) {
+        let g =
+            GraphBuilder::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+                .unwrap();
+        let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        (g, p)
+    }
+
+    #[test]
+    fn snapshot_matches_allocating_estimators_bitwise() {
+        let (g, p) = fixture();
+        let ctx = ObservationContext::new(&g, &p);
+        let mut stream = ObservationStream::new(2);
+        for &(v, w) in &[(2u32, 3.0), (3, 3.0), (0, 2.0), (5, 2.0), (2, 3.0)] {
+            stream.push(&ctx, v, w);
+        }
+        let opts = StarSizeOptions::default();
+        let est = estimate_stream(&stream, 6.0, &opts);
+        assert_eq!(est.len, 5);
+        assert_eq!(
+            est.sizes_induced,
+            induced_sizes_acc(stream.induced(), 6.0).unwrap()
+        );
+        assert_eq!(est.sizes_star, star_sizes_acc(stream.star(), 6.0, &opts));
+        assert_eq!(est.weights_induced, induced_weights_acc(stream.induced()));
+        assert_eq!(
+            est.weights_star,
+            star_weights_acc(stream.star(), &est.plug_sizes)
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_the_operational_zero_reading() {
+        let stream = ObservationStream::new(3);
+        let est = estimate_stream(&stream, 10.0, &StarSizeOptions::default());
+        assert!(!est.induced_defined);
+        assert_eq!(est.sizes_induced, vec![0.0; 3]);
+        assert_eq!(est.sizes_star, vec![None; 3]);
+        assert!(est.weights_induced.is_zero());
+        assert!(est.weights_star.is_zero());
+    }
+
+    #[test]
+    fn size_only_snapshot_skips_weights() {
+        let (g, p) = fixture();
+        let ctx = ObservationContext::new(&g, &p);
+        let mut stream = ObservationStream::new(2);
+        stream.ingest_uniform(&ctx, &[2, 3]);
+        let mut out = StreamEstimate::new(2);
+        estimate_stream_into(
+            stream.star(),
+            stream.induced(),
+            6.0,
+            &StarSizeOptions::default(),
+            false,
+            &mut out,
+        );
+        assert!(!out.with_weights);
+        assert!(out.weights_induced.is_zero());
+        // Re-filling the same buffer with weights works (snapshot reuse).
+        estimate_stream_into(
+            stream.star(),
+            stream.induced(),
+            6.0,
+            &StarSizeOptions::default(),
+            true,
+            &mut out,
+        );
+        assert!(out.with_weights);
+        assert!(out.weights_induced.get(0, 1) > 0.0);
+    }
+}

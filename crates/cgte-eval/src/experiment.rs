@@ -11,13 +11,9 @@
 //! per-thread scratch reset between replications.
 
 use crate::nrmse::nrmse_from_errors;
-use cgte_core::category_size::{induced_sizes_acc, star_sizes_acc};
-use cgte_core::edge_weight::{induced_weights_acc, star_weights_acc};
-use cgte_core::{Design, StarSizeOptions};
+use cgte_core::{estimate_stream_into, Design, StarSizeOptions, StreamEstimate};
 use cgte_graph::{CategoryGraph, CategoryId, Graph, Partition};
-use cgte_sampling::{
-    AnySampler, InducedAccumulator, NodeSampler, ObservationContext, StarAccumulator,
-};
+use cgte_sampling::{AnySampler, NodeSampler, ObservationContext, ObservationStream};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -258,11 +254,16 @@ impl Accum {
     }
 }
 
-/// Per-thread reusable replication state: both accumulators, allocated
-/// once per worker and reset between replications.
+/// Per-thread reusable replication state: the streaming observation
+/// kernel plus a snapshot buffer, allocated once per worker and reset
+/// between replications. This is the *same* kernel `cgte-serve` sessions
+/// run on, and its shards compose through the same bit-exact merge path
+/// (`ObservationStream::merge`) — the runner is just the batch driver of
+/// the streaming core.
 struct ReplicationScratch {
-    star: StarAccumulator,
-    induced: InducedAccumulator,
+    stream: ObservationStream,
+    /// Reusable per-prefix snapshot buffer (`estimate_stream_into`).
+    est: StreamEstimate,
     /// Drawn node sequence, reused across replications (`sample_into`).
     nodes: Vec<cgte_graph::NodeId>,
 }
@@ -270,50 +271,39 @@ struct ReplicationScratch {
 impl ReplicationScratch {
     fn new(num_categories: usize) -> Self {
         ReplicationScratch {
-            star: StarAccumulator::new(num_categories),
-            induced: InducedAccumulator::new(num_categories),
+            stream: ObservationStream::new(num_categories),
+            est: StreamEstimate::new(num_categories),
             nodes: Vec::new(),
         }
     }
 }
 
-/// Snapshots every tracked estimator from the accumulators and records the
-/// squared errors at `size_idx`.
+/// Snapshots every tracked estimator from the stream kernel and records
+/// the squared errors at `size_idx`.
+///
+/// The weight matrices cost `O(C²)` and are only materialized when a
+/// weight target is tracked — size-only experiments skip that work
+/// entirely (`with_weights = false`).
 #[allow(clippy::too_many_arguments)]
 fn record_snapshot(
-    scratch: &ReplicationScratch,
+    scratch: &mut ReplicationScratch,
     population: f64,
-    num_categories: usize,
+    track_weights: bool,
     targets: &[Target],
     cfg: &ExperimentConfig,
     truth: &HashMap<Target, f64>,
     acc: &mut Accum,
     size_idx: usize,
 ) {
-    let ind_sizes = induced_sizes_acc(&scratch.induced, population)
-        .unwrap_or_else(|| vec![0.0; num_categories]);
-    let star_sz = star_sizes_acc(&scratch.star, population, &cfg.star_size_options);
-
-    // Dense all-pairs weight matrices: a zero entry means either
-    // "undefined" or "no edge observed"; both are recorded as an estimate
-    // of 0, so a plain O(1) read suffices (and keeps the cost independent
-    // of the number of tracked weight targets). Only materialized when a
-    // weight target is tracked — size-only experiments skip the O(C²) work
-    // entirely.
-    let track_weights = targets.iter().any(|t| matches!(t, Target::Weight(..)));
-    let weight_mats = track_weights.then(|| {
-        // Star edge weights plug in the star size with induced fallback
-        // (§5.3.2: pick the better-behaved size estimator).
-        let plug_sizes: Vec<f64> = star_sz
-            .iter()
-            .zip(&ind_sizes)
-            .map(|(s, &i)| s.unwrap_or(i))
-            .collect();
-        (
-            induced_weights_acc(&scratch.induced),
-            star_weights_acc(&scratch.star, &plug_sizes),
-        )
-    });
+    estimate_stream_into(
+        scratch.stream.star(),
+        scratch.stream.induced(),
+        population,
+        &cfg.star_size_options,
+        track_weights,
+        &mut scratch.est,
+    );
+    let est = &scratch.est;
 
     for &t in targets {
         match t {
@@ -323,37 +313,43 @@ fn record_snapshot(
                     EstimatorKind::InducedSize,
                     t,
                     size_idx,
-                    ind_sizes[c as usize],
+                    est.sizes_induced[c as usize],
                     tr,
                 );
                 acc.record(
                     EstimatorKind::StarSize,
                     t,
                     size_idx,
-                    star_sz[c as usize].unwrap_or(0.0),
+                    est.sizes_star[c as usize].unwrap_or(0.0),
                     tr,
                 );
             }
             Target::Weight(a, b) => {
+                // A zero matrix entry means either "undefined" or "no edge
+                // observed"; both are recorded as an estimate of 0, so a
+                // plain O(1) read suffices.
                 let tr = truth[&t];
-                let (ind_w, star_w) = weight_mats
-                    .as_ref()
-                    .expect("weight matrices exist for weight targets");
                 acc.record(
                     EstimatorKind::InducedWeight,
                     t,
                     size_idx,
-                    ind_w.get(a, b),
+                    est.weights_induced.get(a, b),
                     tr,
                 );
-                acc.record(EstimatorKind::StarWeight, t, size_idx, star_w.get(a, b), tr);
+                acc.record(
+                    EstimatorKind::StarWeight,
+                    t,
+                    size_idx,
+                    est.weights_star.get(a, b),
+                    tr,
+                );
             }
         }
     }
 }
 
 /// Runs one replication: draw `max_size` nodes, then fold the sequence into
-/// the accumulators **once**, snapshotting at every configured prefix size
+/// the stream kernel **once**, snapshotting at every configured prefix size
 /// (`schedule` is `(size, size_idx)` sorted ascending by size).
 #[allow(clippy::too_many_arguments)]
 fn one_replication(
@@ -373,22 +369,22 @@ fn one_replication(
     let mut nodes = std::mem::take(&mut scratch.nodes);
     sampler.sample_into(g, max_size, &mut rng, &mut nodes);
     let population = g.num_nodes() as f64;
-    let num_categories = ctx.num_categories();
-    scratch.star.reset();
-    scratch.induced.reset();
+    let track_weights = targets.iter().any(|t| matches!(t, Target::Weight(..)));
+    scratch.stream.reset();
 
     let mut next = 0;
-    // Degenerate zero-size prefixes evaluate on the empty accumulators.
+    // Degenerate zero-size prefixes evaluate on the empty stream.
     while next < schedule.len() && schedule[next].0 == 0 {
+        let size_idx = schedule[next].1;
         record_snapshot(
             scratch,
             population,
-            num_categories,
+            track_weights,
             targets,
             cfg,
             truth,
             acc,
-            schedule[next].1,
+            size_idx,
         );
         next += 1;
     }
@@ -397,18 +393,18 @@ fn one_replication(
             Design::Uniform => 1.0,
             Design::Weighted => sampler.weight_of(g, v),
         };
-        scratch.star.push(ctx, v, w);
-        scratch.induced.push(ctx, v, w);
+        scratch.stream.push(ctx, v, w);
         while next < schedule.len() && schedule[next].0 == pos + 1 {
+            let size_idx = schedule[next].1;
             record_snapshot(
                 scratch,
                 population,
-                num_categories,
+                track_weights,
                 targets,
                 cfg,
                 truth,
                 acc,
-                schedule[next].1,
+                size_idx,
             );
             next += 1;
         }

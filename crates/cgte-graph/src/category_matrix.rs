@@ -138,6 +138,25 @@ impl CategoryMatrix {
         mut f: F,
     ) -> CategoryMatrix {
         let mut out = CategoryMatrix::zeros(self.num_categories);
+        self.map_upper_into(&mut out, &mut f);
+        out
+    }
+
+    /// Allocation-free variant of [`CategoryMatrix::map_upper`]: writes
+    /// `f(a, b, self[a, b])` into `out`, which hot snapshot paths reuse
+    /// across calls instead of allocating a matrix per prefix.
+    ///
+    /// # Panics
+    /// Panics if `out` has a different category count.
+    pub fn map_upper_into<F: FnMut(CategoryId, CategoryId, f64) -> f64>(
+        &self,
+        out: &mut CategoryMatrix,
+        mut f: F,
+    ) {
+        assert_eq!(
+            out.num_categories, self.num_categories,
+            "output matrix dimension mismatch"
+        );
         for a in 0..self.num_categories {
             for b in a..self.num_categories {
                 let (a, b) = (a as CategoryId, b as CategoryId);
@@ -145,7 +164,6 @@ impl CategoryMatrix {
                 out.set(a, b, v);
             }
         }
-        out
     }
 }
 

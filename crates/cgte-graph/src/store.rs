@@ -450,6 +450,112 @@ impl Container {
     }
 }
 
+/// A lightweight table-of-contents view of a `.cgteg` file, produced by
+/// [`scan_summary`] without materializing the (large) CSR payloads.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StoreSummary {
+    /// `(name, element count, payload bytes)` of every section, in order.
+    pub sections: Vec<(String, usize, usize)>,
+    /// Node count derived from the CSR offsets section, if present.
+    pub num_nodes: Option<usize>,
+    /// Edge count derived from the CSR targets section, if present.
+    pub num_edges: Option<usize>,
+    /// The `meta.kind` string, if present.
+    pub kind: Option<String>,
+    /// The `meta.key` string, if present (the scenario cache's content
+    /// key / collision guard).
+    pub key: Option<String>,
+    /// Names of the partition blocks (`part.<name>` sections).
+    pub partitions: Vec<String>,
+}
+
+/// Scans a container's framing without loading section payloads: small
+/// metadata sections (`meta.*`) are read, everything else is **seeked
+/// past** — `O(metadata)` memory *and* I/O regardless of graph size,
+/// which is what lets a server list a directory of million-node graphs
+/// without reading any of them.
+///
+/// Checksums of skipped sections are **not** verified; the full
+/// [`Container::read_from`] path re-validates everything at load time.
+pub fn scan_summary<R: Read + io::Seek>(mut r: R) -> Result<StoreSummary, StoreError> {
+    let mut magic = [0u8; 6];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(StoreError::Format(format!(
+            "bad magic {magic:?} (not a .cgteg file)"
+        )));
+    }
+    let version = read_u16(&mut r)?;
+    if version != VERSION {
+        return Err(StoreError::Format(format!(
+            "unsupported version {version} (this build reads version {VERSION})"
+        )));
+    }
+    let nsect = read_u32(&mut r)?;
+    let mut out = StoreSummary::default();
+    for i in 0..nsect {
+        let name_len = read_u16(&mut r)? as usize;
+        let mut name_buf = vec![0u8; name_len];
+        r.read_exact(&mut name_buf)?;
+        let name = String::from_utf8(name_buf)
+            .map_err(|_| StoreError::Format(format!("section {i} name is not utf-8")))?;
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let tag = tag[0];
+        let count = read_u64(&mut r)?;
+        let elem_size: u64 = match tag {
+            1 => 4,
+            2 | 3 => 8,
+            4 => 1,
+            other => {
+                return Err(StoreError::Format(format!(
+                    "section {name:?} has unknown tag {other}"
+                )))
+            }
+        };
+        let byte_len = count
+            .checked_mul(elem_size)
+            .ok_or_else(|| StoreError::Format(format!("section {name:?} count overflows")))?;
+        // Metadata strings are tiny; cap defensively so a hostile count
+        // cannot balloon the scan.
+        const META_CAP: u64 = 1 << 16;
+        if tag == 4 && name.starts_with("meta.") && byte_len <= META_CAP {
+            let mut payload = vec![0u8; byte_len as usize];
+            r.read_exact(&mut payload)?;
+            if let Ok(s) = std::str::from_utf8(&payload) {
+                match name.as_str() {
+                    "meta.kind" => out.kind = Some(s.to_string()),
+                    "meta.key" => out.key = Some(s.to_string()),
+                    _ => {}
+                }
+            }
+        } else {
+            let pos = r.stream_position().map_err(StoreError::Io)?;
+            let end = r.seek(io::SeekFrom::End(0)).map_err(StoreError::Io)?;
+            if end.saturating_sub(pos) < byte_len {
+                return Err(StoreError::Format(format!(
+                    "section {name:?} truncated ({} of {byte_len} bytes)",
+                    end.saturating_sub(pos)
+                )));
+            }
+            r.seek(io::SeekFrom::Start(pos + byte_len))
+                .map_err(StoreError::Io)?;
+        }
+        let _checksum = read_u64(&mut r)?;
+        match name.as_str() {
+            SEC_OFFSETS => out.num_nodes = Some((count as usize).saturating_sub(1)),
+            SEC_TARGETS => out.num_edges = Some(count as usize / 2),
+            _ => {
+                if let Some(p) = name.strip_prefix("part.") {
+                    out.partitions.push(p.to_string());
+                }
+            }
+        }
+        out.sections.push((name, count as usize, byte_len as usize));
+    }
+    Ok(out)
+}
+
 fn read_u16<R: Read>(r: &mut R) -> Result<u16, StoreError> {
     let mut b = [0u8; 2];
     r.read_exact(&mut b)?;

@@ -1,6 +1,6 @@
 //! Independence sampling: UIS and WIS (§3.1.1).
 
-use crate::{AliasTable, DesignKind, NodeSampler};
+use crate::{AliasTable, DesignKind, NodeSampler, SampleError};
 use cgte_graph::{Graph, NodeId};
 use rand::Rng;
 
@@ -19,6 +19,20 @@ impl NodeSampler for UniformIndependence {
         (0..n)
             .map(|_| rng.gen_range(0..g.num_nodes() as NodeId))
             .collect()
+    }
+
+    fn try_sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> Result<(), SampleError> {
+        if g.num_nodes() == 0 {
+            return Err(SampleError::EmptyGraph);
+        }
+        self.sample_into(g, n, rng, out);
+        Ok(())
     }
 
     fn design(&self) -> DesignKind {
@@ -76,6 +90,20 @@ impl NodeSampler for WeightedIndependence {
             "weight vector does not cover the graph"
         );
         (0..n).map(|_| self.table.sample(rng) as NodeId).collect()
+    }
+
+    fn try_sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> Result<(), SampleError> {
+        if g.num_nodes() == 0 {
+            return Err(SampleError::EmptyGraph);
+        }
+        self.sample_into(g, n, rng, out);
+        Ok(())
     }
 
     fn design(&self) -> DesignKind {

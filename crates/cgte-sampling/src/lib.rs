@@ -42,6 +42,7 @@ mod mhrw;
 mod multiwalk;
 mod observe;
 mod random_walk;
+pub mod stream;
 mod swrw;
 mod traits;
 mod weighted_walk;
@@ -52,9 +53,11 @@ pub use independence::{UniformIndependence, WeightedIndependence};
 pub use mhrw::MetropolisHastingsWalk;
 pub use multiwalk::{run_walks, MultiWalkSample};
 pub use observe::{
-    InducedAccumulator, InducedSample, ObservationContext, StarAccumulator, StarSample,
+    InducedAccumulator, InducedSample, NeighborCategoryIndex, ObservationContext, StarAccumulator,
+    StarSample,
 };
 pub use random_walk::RandomWalk;
+pub use stream::ObservationStream;
 pub use swrw::Swrw;
-pub use traits::{AnySampler, DesignKind, NodeSampler};
+pub use traits::{AnySampler, DesignKind, NodeSampler, SampleError};
 pub use weighted_walk::WeightedRandomWalk;

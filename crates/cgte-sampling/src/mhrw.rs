@@ -1,7 +1,7 @@
 //! Metropolis–Hastings random walk (§3.1.2).
 
 use crate::random_walk::random_start;
-use crate::{DesignKind, NodeSampler};
+use crate::{DesignKind, NodeSampler, SampleError};
 use cgte_graph::{Graph, NodeId};
 use rand::Rng;
 
@@ -88,9 +88,23 @@ impl NodeSampler for MetropolisHastingsWalk {
         rng: &mut R,
         out: &mut Vec<NodeId>,
     ) {
+        self.try_sample_into(g, n, rng, out)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn try_sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> Result<(), SampleError> {
         out.clear();
         out.reserve(n);
-        let mut cur = self.start.unwrap_or_else(|| random_start(g, rng));
+        let mut cur = match self.start {
+            Some(v) => v,
+            None => random_start(g, rng)?,
+        };
         for _ in 0..self.burn_in {
             cur = Self::step(g, cur, rng);
         }
@@ -100,6 +114,7 @@ impl NodeSampler for MetropolisHastingsWalk {
                 cur = Self::step(g, cur, rng);
             }
         }
+        Ok(())
     }
 
     fn design(&self) -> DesignKind {

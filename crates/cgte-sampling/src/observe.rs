@@ -390,20 +390,140 @@ impl HistogramScratch {
     }
 }
 
-/// Immutable per-(graph, partition) observation support: every node's
+/// The owned, shareable half of an [`ObservationContext`]: every node's
 /// sorted neighbor-category histogram in one CSR arena.
 ///
-/// Built once in `O(E + N)` and shared read-only across replications and
-/// worker threads — the graph and partition never change during an
-/// experiment, so there is no reason to re-histogram a node's neighborhood
-/// per prefix, per replication, or per thread.
-pub struct ObservationContext<'a> {
-    g: &'a Graph,
-    p: &'a Partition,
-    /// `offsets[v]..offsets[v+1]` indexes `entries` for node `v`.
+/// Built once in `O(E + N)`. Long-lived consumers (the `cgte-serve`
+/// estimation service) build one index per (graph, partition), keep it in
+/// an `Arc`, and stamp out cheap [`ObservationContext::with_index`] views
+/// per request — the index has no borrow of the graph, so it composes with
+/// `Arc`-held graphs where the borrowing context cannot.
+///
+/// Indexes over *disjoint node ranges* of the same graph can be
+/// [`NeighborCategoryIndex::merge`]d: `build_range(0..k) ⊕ build_range(k..n)`
+/// is bit-identical to `build_range(0..n)` (counts are exact integers), so
+/// construction parallelizes over node chunks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborCategoryIndex {
+    num_categories: usize,
+    /// First node id covered (`build` starts at 0).
+    start: NodeId,
+    /// `offsets[v - start]..offsets[v - start + 1]` indexes `entries`.
     offsets: Vec<usize>,
     /// Concatenated sorted `(category, count)` histograms.
     entries: Vec<(CategoryId, u32)>,
+}
+
+impl NeighborCategoryIndex {
+    /// Precomputes the neighbor-category histogram of every node.
+    ///
+    /// # Panics
+    /// Panics if the partition does not cover the graph.
+    pub fn build(g: &Graph, p: &Partition) -> Self {
+        Self::build_range(g, p, 0, g.num_nodes() as NodeId)
+    }
+
+    /// Precomputes the histograms of nodes `lo..hi` only — one shard of a
+    /// chunked parallel build, recombined with
+    /// [`NeighborCategoryIndex::merge`].
+    ///
+    /// # Panics
+    /// Panics if the partition does not cover the graph or `lo > hi` or
+    /// `hi` exceeds the node count.
+    pub fn build_range(g: &Graph, p: &Partition, lo: NodeId, hi: NodeId) -> Self {
+        p.check_covers(g).expect("partition must cover graph");
+        assert!(
+            lo <= hi && hi as usize <= g.num_nodes(),
+            "node range {lo}..{hi} out of bounds"
+        );
+        let mut offsets = Vec::with_capacity((hi - lo) as usize + 1);
+        offsets.push(0usize);
+        let mut entries = Vec::new();
+        let mut scratch = HistogramScratch::new(p.num_categories());
+        for v in lo..hi {
+            entries.extend(scratch.histogram(g, p, v));
+            offsets.push(entries.len());
+        }
+        NeighborCategoryIndex {
+            num_categories: p.num_categories(),
+            start: lo,
+            offsets,
+            entries,
+        }
+    }
+
+    /// Appends `other`, which must cover the node range starting exactly
+    /// where this one ends. Purely integral data, so a chunked build
+    /// merged in order is bit-identical to a monolithic one.
+    ///
+    /// # Panics
+    /// Panics if the ranges are not adjacent or the category counts
+    /// differ.
+    pub fn merge(&mut self, other: &NeighborCategoryIndex) {
+        assert_eq!(
+            self.num_categories, other.num_categories,
+            "index category mismatch"
+        );
+        assert_eq!(
+            self.end(),
+            other.start,
+            "merged index ranges must be adjacent"
+        );
+        let base = self.entries.len();
+        self.entries.extend_from_slice(&other.entries);
+        self.offsets
+            .extend(other.offsets[1..].iter().map(|&o| base + o));
+    }
+
+    /// First node id covered.
+    #[inline]
+    pub fn start(&self) -> NodeId {
+        self.start
+    }
+
+    /// One past the last node id covered.
+    #[inline]
+    pub fn end(&self) -> NodeId {
+        self.start + (self.offsets.len() - 1) as NodeId
+    }
+
+    /// Number of categories of the partition this index was built from.
+    #[inline]
+    pub fn num_categories(&self) -> usize {
+        self.num_categories
+    }
+
+    /// The sorted neighbor-category histogram of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is outside the covered range.
+    #[inline]
+    pub fn neighbor_categories(&self, v: NodeId) -> &[(CategoryId, u32)] {
+        let i = (v - self.start) as usize;
+        &self.entries[self.offsets[i]..self.offsets[i + 1]]
+    }
+}
+
+/// How an [`ObservationContext`] holds its index: built-and-owned (the
+/// classic one-shot path) or borrowed from a caller who shares it.
+enum IndexRef<'a> {
+    Owned(NeighborCategoryIndex),
+    Borrowed(&'a NeighborCategoryIndex),
+}
+
+/// Immutable per-(graph, partition) observation support: the graph, the
+/// partition, and a [`NeighborCategoryIndex`] of every node.
+///
+/// Built once and shared read-only across replications and worker
+/// threads — the graph and partition never change during an experiment,
+/// so there is no reason to re-histogram a node's neighborhood per
+/// prefix, per replication, or per thread. Services that keep graphs
+/// alive across many sessions build the index once and borrow it via
+/// [`ObservationContext::with_index`].
+pub struct ObservationContext<'a> {
+    g: &'a Graph,
+    p: &'a Partition,
+    index: IndexRef<'a>,
 }
 
 impl<'a> ObservationContext<'a> {
@@ -412,21 +532,35 @@ impl<'a> ObservationContext<'a> {
     /// # Panics
     /// Panics if the partition does not cover the graph.
     pub fn new(g: &'a Graph, p: &'a Partition) -> Self {
-        p.check_covers(g).expect("partition must cover graph");
-        let n = g.num_nodes();
-        let mut offsets = Vec::with_capacity(n + 1);
-        offsets.push(0usize);
-        let mut entries = Vec::new();
-        let mut scratch = HistogramScratch::new(p.num_categories());
-        for v in 0..n as NodeId {
-            entries.extend(scratch.histogram(g, p, v));
-            offsets.push(entries.len());
-        }
+        let index = NeighborCategoryIndex::build(g, p);
         ObservationContext {
             g,
             p,
-            offsets,
-            entries,
+            index: IndexRef::Owned(index),
+        }
+    }
+
+    /// A context over a prebuilt full-graph index — `O(1)`, so callers
+    /// that cache the index per (graph, partition) can stamp out a view
+    /// per request.
+    ///
+    /// # Panics
+    /// Panics if the index does not cover all of `g`'s nodes, or its
+    /// category count differs from the partition's.
+    pub fn with_index(g: &'a Graph, p: &'a Partition, index: &'a NeighborCategoryIndex) -> Self {
+        assert_eq!(
+            index.num_categories(),
+            p.num_categories(),
+            "index/partition category mismatch"
+        );
+        assert!(
+            index.start() == 0 && index.end() as usize == g.num_nodes(),
+            "index must cover the whole graph"
+        );
+        ObservationContext {
+            g,
+            p,
+            index: IndexRef::Borrowed(index),
         }
     }
 
@@ -452,8 +586,10 @@ impl<'a> ObservationContext<'a> {
     /// per-node edge cuts `|E_{v,C}|` for every category `C`.
     #[inline]
     pub fn neighbor_categories(&self, v: NodeId) -> &[(CategoryId, u32)] {
-        let v = v as usize;
-        &self.entries[self.offsets[v]..self.offsets[v + 1]]
+        match &self.index {
+            IndexRef::Owned(idx) => idx.neighbor_categories(v),
+            IndexRef::Borrowed(idx) => idx.neighbor_categories(v),
+        }
     }
 }
 
@@ -463,16 +599,27 @@ impl<'a> ObservationContext<'a> {
 /// sum the star estimators need — in the *same order and with the same
 /// floating-point expressions* as a from-scratch
 /// [`StarSample`]-then-estimate pass over the prefix, so snapshots are
-/// bit-identical to re-observation (property-tested in
-/// `tests/proptest_invariants.rs`).
+/// bit-identical to re-observation (property-tested in cgte-core's
+/// estimator suites and, via the merge law, in `tests/merge_law.rs`).
 ///
 /// A prefix experiment over sizes `s_1 < … < s_k` therefore costs
 /// `O(s_k · deg)` pushes plus `k` snapshots of `O(C²)` each, instead of
 /// `O(Σ s_i · deg)` re-observation work.
-#[derive(Debug, Clone)]
+///
+/// Accumulators are **mergeable**: each one keeps the `(node, weight)` log
+/// of its pushes, and [`StarAccumulator::merge`] replays the other shard's
+/// log through the same `push` path, so
+/// `observe(a); merge(observe(b)) ≡ observe(a ++ b)` holds **bit-exactly**
+/// (same operations in the same order — property-tested in
+/// `tests/merge_law.rs`). Sharded ingestion (per-thread or per-crawler
+/// partial observations) therefore composes into exactly the state a
+/// single sequential observer would have reached.
+#[derive(Debug, Clone, PartialEq)]
 pub struct StarAccumulator {
     num_categories: usize,
     len: usize,
+    /// The pushed `(node, weight)` sequence, in order — the merge log.
+    log: Vec<(NodeId, f64)>,
     /// `Σ_s |E_{s,c}| / w(s)` per category — the Eq. (7)/(13) numerators.
     nbr_mass: Vec<f64>,
     /// `Σ_s deg(s) / w(s)`.
@@ -493,6 +640,7 @@ impl StarAccumulator {
         StarAccumulator {
             num_categories,
             len: 0,
+            log: Vec::new(),
             nbr_mass: vec![0.0; num_categories],
             deg_mass: 0.0,
             inv_mass: 0.0,
@@ -505,12 +653,39 @@ impl StarAccumulator {
     /// Clears all sums, keeping allocations (per-thread scratch reuse).
     pub fn reset(&mut self) {
         self.len = 0;
+        self.log.clear();
         self.nbr_mass.fill(0.0);
         self.deg_mass = 0.0;
         self.inv_mass = 0.0;
         self.inv_mass_in.fill(0.0);
         self.deg_mass_in.fill(0.0);
         self.weight_num.reset();
+    }
+
+    /// Folds another shard's observations into this one by replaying its
+    /// push log in order — `O(Σ deg)` over the other shard's samples, and
+    /// bit-identical to having pushed those samples here directly (the
+    /// merge law; see the type docs).
+    ///
+    /// # Panics
+    /// Panics if the category counts differ (the shards must observe the
+    /// same partition).
+    pub fn merge(&mut self, ctx: &ObservationContext<'_>, other: &StarAccumulator) {
+        assert_eq!(
+            self.num_categories, other.num_categories,
+            "merged accumulators must share a category count"
+        );
+        for &(v, w) in &other.log {
+            self.push(ctx, v, w);
+        }
+    }
+
+    /// The pushed `(node, weight)` sequence, in order. This is what
+    /// [`StarAccumulator::merge`] replays, and what consumers needing a
+    /// materialized observation (bootstrap resampling) re-observe from.
+    #[inline]
+    pub fn log(&self) -> &[(NodeId, f64)] {
+        &self.log
     }
 
     /// Folds one sampled node with design weight `w` into the statistics.
@@ -541,6 +716,7 @@ impl StarAccumulator {
         self.inv_mass += 1.0 / w;
         self.inv_mass_in[c as usize] += 1.0 / w;
         self.deg_mass_in[c as usize] += d / w;
+        self.log.push((v, w));
         self.len += 1;
     }
 
@@ -608,10 +784,19 @@ impl StarAccumulator {
 /// cost independent of how often a walk revisits nodes. Snapshots are
 /// bit-identical to a from-scratch [`InducedSample`]-then-estimate pass
 /// (see `induced_weights_all`, which replays the same summation order).
-#[derive(Debug, Clone)]
+///
+/// Like [`StarAccumulator`], this accumulator is mergeable via its push
+/// log ([`InducedAccumulator::merge`]); here replay is not merely an
+/// FP-exactness trick but semantically required — an edge between a node
+/// in shard `a` and a node in shard `b` is visible to neither shard alone,
+/// and only re-pushing `b`'s samples against `a`'s `node_mass` recovers
+/// the cross-shard pair contributions of `observe(a ++ b)`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct InducedAccumulator {
     num_categories: usize,
     len: usize,
+    /// The pushed `(node, weight)` sequence, in order — the merge log.
+    log: Vec<(NodeId, f64)>,
     /// `w⁻¹(S_c)` per category — Eq. (4)/(11) numerators.
     per_cat_mass: Vec<f64>,
     /// `w⁻¹(S)`.
@@ -628,6 +813,7 @@ impl InducedAccumulator {
         InducedAccumulator {
             num_categories,
             len: 0,
+            log: Vec::new(),
             per_cat_mass: vec![0.0; num_categories],
             inv_mass: 0.0,
             node_mass: HashMap::new(),
@@ -638,10 +824,34 @@ impl InducedAccumulator {
     /// Clears all sums, keeping allocations.
     pub fn reset(&mut self) {
         self.len = 0;
+        self.log.clear();
         self.per_cat_mass.fill(0.0);
         self.inv_mass = 0.0;
         self.node_mass.clear();
         self.weight_num.reset();
+    }
+
+    /// Folds another shard's observations into this one by replaying its
+    /// push log in order; cross-shard adjacent pairs are discovered here,
+    /// so the result is exactly (bit-identically) the state of a single
+    /// accumulator pushed with `self`'s samples then `other`'s.
+    ///
+    /// # Panics
+    /// Panics if the category counts differ.
+    pub fn merge(&mut self, ctx: &ObservationContext<'_>, other: &InducedAccumulator) {
+        assert_eq!(
+            self.num_categories, other.num_categories,
+            "merged accumulators must share a category count"
+        );
+        for &(v, w) in &other.log {
+            self.push(ctx, v, w);
+        }
+    }
+
+    /// The pushed `(node, weight)` sequence, in order.
+    #[inline]
+    pub fn log(&self) -> &[(NodeId, f64)] {
+        &self.log
     }
 
     /// Folds one sampled node with design weight `w` into the statistics.
@@ -676,6 +886,7 @@ impl InducedAccumulator {
         *self.node_mass.entry(v).or_insert(0.0) += w_inv;
         self.per_cat_mass[c as usize] += w_inv;
         self.inv_mass += w_inv;
+        self.log.push((v, w));
         self.len += 1;
     }
 

@@ -1,6 +1,6 @@
 //! Simple random walk sampling (§3.1.2).
 
-use crate::{DesignKind, NodeSampler};
+use crate::{DesignKind, NodeSampler, SampleError};
 use cgte_graph::{Graph, NodeId};
 use rand::Rng;
 
@@ -12,21 +12,28 @@ use rand::Rng;
 /// and the start is drawn from it directly. Graphs where most nodes have
 /// edges keep the allocation-free fast path.
 ///
-/// # Panics
-/// Panics if the graph has no edges (no walk can move).
-pub(crate) fn random_start<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> NodeId {
-    assert!(g.num_edges() > 0, "cannot walk on an edgeless graph");
+/// Unusable graphs — no nodes, or no edges so the fallback list would be
+/// empty and no walk could move — surface as a typed [`SampleError`]
+/// rather than a panic, so services can reject the request instead of
+/// losing a worker thread.
+pub(crate) fn random_start<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Result<NodeId, SampleError> {
+    if g.num_nodes() == 0 {
+        return Err(SampleError::EmptyGraph);
+    }
+    if g.num_edges() == 0 {
+        return Err(SampleError::EdgelessGraph);
+    }
     const MAX_REJECTIONS: usize = 64;
     for _ in 0..MAX_REJECTIONS {
         let v = rng.gen_range(0..g.num_nodes() as NodeId);
         if g.degree(v) > 0 {
-            return v;
+            return Ok(v);
         }
     }
     // 64 straight misses: isolated nodes dominate. Draw uniformly from the
     // explicit non-isolated list instead (non-empty: the graph has edges).
     let non_isolated: Vec<NodeId> = g.nodes().filter(|&v| g.degree(v) > 0).collect();
-    non_isolated[rng.gen_range(0..non_isolated.len())]
+    Ok(non_isolated[rng.gen_range(0..non_isolated.len())])
 }
 
 /// Simple Random Walk (RW): the next node is a uniform random neighbor of
@@ -105,9 +112,23 @@ impl NodeSampler for RandomWalk {
         rng: &mut R,
         out: &mut Vec<NodeId>,
     ) {
+        self.try_sample_into(g, n, rng, out)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn try_sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> Result<(), SampleError> {
         out.clear();
         out.reserve(n);
-        let mut cur = self.start.unwrap_or_else(|| random_start(g, rng));
+        let mut cur = match self.start {
+            Some(v) => v,
+            None => random_start(g, rng)?,
+        };
         for _ in 0..self.burn_in {
             cur = Self::step(g, cur, rng);
         }
@@ -117,6 +138,7 @@ impl NodeSampler for RandomWalk {
                 cur = Self::step(g, cur, rng);
             }
         }
+        Ok(())
     }
 
     fn design(&self) -> DesignKind {
@@ -244,9 +266,33 @@ mod tests {
         let g = GraphBuilder::from_edges(4, [(0, 1)]).unwrap(); // 2, 3 isolated
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..50 {
-            let v = random_start(&g, &mut rng);
+            let v = random_start(&g, &mut rng).unwrap();
             assert!(v == 0 || v == 1);
         }
+    }
+
+    #[test]
+    fn try_sample_surfaces_typed_errors() {
+        use crate::SampleError;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = Vec::new();
+        let edgeless = GraphBuilder::new(3).build();
+        assert_eq!(
+            RandomWalk::new().try_sample_into(&edgeless, 1, &mut rng, &mut buf),
+            Err(SampleError::EdgelessGraph)
+        );
+        let empty = GraphBuilder::new(0).build();
+        assert_eq!(
+            RandomWalk::new().try_sample_into(&empty, 1, &mut rng, &mut buf),
+            Err(SampleError::EmptyGraph)
+        );
+        // The checked path draws the identical sequence.
+        let g = lollipop();
+        let v = RandomWalk::new().sample(&g, 20, &mut StdRng::seed_from_u64(11));
+        RandomWalk::new()
+            .try_sample_into(&g, 20, &mut StdRng::seed_from_u64(11), &mut buf)
+            .unwrap();
+        assert_eq!(v, buf);
     }
 
     #[test]
@@ -257,7 +303,7 @@ mod tests {
         let g = GraphBuilder::from_edges(100_000, [(123, 456)]).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         for _ in 0..20 {
-            let v = random_start(&g, &mut rng);
+            let v = random_start(&g, &mut rng).unwrap();
             assert!(v == 123 || v == 456);
         }
     }

@@ -1,6 +1,6 @@
 //! Stratified Weighted Random Walk (S-WRW), the paper's reference \[35\].
 
-use crate::{DesignKind, NodeSampler, WeightedRandomWalk};
+use crate::{DesignKind, NodeSampler, SampleError, WeightedRandomWalk};
 use cgte_graph::{CategoryId, Graph, NodeId, Partition};
 use rand::Rng;
 
@@ -124,6 +124,26 @@ impl Swrw {
 impl NodeSampler for Swrw {
     fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
         self.inner.sample(g, n, rng)
+    }
+
+    fn sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) {
+        self.inner.sample_into(g, n, rng, out)
+    }
+
+    fn try_sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> Result<(), SampleError> {
+        self.inner.try_sample_into(g, n, rng, out)
     }
 
     fn design(&self) -> DesignKind {

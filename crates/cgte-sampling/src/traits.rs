@@ -7,6 +7,31 @@ use crate::{
 use cgte_graph::{Graph, NodeId};
 use rand::Rng;
 
+/// Why a sampler could not draw from a graph.
+///
+/// These are *input* conditions a long-running service must surface to its
+/// caller (HTTP 422 in `cgte-serve`), not programming errors — which is
+/// why they are a typed error rather than the panics they used to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleError {
+    /// The graph has no nodes at all; no design can draw anything.
+    EmptyGraph,
+    /// The graph has no edges: a crawl has no eligible (non-isolated)
+    /// start node and could never move.
+    EdgelessGraph,
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::EmptyGraph => write!(f, "cannot sample from an empty graph"),
+            SampleError::EdgelessGraph => write!(f, "cannot walk on an edgeless graph"),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
 /// Whether a design samples uniformly or with known non-uniform weights.
 ///
 /// Drives the estimator family choice: uniform designs use the §4
@@ -48,6 +73,27 @@ pub trait NodeSampler {
     ) {
         out.clear();
         out.extend(self.sample(g, n, rng));
+    }
+
+    /// Fallible variant of [`NodeSampler::sample_into`]: draws the same
+    /// sequence given the same RNG state, but reports unusable input
+    /// graphs (empty, or edgeless for crawls) as a typed [`SampleError`]
+    /// instead of panicking. Long-running consumers (`cgte-serve`) use
+    /// this to turn bad requests into HTTP 422 rather than killing a
+    /// worker.
+    ///
+    /// The default forwards to `sample_into` (for samplers that cannot
+    /// fail); every built-in sampler overrides it with a checked path and
+    /// implements the panicking entry points on top of it.
+    fn try_sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> Result<(), SampleError> {
+        self.sample_into(g, n, rng, out);
+        Ok(())
     }
 
     /// The design family this sampler realizes (asymptotically, for walks).
@@ -125,6 +171,25 @@ impl NodeSampler for AnySampler {
             AnySampler::Mhrw(s) => s.sample_into(g, n, rng, out),
             AnySampler::Wrw(s) => s.sample_into(g, n, rng, out),
             AnySampler::Swrw(s) => s.sample_into(g, n, rng, out),
+        }
+    }
+
+    // Forwarded for the same reason as `sample_into`: the checked paths
+    // of the variants must be reachable through the enum.
+    fn try_sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> Result<(), SampleError> {
+        match self {
+            AnySampler::Uis(s) => s.try_sample_into(g, n, rng, out),
+            AnySampler::Wis(s) => s.try_sample_into(g, n, rng, out),
+            AnySampler::Rw(s) => s.try_sample_into(g, n, rng, out),
+            AnySampler::Mhrw(s) => s.try_sample_into(g, n, rng, out),
+            AnySampler::Wrw(s) => s.try_sample_into(g, n, rng, out),
+            AnySampler::Swrw(s) => s.try_sample_into(g, n, rng, out),
         }
     }
 

@@ -1,7 +1,7 @@
 //! Weighted random walk with product-form edge weights (§3.1.2).
 
 use crate::random_walk::random_start;
-use crate::{DesignKind, NodeSampler};
+use crate::{DesignKind, NodeSampler, SampleError};
 use cgte_graph::{Graph, NodeId};
 use rand::Rng;
 
@@ -95,23 +95,50 @@ impl WeightedRandomWalk {
 
 impl NodeSampler for WeightedRandomWalk {
     fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(n);
+        self.sample_into(g, n, rng, &mut out);
+        out
+    }
+
+    fn sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) {
+        self.try_sample_into(g, n, rng, out)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn try_sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) -> Result<(), SampleError> {
         assert_eq!(
             self.factors.len(),
             g.num_nodes(),
             "factor vector does not cover the graph"
         );
-        let mut cur = self.start.unwrap_or_else(|| random_start(g, rng));
+        out.clear();
+        out.reserve(n);
+        let mut cur = match self.start {
+            Some(v) => v,
+            None => random_start(g, rng)?,
+        };
         for _ in 0..self.burn_in {
             cur = self.step(g, cur, rng);
         }
-        let mut out = Vec::with_capacity(n);
         while out.len() < n {
             out.push(cur);
             for _ in 0..self.thinning {
                 cur = self.step(g, cur, rng);
             }
         }
-        out
+        Ok(())
     }
 
     fn design(&self) -> DesignKind {

@@ -1,0 +1,251 @@
+//! Property tests for the mergeable observation core.
+//!
+//! The law under test: `observe(a); merge(observe(b)) ≡ observe(a ++ b)`
+//! **bit-exactly** — for both accumulators (star + induced), both designs
+//! (uniform + degree-weighted), arbitrary split points, and snapshots of
+//! every estimator family. Plus the algebraic side conditions: empty-shard
+//! identity on both sides, merge associativity (bit-exact — every
+//! association replays the same push sequence), commutativity only up to
+//! floating-point reordering (checked approximately, documented as such),
+//! and range-chunked `NeighborCategoryIndex` builds recombining to the
+//! monolithic index.
+
+use cgte_core::{estimate_stream, StarSizeOptions};
+use cgte_graph::generators::{planted_partition, PlantedConfig};
+use cgte_graph::{Graph, NodeId, Partition};
+use cgte_sampling::{
+    DesignKind, NeighborCategoryIndex, NodeSampler, ObservationContext, ObservationStream,
+    RandomWalk, UniformIndependence,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A small planted graph: three unbalanced categories, dense enough that
+/// induced pairs actually occur in short samples.
+fn fixture(seed: u64) -> (Graph, Partition) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = PlantedConfig {
+        category_sizes: vec![12, 20, 32],
+        k: 5,
+        alpha: 0.4,
+    };
+    let pg = planted_partition(&cfg, &mut rng).unwrap();
+    (pg.graph, pg.partition)
+}
+
+/// Draws a revisiting node sequence (a walk revisits; that is the hard
+/// case for the induced accumulator's per-node running masses).
+fn draw(g: &Graph, n: usize, seed: u64, walk: bool) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if walk {
+        RandomWalk::new().sample(g, n, &mut rng)
+    } else {
+        UniformIndependence.sample(g, n, &mut rng)
+    }
+}
+
+fn weights_for(g: &Graph, nodes: &[NodeId], design: DesignKind) -> Vec<f64> {
+    match design {
+        DesignKind::Uniform => vec![1.0; nodes.len()],
+        DesignKind::Weighted => nodes.iter().map(|&v| g.degree(v) as f64).collect(),
+    }
+}
+
+/// The merge law proper, checked field-for-field (PartialEq on the
+/// accumulators covers every sufficient statistic and the log) and on the
+/// full estimator snapshot.
+fn check_merge_law(g: &Graph, p: &Partition, nodes: &[NodeId], design: DesignKind, split: usize) {
+    let ctx = ObservationContext::new(g, p);
+    let w = weights_for(g, nodes, design);
+    let c = p.num_categories();
+
+    let mut whole = ObservationStream::new(c);
+    whole.ingest(&ctx, nodes, &w);
+
+    let mut left = ObservationStream::new(c);
+    left.ingest(&ctx, &nodes[..split], &w[..split]);
+    let mut right = ObservationStream::new(c);
+    right.ingest(&ctx, &nodes[split..], &w[split..]);
+
+    left.merge(&ctx, &right);
+    assert_eq!(left, whole, "merge law violated at split {split}");
+
+    // Snapshots of the merged and sequential state are bit-identical for
+    // every estimator family.
+    let pop = g.num_nodes() as f64;
+    let opts = StarSizeOptions::default();
+    let a = estimate_stream(&left, pop, &opts);
+    let b = estimate_stream(&whole, pop, &opts);
+    assert_eq!(a, b, "snapshot after merge differs at split {split}");
+}
+
+proptest! {
+    #[test]
+    fn merge_equals_sequential_for_all_designs_and_splits(
+        seed in 0u64..64,
+        n in 1usize..60,
+        frac in 0u32..=4,
+        walk in any::<bool>(),
+        weighted in any::<bool>(),
+    ) {
+        let (g, p) = fixture(7);
+        let nodes = draw(&g, n, seed, walk);
+        let split = (n * frac as usize) / 4; // 0, ¼, ½, ¾, all
+        let design = if weighted { DesignKind::Weighted } else { DesignKind::Uniform };
+        check_merge_law(&g, &p, &nodes, design, split);
+    }
+
+    #[test]
+    fn empty_shard_is_an_identity(seed in 0u64..32, n in 1usize..40) {
+        let (g, p) = fixture(9);
+        let ctx = ObservationContext::new(&g, &p);
+        let nodes = draw(&g, n, seed, true);
+        let w = weights_for(&g, &nodes, DesignKind::Weighted);
+        let c = p.num_categories();
+
+        let mut s = ObservationStream::new(c);
+        s.ingest(&ctx, &nodes, &w);
+        let empty = ObservationStream::new(c);
+
+        // Right identity: s ⊕ ∅ = s.
+        let mut right = s.clone();
+        right.merge(&ctx, &empty);
+        prop_assert_eq!(&right, &s);
+
+        // Left identity: ∅ ⊕ s = s.
+        let mut left = ObservationStream::new(c);
+        left.merge(&ctx, &s);
+        prop_assert_eq!(&left, &s);
+    }
+
+    #[test]
+    fn merge_is_associative_bit_exactly(
+        seed in 0u64..32,
+        n in 3usize..45,
+    ) {
+        let (g, p) = fixture(11);
+        let ctx = ObservationContext::new(&g, &p);
+        let nodes = draw(&g, n, seed, true);
+        let w = weights_for(&g, &nodes, DesignKind::Weighted);
+        let c = p.num_categories();
+        let (i, j) = (n / 3, 2 * n / 3);
+
+        let mk = |range: std::ops::Range<usize>| {
+            let mut s = ObservationStream::new(c);
+            s.ingest(&ctx, &nodes[range.clone()], &w[range]);
+            s
+        };
+        let (a, b, d) = (mk(0..i), mk(i..j), mk(j..n));
+
+        // (a ⊕ b) ⊕ d
+        let mut ab = a.clone();
+        ab.merge(&ctx, &b);
+        ab.merge(&ctx, &d);
+        // a ⊕ (b ⊕ d)
+        let mut bd = b.clone();
+        bd.merge(&ctx, &d);
+        let mut a_bd = a.clone();
+        a_bd.merge(&ctx, &bd);
+
+        prop_assert_eq!(&ab, &a_bd, "associativity");
+
+        // Both equal the sequential observation of the whole sequence.
+        let mut whole = ObservationStream::new(c);
+        whole.ingest(&ctx, &nodes, &w);
+        prop_assert_eq!(&ab, &whole);
+    }
+
+    #[test]
+    fn merge_commutes_up_to_float_reordering(seed in 0u64..16, n in 2usize..40) {
+        // Commutativity holds for the *statistics* only up to FP
+        // reassociation (the logs genuinely differ in order, so bit
+        // equality is not expected and not claimed).
+        let (g, p) = fixture(13);
+        let ctx = ObservationContext::new(&g, &p);
+        let nodes = draw(&g, n, seed, true);
+        let w = weights_for(&g, &nodes, DesignKind::Weighted);
+        let c = p.num_categories();
+        let split = n / 2;
+
+        let mk = |range: std::ops::Range<usize>| {
+            let mut s = ObservationStream::new(c);
+            s.ingest(&ctx, &nodes[range.clone()], &w[range]);
+            s
+        };
+        let (a, b) = (mk(0..split), mk(split..n));
+        let mut ab = a.clone();
+        ab.merge(&ctx, &b);
+        let mut ba = b.clone();
+        ba.merge(&ctx, &a);
+
+        prop_assert_eq!(ab.len(), ba.len());
+        let (sa, sb) = (ab.star(), ba.star());
+        prop_assert!((sa.inverse_mass() - sb.inverse_mass()).abs() <= 1e-9 * sa.inverse_mass().abs().max(1.0));
+        prop_assert!((sa.degree_mass() - sb.degree_mass()).abs() <= 1e-9 * sa.degree_mass().abs().max(1.0));
+        for (x, y) in sa.neighbor_mass().iter().zip(sb.neighbor_mass()) {
+            prop_assert!((x - y).abs() <= 1e-9 * x.abs().max(1.0));
+        }
+        let (ia, ib) = (ab.induced(), ba.induced());
+        for (x, y) in ia.per_category_mass().iter().zip(ib.per_category_mass()) {
+            prop_assert!((x - y).abs() <= 1e-9 * x.abs().max(1.0));
+        }
+        // Cross-shard pair discovery is order-independent as a set, so the
+        // weight numerators agree up to reordering too.
+        for a_cat in 0..c as u32 {
+            for b_cat in (a_cat + 1)..c as u32 {
+                let x = ia.weight_numerators().get(a_cat, b_cat);
+                let y = ib.weight_numerators().get(a_cat, b_cat);
+                prop_assert!((x - y).abs() <= 1e-9 * x.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_index_builds_merge_to_the_monolith(
+        chunks in 1usize..6,
+        seed in 0u64..8,
+    ) {
+        let (g, p) = fixture(17 + seed);
+        let serial = NeighborCategoryIndex::build(&g, &p);
+        let n = g.num_nodes() as NodeId;
+        let per = n.div_ceil(chunks as NodeId).max(1);
+        let mut merged: Option<NeighborCategoryIndex> = None;
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + per).min(n);
+            let shard = NeighborCategoryIndex::build_range(&g, &p, lo, hi);
+            match &mut merged {
+                None => merged = Some(shard),
+                Some(m) => m.merge(&shard),
+            }
+            lo = hi;
+        }
+        prop_assert_eq!(merged.unwrap(), serial);
+    }
+}
+
+/// The cross-shard edge case stated plainly: an edge whose endpoints live
+/// in different shards is invisible to both shards alone, and merge must
+/// recover exactly its sequential contribution.
+#[test]
+fn merge_recovers_cross_shard_induced_pairs() {
+    use cgte_graph::GraphBuilder;
+    let g = GraphBuilder::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+    let p = Partition::from_assignments(vec![0, 0, 1, 1], 2).unwrap();
+    let ctx = ObservationContext::new(&g, &p);
+
+    // Shard A sees node 1, shard B sees node 2; the 1–2 edge crosses.
+    let mut a = ObservationStream::new(2);
+    a.ingest_uniform(&ctx, &[1]);
+    let mut b = ObservationStream::new(2);
+    b.ingest_uniform(&ctx, &[2]);
+    assert!(a.induced().weight_numerators().is_zero());
+    assert!(b.induced().weight_numerators().is_zero());
+
+    a.merge(&ctx, &b);
+    let mut whole = ObservationStream::new(2);
+    whole.ingest_uniform(&ctx, &[1, 2]);
+    assert_eq!(a, whole);
+    assert!(a.induced().weight_numerators().get(0, 1) > 0.0);
+}

@@ -730,6 +730,55 @@ fn resource_from_container(key: &str, c: &mut Container) -> Result<Resource, Eng
     }
 }
 
+/// One `.cgteg` entry found in a disk-tier directory — the listing the
+/// `cgte-serve` graph registry is built on. The cache directory is shared
+/// infrastructure: scenario runs write it, the estimation service reads
+/// it, and both name entries by file stem.
+#[derive(Debug, Clone)]
+pub struct DiskEntry {
+    /// Path of the `.cgteg` file.
+    pub path: PathBuf,
+    /// The file stem (the name a server exposes).
+    pub name: String,
+    /// The lightweight table-of-contents scan (node/edge counts, kind,
+    /// recorded content key, partition names) — no CSR payloads loaded.
+    pub summary: cgte_graph::store::StoreSummary,
+}
+
+/// Scans a disk-tier directory (`--cache-dir`) for `.cgteg` entries,
+/// without loading any graph payloads (`O(metadata)` per file). Unreadable
+/// or non-`.cgteg` files are skipped — the listing is advisory; full
+/// validation happens when an entry is actually loaded. Entries are sorted
+/// by name.
+pub fn disk_entries(dir: &Path) -> Vec<DiskEntry> {
+    let mut out = Vec::new();
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for e in rd.flatten() {
+        let path = e.path();
+        if path.extension().and_then(|x| x.to_str()) != Some("cgteg") {
+            continue;
+        }
+        let Some(name) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        let Ok(file) = File::open(&path) else {
+            continue;
+        };
+        match cgte_graph::store::scan_summary(BufReader::new(file)) {
+            Ok(summary) => out.push(DiskEntry {
+                name: name.to_string(),
+                path,
+                summary,
+            }),
+            Err(_) => continue,
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
 /// Persists a resource to the disk tier (atomic: tmp file + rename).
 fn save_resource(dir: &Path, key: &str, r: &Resource) -> Result<(), EngineError> {
     std::fs::create_dir_all(dir)

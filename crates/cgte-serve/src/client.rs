@@ -1,0 +1,84 @@
+//! A minimal blocking HTTP/1.1 client over one keep-alive connection —
+//! just enough to drive the serve API from benches, integration tests and
+//! scripted smoke jobs without external tooling.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One keep-alive connection to a server.
+///
+/// The read half is one persistent `BufReader` for the connection's
+/// lifetime: rebuilding it per request would drop any buffered
+/// read-ahead bytes (desynchronizing the stream) and pay a `dup` +
+/// buffer allocation on every request — this client is also the latency
+/// probe for the gated serve benchmarks, where that overhead would be
+/// measured as server time.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr`. Nagle's algorithm is disabled: the client
+    /// sends whole small requests and waits for the response, the exact
+    /// pattern delayed ACKs penalize.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one request (a single `write_all`) and reads the full
+    /// response. Returns `(status, body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<(u16, String)> {
+        let msg = format!(
+            "{method} {path} HTTP/1.1\r\nHost: cgte\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(msg.as_bytes())?;
+        self.writer.flush()?;
+        let r = &mut self.reader;
+        let mut status_line = String::new();
+        r.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed status line {status_line:?}"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let mut h = String::new();
+            if r.read_line(&mut h)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed inside response headers",
+                ));
+            }
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some(v) = h.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        r.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|b| (status, b))
+            .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))
+    }
+}

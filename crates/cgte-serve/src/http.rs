@@ -1,0 +1,225 @@
+//! A deliberately small HTTP/1.1 subset over `std::net`: request-line +
+//! headers + `Content-Length` bodies, keep-alive by default, JSON
+//! responses. No chunked encoding, no TLS, no percent-decoding — the API
+//! uses only simple paths and JSON bodies, and the build environment is
+//! dependency-free by constraint.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request body (a batch of a few million node ids).
+pub const MAX_BODY: usize = 64 << 20;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Path without the query string, e.g. `/sessions/s0/estimate`.
+    pub path: String,
+    /// Decoded `key=value` pairs of the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Raw request body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request. `Ok(None)` is a clean end-of-stream before a
+/// request line (the keep-alive loop's normal exit).
+pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let line = line.trim_end();
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed request line {line:?}"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported protocol {version:?}"),
+        ));
+    }
+    // HTTP/1.1 defaults to keep-alive; `Connection: close` opts out.
+    let mut keep_alive = version == "HTTP/1.1";
+    let mut content_length = 0usize;
+    loop {
+        let mut h = String::new();
+        if r.read_line(&mut h)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside headers",
+            ));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value.parse().map_err(|_| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("bad Content-Length {value:?}"),
+                        )
+                    })?;
+                }
+                "connection" => {
+                    let v = value.to_ascii_lowercase();
+                    if v.contains("close") {
+                        keep_alive = false;
+                    } else if v.contains("keep-alive") {
+                        keep_alive = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("request body of {content_length} bytes exceeds the {MAX_BODY} limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Some(Request {
+        method,
+        path,
+        query,
+        body,
+        keep_alive,
+    }))
+}
+
+fn parse_query(q: &str) -> Vec<(String, String)> {
+    q.split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect()
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a JSON response (the only content type the API speaks).
+///
+/// The whole response is composed in memory and sent with **one**
+/// `write_all` — emitting header fragments as separate small socket
+/// writes triggers the Nagle + delayed-ACK interaction (~40–200 ms
+/// stalls per request) that would dominate every latency measurement.
+pub fn write_json_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    let mut out = Vec::with_capacity(head.len() + body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(body.as_bytes());
+    w.write_all(&out)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_request_with_body_and_query() {
+        let raw = b"POST /sessions/s0/ingest?ci=0.95&x HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/sessions/s0/ingest");
+        assert_eq!(req.query_value("ci"), Some("0.95"));
+        assert_eq!(req.query_value("x"), Some(""));
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..]))
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let raw: &[u8] = b"";
+        assert!(read_request(&mut BufReader::new(raw)).unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_is_an_error() {
+        let raw: &[u8] = b"nonsense\r\n\r\n";
+        assert!(read_request(&mut BufReader::new(raw)).is_err());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert!(read_request(&mut BufReader::new(raw.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn response_has_framing() {
+        let mut out = Vec::new();
+        write_json_response(&mut out, 422, "{\"error\":\"x\"}", true).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 422 Unprocessable Entity\r\n"));
+        assert!(s.contains("Content-Length: 13\r\n"));
+        assert!(s.ends_with("{\"error\":\"x\"}"));
+    }
+}

@@ -1,0 +1,106 @@
+//! JSON writing helpers. Numbers are rendered with Rust's shortest
+//! round-trip `Display` for `f64`, so a client parsing an estimate gets
+//! back **exactly** the bits the estimator produced — the property the
+//! serve-vs-batch bit-identity test pins. Reading is delegated to
+//! `cgte_scenarios::artifact::parse_json` (the same hand-rolled subset
+//! the run artifacts use).
+
+use std::fmt::Write as _;
+
+/// Renders an `f64` as a JSON value; non-finite values (which the
+/// estimators never produce for defined estimates) become `null`.
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders an optional estimate: `None` (undefined) is `null`.
+pub fn fmt_opt(x: Option<f64>) -> String {
+    match x {
+        Some(v) => fmt_f64(v),
+        None => "null".to_string(),
+    }
+}
+
+/// Renders a `[..]` array of `f64`s.
+pub fn fmt_array(xs: &[f64]) -> String {
+    let mut out = String::with_capacity(xs.len() * 8 + 2);
+    out.push('[');
+    for (i, &x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", fmt_f64(x));
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a `[..]` array of optional estimates (`null` where undefined).
+pub fn fmt_opt_array(xs: &[Option<f64>]) -> String {
+    let mut out = String::with_capacity(xs.len() * 8 + 2);
+    out.push('[');
+    for (i, &x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", fmt_opt(x));
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+pub fn fmt_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The standard error body.
+pub fn error_body(msg: &str) -> String {
+    format!("{{\"error\":{}}}", fmt_str(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_shortest() {
+        assert_eq!(fmt_f64(1.0), "1");
+        assert_eq!(fmt_f64(0.1), "0.1");
+        let x = 1.0 / 3.0;
+        assert_eq!(x, fmt_f64(x).parse::<f64>().unwrap());
+        assert_eq!(fmt_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn arrays_and_options() {
+        assert_eq!(fmt_array(&[1.0, 2.5]), "[1,2.5]");
+        assert_eq!(fmt_opt_array(&[Some(1.0), None]), "[1,null]");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(fmt_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(error_body("x"), "{\"error\":\"x\"}");
+    }
+}

@@ -1,0 +1,524 @@
+//! `cgte-serve` — the online category-graph estimation service.
+//!
+//! The paper's operating model as a long-running process: crawlers stream
+//! node samples in over HTTP, category-graph estimates (sizes Eq. (4)/(5),
+//! edge weights Eq. (8)/(9), and their Hansen–Hurwitz weighted forms) come
+//! out at any prefix, and the server never sees more than the streaming
+//! kernel's `O(C²)` sufficient statistics per session. Graphs are served
+//! from the `.cgteg` store directory the scenario engine and `cgte ingest`
+//! write — a warm cache means the server performs **zero graph builds**,
+//! only validated loads.
+//!
+//! ## Endpoints
+//!
+//! | Method & path                  | Meaning |
+//! |--------------------------------|---------|
+//! | `GET /healthz`                 | liveness + counters |
+//! | `GET /graphs`                  | list the store's `.cgteg` entries |
+//! | `POST /sessions`               | open a sampling session |
+//! | `POST /sessions/{id}/ingest`   | ingest node ids or a walk budget |
+//! | `GET /sessions/{id}/estimate`  | current estimates (`?ci=0.95`) |
+//! | `DELETE /sessions/{id}`        | close a session |
+//! | `POST /shutdown`               | stop accepting, drain, exit |
+//!
+//! Transport is a dependency-free HTTP/1.1 subset on
+//! `std::net::TcpListener`; connections are dispatched to a bounded pool
+//! of worker threads over the vendored crossbeam MPMC channel
+//! (`--threads`). Estimate values are bit-identical to the batch
+//! `run_experiment` path on the same sampled sequence: both call the one
+//! shared snapshot function (`cgte_core::estimate_stream_into`) over the
+//! same streaming kernel (`cgte_sampling::ObservationStream`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod registry;
+pub mod session;
+
+use cgte_scenarios::artifact::{parse_json, Json};
+use json::{error_body, fmt_str};
+use registry::Registry;
+use session::{Session, SessionSpec, DEFAULT_BOOTSTRAP_REPS, MAX_BOOTSTRAP_REPS};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A request-level failure: HTTP status + message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// The HTTP status to answer with.
+    pub status: u16,
+    /// Human-readable cause, returned as `{"error": …}`.
+    pub msg: String,
+}
+
+impl ServeError {
+    /// 400 — malformed request (bad JSON, wrong types).
+    pub fn bad_request(msg: impl Into<String>) -> Self {
+        ServeError {
+            status: 400,
+            msg: msg.into(),
+        }
+    }
+
+    /// 404 — unknown route, graph, partition or session.
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        ServeError {
+            status: 404,
+            msg: msg.into(),
+        }
+    }
+
+    /// 422 — well-formed but unusable (sampler errors, bad parameters).
+    pub fn unprocessable(msg: impl Into<String>) -> Self {
+        ServeError {
+            status: 422,
+            msg: msg.into(),
+        }
+    }
+
+    /// 500 — server-side failure (unreadable store file).
+    pub fn internal(msg: impl Into<String>) -> Self {
+        ServeError {
+            status: 500,
+            msg: msg.into(),
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The `.cgteg` store directory graphs are served from.
+    pub cache_dir: PathBuf,
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections (also bounds the one-time
+    /// parallel index build per graph partition).
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache_dir: PathBuf::from("graph-store"),
+            addr: "127.0.0.1:7171".to_string(),
+            threads: 4,
+        }
+    }
+}
+
+struct ServerState {
+    registry: Registry,
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    next_session: AtomicU64,
+    requests: AtomicUsize,
+    threads: usize,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    started: Instant,
+}
+
+/// A running server: bound address plus join/shutdown handles.
+pub struct Server {
+    state: Arc<ServerState>,
+    accept: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the worker pool and the accept loop,
+    /// and returns immediately.
+    pub fn bind(cfg: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let threads = cfg.threads.max(1);
+        let state = Arc::new(ServerState {
+            registry: Registry::new(&cfg.cache_dir),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            requests: AtomicUsize::new(0),
+            threads,
+            shutdown: AtomicBool::new(false),
+            addr,
+            started: Instant::now(),
+        });
+        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let rx = rx.clone();
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        handle_connection(&state, stream);
+                    }
+                })
+            })
+            .collect();
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || {
+            // `tx` lives in this thread; dropping it on exit disconnects
+            // the channel and drains the workers.
+            for stream in listener.incoming() {
+                if accept_state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+        });
+        Ok(Server {
+            state,
+            accept,
+            workers,
+        })
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Requests shutdown: sets the flag and pokes the blocked accept loop
+    /// with a throwaway connection.
+    pub fn shutdown(&self) {
+        request_shutdown(&self.state);
+    }
+
+    /// Waits for the accept loop and every worker to exit (i.e. until a
+    /// shutdown was requested and all in-flight connections finished).
+    pub fn join(self) {
+        self.accept.join().expect("accept thread panicked");
+        for w in self.workers {
+            w.join().expect("worker thread panicked");
+        }
+    }
+}
+
+fn request_shutdown(state: &ServerState) {
+    state.shutdown.store(true, Ordering::SeqCst);
+    // Unblock the accept loop; the connection is accepted (or refused)
+    // and immediately discarded.
+    let _ = TcpStream::connect(state.addr);
+}
+
+/// Runs a server in the foreground until shutdown. Prints the grep-able
+/// `cgte-serve listening on ADDR` line to stderr once bound (CI's smoke
+/// job waits for the port by polling `/healthz`).
+pub fn run(cfg: &ServeConfig) -> std::io::Result<()> {
+    let server = Server::bind(cfg)?;
+    eprintln!(
+        "cgte-serve listening on {} (store: {}, {} worker(s))",
+        server.addr(),
+        cfg.cache_dir.display(),
+        cfg.threads.max(1),
+    );
+    server.join();
+    eprintln!("cgte-serve: shutdown complete");
+    Ok(())
+}
+
+/// How often an idle keep-alive connection re-checks the shutdown flag.
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(150);
+
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    // One response = one write; disabling Nagle keeps request/response
+    // round trips off the delayed-ACK path.
+    let _ = stream.set_nodelay(true);
+    let Ok(peer_writer) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = peer_writer;
+    let mut reader = BufReader::new(stream);
+    loop {
+        // Idle wait: poll for the next request with a short read timeout
+        // so a keep-alive connection cannot pin a worker past shutdown.
+        // `fill_buf` consumes nothing on timeout, so retrying is safe.
+        let _ = reader.get_ref().set_read_timeout(Some(IDLE_POLL));
+        loop {
+            use std::io::BufRead as _;
+            match reader.fill_buf() {
+                Ok([]) => return, // clean EOF between requests
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+        // A request has started arriving: parse it with blocking reads
+        // (an actively sending client finishes promptly).
+        let _ = reader.get_ref().set_read_timeout(None);
+        let req = match http::read_request(&mut reader) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(e) => {
+                // Malformed framing: answer 400 once, then hang up.
+                let _ =
+                    http::write_json_response(&mut writer, 400, &error_body(&e.to_string()), false);
+                return;
+            }
+        };
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = req.keep_alive;
+        let (status, body) = match route(state, &req) {
+            Ok(body) => (200, body),
+            Err(e) => (e.status, error_body(&e.msg)),
+        };
+        if http::write_json_response(&mut writer, status, &body, keep_alive).is_err() {
+            return;
+        }
+        if !keep_alive || state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+fn route(state: &ServerState, req: &http::Request) -> Result<String, ServeError> {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Ok(healthz(state)),
+        ("GET", ["graphs"]) => Ok(graphs(state)),
+        ("POST", ["sessions"]) => open_session(state, &req.body),
+        ("POST", ["sessions", id, "ingest"]) => ingest(state, id, &req.body),
+        ("GET", ["sessions", id, "estimate"]) => estimate(state, id, req),
+        ("DELETE", ["sessions", id]) => close_session(state, id),
+        ("POST", ["shutdown"]) => {
+            request_shutdown(state);
+            Ok("{\"status\":\"shutting down\"}".to_string())
+        }
+        (_, ["healthz" | "graphs" | "shutdown"]) | (_, ["sessions", ..]) => Err(ServeError {
+            status: 405,
+            msg: format!("method {} not allowed on {}", req.method, req.path),
+        }),
+        _ => Err(ServeError::not_found(format!(
+            "no route for {} {}",
+            req.method, req.path
+        ))),
+    }
+}
+
+fn healthz(state: &ServerState) -> String {
+    let sessions = state.sessions.lock().expect("sessions lock poisoned").len();
+    format!(
+        "{{\"status\":\"ok\",\"graphs\":{},\"sessions\":{sessions},\"loads\":{},\"builds\":{},\"requests\":{},\"threads\":{},\"uptime_secs\":{:.3}}}",
+        state.registry.count(),
+        state.registry.loads(),
+        state.registry.builds(),
+        state.requests.load(Ordering::Relaxed),
+        state.threads,
+        state.started.elapsed().as_secs_f64(),
+    )
+}
+
+fn graphs(state: &ServerState) -> String {
+    let mut out = String::from("{\"graphs\":[");
+    for (i, (entry, loaded)) in state.registry.list().into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let parts: Vec<String> = entry
+            .summary
+            .partitions
+            .iter()
+            .map(|p| fmt_str(p))
+            .collect();
+        out.push_str(&format!(
+            "{{\"name\":{},\"nodes\":{},\"edges\":{},\"kind\":{},\"key\":{},\"partitions\":[{}],\"loaded\":{loaded}}}",
+            fmt_str(&entry.name),
+            entry.summary.num_nodes.map_or("null".into(), |n| n.to_string()),
+            entry.summary.num_edges.map_or("null".into(), |n| n.to_string()),
+            entry.summary.kind.as_deref().map_or("null".into(), fmt_str),
+            entry.summary.key.as_deref().map_or("null".into(), fmt_str),
+            parts.join(","),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON body helpers over the scenarios parser.
+
+fn parse_body(body: &[u8]) -> Result<Json, ServeError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServeError::bad_request("request body is not UTF-8"))?;
+    if text.trim().is_empty() {
+        return Ok(Json::Obj(Vec::new()));
+    }
+    parse_json(text).map_err(|e| ServeError::bad_request(format!("invalid JSON body: {}", e.msg)))
+}
+
+fn body_str(v: &Json, key: &str) -> Result<Option<String>, ServeError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(ServeError::bad_request(format!(
+            "{key} must be a string, got {other:?}"
+        ))),
+    }
+}
+
+fn body_u64(v: &Json, key: &str) -> Result<Option<u64>, ServeError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(x)) if *x >= 0.0 && x.fract() == 0.0 => Ok(Some(*x as u64)),
+        Some(other) => Err(ServeError::bad_request(format!(
+            "{key} must be a non-negative integer, got {other:?}"
+        ))),
+    }
+}
+
+fn open_session(state: &ServerState, body: &[u8]) -> Result<String, ServeError> {
+    let v = parse_body(body)?;
+    let spec = SessionSpec {
+        graph: body_str(&v, "graph")?
+            .ok_or_else(|| ServeError::bad_request("missing required field \"graph\""))?,
+        partition: body_str(&v, "partition")?,
+        sampler: body_str(&v, "sampler")?.unwrap_or_else(|| "rw".to_string()),
+        design: body_str(&v, "design")?,
+        seed: body_u64(&v, "seed")?.unwrap_or(42),
+        burn_in: body_u64(&v, "burn_in")?.unwrap_or(0) as usize,
+        thinning: body_u64(&v, "thinning")?.unwrap_or(1) as usize,
+    };
+    let graph = state.registry.get(&spec.graph)?;
+    let id = format!("s{}", state.next_session.fetch_add(1, Ordering::SeqCst));
+    let session = Session::open(id.clone(), graph, &spec, state.threads)?;
+    let response = session.opened_json();
+    state
+        .sessions
+        .lock()
+        .expect("sessions lock poisoned")
+        .insert(id, Arc::new(Mutex::new(session)));
+    Ok(response)
+}
+
+fn get_session(state: &ServerState, id: &str) -> Result<Arc<Mutex<Session>>, ServeError> {
+    state
+        .sessions
+        .lock()
+        .expect("sessions lock poisoned")
+        .get(id)
+        .cloned()
+        .ok_or_else(|| ServeError::not_found(format!("unknown session {id:?}")))
+}
+
+fn ingest(state: &ServerState, id: &str, body: &[u8]) -> Result<String, ServeError> {
+    let v = parse_body(body)?;
+    let session = get_session(state, id)?;
+    let mut session = session.lock().expect("session lock poisoned");
+    let ingested = match (v.get("nodes"), v.get("steps")) {
+        (Some(Json::Arr(items)), None) => {
+            let mut nodes = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u32::MAX as f64 => {
+                        nodes.push(*x as u32)
+                    }
+                    other => {
+                        return Err(ServeError::bad_request(format!(
+                            "nodes entries must be non-negative integers, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            session.ingest_nodes(&nodes)?
+        }
+        (None, Some(_)) => {
+            // `Some(Json::Null)` also lands here and body_u64 maps it to
+            // `None` — a typed 422, never an expect/panic (a panicking
+            // worker would shrink the pool for the server's lifetime).
+            let steps = match body_u64(&v, "steps")? {
+                Some(s) => s as usize,
+                None => {
+                    return Err(ServeError::unprocessable(
+                        "steps must be a positive integer",
+                    ))
+                }
+            };
+            if steps == 0 {
+                return Err(ServeError::unprocessable("steps must be positive"));
+            }
+            const MAX_STEPS: usize = 10_000_000;
+            if steps > MAX_STEPS {
+                return Err(ServeError::unprocessable(format!(
+                    "steps {steps} exceeds the per-request budget of {MAX_STEPS}"
+                )));
+            }
+            session.ingest_steps(steps)?
+        }
+        _ => {
+            return Err(ServeError::bad_request(
+                "body must have exactly one of \"nodes\": [ids…] or \"steps\": n",
+            ))
+        }
+    };
+    Ok(format!(
+        "{{\"session\":{},\"ingested\":{ingested},\"len\":{}}}",
+        fmt_str(id),
+        session.len()
+    ))
+}
+
+fn estimate(state: &ServerState, id: &str, req: &http::Request) -> Result<String, ServeError> {
+    let ci = match req.query_value("ci") {
+        None => None,
+        Some(raw) => {
+            let level: f64 = raw
+                .parse()
+                .map_err(|_| ServeError::bad_request(format!("invalid ci level {raw:?}")))?;
+            if !(level > 0.0 && level < 1.0) {
+                return Err(ServeError::unprocessable(format!(
+                    "ci level must be in (0, 1), got {level}"
+                )));
+            }
+            let reps = match req.query_value("reps") {
+                None => DEFAULT_BOOTSTRAP_REPS,
+                Some(raw) => raw
+                    .parse()
+                    .map_err(|_| ServeError::bad_request(format!("invalid reps {raw:?}")))?,
+            };
+            if reps == 0 || reps > MAX_BOOTSTRAP_REPS {
+                return Err(ServeError::unprocessable(format!(
+                    "reps must be in 1..={MAX_BOOTSTRAP_REPS}"
+                )));
+            }
+            Some((level, reps))
+        }
+    };
+    let session = get_session(state, id)?;
+    let mut session = session.lock().expect("session lock poisoned");
+    Ok(session.estimate_json(ci))
+}
+
+fn close_session(state: &ServerState, id: &str) -> Result<String, ServeError> {
+    match state
+        .sessions
+        .lock()
+        .expect("sessions lock poisoned")
+        .remove(id)
+    {
+        Some(_) => Ok(format!("{{\"session\":{},\"closed\":true}}", fmt_str(id))),
+        None => Err(ServeError::not_found(format!("unknown session {id:?}"))),
+    }
+}

@@ -1,0 +1,394 @@
+//! Sampling sessions: one streaming observation per client, fed either
+//! explicit sampled node ids or server-side walk step budgets, queryable
+//! for estimates at any prefix.
+
+use crate::json::{fmt_array, fmt_f64, fmt_opt_array, fmt_str};
+use crate::registry::LoadedGraph;
+use crate::ServeError;
+use cgte_core::bootstrap::{bootstrap_induced, bootstrap_star};
+use cgte_core::category_size::{induced_size, star_size};
+use cgte_core::{estimate_stream_into, StarSizeOptions, StreamEstimate};
+use cgte_graph::NodeId;
+use cgte_sampling::{
+    AnySampler, DesignKind, InducedSample, MetropolisHastingsWalk, NeighborCategoryIndex,
+    NodeSampler, ObservationContext, ObservationStream, RandomWalk, StarSample, Swrw,
+    UniformIndependence,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Caps a `?ci=…&reps=…` request: bootstrap is `O(reps · C · n)`.
+pub const MAX_BOOTSTRAP_REPS: usize = 2000;
+/// Default bootstrap replicate count.
+pub const DEFAULT_BOOTSTRAP_REPS: usize = 200;
+
+/// Parameters of `POST /sessions`, parsed from its JSON body.
+pub struct SessionSpec {
+    /// Registry name of the graph.
+    pub graph: String,
+    /// Partition name within the graph (default: the first one).
+    pub partition: Option<String>,
+    /// Sampler name: `uis`, `rw`, `mhrw`, `swrw`.
+    pub sampler: String,
+    /// `uniform` or `weighted`; defaults to the sampler's natural design.
+    pub design: Option<String>,
+    /// RNG seed for server-side walks (default 42).
+    pub seed: u64,
+    /// Walk burn-in per ingest batch.
+    pub burn_in: usize,
+    /// Walk thinning factor.
+    pub thinning: usize,
+}
+
+/// One open estimation session.
+pub struct Session {
+    /// The session id (`s0`, `s1`, …).
+    pub id: String,
+    graph: Arc<LoadedGraph>,
+    part_idx: usize,
+    index: Arc<NeighborCategoryIndex>,
+    sampler: AnySampler,
+    design: DesignKind,
+    seed: u64,
+    rng: StdRng,
+    stream: ObservationStream,
+    /// Reusable snapshot buffer (`estimate_stream_into`).
+    est: StreamEstimate,
+    /// Reusable walk draw buffer.
+    scratch: Vec<NodeId>,
+}
+
+impl Session {
+    /// Opens a session against a loaded graph. `index_threads` bounds the
+    /// one-time parallel index build if this is the partition's first use.
+    pub fn open(
+        id: String,
+        graph: Arc<LoadedGraph>,
+        spec: &SessionSpec,
+        index_threads: usize,
+    ) -> Result<Session, ServeError> {
+        let part_idx = match &spec.partition {
+            Some(name) => graph.partition_idx(name).ok_or_else(|| {
+                ServeError::not_found(format!(
+                    "graph {:?} has no partition {name:?} (available: {})",
+                    graph.name,
+                    graph
+                        .partitions
+                        .iter()
+                        .map(|(n, _)| n.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ))
+            })?,
+            None => {
+                if graph.partitions.is_empty() {
+                    return Err(ServeError::unprocessable(format!(
+                        "graph {:?} has no partitions; ingest it with a category file",
+                        graph.name
+                    )));
+                }
+                0
+            }
+        };
+        let p = &graph.partitions[part_idx].1;
+        let thinning = spec.thinning.max(1);
+        let sampler = match spec.sampler.as_str() {
+            "uis" => AnySampler::Uis(UniformIndependence),
+            "rw" => AnySampler::Rw(RandomWalk::new().burn_in(spec.burn_in).thinning(thinning)),
+            "mhrw" => AnySampler::Mhrw(
+                MetropolisHastingsWalk::new()
+                    .burn_in(spec.burn_in)
+                    .thinning(thinning),
+            ),
+            "swrw" => {
+                let s = Swrw::equal_category_target(&graph.graph, p)
+                    .ok_or_else(|| {
+                        ServeError::unprocessable("cannot build S-WRW for this graph/partition")
+                    })?
+                    .burn_in(spec.burn_in)
+                    .thinning(thinning);
+                AnySampler::Swrw(s)
+            }
+            other => {
+                return Err(ServeError::unprocessable(format!(
+                    "unknown sampler {other:?} (use uis, rw, mhrw or swrw)"
+                )))
+            }
+        };
+        let design = match spec.design.as_deref() {
+            None => sampler.design(),
+            Some("uniform") => DesignKind::Uniform,
+            Some("weighted") => DesignKind::Weighted,
+            Some(other) => {
+                return Err(ServeError::unprocessable(format!(
+                    "unknown design {other:?} (use uniform or weighted)"
+                )))
+            }
+        };
+        let index = graph.index(part_idx, index_threads);
+        let num_categories = p.num_categories();
+        Ok(Session {
+            id,
+            graph,
+            part_idx,
+            index,
+            sampler,
+            design,
+            seed: spec.seed,
+            rng: StdRng::seed_from_u64(spec.seed),
+            stream: ObservationStream::new(num_categories),
+            est: StreamEstimate::new(num_categories),
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Number of ingested samples so far.
+    pub fn len(&self) -> usize {
+        self.stream.len()
+    }
+
+    /// Whether nothing was ingested yet.
+    pub fn is_empty(&self) -> bool {
+        self.stream.is_empty()
+    }
+
+    /// The population size `N` estimates are scaled by.
+    pub fn population(&self) -> f64 {
+        self.graph.graph.num_nodes() as f64
+    }
+
+    /// Number of categories of the session's partition.
+    pub fn num_categories(&self) -> usize {
+        self.stream.num_categories()
+    }
+
+    /// The sampler's display name.
+    pub fn sampler_name(&self) -> &'static str {
+        self.sampler.name()
+    }
+
+    /// The design as a lowercase string.
+    pub fn design_name(&self) -> &'static str {
+        match self.design {
+            DesignKind::Uniform => "uniform",
+            DesignKind::Weighted => "weighted",
+        }
+    }
+
+    /// Ingests explicit sampled node ids (a client-side crawl reporting
+    /// its draws). Design weights are the session sampler's `w(v)` under a
+    /// weighted design, 1 otherwise. Rejects out-of-range ids and nodes
+    /// whose design weight is not positive and finite (e.g. an isolated
+    /// node under a degree-weighted design) **before** touching the
+    /// stream, so a failed batch leaves the session state unchanged.
+    pub fn ingest_nodes(&mut self, nodes: &[NodeId]) -> Result<usize, ServeError> {
+        let g = &self.graph.graph;
+        let n = g.num_nodes() as u64;
+        for &v in nodes {
+            if (v as u64) >= n {
+                return Err(ServeError::unprocessable(format!(
+                    "node id {v} out of range (graph has {n} nodes)"
+                )));
+            }
+            if self.design == DesignKind::Weighted {
+                let w = self.sampler.weight_of(g, v);
+                if !(w.is_finite() && w > 0.0) {
+                    return Err(ServeError::unprocessable(format!(
+                        "node {v} has non-positive sampling weight {w} under the weighted design"
+                    )));
+                }
+            }
+        }
+        // Field-level borrows: the context views (graph, partition, index)
+        // are disjoint from the mutable stream.
+        let ctx = ObservationContext::with_index(
+            &self.graph.graph,
+            &self.graph.partitions[self.part_idx].1,
+            &self.index,
+        );
+        self.stream
+            .ingest_sampler(&ctx, nodes, &self.sampler, self.design);
+        Ok(nodes.len())
+    }
+
+    /// Runs a server-side walk of `steps` retained samples and ingests
+    /// them. Each batch is an independent walk segment from the session's
+    /// persistent RNG stream (multi-walk semantics, like the paper's
+    /// parallel crawl campaigns); a single-batch session is therefore
+    /// bit-identical to the batch runner's draw for the same seed.
+    /// Sampler-level failures (edgeless graph) surface as HTTP 422.
+    pub fn ingest_steps(&mut self, steps: usize) -> Result<usize, ServeError> {
+        let mut nodes = std::mem::take(&mut self.scratch);
+        let result =
+            self.sampler
+                .try_sample_into(&self.graph.graph, steps, &mut self.rng, &mut nodes);
+        match result {
+            Ok(()) => {
+                let ctx = ObservationContext::with_index(
+                    &self.graph.graph,
+                    &self.graph.partitions[self.part_idx].1,
+                    &self.index,
+                );
+                self.stream
+                    .ingest_sampler(&ctx, &nodes, &self.sampler, self.design);
+                let ingested = nodes.len();
+                self.scratch = nodes;
+                Ok(ingested)
+            }
+            Err(e) => {
+                self.scratch = nodes;
+                Err(ServeError::unprocessable(e.to_string()))
+            }
+        }
+    }
+
+    /// The estimate document at the current prefix: category sizes by both
+    /// estimator families, all-pairs edge weights (sparse `[a, b, w]`
+    /// triplets), and optionally bootstrap percentile CIs for the sizes.
+    ///
+    /// Values are the bit-exact output of `cgte_core::estimate_stream_into`
+    /// — the same snapshot function the batch experiment runner records.
+    pub fn estimate_json(&mut self, ci: Option<(f64, usize)>) -> String {
+        estimate_stream_into(
+            self.stream.star(),
+            self.stream.induced(),
+            self.population(),
+            &StarSizeOptions::default(),
+            true,
+            &mut self.est,
+        );
+        let est = &self.est;
+        let mut out = String::with_capacity(4096);
+        let _ = write!(
+            out,
+            "{{\"session\":{},\"len\":{},\"population\":{},\"num_categories\":{},",
+            fmt_str(&self.id),
+            est.len,
+            fmt_f64(est.population),
+            self.num_categories(),
+        );
+        let _ = write!(
+            out,
+            "\"sizes\":{{\"induced\":{},\"star\":{}}},",
+            if est.induced_defined {
+                fmt_array(&est.sizes_induced)
+            } else {
+                "null".to_string()
+            },
+            fmt_opt_array(&est.sizes_star),
+        );
+        out.push_str("\"weights\":{\"induced\":[");
+        for (i, (a, b, w)) in est.weights_induced.iter_nonzero().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{a},{b},{}]", fmt_f64(w));
+        }
+        out.push_str("],\"star\":[");
+        for (i, (a, b, w)) in est.weights_star.iter_nonzero().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{a},{b},{}]", fmt_f64(w));
+        }
+        out.push_str("]}");
+        if let Some((level, reps)) = ci {
+            out.push(',');
+            out.push_str(&self.ci_json(level, reps));
+        }
+        out.push('}');
+        out
+    }
+
+    /// The `"ci"` member: per-category bootstrap percentile intervals for
+    /// both size estimators (§5.3.2 — resampled at the record level from
+    /// the session's observation log, no graph access beyond
+    /// re-observation). Deterministic for a given session seed and prefix
+    /// length.
+    fn ci_json(&self, level: f64, reps: usize) -> String {
+        let g = &self.graph.graph;
+        let p = &self.graph.partitions[self.part_idx].1;
+        let population = self.population();
+        let log = self.stream.log();
+        let nodes: Vec<NodeId> = log.iter().map(|&(v, _)| v).collect();
+        let weights: Vec<f64> = match self.design {
+            DesignKind::Uniform => vec![1.0; log.len()],
+            DesignKind::Weighted => log.iter().map(|&(_, w)| w).collect(),
+        };
+        let star_sample = StarSample::observe_with_weights(g, p, &nodes, weights.clone());
+        let ind_sample = InducedSample::observe_with_weights(g, p, &nodes, weights);
+        // One deterministic stream per (session seed, prefix, reps): the
+        // same query twice returns byte-identical intervals.
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (log.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ reps as u64,
+        );
+        let opts = StarSizeOptions::default();
+        let mut star_ci = String::from("[");
+        let mut ind_ci = String::from("[");
+        for c in 0..self.num_categories() as u32 {
+            if c > 0 {
+                star_ci.push(',');
+                ind_ci.push(',');
+            }
+            match bootstrap_star(&star_sample, reps, level, &mut rng, |s| {
+                star_size(s, c, population, &opts)
+            }) {
+                Some(s) => {
+                    let _ = write!(
+                        star_ci,
+                        "{{\"lo\":{},\"hi\":{},\"mean\":{},\"sd\":{},\"replicates\":{}}}",
+                        fmt_f64(s.ci.0),
+                        fmt_f64(s.ci.1),
+                        fmt_f64(s.mean),
+                        fmt_f64(s.std_dev),
+                        s.replicates
+                    );
+                }
+                None => star_ci.push_str("null"),
+            }
+            match bootstrap_induced(&ind_sample, reps, level, &mut rng, |s| {
+                induced_size(s, c, population)
+            }) {
+                Some(s) => {
+                    let _ = write!(
+                        ind_ci,
+                        "{{\"lo\":{},\"hi\":{},\"mean\":{},\"sd\":{},\"replicates\":{}}}",
+                        fmt_f64(s.ci.0),
+                        fmt_f64(s.ci.1),
+                        fmt_f64(s.mean),
+                        fmt_f64(s.std_dev),
+                        s.replicates
+                    );
+                }
+                None => ind_ci.push_str("null"),
+            }
+        }
+        star_ci.push(']');
+        ind_ci.push(']');
+        format!(
+            "\"ci\":{{\"level\":{},\"reps\":{reps},\"sizes_star\":{star_ci},\"sizes_induced\":{ind_ci}}}",
+            fmt_f64(level)
+        )
+    }
+
+    /// The `POST /sessions` response body.
+    pub fn opened_json(&self) -> String {
+        format!(
+            "{{\"session\":{},\"graph\":{},\"partition\":{},\"sampler\":{},\"design\":{},\"num_categories\":{},\"population\":{}}}",
+            fmt_str(&self.id),
+            fmt_str(&self.graph.name),
+            fmt_str(&self.graph.partitions[self.part_idx].0),
+            fmt_str(self.sampler_name()),
+            fmt_str(self.design_name()),
+            self.num_categories(),
+            fmt_f64(self.population()),
+        )
+    }
+
+    /// Underlying design of the session (for tests).
+    pub fn design(&self) -> DesignKind {
+        self.design
+    }
+}
