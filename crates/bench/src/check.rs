@@ -189,6 +189,22 @@ fn extract(report: &str, label: &str) -> Result<Extracted, String> {
             MetricClass::Ratio,
         ));
     }
+    // Reports written before the snapshot section existed simply
+    // contribute no snapshot metrics. Both rates are serial absolute
+    // throughputs (the `.cgtes` round trip is inherently single-core).
+    if let Some(snapshot) = v.get("snapshot") {
+        let ctx = format!("{label}: snapshot");
+        metrics.push(Metric::throughput(
+            "snapshot/write_samples_per_sec".into(),
+            num(snapshot, "write_samples_per_sec", &ctx)?,
+            MetricClass::Absolute,
+        ));
+        metrics.push(Metric::throughput(
+            "snapshot/restore_samples_per_sec".into(),
+            num(snapshot, "restore_samples_per_sec", &ctx)?,
+            MetricClass::Absolute,
+        ));
+    }
     // Reports written before the serve section existed (PR4 and earlier)
     // simply contribute no serve metrics. Latencies gate inverted: a
     // higher p50/p99 than baseline is the regression.
@@ -291,6 +307,7 @@ mod tests {
   ],
   "estimate": {{"nodes":100,"replications":2,"max_size":10,"targets":3,"best_speedup":1.0,"runs":[{{"threads":1,"secs":0.1,"samples_per_sec":{e1:.1}}}]}},
   "load": {{"generator":"chung_lu","nodes":1000,"edges":5000,"write_secs":0.1,"load_secs":0.01,"regen_secs":0.5,"load_edges_per_sec":{l1:.1},"regen_edges_per_sec":10000.0,"speedup_vs_regen":{lr:.3},"identical":true}},
+  "snapshot": {{"nodes":1000,"categories":10,"samples":50000,"bytes":1200000,"write_secs":0.01,"restore_secs":0.02,"write_samples_per_sec":{sw:.1},"restore_samples_per_sec":{sr:.1},"identical":true}},
   "serve": {{"nodes":1000,"edges":5000,"categories":10,"rounds":25,"steps_per_ingest":200,"best_speedup":1.0,"runs":[{{"threads":1,"secs":1.0,"requests":100,"requests_per_sec":{s1:.1},"p50_ms":{p50:.4},"p99_ms":{p99:.4}}}]}}
 }}
 "#,
@@ -301,6 +318,8 @@ mod tests {
             e1 = 20000.0 * f,
             l1 = 500000.0 * f,
             lr = 50.0 * ratio_f,
+            sw = 5_000_000.0 * f,
+            sr = 2_500_000.0 * f,
             s1 = 800.0 * f,
             // Latencies move inversely with throughput: a degraded report
             // (f < 1) has *higher* p50/p99.
@@ -435,6 +454,30 @@ mod tests {
         };
         let out = check_reports(&report(1, 1.0, 1.0), &base).unwrap();
         assert!(out.failures.is_empty(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn pr5_baseline_without_snapshot_section_is_accepted() {
+        // A baseline committed before the snapshot section existed must
+        // not fail the gate: the current report's extra snapshot metrics
+        // are simply not compared until the baseline is regenerated.
+        let base = report(1, 1.0, 1.0).replace("\"snapshot\":", "\"snapshot_unused\":");
+        let out = check_reports(&report(1, 1.0, 1.0), &base).unwrap();
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        // And the section does gate once both sides carry it: a collapsed
+        // restore rate fails.
+        let degraded = report(1, 1.0, 1.0).replace(
+            "\"restore_samples_per_sec\":2500000.0",
+            "\"restore_samples_per_sec\":100.0",
+        );
+        let out = check_reports(&degraded, &report(1, 1.0, 1.0)).unwrap();
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("snapshot/restore_samples_per_sec")),
+            "{:?}",
+            out.failures
+        );
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //! - **load** — edges/sec restoring the headline 1M-node Chung–Lu graph
 //!   from its `.cgteg` container versus regenerating it (the disk cache
 //!   tier's value proposition; always full-size, even at `--quick`);
+//! - **snapshot** — samples/sec serializing an observation stream to its
+//!   `.cgtes` session snapshot and restoring it back (write, and
+//!   decode + replay), with a bit-identity check of the round trip —
+//!   the durability cost of the fault-tolerant serving tier;
 //! - **walk** — aggregate RW/MHRW steps/sec with `t` concurrent
 //!   independent walkers over the shared CSR;
 //! - **estimate** — NRMSE-experiment throughput (replications and
@@ -327,6 +331,83 @@ fn bench_load(opts: &BenchOptions, w: &[f64], g: &Graph) -> Result<LoadEntry, St
     Ok(entry)
 }
 
+struct SnapshotEntry {
+    nodes: usize,
+    categories: usize,
+    samples: usize,
+    bytes: usize,
+    write_secs: f64,
+    restore_secs: f64,
+    identical: bool,
+}
+
+impl SnapshotEntry {
+    fn write_rate(&self) -> f64 {
+        self.samples as f64 / self.write_secs.max(1e-9)
+    }
+
+    fn restore_rate(&self) -> f64 {
+        self.samples as f64 / self.restore_secs.max(1e-9)
+    }
+}
+
+/// Times the `.cgtes` session-snapshot round trip that the fault-tolerant
+/// serving tier leans on: serialize a warm observation stream to an
+/// in-memory snapshot (what `POST /sessions/{id}/snapshot` writes), then
+/// decode and replay it back into a live stream (what a restore after a
+/// shard crash does), and verify the round trip is bit-identical. Both
+/// sides are inherently serial, so the rates are plain serial
+/// throughputs.
+fn bench_snapshot(opts: &BenchOptions) -> SnapshotEntry {
+    use cgte_graph::store::Container;
+    use cgte_sampling::snapshot::{
+        read_snapshot, stream_from_container, stream_sections, write_snapshot,
+    };
+    use cgte_sampling::{DesignKind, ObservationContext, ObservationStream};
+
+    let cfg = PlantedConfig::scaled(if opts.quick { 60 } else { 20 }, 20, 0.5);
+    let pg = par_planted_partition(&cfg, opts.seed, 0).expect("feasible planted config");
+    let samples = if opts.quick { 50_000 } else { 200_000 };
+    let rw = RandomWalk::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x5AA7);
+    let nodes = rw.sample(&pg.graph, samples, &mut rng);
+    let ctx = ObservationContext::new(&pg.graph, &pg.partition);
+    let mut stream = ObservationStream::new(pg.partition.num_categories());
+    stream.ingest_sampler(&ctx, &nodes, &rw, DesignKind::Weighted);
+
+    let (bytes, write_secs) = best_of(SERIAL_REPS, || {
+        let mut c = Container::new();
+        for s in stream_sections(&stream) {
+            c.push(s);
+        }
+        let mut buf = Vec::new();
+        write_snapshot(&mut buf, &c).expect("in-memory snapshot write");
+        buf
+    });
+    let (restored, restore_secs) = best_of(SERIAL_REPS, || {
+        let c = read_snapshot(&bytes[..]).expect("snapshot decodes");
+        stream_from_container(&c, &ctx).expect("snapshot restores")
+    });
+    let entry = SnapshotEntry {
+        nodes: pg.graph.num_nodes(),
+        categories: pg.partition.num_categories(),
+        samples: stream.len(),
+        bytes: bytes.len(),
+        write_secs,
+        restore_secs,
+        identical: restored == stream,
+    };
+    eprintln!(
+        "snapshot: {} samples, {} bytes, write {:.0} samples/s, restore {:.0} samples/s, bit-identical: {}",
+        entry.samples,
+        entry.bytes,
+        entry.write_rate(),
+        entry.restore_rate(),
+        entry.identical,
+    );
+    entry
+}
+
 struct ServeRun {
     threads: usize,
     secs: f64,
@@ -404,6 +485,7 @@ fn bench_serve(g: &Graph, opts: &BenchOptions) -> Result<ServeEntry, String> {
             cache_dir: dir.clone(),
             addr: "127.0.0.1:0".to_string(),
             threads: t,
+            ..ServeConfig::default()
         })
         .map_err(|e| format!("cannot bind bench server: {e}"))?;
         let addr = server.addr();
@@ -653,6 +735,9 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     // --- disk-store load throughput ---------------------------------------
     let load = bench_load(opts, &headline_w, &headline)?;
 
+    // --- session-snapshot round-trip throughput ---------------------------
+    let snapshot = bench_snapshot(opts);
+
     // --- serve request throughput + latency -------------------------------
     let serve = bench_serve(&headline, opts)?;
 
@@ -719,6 +804,19 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
         load.speedup(),
         load.identical,
     );
+    let _ = writeln!(
+        json,
+        "  \"snapshot\": {{\"nodes\":{},\"categories\":{},\"samples\":{},\"bytes\":{},\"write_secs\":{:.6},\"restore_secs\":{:.6},\"write_samples_per_sec\":{:.1},\"restore_samples_per_sec\":{:.1},\"identical\":{}}},",
+        snapshot.nodes,
+        snapshot.categories,
+        snapshot.samples,
+        snapshot.bytes,
+        snapshot.write_secs,
+        snapshot.restore_secs,
+        snapshot.write_rate(),
+        snapshot.restore_rate(),
+        snapshot.identical,
+    );
     let serve_runs: Vec<String> = serve
         .runs
         .iter()
@@ -779,6 +877,8 @@ mod tests {
         assert!(json.contains("\"samples_per_sec\""));
         assert!(json.contains("\"speedup_vs_regen\""));
         assert!(json.contains("\"identical\":true"));
+        assert!(json.contains("\"write_samples_per_sec\""));
+        assert!(json.contains("\"restore_samples_per_sec\""));
         assert!(json.contains("\"serve\""));
         assert!(json.contains("\"requests_per_sec\""));
         assert!(json.contains("\"p99_ms\""));

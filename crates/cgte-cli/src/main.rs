@@ -57,6 +57,13 @@ USAGE:
                          [--seed S] [--threads N] [--csv DIR] [--out DIR] [--resume]
                          [--cache-dir DIR]
   cgte serve             --cache-dir DIR [--port P] [--addr HOST:PORT] [--threads N]
+                         [--idle-poll-ms MS] [--session-ttl SECS] [--max-sessions N]
+  cgte cluster           --cache-dir DIR --graph NAME --shards H:P,H:P[,…]
+                         [--partition NAME] [--sampler uis|rw|mhrw|swrw]
+                         [--design uniform|weighted] [--seed S] [--burn-in B]
+                         [--thinning T] [--walkers W] [--steps N] [--batch B]
+                         [--snapshot-every R] [--timeout-ms MS] [--retries R]
+                         [--verify true]
   cgte bench             [--quick] [--seed S] [--threads 1,2,8] [--out FILE.json]
                          [--cache-dir DIR] [--check BASELINE.json]
   cgte help
@@ -77,8 +84,19 @@ ablation_model_based ablation_swrw ablation_thinning huge.
 `cgte serve` runs the online estimation service: an HTTP/1.1 API over the
 .cgteg store directory (open sampling sessions, stream node batches or
 walk budgets in, read category-graph estimates at any prefix — with
-bootstrap CIs via ?ci=0.95). On a warm cache the server performs zero
-graph builds; see EXPERIMENTS.md for endpoints and JSON shapes.
+bootstrap CIs via ?ci=0.95). Sessions can be checkpointed to durable
+.cgtes snapshots and restored bit-exactly (POST /sessions/{id}/snapshot,
+POST /sessions/restore); GET /metrics exposes Prometheus counters. On a
+warm cache the server performs zero graph builds; see EXPERIMENTS.md for
+endpoints and JSON shapes.
+
+`cgte cluster` coordinates a sharded run over N `cgte serve` processes:
+walk budget fanned out as per-seed walkers, sessions checkpointed every
+--snapshot-every rounds, dead shards circuit-broken and their walkers
+restored onto survivors, and the merged estimate pinned bit-exact against
+the local single-box path (--verify true asserts it and exits non-zero on
+any mismatch). The JSON report on stdout includes degraded/coverage
+fields when walkers could not complete.
 
 `cgte estimate --ci 0.95` additionally prints per-category bootstrap
 percentile confidence intervals for the size estimates to stderr.
@@ -159,6 +177,7 @@ fn run() -> Result<(), CliError> {
         Some("estimate") => cmd_estimate(&Args::parse(&argv[1..])?),
         Some("run") => cmd_run(&argv[1..]),
         Some("serve") => cmd_serve(&Args::parse(&argv[1..])?),
+        Some("cluster") => cmd_cluster(&Args::parse(&argv[1..])?),
         Some("bench") => cmd_bench(&argv[1..]),
         Some("help") | None => {
             print!("{USAGE}");
@@ -494,12 +513,162 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     if threads == 0 {
         return Err("--threads must be positive".into());
     }
+    let defaults = cgte_serve::ServeConfig::default();
+    let idle_poll_ms: u64 = args.parse_or("idle-poll-ms", defaults.idle_poll_ms)?;
+    if idle_poll_ms == 0 {
+        return Err("--idle-poll-ms must be positive".into());
+    }
+    let session_ttl_secs = match args.get("session-ttl") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|e| format!("invalid --session-ttl {v:?}: {e}"))?,
+        ),
+    };
+    let max_sessions: usize = args.parse_or("max-sessions", defaults.max_sessions)?;
+    if max_sessions == 0 {
+        return Err("--max-sessions must be positive".into());
+    }
     let cfg = cgte_serve::ServeConfig {
         cache_dir: cache_dir.into(),
         addr,
         threads,
+        idle_poll_ms,
+        session_ttl_secs,
+        max_sessions,
     };
     cgte_serve::run(&cfg)?;
+    Ok(())
+}
+
+fn cmd_cluster(args: &Args) -> Result<(), CliError> {
+    use cgte_serve::cluster::{self, ClusterConfig, RetryPolicy};
+
+    let cache_dir = args.required("cache-dir")?;
+    let graph_name = args.required("graph")?.to_string();
+    let shards: Vec<String> = args
+        .required("shards")?
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if shards.is_empty() {
+        return Err("--shards needs at least one HOST:PORT".into());
+    }
+    let timeout_ms: u64 = args.parse_or("timeout-ms", 5000)?;
+    let policy = RetryPolicy {
+        request_timeout: std::time::Duration::from_millis(timeout_ms),
+        connect_timeout: std::time::Duration::from_millis(timeout_ms.clamp(100, 1000)),
+        max_retries: args.parse_or("retries", 3u32)?,
+        ..RetryPolicy::default()
+    };
+    let cfg = ClusterConfig {
+        graph: graph_name.clone(),
+        partition: args.get("partition").map(str::to_string),
+        sampler: args.get("sampler").unwrap_or("rw").to_string(),
+        design: args.get("design").map(str::to_string),
+        seed: args.parse_or("seed", 42u64)?,
+        burn_in: args.parse_or("burn-in", 0usize)?,
+        thinning: args.parse_or("thinning", 1usize)?,
+        walkers: args.parse_or("walkers", 4usize)?,
+        steps_per_walker: args.parse_or("steps", 1000usize)?,
+        batch: args.parse_or("batch", 250usize)?,
+        snapshot_every: args.parse_or("snapshot-every", 1usize)?,
+        policy,
+        jitter_seed: args.parse_or("jitter-seed", 0u64)?,
+    };
+    let verify: bool = args.parse_or("verify", false)?;
+
+    // The coordinator's local view of the shared store: used both to
+    // merge the downloaded logs and to pin the result against the
+    // single-box reference.
+    let registry = cgte_serve::registry::Registry::new(cache_dir);
+    let loaded = registry.get(&graph_name).map_err(|e| e.msg)?;
+    let part_idx = match &cfg.partition {
+        Some(name) => loaded
+            .partition_idx(name)
+            .ok_or_else(|| format!("graph {graph_name:?} has no partition {name:?}"))?,
+        None => 0,
+    };
+    if loaded.partitions.is_empty() {
+        return Err(format!("graph {graph_name:?} has no partitions").into());
+    }
+    let index = loaded.index(part_idx, 4);
+    let partition = &loaded.partitions[part_idx].1;
+    let ctx = cgte_sampling::ObservationContext::with_index(&loaded.graph, partition, &index);
+
+    let run = cluster::run_cluster(&cfg, &shards, &ctx)?;
+    eprintln!(
+        "cgte cluster: {}/{} walkers complete, {}/{} shards alive, {} retries, {} reassignments, {} rounds",
+        run.walkers_completed,
+        run.walkers_total,
+        run.shards_alive,
+        run.shards_total,
+        run.retries,
+        run.reassignments,
+        run.rounds,
+    );
+    let mut verified = true;
+    if verify {
+        if run.degraded {
+            return Err(format!(
+                "--verify failed: run degraded ({}/{} walkers complete)",
+                run.walkers_completed, run.walkers_total
+            )
+            .into());
+        }
+        let reference = cluster::single_box_reference(&cfg, &loaded.graph, partition, &ctx)?;
+        verified = run.stream == reference;
+        if !verified {
+            return Err(
+                "--verify failed: merged cluster stream differs from the single-box reference"
+                    .into(),
+            );
+        }
+        eprintln!("cgte cluster: verified bit-exact against the single-box path");
+    }
+
+    // Estimate over the merged stream — the same pure snapshot function
+    // the server and the batch runner use.
+    let population = loaded.graph.num_nodes() as f64;
+    let mut est = cgte_core::StreamEstimate::new(run.stream.num_categories());
+    cgte_core::estimate_stream_into(
+        run.stream.star(),
+        run.stream.induced(),
+        population,
+        &StarSizeOptions::default(),
+        true,
+        &mut est,
+    );
+    let sizes_star: Vec<String> = est
+        .sizes_star
+        .iter()
+        .map(|s| s.map_or("null".to_string(), |v| format!("{v:?}")))
+        .collect();
+    let sizes_induced: Vec<String> = est.sizes_induced.iter().map(|v| format!("{v:?}")).collect();
+    println!(
+        "{{\"graph\":\"{}\",\"walkers\":{},\"walkers_completed\":{},\"degraded\":{},\"coverage\":{},\"shards_alive\":{},\"shards_total\":{},\"retries\":{},\"reassignments\":{},\"rounds\":{},\"verified\":{},\"len\":{},\"sizes\":{{\"star\":[{}],\"induced\":[{}]}}}}",
+        graph_name,
+        run.walkers_total,
+        run.walkers_completed,
+        run.degraded,
+        run.coverage,
+        run.shards_alive,
+        run.shards_total,
+        run.retries,
+        run.reassignments,
+        run.rounds,
+        if verify { verified.to_string() } else { "null".to_string() },
+        run.stream.len(),
+        sizes_star.join(","),
+        sizes_induced.join(","),
+    );
+    if run.degraded && !verify {
+        eprintln!(
+            "cgte cluster: WARNING — degraded result, coverage {:.1}%",
+            run.coverage * 100.0
+        );
+    }
     Ok(())
 }
 

@@ -356,9 +356,21 @@ impl Container {
     }
 
     /// Serializes the container (header + all sections with checksums).
-    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
-        w.write_all(MAGIC)?;
-        w.write_all(&VERSION.to_le_bytes())?;
+    pub fn write_to<W: Write>(&self, w: W) -> io::Result<()> {
+        self.write_to_magic(w, MAGIC, VERSION)
+    }
+
+    /// Like [`Container::write_to`], but with a caller-chosen magic and
+    /// version — the same section framing and checksums carry sibling
+    /// formats (the `.cgtes` session snapshots use `CGTES\0`).
+    pub fn write_to_magic<W: Write>(
+        &self,
+        mut w: W,
+        magic: &[u8; 6],
+        version: u16,
+    ) -> io::Result<()> {
+        w.write_all(magic)?;
+        w.write_all(&version.to_le_bytes())?;
         let nsect = u32::try_from(self.sections.len())
             .map_err(|_| io::Error::other("too many sections"))?;
         w.write_all(&nsect.to_le_bytes())?;
@@ -382,18 +394,28 @@ impl Container {
     /// Parses a container, verifying the magic, version, section framing
     /// and every per-section checksum. Truncated or corrupted input yields
     /// an error — never a panic.
-    pub fn read_from<R: Read>(mut r: R) -> Result<Container, StoreError> {
+    pub fn read_from<R: Read>(r: R) -> Result<Container, StoreError> {
+        Container::read_from_magic(r, MAGIC, VERSION)
+    }
+
+    /// Like [`Container::read_from`], but for a sibling format with its
+    /// own magic and version (see [`Container::write_to_magic`]).
+    pub fn read_from_magic<R: Read>(
+        mut r: R,
+        expect_magic: &[u8; 6],
+        expect_version: u16,
+    ) -> Result<Container, StoreError> {
         let mut magic = [0u8; 6];
         r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
+        if &magic != expect_magic {
             return Err(StoreError::Format(format!(
-                "bad magic {magic:?} (not a .cgteg file)"
+                "bad magic {magic:?} (expected {expect_magic:?})"
             )));
         }
         let version = read_u16(&mut r)?;
-        if version != VERSION {
+        if version != expect_version {
             return Err(StoreError::Format(format!(
-                "unsupported version {version} (this build reads version {VERSION})"
+                "unsupported version {version} (this build reads version {expect_version})"
             )));
         }
         let nsect = read_u32(&mut r)?;

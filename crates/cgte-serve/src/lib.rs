@@ -14,12 +14,24 @@
 //! | Method & path                  | Meaning |
 //! |--------------------------------|---------|
 //! | `GET /healthz`                 | liveness + counters |
+//! | `GET /metrics`                 | Prometheus text exposition |
 //! | `GET /graphs`                  | list the store's `.cgteg` entries |
 //! | `POST /sessions`               | open a sampling session |
 //! | `POST /sessions/{id}/ingest`   | ingest node ids or a walk budget |
 //! | `GET /sessions/{id}/estimate`  | current estimates (`?ci=0.95`) |
+//! | `POST /sessions/{id}/snapshot` | checkpoint to `{store}/sessions/*.cgtes` |
+//! | `GET /sessions/{id}/snapshot`  | download the `.cgtes` bytes |
+//! | `POST /sessions/restore`       | rehydrate a session from a snapshot |
 //! | `DELETE /sessions/{id}`        | close a session |
 //! | `POST /shutdown`               | stop accepting, drain, exit |
+//!
+//! Sessions are durable: `POST /sessions/{id}/snapshot` writes a
+//! versioned, checksummed `.cgtes` file (same section framing as the
+//! graph store) holding the resolved spec, the walk RNG state and the
+//! observation push log; `POST /sessions/restore` replays it into a fresh
+//! session whose estimates **and every future server-side draw** are
+//! bit-identical to the original — a process kill between the two loses
+//! nothing past the last checkpoint.
 //!
 //! Transport is a dependency-free HTTP/1.1 subset on
 //! `std::net::TcpListener`; connections are dispatched to a bounded pool
@@ -33,11 +45,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
+pub mod fault;
 pub mod http;
 pub mod json;
 pub mod registry;
 pub mod session;
 
+use cgte_sampling::snapshot;
 use cgte_scenarios::artifact::{parse_json, Json};
 use json::{error_body, fmt_str};
 use registry::Registry;
@@ -48,7 +63,18 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Process-global transport counters, incremented by the hardened cluster
+/// client ([`cluster::RetryClient`]) and exposed by `GET /metrics`.
+pub mod counters {
+    use std::sync::atomic::AtomicU64;
+
+    /// Total request retries performed in this process.
+    pub static RETRIES_TOTAL: AtomicU64 = AtomicU64::new(0);
+    /// Total backoff slept before retries, in microseconds.
+    pub static BACKOFF_MICROS_TOTAL: AtomicU64 = AtomicU64::new(0);
+}
 
 /// A request-level failure: HTTP status + message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +110,15 @@ impl ServeError {
         }
     }
 
+    /// 429 — the `--max-sessions` bound is reached (answered with a
+    /// `Retry-After` header).
+    pub fn too_many(msg: impl Into<String>) -> Self {
+        ServeError {
+            status: 429,
+            msg: msg.into(),
+        }
+    }
+
     /// 500 — server-side failure (unreadable store file).
     pub fn internal(msg: impl Into<String>) -> Self {
         ServeError {
@@ -103,6 +138,16 @@ pub struct ServeConfig {
     /// Worker threads handling connections (also bounds the one-time
     /// parallel index build per graph partition).
     pub threads: usize,
+    /// How often an idle keep-alive connection re-checks the shutdown
+    /// flag, in milliseconds (the poll is a cheap read-timeout wake-up,
+    /// but a tight interval busy-spins every idle worker).
+    pub idle_poll_ms: u64,
+    /// Evict sessions idle longer than this many seconds (lazily, on the
+    /// next session-table access). `None` disables eviction.
+    pub session_ttl_secs: Option<u64>,
+    /// Upper bound on concurrently open sessions; opening past it answers
+    /// HTTP 429 with a `Retry-After` header.
+    pub max_sessions: usize,
 }
 
 impl Default for ServeConfig {
@@ -111,19 +156,50 @@ impl Default for ServeConfig {
             cache_dir: PathBuf::from("graph-store"),
             addr: "127.0.0.1:7171".to_string(),
             threads: 4,
+            idle_poll_ms: 1000,
+            session_ttl_secs: None,
+            max_sessions: 1024,
         }
     }
 }
 
+/// One session-table entry: the session plus its idle clock (milliseconds
+/// since server start, updated on every lookup — read without taking the
+/// session's own lock so eviction sweeps never block behind an ingest).
+struct SessionEntry {
+    session: Arc<Mutex<Session>>,
+    last_used: AtomicU64,
+}
+
 struct ServerState {
     registry: Registry,
-    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    cache_dir: PathBuf,
+    sessions: Mutex<HashMap<String, SessionEntry>>,
     next_session: AtomicU64,
     requests: AtomicUsize,
+    sessions_evicted: AtomicU64,
+    snapshots_saved: AtomicU64,
+    snapshots_restored: AtomicU64,
     threads: usize,
+    idle_poll: Duration,
+    session_ttl: Option<Duration>,
+    max_sessions: usize,
     shutdown: AtomicBool,
     addr: SocketAddr,
     started: Instant,
+}
+
+impl ServerState {
+    /// Milliseconds since the server started (the session idle clock).
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The `Retry-After` hint on a 429: after one TTL some session has
+    /// either been closed or become evictable.
+    fn retry_after_secs(&self) -> u64 {
+        self.session_ttl.map_or(1, |t| t.as_secs().max(1))
+    }
 }
 
 /// A running server: bound address plus join/shutdown handles.
@@ -142,10 +218,17 @@ impl Server {
         let threads = cfg.threads.max(1);
         let state = Arc::new(ServerState {
             registry: Registry::new(&cfg.cache_dir),
+            cache_dir: cfg.cache_dir.clone(),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(0),
             requests: AtomicUsize::new(0),
+            sessions_evicted: AtomicU64::new(0),
+            snapshots_saved: AtomicU64::new(0),
+            snapshots_restored: AtomicU64::new(0),
             threads,
+            idle_poll: Duration::from_millis(cfg.idle_poll_ms.max(1)),
+            session_ttl: cfg.session_ttl_secs.map(Duration::from_secs),
+            max_sessions: cfg.max_sessions.max(1),
             shutdown: AtomicBool::new(false),
             addr,
             started: Instant::now(),
@@ -231,9 +314,6 @@ pub fn run(cfg: &ServeConfig) -> std::io::Result<()> {
     Ok(())
 }
 
-/// How often an idle keep-alive connection re-checks the shutdown flag.
-const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(150);
-
 fn handle_connection(state: &ServerState, stream: TcpStream) {
     // One response = one write; disabling Nagle keeps request/response
     // round trips off the delayed-ACK path.
@@ -244,10 +324,10 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     let mut writer = peer_writer;
     let mut reader = BufReader::new(stream);
     loop {
-        // Idle wait: poll for the next request with a short read timeout
-        // so a keep-alive connection cannot pin a worker past shutdown.
+        // Idle wait: poll for the next request with a read timeout so a
+        // keep-alive connection cannot pin a worker past shutdown.
         // `fill_buf` consumes nothing on timeout, so retrying is safe.
-        let _ = reader.get_ref().set_read_timeout(Some(IDLE_POLL));
+        let _ = reader.get_ref().set_read_timeout(Some(state.idle_poll));
         loop {
             use std::io::BufRead as _;
             match reader.fill_buf() {
@@ -281,11 +361,23 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
         };
         state.requests.fetch_add(1, Ordering::Relaxed);
         let keep_alive = req.keep_alive;
-        let (status, body) = match route(state, &req) {
-            Ok(body) => (200, body),
-            Err(e) => (e.status, error_body(&e.msg)),
+        let resp = match route(state, &req) {
+            Ok(resp) => resp,
+            Err(e) => {
+                let mut resp = http::Response {
+                    status: e.status,
+                    content_type: "application/json",
+                    headers: Vec::new(),
+                    body: error_body(&e.msg).into_bytes(),
+                };
+                if e.status == 429 {
+                    resp.headers
+                        .push(("Retry-After", state.retry_after_secs().to_string()));
+                }
+                resp
+            }
         };
-        if http::write_json_response(&mut writer, status, &body, keep_alive).is_err() {
+        if http::write_response(&mut writer, &resp, keep_alive).is_err() {
             return;
         }
         if !keep_alive || state.shutdown.load(Ordering::SeqCst) {
@@ -294,23 +386,39 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     }
 }
 
-fn route(state: &ServerState, req: &http::Request) -> Result<String, ServeError> {
+fn route(state: &ServerState, req: &http::Request) -> Result<http::Response, ServeError> {
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => Ok(healthz(state)),
-        ("GET", ["graphs"]) => Ok(graphs(state)),
-        ("POST", ["sessions"]) => open_session(state, &req.body),
-        ("POST", ["sessions", id, "ingest"]) => ingest(state, id, &req.body),
-        ("GET", ["sessions", id, "estimate"]) => estimate(state, id, req),
-        ("DELETE", ["sessions", id]) => close_session(state, id),
+        ("GET", ["healthz"]) => Ok(http::Response::json(healthz(state))),
+        ("GET", ["metrics"]) => Ok(http::Response::text(metrics(state))),
+        ("GET", ["graphs"]) => Ok(http::Response::json(graphs(state))),
+        ("POST", ["sessions"]) => open_session(state, &req.body).map(http::Response::json),
+        ("POST", ["sessions", "restore"]) => {
+            restore_session(state, &req.body).map(http::Response::json)
+        }
+        ("POST", ["sessions", id, "ingest"]) => {
+            ingest(state, id, &req.body).map(http::Response::json)
+        }
+        ("GET", ["sessions", id, "estimate"]) => estimate(state, id, req).map(http::Response::json),
+        ("POST", ["sessions", id, "snapshot"]) => {
+            snapshot_save(state, id, req).map(http::Response::json)
+        }
+        ("GET", ["sessions", id, "snapshot"]) => {
+            snapshot_download(state, id).map(http::Response::bytes)
+        }
+        ("DELETE", ["sessions", id]) => close_session(state, id).map(http::Response::json),
         ("POST", ["shutdown"]) => {
             request_shutdown(state);
-            Ok("{\"status\":\"shutting down\"}".to_string())
+            Ok(http::Response::json(
+                "{\"status\":\"shutting down\"}".into(),
+            ))
         }
-        (_, ["healthz" | "graphs" | "shutdown"]) | (_, ["sessions", ..]) => Err(ServeError {
-            status: 405,
-            msg: format!("method {} not allowed on {}", req.method, req.path),
-        }),
+        (_, ["healthz" | "metrics" | "graphs" | "shutdown"]) | (_, ["sessions", ..]) => {
+            Err(ServeError {
+                status: 405,
+                msg: format!("method {} not allowed on {}", req.method, req.path),
+            })
+        }
         _ => Err(ServeError::not_found(format!(
             "no route for {} {}",
             req.method, req.path
@@ -319,6 +427,7 @@ fn route(state: &ServerState, req: &http::Request) -> Result<String, ServeError>
 }
 
 fn healthz(state: &ServerState) -> String {
+    evict_expired(state);
     let sessions = state.sessions.lock().expect("sessions lock poisoned").len();
     format!(
         "{{\"status\":\"ok\",\"graphs\":{},\"sessions\":{sessions},\"loads\":{},\"builds\":{},\"requests\":{},\"threads\":{},\"uptime_secs\":{:.3}}}",
@@ -329,6 +438,92 @@ fn healthz(state: &ServerState) -> String {
         state.threads,
         state.started.elapsed().as_secs_f64(),
     )
+}
+
+/// `GET /metrics` — Prometheus text exposition format, one family per
+/// counter the service keeps anyway (plus the process-global transport
+/// retry totals the hardened cluster client maintains).
+fn metrics(state: &ServerState) -> String {
+    use std::fmt::Write as _;
+    evict_expired(state);
+    let sessions = state.sessions.lock().expect("sessions lock poisoned").len();
+    let mut out = String::with_capacity(2048);
+    let mut emit = |name: &str, kind: &str, help: &str, value: String| {
+        let _ = write!(
+            out,
+            "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+        );
+    };
+    emit(
+        "cgte_serve_sessions_active",
+        "gauge",
+        "Currently open sessions.",
+        sessions.to_string(),
+    );
+    emit(
+        "cgte_serve_sessions_created_total",
+        "counter",
+        "Sessions ever opened or restored.",
+        state.next_session.load(Ordering::Relaxed).to_string(),
+    );
+    emit(
+        "cgte_serve_sessions_evicted_total",
+        "counter",
+        "Sessions evicted by the idle TTL.",
+        state.sessions_evicted.load(Ordering::Relaxed).to_string(),
+    );
+    emit(
+        "cgte_serve_requests_total",
+        "counter",
+        "HTTP requests handled.",
+        state.requests.load(Ordering::Relaxed).to_string(),
+    );
+    emit(
+        "cgte_serve_graph_loads_total",
+        "counter",
+        "Graphs loaded from the .cgteg store.",
+        state.registry.loads().to_string(),
+    );
+    emit(
+        "cgte_serve_graph_builds_total",
+        "counter",
+        "Graph builds performed by the server (stays 0: warm cache only).",
+        state.registry.builds().to_string(),
+    );
+    emit(
+        "cgte_serve_snapshots_saved_total",
+        "counter",
+        "Session snapshots written to the store.",
+        state.snapshots_saved.load(Ordering::Relaxed).to_string(),
+    );
+    emit(
+        "cgte_serve_snapshots_restored_total",
+        "counter",
+        "Sessions rehydrated from snapshots.",
+        state.snapshots_restored.load(Ordering::Relaxed).to_string(),
+    );
+    emit(
+        "cgte_client_retries_total",
+        "counter",
+        "Transport retries performed by this process's cluster client.",
+        counters::RETRIES_TOTAL.load(Ordering::Relaxed).to_string(),
+    );
+    emit(
+        "cgte_client_backoff_seconds_total",
+        "counter",
+        "Total backoff slept before retries.",
+        format!(
+            "{:.6}",
+            counters::BACKOFF_MICROS_TOTAL.load(Ordering::Relaxed) as f64 / 1e6
+        ),
+    );
+    emit(
+        "cgte_serve_uptime_seconds",
+        "gauge",
+        "Seconds since the server started.",
+        format!("{:.3}", state.started.elapsed().as_secs_f64()),
+    );
+    out
 }
 
 fn graphs(state: &ServerState) -> String {
@@ -389,6 +584,47 @@ fn body_u64(v: &Json, key: &str) -> Result<Option<u64>, ServeError> {
     }
 }
 
+/// Lazily sweeps the session table: drops every session idle past the
+/// TTL. Entries whose `Arc` is held elsewhere (a request is mid-flight on
+/// them) are never dropped — in-use is the opposite of idle.
+fn evict_expired(state: &ServerState) {
+    let Some(ttl) = state.session_ttl else { return };
+    let ttl_ms = ttl.as_millis() as u64;
+    let now = state.now_ms();
+    let mut map = state.sessions.lock().expect("sessions lock poisoned");
+    let before = map.len();
+    map.retain(|_, e| {
+        Arc::strong_count(&e.session) > 1
+            || now.saturating_sub(e.last_used.load(Ordering::Relaxed)) <= ttl_ms
+    });
+    let evicted = (before - map.len()) as u64;
+    if evicted > 0 {
+        state.sessions_evicted.fetch_add(evicted, Ordering::Relaxed);
+    }
+}
+
+/// Registers a freshly opened/restored session, enforcing the
+/// `--max-sessions` bound (a full table after eviction is a 429).
+fn insert_session(state: &ServerState, id: String, session: Session) -> Result<(), ServeError> {
+    evict_expired(state);
+    let mut map = state.sessions.lock().expect("sessions lock poisoned");
+    if map.len() >= state.max_sessions {
+        return Err(ServeError::too_many(format!(
+            "session limit reached ({} open, max {})",
+            map.len(),
+            state.max_sessions
+        )));
+    }
+    map.insert(
+        id,
+        SessionEntry {
+            session: Arc::new(Mutex::new(session)),
+            last_used: AtomicU64::new(state.now_ms()),
+        },
+    );
+    Ok(())
+}
+
 fn open_session(state: &ServerState, body: &[u8]) -> Result<String, ServeError> {
     let v = parse_body(body)?;
     let spec = SessionSpec {
@@ -401,26 +637,34 @@ fn open_session(state: &ServerState, body: &[u8]) -> Result<String, ServeError> 
         burn_in: body_u64(&v, "burn_in")?.unwrap_or(0) as usize,
         thinning: body_u64(&v, "thinning")?.unwrap_or(1) as usize,
     };
+    // Cheap bound pre-check before the potentially expensive open (first
+    // use of a partition builds its neighbor-category index); the
+    // authoritative check is in `insert_session`.
+    evict_expired(state);
+    if state.sessions.lock().expect("sessions lock poisoned").len() >= state.max_sessions {
+        return Err(ServeError::too_many(format!(
+            "session limit reached (max {})",
+            state.max_sessions
+        )));
+    }
     let graph = state.registry.get(&spec.graph)?;
     let id = format!("s{}", state.next_session.fetch_add(1, Ordering::SeqCst));
     let session = Session::open(id.clone(), graph, &spec, state.threads)?;
     let response = session.opened_json();
-    state
-        .sessions
-        .lock()
-        .expect("sessions lock poisoned")
-        .insert(id, Arc::new(Mutex::new(session)));
+    insert_session(state, id, session)?;
     Ok(response)
 }
 
 fn get_session(state: &ServerState, id: &str) -> Result<Arc<Mutex<Session>>, ServeError> {
-    state
-        .sessions
-        .lock()
-        .expect("sessions lock poisoned")
-        .get(id)
-        .cloned()
-        .ok_or_else(|| ServeError::not_found(format!("unknown session {id:?}")))
+    evict_expired(state);
+    let map = state.sessions.lock().expect("sessions lock poisoned");
+    match map.get(id) {
+        Some(e) => {
+            e.last_used.store(state.now_ms(), Ordering::Relaxed);
+            Ok(Arc::clone(&e.session))
+        }
+        None => Err(ServeError::not_found(format!("unknown session {id:?}"))),
+    }
 }
 
 fn ingest(state: &ServerState, id: &str, body: &[u8]) -> Result<String, ServeError> {
@@ -521,4 +765,105 @@ fn close_session(state: &ServerState, id: &str) -> Result<String, ServeError> {
         Some(_) => Ok(format!("{{\"session\":{},\"closed\":true}}", fmt_str(id))),
         None => Err(ServeError::not_found(format!("unknown session {id:?}"))),
     }
+}
+
+// ---------------------------------------------------------------------------
+// Durable session snapshots.
+
+/// Validates a snapshot file stem: a flat name in the store's `sessions/`
+/// directory, never a path. The charset (no separators) plus the no-dot
+/// prefix rule make traversal (`../…`) unrepresentable.
+fn sanitize_snapshot_name(name: &str) -> Result<&str, ServeError> {
+    let ok = !name.is_empty()
+        && name.len() <= 128
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'));
+    if ok {
+        Ok(name)
+    } else {
+        Err(ServeError::bad_request(format!(
+            "invalid snapshot name {name:?} (letters, digits, '-', '_', '.'; no leading '.')"
+        )))
+    }
+}
+
+/// Where a named snapshot lives: `{cache_dir}/sessions/{name}.cgtes`.
+fn snapshot_path(state: &ServerState, name: &str) -> PathBuf {
+    state
+        .cache_dir
+        .join("sessions")
+        .join(format!("{name}.cgtes"))
+}
+
+/// `POST /sessions/{id}/snapshot` — checkpoints the session to the cache
+/// dir (atomically: temp file + rename, so a crash mid-write can never
+/// leave a half-snapshot under the final name). `?name=…` overrides the
+/// file stem (default: the session id).
+fn snapshot_save(state: &ServerState, id: &str, req: &http::Request) -> Result<String, ServeError> {
+    let name = sanitize_snapshot_name(req.query_value("name").unwrap_or(id))?.to_string();
+    let session = get_session(state, id)?;
+    let (bytes, len) = {
+        let session = session.lock().expect("session lock poisoned");
+        (session.snapshot_bytes(), session.len())
+    };
+    let path = snapshot_path(state, &name);
+    let dir = path.parent().expect("snapshot path has a parent");
+    std::fs::create_dir_all(dir)
+        .map_err(|e| ServeError::internal(format!("cannot create {}: {e}", dir.display())))?;
+    let tmp = dir.join(format!(".{name}.cgtes.tmp"));
+    std::fs::write(&tmp, &bytes)
+        .map_err(|e| ServeError::internal(format!("cannot write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, &path)
+        .map_err(|e| ServeError::internal(format!("cannot rename to {}: {e}", path.display())))?;
+    state.snapshots_saved.fetch_add(1, Ordering::Relaxed);
+    Ok(format!(
+        "{{\"session\":{},\"snapshot\":{},\"bytes\":{},\"len\":{len}}}",
+        fmt_str(id),
+        fmt_str(&name),
+        bytes.len(),
+    ))
+}
+
+/// `GET /sessions/{id}/snapshot` — the `.cgtes` bytes over the wire (the
+/// coordinator checkpoints remote shards without sharing a filesystem).
+fn snapshot_download(state: &ServerState, id: &str) -> Result<Vec<u8>, ServeError> {
+    let session = get_session(state, id)?;
+    let session = session.lock().expect("session lock poisoned");
+    Ok(session.snapshot_bytes())
+}
+
+/// `POST /sessions/restore` — rehydrates a session under a fresh id.
+/// The body is either raw `.cgtes` bytes (magic-sniffed) or JSON
+/// `{"snapshot": name}` naming a file saved by `snapshot_save`.
+fn restore_session(state: &ServerState, body: &[u8]) -> Result<String, ServeError> {
+    let from_disk;
+    let bytes: &[u8] = if body.starts_with(snapshot::MAGIC) {
+        body
+    } else {
+        let v = parse_body(body)?;
+        let name = body_str(&v, "snapshot")?.ok_or_else(|| {
+            ServeError::bad_request("body must be raw .cgtes bytes or {\"snapshot\": \"name\"}")
+        })?;
+        let path = snapshot_path(state, sanitize_snapshot_name(&name)?);
+        from_disk = std::fs::read(&path)
+            .map_err(|e| ServeError::not_found(format!("cannot read snapshot {name:?}: {e}")))?;
+        &from_disk
+    };
+    let container = snapshot::read_snapshot(bytes)
+        .map_err(|e| ServeError::unprocessable(format!("invalid snapshot: {e}")))?;
+    let graph_name = Session::snapshot_graph_name(&container)?;
+    let graph = state.registry.get(&graph_name)?;
+    let id = format!("s{}", state.next_session.fetch_add(1, Ordering::SeqCst));
+    let session = Session::restore(id.clone(), graph, &container, state.threads)?;
+    let len = session.len();
+    let opened = session.opened_json();
+    insert_session(state, id, session)?;
+    state.snapshots_restored.fetch_add(1, Ordering::Relaxed);
+    // `opened_json` ends with '}': splice the restore facts in.
+    Ok(format!(
+        "{},\"restored\":true,\"len\":{len}}}",
+        &opened[..opened.len() - 1]
+    ))
 }

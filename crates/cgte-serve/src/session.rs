@@ -8,9 +8,10 @@ use crate::ServeError;
 use cgte_core::bootstrap::{bootstrap_induced, bootstrap_star};
 use cgte_core::category_size::{induced_size, star_size};
 use cgte_core::{estimate_stream_into, StarSizeOptions, StreamEstimate};
-use cgte_graph::NodeId;
+use cgte_graph::store::{Container, Section};
+use cgte_graph::{Graph, NodeId, Partition};
 use cgte_sampling::{
-    AnySampler, DesignKind, InducedSample, MetropolisHastingsWalk, NeighborCategoryIndex,
+    snapshot, AnySampler, DesignKind, InducedSample, MetropolisHastingsWalk, NeighborCategoryIndex,
     NodeSampler, ObservationContext, ObservationStream, RandomWalk, StarSample, Swrw,
     UniformIndependence,
 };
@@ -24,7 +25,22 @@ pub const MAX_BOOTSTRAP_REPS: usize = 2000;
 /// Default bootstrap replicate count.
 pub const DEFAULT_BOOTSTRAP_REPS: usize = 200;
 
+/// `.cgtes` section holding the registry name of the session's graph.
+pub const SEC_GRAPH: &str = "session.graph";
+/// `.cgtes` section holding the partition name (empty = default).
+pub const SEC_PARTITION: &str = "session.partition";
+/// `.cgtes` section holding the sampler key (`uis`, `rw`, `mhrw`, `swrw`).
+pub const SEC_SAMPLER: &str = "session.sampler";
+/// `.cgtes` section holding the design (`uniform`/`weighted`; empty =
+/// sampler default).
+pub const SEC_DESIGN: &str = "session.design";
+/// `.cgtes` section holding `[seed, burn_in, thinning]` (u64 × 3).
+pub const SEC_PARAMS: &str = "session.params";
+/// `.cgtes` section holding the walk RNG's raw state (u64 × 4).
+pub const SEC_RNG: &str = "rng.state";
+
 /// Parameters of `POST /sessions`, parsed from its JSON body.
+#[derive(Debug, Clone)]
 pub struct SessionSpec {
     /// Registry name of the graph.
     pub graph: String,
@@ -42,6 +58,57 @@ pub struct SessionSpec {
     pub thinning: usize,
 }
 
+/// Resolves a sampler key + design string into the concrete sampler and
+/// design a session would run.
+///
+/// This is the **one** construction path: `Session::open` and the cluster
+/// coordinator's single-box reference both call it, so a shard session
+/// and a local replay of the same spec are bit-identical by construction.
+pub fn build_sampler(
+    graph: &Graph,
+    p: &Partition,
+    sampler: &str,
+    design: Option<&str>,
+    burn_in: usize,
+    thinning: usize,
+) -> Result<(AnySampler, DesignKind), ServeError> {
+    let thinning = thinning.max(1);
+    let sampler = match sampler {
+        "uis" => AnySampler::Uis(UniformIndependence),
+        "rw" => AnySampler::Rw(RandomWalk::new().burn_in(burn_in).thinning(thinning)),
+        "mhrw" => AnySampler::Mhrw(
+            MetropolisHastingsWalk::new()
+                .burn_in(burn_in)
+                .thinning(thinning),
+        ),
+        "swrw" => {
+            let s = Swrw::equal_category_target(graph, p)
+                .ok_or_else(|| {
+                    ServeError::unprocessable("cannot build S-WRW for this graph/partition")
+                })?
+                .burn_in(burn_in)
+                .thinning(thinning);
+            AnySampler::Swrw(s)
+        }
+        other => {
+            return Err(ServeError::unprocessable(format!(
+                "unknown sampler {other:?} (use uis, rw, mhrw or swrw)"
+            )))
+        }
+    };
+    let design = match design {
+        None => sampler.design(),
+        Some("uniform") => DesignKind::Uniform,
+        Some("weighted") => DesignKind::Weighted,
+        Some(other) => {
+            return Err(ServeError::unprocessable(format!(
+                "unknown design {other:?} (use uniform or weighted)"
+            )))
+        }
+    };
+    Ok((sampler, design))
+}
+
 /// One open estimation session.
 pub struct Session {
     /// The session id (`s0`, `s1`, …).
@@ -54,6 +121,10 @@ pub struct Session {
     seed: u64,
     rng: StdRng,
     stream: ObservationStream,
+    /// The opening spec with every default resolved (partition and design
+    /// filled in, thinning clamped) — what a `.cgtes` snapshot records so
+    /// a restore reopens an equivalent session.
+    spec: SessionSpec,
     /// Reusable snapshot buffer (`estimate_stream_into`).
     est: StreamEstimate,
     /// Reusable walk draw buffer.
@@ -94,41 +165,31 @@ impl Session {
         };
         let p = &graph.partitions[part_idx].1;
         let thinning = spec.thinning.max(1);
-        let sampler = match spec.sampler.as_str() {
-            "uis" => AnySampler::Uis(UniformIndependence),
-            "rw" => AnySampler::Rw(RandomWalk::new().burn_in(spec.burn_in).thinning(thinning)),
-            "mhrw" => AnySampler::Mhrw(
-                MetropolisHastingsWalk::new()
-                    .burn_in(spec.burn_in)
-                    .thinning(thinning),
-            ),
-            "swrw" => {
-                let s = Swrw::equal_category_target(&graph.graph, p)
-                    .ok_or_else(|| {
-                        ServeError::unprocessable("cannot build S-WRW for this graph/partition")
-                    })?
-                    .burn_in(spec.burn_in)
-                    .thinning(thinning);
-                AnySampler::Swrw(s)
-            }
-            other => {
-                return Err(ServeError::unprocessable(format!(
-                    "unknown sampler {other:?} (use uis, rw, mhrw or swrw)"
-                )))
-            }
-        };
-        let design = match spec.design.as_deref() {
-            None => sampler.design(),
-            Some("uniform") => DesignKind::Uniform,
-            Some("weighted") => DesignKind::Weighted,
-            Some(other) => {
-                return Err(ServeError::unprocessable(format!(
-                    "unknown design {other:?} (use uniform or weighted)"
-                )))
-            }
-        };
+        let (sampler, design) = build_sampler(
+            &graph.graph,
+            p,
+            &spec.sampler,
+            spec.design.as_deref(),
+            spec.burn_in,
+            thinning,
+        )?;
         let index = graph.index(part_idx, index_threads);
         let num_categories = p.num_categories();
+        let resolved = SessionSpec {
+            graph: graph.name.clone(),
+            partition: Some(graph.partitions[part_idx].0.clone()),
+            sampler: spec.sampler.clone(),
+            design: Some(
+                match design {
+                    DesignKind::Uniform => "uniform",
+                    DesignKind::Weighted => "weighted",
+                }
+                .to_string(),
+            ),
+            seed: spec.seed,
+            burn_in: spec.burn_in,
+            thinning,
+        };
         Ok(Session {
             id,
             graph,
@@ -139,6 +200,7 @@ impl Session {
             seed: spec.seed,
             rng: StdRng::seed_from_u64(spec.seed),
             stream: ObservationStream::new(num_categories),
+            spec: resolved,
             est: StreamEstimate::new(num_categories),
             scratch: Vec::new(),
         })
@@ -390,5 +452,119 @@ impl Session {
     /// Underlying design of the session (for tests).
     pub fn design(&self) -> DesignKind {
         self.design
+    }
+
+    /// The graph this session observes.
+    pub fn graph_name(&self) -> &str {
+        &self.graph.name
+    }
+
+    /// Encodes the session's full resumable state as `.cgtes` container
+    /// sections: the resolved opening spec, the walk RNG's raw state, and
+    /// the observation push log. Restoring replays the log and resumes
+    /// the RNG mid-stream, so a restored session's future draws and
+    /// estimates are bit-identical to one that never stopped.
+    pub fn snapshot_container(&self) -> Container {
+        let mut c = Container::new();
+        c.push(Section::string("meta.kind", "cgte-session"));
+        c.push(Section::string(SEC_GRAPH, &self.spec.graph));
+        c.push(Section::string(
+            SEC_PARTITION,
+            self.spec.partition.as_deref().unwrap_or(""),
+        ));
+        c.push(Section::string(SEC_SAMPLER, &self.spec.sampler));
+        c.push(Section::string(
+            SEC_DESIGN,
+            self.spec.design.as_deref().unwrap_or(""),
+        ));
+        c.push(Section::u64s(
+            SEC_PARAMS,
+            vec![
+                self.spec.seed,
+                self.spec.burn_in as u64,
+                self.spec.thinning as u64,
+            ],
+        ));
+        c.push(Section::u64s(SEC_RNG, self.rng.state().to_vec()));
+        for s in snapshot::stream_sections(&self.stream) {
+            c.push(s);
+        }
+        c
+    }
+
+    /// The session's `.cgtes` snapshot as bytes (magic + checksummed
+    /// sections), ready to be written to disk or shipped over HTTP.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        snapshot::write_snapshot(&mut buf, &self.snapshot_container())
+            .expect("in-memory snapshot write cannot fail");
+        buf
+    }
+
+    /// The graph name a snapshot container was taken against (read before
+    /// restoring, to load the right registry entry).
+    pub fn snapshot_graph_name(c: &Container) -> Result<String, ServeError> {
+        c.string(SEC_GRAPH)
+            .map(str::to_string)
+            .map_err(|e| ServeError::unprocessable(format!("invalid snapshot: {e}")))
+    }
+
+    /// Rehydrates a session from a `.cgtes` snapshot container under a
+    /// fresh id: reopens the recorded spec against the (re)loaded graph,
+    /// restores the RNG state, and replays the push log through the
+    /// streaming kernel — bit-identical to the session that was
+    /// snapshotted, including every future server-side walk draw.
+    pub fn restore(
+        id: String,
+        graph: Arc<LoadedGraph>,
+        c: &Container,
+        index_threads: usize,
+    ) -> Result<Session, ServeError> {
+        let bad =
+            |e: &dyn std::fmt::Display| ServeError::unprocessable(format!("invalid snapshot: {e}"));
+        let get_str = |name: &str| -> Result<String, ServeError> {
+            c.string(name).map(str::to_string).map_err(|e| bad(&e))
+        };
+        let graph_name = get_str(SEC_GRAPH)?;
+        if graph_name != graph.name {
+            return Err(ServeError::unprocessable(format!(
+                "snapshot was taken against graph {graph_name:?}, not {:?}",
+                graph.name
+            )));
+        }
+        let partition = Some(get_str(SEC_PARTITION)?).filter(|s| !s.is_empty());
+        let sampler = get_str(SEC_SAMPLER)?;
+        let design = Some(get_str(SEC_DESIGN)?).filter(|s| !s.is_empty());
+        let params = c.u64s(SEC_PARAMS).map_err(|e| bad(&e))?;
+        let [seed, burn_in, thinning] = params else {
+            return Err(ServeError::unprocessable(format!(
+                "invalid snapshot: section {SEC_PARAMS:?} must hold [seed, burn_in, thinning], got {} entries",
+                params.len()
+            )));
+        };
+        let rng_state = c.u64s(SEC_RNG).map_err(|e| bad(&e))?;
+        let rng_state: [u64; 4] = rng_state.try_into().map_err(|_| {
+            ServeError::unprocessable(format!(
+                "invalid snapshot: section {SEC_RNG:?} must hold 4 words"
+            ))
+        })?;
+        let spec = SessionSpec {
+            graph: graph_name,
+            partition,
+            sampler,
+            design,
+            seed: *seed,
+            burn_in: *burn_in as usize,
+            thinning: (*thinning as usize).max(1),
+        };
+        let mut session = Session::open(id, graph, &spec, index_threads)?;
+        session.rng = StdRng::from_state(rng_state);
+        let ctx = ObservationContext::with_index(
+            &session.graph.graph,
+            &session.graph.partitions[session.part_idx].1,
+            &session.index,
+        );
+        session.stream = snapshot::stream_from_container(c, &ctx).map_err(|e| bad(&e))?;
+        Ok(session)
     }
 }

@@ -1,0 +1,284 @@
+//! Fault-tolerance tests of the sharded coordinator against real
+//! `Server` instances over real TCP — including runs through the
+//! deterministic fault-injection proxy and runs where a shard is killed
+//! mid-flight. The invariant under test everywhere: the merged stream is
+//! **bit-exact** against the single-box reference whenever the run is not
+//! degraded, and a degraded run says so loudly (flag + coverage) instead
+//! of hanging or answering silently wrong.
+
+use cgte_core::{estimate_stream, StarSizeOptions};
+use cgte_graph::generators::{planted_partition, PlantedConfig};
+use cgte_graph::store::{graph_sections, partition_section, Container, Section};
+use cgte_graph::{Graph, Partition};
+use cgte_sampling::ObservationContext;
+use cgte_serve::cluster::{
+    run_cluster, run_cluster_with, single_box_reference, ClusterConfig, ClusterEvent, RetryPolicy,
+};
+use cgte_serve::fault::{FaultAction, FaultPlan, FaultProxy};
+use cgte_serve::{ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cgte-cluster-it-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_graph(dir: &Path, name: &str, g: &Graph, p: &Partition) {
+    let mut c = Container::new();
+    c.push(Section::string("meta.kind", "graph"));
+    for s in graph_sections(g) {
+        c.push(s);
+    }
+    c.push(partition_section("main", p));
+    let mut w = BufWriter::new(std::fs::File::create(dir.join(format!("{name}.cgteg"))).unwrap());
+    c.write_to(&mut w).unwrap();
+    w.flush().unwrap();
+}
+
+fn planted() -> (Graph, Partition) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = PlantedConfig {
+        category_sizes: vec![40, 80, 160],
+        k: 6,
+        alpha: 0.3,
+    };
+    let pg = planted_partition(&cfg, &mut rng).unwrap();
+    (pg.graph, pg.partition)
+}
+
+fn boot(dir: &Path) -> Server {
+    Server::bind(&ServeConfig {
+        cache_dir: dir.to_path_buf(),
+        addr: "127.0.0.1:0".to_string(),
+        threads: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap()
+}
+
+/// Aggressive-but-calm timeouts for loopback tests: fast enough that a
+/// dead shard is detected in milliseconds, long enough that a loaded CI
+/// box never times out a healthy request.
+fn test_policy() -> RetryPolicy {
+    RetryPolicy {
+        connect_timeout: Duration::from_millis(300),
+        request_timeout: Duration::from_secs(2),
+        max_retries: 3,
+        backoff_base: Duration::from_millis(5),
+        backoff_max: Duration::from_millis(20),
+        breaker_threshold: 2,
+    }
+}
+
+fn test_config(walkers: usize, steps: usize, batch: usize) -> ClusterConfig {
+    ClusterConfig {
+        partition: Some("main".to_string()),
+        walkers,
+        steps_per_walker: steps,
+        batch,
+        snapshot_every: 1,
+        policy: test_policy(),
+        ..ClusterConfig::new("planted")
+    }
+}
+
+/// The healthy-path contract: a 2-shard cluster merges to the exact
+/// stream — and therefore the exact estimate — one process computes
+/// alone.
+#[test]
+fn two_shards_match_single_box_bit_exactly() {
+    let dir = temp_store("exact");
+    let (g, p) = planted();
+    write_graph(&dir, "planted", &g, &p);
+    let a = boot(&dir);
+    let b = boot(&dir);
+    let shards = vec![a.addr().to_string(), b.addr().to_string()];
+
+    let mut cfg = test_config(4, 120, 30);
+    cfg.snapshot_every = 2;
+    let ctx = ObservationContext::new(&g, &p);
+    let run = run_cluster(&cfg, &shards, &ctx).unwrap();
+
+    assert!(!run.degraded);
+    assert_eq!(run.walkers_completed, 4);
+    assert_eq!(run.coverage, 1.0);
+    assert_eq!(run.shards_alive, 2);
+
+    let reference = single_box_reference(&cfg, &g, &p, &ctx).unwrap();
+    assert_eq!(run.stream, reference, "merged stream is not bit-exact");
+    // Estimation is a pure function of the stream, so this holds by
+    // construction — asserted anyway as the user-visible contract.
+    let opts = StarSizeOptions::default();
+    let n = g.num_nodes() as f64;
+    assert_eq!(
+        estimate_stream(&run.stream, n, &opts),
+        estimate_stream(&reference, n, &opts)
+    );
+
+    a.shutdown();
+    b.shutdown();
+    a.join();
+    b.join();
+}
+
+/// A scripted gauntlet through the fault proxy: a slow-loris stall (the
+/// client's timeout fires), a mid-body disconnect on a snapshot
+/// download, and an injected 500 on an ingest — each recovered by the
+/// retry/resync protocol with zero lost or duplicated samples.
+#[test]
+fn scripted_faults_recover_without_losing_or_duplicating_samples() {
+    let dir = temp_store("script");
+    let (g, p) = planted();
+    write_graph(&dir, "planted", &g, &p);
+    let server = boot(&dir);
+    // Expected request sequence (one walker, 40 steps in batches of 20):
+    //   0 open, 1 ingest (stalled → timeout), 2 resync estimate,
+    //   3 ingest re-send, 4 checkpoint (truncated mid-body → retried),
+    //   5 checkpoint retry, 6 ingest (injected 500), 7 resync estimate,
+    //   8 ingest re-send, 9 final checkpoint, 10 delete.
+    let proxy = FaultProxy::spawn(
+        server.addr(),
+        FaultPlan::Script(vec![
+            FaultAction::Pass,
+            FaultAction::Stall(1500),
+            FaultAction::Pass,
+            FaultAction::Pass,
+            FaultAction::MidBodyDisconnect,
+            FaultAction::Pass,
+            FaultAction::ServerError,
+        ]),
+    )
+    .unwrap();
+
+    let mut cfg = test_config(1, 40, 20);
+    cfg.policy.request_timeout = Duration::from_millis(300);
+    cfg.policy.breaker_threshold = 10;
+    let ctx = ObservationContext::new(&g, &p);
+    let run = run_cluster(&cfg, &[proxy.addr().to_string()], &ctx).unwrap();
+
+    assert!(!run.degraded, "faults must be survivable, not degrading");
+    assert_eq!(run.walkers_completed, 1);
+    assert!(run.retries >= 1, "the mid-body disconnect forces a retry");
+    assert!(proxy.requests_seen() >= 11, "{}", proxy.requests_seen());
+    let reference = single_box_reference(&cfg, &g, &p, &ctx).unwrap();
+    assert_eq!(run.stream, reference);
+
+    proxy.shutdown();
+    server.shutdown();
+    server.join();
+}
+
+/// Seeded pseudo-random fault soak: ~20% of all requests misbehave and
+/// the answer must still come out bit-exact.
+#[test]
+fn seeded_fault_soak_stays_bit_exact() {
+    let dir = temp_store("soak");
+    let (g, p) = planted();
+    write_graph(&dir, "planted", &g, &p);
+    let server = boot(&dir);
+    let proxy = FaultProxy::spawn(
+        server.addr(),
+        FaultPlan::Seeded {
+            seed: 3,
+            fault_percent: 20,
+        },
+    )
+    .unwrap();
+
+    let mut cfg = test_config(2, 60, 20);
+    cfg.policy.request_timeout = Duration::from_millis(700);
+    cfg.policy.max_retries = 4;
+    cfg.policy.breaker_threshold = 100;
+    let ctx = ObservationContext::new(&g, &p);
+    let run = run_cluster(&cfg, &[proxy.addr().to_string()], &ctx).unwrap();
+
+    assert!(!run.degraded);
+    assert_eq!(run.walkers_completed, 2);
+    let reference = single_box_reference(&cfg, &g, &p, &ctx).unwrap();
+    assert_eq!(run.stream, reference);
+
+    proxy.shutdown();
+    server.shutdown();
+    server.join();
+}
+
+/// The headline robustness scenario: one of two shards is killed
+/// mid-run. Its walkers are restored from their last snapshots onto the
+/// survivor and the final merged stream is still bit-exact — placement
+/// never matters, only walker seeds and batch boundaries do.
+#[test]
+fn shard_killed_mid_run_recovers_bit_exactly() {
+    let dir = temp_store("kill");
+    let (g, p) = planted();
+    write_graph(&dir, "planted", &g, &p);
+    let a = boot(&dir);
+    let b = boot(&dir);
+    let shards = vec![a.addr().to_string(), b.addr().to_string()];
+
+    let cfg = test_config(4, 120, 30);
+    let ctx = ObservationContext::new(&g, &p);
+    let killed = std::cell::Cell::new(false);
+    let run = run_cluster_with(&cfg, &shards, &ctx, |e| {
+        // Kill shard B right after every walker checkpointed round 1 —
+        // a reproducible mid-run crash point.
+        if e == (ClusterEvent::RoundDone { round: 1 }) && !killed.get() {
+            b.shutdown();
+            killed.set(true);
+        }
+    })
+    .unwrap();
+
+    assert!(killed.get());
+    assert!(
+        !run.degraded,
+        "survivor must absorb the dead shard's walkers"
+    );
+    assert_eq!(run.walkers_completed, 4);
+    assert!(
+        run.reassignments >= 1,
+        "walkers never moved off the dead shard"
+    );
+    assert_eq!(run.shards_alive, 1);
+    let reference = single_box_reference(&cfg, &g, &p, &ctx).unwrap();
+    assert_eq!(run.stream, reference, "recovery broke bit-exactness");
+
+    a.shutdown();
+    a.join();
+    b.join();
+}
+
+/// Permanent total loss: every shard dies and stays dead. The run must
+/// terminate (no hang), return `Ok`, and flag itself degraded with an
+/// honest coverage number — never a silent partial answer.
+#[test]
+fn total_shard_loss_degrades_cleanly_without_hanging() {
+    let dir = temp_store("loss");
+    let (g, p) = planted();
+    write_graph(&dir, "planted", &g, &p);
+    let a = boot(&dir);
+    let shards = vec![a.addr().to_string()];
+
+    let cfg = test_config(2, 90, 30);
+    let ctx = ObservationContext::new(&g, &p);
+    let killed = std::cell::Cell::new(false);
+    let run = run_cluster_with(&cfg, &shards, &ctx, |e| {
+        if matches!(e, ClusterEvent::RoundDone { .. }) && !killed.get() {
+            a.shutdown();
+            killed.set(true);
+        }
+    })
+    .unwrap();
+
+    assert!(run.degraded);
+    assert_eq!(run.walkers_completed, 0);
+    assert_eq!(run.coverage, 0.0);
+    assert_eq!(run.shards_alive, 0);
+    assert!(run.stream.is_empty());
+
+    a.join();
+}

@@ -88,6 +88,7 @@ fn scripted_session_estimates_are_bit_identical_to_batch_path() {
         cache_dir: dir.clone(),
         addr: "127.0.0.1:0".to_string(),
         threads: 2,
+        ..ServeConfig::default()
     })
     .unwrap();
     let addr = server.addr();
@@ -262,6 +263,7 @@ fn server_side_walk_matches_batch_draw_and_surfaces_422() {
         cache_dir: dir.clone(),
         addr: "127.0.0.1:0".to_string(),
         threads: 2,
+        ..ServeConfig::default()
     })
     .unwrap();
     let mut client = Client::connect(server.addr()).unwrap();
@@ -370,6 +372,7 @@ fn concurrent_sessions_across_connections() {
         cache_dir: dir.clone(),
         addr: "127.0.0.1:0".to_string(),
         threads: 4,
+        ..ServeConfig::default()
     })
     .unwrap();
     let addr = server.addr();

@@ -231,6 +231,29 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state, for checkpointing: a generator
+        /// rebuilt with [`StdRng::from_state`] continues the exact same
+        /// stream (session snapshot/restore relies on this being
+        /// bit-exact).
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured state. The
+        /// all-zero state is the one invalid xoshiro state (it is a fixed
+        /// point); it is replaced by the same guard constant
+        /// `seed_from_u64` uses, so hostile input cannot wedge the stream.
+        #[inline]
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
