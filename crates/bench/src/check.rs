@@ -11,9 +11,10 @@
 //! core counts — so those metrics are compared **only when both reports
 //! record the same `available_parallelism`** (the committed baseline and
 //! CI's runners, or two runs on one developer box). Internal ratios —
-//! currently the load section's `speedup_vs_regen`, where both timings
-//! come from the same box within one run — are machine-independent and
-//! are always compared. Reports from different tiers (`quick` flag
+//! the load section's `speedup_vs_regen` and the obs section's
+//! traced/disabled rate ratios, where both timings come from the same
+//! box within one run — are machine-independent and are always
+//! compared. Reports from different tiers (`quick` flag
 //! mismatch) are never comparable: the workloads differ, so the checker
 //! refuses with instructions to regenerate the baseline.
 
@@ -224,6 +225,24 @@ fn extract(report: &str, label: &str) -> Result<Extracted, String> {
             serial_rate(serve, "p99_ms", &ctx)?,
         ));
     }
+    // Reports written before the obs section existed (PR6 and earlier)
+    // simply contribute no obs metrics. Both traced/disabled ratios are
+    // internal (off and noop-traced timed back to back on one box), so
+    // they gate across machines — a collapsing ratio means tracing got
+    // expensive relative to the hot path it instruments.
+    if let Some(obs) = v.get("obs") {
+        let ctx = format!("{label}: obs");
+        metrics.push(Metric::throughput(
+            "obs/walk_traced_ratio".into(),
+            num(obs, "walk_traced_ratio", &ctx)?,
+            MetricClass::Ratio,
+        ));
+        metrics.push(Metric::throughput(
+            "obs/serve_traced_ratio".into(),
+            num(obs, "serve_traced_ratio", &ctx)?,
+            MetricClass::Ratio,
+        ));
+    }
     Ok(Extracted {
         quick,
         parallelism,
@@ -308,7 +327,8 @@ mod tests {
   "estimate": {{"nodes":100,"replications":2,"max_size":10,"targets":3,"best_speedup":1.0,"runs":[{{"threads":1,"secs":0.1,"samples_per_sec":{e1:.1}}}]}},
   "load": {{"generator":"chung_lu","nodes":1000,"edges":5000,"write_secs":0.1,"load_secs":0.01,"regen_secs":0.5,"load_edges_per_sec":{l1:.1},"regen_edges_per_sec":10000.0,"speedup_vs_regen":{lr:.3},"identical":true}},
   "snapshot": {{"nodes":1000,"categories":10,"samples":50000,"bytes":1200000,"write_secs":0.01,"restore_secs":0.02,"write_samples_per_sec":{sw:.1},"restore_samples_per_sec":{sr:.1},"identical":true}},
-  "serve": {{"nodes":1000,"edges":5000,"categories":10,"rounds":25,"steps_per_ingest":200,"best_speedup":1.0,"runs":[{{"threads":1,"secs":1.0,"requests":100,"requests_per_sec":{s1:.1},"p50_ms":{p50:.4},"p99_ms":{p99:.4}}}]}}
+  "serve": {{"nodes":1000,"edges":5000,"categories":10,"rounds":25,"steps_per_ingest":200,"best_speedup":1.0,"runs":[{{"threads":1,"secs":1.0,"requests":100,"requests_per_sec":{s1:.1},"p50_ms":{p50:.4},"p99_ms":{p99:.4}}}]}},
+  "obs": {{"walk_steps":1000000,"walk_off_secs":0.1,"walk_traced_secs":0.1,"walk_steps_per_sec_off":10000000.0,"walk_steps_per_sec_traced":10000000.0,"walk_traced_ratio":{ow:.4},"serve_rounds":400,"serve_requests":801,"serve_off_secs":0.1,"serve_traced_secs":0.1,"serve_requests_per_sec_off":8000.0,"serve_requests_per_sec_traced":8000.0,"serve_traced_ratio":{os:.4}}}
 }}
 "#,
             sp = 1.2 * f,
@@ -325,6 +345,8 @@ mod tests {
             // (f < 1) has *higher* p50/p99.
             p50 = 2.0 / f,
             p99 = 9.0 / f,
+            ow = 1.0 * ratio_f,
+            os = 0.99 * ratio_f,
         )
     }
 
@@ -392,8 +414,8 @@ mod tests {
         let out = check_reports(&report(8, 0.5, 0.5), &report(1, 1.0, 1.0)).unwrap();
         assert!(out.skipped > 0, "absolute metrics skipped");
         assert_eq!(
-            out.compared, 1,
-            "only the machine-independent ratio is compared"
+            out.compared, 3,
+            "only the machine-independent ratios are compared (load + 2 obs)"
         );
         assert!(
             out.failures.iter().any(|f| f.contains("speedup_vs_regen")),
@@ -475,6 +497,28 @@ mod tests {
             out.failures
                 .iter()
                 .any(|f| f.contains("snapshot/restore_samples_per_sec")),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn pr6_baseline_without_obs_section_is_accepted() {
+        // A baseline committed before the obs section existed must not
+        // fail the gate; once both sides carry it, a collapsed tracing
+        // ratio (tracing suddenly costing 60% of the hot path) fails.
+        let base = report(1, 1.0, 1.0).replace("\"obs\":", "\"obs_unused\":");
+        let out = check_reports(&report(1, 1.0, 1.0), &base).unwrap();
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        let degraded = report(1, 1.0, 1.0).replace(
+            "\"serve_traced_ratio\":0.9900",
+            "\"serve_traced_ratio\":0.4000",
+        );
+        let out = check_reports(&degraded, &report(1, 1.0, 1.0)).unwrap();
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("obs/serve_traced_ratio")),
             "{:?}",
             out.failures
         );

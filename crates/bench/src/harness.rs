@@ -1,7 +1,7 @@
 //! The `cgte bench` harness: machine-readable performance trajectory.
 //!
-//! Times five hot paths at each configured thread count and emits a JSON
-//! report (`BENCH_PR5.json` by default) that later PRs append to, so speed
+//! Times the hot paths at each configured thread count and emits a JSON
+//! report (`BENCH_PR7.json` by default) that later PRs append to, so speed
 //! claims are pinned from PR to PR rather than asserted in prose:
 //!
 //! - **build** — edges/sec of every parallel generator (Chung–Lu at
@@ -21,7 +21,13 @@
 //!   observed samples per second) via `ExperimentConfig::threads`;
 //! - **serve** — sustained requests/sec and p50/p99 request latency of
 //!   the online estimation service (`cgte-serve`) against the warm
-//!   headline graph, at each worker-pool size.
+//!   headline graph, at each worker-pool size;
+//! - **obs** — tracing overhead: the same walk and serve workloads timed
+//!   with the tracer disabled and then fully enabled into a
+//!   [`cgte_obs::NoopSink`] at detail level. The traced/disabled rate
+//!   ratios are internal (both sides from one box, back to back), so the
+//!   regression gate always compares them — they pin the claim that
+//!   instrumentation costs ~0 when tracing is off.
 //!
 //! The JSON schema is documented in `EXPERIMENTS.md` (§ benchmark
 //! harness). Timings are wall-clock; `available_parallelism` is recorded
@@ -73,7 +79,7 @@ impl Default for BenchOptions {
             quick: false,
             seed: 0x2012_5EED,
             threads: vec![1, 2, 8],
-            out: PathBuf::from("BENCH_PR5.json"),
+            out: PathBuf::from("BENCH_PR7.json"),
             cache_dir: None,
             load_nodes: 1_000_000,
         }
@@ -650,6 +656,192 @@ fn bench_estimate(opts: &BenchOptions) -> EstimateEntry {
     }
 }
 
+/// One workload timed twice: tracer fully disabled (level 0, the
+/// production default) and fully enabled into a [`cgte_obs::NoopSink`]
+/// at [`cgte_obs::LEVEL_DETAIL`]. The noop-sink run is a *superset* of
+/// the disabled run's work — every level gate passes and every record is
+/// rendered — so `traced_ratio ≈ 1` bounds the disabled-tracing overhead
+/// from above.
+struct ObsWorkload {
+    off_secs: f64,
+    traced_secs: f64,
+    off_rate: f64,
+    traced_rate: f64,
+}
+
+impl ObsWorkload {
+    /// Traced rate over disabled rate — an internal ratio (both sides
+    /// from one box within one run), so the gate always compares it.
+    fn traced_ratio(&self) -> f64 {
+        self.traced_rate / self.off_rate.max(1e-9)
+    }
+}
+
+struct ObsEntry {
+    walk_steps: usize,
+    walk: ObsWorkload,
+    serve_rounds: usize,
+    serve_requests: usize,
+    serve: ObsWorkload,
+}
+
+/// Measures the tracing tax on the two hot paths the ISSUE pins: raw
+/// walk steps/sec (the sampler inner loop runs under serve's request
+/// spans) and serve requests/sec (every request opens a span and ingest
+/// emits a `serve.walk` event). Runs **last** in the harness: it
+/// installs a process-global sink, and although it shuts the tracer down
+/// afterwards, no other section should ever time against a live tracer.
+fn bench_obs(g: &Graph, opts: &BenchOptions) -> Result<ObsEntry, String> {
+    use cgte_serve::client::Client;
+    use cgte_serve::{ServeConfig, Server};
+
+    assert_eq!(cgte_obs::level(), 0, "tracer must start disabled");
+
+    // --- walk steps/sec, disabled vs noop-traced -------------------------
+    // 4× the walk section's budget: the two sides differ by a couple of
+    // percent at most, so each timed window must be hundreds of
+    // milliseconds for the ratio to be signal rather than scheduler
+    // noise (the gate compares it across PRs).
+    let steps = if opts.quick { 4_000_000 } else { 8_000_000 };
+    let reps = SERIAL_REPS + 2;
+    let sampler = RandomWalk::new();
+    let run_walk = || {
+        let mut rng = StdRng::seed_from_u64(opts.seed ^ 0x0B5);
+        let mut buf = Vec::with_capacity(steps);
+        sampler.sample_into(g, steps, &mut rng, &mut buf);
+        buf.len()
+    };
+    let (_, walk_off_secs) = best_of(reps, run_walk);
+    cgte_obs::install(
+        std::sync::Arc::new(cgte_obs::NoopSink),
+        cgte_obs::LEVEL_DETAIL,
+    );
+    let (_, walk_traced_secs) = best_of(reps, run_walk);
+    cgte_obs::shutdown();
+    let walk = ObsWorkload {
+        off_secs: walk_off_secs,
+        traced_secs: walk_traced_secs,
+        off_rate: steps as f64 / walk_off_secs.max(1e-9),
+        traced_rate: steps as f64 / walk_traced_secs.max(1e-9),
+    };
+
+    // --- serve requests/sec, disabled vs noop-traced ---------------------
+    // A small planted graph keeps this section seconds-scale: the point
+    // is the per-request delta, which is size-independent.
+    let cfg = PlantedConfig::scaled(if opts.quick { 60 } else { 20 }, 20, 0.5);
+    let pg = par_planted_partition(&cfg, opts.seed, 0).expect("feasible planted config");
+    let dir = opts.cache_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("cgte-bench-obs-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    let name = format!("obs-planted-{}-{}", pg.graph.num_nodes(), opts.seed);
+    let path = dir.join(format!("{name}.cgteg"));
+    {
+        use cgte_graph::store::{graph_sections, partition_section, Container, Section};
+        let mut c = Container::new();
+        c.push(Section::string("meta.kind", "graph"));
+        for s in graph_sections(&pg.graph) {
+            c.push(s);
+        }
+        c.push(partition_section("main", &pg.partition));
+        let mut out = BufWriter::new(
+            File::create(&path).map_err(|e| format!("cannot create {path:?}: {e}"))?,
+        );
+        c.write_to(&mut out)
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+
+    let rounds = if opts.quick { 400 } else { 1200 };
+    let server = Server::bind(&ServeConfig {
+        cache_dir: dir.clone(),
+        addr: "127.0.0.1:0".to_string(),
+        threads: 1,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("cannot bind obs bench server: {e}"))?;
+    let addr = server.addr();
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    // One scripted session: open, then `rounds` × (ingest, estimate).
+    // Returns the request count so rates stay honest if the shape shifts.
+    let mut run_serve = |seed: u64| -> Result<usize, String> {
+        let (st, body) = client
+            .request(
+                "POST",
+                "/sessions",
+                &format!("{{\"graph\":\"{name}\",\"sampler\":\"rw\",\"seed\":{seed}}}"),
+            )
+            .map_err(|e| e.to_string())?;
+        if st != 200 {
+            return Err(format!("obs bench session failed ({st}): {body}"));
+        }
+        let id = body
+            .split("\"session\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .ok_or("no session id in response")?
+            .to_string();
+        let mut requests = 1;
+        for _ in 0..rounds {
+            let (st, _) = client
+                .request("POST", &format!("/sessions/{id}/ingest"), "{\"steps\":200}")
+                .map_err(|e| e.to_string())?;
+            if st != 200 {
+                return Err(format!("obs bench ingest failed ({st})"));
+            }
+            let (st, _) = client
+                .request("GET", &format!("/sessions/{id}/estimate"), "")
+                .map_err(|e| e.to_string())?;
+            if st != 200 {
+                return Err(format!("obs bench estimate failed ({st})"));
+            }
+            requests += 2;
+        }
+        Ok(requests)
+    };
+    // Warm-up (graph load + neighbor-category index) outside both windows.
+    run_serve(1)?;
+    let (requests, serve_off_secs) = best_of(SERIAL_REPS, || run_serve(100));
+    let requests = requests?;
+    cgte_obs::install(
+        std::sync::Arc::new(cgte_obs::NoopSink),
+        cgte_obs::LEVEL_DETAIL,
+    );
+    let (traced_requests, serve_traced_secs) = best_of(SERIAL_REPS, || run_serve(200));
+    cgte_obs::shutdown();
+    let traced_requests = traced_requests?;
+    assert_eq!(requests, traced_requests, "identical request scripts");
+    server.shutdown();
+    server.join();
+    if opts.cache_dir.is_none() {
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+    let serve = ObsWorkload {
+        off_secs: serve_off_secs,
+        traced_secs: serve_traced_secs,
+        off_rate: requests as f64 / serve_off_secs.max(1e-9),
+        traced_rate: requests as f64 / serve_traced_secs.max(1e-9),
+    };
+    let entry = ObsEntry {
+        walk_steps: steps,
+        walk,
+        serve_rounds: rounds,
+        serve_requests: requests,
+        serve,
+    };
+    eprintln!(
+        "obs: walk {:.0} steps/s off vs {:.0} traced (ratio {:.3}); serve {:.0} req/s off vs {:.0} traced (ratio {:.3})",
+        entry.walk.off_rate,
+        entry.walk.traced_rate,
+        entry.walk.traced_ratio(),
+        entry.serve.off_rate,
+        entry.serve.traced_rate,
+        entry.serve.traced_ratio(),
+    );
+    Ok(entry)
+}
+
 fn runs_json(runs: &[TimedRun], rate_key: &str) -> String {
     let items: Vec<String> = runs
         .iter()
@@ -741,11 +933,14 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     // --- serve request throughput + latency -------------------------------
     let serve = bench_serve(&headline, opts)?;
 
+    // --- tracing overhead (must run last: installs the global tracer) -----
+    let obs = bench_obs(&walk_graph, opts)?;
+
     // --- report -----------------------------------------------------------
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\n  \"schema\": \"cgte-bench/1\",\n  \"pr\": \"PR5\",\n  \"quick\": {},\n  \"seed\": {},\n  \"available_parallelism\": {},\n  \"threads\": [{}],\n",
+        "{{\n  \"schema\": \"cgte-bench/1\",\n  \"pr\": \"PR7\",\n  \"quick\": {},\n  \"seed\": {},\n  \"available_parallelism\": {},\n  \"threads\": [{}],\n",
         quick,
         seed,
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
@@ -827,9 +1022,9 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
             )
         })
         .collect();
-    let _ = write!(
+    let _ = writeln!(
         json,
-        "  \"serve\": {{\"nodes\":{},\"edges\":{},\"categories\":{},\"rounds\":{},\"steps_per_ingest\":{},\"best_speedup\":{:.3},\"runs\":[{}]}}\n}}\n",
+        "  \"serve\": {{\"nodes\":{},\"edges\":{},\"categories\":{},\"rounds\":{},\"steps_per_ingest\":{},\"best_speedup\":{:.3},\"runs\":[{}]}},",
         serve.nodes,
         serve.edges,
         serve.categories,
@@ -844,6 +1039,23 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
             }
         },
         serve_runs.join(","),
+    );
+    let _ = write!(
+        json,
+        "  \"obs\": {{\"walk_steps\":{},\"walk_off_secs\":{:.6},\"walk_traced_secs\":{:.6},\"walk_steps_per_sec_off\":{:.1},\"walk_steps_per_sec_traced\":{:.1},\"walk_traced_ratio\":{:.4},\"serve_rounds\":{},\"serve_requests\":{},\"serve_off_secs\":{:.6},\"serve_traced_secs\":{:.6},\"serve_requests_per_sec_off\":{:.1},\"serve_requests_per_sec_traced\":{:.1},\"serve_traced_ratio\":{:.4}}}\n}}\n",
+        obs.walk_steps,
+        obs.walk.off_secs,
+        obs.walk.traced_secs,
+        obs.walk.off_rate,
+        obs.walk.traced_rate,
+        obs.walk.traced_ratio(),
+        obs.serve_rounds,
+        obs.serve_requests,
+        obs.serve.off_secs,
+        obs.serve.traced_secs,
+        obs.serve.off_rate,
+        obs.serve.traced_rate,
+        obs.serve.traced_ratio(),
     );
 
     std::fs::write(&opts.out, &json).map_err(|e| format!("cannot write {:?}: {e}", opts.out))?;
@@ -882,6 +1094,12 @@ mod tests {
         assert!(json.contains("\"serve\""));
         assert!(json.contains("\"requests_per_sec\""));
         assert!(json.contains("\"p99_ms\""));
+        assert!(json.contains("\"obs\""));
+        assert!(json.contains("\"walk_traced_ratio\""));
+        assert!(json.contains("\"serve_traced_ratio\""));
+        // The obs section must leave the process-global tracer disabled,
+        // or everything after a bench run would pay for tracing.
+        assert_eq!(cgte_obs::level(), 0);
         let back = std::fs::read_to_string(&opts.out).unwrap();
         assert_eq!(back, json);
         // The load section kept its .cgteg in the cache dir.

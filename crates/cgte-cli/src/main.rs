@@ -55,15 +55,18 @@ USAGE:
                          [--format dot|json|graphml|csv|report] [--top-k K] [--out F]
   cgte run               SCENARIO.scn | --builtin NAME|all [--quick | --full | --huge]
                          [--seed S] [--threads N] [--csv DIR] [--out DIR] [--resume]
-                         [--cache-dir DIR]
+                         [--cache-dir DIR] [--trace FILE.jsonl] [--trace-level N]
   cgte serve             --cache-dir DIR [--port P] [--addr HOST:PORT] [--threads N]
                          [--idle-poll-ms MS] [--session-ttl SECS] [--max-sessions N]
+                         [--trace FILE.jsonl] [--trace-level N]
   cgte cluster           --cache-dir DIR --graph NAME --shards H:P,H:P[,…]
                          [--partition NAME] [--sampler uis|rw|mhrw|swrw]
                          [--design uniform|weighted] [--seed S] [--burn-in B]
                          [--thinning T] [--walkers W] [--steps N] [--batch B]
                          [--snapshot-every R] [--timeout-ms MS] [--retries R]
-                         [--verify true]
+                         [--verify true] [--trace FILE.jsonl] [--trace-level N]
+  cgte trace summarize   FILE.jsonl
+  cgte metrics check     FILE.txt | -
   cgte bench             [--quick] [--seed S] [--threads 1,2,8] [--out FILE.json]
                          [--cache-dir DIR] [--check BASELINE.json]
   cgte help
@@ -101,12 +104,25 @@ fields when walkers could not complete.
 `cgte estimate --ci 0.95` additionally prints per-category bootstrap
 percentile confidence intervals for the size estimates to stderr.
 
+`--trace FILE.jsonl` (on serve, cluster and run) writes structured spans
+and events — request handling, cluster rounds/retries/breaker
+transitions, server-side walk statistics, scenario jobs and cache
+hits — as one JSON object per line. `--trace-level` selects detail:
+1 = coarse spans only, 2 = + lifecycle/retry/cache events (default),
+3 = fine. `cgte trace summarize` aggregates such a file into a
+per-span-name count/total/p50/p90/p99 latency table. `cgte metrics
+check` parses a Prometheus text exposition (a /metrics scrape saved to
+a file, or `-` for stdin) and validates it: TYPE/HELP declarations,
+finite values, histogram bucket monotonicity and _sum/_count
+consistency.
+
 `cgte bench` times graph build rate, .cgteg load rate, walk steps/sec,
 estimate throughput and serve request throughput/latency at each thread
-count and writes a machine-readable JSON report (default BENCH_PR5.json;
+count and writes a machine-readable JSON report (default BENCH_PR7.json;
 see EXPERIMENTS.md for the schema). With --check it then compares the
 fresh report against a committed baseline and fails on a >25% per-metric
-regression (warns over 10%).
+regression (warns over 10%). The `obs` section pins the tracing-disabled
+overhead of the instrumentation (ratios ~1.0).
 ";
 
 fn main() -> ExitCode {
@@ -164,7 +180,7 @@ impl Args {
 
 fn run() -> Result<(), CliError> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match argv.first().map(String::as_str) {
+    let result = match argv.first().map(String::as_str) {
         Some("generate") => {
             let kind = argv.get(1).map(String::as_str).unwrap_or("");
             let args = Args::parse(&argv[2..])?;
@@ -178,12 +194,77 @@ fn run() -> Result<(), CliError> {
         Some("run") => cmd_run(&argv[1..]),
         Some("serve") => cmd_serve(&Args::parse(&argv[1..])?),
         Some("cluster") => cmd_cluster(&Args::parse(&argv[1..])?),
+        Some("trace") => cmd_trace(&argv[1..]),
+        Some("metrics") => cmd_metrics(&argv[1..]),
         Some("bench") => cmd_bench(&argv[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
         }
         Some(other) => Err(format!("unknown subcommand {other:?}\n{USAGE}").into()),
+    };
+    // Flush + drop the trace sink (a no-op when --trace was not given),
+    // so the last buffered JSONL records hit disk on every exit path.
+    cgte_obs::shutdown();
+    result
+}
+
+/// Installs the JSONL trace sink when `--trace FILE` was given.
+/// `--trace-level` defaults to 2 (coarse spans + lifecycle detail).
+fn install_trace(path: Option<&str>, level: u8) -> Result<(), CliError> {
+    let Some(path) = path else { return Ok(()) };
+    if level == 0 {
+        return Err("--trace-level must be 1, 2 or 3".into());
+    }
+    let sink = cgte_obs::JsonlSink::create(std::path::Path::new(path))
+        .map_err(|e| format!("cannot create trace file {path:?}: {e}"))?;
+    cgte_obs::install(std::sync::Arc::new(sink), level);
+    Ok(())
+}
+
+/// `cgte trace summarize FILE.jsonl` — aggregates a trace into a
+/// per-span-name latency table.
+fn cmd_trace(argv: &[String]) -> Result<(), CliError> {
+    match (argv.first().map(String::as_str), argv.get(1)) {
+        (Some("summarize"), Some(path)) => {
+            let file = File::open(path).map_err(|e| format!("cannot open {path:?}: {e}"))?;
+            let summary = cgte_obs::summarize::summarize(BufReader::new(file))?;
+            print!("{}", summary.render());
+            Ok(())
+        }
+        _ => Err(format!("usage: cgte trace summarize FILE.jsonl\n{USAGE}").into()),
+    }
+}
+
+/// `cgte metrics check FILE` — validates a Prometheus text exposition
+/// (`-` reads stdin). Exit code 1 with every violation on stderr.
+fn cmd_metrics(argv: &[String]) -> Result<(), CliError> {
+    match (argv.first().map(String::as_str), argv.get(1)) {
+        (Some("check"), Some(path)) => {
+            let text = if path == "-" {
+                let mut s = String::new();
+                std::io::Read::read_to_string(&mut std::io::stdin(), &mut s)?;
+                s
+            } else {
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?
+            };
+            match cgte_obs::promtext::validate(&text) {
+                Ok(stats) => {
+                    println!(
+                        "metrics ok: {} families, {} samples, {} histograms",
+                        stats.families, stats.samples, stats.histograms
+                    );
+                    Ok(())
+                }
+                Err(errors) => {
+                    for e in &errors {
+                        eprintln!("metrics: {e}");
+                    }
+                    Err(format!("exposition invalid ({} violation(s))", errors.len()).into())
+                }
+            }
+        }
+        _ => Err(format!("usage: cgte metrics check FILE|-\n{USAGE}").into()),
     }
 }
 
@@ -399,10 +480,21 @@ fn export(cg: &CategoryGraph, args: &Args) -> Result<(), CliError> {
 fn cmd_run(argv: &[String]) -> Result<(), CliError> {
     let mut scenario_path: Option<String> = None;
     let mut builtin: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut trace_level = 2u8;
     let mut opts = cgte_scenarios::RunOptions::default();
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--trace" => {
+                trace_path = Some(it.next().ok_or("--trace needs a file path")?.clone());
+            }
+            "--trace-level" => {
+                let v = it.next().ok_or("--trace-level needs 1, 2 or 3")?;
+                trace_level = v
+                    .parse()
+                    .map_err(|e| format!("invalid --trace-level {v:?}: {e}"))?;
+            }
             "--quick" => opts.scale = cgte_scenarios::Scale::Quick,
             "--full" => opts.scale = cgte_scenarios::Scale::Full,
             "--huge" => opts.scale = cgte_scenarios::Scale::Huge,
@@ -445,6 +537,7 @@ fn cmd_run(argv: &[String]) -> Result<(), CliError> {
     if opts.resume && opts.out_dir.is_none() {
         return Err("--resume requires --out DIR (the run directory holding the manifest)".into());
     }
+    install_trace(trace_path.as_deref(), trace_level)?;
     // The `cache: builds=… loads=… hits=…` stderr lines are a stable,
     // grep-able contract: CI's warm-cache job asserts `builds=0` on them.
     match (scenario_path, builtin) {
@@ -537,6 +630,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         session_ttl_secs,
         max_sessions,
     };
+    install_trace(args.get("trace"), args.parse_or("trace-level", 2u8)?)?;
     cgte_serve::run(&cfg)?;
     Ok(())
 }
@@ -578,6 +672,7 @@ fn cmd_cluster(args: &Args) -> Result<(), CliError> {
         jitter_seed: args.parse_or("jitter-seed", 0u64)?,
     };
     let verify: bool = args.parse_or("verify", false)?;
+    install_trace(args.get("trace"), args.parse_or("trace-level", 2u8)?)?;
 
     // The coordinator's local view of the shared store: used both to
     // merge the downloaded logs and to pin the result against the
@@ -597,7 +692,17 @@ fn cmd_cluster(args: &Args) -> Result<(), CliError> {
     let partition = &loaded.partitions[part_idx].1;
     let ctx = cgte_sampling::ObservationContext::with_index(&loaded.graph, partition, &index);
 
-    let run = cluster::run_cluster(&cfg, &shards, &ctx)?;
+    // Progress diagnostics go to stderr — stdout stays pure JSON for
+    // machine consumers.
+    let run = cluster::run_cluster_with(&cfg, &shards, &ctx, |ev| match ev {
+        cluster::ClusterEvent::ShardDead { shard } => {
+            eprintln!("cgte cluster: shard {shard} unresponsive; redistributing its walkers");
+        }
+        cluster::ClusterEvent::WalkerMoved { walker, from, to } => {
+            eprintln!("cgte cluster: walker {walker} reassigned shard {from} -> {to}");
+        }
+        cluster::ClusterEvent::RoundDone { .. } => {}
+    })?;
     eprintln!(
         "cgte cluster: {}/{} walkers complete, {}/{} shards alive, {} retries, {} reassignments, {} rounds",
         run.walkers_completed,

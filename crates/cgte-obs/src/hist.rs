@@ -1,0 +1,265 @@
+//! Fixed-bucket log-scale histograms for latency and size accounting.
+//!
+//! Buckets are powers of two: bucket `i` holds values whose bit length is
+//! `i`, i.e. `v == 0` lands in bucket 0 and `2^(i-1) <= v < 2^i` lands in
+//! bucket `i`. The layout is fixed at compile time, so two histograms are
+//! always mergeable by element-wise addition and every derived statistic
+//! (quantiles included) is a pure function of integer counts —
+//! bit-deterministic regardless of thread interleaving, like the estimator
+//! accumulators in `cgte-core`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bit lengths 0 (value 0) through 64 (values ≥ 2^63).
+pub const NUM_BUCKETS: usize = 65;
+
+/// Index of the bucket that `v` falls into.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i - 1`, saturating at
+/// `u64::MAX` for the last bucket).
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A plain (single-threaded) log-scale histogram.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Adds every observation of `other` into `self` (element-wise; the
+    /// result is identical to having recorded both observation streams
+    /// into one histogram, in any order).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64; NUM_BUCKETS] {
+        &self.counts
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the inclusive
+    /// upper bound of the bucket in which that rank falls (0 when empty).
+    ///
+    /// Because the answer depends only on integer bucket counts, it is
+    /// bit-deterministic for a given observation multiset.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based, at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(NUM_BUCKETS - 1)
+    }
+}
+
+/// A lock-free shared histogram: `record` is a relaxed `fetch_add` per
+/// field, safe to call from any number of threads.
+///
+/// Snapshots read each counter independently (no cross-counter atomicity);
+/// a snapshot taken while writers are active may be mid-update by a few
+/// observations, but every counter is itself exact and monotone, which is
+/// all the Prometheus exposition format requires.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation (lock-free).
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current counters into `out`, replacing its contents.
+    pub fn snapshot_into(&self, out: &mut Histogram) {
+        for (dst, src) in out.counts.iter_mut().zip(self.counts.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        out.count = self.count.load(Ordering::Relaxed);
+        out.sum = self.sum.load(Ordering::Relaxed);
+    }
+
+    /// Convenience: an owned snapshot.
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        self.snapshot_into(&mut h);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_bit_length() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+        // Every value is <= the upper bound of its bucket and > the bound
+        // of the previous one.
+        for v in [0u64, 1, 2, 5, 1023, 1024, 1 << 40] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper(b));
+            if b > 0 {
+                assert!(v > bucket_upper(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        // Median of 1..=100 is rank 50 -> value 50 -> bucket 6 (32..63).
+        assert_eq!(h.quantile(0.5), 63);
+        assert_eq!(h.quantile(0.0), 1); // rank clamps to 1 -> bucket of 1
+        assert_eq!(h.quantile(1.0), 127); // 100 lives in bucket 7 (64..127)
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_matches_combined_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in [3u64, 9, 100, 5000] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 70, 70, 1 << 30] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.counts(), all.counts());
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.quantile(0.9), all.quantile(0.9));
+    }
+
+    #[test]
+    fn atomic_snapshot_equals_serial_record() {
+        let ah = AtomicHistogram::new();
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 1000, 1_000_000] {
+            ah.record(v);
+            h.record(v);
+        }
+        let snap = ah.snapshot();
+        assert_eq!(snap.counts(), h.counts());
+        assert_eq!(snap.count(), h.count());
+        assert_eq!(snap.sum(), h.sum());
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let ah = AtomicHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let ah = &ah;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        ah.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(ah.count(), 4000);
+        let snap = ah.snapshot();
+        assert_eq!(snap.counts().iter().sum::<u64>(), 4000);
+    }
+}

@@ -1,0 +1,37 @@
+//! Zero-dependency observability core for the cgte workspace.
+//!
+//! Two pillars, both built for the workspace's determinism and
+//! no-new-dependencies constraints:
+//!
+//! - [`trace`]: level-gated structured tracing. One relaxed atomic load
+//!   when off; JSONL span/event records through a pluggable sink when
+//!   on ([`trace::NoopSink`], [`trace::JsonlSink`], [`trace::MemorySink`]).
+//!   Span ids cross thread pools explicitly via
+//!   [`trace::current_span_id`] + [`trace::span_with_parent`], so
+//!   scenario jobs and serve requests keep causal context.
+//! - [`hist`]: fixed-bucket log-scale histograms ([`hist::Histogram`],
+//!   [`hist::AtomicHistogram`]) that are lock-free to record, mergeable
+//!   by addition, and bit-deterministic to summarize (p50/p90/p99).
+//!
+//! On top of those: [`summarize`] reduces a trace file to the
+//! per-span-name table behind `cgte trace summarize`, and [`promtext`]
+//! parses and validates Prometheus text expositions for the `/metrics`
+//! format tests and the CI smoke job.
+//!
+//! Instrumentation never touches RNG streams or computed artifacts —
+//! observing a run must not change its bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod promtext;
+pub mod summarize;
+pub mod trace;
+
+pub use hist::{AtomicHistogram, Histogram};
+pub use trace::{
+    current_span_id, enabled, event, flush, install, level, shutdown, span, span_with_parent,
+    JsonlSink, MemorySink, NoopSink, Span, TraceSink, Value, LEVEL_COARSE, LEVEL_DETAIL,
+    LEVEL_FINE,
+};

@@ -1,0 +1,493 @@
+//! A Prometheus text-exposition (version 0.0.4) parser and validator.
+//!
+//! Used by the serve test suite and the CI "metrics + trace smoke" job
+//! (via `cgte metrics check`) to hold `/metrics` to the format contract:
+//! every series carries `# HELP` and `# TYPE` lines, histogram buckets
+//! are cumulative and monotone, and `_sum`/`_count`/`+Inf` agree.
+
+use std::collections::BTreeMap;
+
+/// One sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The full sample name as written (may carry `_bucket`/`_sum`/
+    /// `_count` suffixes for histograms).
+    pub name: String,
+    /// Label pairs in the order written.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The label value for `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The labels with `le` removed — a histogram series key.
+    fn labels_without_le(&self) -> Vec<(String, String)> {
+        self.labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .cloned()
+            .collect()
+    }
+}
+
+/// A parsed exposition: declared metadata plus every sample.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// `# TYPE` declarations by metric family name.
+    pub types: BTreeMap<String, String>,
+    /// `# HELP` declarations by metric family name.
+    pub helps: BTreeMap<String, String>,
+    /// All samples, in exposition order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// All samples of one family (histogram suffixes included).
+    pub fn family(&self, name: &str) -> Vec<&Sample> {
+        self.samples
+            .iter()
+            .filter(|s| family_of(&s.name) == name)
+            .collect()
+    }
+
+    /// The single value of an unlabelled series, if present exactly once.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        let hits: Vec<&Sample> = self
+            .samples
+            .iter()
+            .filter(|s| s.name == name && s.labels.is_empty())
+            .collect();
+        match hits.as_slice() {
+            [one] => Some(one.value),
+            _ => None,
+        }
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// The metric family a sample belongs to: histogram suffixes are folded
+/// onto their base name when that base has a histogram TYPE declaration;
+/// callers without the type map can use the raw suffix-stripped guess.
+fn family_of(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    name
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other.parse().map_err(|_| format!("bad value {other:?}")),
+    }
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_name(&key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return Err(format!("unquoted label value after {key:?}"));
+        }
+        rest = &rest[1..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    other => return Err(format!("bad escape {other:?} in label {key:?}")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value for {key:?}"))?;
+        labels.push((key, value));
+        rest = rest[end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: {rest:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Parses an exposition document; fails on the first malformed line.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut exp = Exposition::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let fail = |msg: String| format!("line {}: {msg}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .map(|(n, h)| (n, h.to_string()))
+                .unwrap_or((rest, String::new()));
+            if !valid_name(name) {
+                return Err(fail(format!("bad HELP metric name {name:?}")));
+            }
+            exp.helps.insert(name.to_string(), help);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| fail("TYPE line without a type".into()))?;
+            if !valid_name(name) {
+                return Err(fail(format!("bad TYPE metric name {name:?}")));
+            }
+            exp.types.insert(name.to_string(), kind.trim().to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        // Sample: name[{labels}] value
+        let (name_part, labels, value_part) = match line.find('{') {
+            Some(open) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| fail("unterminated label set".into()))?;
+                (
+                    &line[..open],
+                    parse_labels(&line[open + 1..close]).map_err(fail)?,
+                    line[close + 1..].trim(),
+                )
+            }
+            None => {
+                let (n, v) = line
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| fail("sample without value".into()))?;
+                (n, Vec::new(), v.trim())
+            }
+        };
+        let name = name_part.trim();
+        if !valid_name(name) {
+            return Err(fail(format!("bad metric name {name:?}")));
+        }
+        // Optional timestamp after the value is not produced by cgte;
+        // reject it so drift is caught early.
+        let value = parse_value(value_part).map_err(fail)?;
+        exp.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(exp)
+}
+
+/// Summary numbers from a successful validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpositionStats {
+    /// Number of metric families seen.
+    pub families: usize,
+    /// Number of sample lines.
+    pub samples: usize,
+    /// Number of histogram families checked.
+    pub histograms: usize,
+}
+
+/// Parses and validates `text`; returns every violated rule.
+///
+/// Checks, per family: a `# TYPE` line of a known kind and a `# HELP`
+/// line exist; counter values are finite and non-negative; histograms
+/// expose `_sum` and `_count`, their `_bucket` series carry `le` labels,
+/// buckets are cumulative (monotone non-decreasing in `le`), a `+Inf`
+/// bucket exists, and it equals `_count`.
+pub fn validate(text: &str) -> Result<ExpositionStats, Vec<String>> {
+    let exp = match parse(text) {
+        Ok(e) => e,
+        Err(e) => return Err(vec![e]),
+    };
+    let mut errors = Vec::new();
+    let mut families: BTreeMap<String, Vec<&Sample>> = BTreeMap::new();
+    for s in &exp.samples {
+        let base = family_of(&s.name);
+        // A suffix only folds into a histogram family if one is declared;
+        // e.g. a counter literally named `x_count` stays its own family.
+        let family = if exp.types.get(base).map(String::as_str) == Some("histogram") {
+            base
+        } else {
+            s.name.as_str()
+        };
+        families.entry(family.to_string()).or_default().push(s);
+    }
+    for (family, samples) in &families {
+        let kind = match exp.types.get(family) {
+            Some(k) => k.as_str(),
+            None => {
+                errors.push(format!("{family}: no # TYPE line"));
+                continue;
+            }
+        };
+        if !exp.helps.contains_key(family) {
+            errors.push(format!("{family}: no # HELP line"));
+        }
+        match kind {
+            "counter" => {
+                for s in samples {
+                    if !s.value.is_finite() || s.value < 0.0 {
+                        errors.push(format!("{family}: counter value {} invalid", s.value));
+                    }
+                }
+            }
+            "gauge" => {
+                for s in samples {
+                    if s.value.is_nan() {
+                        errors.push(format!("{family}: gauge value is NaN"));
+                    }
+                }
+            }
+            "histogram" => validate_histogram(family, samples, &mut errors),
+            other => errors.push(format!("{family}: unknown type {other:?}")),
+        }
+    }
+    if errors.is_empty() {
+        let histograms = exp
+            .types
+            .values()
+            .filter(|k| k.as_str() == "histogram")
+            .count();
+        Ok(ExpositionStats {
+            families: families.len(),
+            samples: exp.samples.len(),
+            histograms,
+        })
+    } else {
+        Err(errors)
+    }
+}
+
+fn validate_histogram(family: &str, samples: &[&Sample], errors: &mut Vec<String>) {
+    // Group by the non-le label set.
+    let mut groups: BTreeMap<String, Vec<&Sample>> = BTreeMap::new();
+    for s in samples {
+        let key = format!("{:?}", s.labels_without_le());
+        groups.entry(key).or_default().push(s);
+    }
+    for group in groups.values() {
+        let ctx = || {
+            let labels = group[0].labels_without_le();
+            if labels.is_empty() {
+                family.to_string()
+            } else {
+                format!("{family}{labels:?}")
+            }
+        };
+        let mut buckets: Vec<(f64, f64)> = Vec::new();
+        let mut sum = None;
+        let mut count = None;
+        for s in group {
+            if s.name.ends_with("_bucket") {
+                match s.label("le").map(parse_value) {
+                    Some(Ok(le)) => buckets.push((le, s.value)),
+                    _ => errors.push(format!("{}: _bucket without a valid le label", ctx())),
+                }
+            } else if s.name.ends_with("_sum") {
+                sum = Some(s.value);
+            } else if s.name.ends_with("_count") {
+                count = Some(s.value);
+            } else {
+                errors.push(format!("{}: stray histogram sample {}", ctx(), s.name));
+            }
+        }
+        if sum.is_none() {
+            errors.push(format!("{}: missing _sum", ctx()));
+        }
+        let Some(count) = count else {
+            errors.push(format!("{}: missing _count", ctx()));
+            continue;
+        };
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        for w in buckets.windows(2) {
+            if w[1].1 < w[0].1 {
+                errors.push(format!(
+                    "{}: bucket le={} count {} below le={} count {}",
+                    ctx(),
+                    w[1].0,
+                    w[1].1,
+                    w[0].0,
+                    w[0].1
+                ));
+            }
+            if w[1].0 == w[0].0 {
+                errors.push(format!("{}: duplicate bucket le={}", ctx(), w[1].0));
+            }
+        }
+        match buckets.last() {
+            Some((le, v)) if le.is_infinite() => {
+                if *v != count {
+                    errors.push(format!("{}: +Inf bucket {} != _count {}", ctx(), v, count));
+                }
+            }
+            _ => errors.push(format!("{}: missing +Inf bucket", ctx())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# HELP demo_requests_total Requests handled.
+# TYPE demo_requests_total counter
+demo_requests_total{endpoint=\"ingest\"} 3
+demo_requests_total{endpoint=\"estimate\"} 2
+# HELP demo_up Server liveness.
+# TYPE demo_up gauge
+demo_up 1
+# HELP demo_latency_seconds Request latency.
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{le=\"0.001\"} 1
+demo_latency_seconds_bucket{le=\"0.01\"} 4
+demo_latency_seconds_bucket{le=\"+Inf\"} 5
+demo_latency_seconds_sum 0.02
+demo_latency_seconds_count 5
+";
+
+    #[test]
+    fn parses_and_validates_a_conforming_document() {
+        let exp = parse(GOOD).unwrap();
+        assert_eq!(exp.samples.len(), 8);
+        assert_eq!(exp.value("demo_up"), Some(1.0));
+        assert_eq!(
+            exp.samples[0].label("endpoint"),
+            Some("ingest"),
+            "{:?}",
+            exp.samples[0]
+        );
+        let stats = validate(GOOD).unwrap();
+        assert_eq!(
+            stats,
+            ExpositionStats {
+                families: 3,
+                samples: 8,
+                histograms: 1
+            }
+        );
+    }
+
+    #[test]
+    fn missing_type_line_is_an_error() {
+        let doc = "demo_x 1\n";
+        let errs = validate(doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("no # TYPE")), "{errs:?}");
+    }
+
+    #[test]
+    fn non_monotone_buckets_are_an_error() {
+        let doc = "\
+# HELP h H.
+# TYPE h histogram
+h_bucket{le=\"1\"} 5
+h_bucket{le=\"2\"} 3
+h_bucket{le=\"+Inf\"} 5
+h_sum 9
+h_count 5
+";
+        let errs = validate(doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("below")), "{errs:?}");
+    }
+
+    #[test]
+    fn inf_bucket_must_match_count() {
+        let doc = "\
+# HELP h H.
+# TYPE h histogram
+h_bucket{le=\"+Inf\"} 4
+h_sum 9
+h_count 5
+";
+        let errs = validate(doc).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("+Inf bucket")), "{errs:?}");
+    }
+
+    #[test]
+    fn histogram_groups_split_by_labels() {
+        let doc = "\
+# HELP h H.
+# TYPE h histogram
+h_bucket{endpoint=\"a\",le=\"1\"} 1
+h_bucket{endpoint=\"a\",le=\"+Inf\"} 2
+h_sum{endpoint=\"a\"} 3
+h_count{endpoint=\"a\"} 2
+h_bucket{endpoint=\"b\",le=\"1\"} 0
+h_bucket{endpoint=\"b\",le=\"+Inf\"} 1
+h_sum{endpoint=\"b\"} 1
+h_count{endpoint=\"b\"} 1
+";
+        let stats = validate(doc).unwrap();
+        assert_eq!(stats.histograms, 1);
+        assert_eq!(stats.samples, 8);
+    }
+
+    #[test]
+    fn counter_named_like_a_suffix_is_its_own_family() {
+        // `x_count` with a counter TYPE must not be folded into a
+        // nonexistent histogram family `x`.
+        let doc = "\
+# HELP x_count Things counted.
+# TYPE x_count counter
+x_count 3
+";
+        let stats = validate(doc).unwrap();
+        assert_eq!(stats.families, 1);
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let doc = "# HELP m M.\n# TYPE m gauge\nm{k=\"a\\\"b\\\\c\\nd\"} 1\n";
+        let exp = parse(doc).unwrap();
+        assert_eq!(exp.samples[0].label("k"), Some("a\"b\\c\nd"));
+        assert!(validate(doc).is_ok());
+    }
+
+    #[test]
+    fn malformed_lines_fail_parse() {
+        assert!(parse("m{k=1} 2\n").is_err());
+        assert!(parse("m{k=\"v\" 2\n").is_err());
+        assert!(parse("1bad 2\n").is_err());
+        assert!(parse("m foo\n").is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Offline reduction of a trace JSONL file into a per-span-name table —
+//! the engine behind `cgte trace summarize`.
+//!
+//! The reader is deliberately narrow: it extracts the `kind`, `name` and
+//! `dur_us` fields from records *this crate's tracer wrote* (span names
+//! are static identifiers, field order is fixed by the writer), and
+//! counts anything else as malformed rather than failing the whole file.
+
+use crate::hist::Histogram;
+use std::io::BufRead;
+
+/// Aggregates for one span name.
+#[derive(Debug, Clone)]
+pub struct SpanRow {
+    /// The span name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Summed duration in microseconds.
+    pub total_us: u64,
+    hist: Histogram,
+}
+
+impl SpanRow {
+    /// Duration quantile in microseconds (log-bucket upper bound).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        self.hist.quantile(q)
+    }
+}
+
+/// The reduced trace: per-name span rows plus record counts.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSummary {
+    /// One row per span name, sorted by name.
+    pub rows: Vec<SpanRow>,
+    /// Per-event-name counts, sorted by name.
+    pub event_rows: Vec<(String, u64)>,
+    /// Total span records.
+    pub spans: u64,
+    /// Total event records.
+    pub events: u64,
+    /// Lines that were not recognizable records.
+    pub malformed: u64,
+}
+
+/// Extracts the string value of `"key":"..."` (no unescaping beyond
+/// `\"`; the tracer only writes identifier-like names).
+fn str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut prev_backslash = false;
+    for (i, ch) in rest.char_indices() {
+        match ch {
+            '"' if !prev_backslash => return Some(&rest[..i]),
+            '\\' => prev_backslash = !prev_backslash,
+            _ => prev_backslash = false,
+        }
+    }
+    None
+}
+
+/// Extracts the integer value of `"key":N`.
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Reduces a JSONL trace to per-span-name aggregates.
+pub fn summarize<R: BufRead>(reader: R) -> std::io::Result<TraceSummary> {
+    let mut summary = TraceSummary::default();
+    let mut rows: std::collections::BTreeMap<String, SpanRow> = std::collections::BTreeMap::new();
+    let mut event_rows: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (Some(kind), Some(name)) = (str_field(&line, "kind"), str_field(&line, "name")) else {
+            summary.malformed += 1;
+            continue;
+        };
+        match kind {
+            "event" => {
+                summary.events += 1;
+                *event_rows.entry(name.to_string()).or_insert(0) += 1;
+            }
+            "span" => {
+                let Some(dur) = u64_field(&line, "dur_us") else {
+                    summary.malformed += 1;
+                    continue;
+                };
+                summary.spans += 1;
+                let row = rows.entry(name.to_string()).or_insert_with(|| SpanRow {
+                    name: name.to_string(),
+                    count: 0,
+                    total_us: 0,
+                    hist: Histogram::new(),
+                });
+                row.count += 1;
+                row.total_us += dur;
+                row.hist.record(dur);
+            }
+            _ => summary.malformed += 1,
+        }
+    }
+    summary.rows = rows.into_values().collect();
+    summary.event_rows = event_rows.into_iter().collect();
+    Ok(summary)
+}
+
+impl TraceSummary {
+    /// Renders the per-span-name table `cgte trace summarize` prints.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .chain(["span".len()])
+            .max()
+            .unwrap_or(4);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:name_w$}  {:>8}  {:>12}  {:>10}  {:>10}  {:>10}",
+            "span", "count", "total_ms", "p50_us", "p90_us", "p99_us"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:name_w$}  {:>8}  {:>12.3}  {:>10}  {:>10}  {:>10}",
+                r.name,
+                r.count,
+                r.total_us as f64 / 1000.0,
+                r.quantile_us(0.50),
+                r.quantile_us(0.90),
+                r.quantile_us(0.99),
+            );
+        }
+        if !self.event_rows.is_empty() {
+            let ev_w = self
+                .event_rows
+                .iter()
+                .map(|(n, _)| n.len())
+                .chain(["event".len()])
+                .max()
+                .unwrap_or(5);
+            let _ = writeln!(out, "{:ev_w$}  {:>8}", "event", "count");
+            for (name, count) in &self.event_rows {
+                let _ = writeln!(out, "{name:ev_w$}  {count:>8}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "spans: {}  events: {}  malformed: {}",
+            self.spans, self.events, self.malformed
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_spans_and_counts_events() {
+        let jsonl = concat!(
+            "{\"kind\":\"span\",\"name\":\"a\",\"id\":1,\"parent\":0,\"ts_us\":0,\"dur_us\":100,\"fields\":{}}\n",
+            "{\"kind\":\"span\",\"name\":\"a\",\"id\":2,\"parent\":0,\"ts_us\":5,\"dur_us\":300,\"fields\":{}}\n",
+            "{\"kind\":\"event\",\"name\":\"e\",\"id\":0,\"parent\":1,\"ts_us\":7,\"fields\":{}}\n",
+            "{\"kind\":\"span\",\"name\":\"b\",\"id\":3,\"parent\":1,\"ts_us\":9,\"dur_us\":7,\"fields\":{}}\n",
+            "not json at all\n",
+        );
+        let s = summarize(jsonl.as_bytes()).unwrap();
+        assert_eq!(s.spans, 3);
+        assert_eq!(s.events, 1);
+        assert_eq!(s.malformed, 1);
+        assert_eq!(s.rows.len(), 2);
+        let a = &s.rows[0];
+        assert_eq!((a.name.as_str(), a.count, a.total_us), ("a", 2, 400));
+        // 100 -> bucket 7 (64..127); both durations <= p99 bound.
+        assert!(a.quantile_us(0.99) >= 300);
+        let table = s.render();
+        assert!(table.contains("total_ms"), "{table}");
+        assert!(
+            table.contains("spans: 3  events: 1  malformed: 1"),
+            "{table}"
+        );
+        // Events get their own per-name count table.
+        assert_eq!(s.event_rows, vec![("e".to_string(), 1)]);
+        assert!(table.contains("event"), "{table}");
+    }
+
+    #[test]
+    fn field_extractors_handle_escapes_and_missing_keys() {
+        assert_eq!(str_field("{\"name\":\"a\\\"b\"}", "name"), Some("a\\\"b"));
+        assert_eq!(str_field("{\"x\":1}", "name"), None);
+        assert_eq!(u64_field("{\"dur_us\":42,", "dur_us"), Some(42));
+        assert_eq!(u64_field("{\"dur_us\":x}", "dur_us"), None);
+    }
+}

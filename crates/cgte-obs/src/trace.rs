@@ -1,0 +1,525 @@
+//! Level-gated structured tracing with pluggable sinks.
+//!
+//! The hot-path contract: when tracing is off (the default), every
+//! instrumentation site costs one relaxed atomic load and a branch —
+//! no allocation, no clock read, no lock. When a sink is installed,
+//! spans and events are rendered into a per-thread scratch buffer and
+//! appended to the sink as single JSONL records:
+//!
+//! ```text
+//! {"kind":"span","name":"serve.request","id":7,"parent":3,"ts_us":12,"dur_us":345,"fields":{...}}
+//! {"kind":"event","name":"cluster.retry","id":0,"parent":7,"ts_us":99,"fields":{...}}
+//! ```
+//!
+//! Span ids are process-unique and carried in a thread-local stack, so
+//! nested spans on one thread pick up their parent automatically. Work
+//! handed to another thread (a crossbeam pool, a scenario worker)
+//! carries causality explicitly: capture [`current_span_id`] at enqueue
+//! time and reopen with [`span_with_parent`] on the worker.
+//!
+//! Levels are cumulative: `1` coarse (requests, jobs, rounds), `2`
+//! detail (lifecycle, retries, cache traffic), `3` fine-grained.
+
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Coarse spans: one per serve request, scenario job, cluster round.
+pub const LEVEL_COARSE: u8 = 1;
+/// Detail events: session lifecycle, retries, breaker transitions,
+/// cache hits/misses, per-ingest walk accounting.
+pub const LEVEL_DETAIL: u8 = 2;
+/// Fine-grained instrumentation (reserved for hot-loop tracing).
+pub const LEVEL_FINE: u8 = 3;
+
+static LEVEL: AtomicU8 = AtomicU8::new(0);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static SINK: RwLock<Option<Arc<dyn TraceSink>>> = RwLock::new(None);
+
+thread_local! {
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    static SCRATCH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
+/// Where rendered JSONL records go. Implementations must be cheap to
+/// call concurrently; the tracer renders off-lock and hands over one
+/// complete line (without trailing newline) per record.
+pub trait TraceSink: Send + Sync {
+    /// Appends one JSONL record.
+    fn write_line(&self, line: &str);
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// A sink that discards everything: tracing machinery on, IO off.
+/// Used by the bench harness to price the instrumentation itself.
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn write_line(&self, _line: &str) {}
+}
+
+/// Appends records to a buffered file — the `--trace FILE.jsonl` sink.
+pub struct JsonlSink {
+    out: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path`.
+    pub fn create(path: &std::path::Path) -> std::io::Result<JsonlSink> {
+        let f = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(std::io::BufWriter::new(f)),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn write_line(&self, line: &str) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+}
+
+/// Collects records in memory — the integration-test sink.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    lines: Mutex<Vec<String>>,
+}
+
+impl MemorySink {
+    /// An empty memory sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A copy of every record collected so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Drops all collected records.
+    pub fn clear(&self) {
+        self.lines.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn write_line(&self, line: &str) {
+        self.lines
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(line.to_string());
+    }
+}
+
+/// Installs `sink` and enables tracing at `level` (0 disables).
+pub fn install(sink: Arc<dyn TraceSink>, level: u8) {
+    *SINK.write().unwrap_or_else(|e| e.into_inner()) = Some(sink);
+    LEVEL.store(level, Ordering::Relaxed);
+}
+
+/// Disables tracing, flushes and drops the sink.
+pub fn shutdown() {
+    LEVEL.store(0, Ordering::Relaxed);
+    let sink = SINK.write().unwrap_or_else(|e| e.into_inner()).take();
+    if let Some(s) = sink {
+        s.flush();
+    }
+}
+
+/// Flushes the installed sink without disabling tracing.
+pub fn flush() {
+    if let Some(s) = SINK.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+        s.flush();
+    }
+}
+
+/// The active trace level (0 = off).
+pub fn level() -> u8 {
+    LEVEL.load(Ordering::Relaxed)
+}
+
+/// Whether records at `l` are currently emitted. This is the one check
+/// every instrumentation site pays when tracing is off.
+#[inline]
+pub fn enabled(l: u8) -> bool {
+    LEVEL.load(Ordering::Relaxed) >= l
+}
+
+/// The id of the innermost active span on this thread (0 if none).
+/// Capture this before handing work to another thread and reopen the
+/// context there with [`span_with_parent`].
+pub fn current_span_id() -> u64 {
+    CURRENT.with(|c| c.get())
+}
+
+/// A typed field value; rendered without allocating when tracing is off
+/// (the slice never gets built into a record).
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (rendered via the shortest round-trip `Display`).
+    F64(f64),
+    /// String (JSON-escaped).
+    Str(&'a str),
+    /// Boolean.
+    Bool(bool),
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_value(out: &mut String, v: &Value<'_>) {
+    match v {
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(x) => {
+            if x.is_finite() {
+                let _ = write!(out, "{x}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+fn emit(line: &str) {
+    if let Some(s) = SINK.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+        s.write_line(line);
+    }
+}
+
+fn render_and_emit(
+    kind: &str,
+    name: &str,
+    id: u64,
+    parent: u64,
+    ts_us: u64,
+    dur_us: Option<u64>,
+    fields: &str,
+) {
+    SCRATCH.with(|buf| {
+        let line = &mut *buf.borrow_mut();
+        line.clear();
+        let _ = write!(line, "{{\"kind\":\"{kind}\",\"name\":\"");
+        escape_into(line, name);
+        let _ = write!(line, "\",\"id\":{id},\"parent\":{parent},\"ts_us\":{ts_us}");
+        if let Some(d) = dur_us {
+            let _ = write!(line, ",\"dur_us\":{d}");
+        }
+        let _ = write!(line, ",\"fields\":{{{fields}}}}}");
+        emit(line);
+    });
+}
+
+/// Emits a point-in-time event at `level` with the given fields,
+/// parented to the innermost active span of this thread.
+pub fn event(level: u8, name: &str, fields: &[(&str, Value<'_>)]) {
+    if !enabled(level) {
+        return;
+    }
+    let mut rendered = String::new();
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            rendered.push(',');
+        }
+        rendered.push('"');
+        escape_into(&mut rendered, k);
+        rendered.push_str("\":");
+        push_value(&mut rendered, v);
+    }
+    render_and_emit(
+        "event",
+        name,
+        0,
+        current_span_id(),
+        now_us(),
+        None,
+        &rendered,
+    );
+}
+
+/// A timed span, emitted as one record when dropped. Obtain via
+/// [`span`] or [`span_with_parent`]; attach fields with the `field_*`
+/// methods (no-ops when the span is inactive).
+pub struct Span {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    prev: u64,
+    ts_us: u64,
+    start: Option<Instant>,
+    fields: String,
+}
+
+/// Opens a span at `level`, parented to the innermost active span of
+/// this thread. Inactive (and free) when tracing is below `level`.
+pub fn span(level: u8, name: &'static str) -> Span {
+    let parent = if enabled(level) { current_span_id() } else { 0 };
+    span_with_parent(level, name, parent)
+}
+
+/// Opens a span at `level` with an explicit parent id — the cross-thread
+/// handoff entry point. Pass the value of [`current_span_id`] captured
+/// on the enqueueing thread (0 for a root span).
+pub fn span_with_parent(level: u8, name: &'static str, parent: u64) -> Span {
+    if !enabled(level) {
+        return Span {
+            name,
+            id: 0,
+            parent: 0,
+            prev: 0,
+            ts_us: 0,
+            start: None,
+            fields: String::new(),
+        };
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let prev = CURRENT.with(|c| c.replace(id));
+    Span {
+        name,
+        id,
+        parent,
+        prev,
+        ts_us: now_us(),
+        start: Some(Instant::now()),
+        fields: String::new(),
+    }
+}
+
+impl Span {
+    /// This span's id (0 when inactive); pass to [`span_with_parent`]
+    /// on another thread to preserve causality.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the span will emit a record on drop.
+    pub fn is_active(&self) -> bool {
+        self.start.is_some()
+    }
+
+    fn push_field(&mut self, key: &str, v: Value<'_>) {
+        if self.start.is_none() {
+            return;
+        }
+        if !self.fields.is_empty() {
+            self.fields.push(',');
+        }
+        self.fields.push('"');
+        escape_into(&mut self.fields, key);
+        self.fields.push_str("\":");
+        push_value(&mut self.fields, &v);
+    }
+
+    /// Attaches an unsigned-integer field.
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.push_field(key, Value::U64(v));
+    }
+
+    /// Attaches a float field.
+    pub fn field_f64(&mut self, key: &str, v: f64) {
+        self.push_field(key, Value::F64(v));
+    }
+
+    /// Attaches a string field.
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.push_field(key, Value::Str(v));
+    }
+
+    /// Attaches a boolean field.
+    pub fn field_bool(&mut self, key: &str, v: bool) {
+        self.push_field(key, Value::Bool(v));
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        CURRENT.with(|c| c.set(self.prev));
+        let dur_us = start.elapsed().as_micros() as u64;
+        render_and_emit(
+            "span",
+            self.name,
+            self.id,
+            self.parent,
+            self.ts_us,
+            Some(dur_us),
+            &self.fields,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tracer is process-global; tests that install sinks must not
+    /// interleave.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_tracing_emits_nothing_and_spans_are_inactive() {
+        let _g = guard();
+        shutdown();
+        assert!(!enabled(LEVEL_COARSE));
+        let s = span(LEVEL_COARSE, "nothing");
+        assert_eq!(s.id(), 0);
+        assert!(!s.is_active());
+        drop(s);
+        event(LEVEL_COARSE, "nothing", &[("k", Value::U64(1))]);
+        assert_eq!(current_span_id(), 0);
+    }
+
+    #[test]
+    fn nested_spans_carry_parents_and_fields() {
+        let _g = guard();
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone(), LEVEL_DETAIL);
+        {
+            let outer = span(LEVEL_COARSE, "outer");
+            let outer_id = outer.id();
+            assert!(outer_id > 0);
+            assert_eq!(current_span_id(), outer_id);
+            {
+                let mut inner = span(LEVEL_DETAIL, "inner");
+                inner.field_u64("n", 7);
+                inner.field_str("tag", "a\"b");
+                assert_eq!(current_span_id(), inner.id());
+            }
+            assert_eq!(current_span_id(), outer_id);
+            event(LEVEL_DETAIL, "ping", &[("ok", Value::Bool(true))]);
+        }
+        shutdown();
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        // inner closes first.
+        assert!(lines[0].contains("\"name\":\"inner\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"n\":7"), "{}", lines[0]);
+        assert!(lines[0].contains("\"tag\":\"a\\\"b\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"name\":\"ping\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"name\":\"outer\""), "{}", lines[2]);
+        // The inner span and the event are parented to the outer span.
+        let outer_id: u64 = lines[2]
+            .split("\"id\":")
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(lines[0].contains(&format!("\"parent\":{outer_id}")));
+        assert!(lines[1].contains(&format!("\"parent\":{outer_id}")));
+    }
+
+    #[test]
+    fn explicit_parent_survives_thread_handoff() {
+        let _g = guard();
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone(), LEVEL_COARSE);
+        let parent_id;
+        {
+            let parent = span(LEVEL_COARSE, "dispatch");
+            parent_id = parent.id();
+            let captured = current_span_id();
+            std::thread::spawn(move || {
+                let child = span_with_parent(LEVEL_COARSE, "worker", captured);
+                assert!(child.id() > 0);
+            })
+            .join()
+            .unwrap();
+        }
+        shutdown();
+        let lines = sink.lines();
+        let worker = lines
+            .iter()
+            .find(|l| l.contains("\"name\":\"worker\""))
+            .unwrap();
+        assert!(
+            worker.contains(&format!("\"parent\":{parent_id}")),
+            "{worker}"
+        );
+    }
+
+    #[test]
+    fn level_gates_spans_and_events() {
+        let _g = guard();
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone(), LEVEL_COARSE);
+        let s = span(LEVEL_DETAIL, "too-fine");
+        assert!(!s.is_active());
+        drop(s);
+        event(LEVEL_DETAIL, "too-fine", &[]);
+        event(LEVEL_COARSE, "coarse", &[]);
+        shutdown();
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].contains("\"name\":\"coarse\""));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let _g = guard();
+        let dir = std::env::temp_dir().join(format!("cgte-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.jsonl");
+        install(Arc::new(JsonlSink::create(&path).unwrap()), LEVEL_COARSE);
+        drop(span(LEVEL_COARSE, "one"));
+        shutdown();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"name\":\"one\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -60,5 +60,5 @@ pub use observe::{
 pub use random_walk::RandomWalk;
 pub use stream::ObservationStream;
 pub use swrw::Swrw;
-pub use traits::{AnySampler, DesignKind, NodeSampler, SampleError};
+pub use traits::{AnySampler, DesignKind, NodeSampler, SampleError, WalkStats};
 pub use weighted_walk::WeightedRandomWalk;

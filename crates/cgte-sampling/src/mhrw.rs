@@ -1,7 +1,7 @@
 //! Metropolis–Hastings random walk (§3.1.2).
 
 use crate::random_walk::random_start;
-use crate::{DesignKind, NodeSampler, SampleError};
+use crate::{DesignKind, NodeSampler, SampleError, WalkStats};
 use cgte_graph::{Graph, NodeId};
 use rand::Rng;
 
@@ -61,15 +61,18 @@ impl MetropolisHastingsWalk {
         self
     }
 
-    fn step<R: Rng + ?Sized>(g: &Graph, u: NodeId, rng: &mut R) -> NodeId {
+    /// One MH transition; `true` iff the proposal was accepted. The RNG
+    /// draw sequence is fixed (proposal, then acceptance coin when
+    /// needed) so counted and uncounted paths are interchangeable.
+    fn step<R: Rng + ?Sized>(g: &Graph, u: NodeId, rng: &mut R) -> (NodeId, bool) {
         let nbrs = g.neighbors(u);
         assert!(!nbrs.is_empty(), "walk reached an isolated node {u}");
         let v = nbrs[rng.gen_range(0..nbrs.len())];
         let accept = g.degree(u) as f64 / g.degree(v) as f64;
         if accept >= 1.0 || rng.gen::<f64>() < accept {
-            v
+            (v, true)
         } else {
-            u
+            (u, false)
         }
     }
 }
@@ -99,21 +102,44 @@ impl NodeSampler for MetropolisHastingsWalk {
         rng: &mut R,
         out: &mut Vec<NodeId>,
     ) -> Result<(), SampleError> {
+        self.try_sample_into_stats(g, n, rng, out, &mut WalkStats::default())
+    }
+
+    fn try_sample_into_stats<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+        stats: &mut WalkStats,
+    ) -> Result<(), SampleError> {
         out.clear();
         out.reserve(n);
+        let mut rejections = 0usize;
         let mut cur = match self.start {
             Some(v) => v,
             None => random_start(g, rng)?,
         };
         for _ in 0..self.burn_in {
-            cur = Self::step(g, cur, rng);
+            let (next, accepted) = Self::step(g, cur, rng);
+            rejections += usize::from(!accepted);
+            cur = next;
         }
         while out.len() < n {
             out.push(cur);
             for _ in 0..self.thinning {
-                cur = Self::step(g, cur, rng);
+                let (next, accepted) = Self::step(g, cur, rng);
+                rejections += usize::from(!accepted);
+                cur = next;
             }
         }
+        *stats = WalkStats {
+            retained: out.len(),
+            steps: self.burn_in + n * self.thinning,
+            burn_in: self.burn_in,
+            thinning: self.thinning,
+            rejections,
+        };
         Ok(())
     }
 
@@ -212,6 +238,49 @@ mod tests {
             .thinning(3)
             .sample(&g, 100, &mut rng);
         assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn stats_path_draws_identical_sequence_and_counts_rejections() {
+        let g = lollipop();
+        let w = MetropolisHastingsWalk::new().burn_in(5).thinning(3);
+        let plain = w.sample(&g, 500, &mut StdRng::seed_from_u64(21));
+        let mut buf = Vec::new();
+        let mut stats = WalkStats::default();
+        w.try_sample_into_stats(
+            &g,
+            500,
+            &mut StdRng::seed_from_u64(21),
+            &mut buf,
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(plain, buf, "counting must not perturb the walk");
+        assert_eq!(stats.retained, 500);
+        assert_eq!(stats.steps, 5 + 500 * 3);
+        assert_eq!((stats.burn_in, stats.thinning), (5, 3));
+        assert!(stats.rejections > 0, "degree-diverse graph must reject");
+        assert!(stats.rejections < stats.steps);
+
+        // With no burn-in/thinning, every rejection shows as a repeat in
+        // the retained sequence (no self-loops), except possibly in the
+        // one trailing transition taken after the last retained node.
+        let w = MetropolisHastingsWalk::new();
+        let mut stats = WalkStats::default();
+        w.try_sample_into_stats(
+            &g,
+            2000,
+            &mut StdRng::seed_from_u64(3),
+            &mut buf,
+            &mut stats,
+        )
+        .unwrap();
+        let repeats = buf.windows(2).filter(|p| p[0] == p[1]).count();
+        assert!(
+            stats.rejections == repeats || stats.rejections == repeats + 1,
+            "rejections {} vs visible repeats {repeats}",
+            stats.rejections
+        );
     }
 
     #[test]

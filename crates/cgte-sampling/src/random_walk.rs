@@ -1,6 +1,6 @@
 //! Simple random walk sampling (§3.1.2).
 
-use crate::{DesignKind, NodeSampler, SampleError};
+use crate::{DesignKind, NodeSampler, SampleError, WalkStats};
 use cgte_graph::{Graph, NodeId};
 use rand::Rng;
 
@@ -138,6 +138,27 @@ impl NodeSampler for RandomWalk {
                 cur = Self::step(g, cur, rng);
             }
         }
+        Ok(())
+    }
+
+    // RW never rejects, so the counted path is pure arithmetic on top of
+    // the plain draw — zero per-step overhead, identical RNG sequence.
+    fn try_sample_into_stats<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+        stats: &mut WalkStats,
+    ) -> Result<(), SampleError> {
+        self.try_sample_into(g, n, rng, out)?;
+        *stats = WalkStats {
+            retained: out.len(),
+            steps: self.burn_in + n * self.thinning,
+            burn_in: self.burn_in,
+            thinning: self.thinning,
+            rejections: 0,
+        };
         Ok(())
     }
 
@@ -293,6 +314,28 @@ mod tests {
             .try_sample_into(&g, 20, &mut StdRng::seed_from_u64(11), &mut buf)
             .unwrap();
         assert_eq!(v, buf);
+    }
+
+    #[test]
+    fn stats_report_walk_cost_without_perturbing_the_draw() {
+        let g = lollipop();
+        let rw = RandomWalk::new().burn_in(7).thinning(2);
+        let plain = rw.sample(&g, 50, &mut StdRng::seed_from_u64(31));
+        let mut buf = Vec::new();
+        let mut stats = WalkStats::default();
+        rw.try_sample_into_stats(&g, 50, &mut StdRng::seed_from_u64(31), &mut buf, &mut stats)
+            .unwrap();
+        assert_eq!(plain, buf);
+        assert_eq!(
+            stats,
+            WalkStats {
+                retained: 50,
+                steps: 7 + 50 * 2,
+                burn_in: 7,
+                thinning: 2,
+                rejections: 0,
+            }
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Stratified Weighted Random Walk (S-WRW), the paper's reference \[35\].
 
-use crate::{DesignKind, NodeSampler, SampleError, WeightedRandomWalk};
+use crate::{DesignKind, NodeSampler, SampleError, WalkStats, WeightedRandomWalk};
 use cgte_graph::{CategoryId, Graph, NodeId, Partition};
 use rand::Rng;
 
@@ -144,6 +144,17 @@ impl NodeSampler for Swrw {
         out: &mut Vec<NodeId>,
     ) -> Result<(), SampleError> {
         self.inner.try_sample_into(g, n, rng, out)
+    }
+
+    fn try_sample_into_stats<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+        stats: &mut WalkStats,
+    ) -> Result<(), SampleError> {
+        self.inner.try_sample_into_stats(g, n, rng, out, stats)
     }
 
     fn design(&self) -> DesignKind {

@@ -45,6 +45,28 @@ pub enum DesignKind {
     Weighted,
 }
 
+/// Per-draw cost accounting for a sample: how much chain movement a
+/// retained sample actually cost (§6 studies exactly this sampling-cost
+/// vs estimation-error trade-off).
+///
+/// Filled by [`NodeSampler::try_sample_into_stats`]. For independence
+/// designs a "step" is one draw; for crawls it is one chain transition,
+/// so `steps = burn_in + retained × thinning`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalkStats {
+    /// Nodes written to the output buffer.
+    pub retained: usize,
+    /// Total chain transitions (or independent draws) performed.
+    pub steps: usize,
+    /// Transitions discarded before the first retained node.
+    pub burn_in: usize,
+    /// Thinning factor in effect (1 = keep every visit).
+    pub thinning: usize,
+    /// MHRW proposals declined (the walk stayed put and the repeat was
+    /// retained); 0 for every other design.
+    pub rejections: usize,
+}
+
 /// A with-replacement probability sampler of nodes (§3.1).
 ///
 /// Implementations must be deterministic given the RNG, and must report the
@@ -93,6 +115,33 @@ pub trait NodeSampler {
         out: &mut Vec<NodeId>,
     ) -> Result<(), SampleError> {
         self.sample_into(g, n, rng, out);
+        Ok(())
+    }
+
+    /// Like [`NodeSampler::try_sample_into`], additionally filling `stats`
+    /// with the draw's cost accounting.
+    ///
+    /// Implementations must draw the **identical sequence** as
+    /// `try_sample_into` given the same RNG state — observation must not
+    /// change the sample. The default forwards to `try_sample_into` and
+    /// reports one step per retained node (exact for independence
+    /// designs); walk samplers override it with counted paths.
+    fn try_sample_into_stats<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+        stats: &mut WalkStats,
+    ) -> Result<(), SampleError> {
+        self.try_sample_into(g, n, rng, out)?;
+        *stats = WalkStats {
+            retained: out.len(),
+            steps: out.len(),
+            burn_in: 0,
+            thinning: 1,
+            rejections: 0,
+        };
         Ok(())
     }
 
@@ -193,6 +242,26 @@ impl NodeSampler for AnySampler {
         }
     }
 
+    // Forwarded so the counted walk paths (and their cost accounting)
+    // are reachable through the enum, not the trivial default.
+    fn try_sample_into_stats<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+        stats: &mut WalkStats,
+    ) -> Result<(), SampleError> {
+        match self {
+            AnySampler::Uis(s) => s.try_sample_into_stats(g, n, rng, out, stats),
+            AnySampler::Wis(s) => s.try_sample_into_stats(g, n, rng, out, stats),
+            AnySampler::Rw(s) => s.try_sample_into_stats(g, n, rng, out, stats),
+            AnySampler::Mhrw(s) => s.try_sample_into_stats(g, n, rng, out, stats),
+            AnySampler::Wrw(s) => s.try_sample_into_stats(g, n, rng, out, stats),
+            AnySampler::Swrw(s) => s.try_sample_into_stats(g, n, rng, out, stats),
+        }
+    }
+
     fn design(&self) -> DesignKind {
         match self {
             AnySampler::Uis(s) => s.design(),
@@ -246,6 +315,25 @@ mod tests {
         assert_eq!(s.design(), DesignKind::Weighted);
         assert_eq!(s.sample(&g, 10, &mut rng).len(), 10);
         assert_eq!(s.weight_of(&g, 0), 2.0); // degree
+    }
+
+    #[test]
+    fn any_sampler_forwards_stats_to_counted_paths() {
+        let g = GraphBuilder::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]).unwrap();
+        let s = AnySampler::Mhrw(MetropolisHastingsWalk::new().burn_in(4).thinning(2));
+        let plain = s.sample(&g, 100, &mut StdRng::seed_from_u64(9));
+        let mut buf = Vec::new();
+        let mut stats = WalkStats::default();
+        s.try_sample_into_stats(&g, 100, &mut StdRng::seed_from_u64(9), &mut buf, &mut stats)
+            .unwrap();
+        assert_eq!(plain, buf);
+        assert_eq!(stats.steps, 4 + 100 * 2);
+        assert!(stats.rejections > 0);
+        // Independence designs report one step per draw via the default.
+        let s = AnySampler::Uis(UniformIndependence);
+        s.try_sample_into_stats(&g, 10, &mut StdRng::seed_from_u64(1), &mut buf, &mut stats)
+            .unwrap();
+        assert_eq!((stats.retained, stats.steps, stats.rejections), (10, 10, 0));
     }
 
     #[test]

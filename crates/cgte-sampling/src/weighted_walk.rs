@@ -1,7 +1,7 @@
 //! Weighted random walk with product-form edge weights (§3.1.2).
 
 use crate::random_walk::random_start;
-use crate::{DesignKind, NodeSampler, SampleError};
+use crate::{DesignKind, NodeSampler, SampleError, WalkStats};
 use cgte_graph::{Graph, NodeId};
 use rand::Rng;
 
@@ -138,6 +138,27 @@ impl NodeSampler for WeightedRandomWalk {
                 cur = self.step(g, cur, rng);
             }
         }
+        Ok(())
+    }
+
+    // WRW always moves (the all-zero-neighbor fallback still steps), so
+    // the counted path is derived arithmetic over the plain draw.
+    fn try_sample_into_stats<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+        stats: &mut WalkStats,
+    ) -> Result<(), SampleError> {
+        self.try_sample_into(g, n, rng, out)?;
+        *stats = WalkStats {
+            retained: out.len(),
+            steps: self.burn_in + n * self.thinning,
+            burn_in: self.burn_in,
+            thinning: self.thinning,
+            rejections: 0,
+        };
         Ok(())
     }
 

@@ -268,11 +268,28 @@ impl ResourceCache {
                 Err(e)
             }
         });
-        match origin {
-            Some(Origin::Built) => self.builds.fetch_add(1, Ordering::SeqCst),
-            Some(Origin::Loaded) => self.loads.fetch_add(1, Ordering::SeqCst),
-            None => self.hits.fetch_add(1, Ordering::SeqCst),
+        let outcome = match origin {
+            Some(Origin::Built) => {
+                self.builds.fetch_add(1, Ordering::SeqCst);
+                "build"
+            }
+            Some(Origin::Loaded) => {
+                self.loads.fetch_add(1, Ordering::SeqCst);
+                "load"
+            }
+            None => {
+                self.hits.fetch_add(1, Ordering::SeqCst);
+                "hit"
+            }
         };
+        cgte_obs::event(
+            cgte_obs::LEVEL_DETAIL,
+            "scenario.cache",
+            &[
+                ("key", cgte_obs::Value::Str(key)),
+                ("outcome", cgte_obs::Value::Str(outcome)),
+            ],
+        );
         resource.clone()
     }
 

@@ -103,13 +103,24 @@ pub fn run_plan(
         );
     }
 
-    let (ready_tx, ready_rx) = channel::unbounded::<usize>();
+    // The run span is the parent of every job span; its id crosses the
+    // worker-pool boundary explicitly (TLS span context does not follow
+    // work onto other threads).
+    let mut run_span = cgte_obs::span(cgte_obs::LEVEL_COARSE, "scenario.run");
+    run_span.field_str("scenario", &plan.scenario.name);
+    run_span.field_u64("jobs", n as u64);
+    run_span.field_u64("workers", workers as u64);
+    let run_span_id = run_span.id();
+
+    let (ready_tx, ready_rx) = channel::unbounded::<(usize, Instant)>();
     let (done_tx, done_rx) = channel::unbounded::<(usize, Result<JobOutput, EngineError>, u128)>();
 
     let mut dispatched = 0usize;
     for i in 0..n {
         if !completed[i] && indegree[i] == 0 {
-            ready_tx.send(i).expect("ready channel open");
+            ready_tx
+                .send((i, Instant::now()))
+                .expect("ready channel open");
             dispatched += 1;
         }
     }
@@ -122,9 +133,26 @@ pub fn run_plan(
             let ready_rx = ready_rx.clone();
             let done_tx = done_tx.clone();
             scope.spawn(move |_| {
-                while let Ok(i) = ready_rx.recv() {
+                while let Ok((i, enqueued)) = ready_rx.recv() {
                     let start = Instant::now();
-                    let result = execute_job(&plan.jobs[i], plan, cache, opts);
+                    let result = {
+                        let mut span = cgte_obs::span_with_parent(
+                            cgte_obs::LEVEL_COARSE,
+                            "scenario.job",
+                            run_span_id,
+                        );
+                        span.field_str("job", &plan.jobs[i].id);
+                        span.field_str(
+                            "kind",
+                            if matches!(plan.jobs[i].kind, JobKind::Build { .. }) {
+                                "build"
+                            } else {
+                                "run"
+                            },
+                        );
+                        span.field_u64("queue_us", enqueued.elapsed().as_micros() as u64);
+                        execute_job(&plan.jobs[i], plan, cache, opts)
+                    };
                     let ms = start.elapsed().as_millis();
                     if done_tx.send((i, result, ms)).is_err() {
                         break;
@@ -178,7 +206,7 @@ pub fn run_plan(
                         if indegree[dep] == 0
                             && !completed[dep]
                             && first_error.is_none()
-                            && ready_tx.send(dep).is_ok()
+                            && ready_tx.send((dep, Instant::now())).is_ok()
                         {
                             in_flight += 1;
                         }

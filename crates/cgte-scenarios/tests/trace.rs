@@ -1,0 +1,124 @@
+//! Trace-propagation integration test: span parent/child ids must
+//! survive the scheduler's crossbeam worker-pool handoff. TLS span
+//! context does not follow work onto pool threads, so the scheduler
+//! threads the run-span id through the ready channel explicitly — this
+//! test pins that contract with a `MemorySink` capture.
+//!
+//! Kept in its own integration binary: the tracer is process-global,
+//! and sharing it with other tests would interleave their records.
+
+use cgte_scenarios::artifact::{parse_json, Json};
+use cgte_scenarios::{
+    build_plan, parse_scn, resolve_scenario, run_plan, ResourceCache, RunOptions, Scale,
+};
+use std::sync::Arc;
+
+const SCN: &str = "\
+[scenario]
+name = \"trace-sweep\"
+seed = 99
+[graph.g]
+generator = \"planted\"
+k = 5
+alpha = 0.4
+scale_div = 400
+[sampler.rw]
+kind = \"rw\"
+thinning = [1, 2, 3]
+[experiment]
+sizes = [20, 60]
+replications = 2
+design = \"weighted\"
+targets = [\"size:last\"]
+";
+
+fn num(v: &Json, key: &str) -> Option<u64> {
+    match v.get(key) {
+        Some(Json::Num(x)) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+        _ => None,
+    }
+}
+
+fn text<'a>(v: &'a Json, key: &str) -> Option<&'a str> {
+    match v.get(key) {
+        Some(Json::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+#[test]
+fn job_span_ids_survive_the_worker_pool_handoff() {
+    let sink = Arc::new(cgte_obs::MemorySink::new());
+    cgte_obs::install(sink.clone(), cgte_obs::LEVEL_DETAIL);
+
+    let doc = parse_scn(SCN).unwrap();
+    let scenario = resolve_scenario(&doc, Scale::Quick, None).unwrap();
+    let plan = build_plan(&scenario).unwrap();
+    let cache = ResourceCache::new();
+    let opts = RunOptions {
+        quiet: true,
+        threads: 4,
+        ..RunOptions::default()
+    };
+    run_plan(&plan, &cache, &opts, SCN).unwrap();
+    cgte_obs::shutdown();
+
+    let records: Vec<Json> = sink
+        .lines()
+        .iter()
+        .map(|l| parse_json(l).expect("every record is valid JSON"))
+        .collect();
+
+    // Exactly one run span; it closes last, so it appears after its jobs.
+    let runs: Vec<&Json> = records
+        .iter()
+        .filter(|r| text(r, "name") == Some("scenario.run"))
+        .collect();
+    assert_eq!(runs.len(), 1, "one scenario.run span");
+    let run_id = num(runs[0], "id").unwrap();
+    assert!(run_id > 0);
+
+    // Every job span executed on a pool thread must carry the run span
+    // as its parent, a fresh nonzero id of its own, and the queue-wait
+    // field stamped at dispatch time.
+    let jobs: Vec<&Json> = records
+        .iter()
+        .filter(|r| text(r, "name") == Some("scenario.job"))
+        .collect();
+    assert!(jobs.len() >= 4, "got {} job spans", jobs.len());
+    let mut job_ids = Vec::new();
+    for job in &jobs {
+        let id = num(job, "id").unwrap();
+        assert_eq!(
+            num(job, "parent"),
+            Some(run_id),
+            "job span must be a child of the run span"
+        );
+        assert!(id != run_id && id > 0);
+        assert!(!job_ids.contains(&id), "span ids are unique");
+        let fields = job.get("fields").expect("job span has fields");
+        assert!(num(fields, "queue_us").is_some());
+        assert!(matches!(text(fields, "kind"), Some("build") | Some("run")));
+        job_ids.push(id);
+    }
+
+    // Cache hit/miss events are emitted *inside* job spans on pool
+    // threads: their parent must be one of the job span ids.
+    let cache_events: Vec<&Json> = records
+        .iter()
+        .filter(|r| text(r, "name") == Some("scenario.cache"))
+        .collect();
+    assert!(!cache_events.is_empty(), "cache events present");
+    for ev in &cache_events {
+        assert_eq!(text(ev, "kind"), Some("event"));
+        let parent = num(ev, "parent").unwrap();
+        assert!(
+            job_ids.contains(&parent),
+            "cache event parent {parent} is not a job span"
+        );
+        assert!(matches!(
+            text(ev.get("fields").unwrap(), "outcome"),
+            Some("build") | Some("hit") | Some("load")
+        ));
+    }
+}

@@ -162,12 +162,26 @@ impl RetryClient {
     /// Forces the circuit open (the coordinator calls this when a
     /// non-retryable interaction proves the shard gone).
     pub fn trip(&mut self) {
-        self.open = true;
+        if !self.open {
+            self.open = true;
+            cgte_obs::event(
+                cgte_obs::LEVEL_DETAIL,
+                "cluster.breaker_open",
+                &[("addr", cgte_obs::Value::Str(&self.addr))],
+            );
+        }
     }
 
     /// Closes the circuit for a half-open probe (e.g. after a shard was
     /// restarted).
     pub fn reset(&mut self) {
+        if self.open {
+            cgte_obs::event(
+                cgte_obs::LEVEL_DETAIL,
+                "cluster.breaker_reset",
+                &[("addr", cgte_obs::Value::Str(&self.addr))],
+            );
+        }
         self.open = false;
         self.consecutive_failures = 0;
     }
@@ -236,7 +250,7 @@ impl RetryClient {
         }
         self.consecutive_failures += 1;
         if self.consecutive_failures >= self.policy.breaker_threshold {
-            self.open = true;
+            self.trip();
         }
         Err(last)
     }
@@ -254,6 +268,15 @@ impl RetryClient {
         let jittered = micros / 2 + self.jitter.next_u64() % (micros / 2 + 1);
         counters::RETRIES_TOTAL.fetch_add(1, Ordering::Relaxed);
         counters::BACKOFF_MICROS_TOTAL.fetch_add(jittered, Ordering::Relaxed);
+        cgte_obs::event(
+            cgte_obs::LEVEL_DETAIL,
+            "cluster.retry",
+            &[
+                ("addr", cgte_obs::Value::Str(&self.addr)),
+                ("attempt", cgte_obs::Value::U64(attempt as u64)),
+                ("delay_us", cgte_obs::Value::U64(jittered)),
+            ],
+        );
         std::thread::sleep(Duration::from_micros(jittered));
     }
 
@@ -493,6 +516,8 @@ pub fn run_cluster_with(
 
     loop {
         let mut progressed = false;
+        let mut round_span = cgte_obs::span(cgte_obs::LEVEL_COARSE, "cluster.round");
+        round_span.field_u64("round", rounds as u64);
         for (i, w) in walkers.iter_mut().enumerate() {
             if w.complete || w.failed {
                 continue;
@@ -505,6 +530,10 @@ pub fn run_cluster_with(
             }
             let batch = cfg.batch.min(cfg.steps_per_walker - w.done);
             let session = w.session.clone().expect("walker was just placed");
+            let mut walker_span = cgte_obs::span(cgte_obs::LEVEL_DETAIL, "cluster.walker");
+            walker_span.field_u64("walker", i as u64);
+            walker_span.field_u64("shard", w.shard as u64);
+            walker_span.field_u64("batch", batch as u64);
             match ingest_batch(&mut clients[w.shard], &session, batch, w.done)? {
                 Some(new_len) => {
                     w.done = new_len;
@@ -535,6 +564,7 @@ pub fn run_cluster_with(
                 }
             }
         }
+        drop(round_span);
         hook(ClusterEvent::RoundDone { round: rounds });
         rounds += 1;
         if walkers.iter().all(|w| w.complete || w.failed) {
@@ -608,6 +638,11 @@ fn shard_died(clients: &mut [RetryClient], w: &mut Walker, hook: &mut impl FnMut
     if !clients[w.shard].is_open() {
         clients[w.shard].trip();
     }
+    cgte_obs::event(
+        cgte_obs::LEVEL_DETAIL,
+        "cluster.shard_dead",
+        &[("shard", cgte_obs::Value::U64(w.shard as u64))],
+    );
     hook(ClusterEvent::ShardDead { shard: w.shard });
     w.session = None;
 }
@@ -642,6 +677,15 @@ fn place_walker(
                 Some((session, len)) => {
                     if s != w.shard {
                         *reassignments += 1;
+                        cgte_obs::event(
+                            cgte_obs::LEVEL_DETAIL,
+                            "cluster.walker_moved",
+                            &[
+                                ("walker", cgte_obs::Value::U64(walker_idx as u64)),
+                                ("from", cgte_obs::Value::U64(w.shard as u64)),
+                                ("to", cgte_obs::Value::U64(s as u64)),
+                            ],
+                        );
                         hook(ClusterEvent::WalkerMoved {
                             walker: walker_idx,
                             from: w.shard,

@@ -65,8 +65,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Process-global transport counters, incremented by the hardened cluster
-/// client ([`cluster::RetryClient`]) and exposed by `GET /metrics`.
+/// Process-global counters exposed by `GET /metrics`: transport totals
+/// incremented by the hardened cluster client ([`cluster::RetryClient`])
+/// and walk-cost totals incremented by session ingest.
 pub mod counters {
     use std::sync::atomic::AtomicU64;
 
@@ -74,6 +75,101 @@ pub mod counters {
     pub static RETRIES_TOTAL: AtomicU64 = AtomicU64::new(0);
     /// Total backoff slept before retries, in microseconds.
     pub static BACKOFF_MICROS_TOTAL: AtomicU64 = AtomicU64::new(0);
+    /// Total chain transitions performed by server-side walks.
+    pub static WALK_STEPS_TOTAL: AtomicU64 = AtomicU64::new(0);
+    /// Total MHRW proposals declined by server-side walks.
+    pub static WALK_REJECTIONS_TOTAL: AtomicU64 = AtomicU64::new(0);
+}
+
+/// Per-endpoint request accounting: a hit counter plus latency and
+/// response-size histograms, all lock-free to record.
+///
+/// `/healthz` and `/metrics` hits land here under their own label and are
+/// deliberately *excluded* from the aggregate `cgte_serve_requests_total`
+/// counter, so scrape traffic can never masquerade as service load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Healthz,
+    Metrics,
+    Graphs,
+    SessionOpen,
+    SessionRestore,
+    Ingest,
+    Estimate,
+    SnapshotSave,
+    SnapshotGet,
+    SessionClose,
+    Shutdown,
+    Other,
+}
+
+impl Endpoint {
+    const COUNT: usize = 12;
+
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Graphs => "graphs",
+            Endpoint::SessionOpen => "session_open",
+            Endpoint::SessionRestore => "session_restore",
+            Endpoint::Ingest => "ingest",
+            Endpoint::Estimate => "estimate",
+            Endpoint::SnapshotSave => "snapshot_save",
+            Endpoint::SnapshotGet => "snapshot_get",
+            Endpoint::SessionClose => "session_close",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    /// Classifies a request by the same (method, segments) shape
+    /// [`route`] dispatches on; unknown shapes (404/405 answers) land
+    /// under `other`.
+    fn of(req: &http::Request) -> Endpoint {
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => Endpoint::Healthz,
+            ("GET", ["metrics"]) => Endpoint::Metrics,
+            ("GET", ["graphs"]) => Endpoint::Graphs,
+            ("POST", ["sessions"]) => Endpoint::SessionOpen,
+            ("POST", ["sessions", "restore"]) => Endpoint::SessionRestore,
+            ("POST", ["sessions", _, "ingest"]) => Endpoint::Ingest,
+            ("GET", ["sessions", _, "estimate"]) => Endpoint::Estimate,
+            ("POST", ["sessions", _, "snapshot"]) => Endpoint::SnapshotSave,
+            ("GET", ["sessions", _, "snapshot"]) => Endpoint::SnapshotGet,
+            ("DELETE", ["sessions", _]) => Endpoint::SessionClose,
+            ("POST", ["shutdown"]) => Endpoint::Shutdown,
+            _ => Endpoint::Other,
+        }
+    }
+}
+
+/// Every endpoint, in label-index order (for exposition sweeps).
+const ALL_ENDPOINTS: [Endpoint; Endpoint::COUNT] = [
+    Endpoint::Healthz,
+    Endpoint::Metrics,
+    Endpoint::Graphs,
+    Endpoint::SessionOpen,
+    Endpoint::SessionRestore,
+    Endpoint::Ingest,
+    Endpoint::Estimate,
+    Endpoint::SnapshotSave,
+    Endpoint::SnapshotGet,
+    Endpoint::SessionClose,
+    Endpoint::Shutdown,
+    Endpoint::Other,
+];
+
+#[derive(Debug, Default)]
+struct EndpointStats {
+    hits: AtomicU64,
+    latency_us: cgte_obs::AtomicHistogram,
+    resp_bytes: cgte_obs::AtomicHistogram,
 }
 
 /// A request-level failure: HTTP status + message.
@@ -177,6 +273,7 @@ struct ServerState {
     sessions: Mutex<HashMap<String, SessionEntry>>,
     next_session: AtomicU64,
     requests: AtomicUsize,
+    endpoints: [EndpointStats; Endpoint::COUNT],
     sessions_evicted: AtomicU64,
     snapshots_saved: AtomicU64,
     snapshots_restored: AtomicU64,
@@ -222,6 +319,7 @@ impl Server {
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(0),
             requests: AtomicUsize::new(0),
+            endpoints: std::array::from_fn(|_| EndpointStats::default()),
             sessions_evicted: AtomicU64::new(0),
             snapshots_saved: AtomicU64::new(0),
             snapshots_restored: AtomicU64::new(0),
@@ -359,24 +457,43 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
                 return;
             }
         };
-        state.requests.fetch_add(1, Ordering::Relaxed);
+        let endpoint = Endpoint::of(&req);
+        // Scrape/liveness traffic is accounted under its own endpoint
+        // label only, never in the aggregate request counter.
+        if !matches!(endpoint, Endpoint::Healthz | Endpoint::Metrics) {
+            state.requests.fetch_add(1, Ordering::Relaxed);
+        }
         let keep_alive = req.keep_alive;
-        let resp = match route(state, &req) {
-            Ok(resp) => resp,
-            Err(e) => {
-                let mut resp = http::Response {
-                    status: e.status,
-                    content_type: "application/json",
-                    headers: Vec::new(),
-                    body: error_body(&e.msg).into_bytes(),
-                };
-                if e.status == 429 {
-                    resp.headers
-                        .push(("Retry-After", state.retry_after_secs().to_string()));
+        let handle_started = Instant::now();
+        let resp = {
+            let mut span = cgte_obs::span(cgte_obs::LEVEL_COARSE, "serve.request");
+            span.field_str("endpoint", endpoint.label());
+            let resp = match route(state, &req) {
+                Ok(resp) => resp,
+                Err(e) => {
+                    let mut resp = http::Response {
+                        status: e.status,
+                        content_type: "application/json",
+                        headers: Vec::new(),
+                        body: error_body(&e.msg).into_bytes(),
+                    };
+                    if e.status == 429 {
+                        resp.headers
+                            .push(("Retry-After", state.retry_after_secs().to_string()));
+                    }
+                    resp
                 }
-                resp
-            }
+            };
+            span.field_u64("status", resp.status as u64);
+            span.field_u64("bytes", resp.body.len() as u64);
+            resp
         };
+        let stats = &state.endpoints[endpoint.index()];
+        stats.hits.fetch_add(1, Ordering::Relaxed);
+        stats
+            .latency_us
+            .record(handle_started.elapsed().as_micros() as u64);
+        stats.resp_bytes.record(resp.body.len() as u64);
         if http::write_response(&mut writer, &resp, keep_alive).is_err() {
             return;
         }
@@ -518,12 +635,108 @@ fn metrics(state: &ServerState) -> String {
         ),
     );
     emit(
+        "cgte_serve_walk_steps_total",
+        "counter",
+        "Chain transitions performed by server-side walks.",
+        counters::WALK_STEPS_TOTAL
+            .load(Ordering::Relaxed)
+            .to_string(),
+    );
+    emit(
+        "cgte_serve_walk_rejections_total",
+        "counter",
+        "MHRW proposals declined by server-side walks.",
+        counters::WALK_REJECTIONS_TOTAL
+            .load(Ordering::Relaxed)
+            .to_string(),
+    );
+    emit(
         "cgte_serve_uptime_seconds",
         "gauge",
         "Seconds since the server started.",
         format!("{:.3}", state.started.elapsed().as_secs_f64()),
     );
+    // Per-endpoint accounting. Scrape traffic (healthz/metrics) appears
+    // only here, never in cgte_serve_requests_total.
+    let _ = write!(
+        out,
+        "# HELP cgte_serve_endpoint_requests_total Requests by endpoint.\n# TYPE cgte_serve_endpoint_requests_total counter\n"
+    );
+    for ep in ALL_ENDPOINTS {
+        let hits = state.endpoints[ep.index()].hits.load(Ordering::Relaxed);
+        if hits > 0 {
+            let _ = writeln!(
+                out,
+                "cgte_serve_endpoint_requests_total{{endpoint=\"{}\"}} {hits}",
+                ep.label()
+            );
+        }
+    }
+    emit_endpoint_histogram(
+        &mut out,
+        state,
+        "cgte_serve_request_duration_seconds",
+        "Request handling latency by endpoint (log2 buckets).",
+        1e-6,
+        |s| &s.latency_us,
+    );
+    emit_endpoint_histogram(
+        &mut out,
+        state,
+        "cgte_serve_response_size_bytes",
+        "Response body size by endpoint (log2 buckets).",
+        1.0,
+        |s| &s.resp_bytes,
+    );
     out
+}
+
+/// Writes one histogram family in Prometheus exposition form: `# HELP` /
+/// `# TYPE` once, then cumulative `_bucket{endpoint=…,le=…}` series plus
+/// `_sum`/`_count` for every endpoint with observations.
+///
+/// The log2 bucket layout is sparse-friendly: leading empty buckets and
+/// the saturated tail are elided (the `+Inf` bucket always closes the
+/// series), keeping the exposition compact without breaking cumulative
+/// monotonicity.
+fn emit_endpoint_histogram(
+    out: &mut String,
+    state: &ServerState,
+    name: &str,
+    help: &str,
+    scale: f64,
+    select: impl Fn(&EndpointStats) -> &cgte_obs::AtomicHistogram,
+) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "# HELP {name} {help}\n# TYPE {name} histogram\n");
+    let mut snap = cgte_obs::Histogram::new();
+    for ep in ALL_ENDPOINTS {
+        select(&state.endpoints[ep.index()]).snapshot_into(&mut snap);
+        let total = snap.count();
+        if total == 0 {
+            continue;
+        }
+        let label = ep.label();
+        let counts = snap.counts();
+        let lo = counts.iter().position(|&c| c > 0).unwrap_or(0);
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate().skip(lo) {
+            cumulative += c;
+            let le = cgte_obs::hist::bucket_upper(i) as f64 * scale;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{endpoint=\"{label}\",le=\"{le}\"}} {cumulative}"
+            );
+            if cumulative == total {
+                break;
+            }
+        }
+        let _ = write!(
+            out,
+            "{name}_bucket{{endpoint=\"{label}\",le=\"+Inf\"}} {total}\n{name}_sum{{endpoint=\"{label}\"}} {}\n{name}_count{{endpoint=\"{label}\"}} {total}\n",
+            snap.sum() as f64 * scale
+        );
+    }
 }
 
 fn graphs(state: &ServerState) -> String {
@@ -600,6 +813,11 @@ fn evict_expired(state: &ServerState) {
     let evicted = (before - map.len()) as u64;
     if evicted > 0 {
         state.sessions_evicted.fetch_add(evicted, Ordering::Relaxed);
+        cgte_obs::event(
+            cgte_obs::LEVEL_DETAIL,
+            "serve.session_evict",
+            &[("count", cgte_obs::Value::U64(evicted))],
+        );
     }
 }
 
@@ -651,6 +869,15 @@ fn open_session(state: &ServerState, body: &[u8]) -> Result<String, ServeError> 
     let id = format!("s{}", state.next_session.fetch_add(1, Ordering::SeqCst));
     let session = Session::open(id.clone(), graph, &spec, state.threads)?;
     let response = session.opened_json();
+    cgte_obs::event(
+        cgte_obs::LEVEL_DETAIL,
+        "serve.session_open",
+        &[
+            ("session", cgte_obs::Value::Str(&id)),
+            ("graph", cgte_obs::Value::Str(&spec.graph)),
+            ("sampler", cgte_obs::Value::Str(&spec.sampler)),
+        ],
+    );
     insert_session(state, id, session)?;
     Ok(response)
 }
@@ -762,7 +989,14 @@ fn close_session(state: &ServerState, id: &str) -> Result<String, ServeError> {
         .expect("sessions lock poisoned")
         .remove(id)
     {
-        Some(_) => Ok(format!("{{\"session\":{},\"closed\":true}}", fmt_str(id))),
+        Some(_) => {
+            cgte_obs::event(
+                cgte_obs::LEVEL_DETAIL,
+                "serve.session_close",
+                &[("session", cgte_obs::Value::Str(id))],
+            );
+            Ok(format!("{{\"session\":{},\"closed\":true}}", fmt_str(id)))
+        }
         None => Err(ServeError::not_found(format!("unknown session {id:?}"))),
     }
 }
@@ -818,6 +1052,15 @@ fn snapshot_save(state: &ServerState, id: &str, req: &http::Request) -> Result<S
     std::fs::rename(&tmp, &path)
         .map_err(|e| ServeError::internal(format!("cannot rename to {}: {e}", path.display())))?;
     state.snapshots_saved.fetch_add(1, Ordering::Relaxed);
+    cgte_obs::event(
+        cgte_obs::LEVEL_DETAIL,
+        "serve.snapshot_save",
+        &[
+            ("session", cgte_obs::Value::Str(id)),
+            ("name", cgte_obs::Value::Str(&name)),
+            ("bytes", cgte_obs::Value::U64(bytes.len() as u64)),
+        ],
+    );
     Ok(format!(
         "{{\"session\":{},\"snapshot\":{},\"bytes\":{},\"len\":{len}}}",
         fmt_str(id),
@@ -859,6 +1102,15 @@ fn restore_session(state: &ServerState, body: &[u8]) -> Result<String, ServeErro
     let session = Session::restore(id.clone(), graph, &container, state.threads)?;
     let len = session.len();
     let opened = session.opened_json();
+    cgte_obs::event(
+        cgte_obs::LEVEL_DETAIL,
+        "serve.session_restore",
+        &[
+            ("session", cgte_obs::Value::Str(&id)),
+            ("graph", cgte_obs::Value::Str(&graph_name)),
+            ("len", cgte_obs::Value::U64(len as u64)),
+        ],
+    );
     insert_session(state, id, session)?;
     state.snapshots_restored.fetch_add(1, Ordering::Relaxed);
     // `opened_json` ends with '}': splice the restore facts in.

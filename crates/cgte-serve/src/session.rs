@@ -283,11 +283,34 @@ impl Session {
     /// Sampler-level failures (edgeless graph) surface as HTTP 422.
     pub fn ingest_steps(&mut self, steps: usize) -> Result<usize, ServeError> {
         let mut nodes = std::mem::take(&mut self.scratch);
-        let result =
-            self.sampler
-                .try_sample_into(&self.graph.graph, steps, &mut self.rng, &mut nodes);
+        let mut stats = cgte_sampling::WalkStats::default();
+        let result = self.sampler.try_sample_into_stats(
+            &self.graph.graph,
+            steps,
+            &mut self.rng,
+            &mut nodes,
+            &mut stats,
+        );
         match result {
             Ok(()) => {
+                crate::counters::WALK_STEPS_TOTAL
+                    .fetch_add(stats.steps as u64, std::sync::atomic::Ordering::Relaxed);
+                crate::counters::WALK_REJECTIONS_TOTAL.fetch_add(
+                    stats.rejections as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                cgte_obs::event(
+                    cgte_obs::LEVEL_DETAIL,
+                    "serve.walk",
+                    &[
+                        ("session", cgte_obs::Value::Str(&self.id)),
+                        ("retained", cgte_obs::Value::U64(stats.retained as u64)),
+                        ("steps", cgte_obs::Value::U64(stats.steps as u64)),
+                        ("rejections", cgte_obs::Value::U64(stats.rejections as u64)),
+                        ("burn_in", cgte_obs::Value::U64(stats.burn_in as u64)),
+                        ("thinning", cgte_obs::Value::U64(stats.thinning as u64)),
+                    ],
+                );
                 let ctx = ObservationContext::with_index(
                     &self.graph.graph,
                     &self.graph.partitions[self.part_idx].1,
