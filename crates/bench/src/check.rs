@@ -225,6 +225,28 @@ fn extract(report: &str, label: &str) -> Result<Extracted, String> {
             serial_rate(serve, "p99_ms", &ctx)?,
         ));
     }
+    // Reports written before the cluster section existed (PR7 and
+    // earlier) simply contribute no cluster metrics. The serial
+    // coordinator rate is an absolute throughput; the round-pool speedup
+    // is an internal wall-clock ratio (both sides timed back to back on
+    // one box within one run) — but like every speedup it is only
+    // extracted on machines that can actually scale, since a 1-core
+    // box's recorded speedup is scheduler noise around 1.0.
+    if let Some(cluster) = v.get("cluster") {
+        let ctx = format!("{label}: cluster");
+        metrics.push(Metric::throughput(
+            "cluster/samples_per_sec@1".into(),
+            serial_rate(cluster, "samples_per_sec", &ctx)?,
+            MetricClass::Absolute,
+        ));
+        if parallelism > 1.0 {
+            metrics.push(Metric::throughput(
+                "cluster/best_speedup".into(),
+                num(cluster, "best_speedup", &ctx)?,
+                MetricClass::Ratio,
+            ));
+        }
+    }
     // Reports written before the obs section existed (PR6 and earlier)
     // simply contribute no obs metrics. Both traced/disabled ratios are
     // internal (off and noop-traced timed back to back on one box), so
@@ -328,6 +350,7 @@ mod tests {
   "load": {{"generator":"chung_lu","nodes":1000,"edges":5000,"write_secs":0.1,"load_secs":0.01,"regen_secs":0.5,"load_edges_per_sec":{l1:.1},"regen_edges_per_sec":10000.0,"speedup_vs_regen":{lr:.3},"identical":true}},
   "snapshot": {{"nodes":1000,"categories":10,"samples":50000,"bytes":1200000,"write_secs":0.01,"restore_secs":0.02,"write_samples_per_sec":{sw:.1},"restore_samples_per_sec":{sr:.1},"identical":true}},
   "serve": {{"nodes":1000,"edges":5000,"categories":10,"rounds":25,"steps_per_ingest":200,"best_speedup":1.0,"runs":[{{"threads":1,"secs":1.0,"requests":100,"requests_per_sec":{s1:.1},"p50_ms":{p50:.4},"p99_ms":{p99:.4}}}]}},
+  "cluster": {{"shards":4,"walkers":16,"steps_per_walker":400,"batch":100,"bit_identical":true,"best_speedup":{cs:.3},"runs":[{{"threads":1,"secs":1.0,"samples_per_sec":{c1:.1}}},{{"threads":2,"secs":0.6,"samples_per_sec":{c2:.1}}}]}},
   "obs": {{"walk_steps":1000000,"walk_off_secs":0.1,"walk_traced_secs":0.1,"walk_steps_per_sec_off":10000000.0,"walk_steps_per_sec_traced":10000000.0,"walk_traced_ratio":{ow:.4},"serve_rounds":400,"serve_requests":801,"serve_off_secs":0.1,"serve_traced_secs":0.1,"serve_requests_per_sec_off":8000.0,"serve_requests_per_sec_traced":8000.0,"serve_traced_ratio":{os:.4}}}
 }}
 "#,
@@ -341,6 +364,9 @@ mod tests {
             sw = 5_000_000.0 * f,
             sr = 2_500_000.0 * f,
             s1 = 800.0 * f,
+            cs = 1.7 * ratio_f,
+            c1 = 6400.0 * f,
+            c2 = 10600.0 * f,
             // Latencies move inversely with throughput: a degraded report
             // (f < 1) has *higher* p50/p99.
             p50 = 2.0 / f,
@@ -519,6 +545,38 @@ mod tests {
             out.failures
                 .iter()
                 .any(|f| f.contains("obs/serve_traced_ratio")),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn pr7_baseline_without_cluster_section_is_accepted() {
+        // A baseline committed before the cluster section existed must
+        // not fail the gate.
+        let base = report(1, 1.0, 1.0).replace("\"cluster\":", "\"cluster_unused\":");
+        let out = check_reports(&report(1, 1.0, 1.0), &base).unwrap();
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        // Once both sides carry it, a collapsed coordinator rate fails…
+        let degraded =
+            report(1, 1.0, 1.0).replace("\"samples_per_sec\":6400.0", "\"samples_per_sec\":100.0");
+        let out = check_reports(&degraded, &report(1, 1.0, 1.0)).unwrap();
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("cluster/samples_per_sec")),
+            "{:?}",
+            out.failures
+        );
+        // …and on machines that can scale, a collapsed round-pool
+        // speedup gates as an internal wall-clock ratio.
+        let degraded =
+            report(8, 1.0, 1.0).replace("\"best_speedup\":1.700", "\"best_speedup\":1.000");
+        let out = check_reports(&degraded, &report(8, 1.0, 1.0)).unwrap();
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("cluster/best_speedup")),
             "{:?}",
             out.failures
         );

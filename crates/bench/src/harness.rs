@@ -1,7 +1,7 @@
 //! The `cgte bench` harness: machine-readable performance trajectory.
 //!
 //! Times the hot paths at each configured thread count and emits a JSON
-//! report (`BENCH_PR7.json` by default) that later PRs append to, so speed
+//! report (`BENCH_PR8.json` by default) that later PRs append to, so speed
 //! claims are pinned from PR to PR rather than asserted in prose:
 //!
 //! - **build** — edges/sec of every parallel generator (Chung–Lu at
@@ -22,6 +22,11 @@
 //! - **serve** — sustained requests/sec and p50/p99 request latency of
 //!   the online estimation service (`cgte-serve`) against the warm
 //!   headline graph, at each worker-pool size;
+//! - **cluster** — coordinator wall-clock for a fixed sharded run (4
+//!   local shards, 16 walkers) at each `--round-threads` pool size, with
+//!   a bit-identity check of every merged stream against the single-box
+//!   reference — the "parallel rounds change nothing but the clock"
+//!   contract;
 //! - **obs** — tracing overhead: the same walk and serve workloads timed
 //!   with the tracer disabled and then fully enabled into a
 //!   [`cgte_obs::NoopSink`] at detail level. The traced/disabled rate
@@ -50,7 +55,7 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write as _};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Options for one benchmark run.
 #[derive(Debug, Clone)]
@@ -79,7 +84,7 @@ impl Default for BenchOptions {
             quick: false,
             seed: 0x2012_5EED,
             threads: vec![1, 2, 8],
-            out: PathBuf::from("BENCH_PR7.json"),
+            out: PathBuf::from("BENCH_PR8.json"),
             cache_dir: None,
             load_nodes: 1_000_000,
         }
@@ -610,6 +615,145 @@ fn bench_serve(g: &Graph, opts: &BenchOptions) -> Result<ServeEntry, String> {
     })
 }
 
+struct ClusterEntry {
+    shards: usize,
+    walkers: usize,
+    steps_per_walker: usize,
+    batch: usize,
+    bit_identical: bool,
+    runs: Vec<TimedRun>,
+}
+
+/// Benchmarks the sharded coordinator: a fixed workload (16 walkers over
+/// 4 local shards, every shard a real `cgte-serve` process-internal
+/// server on its own port) driven once per configured `--round-threads`
+/// pool size. The workload is identical at every pool size — placement,
+/// merging and checkpoint cadence all live on the coordinator thread —
+/// so wall-clock ratios are the right scaling metric, and every merged
+/// stream is checked bit-identical against [`single_box_reference`].
+///
+/// [`single_box_reference`]: cgte_serve::cluster::single_box_reference
+fn bench_cluster(opts: &BenchOptions) -> Result<ClusterEntry, String> {
+    use cgte_sampling::ObservationContext;
+    use cgte_serve::cluster::{run_cluster, single_box_reference, ClusterConfig, RetryPolicy};
+    use cgte_serve::{ServeConfig, Server};
+
+    // Even at --quick the run must drive enough HTTP round trips to time
+    // stably (a few hundred requests; a tens-of-ms window is timer noise
+    // and would make the --check gate flaky).
+    let shards_n = 4;
+    let walkers = 16;
+    let steps = if opts.quick { 4_000 } else { 12_000 };
+    let batch = if opts.quick { 250 } else { 500 };
+
+    let pcfg = PlantedConfig::scaled(if opts.quick { 60 } else { 20 }, 20, 0.5);
+    let pg = par_planted_partition(&pcfg, opts.seed, 0).expect("feasible planted config");
+    let dir = opts.cache_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("cgte-bench-cluster-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    let name = format!("cluster-planted-{}-{}", pg.graph.num_nodes(), opts.seed);
+    let path = dir.join(format!("{name}.cgteg"));
+    {
+        use cgte_graph::store::{graph_sections, partition_section, Container, Section};
+        let mut c = Container::new();
+        c.push(Section::string("meta.kind", "graph"));
+        for s in graph_sections(&pg.graph) {
+            c.push(s);
+        }
+        c.push(partition_section("main", &pg.partition));
+        let mut out = BufWriter::new(
+            File::create(&path).map_err(|e| format!("cannot create {path:?}: {e}"))?,
+        );
+        c.write_to(&mut out)
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+
+    let servers: Vec<Server> = (0..shards_n)
+        .map(|_| {
+            Server::bind(&ServeConfig {
+                cache_dir: dir.clone(),
+                addr: "127.0.0.1:0".to_string(),
+                threads: 2,
+                ..ServeConfig::default()
+            })
+            .map_err(|e| format!("cannot bind bench shard: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let addrs: Vec<String> = servers.iter().map(|s| s.addr().to_string()).collect();
+
+    let cfg = ClusterConfig {
+        partition: Some("main".to_string()),
+        walkers,
+        steps_per_walker: steps,
+        batch,
+        snapshot_every: 2,
+        seed: opts.seed,
+        policy: RetryPolicy {
+            request_timeout: Duration::from_secs(10),
+            ..RetryPolicy::default()
+        },
+        ..ClusterConfig::new(&name)
+    };
+    let ctx = ObservationContext::new(&pg.graph, &pg.partition);
+    let reference =
+        single_box_reference(&cfg, &pg.graph, &pg.partition, &ctx).map_err(|e| e.to_string())?;
+
+    // Warm every shard (graph load + neighbor-category index) outside the
+    // timed windows with a one-round mini-run.
+    {
+        let mut warm = cfg.clone();
+        warm.walkers = shards_n;
+        warm.steps_per_walker = batch;
+        run_cluster(&warm, &addrs, &ctx).map_err(|e| format!("cluster warm-up failed: {e}"))?;
+    }
+
+    let mut runs = Vec::new();
+    let mut identical = true;
+    for &t in &opts.threads {
+        let mut cfg_t = cfg.clone();
+        cfg_t.round_threads = t;
+        let reps = if t == 1 { SERIAL_REPS } else { 1 };
+        let (run, dt) = best_of(reps, || run_cluster(&cfg_t, &addrs, &ctx));
+        let run = run.map_err(|e| format!("cluster bench run failed: {e}"))?;
+        if run.degraded || run.shards_alive != shards_n {
+            return Err(format!(
+                "cluster bench degraded: {}/{} walkers, {}/{} shards",
+                run.walkers_completed, walkers, run.shards_alive, shards_n
+            ));
+        }
+        identical &= run.stream == reference;
+        runs.push(TimedRun {
+            threads: t,
+            secs: dt,
+            rate: (walkers * steps) as f64 / dt.max(1e-9),
+        });
+    }
+    for s in servers {
+        s.shutdown();
+        s.join();
+    }
+    if opts.cache_dir.is_none() {
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+    let entry = ClusterEntry {
+        shards: shards_n,
+        walkers,
+        steps_per_walker: steps,
+        batch,
+        bit_identical: identical,
+        runs,
+    };
+    eprintln!(
+        "cluster: {shards_n} shards × {walkers} walkers, serial {:.2}s, speedup {:.2}x, bit-identical: {identical}",
+        entry.runs[0].secs,
+        speedup(&entry.runs),
+    );
+    Ok(entry)
+}
+
 fn bench_estimate(opts: &BenchOptions) -> EstimateEntry {
     // A laptop-scale planted graph: estimate throughput is dominated by
     // walking + observation, not graph size.
@@ -933,6 +1077,9 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     // --- serve request throughput + latency -------------------------------
     let serve = bench_serve(&headline, opts)?;
 
+    // --- sharded coordinator wall-clock at each round-pool size -----------
+    let cluster = bench_cluster(opts)?;
+
     // --- tracing overhead (must run last: installs the global tracer) -----
     let obs = bench_obs(&walk_graph, opts)?;
 
@@ -940,7 +1087,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\n  \"schema\": \"cgte-bench/1\",\n  \"pr\": \"PR7\",\n  \"quick\": {},\n  \"seed\": {},\n  \"available_parallelism\": {},\n  \"threads\": [{}],\n",
+        "{{\n  \"schema\": \"cgte-bench/1\",\n  \"pr\": \"PR8\",\n  \"quick\": {},\n  \"seed\": {},\n  \"available_parallelism\": {},\n  \"threads\": [{}],\n",
         quick,
         seed,
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
@@ -1040,6 +1187,17 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
         },
         serve_runs.join(","),
     );
+    let _ = writeln!(
+        json,
+        "  \"cluster\": {{\"shards\":{},\"walkers\":{},\"steps_per_walker\":{},\"batch\":{},\"bit_identical\":{},\"best_speedup\":{:.3},\"runs\":{}}},",
+        cluster.shards,
+        cluster.walkers,
+        cluster.steps_per_walker,
+        cluster.batch,
+        cluster.bit_identical,
+        speedup(&cluster.runs),
+        runs_json(&cluster.runs, "samples_per_sec"),
+    );
     let _ = write!(
         json,
         "  \"obs\": {{\"walk_steps\":{},\"walk_off_secs\":{:.6},\"walk_traced_secs\":{:.6},\"walk_steps_per_sec_off\":{:.1},\"walk_steps_per_sec_traced\":{:.1},\"walk_traced_ratio\":{:.4},\"serve_rounds\":{},\"serve_requests\":{},\"serve_off_secs\":{:.6},\"serve_traced_secs\":{:.6},\"serve_requests_per_sec_off\":{:.1},\"serve_requests_per_sec_traced\":{:.1},\"serve_traced_ratio\":{:.4}}}\n}}\n",
@@ -1094,6 +1252,8 @@ mod tests {
         assert!(json.contains("\"serve\""));
         assert!(json.contains("\"requests_per_sec\""));
         assert!(json.contains("\"p99_ms\""));
+        assert!(json.contains("\"cluster\": {\"shards\":4,\"walkers\":16"));
+        assert!(json.contains("\"bit_identical\":true,\"best_speedup\""));
         assert!(json.contains("\"obs\""));
         assert!(json.contains("\"walk_traced_ratio\""));
         assert!(json.contains("\"serve_traced_ratio\""));

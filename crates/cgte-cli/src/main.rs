@@ -63,8 +63,9 @@ USAGE:
                          [--partition NAME] [--sampler uis|rw|mhrw|swrw]
                          [--design uniform|weighted] [--seed S] [--burn-in B]
                          [--thinning T] [--walkers W] [--steps N] [--batch B]
-                         [--snapshot-every R] [--timeout-ms MS] [--retries R]
-                         [--verify true] [--trace FILE.jsonl] [--trace-level N]
+                         [--snapshot-every R] [--round-threads N]
+                         [--timeout-ms MS] [--retries R] [--verify true]
+                         [--trace FILE.jsonl] [--trace-level N]
   cgte trace summarize   FILE.jsonl
   cgte metrics check     FILE.txt | -
   cgte bench             [--quick] [--seed S] [--threads 1,2,8] [--out FILE.json]
@@ -98,8 +99,11 @@ walk budget fanned out as per-seed walkers, sessions checkpointed every
 --snapshot-every rounds, dead shards circuit-broken and their walkers
 restored onto survivors, and the merged estimate pinned bit-exact against
 the local single-box path (--verify true asserts it and exits non-zero on
-any mismatch). The JSON report on stdout includes degraded/coverage
-fields when walkers could not complete.
+any mismatch). --round-threads N drives each round's per-walker HTTP
+trips on N pool workers — the merged result is bit-identical at any N.
+A dead shard is probed half-open at every checkpoint boundary; when it
+answers again, walkers rebalance back onto it. The JSON report on stdout
+includes degraded/coverage fields when walkers could not complete.
 
 `cgte estimate --ci 0.95` additionally prints per-category bootstrap
 percentile confidence intervals for the size estimates to stderr.
@@ -117,10 +121,12 @@ finite values, histogram bucket monotonicity and _sum/_count
 consistency.
 
 `cgte bench` times graph build rate, .cgteg load rate, walk steps/sec,
-estimate throughput and serve request throughput/latency at each thread
-count and writes a machine-readable JSON report (default BENCH_PR7.json;
-see EXPERIMENTS.md for the schema). With --check it then compares the
-fresh report against a committed baseline and fails on a >25% per-metric
+estimate throughput, serve request throughput/latency and the sharded
+coordinator's wall-clock at each thread count (the `cluster` section
+drives a fixed 4-shard, 16-walker run at every --round-threads size) and
+writes a machine-readable JSON report (default BENCH_PR8.json; see
+EXPERIMENTS.md for the schema). With --check it then compares the fresh
+report against a committed baseline and fails on a >25% per-metric
 regression (warns over 10%). The `obs` section pins the tracing-disabled
 overhead of the instrumentation (ratios ~1.0).
 ";
@@ -668,9 +674,13 @@ fn cmd_cluster(args: &Args) -> Result<(), CliError> {
         steps_per_walker: args.parse_or("steps", 1000usize)?,
         batch: args.parse_or("batch", 250usize)?,
         snapshot_every: args.parse_or("snapshot-every", 1usize)?,
+        round_threads: args.parse_or("round-threads", 1usize)?,
         policy,
         jitter_seed: args.parse_or("jitter-seed", 0u64)?,
     };
+    if cfg.round_threads == 0 {
+        return Err("--round-threads must be positive".into());
+    }
     let verify: bool = args.parse_or("verify", false)?;
     install_trace(args.get("trace"), args.parse_or("trace-level", 2u8)?)?;
 
@@ -700,6 +710,9 @@ fn cmd_cluster(args: &Args) -> Result<(), CliError> {
         }
         cluster::ClusterEvent::WalkerMoved { walker, from, to } => {
             eprintln!("cgte cluster: walker {walker} reassigned shard {from} -> {to}");
+        }
+        cluster::ClusterEvent::ShardRejoined { shard } => {
+            eprintln!("cgte cluster: shard {shard} rejoined; rebalancing walkers back");
         }
         cluster::ClusterEvent::RoundDone { .. } => {}
     })?;

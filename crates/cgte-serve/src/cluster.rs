@@ -27,6 +27,20 @@
 //! snapshot; only when **no** shard survives does the run degrade, and
 //! then the result says so ([`ClusterRun::degraded`] + coverage) instead
 //! of hanging or silently answering from partial data.
+//!
+//! Within a round, the per-walker HTTP round trips fan out over a
+//! [`ClusterConfig::round_threads`]-bounded worker pool, so a round's
+//! wall-clock is the *slowest* walker trip rather than the sum of all of
+//! them. Each worker owns one private [`RetryClient`] per shard; the
+//! canonical per-shard breaker state stays with the coordinator thread,
+//! crossing the pool boundary through a shared health table on dispatch
+//! and through per-walker outcomes (folded back in walker-index order)
+//! on completion — so placement decisions never depend on thread
+//! scheduling. Dead shards are probed half-open at every checkpoint
+//! boundary; a shard that answers again *rejoins*, and walkers migrate
+//! back onto it toward an even walkers-per-shard spread (their next
+//! placement restores the freshly-taken checkpoint there, which is why
+//! rebalancing cannot disturb bit-exactness).
 
 use crate::fault::mix64;
 use crate::session::build_sampler;
@@ -34,11 +48,12 @@ use crate::{counters, http, ServeError};
 use cgte_graph::{Graph, Partition};
 use cgte_sampling::{snapshot, NodeSampler, ObservationContext, ObservationStream};
 use cgte_scenarios::artifact::{parse_json, Json};
+use crossbeam::channel;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::io::{BufReader, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
 /// A coordinator-fatal failure. Shard deaths are *not* errors — they end
@@ -133,6 +148,12 @@ pub struct RetryClient {
     jitter: StdRng,
     consecutive_failures: u32,
     open: bool,
+    /// Retries this client spent — summed per run, unlike the
+    /// process-global `counters::RETRIES_TOTAL` kept for `/metrics`.
+    run_retries: u64,
+    /// Suppresses breaker_open/breaker_reset events: worker-pool clients
+    /// are local mirrors, only the coordinator logs canonical transitions.
+    quiet: bool,
 }
 
 impl RetryClient {
@@ -146,7 +167,18 @@ impl RetryClient {
             jitter: StdRng::seed_from_u64(jitter_seed),
             consecutive_failures: 0,
             open: false,
+            run_retries: 0,
+            quiet: false,
         }
+    }
+
+    /// Silences this client's breaker transition events. Worker-pool
+    /// clients are quiet: their breakers only mirror the coordinator's
+    /// canonical per-shard state, and double-logging every mirror flip
+    /// would drown the real transitions.
+    pub fn quiet(mut self) -> RetryClient {
+        self.quiet = true;
+        self
     }
 
     /// The shard address this client talks to.
@@ -159,23 +191,30 @@ impl RetryClient {
         self.open
     }
 
+    /// Retries this client performed so far (its contribution to
+    /// [`ClusterRun::retries`]).
+    pub fn retries_spent(&self) -> u64 {
+        self.run_retries
+    }
+
     /// Forces the circuit open (the coordinator calls this when a
     /// non-retryable interaction proves the shard gone).
     pub fn trip(&mut self) {
         if !self.open {
             self.open = true;
-            cgte_obs::event(
-                cgte_obs::LEVEL_DETAIL,
-                "cluster.breaker_open",
-                &[("addr", cgte_obs::Value::Str(&self.addr))],
-            );
+            if !self.quiet {
+                cgte_obs::event(
+                    cgte_obs::LEVEL_DETAIL,
+                    "cluster.breaker_open",
+                    &[("addr", cgte_obs::Value::Str(&self.addr))],
+                );
+            }
         }
     }
 
-    /// Closes the circuit for a half-open probe (e.g. after a shard was
-    /// restarted).
+    /// Closes the circuit (e.g. after a successful half-open probe).
     pub fn reset(&mut self) {
-        if self.open {
+        if self.open && !self.quiet {
             cgte_obs::event(
                 cgte_obs::LEVEL_DETAIL,
                 "cluster.breaker_reset",
@@ -184,6 +223,23 @@ impl RetryClient {
         }
         self.open = false;
         self.consecutive_failures = 0;
+    }
+
+    /// Half-open liveness probe: one `/healthz` GET that bypasses the
+    /// open-circuit check. Only a `200` closes the breaker; any failure
+    /// (re-)trips it, so a dead shard stays quarantined — probing must
+    /// never leak a closed breaker for a shard that did not answer.
+    pub fn probe(&mut self) -> bool {
+        match self.once("GET", "/healthz", b"") {
+            Ok(resp) if resp.status == 200 => {
+                self.reset();
+                true
+            }
+            _ => {
+                self.trip();
+                false
+            }
+        }
     }
 
     /// `GET` with retries (idempotent by definition).
@@ -266,6 +322,7 @@ impl RetryClient {
             .min(self.policy.backoff_max);
         let micros = exp.as_micros() as u64;
         let jittered = micros / 2 + self.jitter.next_u64() % (micros / 2 + 1);
+        self.run_retries += 1;
         counters::RETRIES_TOTAL.fetch_add(1, Ordering::Relaxed);
         counters::BACKOFF_MICROS_TOTAL.fetch_add(jittered, Ordering::Relaxed);
         cgte_obs::event(
@@ -346,6 +403,11 @@ pub struct ClusterConfig {
     pub batch: usize,
     /// Checkpoint every this many rounds (0 = only the final state).
     pub snapshot_every: usize,
+    /// Worker threads driving a round's per-walker HTTP trips. `1` keeps
+    /// the trips fully sequential; any value yields the same merged
+    /// stream bit-for-bit (placement and merging stay on the
+    /// coordinator thread, in walker order).
+    pub round_threads: usize,
     /// Transport policy for every shard client.
     pub policy: RetryPolicy,
     /// Seed of the backoff-jitter RNGs.
@@ -367,6 +429,7 @@ impl ClusterConfig {
             steps_per_walker: 1000,
             batch: 250,
             snapshot_every: 1,
+            round_threads: 1,
             policy: RetryPolicy::default(),
             jitter_seed: 0,
         }
@@ -398,6 +461,12 @@ pub enum ClusterEvent {
         /// New shard.
         to: usize,
     },
+    /// A dead shard answered its half-open probe at a checkpoint
+    /// boundary; walkers rebalance back onto it.
+    ShardRejoined {
+        /// Index into the shard list.
+        shard: usize,
+    },
 }
 
 /// The outcome of a sharded run.
@@ -419,7 +488,9 @@ pub struct ClusterRun {
     pub shards_alive: usize,
     /// Shards configured.
     pub shards_total: usize,
-    /// Transport retries spent during this run (process-wide delta).
+    /// Transport retries spent during *this* run, summed over its own
+    /// clients — concurrent runs in one process do not bleed into each
+    /// other (the process-global counter feeds `/metrics` only).
     pub retries: u64,
     /// Walker re-homings performed.
     pub reassignments: usize,
@@ -468,12 +539,58 @@ pub fn run_cluster(
     run_cluster_with(cfg, shards, ctx, |_| {})
 }
 
+/// One walker's work order for a round, shipped to the worker pool. The
+/// coordinator decides *what* happens (placement, shard, batch size,
+/// checkpoint-or-not) before dispatch; workers only execute HTTP trips.
+struct RoundTask {
+    walker: usize,
+    shard: usize,
+    session: String,
+    done: usize,
+    batch: usize,
+    /// True when this round sits on the snapshot cadence: download a
+    /// checkpoint after the ingest (always done on budget completion).
+    checkpoint_due: bool,
+    /// `cluster.round` span id — TLS span context does not follow work
+    /// onto pool threads, so the parent crosses explicitly.
+    span_parent: u64,
+}
+
+/// What a [`RoundTask`] produced, folded back on the coordinator thread.
+struct RoundOutcome {
+    /// Committed session length after the ingest (None: no progress).
+    new_len: Option<usize>,
+    /// Downloaded `.cgtes` checkpoint at `new_len`, when one was due.
+    checkpoint: Option<Vec<u8>>,
+    /// The walker delivered its full budget (final checkpoint in hand).
+    completed: bool,
+    /// The shard failed at the transport level mid-task; the coordinator
+    /// runs the canonical `shard_died` transition.
+    shard_failed: bool,
+}
+
+impl RoundOutcome {
+    fn failed() -> RoundOutcome {
+        RoundOutcome {
+            new_len: None,
+            checkpoint: None,
+            completed: false,
+            shard_failed: true,
+        }
+    }
+}
+
 /// Drives a full sharded estimation run and merges the result.
 ///
 /// `ctx` is the coordinator's *local* view of the same graph + partition
 /// the shards serve (loaded from the shared `.cgteg` store); it is used
 /// to replay the downloaded logs into the merged stream. `hook` receives
 /// [`ClusterEvent`]s as they happen.
+///
+/// Per-walker HTTP trips of a round run on `cfg.round_threads` pool
+/// workers; everything that decides placement or ordering — walker
+/// state, canonical breakers, event emission, the merge — stays on this
+/// thread, so the result is bit-identical at any thread count.
 pub fn run_cluster_with(
     cfg: &ClusterConfig,
     shards: &[String],
@@ -488,7 +605,11 @@ pub fn run_cluster_with(
             "walkers, steps_per_walker and batch must be positive".to_string(),
         ));
     }
-    let retries_before = counters::RETRIES_TOTAL.load(Ordering::Relaxed);
+    if cfg.round_threads == 0 {
+        return Err(ClusterError::Config(
+            "round_threads must be positive".to_string(),
+        ));
+    }
     let mut clients: Vec<RetryClient> = shards
         .iter()
         .enumerate()
@@ -514,84 +635,171 @@ pub fn run_cluster_with(
     let mut reassignments = 0usize;
     let mut rounds = 0usize;
 
-    loop {
-        let mut progressed = false;
-        let mut round_span = cgte_obs::span(cgte_obs::LEVEL_COARSE, "cluster.round");
-        round_span.field_u64("round", rounds as u64);
-        for (i, w) in walkers.iter_mut().enumerate() {
-            if w.complete || w.failed {
-                continue;
-            }
-            if w.session.is_none()
-                && !place_walker(cfg, &mut clients, w, i, &mut reassignments, &mut hook)?
-            {
-                w.failed = true;
-                continue;
-            }
-            let batch = cfg.batch.min(cfg.steps_per_walker - w.done);
-            let session = w.session.clone().expect("walker was just placed");
-            let mut walker_span = cgte_obs::span(cgte_obs::LEVEL_DETAIL, "cluster.walker");
-            walker_span.field_u64("walker", i as u64);
-            walker_span.field_u64("shard", w.shard as u64);
-            walker_span.field_u64("batch", batch as u64);
-            match ingest_batch(&mut clients[w.shard], &session, batch, w.done)? {
-                Some(new_len) => {
-                    w.done = new_len;
-                    progressed = true;
-                    if w.done >= cfg.steps_per_walker {
-                        // Always checkpoint the final state immediately:
-                        // completion is only claimed once the full log is
-                        // in the coordinator's hands.
-                        if checkpoint_walker(&mut clients[w.shard], w, ctx)? {
-                            let _ = clients[w.shard].delete(&format!("/sessions/{session}"));
-                            w.complete = true;
-                        } else {
-                            shard_died(&mut clients, w, &mut hook);
-                        }
+    // Shared per-shard health table: true = the shard is considered dead.
+    // Written by the coordinator on dispatch (canonical state) and by a
+    // worker whose client just tripped, so sibling tasks already queued
+    // against a corpse short-circuit instead of each burning the full
+    // timeout budget.
+    let pool_workers = cfg.round_threads.min(cfg.walkers);
+    let shard_down: Vec<AtomicBool> = shards.iter().map(|_| AtomicBool::new(false)).collect();
+    let pool_retries = AtomicU64::new(0);
+
+    let mut loop_result: Result<(), ClusterError> = Ok(());
+    crossbeam::scope(|scope| {
+        let (task_tx, task_rx) = channel::unbounded::<RoundTask>();
+        let (out_tx, out_rx) = channel::unbounded::<(usize, Result<RoundOutcome, ClusterError>)>();
+        for worker in 0..pool_workers {
+            let task_rx = task_rx.clone();
+            let out_tx = out_tx.clone();
+            let shard_down = &shard_down;
+            let pool_retries = &pool_retries;
+            scope.spawn(move |_| {
+                round_worker(
+                    cfg,
+                    shards,
+                    worker,
+                    ctx,
+                    shard_down,
+                    task_rx,
+                    out_tx,
+                    pool_retries,
+                )
+            });
+        }
+        drop(task_rx);
+        drop(out_tx);
+
+        loop_result = (|| -> Result<(), ClusterError> {
+            loop {
+                let mut progressed = false;
+                let mut round_span = cgte_obs::span(cgte_obs::LEVEL_COARSE, "cluster.round");
+                round_span.field_u64("round", rounds as u64);
+                let round_span_id = round_span.id();
+
+                // Phase 1 (coordinator): place detached walkers. Runs on
+                // the canonical clients so breaker decisions and
+                // WalkerMoved events stay deterministic.
+                for (i, w) in walkers.iter_mut().enumerate() {
+                    if w.complete || w.failed || w.session.is_some() {
+                        continue;
                     }
-                }
-                None => shard_died(&mut clients, w, &mut hook),
-            }
-        }
-        // Periodic checkpoints at the configured round cadence.
-        if cfg.snapshot_every > 0 && (rounds + 1).is_multiple_of(cfg.snapshot_every) {
-            for w in walkers.iter_mut() {
-                if w.complete || w.failed || w.session.is_none() {
-                    continue;
-                }
-                if !checkpoint_walker(&mut clients[w.shard], w, ctx)? {
-                    shard_died(&mut clients, w, &mut hook);
-                }
-            }
-        }
-        drop(round_span);
-        hook(ClusterEvent::RoundDone { round: rounds });
-        rounds += 1;
-        if walkers.iter().all(|w| w.complete || w.failed) {
-            break;
-        }
-        // Deadlock guard: a fully-dead cluster fails the remaining
-        // walkers (after one half-open probe pass inside `place_walker`)
-        // instead of spinning forever.
-        if !progressed && clients.iter().all(RetryClient::is_open) {
-            let mut any_back = false;
-            for c in clients.iter_mut() {
-                if probe(c) {
-                    any_back = true;
-                } else {
-                    c.trip();
-                }
-            }
-            if !any_back {
-                for w in walkers.iter_mut() {
-                    if !w.complete {
+                    if !place_walker(cfg, &mut clients, w, i, &mut reassignments, &mut hook)? {
                         w.failed = true;
                     }
                 }
-                break;
+                // Publish the canonical breaker state to the pool.
+                for (s, c) in clients.iter().enumerate() {
+                    shard_down[s].store(c.is_open(), Ordering::Release);
+                }
+
+                // Phase 2: fan this round's per-walker trips out.
+                let boundary =
+                    cfg.snapshot_every > 0 && (rounds + 1).is_multiple_of(cfg.snapshot_every);
+                let mut in_flight = 0usize;
+                for (i, w) in walkers.iter().enumerate() {
+                    if w.complete || w.failed {
+                        continue;
+                    }
+                    let Some(session) = w.session.clone() else {
+                        continue;
+                    };
+                    task_tx
+                        .send(RoundTask {
+                            walker: i,
+                            shard: w.shard,
+                            session,
+                            done: w.done,
+                            batch: cfg.batch.min(cfg.steps_per_walker - w.done),
+                            checkpoint_due: boundary,
+                            span_parent: round_span_id,
+                        })
+                        .map_err(|_| {
+                            ClusterError::Shard("round worker pool is gone".to_string())
+                        })?;
+                    in_flight += 1;
+                }
+                let mut outcomes = Vec::with_capacity(in_flight);
+                for _ in 0..in_flight {
+                    outcomes.push(out_rx.recv().map_err(|_| {
+                        ClusterError::Shard("round worker pool died mid-round".to_string())
+                    })?);
+                }
+                // Phase 3 (coordinator): fold outcomes back in walker
+                // order — arrival order depends on thread scheduling,
+                // state updates must not.
+                outcomes.sort_by_key(|(i, _)| *i);
+                for (i, outcome) in outcomes {
+                    let o = outcome?;
+                    let w = &mut walkers[i];
+                    if let Some(len) = o.new_len {
+                        w.done = len;
+                        progressed = true;
+                    }
+                    if let Some(bytes) = o.checkpoint {
+                        w.checkpoint = Some((w.done, bytes));
+                    }
+                    if o.completed {
+                        w.complete = true;
+                    } else if o.shard_failed {
+                        shard_died(&mut clients, w, &mut hook);
+                    }
+                }
+
+                // Phase 4: at checkpoint boundaries, probe dead shards
+                // half-open; a shard that answers rejoins and walkers
+                // rebalance back onto it. Bound to boundaries so every
+                // migration restores a just-taken checkpoint.
+                if boundary {
+                    let mut rejoined = false;
+                    for (s, c) in clients.iter_mut().enumerate() {
+                        if c.is_open() && c.probe() {
+                            rejoined = true;
+                            cgte_obs::event(
+                                cgte_obs::LEVEL_DETAIL,
+                                "cluster.shard_rejoined",
+                                &[("shard", cgte_obs::Value::U64(s as u64))],
+                            );
+                            hook(ClusterEvent::ShardRejoined { shard: s });
+                        }
+                    }
+                    if rejoined {
+                        rebalance(&mut clients, &mut walkers, &mut reassignments, &mut hook);
+                    }
+                }
+
+                drop(round_span);
+                hook(ClusterEvent::RoundDone { round: rounds });
+                rounds += 1;
+                if walkers.iter().all(|w| w.complete || w.failed) {
+                    break;
+                }
+                // Deadlock guard: a fully-dead cluster fails the
+                // remaining walkers (after one last half-open probe pass)
+                // instead of spinning forever. `probe` keeps the breaker
+                // open on failure, so no compensating trip is needed.
+                if !progressed && clients.iter().all(RetryClient::is_open) {
+                    let mut any_back = false;
+                    for c in clients.iter_mut() {
+                        if c.probe() {
+                            any_back = true;
+                        }
+                    }
+                    if !any_back {
+                        for w in walkers.iter_mut() {
+                            if !w.complete {
+                                w.failed = true;
+                            }
+                        }
+                        break;
+                    }
+                }
             }
-        }
-    }
+            Ok(())
+        })();
+        drop(task_tx);
+    })
+    .map_err(|_| ClusterError::Shard("round worker panicked".to_string()))?;
+    loop_result?;
 
     // Merge completed walkers' logs, in walker order, locally.
     let mut merged = ObservationStream::new(ctx.num_categories());
@@ -616,6 +824,8 @@ pub fn run_cluster_with(
         completed += 1;
     }
     let shards_alive = clients.iter().filter(|c| !c.is_open()).count();
+    let retries = clients.iter().map(RetryClient::retries_spent).sum::<u64>()
+        + pool_retries.load(Ordering::Relaxed);
     Ok(ClusterRun {
         stream: merged,
         walkers_total: cfg.walkers,
@@ -624,12 +834,186 @@ pub fn run_cluster_with(
         coverage: completed as f64 / cfg.walkers as f64,
         shards_alive,
         shards_total: shards.len(),
-        retries: counters::RETRIES_TOTAL
-            .load(Ordering::Relaxed)
-            .saturating_sub(retries_before),
+        retries,
         reassignments,
         rounds,
     })
+}
+
+/// A pool worker: owns one private (quiet) [`RetryClient`] per shard and
+/// executes [`RoundTask`]s until the coordinator hangs up. On exit it
+/// folds its clients' retry counts into the run total.
+#[allow(clippy::too_many_arguments)]
+fn round_worker(
+    cfg: &ClusterConfig,
+    shards: &[String],
+    worker: usize,
+    ctx: &ObservationContext<'_>,
+    shard_down: &[AtomicBool],
+    tasks: channel::Receiver<RoundTask>,
+    out: channel::Sender<(usize, Result<RoundOutcome, ClusterError>)>,
+    pool_retries: &AtomicU64,
+) {
+    let mut clients: Vec<RetryClient> = shards
+        .iter()
+        .enumerate()
+        .map(|(s, a)| {
+            RetryClient::new(
+                a.clone(),
+                cfg.policy.clone(),
+                mix64(cfg.jitter_seed ^ mix64(((worker as u64) << 32) | (s as u64 + 0xB0B))),
+            )
+            .quiet()
+        })
+        .collect();
+    while let Ok(task) = tasks.recv() {
+        let result = run_round_task(cfg, &mut clients, shard_down, ctx, &task);
+        if out.send((task.walker, result)).is_err() {
+            break;
+        }
+    }
+    let spent: u64 = clients.iter().map(RetryClient::retries_spent).sum();
+    pool_retries.fetch_add(spent, Ordering::Relaxed);
+}
+
+/// Executes one walker's round trip: ingest, then (when due) checkpoint
+/// download, then session delete on budget completion — the same
+/// sequence the sequential coordinator issued, so the scripted
+/// fault-gauntlet request indices are unchanged at `round_threads = 1`.
+fn run_round_task(
+    cfg: &ClusterConfig,
+    clients: &mut [RetryClient],
+    shard_down: &[AtomicBool],
+    ctx: &ObservationContext<'_>,
+    task: &RoundTask,
+) -> Result<RoundOutcome, ClusterError> {
+    // The canonical breaker opened since dispatch (a sibling task hit
+    // the shard's corpse first): fail fast instead of re-proving it.
+    if shard_down[task.shard].load(Ordering::Acquire) {
+        return Ok(RoundOutcome::failed());
+    }
+    let client = &mut clients[task.shard];
+    if client.is_open() {
+        // The local mirror is stale — the coordinator holds this shard
+        // live (it probed it back, or the mirror tripped on weather the
+        // canonical client later disproved).
+        client.reset();
+    }
+    let mut span =
+        cgte_obs::span_with_parent(cgte_obs::LEVEL_DETAIL, "cluster.walker", task.span_parent);
+    span.field_u64("walker", task.walker as u64);
+    span.field_u64("shard", task.shard as u64);
+    span.field_u64("batch", task.batch as u64);
+    let Some(new_len) = ingest_batch(client, &task.session, task.batch, task.done)? else {
+        shard_down[task.shard].store(true, Ordering::Release);
+        return Ok(RoundOutcome::failed());
+    };
+    let completed = new_len >= cfg.steps_per_walker;
+    if !completed && !task.checkpoint_due {
+        return Ok(RoundOutcome {
+            new_len: Some(new_len),
+            checkpoint: None,
+            completed: false,
+            shard_failed: false,
+        });
+    }
+    // Completion is only claimed once the full log is in hand: the final
+    // state is always checkpointed, cadence or not.
+    match fetch_checkpoint(client, &task.session, new_len, ctx)? {
+        Some(bytes) => {
+            if completed {
+                let _ = client.delete(&format!("/sessions/{}", task.session));
+            }
+            Ok(RoundOutcome {
+                new_len: Some(new_len),
+                checkpoint: Some(bytes),
+                completed,
+                shard_failed: false,
+            })
+        }
+        None => {
+            shard_down[task.shard].store(true, Ordering::Release);
+            Ok(RoundOutcome {
+                new_len: Some(new_len),
+                checkpoint: None,
+                completed: false,
+                shard_failed: true,
+            })
+        }
+    }
+}
+
+/// Moves walkers from over- to under-loaded live shards until the spread
+/// is even (difference ≤ 1), invoked when a shard rejoins. Only walkers
+/// whose checkpoint matches their committed length are eligible — the
+/// move is a detach; next round's placement restores that checkpoint on
+/// the target shard, which replays the identical walk state and keeps
+/// the merged stream bit-exact.
+fn rebalance(
+    clients: &mut [RetryClient],
+    walkers: &mut [Walker],
+    reassignments: &mut usize,
+    hook: &mut impl FnMut(ClusterEvent),
+) {
+    loop {
+        let live: Vec<usize> = (0..clients.len())
+            .filter(|&s| !clients[s].is_open())
+            .collect();
+        if live.len() < 2 {
+            return;
+        }
+        let mut counts = vec![0usize; clients.len()];
+        for w in walkers.iter() {
+            if !w.complete && !w.failed {
+                counts[w.shard] += 1;
+            }
+        }
+        // First max / first min: deterministic tie-breaks.
+        let &max_s = live
+            .iter()
+            .max_by_key(|&&s| (counts[s], usize::MAX - s))
+            .expect("live is non-empty");
+        let &min_s = live
+            .iter()
+            .min_by_key(|&&s| (counts[s], s))
+            .expect("live is non-empty");
+        if counts[max_s] <= counts[min_s] + 1 {
+            return;
+        }
+        let Some((idx, w)) = walkers.iter_mut().enumerate().find(|(_, w)| {
+            !w.complete
+                && !w.failed
+                && w.shard == max_s
+                && w.session.is_some()
+                && w.checkpoint
+                    .as_ref()
+                    .map_or(w.done == 0, |(at, _)| *at == w.done)
+        }) else {
+            return;
+        };
+        if let Some(session) = w.session.take() {
+            // Best-effort: the source shard is live, free its slot now
+            // rather than waiting for TTL eviction.
+            let _ = clients[max_s].delete(&format!("/sessions/{session}"));
+        }
+        let from = w.shard;
+        w.shard = min_s;
+        *reassignments += 1;
+        cgte_obs::event(
+            cgte_obs::LEVEL_DETAIL,
+            "cluster.walker_moved",
+            &[
+                ("walker", cgte_obs::Value::U64(idx as u64)),
+                ("from", cgte_obs::Value::U64(from as u64)),
+                ("to", cgte_obs::Value::U64(min_s as u64)),
+            ],
+        );
+        hook(ClusterEvent::WalkerMoved {
+            walker: idx,
+            from,
+            to: min_s,
+        });
+    }
 }
 
 /// Marks a walker's shard dead and detaches the walker (it will be
@@ -645,12 +1029,6 @@ fn shard_died(clients: &mut [RetryClient], w: &mut Walker, hook: &mut impl FnMut
     );
     hook(ClusterEvent::ShardDead { shard: w.shard });
     w.session = None;
-}
-
-/// One-shot liveness probe used for half-open circuit recovery.
-fn probe(client: &mut RetryClient) -> bool {
-    client.reset();
-    matches!(client.get("/healthz"), Ok((200, _)))
 }
 
 /// Opens or restores the walker's session on the first usable shard,
@@ -670,7 +1048,7 @@ fn place_walker(
     for pass in 0..2 {
         for off in 0..n {
             let s = (w.shard + off) % n;
-            if clients[s].is_open() && (pass == 0 || !probe(&mut clients[s])) {
+            if clients[s].is_open() && (pass == 0 || !clients[s].probe()) {
                 continue;
             }
             match open_or_restore(cfg, &mut clients[s], w)? {
@@ -830,39 +1208,35 @@ fn ingest_batch(
     Ok(None)
 }
 
-/// Downloads and validates the walker's current `.cgtes` state; false on
+/// Downloads and validates a session's current `.cgtes` state; `None` on
 /// transport failure (shard presumed dead). An *invalid* snapshot from a
 /// live shard is fatal — checksums passed HTTP but not the format, which
 /// means a bug, not weather.
-fn checkpoint_walker(
+fn fetch_checkpoint(
     client: &mut RetryClient,
-    w: &mut Walker,
+    session: &str,
+    expect_len: usize,
     ctx: &ObservationContext<'_>,
-) -> Result<bool, ClusterError> {
-    let Some(session) = w.session.clone() else {
-        return Ok(false);
-    };
+) -> Result<Option<Vec<u8>>, ClusterError> {
     match client.get(&format!("/sessions/{session}/snapshot")) {
         Ok((200, bytes)) => {
             let container = snapshot::read_snapshot(&bytes[..])
                 .map_err(|e| ClusterError::Shard(format!("downloaded snapshot: {e}")))?;
             let stream = snapshot::stream_from_container(&container, ctx)
                 .map_err(|e| ClusterError::Shard(format!("downloaded snapshot: {e}")))?;
-            if stream.len() != w.done {
+            if stream.len() != expect_len {
                 return Err(ClusterError::Shard(format!(
-                    "snapshot of {session:?} has {} samples, session had {}",
+                    "snapshot of {session:?} has {} samples, session had {expect_len}",
                     stream.len(),
-                    w.done
                 )));
             }
-            w.checkpoint = Some((w.done, bytes));
-            Ok(true)
+            Ok(Some(bytes))
         }
         Ok((status, body)) => Err(ClusterError::Shard(format!(
             "snapshot download failed ({status}): {}",
             String::from_utf8_lossy(&body)
         ))),
-        Err(_) => Ok(false),
+        Err(_) => Ok(None),
     }
 }
 
@@ -960,5 +1334,47 @@ mod tests {
         assert!(matches!(c.get("/healthz"), Err(ClientError::CircuitOpen)));
         c.reset();
         assert!(!c.is_open());
+    }
+
+    #[test]
+    fn failed_half_open_probe_keeps_the_breaker_open() {
+        let policy = RetryPolicy {
+            connect_timeout: Duration::from_millis(20),
+            request_timeout: Duration::from_millis(20),
+            max_retries: 0,
+            backoff_base: Duration::from_micros(1),
+            backoff_max: Duration::from_micros(1),
+            breaker_threshold: 2,
+        };
+        // A bound-but-unserved port: connects may queue, requests die —
+        // exactly the shape of a dead-but-addressable shard.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut c = RetryClient::new(addr.to_string(), policy, 1);
+        c.trip();
+        assert!(c.is_open());
+        // The probe must not leak a closed breaker: one failed GET is
+        // below breaker_threshold, so a reset-then-request probe would
+        // leave the circuit closed and the next round would hammer the
+        // corpse with the full timeout budget.
+        assert!(!c.probe());
+        assert!(c.is_open(), "failed probe left the breaker closed");
+        assert!(!c.probe());
+        assert!(c.is_open());
+    }
+
+    #[test]
+    fn retries_are_accounted_per_client() {
+        let policy = RetryPolicy {
+            backoff_base: Duration::from_micros(50),
+            backoff_max: Duration::from_micros(100),
+            ..RetryPolicy::default()
+        };
+        let mut a = RetryClient::new("127.0.0.1:1", policy.clone(), 7);
+        let b = RetryClient::new("127.0.0.1:1", policy, 7);
+        a.backoff(1);
+        a.backoff(2);
+        assert_eq!(a.retries_spent(), 2);
+        assert_eq!(b.retries_spent(), 0, "retries bled across clients");
     }
 }

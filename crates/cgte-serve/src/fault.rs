@@ -15,7 +15,7 @@ use crate::http;
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// What the proxy does to one request.
@@ -52,6 +52,12 @@ pub enum FaultPlan {
         /// Percentage of requests to fault (0–100).
         fault_percent: u8,
     },
+    /// A runtime on/off switch: requests pass while the gate is `true`
+    /// and answer `500` (without touching the upstream) while it is
+    /// `false`. Tests flip the gate mid-run to take a shard down and
+    /// bring it *back* — something a scripted index plan cannot express
+    /// because the outage must span an unknown number of requests.
+    Gated(Arc<AtomicBool>),
 }
 
 /// SplitMix64 finalizer — a stateless, well-mixed `u64 -> u64` (shared
@@ -83,6 +89,13 @@ impl FaultPlan {
                     _ => FaultAction::ServerError,
                 }
             }
+            FaultPlan::Gated(up) => {
+                if up.load(Ordering::SeqCst) {
+                    FaultAction::Pass
+                } else {
+                    FaultAction::ServerError
+                }
+            }
         }
     }
 }
@@ -92,6 +105,7 @@ pub struct FaultProxy {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     requests: Arc<AtomicUsize>,
+    log: Arc<Mutex<Vec<(usize, String)>>>,
     accept: std::thread::JoinHandle<()>,
 }
 
@@ -103,9 +117,11 @@ impl FaultProxy {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let requests = Arc::new(AtomicUsize::new(0));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let accept = {
             let shutdown = Arc::clone(&shutdown);
             let requests = Arc::clone(&requests);
+            let log = Arc::clone(&log);
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Ordering::SeqCst) {
@@ -114,11 +130,12 @@ impl FaultProxy {
                     let Ok(stream) = stream else { continue };
                     let plan = plan.clone();
                     let requests = Arc::clone(&requests);
+                    let log = Arc::clone(&log);
                     // Connection handlers are detached: they hold no
                     // resources past their sockets, and a stalled one dies
                     // with its peer.
                     std::thread::spawn(move || {
-                        proxy_connection(stream, upstream, &plan, &requests);
+                        proxy_connection(stream, upstream, &plan, &requests, &log);
                     });
                 }
             })
@@ -127,6 +144,7 @@ impl FaultProxy {
             addr,
             shutdown,
             requests,
+            log,
             accept,
         })
     }
@@ -142,6 +160,15 @@ impl FaultProxy {
         self.requests.load(Ordering::SeqCst)
     }
 
+    /// Every request seen so far as `"METHOD /path"`, ordered by claimed
+    /// request index (refused connections log as `"(refused)"` — the
+    /// proxy acts before reading a byte, so there is no path to record).
+    pub fn request_log(&self) -> Vec<String> {
+        let mut entries = self.log.lock().expect("proxy log poisoned").clone();
+        entries.sort_by_key(|(i, _)| *i);
+        entries.into_iter().map(|(_, line)| line).collect()
+    }
+
     /// Stops accepting and joins the accept loop.
     pub fn shutdown(self) {
         self.shutdown.store(true, Ordering::SeqCst);
@@ -155,6 +182,7 @@ fn proxy_connection(
     upstream: SocketAddr,
     plan: &FaultPlan,
     requests: &AtomicUsize,
+    log: &Mutex<Vec<(usize, String)>>,
 ) {
     let _ = client.set_nodelay(true);
     let Ok(mut client_writer) = client.try_clone() else {
@@ -167,6 +195,9 @@ fn proxy_connection(
         let index = requests.fetch_add(1, Ordering::SeqCst);
         let action = plan.action(index);
         if action == FaultAction::Refuse {
+            log.lock()
+                .expect("proxy log poisoned")
+                .push((index, "(refused)".to_string()));
             let _ = client_reader.get_ref().shutdown(Shutdown::Both);
             return;
         }
@@ -177,6 +208,9 @@ fn proxy_connection(
             // indices stay aligned; Seeded plans don't care.
             _ => return,
         };
+        log.lock()
+            .expect("proxy log poisoned")
+            .push((index, format!("{} {}", req.method, req.path)));
         match action {
             FaultAction::Refuse => unreachable!("handled before the read"),
             FaultAction::Stall(ms) => {
