@@ -189,6 +189,19 @@ fn extract(report: &str, label: &str) -> Result<Extracted, String> {
             num(load, "speedup_vs_regen", &ctx)?,
             MetricClass::Ratio,
         ));
+        // Reports written before the mapped load path existed (PR8 and
+        // earlier) simply contribute no mmap metric. Like the regen
+        // ratio, mapped-vs-heap load time is internal (both sides timed
+        // back to back on one box within one run), so it always gates —
+        // a collapsing ratio means the zero-copy path stopped being
+        // cheaper than a full heap decode.
+        if load.get("mmap_vs_heap").is_some() {
+            metrics.push(Metric::throughput(
+                "load/mmap_vs_heap".into(),
+                num(load, "mmap_vs_heap", &ctx)?,
+                MetricClass::Ratio,
+            ));
+        }
     }
     // Reports written before the snapshot section existed simply
     // contribute no snapshot metrics. Both rates are serial absolute
@@ -347,7 +360,7 @@ mod tests {
     {{"sampler":"rw","steps_per_walker":1000,"best_speedup":1.0,"runs":[{{"threads":1,"secs":0.1,"steps_per_sec":{w1:.1}}}]}}
   ],
   "estimate": {{"nodes":100,"replications":2,"max_size":10,"targets":3,"best_speedup":1.0,"runs":[{{"threads":1,"secs":0.1,"samples_per_sec":{e1:.1}}}]}},
-  "load": {{"generator":"chung_lu","nodes":1000,"edges":5000,"write_secs":0.1,"load_secs":0.01,"regen_secs":0.5,"load_edges_per_sec":{l1:.1},"regen_edges_per_sec":10000.0,"speedup_vs_regen":{lr:.3},"identical":true}},
+  "load": {{"generator":"chung_lu","nodes":1000,"edges":5000,"write_secs":0.1,"load_secs":0.01,"mmap_secs":0.001,"regen_secs":0.5,"load_edges_per_sec":{l1:.1},"mmap_edges_per_sec":5000000.0,"regen_edges_per_sec":10000.0,"speedup_vs_regen":{lr:.3},"mmap_vs_heap":{lm:.3},"identical":true,"mmap_identical":true,"mapped":true}},
   "snapshot": {{"nodes":1000,"categories":10,"samples":50000,"bytes":1200000,"write_secs":0.01,"restore_secs":0.02,"write_samples_per_sec":{sw:.1},"restore_samples_per_sec":{sr:.1},"identical":true}},
   "serve": {{"nodes":1000,"edges":5000,"categories":10,"rounds":25,"steps_per_ingest":200,"best_speedup":1.0,"runs":[{{"threads":1,"secs":1.0,"requests":100,"requests_per_sec":{s1:.1},"p50_ms":{p50:.4},"p99_ms":{p99:.4}}}]}},
   "cluster": {{"shards":4,"walkers":16,"steps_per_walker":400,"batch":100,"bit_identical":true,"best_speedup":{cs:.3},"runs":[{{"threads":1,"secs":1.0,"samples_per_sec":{c1:.1}}},{{"threads":2,"secs":0.6,"samples_per_sec":{c2:.1}}}]}},
@@ -361,6 +374,7 @@ mod tests {
             e1 = 20000.0 * f,
             l1 = 500000.0 * f,
             lr = 50.0 * ratio_f,
+            lm = 10.0 * ratio_f,
             sw = 5_000_000.0 * f,
             sr = 2_500_000.0 * f,
             s1 = 800.0 * f,
@@ -440,8 +454,8 @@ mod tests {
         let out = check_reports(&report(8, 0.5, 0.5), &report(1, 1.0, 1.0)).unwrap();
         assert!(out.skipped > 0, "absolute metrics skipped");
         assert_eq!(
-            out.compared, 3,
-            "only the machine-independent ratios are compared (load + 2 obs)"
+            out.compared, 4,
+            "only the machine-independent ratios are compared (2 load + 2 obs)"
         );
         assert!(
             out.failures.iter().any(|f| f.contains("speedup_vs_regen")),
@@ -577,6 +591,25 @@ mod tests {
             out.failures
                 .iter()
                 .any(|f| f.contains("cluster/best_speedup")),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn pr8_baseline_without_mmap_ratio_is_accepted() {
+        // A baseline committed before the mapped load path existed must
+        // not fail the gate: its load section simply lacks the key.
+        let base = report(1, 1.0, 1.0).replace("\"mmap_vs_heap\":", "\"mmap_unused\":");
+        let out = check_reports(&report(1, 1.0, 1.0), &base).unwrap();
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        // Once both sides carry it, a collapsed mapped-vs-heap ratio
+        // fails — even across machines (it is an internal ratio).
+        let degraded =
+            report(8, 1.0, 1.0).replace("\"mmap_vs_heap\":10.000", "\"mmap_vs_heap\":2.000");
+        let out = check_reports(&degraded, &report(1, 1.0, 1.0)).unwrap();
+        assert!(
+            out.failures.iter().any(|f| f.contains("load/mmap_vs_heap")),
             "{:?}",
             out.failures
         );

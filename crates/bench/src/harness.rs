@@ -1,7 +1,7 @@
 //! The `cgte bench` harness: machine-readable performance trajectory.
 //!
 //! Times the hot paths at each configured thread count and emits a JSON
-//! report (`BENCH_PR8.json` by default) that later PRs append to, so speed
+//! report (`BENCH_PR9.json` by default) that later PRs append to, so speed
 //! claims are pinned from PR to PR rather than asserted in prose:
 //!
 //! - **build** — edges/sec of every parallel generator (Chung–Lu at
@@ -46,14 +46,14 @@ use cgte_graph::generators::{
     par_planted_partition, powerlaw_degree_sequence, powerlaw_weights, scale_to_mean,
     PlantedConfig,
 };
-use cgte_graph::store::{read_bundle, write_bundle, Validate};
+use cgte_graph::store::{write_bundle, Loader, Validate};
 use cgte_graph::Graph;
 use cgte_sampling::{AnySampler, MetropolisHastingsWalk, NodeSampler, RandomWalk};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write as _};
+use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -84,7 +84,7 @@ impl Default for BenchOptions {
             quick: false,
             seed: 0x2012_5EED,
             threads: vec![1, 2, 8],
-            out: PathBuf::from("BENCH_PR8.json"),
+            out: PathBuf::from("BENCH_PR9.json"),
             cache_dir: None,
             load_nodes: 1_000_000,
         }
@@ -259,13 +259,20 @@ struct LoadEntry {
     edges: usize,
     write_secs: f64,
     load_secs: f64,
+    mmap_secs: f64,
     regen_secs: f64,
     identical: bool,
+    mmap_identical: bool,
+    mapped: bool,
 }
 
 impl LoadEntry {
     fn load_rate(&self) -> f64 {
         self.edges as f64 / self.load_secs.max(1e-9)
+    }
+
+    fn mmap_rate(&self) -> f64 {
+        self.edges as f64 / self.mmap_secs.max(1e-9)
     }
 
     fn regen_rate(&self) -> f64 {
@@ -277,6 +284,12 @@ impl LoadEntry {
     /// and both sides run on a single core).
     fn speedup(&self) -> f64 {
         self.regen_secs / self.load_secs.max(1e-9)
+    }
+
+    /// Mapped-vs-heap load speedup — the zero-copy path's headline.
+    /// Internal ratio for the same reason as [`LoadEntry::speedup`].
+    fn mmap_vs_heap(&self) -> f64 {
+        self.load_secs / self.mmap_secs.max(1e-9)
     }
 }
 
@@ -305,15 +318,29 @@ fn bench_load(opts: &BenchOptions, w: &[f64], g: &Graph) -> Result<LoadEntry, St
     drop(out);
     let write_secs = secs(start);
 
+    let loader = Loader::open(&path).validate(Validate::Trusted);
     let (loaded, load_secs) = best_of(SERIAL_REPS, || {
-        File::open(&path)
-            .map_err(|e| format!("cannot open {path:?}: {e}"))
-            .and_then(|f| {
-                read_bundle(BufReader::new(f), Validate::Trusted)
-                    .map_err(|e| format!("cannot load {path:?}: {e}"))
-            })
+        loader
+            .clone()
+            .load_bundle()
+            .map_err(|e| format!("cannot load {path:?}: {e}"))
     });
     let loaded = loaded?;
+
+    // The zero-copy leg: same file, same validation level, through the
+    // mapped path. Each rep pays the full mapped-load cost — open, map,
+    // checksum verification against the mapped bytes, O(1) CSR checks —
+    // so the mmap-vs-heap ratio compares complete loads, not a cached
+    // handle. On platforms without mmap support the loader falls back to
+    // the heap decode and `mapped` records it.
+    let (mapped_graph, mmap_secs) = best_of(SERIAL_REPS, || {
+        loader
+            .clone()
+            .mmap(true)
+            .load_graph()
+            .map_err(|e| format!("cannot mmap-load {path:?}: {e}"))
+    });
+    let mapped_graph = mapped_graph?;
 
     // Regenerate with threads=1: the `.cgteg` load is inherently serial,
     // and the checker treats load-vs-regen as a machine-independent
@@ -323,17 +350,28 @@ fn bench_load(opts: &BenchOptions, w: &[f64], g: &Graph) -> Result<LoadEntry, St
     let (regen, regen_secs) = best_of(SERIAL_REPS, || par_chung_lu(w, opts.seed, 1));
 
     let identical = loaded.graph == regen && &loaded.graph == g;
+    let mmap_identical = mapped_graph == loaded.graph && &mapped_graph == g;
     let entry = LoadEntry {
         nodes: g.num_nodes(),
         edges: g.num_edges(),
         write_secs,
         load_secs,
+        mmap_secs,
         regen_secs,
         identical,
+        mmap_identical,
+        mapped: mapped_graph.is_mapped(),
     };
     eprintln!(
         "load: {} edges, write {:.2}s, load {:.2}s vs regen {:.2}s = {:.1}x, bit-identical: {identical}",
         entry.edges, entry.write_secs, entry.load_secs, entry.regen_secs, entry.speedup(),
+    );
+    eprintln!(
+        "load/mmap: {:.4}s vs heap {:.2}s = {:.1}x, mapped: {}, bit-identical: {mmap_identical}",
+        entry.mmap_secs,
+        entry.load_secs,
+        entry.mmap_vs_heap(),
+        entry.mapped,
     );
     if opts.cache_dir.is_none() {
         std::fs::remove_file(&path).ok();
@@ -1087,7 +1125,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\n  \"schema\": \"cgte-bench/1\",\n  \"pr\": \"PR8\",\n  \"quick\": {},\n  \"seed\": {},\n  \"available_parallelism\": {},\n  \"threads\": [{}],\n",
+        "{{\n  \"schema\": \"cgte-bench/1\",\n  \"pr\": \"PR9\",\n  \"quick\": {},\n  \"seed\": {},\n  \"available_parallelism\": {},\n  \"threads\": [{}],\n",
         quick,
         seed,
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
@@ -1135,16 +1173,21 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     );
     let _ = writeln!(
         json,
-        "  \"load\": {{\"generator\":\"chung_lu\",\"nodes\":{},\"edges\":{},\"write_secs\":{:.6},\"load_secs\":{:.6},\"regen_secs\":{:.6},\"load_edges_per_sec\":{:.1},\"regen_edges_per_sec\":{:.1},\"speedup_vs_regen\":{:.3},\"identical\":{}}},",
+        "  \"load\": {{\"generator\":\"chung_lu\",\"nodes\":{},\"edges\":{},\"write_secs\":{:.6},\"load_secs\":{:.6},\"mmap_secs\":{:.6},\"regen_secs\":{:.6},\"load_edges_per_sec\":{:.1},\"mmap_edges_per_sec\":{:.1},\"regen_edges_per_sec\":{:.1},\"speedup_vs_regen\":{:.3},\"mmap_vs_heap\":{:.3},\"identical\":{},\"mmap_identical\":{},\"mapped\":{}}},",
         load.nodes,
         load.edges,
         load.write_secs,
         load.load_secs,
+        load.mmap_secs,
         load.regen_secs,
         load.load_rate(),
+        load.mmap_rate(),
         load.regen_rate(),
         load.speedup(),
+        load.mmap_vs_heap(),
         load.identical,
+        load.mmap_identical,
+        load.mapped,
     );
     let _ = writeln!(
         json,

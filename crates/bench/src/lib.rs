@@ -118,6 +118,7 @@ impl RunArgs {
             resume: self.resume,
             quiet: false,
             cache_dir: None,
+            mmap: false,
         }
     }
 

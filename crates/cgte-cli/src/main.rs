@@ -55,10 +55,11 @@ USAGE:
                          [--format dot|json|graphml|csv|report] [--top-k K] [--out F]
   cgte run               SCENARIO.scn | --builtin NAME|all [--quick | --full | --huge]
                          [--seed S] [--threads N] [--csv DIR] [--out DIR] [--resume]
-                         [--cache-dir DIR] [--trace FILE.jsonl] [--trace-level N]
+                         [--cache-dir DIR] [--mmap true|false]
+                         [--trace FILE.jsonl] [--trace-level N]
   cgte serve             --cache-dir DIR [--port P] [--addr HOST:PORT] [--threads N]
                          [--idle-poll-ms MS] [--session-ttl SECS] [--max-sessions N]
-                         [--trace FILE.jsonl] [--trace-level N]
+                         [--mmap true|false] [--trace FILE.jsonl] [--trace-level N]
   cgte cluster           --cache-dir DIR --graph NAME --shards H:P,H:P[,…]
                          [--partition NAME] [--sampler uis|rw|mhrw|swrw]
                          [--design uniform|weighted] [--seed S] [--burn-in B]
@@ -74,8 +75,15 @@ USAGE:
 
 `cgte ingest` converts a SNAP-style text edge list (plus an optional node
 category file) into the checksummed binary .cgteg container; `cgte info`
-prints a container's sections and graph statistics. Scenario files load
+prints a container's table of contents and derived graph statistics from
+the section headers alone (no CSR payload is read). Scenario files load
 .cgteg graphs with `generator = \"file\"`.
+
+`--mmap true` (on run and serve; serve defaults to it) loads .cgteg
+graphs through the zero-copy mapped path: v2 CSR payloads are borrowed
+from a shared read-only mapping after checksum verification instead of
+being decoded onto the heap. Results are bit-identical either way; v1
+files silently fall back to the heap decode.
 
 `cgte run` executes a declarative experiment scenario: graphs, samplers,
 sweeps, prefix sizes and targets described in a TOML-like .scn file (see
@@ -124,7 +132,7 @@ consistency.
 estimate throughput, serve request throughput/latency and the sharded
 coordinator's wall-clock at each thread count (the `cluster` section
 drives a fixed 4-shard, 16-walker run at every --round-threads size) and
-writes a machine-readable JSON report (default BENCH_PR8.json; see
+writes a machine-readable JSON report (default BENCH_PR9.json; see
 EXPERIMENTS.md for the schema). With --check it then compares the fresh
 report against a committed baseline and fails on a >25% per-metric
 regression (warns over 10%). The `obs` section pins the tracing-disabled
@@ -367,57 +375,43 @@ fn cmd_ingest(args: &Args) -> Result<(), CliError> {
 }
 
 fn cmd_info(argv: &[String]) -> Result<(), CliError> {
-    use cgte_graph::store::{Container, SectionData, Validate};
+    use cgte_graph::store::Loader;
     let path = argv
         .first()
         .filter(|a| !a.starts_with("--"))
         .ok_or("`info` needs a .cgteg file path")?;
     let args = Args::parse(&argv[1..])?;
     let show_sections: bool = args.parse_or("sections", true)?;
-    let c = Container::read_from(BufReader::new(File::open(path)?))?;
+    // Table-of-contents scan only: O(metadata) I/O, so `info` on a
+    // million-node store entry answers instantly without decoding any
+    // CSR payload.
+    let summary = Loader::open(path).summary()?;
     println!(
         "{path}: cgteg v{}, {} section(s)",
-        cgte_graph::store::VERSION,
-        c.sections.len()
+        summary.version,
+        summary.sections.len()
     );
     if show_sections {
-        for s in &c.sections {
-            let ty = match &s.data {
-                SectionData::U32(_) => "u32",
-                SectionData::U64(_) => "u64",
-                SectionData::F64(_) => "f64",
-                SectionData::Bytes(_) => "bytes",
-            };
-            println!(
-                "  {:<24} {ty:>5} x {:>10}  ({} bytes)",
-                s.name,
-                s.data.len(),
-                s.data.byte_len()
-            );
+        for (name, count, bytes) in &summary.sections {
+            println!("  {name:<24} x {count:>10}  ({bytes} bytes)");
         }
     }
-    if let Ok(kind) = c.string("meta.kind") {
+    if let Some(kind) = &summary.kind {
         println!("kind: {kind}");
     }
-    if let Ok(key) = c.string("meta.key") {
+    if let Some(key) = &summary.key {
         println!("key:  {key}");
     }
-    let graph = cgte_graph::store::graph_from_container(&c, Validate::Full)?;
-    println!(
-        "graph: {} nodes, {} edges, mean degree {:.2}, max degree {}",
-        graph.num_nodes(),
-        graph.num_edges(),
-        graph.mean_degree(),
-        graph.max_degree()
-    );
-    for s in &c.sections {
-        if let Some(name) = s.name.strip_prefix("part.") {
-            if let Some(p) =
-                cgte_graph::store::partition_from_container(&c, name, graph.num_nodes())?
-            {
-                println!("partition {name}: {} categories", p.num_categories());
-            }
-        }
+    if let (Some(n), Some(m)) = (summary.num_nodes, summary.num_edges) {
+        let mean = if n > 0 {
+            2.0 * m as f64 / n as f64
+        } else {
+            0.0
+        };
+        println!("graph: {n} nodes, {m} edges, mean degree {mean:.2}");
+    }
+    for name in &summary.partitions {
+        println!("partition {name}");
     }
     Ok(())
 }
@@ -534,6 +528,12 @@ fn cmd_run(argv: &[String]) -> Result<(), CliError> {
             "--cache-dir" => {
                 opts.cache_dir = Some(it.next().ok_or("--cache-dir needs a directory")?.into());
             }
+            "--mmap" => {
+                let v = it.next().ok_or("--mmap needs true or false")?;
+                opts.mmap = v
+                    .parse()
+                    .map_err(|e| format!("invalid --mmap {v:?}: {e}"))?;
+            }
             other if !other.starts_with("--") && scenario_path.is_none() => {
                 scenario_path = Some(other.to_string());
             }
@@ -628,6 +628,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     if max_sessions == 0 {
         return Err("--max-sessions must be positive".into());
     }
+    let mmap: bool = args.parse_or("mmap", defaults.mmap)?;
     let cfg = cgte_serve::ServeConfig {
         cache_dir: cache_dir.into(),
         addr,
@@ -635,6 +636,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         idle_poll_ms,
         session_ttl_secs,
         max_sessions,
+        mmap,
     };
     install_trace(args.get("trace"), args.parse_or("trace-level", 2u8)?)?;
     cgte_serve::run(&cfg)?;

@@ -293,14 +293,25 @@ mod tests {
             edgelist_to_cgteg(Cursor::new(text), Some(Cursor::new(cats)), &mut cgteg).unwrap();
         let reference =
             GraphBuilder::from_edges(5, [(0, 1), (1, 2), (2, 0), (3, 4), (1, 3)]).unwrap();
-        let loaded =
-            cgte_graph::store::read_bundle(Cursor::new(&cgteg), cgte_graph::store::Validate::Full)
+        let path =
+            std::env::temp_dir().join(format!("cgte-ingest-rt-{}.cgteg", std::process::id()));
+        std::fs::write(&path, &cgteg).unwrap();
+        // Both load paths of the redesigned loader must reproduce the
+        // builder's CSR exactly (the mapped path falls back to heap on
+        // platforms without cfg(cgte_mmap) — same assertions hold).
+        for mmap in [false, true] {
+            let loaded = cgte_graph::store::Loader::open(&path)
+                .validate(cgte_graph::store::Validate::Full)
+                .mmap(mmap)
+                .load_bundle()
                 .unwrap();
-        assert_eq!(loaded.graph, reference);
-        assert_eq!(loaded.graph.csr_offsets(), reference.csr_offsets());
-        assert_eq!(loaded.graph.csr_neighbors(), reference.csr_neighbors());
-        assert_eq!(loaded.partition, bundle.partition);
-        assert_eq!(loaded.partition.unwrap().num_categories(), 2);
+            assert_eq!(loaded.graph, reference, "mmap={mmap}");
+            assert_eq!(loaded.graph.csr_offsets(), reference.csr_offsets());
+            assert_eq!(loaded.graph.csr_neighbors(), reference.csr_neighbors());
+            assert_eq!(loaded.partition, bundle.partition);
+            assert_eq!(loaded.partition.unwrap().num_categories(), 2);
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,15 @@
+// Zero-copy mmap-backed graph loading needs three platform guarantees at
+// once: POSIX mmap(2) (unix), pointer-width == 64 so file offsets stored as
+// u64 can be reinterpreted as usize, and little-endian so the on-disk
+// fixed-width LE payloads can be borrowed in place. Collapse the triple
+// check into one `cgte_mmap` cfg so the source gates read as intent rather
+// than as a platform matrix.
+fn main() {
+    println!("cargo:rustc-check-cfg=cfg(cgte_mmap)");
+    let unix = std::env::var_os("CARGO_CFG_UNIX").is_some();
+    let ptr64 = std::env::var("CARGO_CFG_TARGET_POINTER_WIDTH").as_deref() == Ok("64");
+    let le = std::env::var("CARGO_CFG_TARGET_ENDIAN").as_deref() == Ok("little");
+    if unix && ptr64 && le {
+        println!("cargo:rustc-cfg=cgte_mmap");
+    }
+}

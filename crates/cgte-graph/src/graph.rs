@@ -1,5 +1,7 @@
 //! The core undirected graph type, stored in compressed sparse row form.
 
+#[cfg(cgte_mmap)]
+use crate::mmap::MappedCsr;
 use crate::GraphError;
 
 /// Identifier of a node in a [`Graph`].
@@ -9,6 +11,47 @@ use crate::GraphError;
 /// thousands of nodes) fit comfortably.
 pub type NodeId = u32;
 
+/// The physical backing of a graph's CSR arrays.
+///
+/// Every read accessor on [`Graph`] goes through this enum's two slice
+/// getters, which is what makes the rest of the crate (and every
+/// downstream consumer) representation-blind: `Owned` holds the familiar
+/// heap vectors, `Mapped` borrows the store's fixed-width little-endian
+/// payloads in place from a shared read-only file mapping.
+#[derive(Clone)]
+pub(crate) enum CsrStorage {
+    /// Heap-allocated CSR arrays (built graphs, streamed loads).
+    Owned {
+        /// `offsets[v]..offsets[v+1]` indexes `neighbors` for node `v`.
+        offsets: Vec<usize>,
+        /// Concatenated, per-node-sorted adjacency lists.
+        neighbors: Vec<NodeId>,
+    },
+    /// CSR arrays borrowed zero-copy from a mapped `.cgteg` file.
+    #[cfg(cgte_mmap)]
+    Mapped(MappedCsr),
+}
+
+impl CsrStorage {
+    #[inline]
+    fn offsets(&self) -> &[usize] {
+        match self {
+            CsrStorage::Owned { offsets, .. } => offsets,
+            #[cfg(cgte_mmap)]
+            CsrStorage::Mapped(m) => m.offsets(),
+        }
+    }
+
+    #[inline]
+    fn neighbors(&self) -> &[NodeId] {
+        match self {
+            CsrStorage::Owned { neighbors, .. } => neighbors,
+            #[cfg(cgte_mmap)]
+            CsrStorage::Mapped(m) => m.targets(),
+        }
+    }
+}
+
 /// An undirected, simple, static graph (§2.1 of the paper).
 ///
 /// Stored as CSR: a single flat `neighbors` array plus per-node offsets.
@@ -16,16 +59,40 @@ pub type NodeId = u32;
 /// neighbor iteration is cache-friendly. The structure is immutable after
 /// construction — the paper explicitly restricts itself to static graphs.
 ///
-/// Construct via [`crate::GraphBuilder`] or a generator in
-/// [`crate::generators`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The CSR arrays are representation-agnostic ([`CsrStorage`]): either
+/// owned heap vectors, or zero-copy borrows from a memory-mapped `.cgteg`
+/// file ([`Graph::is_mapped`]). Equality, hashing of derived results and
+/// every accessor depend only on the logical CSR content, never on the
+/// backing.
+///
+/// Construct via [`crate::GraphBuilder`], a generator in
+/// [`crate::generators`], or load one with [`crate::store::Loader`].
+#[derive(Clone)]
 pub struct Graph {
-    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for node `v`.
-    offsets: Vec<usize>,
-    /// Concatenated, per-node-sorted adjacency lists.
-    neighbors: Vec<NodeId>,
+    storage: CsrStorage,
     /// Number of undirected edges `|E|`.
     num_edges: usize,
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        // Logical CSR content only: a mapped graph equals the owned graph
+        // it was serialized from.
+        self.storage.offsets() == other.storage.offsets()
+            && self.storage.neighbors() == other.storage.neighbors()
+    }
+}
+
+impl Eq for Graph {}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("offsets", &self.storage.offsets())
+            .field("neighbors", &self.storage.neighbors())
+            .field("num_edges", &self.num_edges)
+            .finish()
+    }
 }
 
 impl Graph {
@@ -45,12 +112,46 @@ impl Graph {
         );
         let g = Graph {
             num_edges: neighbors.len() / 2,
-            offsets,
-            neighbors,
+            storage: CsrStorage::Owned { offsets, neighbors },
         };
         #[cfg(debug_assertions)]
         g.check_invariants();
         g
+    }
+
+    /// Like [`Graph::from_csr`], but without the debug invariant
+    /// re-verification: validation is the store loader's responsibility
+    /// (it checks per its [`crate::store::Validate`] level — and
+    /// `Validate::Trusted` deliberately admits structure the debug checks
+    /// would re-derive at `O(V + E)` cost on every load).
+    pub(crate) fn from_csr_trusted(offsets: Vec<usize>, neighbors: Vec<NodeId>) -> Self {
+        Graph {
+            num_edges: neighbors.len() / 2,
+            storage: CsrStorage::Owned { offsets, neighbors },
+        }
+    }
+
+    /// Builds a graph over CSR arrays borrowed from a file mapping.
+    ///
+    /// Invariant checking is the loader's responsibility (it validates per
+    /// its [`crate::store::Validate`] level *before* constructing this), so
+    /// unlike [`Graph::from_csr`] no debug re-verification runs here.
+    #[cfg(cgte_mmap)]
+    pub(crate) fn from_mapped(csr: MappedCsr) -> Self {
+        Graph {
+            num_edges: csr.targets().len() / 2,
+            storage: CsrStorage::Mapped(csr),
+        }
+    }
+
+    /// Whether the CSR arrays are zero-copy borrows from a memory-mapped
+    /// file (rather than owned heap vectors).
+    pub fn is_mapped(&self) -> bool {
+        match &self.storage {
+            CsrStorage::Owned { .. } => false,
+            #[cfg(cgte_mmap)]
+            CsrStorage::Mapped(_) => true,
+        }
     }
 
     #[cfg(debug_assertions)]
@@ -73,7 +174,7 @@ impl Graph {
     /// Number of nodes `N = |V|`.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.offsets.len() - 1
+        self.storage.offsets().len() - 1
     }
 
     /// Number of undirected edges `|E|`.
@@ -89,7 +190,8 @@ impl Graph {
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
         let v = v as usize;
-        self.offsets[v + 1] - self.offsets[v]
+        let offsets = self.storage.offsets();
+        offsets[v + 1] - offsets[v]
     }
 
     /// The sorted neighbor list of `v`.
@@ -99,7 +201,8 @@ impl Graph {
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
         let v = v as usize;
-        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+        let offsets = self.storage.offsets();
+        &self.storage.neighbors()[offsets[v]..offsets[v + 1]]
     }
 
     /// Whether the undirected edge `{u, v}` exists. `O(log deg)`.
@@ -186,22 +289,25 @@ impl Graph {
     /// [`Graph::neighbors`] for traversal.
     #[inline]
     pub fn csr_offsets(&self) -> &[usize] {
-        &self.offsets
+        self.storage.offsets()
     }
 
     /// The raw concatenated neighbor array (`2 |E|` entries, per-node
     /// sorted). Exposed for bulk serialization ([`crate::store`]).
     #[inline]
     pub fn csr_neighbors(&self) -> &[NodeId] {
-        &self.neighbors
+        self.storage.neighbors()
     }
 
-    /// Approximate heap memory used by the CSR arrays, in bytes.
+    /// Approximate memory used by the CSR arrays, in bytes.
     ///
     /// Useful for sizing experiments; not an exact allocator measurement.
+    /// For a mapped graph ([`Graph::is_mapped`]) these bytes are
+    /// file-backed page-cache pages shared with other mappings, not
+    /// private heap.
     pub fn memory_bytes(&self) -> usize {
-        self.offsets.len() * std::mem::size_of::<usize>()
-            + self.neighbors.len() * std::mem::size_of::<NodeId>()
+        std::mem::size_of_val(self.storage.offsets())
+            + std::mem::size_of_val(self.storage.neighbors())
     }
 }
 

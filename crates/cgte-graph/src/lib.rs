@@ -39,7 +39,10 @@
 //! assert!((cg.weight(0, 1) - 1.0 / 9.0).abs() < 1e-12); // w = 1/(3*3)
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the mmap module below is the single,
+// explicitly-allowed exception (raw mmap/munmap for zero-copy loads);
+// everything else in the crate stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builder;
@@ -47,6 +50,9 @@ mod category_graph;
 mod category_matrix;
 mod error;
 mod graph;
+#[cfg(cgte_mmap)]
+#[allow(unsafe_code)]
+mod mmap;
 mod partition;
 
 pub mod algorithms;

@@ -1,0 +1,288 @@
+//! Read-only memory mapping for zero-copy `.cgteg` loads.
+//!
+//! This is the one place in the workspace that needs `unsafe`: everything
+//! else stays `deny(unsafe_code)`. Like the rest of the dependency tree,
+//! the mapping is vendored rather than pulled in — `mmap`/`munmap` are
+//! declared directly against libc (which std already links on unix), so no
+//! new crate is required.
+//!
+//! # Safety model
+//!
+//! A [`Mmap`] is a `PROT_READ`/`MAP_PRIVATE` mapping of a whole file. The
+//! borrowed `&[u8]` it hands out is sound under one external assumption,
+//! shared by every mmap-based loader (SNAP, Ligra, arrow, …): **the file
+//! is not truncated while mapped**. A concurrent truncation unmaps the
+//! tail pages and a later access raises `SIGBUS` — a crash, never silent
+//! memory unsafety in the sense of reading unrelated memory. Concurrent
+//! *writes* to the file are benign for correctness of our callers because
+//! every section's checksum is verified against the mapped bytes before
+//! any borrow is handed out, and the store's writers only ever replace
+//! files atomically (write to a temp name, then rename). This argument is
+//! documented for users in `EXPERIMENTS.md` §zero-copy-loads.
+//!
+//! The module only compiles on `cgte_mmap` platforms (unix, 64-bit,
+//! little-endian — see `build.rs`); elsewhere the loader silently falls
+//! back to the owned heap decode.
+
+use crate::NodeId;
+use std::fs::File;
+use std::io;
+use std::os::unix::io::AsRawFd;
+use std::sync::Arc;
+
+/// Raw libc declarations. std links libc on every unix target, so these
+/// resolve without adding a dependency.
+mod sys {
+    use std::ffi::c_void;
+    use std::os::raw::c_int;
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void // (void *)-1
+    }
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only, page-aligned mapping of an entire file.
+///
+/// Dropping the mapping unmaps it; clones are shared via [`Arc`] by the
+/// callers (one mapping serves every [`crate::Graph`] borrowed from it).
+pub struct Mmap {
+    ptr: *mut std::ffi::c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is PROT_READ and never mutated through `ptr`; sharing
+// immutable bytes across threads is sound (the same reasoning as `&[u8]`).
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps the whole file read-only. A zero-length file maps to an empty
+    /// (syscall-free) sentinel, since `mmap(len = 0)` is an error.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::other("file too large to map on this platform"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        // SAFETY: fd is a valid open file for the duration of the call; we
+        // request a fresh PROT_READ private mapping of `len` bytes at a
+        // kernel-chosen address and check for MAP_FAILED.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::map_failed() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// Length of the mapped file in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapped file was empty.
+    #[allow(dead_code)] // exercised by the unit tests below
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len` bytes
+        // (established in `map`, released only in `drop`), and the returned
+        // borrow cannot outlive `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: `ptr`/`len` describe the mapping created in `map`,
+            // unmapped exactly once.
+            unsafe {
+                sys::munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+/// The borrowed-CSR backing of a mapped [`crate::Graph`]: byte ranges into
+/// a shared [`Mmap`] that reinterpret, in place, the store's fixed-width
+/// little-endian `csr.offsets` (u64) and `csr.targets` (u32) payloads.
+#[derive(Clone)]
+pub(crate) struct MappedCsr {
+    map: Arc<Mmap>,
+    offsets_start: usize,
+    num_offsets: usize,
+    targets_start: usize,
+    num_targets: usize,
+}
+
+impl MappedCsr {
+    /// Builds the view after proving the ranges are in bounds and aligned
+    /// for the element types they reinterpret. Returns a message (for the
+    /// caller to wrap into its own error type) if not.
+    pub(crate) fn new(
+        map: Arc<Mmap>,
+        offsets_start: usize,
+        num_offsets: usize,
+        targets_start: usize,
+        num_targets: usize,
+    ) -> Result<MappedCsr, String> {
+        let len = map.len();
+        let offsets_end = offsets_start
+            .checked_add(num_offsets.checked_mul(8).ok_or("offset range overflows")?)
+            .ok_or("offset range overflows")?;
+        let targets_end = targets_start
+            .checked_add(num_targets.checked_mul(4).ok_or("target range overflows")?)
+            .ok_or("target range overflows")?;
+        if offsets_end > len || targets_end > len {
+            return Err(format!(
+                "CSR sections extend past the mapped file ({len} bytes)"
+            ));
+        }
+        if !offsets_start.is_multiple_of(8) || !targets_start.is_multiple_of(4) {
+            return Err("CSR payloads are not aligned for in-place borrowing".into());
+        }
+        Ok(MappedCsr {
+            map,
+            offsets_start,
+            num_offsets,
+            targets_start,
+            num_targets,
+        })
+    }
+
+    /// The offset array, borrowed straight from the mapping.
+    #[inline]
+    pub(crate) fn offsets(&self) -> &[usize] {
+        // SAFETY: the range was bounds- and alignment-checked in `new`
+        // against the live mapping, and on cgte_mmap platforms (64-bit,
+        // little-endian) `usize` has the same size, alignment and byte
+        // order as the on-disk u64, so any 8-byte pattern is a valid value.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.bytes().as_ptr().add(self.offsets_start) as *const usize,
+                self.num_offsets,
+            )
+        }
+    }
+
+    /// The target (neighbor) array, borrowed straight from the mapping.
+    #[inline]
+    pub(crate) fn targets(&self) -> &[NodeId] {
+        // SAFETY: as for `offsets` — checked range, 4-byte alignment, and
+        // NodeId is u32 with any bit pattern valid.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.map.bytes().as_ptr().add(self.targets_start) as *const NodeId,
+                self.num_targets,
+            )
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedCsr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedCsr")
+            .field("num_offsets", &self.num_offsets)
+            .field("num_targets", &self.num_targets)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("cgte-mmap-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_file("basic", b"hello mapped world");
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.bytes(), b"hello mapped world");
+        assert_eq!(map.len(), 18);
+        assert!(!map.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_file("empty", b"");
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.bytes(), b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_csr_reinterprets_le_payloads() {
+        // 8-aligned offsets [0, 2], then 4 pad bytes, then targets [1, 0].
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&2u64.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let path = temp_file("csr", &bytes);
+        let map = Arc::new(Mmap::map(&File::open(&path).unwrap()).unwrap());
+        let csr = MappedCsr::new(map, 0, 2, 16, 2).unwrap();
+        assert_eq!(csr.offsets(), &[0, 2]);
+        assert_eq!(csr.targets(), &[1, 0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_csr_rejects_bad_ranges() {
+        let path = temp_file("bad", &[0u8; 24]);
+        let map = Arc::new(Mmap::map(&File::open(&path).unwrap()).unwrap());
+        assert!(MappedCsr::new(map.clone(), 0, 4, 0, 0).is_err(), "oob");
+        assert!(MappedCsr::new(map.clone(), 4, 1, 0, 0).is_err(), "align");
+        assert!(MappedCsr::new(map.clone(), 0, 1, 2, 1).is_err(), "align4");
+        assert!(MappedCsr::new(map, 0, usize::MAX / 4, 0, 0).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -7,15 +7,17 @@
 //!
 //! ```text
 //! magic   "CGTEG\0"            6 bytes
-//! version u16                  currently 1
+//! version u16                  1 (legacy) or 2 (current, aligned)
 //! nsect   u32                  number of sections
 //! section × nsect:
 //!   name_len u16, name utf-8   e.g. "csr.offsets", "part.main"
 //!   tag      u8                1 = u32, 2 = u64, 3 = f64, 4 = bytes
 //!   count    u64               element count
+//!   pad      0–7 zero bytes    v2 only: aligns payload to 8 (see below)
 //!   payload  count × size      little-endian
-//!   checksum u64               FNV-style 8-byte-block mix over
-//!                              name ‖ tag ‖ payload (see section_checksum)
+//!   checksum u64               8-byte-block multiplicative mix over
+//!                              name ‖ tag ‖ payload (see section_checksum;
+//!                              v2 uses the 4-lane section_checksum_v2)
 //! ```
 //!
 //! Everything is little-endian. The container is deliberately generic — a
@@ -25,23 +27,51 @@
 //! (the scenario engine's disk cache stores whole Facebook-simulation
 //! bundles, crawls included, as extra sections).
 //!
+//! **Version 2** inserts zero padding before every payload so it starts at
+//! a file offset divisible by 8. Combined with the fixed-width
+//! little-endian encoding, that lets [`Loader`] borrow the CSR arrays
+//! *in place* from a page-aligned memory mapping instead of decoding them
+//! into heap vectors. The pad length is derived from the stream position
+//! (never stored); readers require the pad bytes to be zero, so a flipped
+//! pad byte is detected even though pads are outside the checksum. v2 also
+//! switches the per-section checksum to a 4-lane variant that breaks the
+//! serial multiply dependency and verifies at memory bandwidth. Version 1
+//! files remain fully readable (via the streamed heap path); sibling
+//! formats built on [`Container::write_to_magic`] (the `.cgtes` session
+//! snapshots) keep the v1 framing and checksum unchanged.
+//!
 //! Loading never panics on hostile input: magic/version/structure problems
 //! surface as [`StoreError::Format`], bit rot as [`StoreError::Checksum`],
-//! and CSR-invariant violations as [`StoreError::Graph`]. With
-//! [`Validate::Full`] the loader proves every invariant `Graph` relies on
-//! (monotone offsets, in-range targets, strictly sorted adjacency, no
-//! self-loops, and symmetry via a transpose pass); [`Validate::Trusted`]
-//! skips only the symmetry transpose and is meant for files the caller
-//! wrote itself (e.g. the scenario engine's own cache directory), where
-//! the per-section checksums already guarantee integrity.
+//! and CSR-invariant violations as [`StoreError::Graph`] — on the mapped
+//! path exactly as on the streamed path. See [`Validate`] for how much CSR
+//! structure each trust level proves.
+//!
+//! The one entry point is the [`Loader`] builder:
+//!
+//! ```no_run
+//! use cgte_graph::store::{Loader, Validate};
+//! let bundle = Loader::open("graph.cgteg")
+//!     .validate(Validate::Full)
+//!     .mmap(true)
+//!     .load_bundle()?;
+//! # Ok::<(), cgte_graph::store::StoreError>(())
+//! ```
 
+#[cfg(cgte_mmap)]
+use crate::mmap::{MappedCsr, Mmap};
 use crate::{Graph, NodeId, Partition};
-use std::io::{self, Read, Write};
+use std::fs::File;
+use std::io::{self, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+#[cfg(cgte_mmap)]
+use std::sync::Arc;
 
 /// File magic, first 6 bytes of every `.cgteg`.
 pub const MAGIC: &[u8; 6] = b"CGTEG\0";
-/// Current container version.
-pub const VERSION: u16 = 1;
+/// Current container version (aligned payloads, 4-lane checksum).
+pub const VERSION: u16 = 2;
+/// The legacy unaligned version, still readable.
+pub const VERSION_V1: u16 = 1;
 
 /// Section name of the CSR offset array (u64, `num_nodes + 1` entries).
 pub const SEC_OFFSETS: &str = "csr.offsets";
@@ -99,16 +129,25 @@ impl From<io::Error> for StoreError {
     }
 }
 
-/// How thoroughly [`graph_from_container`] checks CSR structure.
+/// How thoroughly [`Loader`] checks CSR structure. Per-section checksums
+/// are verified at every level; the levels differ only in how much graph
+/// *structure* they additionally prove.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Validate {
     /// Prove every invariant, including adjacency symmetry (one extra
     /// `O(E)` transpose pass). Use for files from unknown sources.
     Full,
-    /// Skip only the symmetry transpose; bounds, monotonicity, sortedness
-    /// and self-loop freedom are still checked. Safe for files this
-    /// process (or a sibling cache writer) produced — the per-section
-    /// checksums already rule out bit rot.
+    /// Skip only the symmetry transpose; bounds, monotonicity, strict
+    /// sortedness and self-loop freedom are still checked in `O(V + E)`.
+    Structure,
+    /// Checksums plus `O(1)` framing checks only (offset array non-empty
+    /// and zero-based, final offset matching the target count, even target
+    /// count). For files this process (or a sibling cache writer) wrote
+    /// itself: the checksums already rule out bit rot, and every [`Graph`]
+    /// access is bounds-checked, so a structurally impossible file ends in
+    /// a clean panic rather than unsoundness. Skipping the `O(V + E)`
+    /// structural passes is what makes a mapped load's cost independent of
+    /// graph size.
     Trusted,
 }
 
@@ -284,6 +323,60 @@ fn section_checksum(chunks: &[&[u8]]) -> u64 {
     h
 }
 
+/// The v2 per-section checksum: four independent [`section_checksum`]-style
+/// lanes consuming interleaved 8-byte words of each 32-byte block. The
+/// serial multiply in the single-lane mix caps verification around
+/// 2 GB/s — slow enough to dominate a zero-copy load, where the checksum
+/// is the *only* full pass over the CSR bytes. Four independent dependency
+/// chains let the multiplies overlap and verification runs near memory
+/// bandwidth. Detection strength is preserved: every per-lane operation
+/// (xor with data, multiply by an odd prime, xor-shift) is a bijection of
+/// the lane state, as is each step of the final fold, so any single flipped
+/// byte — which perturbs exactly one lane, or the lane-0 tail — is
+/// guaranteed to change the result.
+fn section_checksum_v2(chunks: &[&[u8]]) -> u64 {
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut lanes: [u64; 4] = [
+        0xcbf2_9ce4_8422_2325,
+        0x9ae1_6a3b_2f90_404f,
+        0x2545_f491_4f6c_dd1d,
+        0x27d4_eb2f_1656_67c5,
+    ];
+    for chunk in chunks {
+        let mut blocks = chunk.chunks_exact(32);
+        for b in &mut blocks {
+            for (lane, word) in lanes.iter_mut().zip(b.chunks_exact(8)) {
+                let x = u64::from_le_bytes(word.try_into().expect("8-byte word"));
+                *lane = (*lane ^ x).wrapping_mul(PRIME);
+                *lane ^= *lane >> 32;
+            }
+        }
+        let mut words = blocks.remainder().chunks_exact(8);
+        for word in &mut words {
+            let x = u64::from_le_bytes(word.try_into().expect("8-byte word"));
+            lanes[0] = (lanes[0] ^ x).wrapping_mul(PRIME);
+            lanes[0] ^= lanes[0] >> 32;
+        }
+        for &b in words.remainder() {
+            lanes[0] ^= b as u64;
+            lanes[0] = lanes[0].wrapping_mul(PRIME);
+        }
+        lanes[0] = (lanes[0] ^ chunk.len() as u64).wrapping_mul(PRIME);
+    }
+    let mut h = lanes[0];
+    for &lane in &lanes[1..] {
+        h = (h ^ lane).wrapping_mul(PRIME);
+        h ^= h >> 32;
+    }
+    h
+}
+
+/// Zero bytes needed after stream position `pos` so the next byte lands on
+/// an 8-byte boundary (v2 payload alignment).
+fn pad_to_8(pos: u64) -> usize {
+    (pos.wrapping_neg() % 8) as usize
+}
+
 /// A parsed (or to-be-written) container: an ordered list of sections.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Container {
@@ -355,9 +448,37 @@ impl Container {
         }
     }
 
-    /// Serializes the container (header + all sections with checksums).
-    pub fn write_to<W: Write>(&self, w: W) -> io::Result<()> {
-        self.write_to_magic(w, MAGIC, VERSION)
+    /// Serializes the container in the current (v2) format: header, then
+    /// every section with its payload padded to an 8-byte file offset and
+    /// its 4-lane checksum. The pad length is recomputed from the running
+    /// position, never stored.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        let nsect = u32::try_from(self.sections.len())
+            .map_err(|_| io::Error::other("too many sections"))?;
+        w.write_all(&nsect.to_le_bytes())?;
+        let mut pos: u64 = 12; // magic + version + nsect
+        for s in &self.sections {
+            let name = s.name.as_bytes();
+            let name_len = u16::try_from(name.len())
+                .map_err(|_| io::Error::other(format!("section name too long: {:?}", s.name)))?;
+            w.write_all(&name_len.to_le_bytes())?;
+            w.write_all(name)?;
+            let tag = s.data.tag();
+            w.write_all(&[tag])?;
+            w.write_all(&(s.data.len() as u64).to_le_bytes())?;
+            pos += 2 + name.len() as u64 + 1 + 8;
+            let pad = pad_to_8(pos);
+            w.write_all(&[0u8; 8][..pad])?;
+            pos += pad as u64;
+            let payload = s.data.payload();
+            w.write_all(&payload)?;
+            pos += payload.len() as u64 + 8;
+            let checksum = section_checksum_v2(&[name, &[tag], &payload]);
+            w.write_all(&checksum.to_le_bytes())?;
+        }
+        Ok(())
     }
 
     /// Like [`Container::write_to`], but with a caller-chosen magic and
@@ -391,11 +512,92 @@ impl Container {
         Ok(())
     }
 
-    /// Parses a container, verifying the magic, version, section framing
-    /// and every per-section checksum. Truncated or corrupted input yields
-    /// an error — never a panic.
+    /// Parses a container (version 1 or 2), verifying the magic, section
+    /// framing and every per-section checksum. Truncated or corrupted
+    /// input yields an error — never a panic.
     pub fn read_from<R: Read>(r: R) -> Result<Container, StoreError> {
-        Container::read_from_magic(r, MAGIC, VERSION)
+        let mut r = CountingReader { inner: r, pos: 0 };
+        let mut magic = [0u8; 6];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(StoreError::Format(format!(
+                "bad magic {magic:?} (expected {MAGIC:?})"
+            )));
+        }
+        let version = read_u16(&mut r)?;
+        if version != VERSION && version != VERSION_V1 {
+            return Err(StoreError::Format(format!(
+                "unsupported version {version} (this build reads versions {VERSION_V1} and {VERSION})"
+            )));
+        }
+        let nsect = read_u32(&mut r)?;
+        let mut sections = Vec::new();
+        for i in 0..nsect {
+            let name_len = read_u16(&mut r)? as usize;
+            let mut name_buf = vec![0u8; name_len];
+            r.read_exact(&mut name_buf)?;
+            let name = String::from_utf8(name_buf)
+                .map_err(|_| StoreError::Format(format!("section {i} name is not utf-8")))?;
+            let mut tag = [0u8; 1];
+            r.read_exact(&mut tag)?;
+            let tag = tag[0];
+            let count = read_u64(&mut r)?;
+            let elem_size: u64 = match tag {
+                1 => 4,
+                2 | 3 => 8,
+                4 => 1,
+                other => {
+                    return Err(StoreError::Format(format!(
+                        "section {name:?} has unknown tag {other}"
+                    )))
+                }
+            };
+            let byte_len = count
+                .checked_mul(elem_size)
+                .ok_or_else(|| StoreError::Format(format!("section {name:?} count overflows")))?;
+            if version >= VERSION {
+                // v2 alignment pad; must read back as zeros (pads are not
+                // checksummed, so this is what keeps them tamper-evident).
+                let mut pad_buf = [0u8; 8];
+                let pad = pad_to_8(r.pos);
+                r.read_exact(&mut pad_buf[..pad])?;
+                if pad_buf[..pad].iter().any(|&b| b != 0) {
+                    return Err(StoreError::Format(format!(
+                        "section {name:?} has nonzero pad bytes"
+                    )));
+                }
+            }
+            // Read via `take` so a corrupted (huge) count cannot trigger a
+            // matching up-front allocation: beyond the pre-reserve cap the
+            // buffer grows only as real bytes arrive, and a short read is
+            // a clean truncation error. Honest section sizes (the cap is
+            // far above any real graph's) are reserved exactly, so the
+            // bulk read lands in one allocation with no regrow copies.
+            const RESERVE_CAP: u64 = 1 << 28;
+            let mut payload = Vec::new();
+            payload.reserve_exact(byte_len.min(RESERVE_CAP) as usize);
+            let read = (&mut r)
+                .take(byte_len)
+                .read_to_end(&mut payload)
+                .map_err(StoreError::Io)?;
+            if read as u64 != byte_len {
+                return Err(StoreError::Format(format!(
+                    "section {name:?} truncated ({read} of {byte_len} bytes)"
+                )));
+            }
+            let checksum = read_u64(&mut r)?;
+            let expected = if version >= VERSION {
+                section_checksum_v2(&[name.as_bytes(), &[tag], &payload])
+            } else {
+                section_checksum(&[name.as_bytes(), &[tag], &payload])
+            };
+            if expected != checksum {
+                return Err(StoreError::Checksum { section: name });
+            }
+            let data = SectionData::from_payload(tag, count as usize, &payload)?;
+            sections.push(Section { name, data });
+        }
+        Ok(Container { sections })
     }
 
     /// Like [`Container::read_from`], but for a sibling format with its
@@ -476,6 +678,8 @@ impl Container {
 /// [`scan_summary`] without materializing the (large) CSR payloads.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StoreSummary {
+    /// Container version the file was written with (1 or 2).
+    pub version: u16,
     /// `(name, element count, payload bytes)` of every section, in order.
     pub sections: Vec<(String, usize, usize)>,
     /// Node count derived from the CSR offsets section, if present.
@@ -508,13 +712,16 @@ pub fn scan_summary<R: Read + io::Seek>(mut r: R) -> Result<StoreSummary, StoreE
         )));
     }
     let version = read_u16(&mut r)?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V1 {
         return Err(StoreError::Format(format!(
-            "unsupported version {version} (this build reads version {VERSION})"
+            "unsupported version {version} (this build reads versions {VERSION_V1} and {VERSION})"
         )));
     }
     let nsect = read_u32(&mut r)?;
-    let mut out = StoreSummary::default();
+    let mut out = StoreSummary {
+        version,
+        ..StoreSummary::default()
+    };
     for i in 0..nsect {
         let name_len = read_u16(&mut r)? as usize;
         let mut name_buf = vec![0u8; name_len];
@@ -538,6 +745,14 @@ pub fn scan_summary<R: Read + io::Seek>(mut r: R) -> Result<StoreSummary, StoreE
         let byte_len = count
             .checked_mul(elem_size)
             .ok_or_else(|| StoreError::Format(format!("section {name:?} count overflows")))?;
+        if version >= VERSION {
+            let pos = r.stream_position().map_err(StoreError::Io)?;
+            let pad = pad_to_8(pos) as u64;
+            if pad > 0 {
+                r.seek(io::SeekFrom::Start(pos + pad))
+                    .map_err(StoreError::Io)?;
+            }
+        }
         // Metadata strings are tiny; cap defensively so a hostile count
         // cannot balloon the scan.
         const META_CAP: u64 = 1 << 16;
@@ -576,6 +791,22 @@ pub fn scan_summary<R: Read + io::Seek>(mut r: R) -> Result<StoreSummary, StoreE
         out.sections.push((name, count as usize, byte_len as usize));
     }
     Ok(out)
+}
+
+/// Wraps a reader with a running byte position, so the streamed v2 reader
+/// can recompute each section's pad length (pads are position-derived,
+/// never stored) without requiring `Seek`.
+struct CountingReader<R> {
+    inner: R,
+    pos: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.pos += n as u64;
+        Ok(n)
+    }
 }
 
 fn read_u16<R: Read>(r: &mut R) -> Result<u16, StoreError> {
@@ -649,17 +880,32 @@ pub fn partition_from_container(
 
 /// Reconstructs the graph from the CSR sections, proving the invariants
 /// the in-memory [`Graph`] relies on (see [`Validate`]).
+#[deprecated(note = "use `store::Loader` (open → validate → load_graph) instead")]
 pub fn graph_from_container(c: &Container, validate: Validate) -> Result<Graph, StoreError> {
-    let offsets64 = c.u64s(SEC_OFFSETS)?;
-    let targets = c.u32s(SEC_TARGETS)?;
-    let offsets = validate_csr(offsets64, targets, validate)?;
-    Ok(Graph::from_csr(offsets, targets.to_vec()))
+    graph_from_container_impl(c, validate)
 }
 
 /// Like [`graph_from_container`], but **moves** the CSR sections out of
-/// the container instead of copying the (large) target array — the hot
-/// path for the scenario cache and `file =` sources.
+/// the container instead of copying the (large) target array.
+#[deprecated(note = "use `store::Loader` (open → validate → load) instead")]
 pub fn graph_from_container_owned(
+    c: &mut Container,
+    validate: Validate,
+) -> Result<Graph, StoreError> {
+    graph_from_container_owned_impl(c, validate)
+}
+
+fn graph_from_container_impl(c: &Container, validate: Validate) -> Result<Graph, StoreError> {
+    let offsets64 = c.u64s(SEC_OFFSETS)?;
+    let targets = c.u32s(SEC_TARGETS)?;
+    let offsets = validate_csr(offsets64, targets, validate)?;
+    Ok(Graph::from_csr_trusted(offsets, targets.to_vec()))
+}
+
+/// The hot owned-decode path behind [`Loader::load`] for streamed (v1 or
+/// non-mmap) loads: moves the CSR sections out of the container instead of
+/// copying the (large) target array.
+fn graph_from_container_owned_impl(
     c: &mut Container,
     validate: Validate,
 ) -> Result<Graph, StoreError> {
@@ -690,32 +936,43 @@ pub fn graph_from_container_owned(
         }
     };
     let offsets = validate_csr(&offsets64, &targets, validate)?;
-    Ok(Graph::from_csr(offsets, targets))
+    Ok(Graph::from_csr_trusted(offsets, targets))
 }
 
-/// Verifies every CSR invariant (per [`Validate`]) and returns the
-/// offsets converted to `usize`.
-fn validate_csr(
-    offsets64: &[u64],
-    targets: &[u32],
-    validate: Validate,
-) -> Result<Vec<usize>, StoreError> {
-    if offsets64.is_empty() {
+/// Converts the on-disk u64 offsets to `usize` (the streamed path's half
+/// of [`validate_csr`]; the mapped path reinterprets in place instead).
+fn offsets_to_usize(offsets64: &[u64]) -> Result<Vec<usize>, StoreError> {
+    let mut offsets = Vec::with_capacity(offsets64.len());
+    for &o in offsets64 {
+        offsets.push(
+            usize::try_from(o).map_err(|_| {
+                StoreError::Graph(format!("offset {o} exceeds this platform's usize"))
+            })?,
+        );
+    }
+    Ok(offsets)
+}
+
+/// Verifies CSR invariants (per [`Validate`]) on the final `usize`/`u32`
+/// views — shared verbatim by the streamed (decoded vectors) and mapped
+/// (borrowed slices) load paths.
+fn check_csr(offsets: &[usize], targets: &[NodeId], validate: Validate) -> Result<(), StoreError> {
+    if offsets.is_empty() {
         return Err(StoreError::Graph("offset array is empty".into()));
     }
-    let n = offsets64.len() - 1;
+    let n = offsets.len() - 1;
     if n > NodeId::MAX as usize {
         return Err(StoreError::Graph(format!(
             "{n} nodes exceed NodeId capacity"
         )));
     }
-    if offsets64[0] != 0 {
+    if offsets[0] != 0 {
         return Err(StoreError::Graph("offsets do not start at 0".into()));
     }
-    if *offsets64.last().expect("non-empty") != targets.len() as u64 {
+    if *offsets.last().expect("non-empty") != targets.len() {
         return Err(StoreError::Graph(format!(
             "last offset {} does not match target count {}",
-            offsets64.last().expect("non-empty"),
+            offsets.last().expect("non-empty"),
             targets.len()
         )));
     }
@@ -724,18 +981,11 @@ fn validate_csr(
             "odd target count (undirected edges are stored twice)".into(),
         ));
     }
-    let mut offsets = Vec::with_capacity(offsets64.len());
-    for w in offsets64.windows(2) {
-        if w[1] < w[0] {
-            return Err(StoreError::Graph("offsets are not monotone".into()));
-        }
+    if validate == Validate::Trusted {
+        return Ok(());
     }
-    for &o in offsets64 {
-        offsets.push(
-            usize::try_from(o).map_err(|_| {
-                StoreError::Graph(format!("offset {o} exceeds this platform's usize"))
-            })?,
-        );
+    if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+        return Err(StoreError::Graph("offsets are not monotone".into()));
     }
     // Bounds first, over the flat array (vectorizes well), then per-list
     // structure: strictly ascending (no duplicates) and self-loop free.
@@ -777,6 +1027,18 @@ fn validate_csr(
             return Err(StoreError::Graph("adjacency is not symmetric".into()));
         }
     }
+    Ok(())
+}
+
+/// Verifies CSR invariants (per [`Validate`]) and returns the offsets
+/// converted to `usize`.
+fn validate_csr(
+    offsets64: &[u64],
+    targets: &[u32],
+    validate: Validate,
+) -> Result<Vec<usize>, StoreError> {
+    let offsets = offsets_to_usize(offsets64)?;
+    check_csr(&offsets, targets, validate)?;
     Ok(offsets)
 }
 
@@ -810,20 +1072,300 @@ pub fn write_bundle<W: Write>(
 }
 
 /// Reads a `.cgteg` stream back into a graph (+ `main` partition).
+#[deprecated(note = "use `store::Loader` (open → validate → load_bundle) instead")]
 pub fn read_bundle<R: Read>(r: R, validate: Validate) -> Result<GraphBundle, StoreError> {
+    read_bundle_impl(r, validate)
+}
+
+fn read_bundle_impl<R: Read>(r: R, validate: Validate) -> Result<GraphBundle, StoreError> {
     let mut c = Container::read_from(r)?;
-    let graph = graph_from_container_owned(&mut c, validate)?;
+    let graph = graph_from_container_owned_impl(&mut c, validate)?;
     let partition = partition_from_container(&c, "main", graph.num_nodes())?;
     Ok(GraphBundle { graph, partition })
+}
+
+// ---------------------------------------------------------------------------
+// Loader — the one entry point for reading `.cgteg` files from disk
+
+/// Everything a `.cgteg` file holds: the graph, plus every non-CSR section
+/// (partition blocks, metadata, scenario-cache extras) decoded owned into
+/// `rest`. On a mapped load the graph borrows the CSR arrays from the
+/// mapping; `rest` is always heap-owned (those sections are small).
+#[derive(Debug)]
+pub struct LoadedStore {
+    /// The graph, heap-owned or mmap-backed (see [`Graph::is_mapped`]).
+    pub graph: Graph,
+    /// All remaining sections, CSR removed.
+    pub rest: Container,
+}
+
+/// Builder-style loader for `.cgteg` files — the single entry point that
+/// replaces the old `read_bundle` / `graph_from_container*` free
+/// functions.
+///
+/// ```no_run
+/// use cgte_graph::store::{Loader, Validate};
+/// let g = Loader::open("graph.cgteg")
+///     .validate(Validate::Full)
+///     .mmap(true)
+///     .load_graph()?;
+/// # Ok::<(), cgte_graph::store::StoreError>(())
+/// ```
+///
+/// With `mmap(true)` the CSR payloads of a v2 file are borrowed zero-copy
+/// from a shared read-only mapping: section checksums are verified against
+/// the mapped bytes *before* any borrow is handed out, then the configured
+/// [`Validate`] level proves CSR structure on the mapped view — exactly
+/// the checks the streamed path runs. The loader silently falls back to
+/// the streamed heap decode for v1 files, when the `mmap` syscall fails,
+/// or on platforms without `mmap` support (non-unix, 32-bit, or
+/// big-endian); corruption and format errors always propagate rather than
+/// falling back. [`Graph::is_mapped`] reports which path served a load.
+#[derive(Debug, Clone)]
+pub struct Loader {
+    path: PathBuf,
+    validate: Validate,
+    mmap: bool,
+}
+
+impl Loader {
+    /// Starts a loader for the given file with [`Validate::Full`] checking
+    /// and the streamed (heap) path; chain [`Loader::validate`] /
+    /// [`Loader::mmap`] to adjust.
+    pub fn open(path: impl AsRef<Path>) -> Loader {
+        Loader {
+            path: path.as_ref().to_path_buf(),
+            validate: Validate::Full,
+            mmap: false,
+        }
+    }
+
+    /// Sets the CSR validation level (default [`Validate::Full`]).
+    pub fn validate(mut self, v: Validate) -> Loader {
+        self.validate = v;
+        self
+    }
+
+    /// Requests the zero-copy mapped path (default off). See the type docs
+    /// for when the loader falls back to the heap decode.
+    pub fn mmap(mut self, on: bool) -> Loader {
+        self.mmap = on;
+        self
+    }
+
+    /// The file this loader reads.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Scans the file's table of contents without reading section payloads
+    /// — `O(metadata)` I/O regardless of graph size.
+    pub fn summary(&self) -> Result<StoreSummary, StoreError> {
+        scan_summary(BufReader::new(File::open(&self.path)?))
+    }
+
+    /// Reads the whole container heap-owned (every section decoded),
+    /// ignoring the mmap setting — for callers that need raw sections
+    /// rather than a graph.
+    pub fn load_container(&self) -> Result<Container, StoreError> {
+        Container::read_from(BufReader::new(File::open(&self.path)?))
+    }
+
+    /// Loads the graph plus all remaining sections.
+    pub fn load(&self) -> Result<LoadedStore, StoreError> {
+        #[cfg(cgte_mmap)]
+        if self.mmap {
+            if let Some(loaded) = self.load_mapped()? {
+                return Ok(loaded);
+            }
+        }
+        let mut rest = self.load_container()?;
+        let graph = graph_from_container_owned_impl(&mut rest, self.validate)?;
+        Ok(LoadedStore { graph, rest })
+    }
+
+    /// Loads just the graph.
+    pub fn load_graph(&self) -> Result<Graph, StoreError> {
+        Ok(self.load()?.graph)
+    }
+
+    /// Loads the graph plus its optional `main` partition (what
+    /// `cgte ingest` writes and `file =` scenario sources read).
+    pub fn load_bundle(&self) -> Result<GraphBundle, StoreError> {
+        let loaded = self.load()?;
+        let partition = partition_from_container(&loaded.rest, "main", loaded.graph.num_nodes())?;
+        Ok(GraphBundle {
+            graph: loaded.graph,
+            partition,
+        })
+    }
+
+    /// The mapped path: `Ok(None)` means "fall back to the heap decode"
+    /// (v1 file or mmap syscall failure); corruption is an error.
+    #[cfg(cgte_mmap)]
+    fn load_mapped(&self) -> Result<Option<LoadedStore>, StoreError> {
+        let file = File::open(&self.path)?;
+        let map = match Mmap::map(&file) {
+            Ok(m) => Arc::new(m),
+            Err(_) => return Ok(None),
+        };
+        let bytes = map.bytes();
+        let Some(secs) = parse_mapped_sections(bytes)? else {
+            return Ok(None); // v1 framing: no alignment guarantee, decode owned
+        };
+        let find = |name: &str, tag: u8, kind: &str| -> Result<&MappedSection, StoreError> {
+            let sec = secs
+                .iter()
+                .find(|s| s.name == name)
+                .ok_or_else(|| StoreError::Format(format!("missing section {name:?}")))?;
+            if sec.tag != tag {
+                return Err(StoreError::Format(format!(
+                    "section {name:?} is not {kind}"
+                )));
+            }
+            Ok(sec)
+        };
+        let off = find(SEC_OFFSETS, 2, "u64")?;
+        let tgt = find(SEC_TARGETS, 1, "u32")?;
+        let csr = MappedCsr::new(
+            Arc::clone(&map),
+            off.payload_start,
+            off.count,
+            tgt.payload_start,
+            tgt.count,
+        )
+        .map_err(StoreError::Format)?;
+        check_csr(csr.offsets(), csr.targets(), self.validate)?;
+        let graph = Graph::from_mapped(csr);
+        let mut rest = Container::new();
+        for s in &secs {
+            if s.name == SEC_OFFSETS || s.name == SEC_TARGETS {
+                continue;
+            }
+            let payload = &bytes[s.payload_start..s.payload_start + s.payload_len];
+            let data = SectionData::from_payload(s.tag, s.count, payload)?;
+            rest.push(Section {
+                name: s.name.clone(),
+                data,
+            });
+        }
+        Ok(Some(LoadedStore { graph, rest }))
+    }
+}
+
+/// Byte ranges of one section inside a mapped v2 file.
+#[cfg(cgte_mmap)]
+struct MappedSection {
+    name: String,
+    tag: u8,
+    count: usize,
+    payload_start: usize,
+    payload_len: usize,
+}
+
+/// Walks a v2 container's framing over the mapped bytes, verifying every
+/// per-section checksum and pad **before** any payload range is handed
+/// out. Returns `Ok(None)` for v1 files (valid, but unaligned — the
+/// caller decodes them owned instead).
+#[cfg(cgte_mmap)]
+fn parse_mapped_sections(bytes: &[u8]) -> Result<Option<Vec<MappedSection>>, StoreError> {
+    let truncated = || StoreError::Format("truncated file".into());
+    let get = |start: usize, len: usize| -> Result<&[u8], StoreError> {
+        bytes
+            .get(start..start.checked_add(len).ok_or_else(truncated)?)
+            .ok_or_else(truncated)
+    };
+    let magic = get(0, 6)?;
+    if magic != MAGIC {
+        return Err(StoreError::Format(format!(
+            "bad magic {magic:?} (expected {MAGIC:?})"
+        )));
+    }
+    let version = u16::from_le_bytes(get(6, 2)?.try_into().expect("2 bytes"));
+    if version == VERSION_V1 {
+        return Ok(None);
+    }
+    if version != VERSION {
+        return Err(StoreError::Format(format!(
+            "unsupported version {version} (this build reads versions {VERSION_V1} and {VERSION})"
+        )));
+    }
+    let nsect = u32::from_le_bytes(get(8, 4)?.try_into().expect("4 bytes"));
+    let mut pos: usize = 12;
+    // Reserve conservatively: a corrupted (huge) nsect must not translate
+    // into a matching allocation — the loop below fails on the first
+    // out-of-bounds section read instead.
+    let mut secs = Vec::with_capacity(nsect.min(64) as usize);
+    for i in 0..nsect {
+        let name_len = u16::from_le_bytes(get(pos, 2)?.try_into().expect("2 bytes")) as usize;
+        pos += 2;
+        let name = std::str::from_utf8(get(pos, name_len)?)
+            .map_err(|_| StoreError::Format(format!("section {i} name is not utf-8")))?
+            .to_string();
+        pos += name_len;
+        let tag = get(pos, 1)?[0];
+        pos += 1;
+        let count = u64::from_le_bytes(get(pos, 8)?.try_into().expect("8 bytes"));
+        pos += 8;
+        let elem_size: u64 = match tag {
+            1 => 4,
+            2 | 3 => 8,
+            4 => 1,
+            other => {
+                return Err(StoreError::Format(format!(
+                    "section {name:?} has unknown tag {other}"
+                )))
+            }
+        };
+        let byte_len = count
+            .checked_mul(elem_size)
+            .ok_or_else(|| StoreError::Format(format!("section {name:?} count overflows")))?;
+        let byte_len = usize::try_from(byte_len)
+            .map_err(|_| StoreError::Format(format!("section {name:?} count overflows")))?;
+        let pad = pad_to_8(pos as u64);
+        if get(pos, pad)?.iter().any(|&b| b != 0) {
+            return Err(StoreError::Format(format!(
+                "section {name:?} has nonzero pad bytes"
+            )));
+        }
+        pos += pad;
+        let payload = get(pos, byte_len)?;
+        let payload_start = pos;
+        pos += byte_len;
+        let checksum = u64::from_le_bytes(get(pos, 8)?.try_into().expect("8 bytes"));
+        pos += 8;
+        if section_checksum_v2(&[name.as_bytes(), &[tag], payload]) != checksum {
+            return Err(StoreError::Checksum { section: name });
+        }
+        secs.push(MappedSection {
+            name,
+            tag,
+            count: count as usize,
+            payload_start,
+            payload_len: byte_len,
+        });
+    }
+    Ok(Some(secs))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    // The deprecated free functions delegate to these; testing the impls
+    // keeps the suite warning-free (the shims get one dedicated test).
+    use super::{
+        graph_from_container_impl as graph_from_container, read_bundle_impl as read_bundle,
+    };
     use crate::GraphBuilder;
 
     fn sample_graph() -> Graph {
         GraphBuilder::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (2, 3)]).unwrap()
+    }
+
+    fn temp_file(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("cgte-store-{tag}-{}", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
     }
 
     #[test]
@@ -955,7 +1497,7 @@ mod tests {
             let mut buf = Vec::new();
             c.write_to(&mut buf).unwrap();
             let parsed = Container::read_from(&buf[..]).unwrap();
-            assert!(graph_from_container(&parsed, Validate::Trusted).is_err());
+            assert!(graph_from_container(&parsed, Validate::Structure).is_err());
         }
     }
 
@@ -967,7 +1509,7 @@ mod tests {
         let mut buf = Vec::new();
         c.write_to(&mut buf).unwrap();
         let parsed = Container::read_from(&buf[..]).unwrap();
-        let err = graph_from_container(&parsed, Validate::Trusted).unwrap_err();
+        let err = graph_from_container(&parsed, Validate::Structure).unwrap_err();
         match err {
             StoreError::Graph(m) => assert!(m.contains("self-loop"), "{m}"),
             other => panic!("expected graph error, got {other}"),
@@ -1008,5 +1550,196 @@ mod tests {
         assert_eq!(back.u64s("counts").unwrap(), &[3, 2]);
         assert!(back.get("absent").is_none());
         assert!(back.u32s("counts").is_err(), "type mismatch is an error");
+    }
+
+    fn v1_bundle_bytes(g: &Graph, p: Option<&Partition>) -> Vec<u8> {
+        let mut c = Container::new();
+        for s in graph_sections(g) {
+            c.push(s);
+        }
+        if let Some(p) = p {
+            c.push(partition_section("main", p));
+        }
+        let mut buf = Vec::new();
+        // write_to_magic keeps the legacy framing: no pads, old checksum.
+        c.write_to_magic(&mut buf, MAGIC, VERSION_V1).unwrap();
+        buf
+    }
+
+    #[test]
+    fn v1_files_remain_readable() {
+        let g = sample_graph();
+        let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let buf = v1_bundle_bytes(&g, Some(&p));
+        let back = read_bundle(&buf[..], Validate::Full).unwrap();
+        assert_eq!(back.graph, g);
+        assert_eq!(back.partition.as_ref(), Some(&p));
+        // The mapped path must fall back to the heap decode for v1.
+        let path = temp_file("v1compat", &buf);
+        let bundle = Loader::open(&path).mmap(true).load_bundle().unwrap();
+        assert_eq!(bundle.graph, g);
+        assert!(!bundle.graph.is_mapped());
+        assert_eq!(
+            Loader::open(&path).summary().unwrap().version,
+            VERSION_V1,
+            "summary reports the on-disk version"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v2_payloads_start_on_8_byte_boundaries() {
+        let g = sample_graph();
+        let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, Some(&p)).unwrap();
+        assert_eq!(u16::from_le_bytes([buf[6], buf[7]]), VERSION);
+        let nsect = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        let mut pos = 12usize;
+        for _ in 0..nsect {
+            let name_len = u16::from_le_bytes(buf[pos..pos + 2].try_into().unwrap()) as usize;
+            pos += 2 + name_len;
+            let tag = buf[pos];
+            pos += 1;
+            let count = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap()) as usize;
+            pos += 8;
+            let elem: usize = match tag {
+                1 => 4,
+                2 | 3 => 8,
+                4 => 1,
+                other => panic!("unknown tag {other}"),
+            };
+            let pad = (8 - pos % 8) % 8;
+            assert!(buf[pos..pos + pad].iter().all(|&b| b == 0), "pad not zero");
+            pos += pad;
+            assert_eq!(pos % 8, 0, "payload must start 8-aligned");
+            pos += count * elem + 8;
+        }
+        assert_eq!(pos, buf.len(), "walker must consume the whole file");
+    }
+
+    #[test]
+    fn loader_summary_reports_toc() {
+        let g = sample_graph();
+        let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, Some(&p)).unwrap();
+        let path = temp_file("summary", &buf);
+        let s = Loader::open(&path).summary().unwrap();
+        assert_eq!(s.version, VERSION);
+        assert_eq!(s.num_nodes, Some(6));
+        assert_eq!(s.num_edges, Some(6));
+        assert_eq!(s.partitions, vec!["main".to_string()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trusted_skips_structural_checks() {
+        // Unsorted targets with consistent framing: Trusted (checksums +
+        // O(1) checks) accepts, Structure and Full reject.
+        let mut c = Container::new();
+        c.push(Section::u64s(SEC_OFFSETS, vec![0, 2, 3, 4]));
+        c.push(Section::u32s(SEC_TARGETS, vec![2, 1, 0, 0]));
+        let mut buf = Vec::new();
+        c.write_to(&mut buf).unwrap();
+        let parsed = Container::read_from(&buf[..]).unwrap();
+        assert!(graph_from_container(&parsed, Validate::Trusted).is_ok());
+        assert!(graph_from_container(&parsed, Validate::Structure).is_err());
+        assert!(graph_from_container(&parsed, Validate::Full).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let g = sample_graph();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, None).unwrap();
+        let bundle = super::read_bundle(&buf[..], Validate::Full).unwrap();
+        assert_eq!(bundle.graph, g);
+        let mut c = Container::read_from(&buf[..]).unwrap();
+        assert_eq!(super::graph_from_container(&c, Validate::Full).unwrap(), g);
+        assert_eq!(
+            super::graph_from_container_owned(&mut c, Validate::Full).unwrap(),
+            g
+        );
+    }
+
+    #[cfg(cgte_mmap)]
+    #[test]
+    fn mapped_load_matches_heap_and_built() {
+        let g = sample_graph();
+        let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, Some(&p)).unwrap();
+        let path = temp_file("mapped-eq", &buf);
+        let heap = Loader::open(&path).load_bundle().unwrap();
+        let mapped = Loader::open(&path).mmap(true).load_bundle().unwrap();
+        assert!(!heap.graph.is_mapped());
+        assert!(mapped.graph.is_mapped());
+        assert_eq!(mapped.graph, g);
+        assert_eq!(mapped.graph, heap.graph);
+        assert_eq!(mapped.graph.csr_offsets(), g.csr_offsets());
+        assert_eq!(mapped.graph.csr_neighbors(), g.csr_neighbors());
+        assert_eq!(mapped.partition.as_ref(), Some(&p));
+        // Non-CSR sections arrive owned in `rest` on both paths.
+        let loaded = Loader::open(&path).mmap(true).load().unwrap();
+        assert!(loaded.rest.get("part.main").is_some());
+        assert!(loaded.rest.get(SEC_OFFSETS).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(cgte_mmap)]
+    #[test]
+    fn mapped_empty_graph_round_trips() {
+        let g = GraphBuilder::new(0).build();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, None).unwrap();
+        let path = temp_file("mapped-empty", &buf);
+        let back = Loader::open(&path).mmap(true).load_graph().unwrap();
+        assert!(back.is_mapped());
+        assert_eq!(back.num_nodes(), 0);
+        assert_eq!(back.num_edges(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(cgte_mmap)]
+    #[test]
+    fn mapped_every_truncation_point_fails_cleanly() {
+        let g = sample_graph();
+        let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, Some(&p)).unwrap();
+        let path = temp_file("mapped-trunc", b"");
+        for len in 0..buf.len() {
+            std::fs::write(&path, &buf[..len]).unwrap();
+            assert!(
+                Loader::open(&path).mmap(true).load_bundle().is_err(),
+                "mapped truncation at {len} bytes must fail"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(cgte_mmap)]
+    #[test]
+    fn mapped_every_single_byte_flip_fails_cleanly() {
+        // The mapped twin of the streamed bit-rot sweep: any flipped byte
+        // (framing, pad, payload or checksum) must surface as an error
+        // before a Graph borrowing the mapping is handed out.
+        let g = sample_graph();
+        let p = Partition::from_assignments(vec![0, 0, 0, 1, 1, 1], 2).unwrap();
+        let mut buf = Vec::new();
+        write_bundle(&mut buf, &g, Some(&p)).unwrap();
+        let path = temp_file("mapped-flip", b"");
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0xFF;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                Loader::open(&path).mmap(true).load_bundle().is_err(),
+                "mapped byte {i} flip was not detected"
+            );
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -8,7 +8,7 @@
 //! included here so that the bias is demonstrable (see the `bfs_bias`
 //! example and the tests below), not as a recommended design.
 
-use crate::{DesignKind, NodeSampler};
+use crate::{DesignKind, NodeSampler, SampleError, WalkStats};
 use cgte_graph::{Graph, NodeId};
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -41,10 +41,23 @@ impl BreadthFirst {
 }
 
 impl NodeSampler for BreadthFirst {
-    fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
-        assert!(g.num_nodes() > 0, "cannot sample from an empty graph");
+    // A BFS "step" is one dequeued node, so the trivial accounting
+    // (steps = retained) is exact; the search may stop short of `n` when
+    // the graph is exhausted, which is why stats use `out.len()`.
+    fn try_sample_into_stats<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+        stats: &mut WalkStats,
+    ) -> Result<(), SampleError> {
+        if g.num_nodes() == 0 {
+            return Err(SampleError::EmptyGraph);
+        }
         let mut visited = vec![false; g.num_nodes()];
-        let mut out = Vec::with_capacity(n);
+        out.clear();
+        out.reserve(n);
         let mut queue: VecDeque<NodeId> = VecDeque::new();
         let seed = |visited: &[bool], rng: &mut R| -> Option<NodeId> {
             if let Some(s) = self.start {
@@ -84,7 +97,14 @@ impl NodeSampler for BreadthFirst {
                 }
             }
         }
-        out
+        *stats = WalkStats {
+            retained: out.len(),
+            steps: out.len(),
+            burn_in: 0,
+            thinning: 1,
+            rejections: 0,
+        };
+        Ok(())
     }
 
     fn design(&self) -> DesignKind {

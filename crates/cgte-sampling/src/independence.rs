@@ -1,6 +1,6 @@
 //! Independence sampling: UIS and WIS (§3.1.1).
 
-use crate::{AliasTable, DesignKind, NodeSampler, SampleError};
+use crate::{AliasTable, DesignKind, NodeSampler, SampleError, WalkStats};
 use cgte_graph::{Graph, NodeId};
 use rand::Rng;
 
@@ -14,24 +14,30 @@ use rand::Rng;
 pub struct UniformIndependence;
 
 impl NodeSampler for UniformIndependence {
-    fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
-        assert!(g.num_nodes() > 0, "cannot sample from an empty graph");
-        (0..n)
-            .map(|_| rng.gen_range(0..g.num_nodes() as NodeId))
-            .collect()
-    }
-
-    fn try_sample_into<R: Rng + ?Sized>(
+    // One draw per retained node: stats are exact by construction.
+    fn try_sample_into_stats<R: Rng + ?Sized>(
         &self,
         g: &Graph,
         n: usize,
         rng: &mut R,
         out: &mut Vec<NodeId>,
+        stats: &mut WalkStats,
     ) -> Result<(), SampleError> {
         if g.num_nodes() == 0 {
             return Err(SampleError::EmptyGraph);
         }
-        self.sample_into(g, n, rng, out);
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(rng.gen_range(0..g.num_nodes() as NodeId));
+        }
+        *stats = WalkStats {
+            retained: n,
+            steps: n,
+            burn_in: 0,
+            thinning: 1,
+            rejections: 0,
+        };
         Ok(())
     }
 
@@ -83,26 +89,35 @@ impl WeightedIndependence {
 }
 
 impl NodeSampler for WeightedIndependence {
-    fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
-        assert_eq!(
-            self.weights.len(),
-            g.num_nodes(),
-            "weight vector does not cover the graph"
-        );
-        (0..n).map(|_| self.table.sample(rng) as NodeId).collect()
-    }
-
-    fn try_sample_into<R: Rng + ?Sized>(
+    // One alias-table draw per retained node; stats exact by construction.
+    fn try_sample_into_stats<R: Rng + ?Sized>(
         &self,
         g: &Graph,
         n: usize,
         rng: &mut R,
         out: &mut Vec<NodeId>,
+        stats: &mut WalkStats,
     ) -> Result<(), SampleError> {
         if g.num_nodes() == 0 {
             return Err(SampleError::EmptyGraph);
         }
-        self.sample_into(g, n, rng, out);
+        assert_eq!(
+            self.weights.len(),
+            g.num_nodes(),
+            "weight vector does not cover the graph"
+        );
+        out.clear();
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.table.sample(rng) as NodeId);
+        }
+        *stats = WalkStats {
+            retained: n,
+            steps: n,
+            burn_in: 0,
+            thinning: 1,
+            rejections: 0,
+        };
         Ok(())
     }
 

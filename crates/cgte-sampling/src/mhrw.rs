@@ -78,33 +78,8 @@ impl MetropolisHastingsWalk {
 }
 
 impl NodeSampler for MetropolisHastingsWalk {
-    fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
-        let mut out = Vec::with_capacity(n);
-        self.sample_into(g, n, rng, &mut out);
-        out
-    }
-
-    fn sample_into<R: Rng + ?Sized>(
-        &self,
-        g: &Graph,
-        n: usize,
-        rng: &mut R,
-        out: &mut Vec<NodeId>,
-    ) {
-        self.try_sample_into(g, n, rng, out)
-            .unwrap_or_else(|e| panic!("{e}"));
-    }
-
-    fn try_sample_into<R: Rng + ?Sized>(
-        &self,
-        g: &Graph,
-        n: usize,
-        rng: &mut R,
-        out: &mut Vec<NodeId>,
-    ) -> Result<(), SampleError> {
-        self.try_sample_into_stats(g, n, rng, out, &mut WalkStats::default())
-    }
-
+    // Rejections are counted inline in the one walk loop; the wrapper
+    // entry points are the trait defaults over this core.
     fn try_sample_into_stats<R: Rng + ?Sized>(
         &self,
         g: &Graph,

@@ -99,29 +99,17 @@ impl RandomWalk {
 }
 
 impl NodeSampler for RandomWalk {
-    fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
-        let mut out = Vec::with_capacity(n);
-        self.sample_into(g, n, rng, &mut out);
-        out
-    }
-
-    fn sample_into<R: Rng + ?Sized>(
+    // RW never rejects, so the stats are pure arithmetic on top of the
+    // plain walk loop — zero per-step overhead, and the wrapper entry
+    // points (`sample`, `sample_into`, `try_sample_into`) inherit the
+    // identical RNG sequence from the trait defaults.
+    fn try_sample_into_stats<R: Rng + ?Sized>(
         &self,
         g: &Graph,
         n: usize,
         rng: &mut R,
         out: &mut Vec<NodeId>,
-    ) {
-        self.try_sample_into(g, n, rng, out)
-            .unwrap_or_else(|e| panic!("{e}"));
-    }
-
-    fn try_sample_into<R: Rng + ?Sized>(
-        &self,
-        g: &Graph,
-        n: usize,
-        rng: &mut R,
-        out: &mut Vec<NodeId>,
+        stats: &mut WalkStats,
     ) -> Result<(), SampleError> {
         out.clear();
         out.reserve(n);
@@ -138,20 +126,6 @@ impl NodeSampler for RandomWalk {
                 cur = Self::step(g, cur, rng);
             }
         }
-        Ok(())
-    }
-
-    // RW never rejects, so the counted path is pure arithmetic on top of
-    // the plain draw — zero per-step overhead, identical RNG sequence.
-    fn try_sample_into_stats<R: Rng + ?Sized>(
-        &self,
-        g: &Graph,
-        n: usize,
-        rng: &mut R,
-        out: &mut Vec<NodeId>,
-        stats: &mut WalkStats,
-    ) -> Result<(), SampleError> {
-        self.try_sample_into(g, n, rng, out)?;
         *stats = WalkStats {
             retained: out.len(),
             steps: self.burn_in + n * self.thinning,

@@ -122,30 +122,8 @@ impl Swrw {
 }
 
 impl NodeSampler for Swrw {
-    fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
-        self.inner.sample(g, n, rng)
-    }
-
-    fn sample_into<R: Rng + ?Sized>(
-        &self,
-        g: &Graph,
-        n: usize,
-        rng: &mut R,
-        out: &mut Vec<NodeId>,
-    ) {
-        self.inner.sample_into(g, n, rng, out)
-    }
-
-    fn try_sample_into<R: Rng + ?Sized>(
-        &self,
-        g: &Graph,
-        n: usize,
-        rng: &mut R,
-        out: &mut Vec<NodeId>,
-    ) -> Result<(), SampleError> {
-        self.inner.try_sample_into(g, n, rng, out)
-    }
-
+    // Forwarding the one required core to the inner WRW is enough: the
+    // wrapper entry points are trait defaults over it on both types.
     fn try_sample_into_stats<R: Rng + ?Sized>(
         &self,
         g: &Graph,

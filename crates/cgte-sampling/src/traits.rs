@@ -73,59 +73,15 @@ pub struct WalkStats {
 /// stationary sampling weight `w(v) ∝ π(v)` of every node — known only up to
 /// a constant, which is all the ratio estimators of §5 require.
 pub trait NodeSampler {
-    /// Draws a multiset sample of `n` nodes from `g`.
-    ///
-    /// Crawling samplers interpret `n` as the number of *retained* samples
-    /// (after burn-in and thinning).
-    fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId>;
-
-    /// Draws a sample into a caller-provided buffer, clearing it first.
-    ///
-    /// Identical sequence to [`NodeSampler::sample`] given the same RNG
-    /// state; callers that draw many samples (big-walk replication loops,
-    /// the benchmark harness) reuse one buffer instead of allocating per
-    /// draw. The default forwards to `sample`; walk samplers override it
-    /// to write in place.
-    fn sample_into<R: Rng + ?Sized>(
-        &self,
-        g: &Graph,
-        n: usize,
-        rng: &mut R,
-        out: &mut Vec<NodeId>,
-    ) {
-        out.clear();
-        out.extend(self.sample(g, n, rng));
-    }
-
-    /// Fallible variant of [`NodeSampler::sample_into`]: draws the same
-    /// sequence given the same RNG state, but reports unusable input
-    /// graphs (empty, or edgeless for crawls) as a typed [`SampleError`]
-    /// instead of panicking. Long-running consumers (`cgte-serve`) use
-    /// this to turn bad requests into HTTP 422 rather than killing a
-    /// worker.
-    ///
-    /// The default forwards to `sample_into` (for samplers that cannot
-    /// fail); every built-in sampler overrides it with a checked path and
-    /// implements the panicking entry points on top of it.
-    fn try_sample_into<R: Rng + ?Sized>(
-        &self,
-        g: &Graph,
-        n: usize,
-        rng: &mut R,
-        out: &mut Vec<NodeId>,
-    ) -> Result<(), SampleError> {
-        self.sample_into(g, n, rng, out);
-        Ok(())
-    }
-
-    /// Like [`NodeSampler::try_sample_into`], additionally filling `stats`
+    /// The one required drawing method — the canonical core every other
+    /// entry point is a default wrapper over. Draws `n` nodes into `out`
+    /// (clearing it first), reports unusable input graphs (empty, or
+    /// edgeless for crawls) as a typed [`SampleError`], and fills `stats`
     /// with the draw's cost accounting.
     ///
-    /// Implementations must draw the **identical sequence** as
-    /// `try_sample_into` given the same RNG state — observation must not
-    /// change the sample. The default forwards to `try_sample_into` and
-    /// reports one step per retained node (exact for independence
-    /// designs); walk samplers override it with counted paths.
+    /// Crawling samplers interpret `n` as the number of *retained* samples
+    /// (after burn-in and thinning). Observing stats must not perturb the
+    /// draw: the RNG sequence depends only on `(g, n, rng)`.
     fn try_sample_into_stats<R: Rng + ?Sized>(
         &self,
         g: &Graph,
@@ -133,16 +89,42 @@ pub trait NodeSampler {
         rng: &mut R,
         out: &mut Vec<NodeId>,
         stats: &mut WalkStats,
+    ) -> Result<(), SampleError>;
+
+    /// Like [`NodeSampler::try_sample_into_stats`], without the cost
+    /// accounting. Identical draw given the same RNG state.
+    fn try_sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
     ) -> Result<(), SampleError> {
-        self.try_sample_into(g, n, rng, out)?;
-        *stats = WalkStats {
-            retained: out.len(),
-            steps: out.len(),
-            burn_in: 0,
-            thinning: 1,
-            rejections: 0,
-        };
-        Ok(())
+        self.try_sample_into_stats(g, n, rng, out, &mut WalkStats::default())
+    }
+
+    /// Infallible variant for callers that have already validated the
+    /// graph (experiment drivers over generated graphs): panics with the
+    /// [`SampleError`] message instead of returning it. Identical draw
+    /// given the same RNG state; callers that draw many samples (big-walk
+    /// replication loops, the benchmark harness) reuse one buffer instead
+    /// of allocating per draw.
+    fn sample_into<R: Rng + ?Sized>(
+        &self,
+        g: &Graph,
+        n: usize,
+        rng: &mut R,
+        out: &mut Vec<NodeId>,
+    ) {
+        self.try_sample_into(g, n, rng, out)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Allocating convenience over [`NodeSampler::sample_into`].
+    fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(n);
+        self.sample_into(g, n, rng, &mut out);
+        out
     }
 
     /// The design family this sampler realizes (asymptotically, for walks).
@@ -192,58 +174,10 @@ impl AnySampler {
 }
 
 impl NodeSampler for AnySampler {
-    fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
-        match self {
-            AnySampler::Uis(s) => s.sample(g, n, rng),
-            AnySampler::Wis(s) => s.sample(g, n, rng),
-            AnySampler::Rw(s) => s.sample(g, n, rng),
-            AnySampler::Mhrw(s) => s.sample(g, n, rng),
-            AnySampler::Wrw(s) => s.sample(g, n, rng),
-            AnySampler::Swrw(s) => s.sample(g, n, rng),
-        }
-    }
-
-    // Must forward (not inherit the default): the hot callers hold an
-    // `AnySampler`, and the default would allocate via `sample` and copy,
-    // defeating the walks' in-place overrides.
-    fn sample_into<R: Rng + ?Sized>(
-        &self,
-        g: &Graph,
-        n: usize,
-        rng: &mut R,
-        out: &mut Vec<NodeId>,
-    ) {
-        match self {
-            AnySampler::Uis(s) => s.sample_into(g, n, rng, out),
-            AnySampler::Wis(s) => s.sample_into(g, n, rng, out),
-            AnySampler::Rw(s) => s.sample_into(g, n, rng, out),
-            AnySampler::Mhrw(s) => s.sample_into(g, n, rng, out),
-            AnySampler::Wrw(s) => s.sample_into(g, n, rng, out),
-            AnySampler::Swrw(s) => s.sample_into(g, n, rng, out),
-        }
-    }
-
-    // Forwarded for the same reason as `sample_into`: the checked paths
-    // of the variants must be reachable through the enum.
-    fn try_sample_into<R: Rng + ?Sized>(
-        &self,
-        g: &Graph,
-        n: usize,
-        rng: &mut R,
-        out: &mut Vec<NodeId>,
-    ) -> Result<(), SampleError> {
-        match self {
-            AnySampler::Uis(s) => s.try_sample_into(g, n, rng, out),
-            AnySampler::Wis(s) => s.try_sample_into(g, n, rng, out),
-            AnySampler::Rw(s) => s.try_sample_into(g, n, rng, out),
-            AnySampler::Mhrw(s) => s.try_sample_into(g, n, rng, out),
-            AnySampler::Wrw(s) => s.try_sample_into(g, n, rng, out),
-            AnySampler::Swrw(s) => s.try_sample_into(g, n, rng, out),
-        }
-    }
-
-    // Forwarded so the counted walk paths (and their cost accounting)
-    // are reachable through the enum, not the trivial default.
+    // Only the required core needs forwarding: every other entry point is
+    // a trait default over it, so dispatching here makes the enum's
+    // `sample`/`sample_into`/`try_sample_into` bit-identical to calling
+    // the variant directly.
     fn try_sample_into_stats<R: Rng + ?Sized>(
         &self,
         g: &Graph,

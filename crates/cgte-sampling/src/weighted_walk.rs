@@ -94,29 +94,16 @@ impl WeightedRandomWalk {
 }
 
 impl NodeSampler for WeightedRandomWalk {
-    fn sample<R: Rng + ?Sized>(&self, g: &Graph, n: usize, rng: &mut R) -> Vec<NodeId> {
-        let mut out = Vec::with_capacity(n);
-        self.sample_into(g, n, rng, &mut out);
-        out
-    }
-
-    fn sample_into<R: Rng + ?Sized>(
+    // WRW always moves (the all-zero-neighbor fallback still steps), so
+    // the stats are derived arithmetic over the one walk loop; every
+    // other entry point is a trait default over this core.
+    fn try_sample_into_stats<R: Rng + ?Sized>(
         &self,
         g: &Graph,
         n: usize,
         rng: &mut R,
         out: &mut Vec<NodeId>,
-    ) {
-        self.try_sample_into(g, n, rng, out)
-            .unwrap_or_else(|e| panic!("{e}"));
-    }
-
-    fn try_sample_into<R: Rng + ?Sized>(
-        &self,
-        g: &Graph,
-        n: usize,
-        rng: &mut R,
-        out: &mut Vec<NodeId>,
+        stats: &mut WalkStats,
     ) -> Result<(), SampleError> {
         assert_eq!(
             self.factors.len(),
@@ -138,20 +125,6 @@ impl NodeSampler for WeightedRandomWalk {
                 cur = self.step(g, cur, rng);
             }
         }
-        Ok(())
-    }
-
-    // WRW always moves (the all-zero-neighbor fallback still steps), so
-    // the counted path is derived arithmetic over the plain draw.
-    fn try_sample_into_stats<R: Rng + ?Sized>(
-        &self,
-        g: &Graph,
-        n: usize,
-        rng: &mut R,
-        out: &mut Vec<NodeId>,
-        stats: &mut WalkStats,
-    ) -> Result<(), SampleError> {
-        self.try_sample_into(g, n, rng, out)?;
         *stats = WalkStats {
             retained: out.len(),
             steps: self.burn_in + n * self.thinning,

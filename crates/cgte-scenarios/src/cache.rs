@@ -28,8 +28,8 @@ use cgte_datasets::{
 };
 use cgte_graph::generators::{par_planted_partition, planted_partition, PlantedConfig};
 use cgte_graph::store::{
-    graph_from_container_owned, graph_sections, partition_from_container, partition_section,
-    read_bundle, Container, Section, Validate,
+    graph_sections, partition_from_container, partition_section, Container, LoadedStore, Loader,
+    Section, Validate,
 };
 use cgte_graph::{CategoryGraph, Graph, NodeId, Partition};
 use cgte_sampling::MultiWalkSample;
@@ -198,6 +198,7 @@ enum Origin {
 pub struct ResourceCache {
     slots: Mutex<HashMap<String, Slot>>,
     disk_dir: Option<PathBuf>,
+    mmap: bool,
     builds: AtomicUsize,
     loads: AtomicUsize,
     hits: AtomicUsize,
@@ -217,6 +218,15 @@ impl ResourceCache {
             disk_dir: Some(dir.into()),
             ..Self::default()
         }
+    }
+
+    /// Serves `.cgteg` loads (disk tier and `file =` sources) through the
+    /// zero-copy mapped path of [`cgte_graph::store::Loader`] instead of
+    /// the streamed heap decode. Loaded resources are bit-identical either
+    /// way; this only changes load cost. Off by default.
+    pub fn mmap(mut self, on: bool) -> Self {
+        self.mmap = on;
+        self
     }
 
     /// The disk-tier directory, if one is attached.
@@ -325,12 +335,12 @@ impl ResourceCache {
             // The source file is authoritative: always load from it (so
             // edits are picked up) and never copy it into the cache dir.
             return self.get_counted(&key, || {
-                build_resource_threads(spec, threads).map(|r| (r, Origin::Loaded))
+                build_resource_impl(spec, threads, self.mmap).map(|r| (r, Origin::Loaded))
             });
         }
         self.get_counted(&key, || {
             if let Some(dir) = &self.disk_dir {
-                match load_resource(dir, &key) {
+                match load_resource(dir, &key, self.mmap) {
                     Ok(Some(r)) => return Ok((r, Origin::Loaded)),
                     Ok(None) => {}
                     Err(e) => eprintln!("warning: cache load failed for {key} ({e}); rebuilding"),
@@ -364,6 +374,15 @@ pub fn build_resource_threads(
     spec: &ResolvedGraph,
     threads: usize,
 ) -> Result<Resource, EngineError> {
+    build_resource_impl(spec, threads, false)
+}
+
+fn build_resource_impl(
+    spec: &ResolvedGraph,
+    threads: usize,
+    mmap: bool,
+) -> Result<Resource, EngineError> {
+    let _ = mmap; // only `file =` sources read it; other specs generate
     match *spec {
         ResolvedGraph::Planted {
             k,
@@ -449,11 +468,12 @@ pub fn build_resource_threads(
             spectral,
             seed,
         } => {
-            let file = File::open(path)
-                .map_err(|e| EngineError::msg(format!("cannot open graph file {path:?}: {e}")))?;
             // Untrusted input: full structural validation, so a crafted
             // file cannot violate Graph invariants downstream.
-            let bundle = read_bundle(BufReader::new(file), Validate::Full)
+            let bundle = Loader::open(path)
+                .validate(Validate::Full)
+                .mmap(mmap)
+                .load_bundle()
                 .map_err(|e| EngineError::msg(format!("cannot load {path:?}: {e}")))?;
             match bundle.partition {
                 Some(p) => Ok(Resource::Graph(Arc::new(BuiltGraph::eager(
@@ -685,17 +705,17 @@ fn resource_to_container(key: &str, r: &Resource) -> Container {
     c
 }
 
-/// Decodes a cached resource, verifying the recorded key. The CSR goes
-/// through [`Validate::Trusted`] — the per-section checksums already rule
-/// out bit rot for files this cache wrote itself.
-fn resource_from_container(key: &str, c: &mut Container) -> Result<Resource, EngineError> {
+/// Decodes a cached resource from a [`Loader::load`] result (graph already
+/// extracted, every other section in `rest`), verifying the recorded key.
+fn resource_from_store(key: &str, loaded: LoadedStore) -> Result<Resource, EngineError> {
+    let LoadedStore { graph, mut rest } = loaded;
+    let c = &mut rest;
     let recorded = c.string("meta.key").map_err(store_err)?;
     if recorded != key {
         return Err(EngineError::msg(format!(
             "cache file holds key {recorded:?}, expected {key:?} (hash collision?)"
         )));
     }
-    let graph = graph_from_container_owned(c, Validate::Trusted).map_err(store_err)?;
     match c.string("meta.kind").map_err(store_err)? {
         "graph" => {
             let partition = partition_from_container(c, "main", graph.num_nodes())
@@ -820,13 +840,18 @@ fn save_resource(dir: &Path, key: &str, r: &Resource) -> Result<(), EngineError>
 }
 
 /// Loads a resource from the disk tier. `Ok(None)` means "not cached";
-/// corrupted files surface as `Err` (the caller rebuilds).
-fn load_resource(dir: &Path, key: &str) -> Result<Option<Resource>, EngineError> {
+/// corrupted files surface as `Err` (the caller rebuilds). The CSR goes
+/// through [`Validate::Trusted`] — the per-section checksums already rule
+/// out bit rot for files this cache wrote itself.
+fn load_resource(dir: &Path, key: &str, mmap: bool) -> Result<Option<Resource>, EngineError> {
     let path = cache_file(dir, key);
-    let file = match File::open(&path) {
-        Ok(f) => f,
-        Err(_) => return Ok(None),
-    };
-    let mut container = Container::read_from(BufReader::new(file)).map_err(store_err)?;
-    resource_from_container(key, &mut container).map(Some)
+    if !path.exists() {
+        return Ok(None);
+    }
+    let loaded = Loader::open(&path)
+        .validate(Validate::Trusted)
+        .mmap(mmap)
+        .load()
+        .map_err(store_err)?;
+    resource_from_store(key, loaded).map(Some)
 }

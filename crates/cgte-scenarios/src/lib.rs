@@ -104,6 +104,10 @@ pub struct RunOptions {
     /// every built resource is saved as a `.cgteg` under its content key,
     /// and warm runs load instead of rebuilding (`builds == 0`).
     pub cache_dir: Option<PathBuf>,
+    /// Serve `.cgteg` loads (disk tier and `file =` sources) through the
+    /// zero-copy mapped loader. Results are bit-identical to heap loads;
+    /// only load cost changes. Does not affect run fingerprints.
+    pub mmap: bool,
 }
 
 impl Default for RunOptions {
@@ -117,6 +121,7 @@ impl Default for RunOptions {
             resume: false,
             quiet: false,
             cache_dir: None,
+            mmap: false,
         }
     }
 }
@@ -201,7 +206,8 @@ fn run_resolved(
     let cache = match &opts.cache_dir {
         Some(dir) => ResourceCache::with_disk(dir),
         None => ResourceCache::new(),
-    };
+    }
+    .mmap(opts.mmap);
     let outputs = run_plan(&plan, &cache, opts, source)?;
     let ctx = report::RunContext {
         plan: &plan,

@@ -244,6 +244,10 @@ pub struct ServeConfig {
     /// Upper bound on concurrently open sessions; opening past it answers
     /// HTTP 429 with a `Retry-After` header.
     pub max_sessions: usize,
+    /// Host graphs through the zero-copy mapped loader (default). All
+    /// sessions on a graph share one read-only mapping; estimates are
+    /// bit-identical to heap-hosted graphs.
+    pub mmap: bool,
 }
 
 impl Default for ServeConfig {
@@ -255,6 +259,7 @@ impl Default for ServeConfig {
             idle_poll_ms: 1000,
             session_ttl_secs: None,
             max_sessions: 1024,
+            mmap: true,
         }
     }
 }
@@ -314,7 +319,7 @@ impl Server {
         let addr = listener.local_addr()?;
         let threads = cfg.threads.max(1);
         let state = Arc::new(ServerState {
-            registry: Registry::new(&cfg.cache_dir),
+            registry: Registry::new(&cfg.cache_dir).mmap(cfg.mmap),
             cache_dir: cfg.cache_dir.clone(),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(0),

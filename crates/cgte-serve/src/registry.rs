@@ -13,13 +13,11 @@
 //! `merge`.
 
 use crate::ServeError;
-use cgte_graph::store::{Container, Validate};
+use cgte_graph::store::{LoadedStore, Loader, Validate};
 use cgte_graph::{Graph, NodeId, Partition};
 use cgte_sampling::NeighborCategoryIndex;
 use cgte_scenarios::cache::{disk_entries, DiskEntry};
 use std::collections::HashMap;
-use std::fs::File;
-use std::io::BufReader;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -91,6 +89,7 @@ pub fn build_index_parallel(g: &Graph, p: &Partition, threads: usize) -> Neighbo
 /// The named-graph registry over one store directory.
 pub struct Registry {
     dir: PathBuf,
+    mmap: bool,
     loaded: Mutex<HashMap<String, Arc<LoadedGraph>>>,
     loads: AtomicUsize,
     /// Graph *constructions*. The registry has no build path — it only
@@ -103,14 +102,27 @@ pub struct Registry {
 
 impl Registry {
     /// A registry over `dir` (created lazily by whoever writes it; a
-    /// missing directory just lists no graphs).
+    /// missing directory just lists no graphs). Graphs are hosted through
+    /// the zero-copy mapped loader by default — every session that opens a
+    /// graph shares one `Arc`'d [`LoadedGraph`], so N sessions on a mapped
+    /// graph share one read-only mapping; [`Registry::mmap`] opts back
+    /// into heap decoding.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         Registry {
             dir: dir.into(),
+            mmap: true,
             loaded: Mutex::new(HashMap::new()),
             loads: AtomicUsize::new(0),
             builds: AtomicUsize::new(0),
         }
+    }
+
+    /// Enables or disables the mapped load path (default on). Estimates
+    /// are bit-identical either way; this only changes how CSR payloads
+    /// are held in memory.
+    pub fn mmap(mut self, on: bool) -> Self {
+        self.mmap = on;
+        self
     }
 
     /// The store directory.
@@ -177,12 +189,14 @@ impl Registry {
             .ok_or_else(|| {
                 ServeError::not_found(format!("unknown graph {name:?} (see GET /graphs)"))
             })?;
-        let file = File::open(&entry.path)
-            .map_err(|e| ServeError::internal(format!("cannot open {:?}: {e}", entry.path)))?;
-        let mut container = Container::read_from(BufReader::new(file))
-            .map_err(|e| ServeError::internal(format!("cannot read {:?}: {e}", entry.path)))?;
-        let graph = cgte_graph::store::graph_from_container_owned(&mut container, Validate::Full)
-            .map_err(|e| ServeError::internal(format!("invalid graph in {name:?}: {e}")))?;
+        let LoadedStore {
+            graph,
+            rest: container,
+        } = Loader::open(&entry.path)
+            .validate(Validate::Full)
+            .mmap(self.mmap)
+            .load()
+            .map_err(|e| ServeError::internal(format!("cannot load {:?}: {e}", entry.path)))?;
         let mut partitions = Vec::new();
         for (sec_name, _, _) in &entry.summary.sections {
             if let Some(pname) = sec_name.strip_prefix("part.") {
@@ -207,10 +221,15 @@ impl Registry {
         });
         self.loads.fetch_add(1, Ordering::SeqCst);
         eprintln!(
-            "serve: loaded graph {name:?} ({} nodes, {} edges, {} partition(s))",
+            "serve: loaded graph {name:?} ({} nodes, {} edges, {} partition(s), {})",
             lg.graph.num_nodes(),
             lg.graph.num_edges(),
-            lg.partitions.len()
+            lg.partitions.len(),
+            if lg.graph.is_mapped() {
+                "mapped"
+            } else {
+                "heap"
+            }
         );
         self.loaded
             .lock()
@@ -224,8 +243,9 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cgte_graph::store::{graph_sections, partition_section, Section};
+    use cgte_graph::store::{graph_sections, partition_section, Container, Section};
     use cgte_graph::GraphBuilder;
+    use std::fs::File;
     use std::io::{BufWriter, Write as _};
 
     fn write_demo(dir: &std::path::Path, name: &str) {

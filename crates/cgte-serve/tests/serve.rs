@@ -420,3 +420,57 @@ fn concurrent_sessions_across_connections() {
     server.join();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn mmap_and_heap_hosted_sessions_estimate_bit_identically() {
+    // The zero-copy acceptance contract: the same scripted session on a
+    // mapped-hosted graph and on a heap-hosted graph must produce the
+    // exact same estimate JSON — shortest round-trip floats, so byte
+    // equality of the bodies is f64::to_bits equality of every value.
+    let dir = temp_store("mmap-id");
+    let (g, p) = planted();
+    write_graph(&dir, "planted", &g, &p);
+    let rw = RandomWalk::new();
+    let nodes = rw.sample(&g, 400, &mut StdRng::seed_from_u64(SEED));
+    let ids: Vec<String> = nodes.iter().map(|v| v.to_string()).collect();
+
+    let drive = |mmap: bool| -> String {
+        let server = Server::bind(&ServeConfig {
+            cache_dir: dir.clone(),
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            mmap,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let (st, body) = client.request_ok(
+            "POST",
+            "/sessions",
+            &format!(
+                "{{\"graph\":\"planted\",\"partition\":\"main\",\"sampler\":\"rw\",\"seed\":{SEED}}}"
+            ),
+        );
+        assert_eq!(st, 200, "{body}");
+        let (st, body) = client.request_ok(
+            "POST",
+            "/sessions/s0/ingest",
+            &format!("{{\"nodes\":[{}]}}", ids.join(",")),
+        );
+        assert_eq!(st, 200, "{body}");
+        let (st, est) = client.request_ok("GET", "/sessions/s0/estimate?ci=0.95", "");
+        assert_eq!(st, 200, "{est}");
+        // Either hosting mode performs zero builds.
+        let (_, health) = client.request_ok("GET", "/healthz", "");
+        let h = parse_json(&health).unwrap();
+        assert_eq!(as_f64(h.get("builds").unwrap()), 0.0);
+        server.shutdown();
+        server.join();
+        est
+    };
+
+    let mapped = drive(true);
+    let heap = drive(false);
+    assert_eq!(mapped, heap, "mapped vs heap estimate bodies diverge");
+    std::fs::remove_dir_all(&dir).ok();
+}
