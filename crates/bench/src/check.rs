@@ -32,6 +32,17 @@ pub const WARN_RATIO: f64 = 0.90;
 /// while any regression a user could notice pushes well past the floor
 /// and still fails.
 pub const LATENCY_FLOOR_MS: f64 = 0.5;
+/// Floor for the open-loop (`serve_open`) tail latencies. Under an
+/// open-loop schedule the p99 is bounded by the schedule duration
+/// itself (~2 s at the default `requests = 2 × rate`), and on a
+/// contended host a moment of CPU steal mid-schedule queues hundreds of
+/// scheduled arrivals — legitimately placing the tail anywhere under
+/// that bound run-to-run. Only a tail at the scale of the whole
+/// schedule is signal (the server fell behind by the entire run), so
+/// both sides clamp up to the schedule scale first; the stable
+/// regression gates for this section are `achieved_rps` and the
+/// idle-CPU ratio.
+pub const OPEN_LOOP_LATENCY_FLOOR_MS: f64 = 2_000.0;
 
 /// How a metric travels between machines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +62,9 @@ struct Metric {
     /// (`p50_ms`, `p99_ms`) invert — the gate ratio is computed so that
     /// `< 1` always means "got worse".
     higher_is_better: bool,
+    /// Latency floor: both sides clamp up to this before the gate
+    /// ratio (see [`LATENCY_FLOOR_MS`]). Unused for throughputs.
+    floor: f64,
 }
 
 impl Metric {
@@ -60,15 +74,21 @@ impl Metric {
             value,
             class,
             higher_is_better: true,
+            floor: 0.0,
         }
     }
 
     fn latency(name: String, value: f64) -> Metric {
+        Metric::latency_floored(name, value, LATENCY_FLOOR_MS)
+    }
+
+    fn latency_floored(name: String, value: f64, floor: f64) -> Metric {
         Metric {
             name,
             value,
             class: MetricClass::Absolute,
             higher_is_better: false,
+            floor,
         }
     }
 }
@@ -238,6 +258,47 @@ fn extract(report: &str, label: &str) -> Result<Extracted, String> {
             serial_rate(serve, "p99_ms", &ctx)?,
         ));
     }
+    // Reports written before the serve_open section existed (PR9 and
+    // earlier) simply contribute no open-loop metrics. Per-connection-
+    // count throughput and tail latency are absolute (machine-matched);
+    // the idle-CPU ratio — parked-connection CPU under the polling
+    // fallback over the event engine, both sides timed back to back on
+    // one box — is internal and always gates: a collapsing ratio means
+    // idle connections stopped being nearly free.
+    if let Some(serve_open) = v.get("serve_open") {
+        let ctx = format!("{label}: serve_open");
+        for run in arr(serve_open, "runs", &ctx)? {
+            let conns = num(run, "requested_conns", &ctx)? as u64;
+            metrics.push(Metric::throughput(
+                format!("serve_open/achieved_rps@{conns}"),
+                num(run, "achieved_rps", &ctx)?,
+                MetricClass::Absolute,
+            ));
+            metrics.push(Metric::latency_floored(
+                format!("serve_open/p99_ms@{conns}"),
+                num(run, "p99_ms", &ctx)?,
+                OPEN_LOOP_LATENCY_FLOOR_MS,
+            ));
+        }
+        if let Some(idle) = serve_open.get("idle") {
+            // The raw ratio is the fallback's per-wakeup cost in units
+            // of the one-scheduler-tick floor the event side always
+            // reads as — a hardware constant that legitimately varies
+            // across runner classes. The claim the gate pins is
+            // categorical, not proportional: parking a connection on
+            // the event engine is at least an order of magnitude
+            // cheaper than the polling fallback. Capping both sides at
+            // 10 makes the comparison exactly that claim — every
+            // healthy report saturates the cap, while a real regression
+            // (the event loop starting to poll or spin) crashes the
+            // ratio toward 1 and fails on any hardware.
+            metrics.push(Metric::throughput(
+                "serve_open/idle_cpu_ratio".into(),
+                num(idle, "idle_cpu_ratio", &ctx)?.min(10.0),
+                MetricClass::Ratio,
+            ));
+        }
+    }
     // Reports written before the cluster section existed (PR7 and
     // earlier) simply contribute no cluster metrics. The serial
     // coordinator rate is an absolute throughput; the round-pool speedup
@@ -323,7 +384,7 @@ pub fn check_reports(current: &str, baseline: &str) -> Result<CheckOutcome, Stri
         let ratio = if bm.higher_is_better {
             cm.value / bm.value
         } else {
-            bm.value.max(LATENCY_FLOOR_MS) / cm.value.max(LATENCY_FLOOR_MS)
+            bm.value.max(bm.floor) / cm.value.max(bm.floor)
         };
         let line = format!(
             "{}: {:.1} vs baseline {:.1} (ratio {:.3})",
@@ -363,6 +424,7 @@ mod tests {
   "load": {{"generator":"chung_lu","nodes":1000,"edges":5000,"write_secs":0.1,"load_secs":0.01,"mmap_secs":0.001,"regen_secs":0.5,"load_edges_per_sec":{l1:.1},"mmap_edges_per_sec":5000000.0,"regen_edges_per_sec":10000.0,"speedup_vs_regen":{lr:.3},"mmap_vs_heap":{lm:.3},"identical":true,"mmap_identical":true,"mapped":true}},
   "snapshot": {{"nodes":1000,"categories":10,"samples":50000,"bytes":1200000,"write_secs":0.01,"restore_secs":0.02,"write_samples_per_sec":{sw:.1},"restore_samples_per_sec":{sr:.1},"identical":true}},
   "serve": {{"nodes":1000,"edges":5000,"categories":10,"rounds":25,"steps_per_ingest":200,"best_speedup":1.0,"runs":[{{"threads":1,"secs":1.0,"requests":100,"requests_per_sec":{s1:.1},"p50_ms":{p50:.4},"p99_ms":{p99:.4}}}]}},
+  "serve_open": {{"target_rps":800.0,"drivers":4,"steps_per_ingest":200,"runs":[{{"requested_conns":1000,"open_conns":1000,"requests":1600,"secs":2.0,"achieved_rps":{so1:.1},"p50_ms":{sop50:.4},"p99_ms":{sop99:.4}}},{{"requested_conns":10000,"open_conns":9800,"requests":1600,"secs":2.1,"achieved_rps":{so2:.1},"p50_ms":{sop50:.4},"p99_ms":{sop99b:.4}}}],"idle":{{"event_conns":1000,"fallback_conns":256,"window_secs":2.0,"idle_poll_ms":50,"event_cpu_per_conn_sec":5.000e-6,"fallback_cpu_per_conn_sec":5.900e-4,"idle_cpu_ratio":{soir:.3}}}}},
   "cluster": {{"shards":4,"walkers":16,"steps_per_walker":400,"batch":100,"bit_identical":true,"best_speedup":{cs:.3},"runs":[{{"threads":1,"secs":1.0,"samples_per_sec":{c1:.1}}},{{"threads":2,"secs":0.6,"samples_per_sec":{c2:.1}}}]}},
   "obs": {{"walk_steps":1000000,"walk_off_secs":0.1,"walk_traced_secs":0.1,"walk_steps_per_sec_off":10000000.0,"walk_steps_per_sec_traced":10000000.0,"walk_traced_ratio":{ow:.4},"serve_rounds":400,"serve_requests":801,"serve_off_secs":0.1,"serve_traced_secs":0.1,"serve_requests_per_sec_off":8000.0,"serve_requests_per_sec_traced":8000.0,"serve_traced_ratio":{os:.4}}}
 }}
@@ -378,6 +440,14 @@ mod tests {
             sw = 5_000_000.0 * f,
             sr = 2_500_000.0 * f,
             s1 = 800.0 * f,
+            so1 = 790.0 * f,
+            so2 = 760.0 * f,
+            sop50 = 2.0 / f,
+            // Above OPEN_LOOP_LATENCY_FLOOR_MS so the degraded-report
+            // tests exercise the open-loop tail gate past its clamp.
+            sop99 = 2_400.0 / f,
+            sop99b = 4_000.0 / f,
+            soir = 100.0 * ratio_f,
             cs = 1.7 * ratio_f,
             c1 = 6400.0 * f,
             c2 = 10600.0 * f,
@@ -415,10 +485,17 @@ mod tests {
 
     #[test]
     fn small_regression_only_warns() {
-        // 15% down: past the warn line, short of the fail line.
+        // 15% down: past the warn line, short of the fail line. (The
+        // idle-CPU ratio drops 100 → 85 but both sides saturate its
+        // cap of 10, so it is compared without warning — by design.)
         let out = check_reports(&report(1, 0.85, 0.85), &report(1, 1.0, 1.0)).unwrap();
         assert!(out.failures.is_empty(), "{:?}", out.failures);
-        assert_eq!(out.warnings.len(), out.compared, "every metric warns");
+        assert_eq!(
+            out.warnings.len(),
+            out.compared - 1,
+            "every uncapped metric warns"
+        );
+        assert!(out.warnings.iter().all(|w| !w.contains("idle_cpu_ratio")));
     }
 
     #[test]
@@ -454,8 +531,8 @@ mod tests {
         let out = check_reports(&report(8, 0.5, 0.5), &report(1, 1.0, 1.0)).unwrap();
         assert!(out.skipped > 0, "absolute metrics skipped");
         assert_eq!(
-            out.compared, 4,
-            "only the machine-independent ratios are compared (2 load + 2 obs)"
+            out.compared, 5,
+            "only the machine-independent ratios are compared (2 load + 2 obs + idle CPU)"
         );
         assert!(
             out.failures.iter().any(|f| f.contains("speedup_vs_regen")),
@@ -610,6 +687,69 @@ mod tests {
         let out = check_reports(&degraded, &report(1, 1.0, 1.0)).unwrap();
         assert!(
             out.failures.iter().any(|f| f.contains("load/mmap_vs_heap")),
+            "{:?}",
+            out.failures
+        );
+    }
+
+    #[test]
+    fn pr9_baseline_without_serve_open_section_is_accepted() {
+        // A baseline committed before the open-loop section existed must
+        // not fail the gate.
+        let base = report(1, 1.0, 1.0).replace("\"serve_open\":", "\"serve_open_unused\":");
+        let out = check_reports(&report(1, 1.0, 1.0), &base).unwrap();
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        // Once both sides carry it, a collapsed open-loop rate or a blown
+        // tail at a specific connection count fails, named per count.
+        let degraded = report(1, 0.7, 1.0);
+        let out = check_reports(&degraded, &report(1, 1.0, 1.0)).unwrap();
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("serve_open/achieved_rps@10000")),
+            "{:?}",
+            out.failures
+        );
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("serve_open/p99_ms@1000")),
+            "{:?}",
+            out.failures
+        );
+        // The idle-CPU ratio is internal, so it gates even across
+        // machines — but capped at 10 on both sides, so a drop that
+        // stays above the cap (hardware variance in per-wakeup cost)
+        // passes while a collapse below it (the event loop starting to
+        // poll) fails.
+        let shrunk =
+            report(8, 1.0, 1.0).replace("\"idle_cpu_ratio\":100.000", "\"idle_cpu_ratio\":30.000");
+        let out = check_reports(&shrunk, &report(1, 1.0, 1.0)).unwrap();
+        assert!(
+            !out.failures
+                .iter()
+                .any(|f| f.contains("serve_open/idle_cpu_ratio")),
+            "{:?}",
+            out.failures
+        );
+        let degraded =
+            report(8, 1.0, 1.0).replace("\"idle_cpu_ratio\":100.000", "\"idle_cpu_ratio\":4.000");
+        let out = check_reports(&degraded, &report(1, 1.0, 1.0)).unwrap();
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("serve_open/idle_cpu_ratio")),
+            "{:?}",
+            out.failures
+        );
+        // A baseline *with* idle data against a current report without it
+        // (event engine unavailable) is a hard failure, not a silent skip.
+        let current = report(1, 1.0, 1.0).replace("\"idle\":", "\"idle_unused\":");
+        let out = check_reports(&current, &report(1, 1.0, 1.0)).unwrap();
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("idle_cpu_ratio") && f.contains("missing")),
             "{:?}",
             out.failures
         );

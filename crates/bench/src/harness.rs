@@ -1,7 +1,7 @@
 //! The `cgte bench` harness: machine-readable performance trajectory.
 //!
 //! Times the hot paths at each configured thread count and emits a JSON
-//! report (`BENCH_PR9.json` by default) that later PRs append to, so speed
+//! report (`BENCH_PR10.json` by default) that later PRs append to, so speed
 //! claims are pinned from PR to PR rather than asserted in prose:
 //!
 //! - **build** — edges/sec of every parallel generator (Chung–Lu at
@@ -22,6 +22,16 @@
 //! - **serve** — sustained requests/sec and p50/p99 request latency of
 //!   the online estimation service (`cgte-serve`) against the warm
 //!   headline graph, at each worker-pool size;
+//! - **serve_open** — the open-loop companion: N keep-alive connections
+//!   are held open (default 1,000 and 10,000, clamped to the fd budget)
+//!   while a small driver pool fires the serve section's request mix at
+//!   the closed-loop `t = 1` rate on a deterministic arrival schedule;
+//!   per-request latency is measured from the *scheduled* start into
+//!   [`cgte_obs::hist`] log2 histograms, so queueing delay counts. A
+//!   separate idle leg pins the event engine's headline: process CPU per
+//!   parked conn-second with zero traffic, event loop versus the polling
+//!   thread-per-connection fallback, reported as a machine-independent
+//!   gated ratio;
 //! - **cluster** — coordinator wall-clock for a fixed sharded run (4
 //!   local shards, 16 walkers) at each `--round-threads` pool size, with
 //!   a bit-identity check of every merged stream against the single-box
@@ -76,6 +86,12 @@ pub struct BenchOptions {
     /// (1,000,000) is used even at `--quick` so every committed report
     /// records the huge-tier load-vs-regen ratio; tests shrink it.
     pub load_nodes: usize,
+    /// Open-connection counts for the `serve_open` section (clamped to
+    /// the process fd budget at run time); tests shrink them.
+    pub open_conns: Vec<usize>,
+    /// Parked connections for the idle-CPU leg of `serve_open`; tests
+    /// shrink it.
+    pub idle_conns: usize,
 }
 
 impl Default for BenchOptions {
@@ -84,9 +100,11 @@ impl Default for BenchOptions {
             quick: false,
             seed: 0x2012_5EED,
             threads: vec![1, 2, 8],
-            out: PathBuf::from("BENCH_PR9.json"),
+            out: PathBuf::from("BENCH_PR10.json"),
             cache_dir: None,
             load_nodes: 1_000_000,
+            open_conns: vec![1_000, 10_000],
+            idle_conns: 1_000,
         }
     }
 }
@@ -653,6 +671,447 @@ fn bench_serve(g: &Graph, opts: &BenchOptions) -> Result<ServeEntry, String> {
     })
 }
 
+struct ServeOpenRun {
+    requested_conns: usize,
+    open_conns: usize,
+    requests: usize,
+    secs: f64,
+    rate: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+struct IdleCpu {
+    event_conns: usize,
+    fallback_conns: usize,
+    window_secs: f64,
+    idle_poll_ms: u64,
+    event_cpu_per_conn_sec: f64,
+    fallback_cpu_per_conn_sec: f64,
+    /// fallback/event — how many times more CPU a parked connection
+    /// costs under the polling fallback. Internal ratio (both sides from
+    /// one box within one run), so the gate always compares it.
+    ratio: f64,
+}
+
+struct ServeOpenEntry {
+    target_rps: f64,
+    drivers: usize,
+    steps_per_ingest: usize,
+    runs: Vec<ServeOpenRun>,
+    idle: Option<IdleCpu>,
+}
+
+/// The soft `RLIMIT_NOFILE` from `/proc/self/limits`, if readable.
+fn fd_soft_limit() -> Option<usize> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// Cumulative user+system CPU seconds of this process, from
+/// `/proc/self/stat` (utime + stime, USER_HZ = 100 on every Linux ABI
+/// the harness targets).
+fn process_cpu_secs() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    let (_, rest) = stat.rsplit_once(')')?;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) as f64 / 100.0)
+}
+
+/// Opens up to `n` idle keep-alive connections, stopping early (without
+/// failing) when the fd budget runs out.
+fn open_idle_conns(addr: std::net::SocketAddr, n: usize) -> Vec<std::net::TcpStream> {
+    let mut conns = Vec::with_capacity(n);
+    for _ in 0..n {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => conns.push(s),
+            Err(_) => break, // EMFILE or backlog pressure: run with what we got
+        }
+    }
+    conns
+}
+
+/// Polls `/healthz` until the server-side open-connection gauge reaches
+/// `want` (or a timeout passes) so measurements start only after every
+/// client-side connect has actually been accepted.
+fn wait_for_connections(addr: std::net::SocketAddr, want: usize) -> Result<(), String> {
+    use cgte_serve::client::Client;
+    let timeout = Duration::from_millis(500);
+    let connect = || -> Result<Client, String> {
+        let c = Client::connect(addr).map_err(|e| e.to_string())?;
+        // A bounded read: a fallback-engine server with every worker
+        // pinned can never answer this poll, and an unbounded read
+        // would turn that into a deadlock instead of the Err below.
+        c.set_read_timeout(Some(timeout))
+            .map_err(|e| e.to_string())?;
+        Ok(c)
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut c = connect()?;
+    let mut last = 0usize;
+    loop {
+        match c.request("GET", "/healthz", "") {
+            Ok((200, body)) => {
+                let gauge = body
+                    .split("\"connections\":")
+                    .nth(1)
+                    .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or_else(|| format!("no connections gauge in {body}"))?;
+                if gauge >= want {
+                    return Ok(());
+                }
+                last = gauge;
+            }
+            Ok((st, body)) => return Err(format!("healthz failed ({st}): {body}")),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Mid-response timeout desynchronizes the stream — start
+                // a fresh connection for the next attempt.
+                c = connect()?;
+            }
+            Err(e) => return Err(format!("healthz poll failed: {e}")),
+        }
+        if Instant::now() > deadline {
+            return Err(format!("only {last}/{want} connections accepted"));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Measures process CPU over an idle window with `conns` parked
+/// connections against a freshly booted server, best (minimum) of two
+/// windows, floored at one scheduler tick. Returns CPU seconds per
+/// connection-second.
+fn idle_cpu_per_conn_sec(
+    cfg: &cgte_serve::ServeConfig,
+    conns: usize,
+    window: Duration,
+) -> Result<f64, String> {
+    use cgte_serve::Server;
+    let server = Server::bind(cfg).map_err(|e| format!("cannot bind idle server: {e}"))?;
+    let addr = server.addr();
+    let parked = open_idle_conns(addr, conns);
+    if parked.len() < conns {
+        return Err(format!(
+            "only {}/{conns} idle connections opened",
+            parked.len()
+        ));
+    }
+    wait_for_connections(addr, conns)?;
+    // Let accept bursts, gauge polls and allocator churn settle.
+    std::thread::sleep(Duration::from_millis(300));
+    let mut best = f64::INFINITY;
+    for _ in 0..2 {
+        let c0 = process_cpu_secs().ok_or("no /proc/self/stat")?;
+        std::thread::sleep(window);
+        let c1 = process_cpu_secs().ok_or("no /proc/self/stat")?;
+        best = best.min(c1 - c0);
+    }
+    drop(parked);
+    server.shutdown();
+    server.join();
+    // One USER_HZ tick is the measurement resolution: a side that uses
+    // less CPU than that reads as exactly one tick, which keeps the
+    // fallback/event ratio finite and conservative.
+    Ok(best.max(0.01) / (conns as f64 * window.as_secs_f64()))
+}
+
+/// The open-loop load section: holds `opts.open_conns` keep-alive
+/// connections open while 4 driver threads replay the serve section's
+/// request mix at the closed-loop `t = 1` rate (`target_rps`) on a
+/// deterministic arrival schedule — request `k` fires at `t0 + k/rate`,
+/// and its latency is measured from that scheduled instant into a
+/// [`cgte_obs::hist::Histogram`] (µs buckets), so a server that falls
+/// behind accrues queueing delay instead of quietly slowing the clients.
+/// The idle leg then compares parked-connection CPU between the event
+/// engine and the polling fallback with zero traffic.
+fn bench_serve_open(
+    g: &Graph,
+    opts: &BenchOptions,
+    target_rps: f64,
+    steps: usize,
+) -> Result<ServeOpenEntry, String> {
+    use cgte_obs::hist::Histogram;
+    use cgte_serve::client::Client;
+    use cgte_serve::{ServeConfig, Server};
+
+    let partition = cgte_datasets::standin_partition(
+        g,
+        50,
+        false,
+        &mut StdRng::seed_from_u64(opts.seed ^ 0x5E7E),
+    );
+    let dir = opts.cache_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("cgte-bench-serveopen-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    let name = format!("serveopen-headline-{}-{}", g.num_nodes(), opts.seed);
+    let path = dir.join(format!("{name}.cgteg"));
+    {
+        use cgte_graph::store::{graph_sections, partition_section, Container, Section};
+        let mut c = Container::new();
+        c.push(Section::string("meta.kind", "graph"));
+        for s in graph_sections(g) {
+            c.push(s);
+        }
+        c.push(partition_section("main", &partition));
+        let mut out = BufWriter::new(
+            File::create(&path).map_err(|e| format!("cannot create {path:?}: {e}"))?,
+        );
+        c.write_to(&mut out)
+            .and_then(|()| out.flush())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+
+    // Each connection costs two fds in-process (client + server side);
+    // leave headroom for the store, the report and epoll plumbing.
+    let fd_budget = fd_soft_limit()
+        .map(|soft| soft.saturating_sub(256) / 2)
+        .unwrap_or(usize::MAX);
+    let drivers = 4usize;
+    let rate = target_rps.max(50.0);
+    // Enough requests for a stable rate, bounded so an overload (server
+    // slower than the schedule) cannot run the section for minutes.
+    let requests = ((rate * 2.0) as usize).clamp(400, 8_000);
+    let per_driver = requests.div_ceil(drivers);
+
+    // Parked connections pin a worker each on the thread-per-connection
+    // fallback, so the open-conns population (and the idle-CPU leg) is
+    // only meaningful where the event engine is actually engaged — probe
+    // once up front.
+    let event_engaged = {
+        let probe = Server::bind(&ServeConfig {
+            cache_dir: dir.clone(),
+            addr: "127.0.0.1:0".to_string(),
+            threads: 1,
+            ..ServeConfig::default()
+        })
+        .map_err(|e| format!("cannot bind probe server: {e}"))?;
+        let mut c = Client::connect(probe.addr()).map_err(|e| e.to_string())?;
+        let (_, body) = c
+            .request("GET", "/healthz", "")
+            .map_err(|e| e.to_string())?;
+        probe.shutdown();
+        probe.join();
+        body.contains("\"event_loop\":true")
+    };
+    if !event_engaged {
+        eprintln!(
+            "serve_open: event engine not engaged — running the open-loop schedule without parked connections"
+        );
+    }
+
+    let mut runs = Vec::new();
+    for &requested in &opts.open_conns {
+        let conns_target = requested.min(fd_budget);
+        let server = Server::bind(&ServeConfig {
+            cache_dir: dir.clone(),
+            addr: "127.0.0.1:0".to_string(),
+            // The fallback pins one worker per connection: without the
+            // event engine the drivers themselves need the workers, and
+            // parking extra connections would only starve them.
+            threads: if event_engaged { 2 } else { drivers },
+            ..ServeConfig::default()
+        })
+        .map_err(|e| format!("cannot bind serve_open server: {e}"))?;
+        let addr = server.addr();
+        // Warm the graph + index outside the timed window.
+        {
+            let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+            let (st, body) = c
+                .request(
+                    "POST",
+                    "/sessions",
+                    &format!("{{\"graph\":\"{name}\",\"sampler\":\"rw\",\"seed\":1}}"),
+                )
+                .map_err(|e| e.to_string())?;
+            if st != 200 {
+                return Err(format!("serve_open warm-up failed ({st}): {body}"));
+            }
+            let (st, _) = c
+                .request("POST", "/sessions/s0/ingest", "{\"steps\":10}")
+                .map_err(|e| e.to_string())?;
+            if st != 200 {
+                return Err(format!("serve_open warm-up ingest failed ({st})"));
+            }
+        }
+        // Park the open-connection population (minus the driver conns).
+        let parked = if event_engaged {
+            open_idle_conns(addr, conns_target.saturating_sub(drivers))
+        } else {
+            Vec::new()
+        };
+        let open_conns = parked.len() + drivers;
+        wait_for_connections(addr, parked.len())?;
+
+        let t0 = Instant::now();
+        let hists: Vec<Histogram> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..drivers)
+                .map(|i| {
+                    let name = &name;
+                    scope.spawn(move |_| {
+                        let mut hist = Histogram::new();
+                        let mut c = Client::connect(addr).expect("driver connect");
+                        let (st, body) = c
+                            .request(
+                                "POST",
+                                "/sessions",
+                                &format!(
+                                    "{{\"graph\":\"{name}\",\"sampler\":\"rw\",\"seed\":{}}}",
+                                    2000 + i
+                                ),
+                            )
+                            .expect("driver session");
+                        assert_eq!(st, 200, "{body}");
+                        let id = body
+                            .split("\"session\":\"")
+                            .nth(1)
+                            .and_then(|s| s.split('"').next())
+                            .expect("session id")
+                            .to_string();
+                        for j in 0..per_driver {
+                            // Global arrival schedule, interleaved
+                            // across drivers: request k fires at k/rate.
+                            let k = j * drivers + i;
+                            let sched = t0 + Duration::from_secs_f64(k as f64 / rate);
+                            let now = Instant::now();
+                            if sched > now {
+                                std::thread::sleep(sched - now);
+                            }
+                            let (st, _) = if j % 2 == 0 {
+                                c.request(
+                                    "POST",
+                                    &format!("/sessions/{id}/ingest"),
+                                    &format!("{{\"steps\":{steps}}}"),
+                                )
+                                .expect("driver ingest")
+                            } else {
+                                c.request("GET", &format!("/sessions/{id}/estimate"), "")
+                                    .expect("driver estimate")
+                            };
+                            assert_eq!(st, 200);
+                            hist.record(sched.elapsed().as_micros() as u64);
+                        }
+                        hist
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("driver panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope failed");
+        let secs = secs(t0);
+        drop(parked);
+        server.shutdown();
+        server.join();
+        let mut merged = Histogram::new();
+        for h in &hists {
+            merged.merge(h);
+        }
+        let total = merged.count() as usize;
+        let run = ServeOpenRun {
+            requested_conns: requested,
+            open_conns,
+            requests: total,
+            secs,
+            rate: total as f64 / secs.max(1e-9),
+            p50_ms: merged.quantile(0.50) as f64 / 1e3,
+            p99_ms: merged.quantile(0.99) as f64 / 1e3,
+        };
+        eprintln!(
+            "serve_open: {} conns ({} requested), {} req @ target {:.0} req/s: {:.0} req/s, p50 {:.2} ms, p99 {:.2} ms",
+            run.open_conns, requested, run.requests, rate, run.rate, run.p50_ms, run.p99_ms,
+        );
+        runs.push(run);
+    }
+
+    // --- idle-CPU leg: parked connections, zero traffic -------------------
+    // Both engines get the same configured shutdown responsiveness
+    // (idle_poll_ms): the fallback *must* wake every parked worker that
+    // often, the event loop simply has no poll at all.
+    let idle_poll_ms = 50;
+    let window = Duration::from_secs(2);
+    let event_conns = opts.idle_conns.min(fd_budget);
+    let fallback_conns = opts.idle_conns.min(256).min(fd_budget);
+    let base = ServeConfig {
+        cache_dir: dir.clone(),
+        addr: "127.0.0.1:0".to_string(),
+        idle_poll_ms,
+        ..ServeConfig::default()
+    };
+    // Only meaningful where the event engine is actually compiled in and
+    // engaged (probed once above); elsewhere both sides would time the
+    // same fallback.
+    let idle = if event_engaged && process_cpu_secs().is_some() {
+        let event = idle_cpu_per_conn_sec(
+            &ServeConfig {
+                threads: 2,
+                event_loop: true,
+                ..base.clone()
+            },
+            event_conns,
+            window,
+        )?;
+        let fallback = idle_cpu_per_conn_sec(
+            &ServeConfig {
+                // One spare worker beyond the parked population: it
+                // answers the readiness gauge poll (the parked conns pin
+                // the rest) and then sits blocked on the dispatch
+                // channel — no polling, so it adds nothing to the
+                // measured idle CPU.
+                threads: fallback_conns + 1,
+                event_loop: false,
+                ..base
+            },
+            fallback_conns,
+            window,
+        )?;
+        let idle = IdleCpu {
+            event_conns,
+            fallback_conns,
+            window_secs: window.as_secs_f64(),
+            idle_poll_ms,
+            event_cpu_per_conn_sec: event,
+            fallback_cpu_per_conn_sec: fallback,
+            ratio: fallback / event.max(1e-12),
+        };
+        eprintln!(
+            "serve_open/idle: event {:.2e} cpu-s/conn-s ({} conns) vs fallback {:.2e} ({} conns) = {:.1}x",
+            idle.event_cpu_per_conn_sec,
+            idle.event_conns,
+            idle.fallback_cpu_per_conn_sec,
+            idle.fallback_conns,
+            idle.ratio,
+        );
+        Some(idle)
+    } else {
+        eprintln!("serve_open/idle: skipped (event engine not engaged on this platform)");
+        None
+    };
+
+    if opts.cache_dir.is_none() {
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+    Ok(ServeOpenEntry {
+        target_rps: rate,
+        drivers,
+        steps_per_ingest: steps,
+        runs,
+        idle,
+    })
+}
+
 struct ClusterEntry {
     shards: usize,
     walkers: usize,
@@ -1115,6 +1574,15 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     // --- serve request throughput + latency -------------------------------
     let serve = bench_serve(&headline, opts)?;
 
+    // --- open-loop load at high connection counts -------------------------
+    let closed_loop_rate = serve
+        .runs
+        .iter()
+        .find(|r| r.threads == 1)
+        .map(|r| r.rate)
+        .unwrap_or(0.0);
+    let serve_open = bench_serve_open(&headline, opts, closed_loop_rate, serve.steps_per_ingest)?;
+
     // --- sharded coordinator wall-clock at each round-pool size -----------
     let cluster = bench_cluster(opts)?;
 
@@ -1125,7 +1593,7 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\n  \"schema\": \"cgte-bench/1\",\n  \"pr\": \"PR9\",\n  \"quick\": {},\n  \"seed\": {},\n  \"available_parallelism\": {},\n  \"threads\": [{}],\n",
+        "{{\n  \"schema\": \"cgte-bench/1\",\n  \"pr\": \"PR10\",\n  \"quick\": {},\n  \"seed\": {},\n  \"available_parallelism\": {},\n  \"threads\": [{}],\n",
         quick,
         seed,
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
@@ -1230,6 +1698,38 @@ pub fn run_bench(opts: &BenchOptions) -> Result<String, String> {
         },
         serve_runs.join(","),
     );
+    let open_runs: Vec<String> = serve_open
+        .runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"requested_conns\":{},\"open_conns\":{},\"requests\":{},\"secs\":{:.6},\"achieved_rps\":{:.1},\"p50_ms\":{:.4},\"p99_ms\":{:.4}}}",
+                r.requested_conns, r.open_conns, r.requests, r.secs, r.rate, r.p50_ms, r.p99_ms
+            )
+        })
+        .collect();
+    let idle_json = match &serve_open.idle {
+        Some(i) => format!(
+            ",\"idle\":{{\"event_conns\":{},\"fallback_conns\":{},\"window_secs\":{:.1},\"idle_poll_ms\":{},\"event_cpu_per_conn_sec\":{:.3e},\"fallback_cpu_per_conn_sec\":{:.3e},\"idle_cpu_ratio\":{:.3}}}",
+            i.event_conns,
+            i.fallback_conns,
+            i.window_secs,
+            i.idle_poll_ms,
+            i.event_cpu_per_conn_sec,
+            i.fallback_cpu_per_conn_sec,
+            i.ratio,
+        ),
+        None => String::new(),
+    };
+    let _ = writeln!(
+        json,
+        "  \"serve_open\": {{\"target_rps\":{:.1},\"drivers\":{},\"steps_per_ingest\":{},\"runs\":[{}]{}}},",
+        serve_open.target_rps,
+        serve_open.drivers,
+        serve_open.steps_per_ingest,
+        open_runs.join(","),
+        idle_json,
+    );
     let _ = writeln!(
         json,
         "  \"cluster\": {{\"shards\":{},\"walkers\":{},\"steps_per_walker\":{},\"batch\":{},\"bit_identical\":{},\"best_speedup\":{:.3},\"runs\":{}}},",
@@ -1281,6 +1781,10 @@ mod tests {
             // Tests run unoptimized; the committed reports use the real
             // 1M-node headline via the release binary.
             load_nodes: 20_000,
+            // Likewise shrunk: the committed reports park 1k/10k
+            // connections via the release binary.
+            open_conns: vec![48],
+            idle_conns: 32,
         };
         let json = run_bench(&opts).unwrap();
         assert!(json.contains("\"schema\": \"cgte-bench/1\""));
@@ -1295,6 +1799,12 @@ mod tests {
         assert!(json.contains("\"serve\""));
         assert!(json.contains("\"requests_per_sec\""));
         assert!(json.contains("\"p99_ms\""));
+        assert!(json.contains("\"serve_open\""));
+        assert!(json.contains("\"achieved_rps\""));
+        assert!(json.contains("\"open_conns\":48"));
+        // The idle-CPU leg runs wherever the event engine is compiled in.
+        #[cfg(target_os = "linux")]
+        assert!(json.contains("\"idle_cpu_ratio\""));
         assert!(json.contains("\"cluster\": {\"shards\":4,\"walkers\":16"));
         assert!(json.contains("\"bit_identical\":true,\"best_speedup\""));
         assert!(json.contains("\"obs\""));

@@ -59,7 +59,9 @@ USAGE:
                          [--trace FILE.jsonl] [--trace-level N]
   cgte serve             --cache-dir DIR [--port P] [--addr HOST:PORT] [--threads N]
                          [--idle-poll-ms MS] [--session-ttl SECS] [--max-sessions N]
-                         [--mmap true|false] [--trace FILE.jsonl] [--trace-level N]
+                         [--mmap true|false] [--event-loop true|false]
+                         [--request-timeout-ms MS] [--max-body-bytes N]
+                         [--trace FILE.jsonl] [--trace-level N]
   cgte cluster           --cache-dir DIR --graph NAME --shards H:P,H:P[,…]
                          [--partition NAME] [--sampler uis|rw|mhrw|swrw]
                          [--design uniform|weighted] [--seed S] [--burn-in B]
@@ -129,14 +131,17 @@ finite values, histogram bucket monotonicity and _sum/_count
 consistency.
 
 `cgte bench` times graph build rate, .cgteg load rate, walk steps/sec,
-estimate throughput, serve request throughput/latency and the sharded
-coordinator's wall-clock at each thread count (the `cluster` section
-drives a fixed 4-shard, 16-walker run at every --round-threads size) and
-writes a machine-readable JSON report (default BENCH_PR9.json; see
-EXPERIMENTS.md for the schema). With --check it then compares the fresh
-report against a committed baseline and fails on a >25% per-metric
-regression (warns over 10%). The `obs` section pins the tracing-disabled
-overhead of the instrumentation (ratios ~1.0).
+estimate throughput, serve request throughput/latency, open-loop served
+latency with thousands of idle keep-alive connections parked (the
+`serve_open` section, which also pins the idle-CPU ratio of the
+thread-per-connection fallback vs. the event-driven engine) and the
+sharded coordinator's wall-clock at each thread count (the `cluster`
+section drives a fixed 4-shard, 16-walker run at every --round-threads
+size) and writes a machine-readable JSON report (default
+BENCH_PR10.json; see EXPERIMENTS.md for the schema). With --check it
+then compares the fresh report against a committed baseline and fails on
+a >25% per-metric regression (warns over 10%). The `obs` section pins
+the tracing-disabled overhead of the instrumentation (ratios ~1.0).
 ";
 
 fn main() -> ExitCode {
@@ -629,6 +634,16 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         return Err("--max-sessions must be positive".into());
     }
     let mmap: bool = args.parse_or("mmap", defaults.mmap)?;
+    let event_loop: bool = args.parse_or("event-loop", defaults.event_loop)?;
+    let request_timeout_ms: u64 =
+        args.parse_or("request-timeout-ms", defaults.request_timeout_ms)?;
+    if request_timeout_ms == 0 {
+        return Err("--request-timeout-ms must be positive".into());
+    }
+    let max_body_bytes: usize = args.parse_or("max-body-bytes", defaults.max_body_bytes)?;
+    if max_body_bytes == 0 {
+        return Err("--max-body-bytes must be positive".into());
+    }
     let cfg = cgte_serve::ServeConfig {
         cache_dir: cache_dir.into(),
         addr,
@@ -637,6 +652,9 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         session_ttl_secs,
         max_sessions,
         mmap,
+        event_loop,
+        request_timeout_ms,
+        max_body_bytes,
     };
     install_trace(args.get("trace"), args.parse_or("trace-level", 2u8)?)?;
     cgte_serve::run(&cfg)?;

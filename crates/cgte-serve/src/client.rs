@@ -29,6 +29,16 @@ impl Client {
         Ok(Client { writer, reader })
     }
 
+    /// Applies a read timeout to the connection (both halves share the
+    /// one underlying socket, so this covers `request`'s response
+    /// reads). `None` restores indefinitely-blocking reads. Probes that
+    /// poll a server which may be unable to answer — e.g. a gauge poll
+    /// against a fallback-engine server whose workers are all pinned —
+    /// need this to make their deadline reachable.
+    pub fn set_read_timeout(&self, dur: Option<std::time::Duration>) -> std::io::Result<()> {
+        self.writer.set_read_timeout(dur)
+    }
+
     /// Sends one request (a single `write_all`) and reads the full
     /// response. Returns `(status, body)`.
     pub fn request(

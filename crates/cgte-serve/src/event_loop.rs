@@ -1,0 +1,384 @@
+//! The event-driven connection engine (`cfg(cgte_epoll)` platforms).
+//!
+//! One event-loop thread owns the listener, the self-pipe, and every idle
+//! or partially-read connection, all in non-blocking mode on a vendored
+//! [`crate::poll::Poller`]. Each connection steps through a small state
+//! machine — reading-headers → reading-body → dispatched → writing — where
+//! the first two states live here (bytes accumulate in `Conn::buf` until
+//! [`crate::http::find_head_end`] + `Content-Length` say a full request
+//! has arrived) and the last two live on a worker: the parsed request is
+//! checked out to the crossbeam pool as a [`Job`], the worker routes it
+//! and writes the response, and a keep-alive connection parks back here
+//! over the return channel (paired with a self-pipe wake-up).
+//!
+//! Idle connections therefore cost **no** thread and **no** periodic
+//! wake-up — the polling `set_read_timeout` loop of the portable fallback
+//! is replaced by level-triggered readiness. Shutdown is a self-pipe wake
+//! instead of the historical connect-to-yourself poke.
+
+use crate::json::error_body;
+use crate::poll::{Events, Poller, WakeReceiver};
+use crate::{http, OpenConnGuard, ServerState};
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Token of the self-pipe read end.
+pub(crate) const TOKEN_WAKE: u64 = 0;
+/// Token of the listening socket.
+pub(crate) const TOKEN_LISTENER: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Request heads larger than this answer 400 — no legitimate client of
+/// the JSON API sends a megabyte of request headers.
+const MAX_HEAD_BYTES: usize = 1 << 20;
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
+/// A connection owned by the event loop (or checked out to a worker).
+pub(crate) struct Conn {
+    /// The socket, kept non-blocking while parked on the poller.
+    pub(crate) stream: TcpStream,
+    token: u64,
+    /// Bytes received ahead of parsing; leftovers after a dispatch are
+    /// pipelined follow-up requests.
+    buf: Vec<u8>,
+    /// Cached head-end offset of the in-progress request.
+    head_end: Option<usize>,
+    /// Absolute deadline for completing the in-progress request — armed
+    /// when its first byte arrives, cleared on dispatch, answered with
+    /// 408 on expiry. Idle (byte-less) connections never expire here.
+    deadline: Option<Instant>,
+    /// Decrements `cgte_serve_open_connections` when the connection
+    /// drops, wherever that happens (loop, worker, or teardown).
+    _guard: OpenConnGuard,
+}
+
+/// One parsed request checked out to the worker pool, with the
+/// connection it arrived on.
+pub(crate) struct Job {
+    pub(crate) conn: Conn,
+    pub(crate) req: http::Request,
+}
+
+/// What `Conn::try_extract` found in the buffered bytes.
+enum Extract {
+    /// Not a full request yet; stay parked.
+    Incomplete,
+    /// A complete request, drained from the buffer.
+    Request(http::Request),
+    /// A protocol-level rejection: answer and hang up.
+    Reply(u16, String),
+}
+
+impl Conn {
+    /// Tries to cut one complete request off the front of the buffer.
+    /// Framing is detected with the same line-ending tolerance as the
+    /// real parser, and the frame is then parsed by the *same*
+    /// `read_request_limited` the fallback path uses — responses are
+    /// byte-identical across both connection engines by construction.
+    fn try_extract(&mut self, max_body: usize) -> Extract {
+        if self.head_end.is_none() {
+            self.head_end = http::find_head_end(&self.buf);
+        }
+        let Some(head_end) = self.head_end else {
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Extract::Reply(400, "request head too large".to_string());
+            }
+            return Extract::Incomplete;
+        };
+        let max_body = max_body.min(http::MAX_BODY);
+        let content_length = http::head_content_length(&self.buf[..head_end]).unwrap_or(0);
+        if content_length > max_body {
+            return Extract::Reply(
+                413,
+                format!("request body of {content_length} bytes exceeds the {max_body} limit"),
+            );
+        }
+        let total = head_end + content_length;
+        if self.buf.len() < total {
+            return Extract::Incomplete;
+        }
+        let parsed = http::read_request_limited(&mut &self.buf[..total], max_body);
+        match parsed {
+            Ok(Some(req)) => {
+                self.buf.drain(..total);
+                self.head_end = None;
+                self.deadline = None;
+                Extract::Request(req)
+            }
+            Ok(None) => Extract::Reply(400, "empty request frame".to_string()),
+            Err(e) => Extract::Reply(400, e.to_string()),
+        }
+    }
+}
+
+/// Answers a terse error on a connection being hung up. The write gets a
+/// bounded blocking budget; a peer that will not even read a one-line
+/// error is simply dropped.
+fn answer_and_drop(mut conn: Conn, status: u16, msg: &str) {
+    let _ = conn.stream.set_nonblocking(false);
+    let _ = conn.stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let _ = http::write_json_response(&mut conn.stream, status, &error_body(msg), false);
+}
+
+struct Engine {
+    state: Arc<ServerState>,
+    poller: Poller,
+    listener: TcpListener,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    dispatch_tx: Sender<Job>,
+    accept_backoff: Duration,
+    /// While `Some`, the listener is out of the interest set until the
+    /// instant passes (accept-error backoff without hot-spinning a
+    /// level-triggered ready listener).
+    accept_resume: Option<Instant>,
+}
+
+impl Engine {
+    /// Parks a connection on the poller — unless its buffer already holds
+    /// a complete pipelined request (dispatch immediately) or a protocol
+    /// violation (answer and close).
+    fn park(&mut self, mut conn: Conn) {
+        if self.state.shutdown.load(Ordering::SeqCst) {
+            return; // drops the connection
+        }
+        match conn.try_extract(self.state.max_body) {
+            Extract::Request(req) => {
+                let _ = self.dispatch_tx.send(Job { conn, req });
+            }
+            Extract::Reply(status, msg) => answer_and_drop(conn, status, &msg),
+            Extract::Incomplete => {
+                if !conn.buf.is_empty() && conn.deadline.is_none() {
+                    conn.deadline = Some(Instant::now() + self.state.request_timeout);
+                }
+                if self.poller.add(conn.stream.as_raw_fd(), conn.token).is_ok() {
+                    self.conns.insert(conn.token, conn);
+                }
+                // A failed registration drops the connection.
+            }
+        }
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+        }
+    }
+
+    fn reply_and_close(&mut self, token: u64, status: u16, msg: &str) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            answer_and_drop(conn, status, msg);
+        }
+    }
+
+    fn dispatch(&mut self, token: u64, req: http::Request) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+            // If the workers are gone (teardown) the connection drops.
+            let _ = self.dispatch_tx.send(Job { conn, req });
+        }
+    }
+
+    /// Drains a readable connection and advances its state machine.
+    fn handle_readable(&mut self, token: u64) {
+        enum Action {
+            Close,
+            Parked,
+            Dispatch(http::Request),
+            Reply(u16, String),
+        }
+        let max_body = self.state.max_body;
+        let request_timeout = self.state.request_timeout;
+        let action = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => break Action::Close, // EOF
+                    Ok(n) => {
+                        if conn.buf.is_empty() {
+                            // First byte of a request: arm the deadline.
+                            conn.deadline = Some(Instant::now() + request_timeout);
+                        }
+                        conn.buf.extend_from_slice(&chunk[..n]);
+                        match conn.try_extract(max_body) {
+                            Extract::Incomplete => continue,
+                            Extract::Request(req) => break Action::Dispatch(req),
+                            Extract::Reply(status, msg) => break Action::Reply(status, msg),
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break Action::Parked,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => break Action::Close,
+                }
+            }
+        };
+        match action {
+            Action::Close => self.close(token),
+            Action::Parked => {}
+            Action::Dispatch(req) => self.dispatch(token, req),
+            Action::Reply(status, msg) => self.reply_and_close(token, status, &msg),
+        }
+    }
+
+    /// Accepts every pending connection (the listener is level-triggered
+    /// and non-blocking). On a transient accept failure — classically
+    /// EMFILE under fd exhaustion — the listener leaves the interest set
+    /// for a doubling backoff window instead of spinning hot.
+    fn do_accept(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_backoff = ACCEPT_BACKOFF_MIN;
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _guard = OpenConnGuard::new(&self.state);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    self.park(Conn {
+                        stream,
+                        token,
+                        buf: Vec::new(),
+                        head_end: None,
+                        deadline: None,
+                        _guard,
+                    });
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.state.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.poller.delete(self.listener.as_raw_fd());
+                    self.accept_resume = Some(Instant::now() + self.accept_backoff);
+                    self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Re-arms the listener once its backoff window has passed.
+    fn maybe_resume_listener(&mut self, now: Instant) {
+        if let Some(resume) = self.accept_resume {
+            if now >= resume {
+                if self
+                    .poller
+                    .add(self.listener.as_raw_fd(), TOKEN_LISTENER)
+                    .is_ok()
+                {
+                    self.accept_resume = None;
+                } else {
+                    self.accept_resume = Some(now + self.accept_backoff);
+                }
+            }
+        }
+    }
+
+    /// Answers 408 on every connection whose request deadline has passed
+    /// (the event-loop half of the slowloris fix).
+    fn expire(&mut self, now: Instant) {
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.deadline.is_some_and(|d| d <= now))
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            self.state.request_timeouts.fetch_add(1, Ordering::Relaxed);
+            self.reply_and_close(token, 408, "timed out reading the request");
+        }
+    }
+
+    /// The nearest instant anything timed is due: a request deadline or
+    /// the listener's backoff resume. `None` sleeps until the next event.
+    fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        let mut next: Option<Instant> = self.accept_resume;
+        for conn in self.conns.values() {
+            if let Some(d) = conn.deadline {
+                next = Some(next.map_or(d, |n| n.min(d)));
+            }
+        }
+        next.map(|t| t.saturating_duration_since(now))
+    }
+}
+
+/// The event-loop thread body. The poller arrives with the self-pipe
+/// (token 0) and the non-blocking listener (token 1) already registered;
+/// dropping `dispatch_tx` on exit disconnects the channel and drains the
+/// worker pool.
+pub(crate) fn run(
+    state: Arc<ServerState>,
+    listener: TcpListener,
+    poller: Poller,
+    wake_rx: WakeReceiver,
+    dispatch_tx: Sender<Job>,
+    ret_rx: Receiver<Conn>,
+) {
+    let mut engine = Engine {
+        state,
+        poller,
+        listener,
+        conns: HashMap::new(),
+        next_token: FIRST_CONN_TOKEN,
+        dispatch_tx,
+        accept_backoff: ACCEPT_BACKOFF_MIN,
+        accept_resume: None,
+    };
+    let mut events = Events::with_capacity(1024);
+    let mut ready: Vec<(u64, bool)> = Vec::new();
+    loop {
+        let now = Instant::now();
+        engine.maybe_resume_listener(now);
+        let timeout = engine.next_timeout(now);
+        if let Err(e) = engine.poller.wait(&mut events, timeout) {
+            if e.kind() == ErrorKind::Interrupted {
+                continue;
+            }
+            eprintln!("cgte-serve: event loop poll failed: {e}");
+            break;
+        }
+        let mut accept_ready = false;
+        ready.clear();
+        for ev in events.iter() {
+            match ev.token {
+                TOKEN_WAKE => wake_rx.drain(),
+                TOKEN_LISTENER => accept_ready = true,
+                token => ready.push((token, ev.closed && !ev.readable)),
+            }
+        }
+        if engine.state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // Workers hand finished keep-alive connections back over the
+        // return channel (each send paired with a self-pipe wake).
+        while let Ok(conn) = ret_rx.try_recv() {
+            engine.park(conn);
+        }
+        for &(token, dead) in &ready {
+            if dead {
+                engine.close(token);
+            } else {
+                engine.handle_readable(token);
+            }
+        }
+        if accept_ready {
+            engine.do_accept();
+        }
+        engine.expire(Instant::now());
+    }
+    // Teardown: parked connections drop here (decrementing the gauge via
+    // their guards); dropping `dispatch_tx` drains and stops the workers.
+}

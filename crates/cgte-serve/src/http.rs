@@ -34,40 +34,92 @@ impl Request {
     }
 }
 
+/// Why reading a request failed — carries exactly the distinction the
+/// connection paths answer on: 413 for an over-limit body, 408 for a
+/// deadline expiring mid-request, 400 for malformed framing, and silence
+/// for a dead transport.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The advertised `Content-Length` exceeds the configured cap.
+    TooLarge {
+        /// The advertised body length.
+        length: usize,
+        /// The configured cap it exceeded.
+        max: usize,
+    },
+    /// A read deadline expired while the request was mid-flight.
+    TimedOut,
+    /// Malformed framing (bad request line, protocol, header, or an EOF
+    /// inside the head).
+    Malformed(String),
+    /// Transport failure — no answer is possible.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::TooLarge { length, max } => {
+                write!(f, "request body of {length} bytes exceeds the {max} limit")
+            }
+            RequestError::TimedOut => write!(f, "timed out reading the request"),
+            RequestError::Malformed(msg) => write!(f, "{msg}"),
+            RequestError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl RequestError {
+    fn from_io(e: io::Error) -> RequestError {
+        match e.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => RequestError::TimedOut,
+            _ => RequestError::Io(e),
+        }
+    }
+}
+
 /// Reads one request. `Ok(None)` is a clean end-of-stream before a
-/// request line (the keep-alive loop's normal exit).
-pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
+/// request line (the keep-alive loop's normal exit). Bodies longer than
+/// `max_body` (clamped to [`MAX_BODY`]) are rejected without being read.
+pub fn read_request_limited<R: BufRead>(
+    r: &mut R,
+    max_body: usize,
+) -> Result<Option<Request>, RequestError> {
+    let max_body = max_body.min(MAX_BODY);
     let mut line = String::new();
-    if r.read_line(&mut line)? == 0 {
-        return Ok(None);
+    match r.read_line(&mut line) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) => return Err(RequestError::from_io(e)),
     }
     let line = line.trim_end();
     let mut parts = line.split_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
         _ => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("malformed request line {line:?}"),
-            ))
+            return Err(RequestError::Malformed(format!(
+                "malformed request line {line:?}"
+            )))
         }
     };
     if !version.starts_with("HTTP/1.") {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unsupported protocol {version:?}"),
-        ));
+        return Err(RequestError::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
     }
     // HTTP/1.1 defaults to keep-alive; `Connection: close` opts out.
     let mut keep_alive = version == "HTTP/1.1";
     let mut content_length = 0usize;
     loop {
         let mut h = String::new();
-        if r.read_line(&mut h)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed inside headers",
-            ));
+        match r.read_line(&mut h) {
+            Ok(0) => {
+                return Err(RequestError::Malformed(
+                    "connection closed inside headers".to_string(),
+                ))
+            }
+            Ok(_) => {}
+            Err(e) => return Err(RequestError::from_io(e)),
         }
         let h = h.trim_end();
         if h.is_empty() {
@@ -78,10 +130,7 @@ pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
             match name.to_ascii_lowercase().as_str() {
                 "content-length" => {
                     content_length = value.parse().map_err(|_| {
-                        io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("bad Content-Length {value:?}"),
-                        )
+                        RequestError::Malformed(format!("bad Content-Length {value:?}"))
                     })?;
                 }
                 "connection" => {
@@ -96,14 +145,14 @@ pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
             }
         }
     }
-    if content_length > MAX_BODY {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("request body of {content_length} bytes exceeds the {MAX_BODY} limit"),
-        ));
+    if content_length > max_body {
+        return Err(RequestError::TooLarge {
+            length: content_length,
+            max: max_body,
+        });
     }
     let mut body = vec![0u8; content_length];
-    r.read_exact(&mut body)?;
+    r.read_exact(&mut body).map_err(RequestError::from_io)?;
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), parse_query(q)),
         None => (target, Vec::new()),
@@ -115,6 +164,54 @@ pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
         body,
         keep_alive,
     }))
+}
+
+/// [`read_request_limited`] at the hard [`MAX_BODY`] cap, with errors
+/// flattened back to `io::Error` — the historical signature kept for the
+/// fault-injection proxy and the parser tests.
+pub fn read_request<R: BufRead>(r: &mut R) -> io::Result<Option<Request>> {
+    read_request_limited(r, MAX_BODY).map_err(|e| match e {
+        RequestError::Io(inner) => inner,
+        RequestError::TimedOut => io::Error::new(io::ErrorKind::TimedOut, e.to_string()),
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    })
+}
+
+/// Finds the end of the request head in a partially buffered request:
+/// the index one past the blank line, if the blank line has arrived. The
+/// line endings accepted (`\r\n` or bare `\n`) mirror the `read_line` +
+/// `trim_end` tolerance of [`read_request_limited`], so "head complete"
+/// here never disagrees with the real parser.
+pub fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            match buf.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Scans a complete request head for `Content-Length`, last occurrence
+/// winning (as in [`read_request_limited`]). `None` means absent *or*
+/// unparsable — the caller treats both as a zero-length body and lets the
+/// real parser produce the 400 for the latter.
+pub fn head_content_length(head: &[u8]) -> Option<usize> {
+    let mut found = None;
+    for line in head.split(|&b| b == b'\n') {
+        let line = std::str::from_utf8(line).unwrap_or("");
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                found = value.trim().parse::<usize>().ok();
+            }
+        }
+    }
+    found
 }
 
 fn parse_query(q: &str) -> Vec<(String, String)> {
@@ -211,6 +308,7 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
         429 => "Too Many Requests",
@@ -357,6 +455,40 @@ mod tests {
             MAX_BODY + 1
         );
         assert!(read_request(&mut BufReader::new(raw.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn oversized_body_is_a_typed_too_large() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 2000\r\n\r\n";
+        match read_request_limited(&mut BufReader::new(&raw[..]), 1024) {
+            Err(RequestError::TooLarge { length, max }) => {
+                assert_eq!(length, 2000);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn head_end_accepts_both_line_endings() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\nrest"), Some(16));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\nHost: h\n\r\nx"), Some(25));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\nHost: h\r\n"), None);
+    }
+
+    #[test]
+    fn content_length_scan_matches_parser_semantics() {
+        let head = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\n";
+        assert_eq!(head_content_length(head), Some(4));
+        // Last occurrence wins, names are case-insensitive.
+        let head = b"POST /x HTTP/1.1\r\ncontent-LENGTH: 4\r\nContent-Length: 9\r\n\r\n";
+        assert_eq!(head_content_length(head), Some(9));
+        assert_eq!(head_content_length(b"GET / HTTP/1.1\r\n\r\n"), None);
+        assert_eq!(
+            head_content_length(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            None
+        );
     }
 
     #[test]

@@ -34,21 +34,38 @@
 //! nothing past the last checkpoint.
 //!
 //! Transport is a dependency-free HTTP/1.1 subset on
-//! `std::net::TcpListener`; connections are dispatched to a bounded pool
-//! of worker threads over the vendored crossbeam MPMC channel
-//! (`--threads`). Estimate values are bit-identical to the batch
-//! `run_experiment` path on the same sampled sequence: both call the one
-//! shared snapshot function (`cgte_core::estimate_stream_into`) over the
-//! same streaming kernel (`cgte_sampling::ObservationStream`).
+//! `std::net::TcpListener`. On `cfg(cgte_epoll)` platforms (Linux — see
+//! `build.rs`) the server is **event-driven**: one loop thread owns every
+//! idle connection in non-blocking mode on a vendored epoll poller
+//! ([`poll`]), and the bounded worker pool (`--threads`, vendored
+//! crossbeam MPMC channel) executes *requests*, not connections — a
+//! parsed request is checked out to a worker, the response written, and
+//! the connection parks back on the poller. Elsewhere (or under
+//! `--event-loop false`) the portable thread-per-connection fallback
+//! pins one worker per connection with a read-timeout idle poll. Both
+//! engines share one request parser and one router, so responses are
+//! byte-identical across them; estimate values are bit-identical to the
+//! batch `run_experiment` path on the same sampled sequence: both call
+//! the one shared snapshot function (`cgte_core::estimate_stream_into`)
+//! over the same streaming kernel (`cgte_sampling::ObservationStream`).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the vendored epoll module below is the
+// single, explicitly-allowed exception (raw readiness syscalls for the
+// event-driven engine); everything else in the crate stays unsafe-free —
+// the same shape as `cgte-graph`'s mmap module.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod cluster;
+#[cfg(cgte_epoll)]
+mod event_loop;
 pub mod fault;
 pub mod http;
 pub mod json;
+#[cfg(cgte_epoll)]
+#[allow(unsafe_code)]
+pub mod poll;
 pub mod registry;
 pub mod session;
 
@@ -248,6 +265,18 @@ pub struct ServeConfig {
     /// sessions on a graph share one read-only mapping; estimates are
     /// bit-identical to heap-hosted graphs.
     pub mmap: bool,
+    /// Use the event-driven connection engine where compiled in
+    /// (`cfg(cgte_epoll)`; default). `false` — or a platform without the
+    /// vendored epoll layer — selects the thread-per-connection fallback.
+    pub event_loop: bool,
+    /// Deadline for reading one request once its first byte has arrived,
+    /// in milliseconds; expiry answers 408 and closes the connection (the
+    /// slowloris bound). Idle keep-alive connections are unaffected.
+    pub request_timeout_ms: u64,
+    /// Largest accepted request body in bytes; longer advertised bodies
+    /// answer 413 without being read. Clamped to the wire-format hard cap
+    /// ([`http::MAX_BODY`]).
+    pub max_body_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -260,6 +289,9 @@ impl Default for ServeConfig {
             session_ttl_secs: None,
             max_sessions: 1024,
             mmap: true,
+            event_loop: true,
+            request_timeout_ms: 10_000,
+            max_body_bytes: 8 << 20,
         }
     }
 }
@@ -286,9 +318,43 @@ struct ServerState {
     idle_poll: Duration,
     session_ttl: Option<Duration>,
     max_sessions: usize,
+    request_timeout: Duration,
+    max_body: usize,
+    event_loop: bool,
+    accept_errors: AtomicU64,
+    open_connections: AtomicU64,
+    request_timeouts: AtomicU64,
     shutdown: AtomicBool,
     addr: SocketAddr,
     started: Instant,
+    /// Write end of the event loop's self-pipe: wakes the loop for
+    /// shutdown. `None` on the thread-per-connection fallback, which
+    /// keeps the connect-to-yourself poke.
+    #[cfg(cgte_epoll)]
+    waker: Option<Arc<poll::Waker>>,
+}
+
+/// Accounts one open connection in the `cgte_serve_open_connections`
+/// gauge for exactly as long as the guard lives. The guard travels with
+/// the connection through whichever engine owns it, so the gauge is
+/// correct no matter where the connection is dropped.
+struct OpenConnGuard {
+    state: Arc<ServerState>,
+}
+
+impl OpenConnGuard {
+    fn new(state: &Arc<ServerState>) -> OpenConnGuard {
+        state.open_connections.fetch_add(1, Ordering::Relaxed);
+        OpenConnGuard {
+            state: Arc::clone(state),
+        }
+    }
+}
+
+impl Drop for OpenConnGuard {
+    fn drop(&mut self) {
+        self.state.open_connections.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 impl ServerState {
@@ -312,38 +378,74 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener, spawns the worker pool and the accept loop,
-    /// and returns immediately.
+    /// Binds the listener, spawns the connection engine — event-driven
+    /// where compiled in (`cfg(cgte_epoll)`) and enabled, the portable
+    /// thread-per-connection pool otherwise — and returns immediately.
     pub fn bind(cfg: &ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        #[cfg(cgte_epoll)]
+        if cfg.event_loop {
+            // All fallible event-engine setup happens before committing,
+            // so a failure (e.g. fd pressure on the poller or pipe)
+            // degrades to the fallback engine instead of a dead server.
+            if let Ok(setup) = event_setup(&listener) {
+                return Ok(Server::bind_event(cfg, listener, addr, setup));
+            }
+        }
+        Ok(Server::bind_fallback(cfg, listener, addr))
+    }
+
+    /// The event-driven engine: the loop thread owns the listener and
+    /// every parked connection; workers execute parsed requests.
+    #[cfg(cgte_epoll)]
+    fn bind_event(
+        cfg: &ServeConfig,
+        listener: TcpListener,
+        addr: SocketAddr,
+        setup: EventSetup,
+    ) -> Server {
+        let (poller, wake_rx, waker) = setup;
         let threads = cfg.threads.max(1);
-        let state = Arc::new(ServerState {
-            registry: Registry::new(&cfg.cache_dir).mmap(cfg.mmap),
-            cache_dir: cfg.cache_dir.clone(),
-            sessions: Mutex::new(HashMap::new()),
-            next_session: AtomicU64::new(0),
-            requests: AtomicUsize::new(0),
-            endpoints: std::array::from_fn(|_| EndpointStats::default()),
-            sessions_evicted: AtomicU64::new(0),
-            snapshots_saved: AtomicU64::new(0),
-            snapshots_restored: AtomicU64::new(0),
-            threads,
-            idle_poll: Duration::from_millis(cfg.idle_poll_ms.max(1)),
-            session_ttl: cfg.session_ttl_secs.map(Duration::from_secs),
-            max_sessions: cfg.max_sessions.max(1),
-            shutdown: AtomicBool::new(false),
-            addr,
-            started: Instant::now(),
+        let mut st = new_state(cfg, addr, true);
+        st.waker = Some(Arc::clone(&waker));
+        let state = Arc::new(st);
+        let (dispatch_tx, dispatch_rx) = crossbeam::channel::unbounded::<event_loop::Job>();
+        let (ret_tx, ret_rx) = crossbeam::channel::unbounded::<event_loop::Conn>();
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let rx = dispatch_rx.clone();
+                let ret_tx = ret_tx.clone();
+                let waker = Arc::clone(&waker);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || event_worker(&state, &rx, &ret_tx, &waker))
+            })
+            .collect();
+        let loop_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || {
+            // Dropping `dispatch_tx` on exit disconnects the channel and
+            // drains the workers.
+            event_loop::run(loop_state, listener, poller, wake_rx, dispatch_tx, ret_rx);
         });
-        let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+        Server {
+            state,
+            accept,
+            workers,
+        }
+    }
+
+    /// The portable engine: one worker pinned per connection.
+    fn bind_fallback(cfg: &ServeConfig, listener: TcpListener, addr: SocketAddr) -> Server {
+        let threads = cfg.threads.max(1);
+        let state = Arc::new(new_state(cfg, addr, false));
+        let (tx, rx) = crossbeam::channel::unbounded::<(TcpStream, OpenConnGuard)>();
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 let rx = rx.clone();
                 let state = Arc::clone(&state);
                 std::thread::spawn(move || {
-                    while let Ok(stream) = rx.recv() {
-                        handle_connection(&state, stream);
+                    while let Ok((stream, guard)) = rx.recv() {
+                        handle_connection(&state, stream, guard);
                     }
                 })
             })
@@ -352,25 +454,35 @@ impl Server {
         let accept = std::thread::spawn(move || {
             // `tx` lives in this thread; dropping it on exit disconnects
             // the channel and drains the workers.
+            let mut backoff = ACCEPT_BACKOFF_MIN;
             for stream in listener.incoming() {
                 if accept_state.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 match stream {
                     Ok(s) => {
-                        if tx.send(s).is_err() {
+                        backoff = ACCEPT_BACKOFF_MIN;
+                        let guard = OpenConnGuard::new(&accept_state);
+                        if tx.send((s, guard)).is_err() {
                             break;
                         }
                     }
-                    Err(_) => continue,
+                    Err(_) => {
+                        // Transient accept failure (classically EMFILE):
+                        // count it and sleep with a doubling backoff
+                        // instead of spinning hot on the error.
+                        accept_state.accept_errors.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    }
                 }
             }
         });
-        Ok(Server {
+        Server {
             state,
             accept,
             workers,
-        })
+        }
     }
 
     /// The bound socket address.
@@ -378,14 +490,15 @@ impl Server {
         self.state.addr
     }
 
-    /// Requests shutdown: sets the flag and pokes the blocked accept loop
-    /// with a throwaway connection.
+    /// Requests shutdown: sets the flag and wakes the connection engine —
+    /// a self-pipe write on the event loop, a throwaway connection poke
+    /// on the fallback's blocked accept loop.
     pub fn shutdown(&self) {
         request_shutdown(&self.state);
     }
 
-    /// Waits for the accept loop and every worker to exit (i.e. until a
-    /// shutdown was requested and all in-flight connections finished).
+    /// Waits for the connection engine and every worker to exit (i.e.
+    /// until a shutdown was requested and all in-flight work finished).
     pub fn join(self) {
         self.accept.join().expect("accept thread panicked");
         for w in self.workers {
@@ -394,10 +507,101 @@ impl Server {
     }
 }
 
+/// Minimum (and post-success reset) sleep after a failed accept.
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+/// Accept backoff doubles up to this cap.
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
+/// Everything fallible the event engine needs, created *before* the
+/// engine is committed to: the poller (self-pipe and listener already
+/// registered, listener switched to non-blocking) plus both pipe ends.
+#[cfg(cgte_epoll)]
+type EventSetup = (poll::Poller, poll::WakeReceiver, Arc<poll::Waker>);
+
+#[cfg(cgte_epoll)]
+fn event_setup(listener: &TcpListener) -> std::io::Result<EventSetup> {
+    use std::os::unix::io::AsRawFd as _;
+    let poller = poll::Poller::new()?;
+    let (wake_rx, waker) = poll::wake_pipe()?;
+    poller.add(wake_rx.fd(), event_loop::TOKEN_WAKE)?;
+    poller.add(listener.as_raw_fd(), event_loop::TOKEN_LISTENER)?;
+    // Last, so an earlier failure leaves the listener untouched for the
+    // fallback engine.
+    listener.set_nonblocking(true)?;
+    Ok((poller, wake_rx, Arc::new(waker)))
+}
+
+/// Worker body of the event engine: execute one parsed request, write
+/// the response (the "writing" state of the connection machine, with a
+/// bounded blocking budget), then park the keep-alive connection back on
+/// the event loop via the return channel + self-pipe wake.
+#[cfg(cgte_epoll)]
+fn event_worker(
+    state: &Arc<ServerState>,
+    rx: &crossbeam::channel::Receiver<event_loop::Job>,
+    ret_tx: &crossbeam::channel::Sender<event_loop::Conn>,
+    waker: &poll::Waker,
+) {
+    while let Ok(event_loop::Job { mut conn, req }) = rx.recv() {
+        let keep_alive = req.keep_alive;
+        let resp = respond(state, &req);
+        if conn.stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        let _ = conn.stream.set_write_timeout(Some(state.request_timeout));
+        let ok = http::write_response(&mut conn.stream, &resp, keep_alive).is_ok();
+        if ok
+            && keep_alive
+            && !state.shutdown.load(Ordering::SeqCst)
+            && conn.stream.set_nonblocking(true).is_ok()
+            && ret_tx.send(conn).is_ok()
+        {
+            waker.wake();
+        }
+        // Any other outcome drops the connection here (its guard keeps
+        // the open-connections gauge honest).
+    }
+}
+
+fn new_state(cfg: &ServeConfig, addr: SocketAddr, event_loop: bool) -> ServerState {
+    ServerState {
+        registry: Registry::new(&cfg.cache_dir).mmap(cfg.mmap),
+        cache_dir: cfg.cache_dir.clone(),
+        sessions: Mutex::new(HashMap::new()),
+        next_session: AtomicU64::new(0),
+        requests: AtomicUsize::new(0),
+        endpoints: std::array::from_fn(|_| EndpointStats::default()),
+        sessions_evicted: AtomicU64::new(0),
+        snapshots_saved: AtomicU64::new(0),
+        snapshots_restored: AtomicU64::new(0),
+        threads: cfg.threads.max(1),
+        idle_poll: Duration::from_millis(cfg.idle_poll_ms.max(1)),
+        session_ttl: cfg.session_ttl_secs.map(Duration::from_secs),
+        max_sessions: cfg.max_sessions.max(1),
+        request_timeout: Duration::from_millis(cfg.request_timeout_ms.max(1)),
+        max_body: cfg.max_body_bytes.min(http::MAX_BODY),
+        event_loop,
+        accept_errors: AtomicU64::new(0),
+        open_connections: AtomicU64::new(0),
+        request_timeouts: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
+        addr,
+        started: Instant::now(),
+        #[cfg(cgte_epoll)]
+        waker: None,
+    }
+}
+
 fn request_shutdown(state: &ServerState) {
     state.shutdown.store(true, Ordering::SeqCst);
-    // Unblock the accept loop; the connection is accepted (or refused)
-    // and immediately discarded.
+    // The event engine wakes its loop over the self-pipe …
+    #[cfg(cgte_epoll)]
+    if let Some(waker) = &state.waker {
+        waker.wake();
+        return;
+    }
+    // … the fallback engine unblocks its accept loop with a throwaway
+    // connection (accepted or refused, then immediately discarded).
     let _ = TcpStream::connect(state.addr);
 }
 
@@ -407,30 +611,72 @@ fn request_shutdown(state: &ServerState) {
 pub fn run(cfg: &ServeConfig) -> std::io::Result<()> {
     let server = Server::bind(cfg)?;
     eprintln!(
-        "cgte-serve listening on {} (store: {}, {} worker(s))",
+        "cgte-serve listening on {} (store: {}, {} worker(s), {} engine)",
         server.addr(),
         cfg.cache_dir.display(),
         cfg.threads.max(1),
+        if server.state.event_loop {
+            "event-loop"
+        } else {
+            "thread-per-connection"
+        },
     );
     server.join();
     eprintln!("cgte-serve: shutdown complete");
     Ok(())
 }
 
-fn handle_connection(state: &ServerState, stream: TcpStream) {
+/// A `TcpStream` reader enforcing the per-request deadline (the fallback
+/// engine's half of the slowloris fix): with a deadline armed, every read
+/// is capped at the time remaining and expiry surfaces as `TimedOut`;
+/// with no deadline, reads use the idle-poll interval so the keep-alive
+/// loop keeps re-checking the shutdown flag.
+struct TimedReader {
+    stream: TcpStream,
+    deadline: Option<Instant>,
+    idle_poll: Duration,
+}
+
+impl std::io::Read for TimedReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let timeout = match self.deadline {
+            None => self.idle_poll,
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(std::io::ErrorKind::TimedOut.into());
+                }
+                remaining.max(Duration::from_millis(1))
+            }
+        };
+        let _ = self.stream.set_read_timeout(Some(timeout));
+        self.stream.read(buf)
+    }
+}
+
+/// The thread-per-connection engine: one worker pinned to the connection
+/// for its whole lifetime, polling for the next request on a read
+/// timeout.
+fn handle_connection(state: &ServerState, stream: TcpStream, guard: OpenConnGuard) {
+    // Held for the connection's lifetime: keeps the open-connections
+    // gauge exact however this function exits.
+    let _guard = guard;
     // One response = one write; disabling Nagle keeps request/response
     // round trips off the delayed-ACK path.
     let _ = stream.set_nodelay(true);
-    let Ok(peer_writer) = stream.try_clone() else {
+    let Ok(mut writer) = stream.try_clone() else {
         return;
     };
-    let mut writer = peer_writer;
-    let mut reader = BufReader::new(stream);
+    let _ = writer.set_write_timeout(Some(state.request_timeout));
+    let mut reader = BufReader::new(TimedReader {
+        stream,
+        deadline: None,
+        idle_poll: state.idle_poll,
+    });
     loop {
         // Idle wait: poll for the next request with a read timeout so a
         // keep-alive connection cannot pin a worker past shutdown.
         // `fill_buf` consumes nothing on timeout, so retrying is safe.
-        let _ = reader.get_ref().set_read_timeout(Some(state.idle_poll));
         loop {
             use std::io::BufRead as _;
             match reader.fill_buf() {
@@ -449,56 +695,37 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
                 Err(_) => return,
             }
         }
-        // A request has started arriving: parse it with blocking reads
-        // (an actively sending client finishes promptly).
-        let _ = reader.get_ref().set_read_timeout(None);
-        let req = match http::read_request(&mut reader) {
+        // A request has started arriving: arm the request deadline. A
+        // client that stalls mid-request gets 408, never a pinned worker.
+        reader.get_mut().deadline = Some(Instant::now() + state.request_timeout);
+        let req = match http::read_request_limited(&mut reader, state.max_body) {
             Ok(Some(r)) => r,
             Ok(None) => return,
-            Err(e) => {
-                // Malformed framing: answer 400 once, then hang up.
-                let _ =
-                    http::write_json_response(&mut writer, 400, &error_body(&e.to_string()), false);
+            Err(http::RequestError::TooLarge { length, max }) => {
+                let msg = format!("request body of {length} bytes exceeds the {max} limit");
+                let _ = http::write_json_response(&mut writer, 413, &error_body(&msg), false);
                 return;
             }
+            Err(http::RequestError::TimedOut) => {
+                state.request_timeouts.fetch_add(1, Ordering::Relaxed);
+                let _ = http::write_json_response(
+                    &mut writer,
+                    408,
+                    &error_body("timed out reading the request"),
+                    false,
+                );
+                return;
+            }
+            Err(http::RequestError::Malformed(msg)) => {
+                // Malformed framing: answer 400 once, then hang up.
+                let _ = http::write_json_response(&mut writer, 400, &error_body(&msg), false);
+                return;
+            }
+            Err(http::RequestError::Io(_)) => return,
         };
-        let endpoint = Endpoint::of(&req);
-        // Scrape/liveness traffic is accounted under its own endpoint
-        // label only, never in the aggregate request counter.
-        if !matches!(endpoint, Endpoint::Healthz | Endpoint::Metrics) {
-            state.requests.fetch_add(1, Ordering::Relaxed);
-        }
+        reader.get_mut().deadline = None;
         let keep_alive = req.keep_alive;
-        let handle_started = Instant::now();
-        let resp = {
-            let mut span = cgte_obs::span(cgte_obs::LEVEL_COARSE, "serve.request");
-            span.field_str("endpoint", endpoint.label());
-            let resp = match route(state, &req) {
-                Ok(resp) => resp,
-                Err(e) => {
-                    let mut resp = http::Response {
-                        status: e.status,
-                        content_type: "application/json",
-                        headers: Vec::new(),
-                        body: error_body(&e.msg).into_bytes(),
-                    };
-                    if e.status == 429 {
-                        resp.headers
-                            .push(("Retry-After", state.retry_after_secs().to_string()));
-                    }
-                    resp
-                }
-            };
-            span.field_u64("status", resp.status as u64);
-            span.field_u64("bytes", resp.body.len() as u64);
-            resp
-        };
-        let stats = &state.endpoints[endpoint.index()];
-        stats.hits.fetch_add(1, Ordering::Relaxed);
-        stats
-            .latency_us
-            .record(handle_started.elapsed().as_micros() as u64);
-        stats.resp_bytes.record(resp.body.len() as u64);
+        let resp = respond(state, &req);
         if http::write_response(&mut writer, &resp, keep_alive).is_err() {
             return;
         }
@@ -506,6 +733,50 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
             return;
         }
     }
+}
+
+/// Routes one request and records every per-request metric (aggregate
+/// counter, span, per-endpoint hit/latency/size) — the single execution
+/// path shared by both connection engines, which is what makes their
+/// responses byte-identical by construction.
+fn respond(state: &ServerState, req: &http::Request) -> http::Response {
+    let endpoint = Endpoint::of(req);
+    // Scrape/liveness traffic is accounted under its own endpoint label
+    // only, never in the aggregate request counter.
+    if !matches!(endpoint, Endpoint::Healthz | Endpoint::Metrics) {
+        state.requests.fetch_add(1, Ordering::Relaxed);
+    }
+    let handle_started = Instant::now();
+    let resp = {
+        let mut span = cgte_obs::span(cgte_obs::LEVEL_COARSE, "serve.request");
+        span.field_str("endpoint", endpoint.label());
+        let resp = match route(state, req) {
+            Ok(resp) => resp,
+            Err(e) => {
+                let mut resp = http::Response {
+                    status: e.status,
+                    content_type: "application/json",
+                    headers: Vec::new(),
+                    body: error_body(&e.msg).into_bytes(),
+                };
+                if e.status == 429 {
+                    resp.headers
+                        .push(("Retry-After", state.retry_after_secs().to_string()));
+                }
+                resp
+            }
+        };
+        span.field_u64("status", resp.status as u64);
+        span.field_u64("bytes", resp.body.len() as u64);
+        resp
+    };
+    let stats = &state.endpoints[endpoint.index()];
+    stats.hits.fetch_add(1, Ordering::Relaxed);
+    stats
+        .latency_us
+        .record(handle_started.elapsed().as_micros() as u64);
+    stats.resp_bytes.record(resp.body.len() as u64);
+    resp
 }
 
 fn route(state: &ServerState, req: &http::Request) -> Result<http::Response, ServeError> {
@@ -552,12 +823,14 @@ fn healthz(state: &ServerState) -> String {
     evict_expired(state);
     let sessions = state.sessions.lock().expect("sessions lock poisoned").len();
     format!(
-        "{{\"status\":\"ok\",\"graphs\":{},\"sessions\":{sessions},\"loads\":{},\"builds\":{},\"requests\":{},\"threads\":{},\"uptime_secs\":{:.3}}}",
+        "{{\"status\":\"ok\",\"graphs\":{},\"sessions\":{sessions},\"loads\":{},\"builds\":{},\"requests\":{},\"threads\":{},\"connections\":{},\"event_loop\":{},\"uptime_secs\":{:.3}}}",
         state.registry.count(),
         state.registry.loads(),
         state.registry.builds(),
         state.requests.load(Ordering::Relaxed),
         state.threads,
+        state.open_connections.load(Ordering::Relaxed),
+        state.event_loop,
         state.started.elapsed().as_secs_f64(),
     )
 }
@@ -599,6 +872,24 @@ fn metrics(state: &ServerState) -> String {
         "counter",
         "HTTP requests handled.",
         state.requests.load(Ordering::Relaxed).to_string(),
+    );
+    emit(
+        "cgte_serve_open_connections",
+        "gauge",
+        "Connections currently held open (idle, parked, or in-flight).",
+        state.open_connections.load(Ordering::Relaxed).to_string(),
+    );
+    emit(
+        "cgte_serve_accept_errors_total",
+        "counter",
+        "Accept failures (e.g. EMFILE), each followed by a backoff sleep.",
+        state.accept_errors.load(Ordering::Relaxed).to_string(),
+    );
+    emit(
+        "cgte_serve_request_timeouts_total",
+        "counter",
+        "Requests answered 408 because the read deadline expired.",
+        state.request_timeouts.load(Ordering::Relaxed).to_string(),
     );
     emit(
         "cgte_serve_graph_loads_total",
